@@ -1,0 +1,164 @@
+//! B6 — the relational degeneration, timed: atom-type operations (Def. 4,
+//! with link-type inheritance) vs. the plain relational algebra on the same
+//! data. The MAD side pays for identity maintenance and link inheritance;
+//! the expected shape is "same asymptotics, constant-factor overhead that
+//! shrinks when the operand has no links".
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use mad_core::atom_ops::{self, AtomPred};
+use mad_core::qual::CmpOp;
+use mad_model::{AttrType, SchemaBuilder, Value};
+use mad_relational::algebra as rel;
+use mad_relational::RelationalImage;
+use mad_storage::Database;
+use std::time::Duration;
+
+/// Flat database: `item(k, v)` with `n` atoms, no link types.
+fn flat_db(n: usize) -> Database {
+    let schema = SchemaBuilder::new()
+        .atom_type("item", &[("k", AttrType::Int), ("v", AttrType::Int)])
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let item = db.schema().atom_type_id("item").unwrap();
+    for i in 0..n {
+        db.insert_atom(
+            item,
+            vec![Value::Int(i as i64), Value::Int((i % 100) as i64)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Same data but with a link type attached (inheritance cost made visible).
+fn linked_db(n: usize) -> Database {
+    let schema = SchemaBuilder::new()
+        .atom_type("item", &[("k", AttrType::Int), ("v", AttrType::Int)])
+        .atom_type("tag", &[("t", AttrType::Int)])
+        .link_type("item-tag", "item", "tag")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let item = db.schema().atom_type_id("item").unwrap();
+    let tag = db.schema().atom_type_id("tag").unwrap();
+    let it = db.schema().link_type_id("item-tag").unwrap();
+    let tags: Vec<_> = (0..16)
+        .map(|i| db.insert_atom(tag, vec![Value::Int(i)]).unwrap())
+        .collect();
+    for i in 0..n {
+        let a = db
+            .insert_atom(
+                item,
+                vec![Value::Int(i as i64), Value::Int((i % 100) as i64)],
+            )
+            .unwrap();
+        db.connect(it, a, tags[i % 16]).unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_atom_type_algebra");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for n in [1_000usize, 10_000, 50_000] {
+        let flat = flat_db(n);
+        let linked = linked_db(n);
+        let item = flat.schema().atom_type_id("item").unwrap();
+        let image = RelationalImage::from_database(&flat).unwrap();
+        let item_rel = image.atom_relation(item).clone();
+        let pred = AtomPred::cmp(1, CmpOp::Lt, 50);
+        let rel_pred = rel::Pred::cmp("v", rel::Cmp::Lt, 50);
+        let label = format!("n={n}");
+        // σ
+        group.bench_with_input(BenchmarkId::new("mad/sigma_flat", &label), &(), |b, _| {
+            b.iter_batched(
+                || flat.clone(),
+                |mut db| atom_ops::restrict(&mut db, item, &pred, None).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(
+            BenchmarkId::new("mad/sigma_linked", &label),
+            &(),
+            |b, _| {
+                b.iter_batched(
+                    || linked.clone(),
+                    |mut db| atom_ops::restrict(&mut db, item, &pred, None).unwrap(),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("rel/sigma", &label), &(), |b, _| {
+            b.iter(|| rel::select(&item_rel, &rel_pred).unwrap())
+        });
+        // π
+        group.bench_with_input(BenchmarkId::new("mad/pi_flat", &label), &(), |b, _| {
+            b.iter_batched(
+                || flat.clone(),
+                |mut db| atom_ops::project(&mut db, item, &["v"], None).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("rel/pi", &label), &(), |b, _| {
+            b.iter(|| rel::project(&item_rel, &["v"]).unwrap())
+        });
+        // ω and δ with itself
+        group.bench_with_input(BenchmarkId::new("mad/omega_flat", &label), &(), |b, _| {
+            b.iter_batched(
+                || flat.clone(),
+                |mut db| atom_ops::union(&mut db, item, item, None).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("rel/union", &label), &(), |b, _| {
+            b.iter(|| rel::union(&item_rel, &item_rel).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("mad/delta_flat", &label), &(), |b, _| {
+            b.iter_batched(
+                || flat.clone(),
+                |mut db| atom_ops::difference(&mut db, item, item, None).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("rel/difference", &label), &(), |b, _| {
+            b.iter(|| rel::difference(&item_rel, &item_rel).unwrap())
+        });
+    }
+    // × on a small square (quadratic output)
+    let flat = flat_db(100);
+    let schema2 = SchemaBuilder::new()
+        .atom_type("item", &[("k", AttrType::Int), ("v", AttrType::Int)])
+        .atom_type("other", &[("k2", AttrType::Int)])
+        .build()
+        .unwrap();
+    let mut db2 = Database::new(schema2);
+    let item2 = db2.schema().atom_type_id("item").unwrap();
+    let other2 = db2.schema().atom_type_id("other").unwrap();
+    for i in 0..100i64 {
+        db2.insert_atom(item2, vec![Value::Int(i), Value::Int(i % 10)])
+            .unwrap();
+        db2.insert_atom(other2, vec![Value::Int(i)]).unwrap();
+    }
+    let image2 = RelationalImage::from_database(&db2).unwrap();
+    let r1 = rel::rename(image2.atom_relation(item2), &[("_id", "_id1")]).unwrap();
+    let r2 = rel::rename(image2.atom_relation(other2), &[("_id", "_id2")]).unwrap();
+    group.bench_function("mad/product_100x100", |b| {
+        b.iter_batched(
+            || db2.clone(),
+            |mut db| atom_ops::product(&mut db, item2, other2, None).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rel/product_100x100", |b| {
+        b.iter(|| rel::product(&r1, &r2).unwrap())
+    });
+    let _ = flat;
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! `cargo bench` entry point that prints the quantitative claim tables
+//! B1–B7 with robust wall-clock measurements (criterion's statistical
+//! versions live in the sibling bench targets).
+fn main() {
+    mad_bench::tables::run_all();
+}

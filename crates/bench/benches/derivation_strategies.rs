@@ -1,0 +1,61 @@
+//! B3 — the §5 "query parallelism" outlook: per-root vs. set-oriented
+//! (level-at-a-time) vs. parallel molecule derivation.
+//!
+//! Expected shape: level-at-a-time wins when molecules overlap heavily
+//! (shared adjacency is scanned once); parallel derivation scales with the
+//! number of molecules and cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mad_bench::presets;
+use mad_core::derive::{derive_molecules, DeriveOptions, Strategy};
+use mad_core::structure::path;
+use mad_workload::generate_geo;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3_derivation_strategies");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for (label, params) in presets::geo_sweep() {
+        let (db, _) = generate_geo(&params).unwrap();
+        let md = path(db.schema(), &["state", "area", "edge", "point"]).unwrap();
+        for (name, strat) in [
+            ("per_root", Strategy::PerRoot),
+            ("level_at_a_time", Strategy::LevelAtATime),
+            ("parallel_2", Strategy::Parallel(2)),
+            ("parallel_4", Strategy::Parallel(4)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &(), |b, _| {
+                b.iter(|| {
+                    derive_molecules(&db, &md, &DeriveOptions::with_strategy(strat)).unwrap()
+                })
+            });
+        }
+    }
+    // high-sharing case: the set-oriented join's advantage
+    for (share, params) in presets::share_sweep() {
+        let (db, _) = generate_geo(&params).unwrap();
+        let md = path(db.schema(), &["river", "net", "edge", "point"]).unwrap();
+        for (name, strat) in [
+            ("per_root", Strategy::PerRoot),
+            ("level_at_a_time", Strategy::LevelAtATime),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("share={share}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        derive_molecules(&db, &md, &DeriveOptions::with_strategy(strat))
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! B1 — the §1/§2 performance claim: molecule derivation over direct links
+//! vs. the relational join cascade over auxiliary relations.
+//!
+//! Series: database size (small/medium/large) and sharing degree
+//! (0.0/0.5/0.9). Comparators:
+//!
+//! * `mad/per_root` — the MAD engine (link adjacency),
+//! * `rel/hash_join` — tuned hash-join plan over the relational image,
+//! * `rel/algebra` — the literal relational-algebra plan (materializing
+//!   operators), run only on the small size (it is orders slower).
+//!
+//! Expected shape (EXPERIMENTS.md): MAD wins everywhere; the gap grows with
+//! size and with sharing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mad_bench::presets;
+use mad_core::derive::{derive_molecules, DeriveOptions};
+use mad_core::structure::path;
+use mad_relational::derive_join::{derive_via_algebra, derive_via_hash_joins};
+use mad_relational::RelationalImage;
+use mad_workload::generate_geo;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_derivation_vs_joins");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for (label, params) in presets::geo_sweep() {
+        let (db, _) = generate_geo(&params).unwrap();
+        let md = path(db.schema(), &["state", "area", "edge", "point"]).unwrap();
+        let image = RelationalImage::from_database(&db).unwrap();
+        // sanity: all evaluators agree before we time them
+        let mad = derive_molecules(&db, &md, &DeriveOptions::default()).unwrap();
+        let rel = derive_via_hash_joins(&image, &md).unwrap();
+        assert_eq!(mad, rel);
+        group.bench_with_input(BenchmarkId::new("mad/per_root", label), &(), |b, _| {
+            b.iter(|| derive_molecules(&db, &md, &DeriveOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rel/hash_join", label), &(), |b, _| {
+            b.iter(|| derive_via_hash_joins(&image, &md).unwrap())
+        });
+        if label == "small" {
+            group.bench_with_input(BenchmarkId::new("rel/algebra", label), &(), |b, _| {
+                b.iter(|| derive_via_algebra(&image, &md).unwrap())
+            });
+        }
+    }
+    for (share, params) in presets::share_sweep() {
+        let (db, _) = generate_geo(&params).unwrap();
+        // river-rooted structure touches the shared edges directly
+        let md = path(db.schema(), &["river", "net", "edge", "point"]).unwrap();
+        let image = RelationalImage::from_database(&db).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("mad/per_root", format!("share={share}")),
+            &(),
+            |b, _| b.iter(|| derive_molecules(&db, &md, &DeriveOptions::default()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rel/hash_join", format!("share={share}")),
+            &(),
+            |b, _| b.iter(|| derive_via_hash_joins(&image, &md).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

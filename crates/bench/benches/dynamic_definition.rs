@@ -1,0 +1,86 @@
+//! B7 — dynamic object definition (§2/§5): deriving *different* molecule
+//! types from the same atom networks on demand, vs. a statically-nested
+//! model that must materialize a separate nested copy per view.
+//!
+//! The MAD side derives `state-area-edge-point` and then the completely
+//! different `point-edge-(area-state,net-river)` from the very same
+//! database (the Fig. 2 flexibility claim). The NF² side must materialize a
+//! nested relation per view. Expected shape: MAD's second view costs the
+//! same as its first; the NF² side pays materialization (and duplication)
+//! for every view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mad_bench::presets;
+use mad_core::derive::{derive_molecules, DeriveOptions};
+use mad_core::molecule::MoleculeType;
+use mad_core::structure::{path, StructureBuilder};
+use mad_nf2::materialize;
+use mad_workload::generate_geo;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_dynamic_definition");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for (label, params) in presets::geo_sweep() {
+        if label == "large" {
+            continue; // NF² materialization of the large preset dominates runtime
+        }
+        let (db, _) = generate_geo(&params).unwrap();
+        let md_state = path(db.schema(), &["state", "area", "edge", "point"]).unwrap();
+        let md_pn = StructureBuilder::new(db.schema())
+            .node("point")
+            .node("edge")
+            .node("area")
+            .node("state")
+            .node("net")
+            .node("river")
+            .edge("point", "edge")
+            .edge("edge", "area")
+            .edge("area", "state")
+            .edge("edge", "net")
+            .edge("net", "river")
+            .build()
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("mad/two_views_on_demand", label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let a = derive_molecules(&db, &md_state, &DeriveOptions::default()).unwrap();
+                    let b2 = derive_molecules(&db, &md_pn, &DeriveOptions::default()).unwrap();
+                    (a, b2)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("nf2/two_views_materialized", label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let a = derive_molecules(&db, &md_state, &DeriveOptions::default()).unwrap();
+                    let mta = MoleculeType {
+                        name: "a".into(),
+                        structure: md_state.clone(),
+                        molecules: a,
+                    };
+                    let na = materialize(&db, &mta).unwrap();
+                    let b2 = derive_molecules(&db, &md_pn, &DeriveOptions::default()).unwrap();
+                    let mtb = MoleculeType {
+                        name: "b".into(),
+                        structure: md_pn.clone(),
+                        molecules: b2,
+                    };
+                    let nb = materialize(&db, &mtb).unwrap();
+                    (na, nb)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! `cargo bench` entry point that regenerates every figure of the paper
+//! (deliverable: one bench target per table AND figure). Not a timing
+//! benchmark — the output itself is the artifact.
+fn main() {
+    mad_bench::figures::run_all();
+}

@@ -1,0 +1,56 @@
+//! E8/B-aux — molecule-set operations: Ω, Δ and the derived
+//! Ψ(mt1, mt2) = Δ(mt1, Δ(mt1, mt2)) of §3.2, timed on molecule sets of
+//! growing size (pure set computation; propagation excluded).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mad_core::ops::Engine;
+use mad_core::qual::{CmpOp, QualExpr};
+use mad_core::structure::path;
+use mad_workload::{generate_geo, GeoParams};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_molecule_set_ops");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for states in [100usize, 400, 1600] {
+        let (db, _) = generate_geo(&GeoParams {
+            states,
+            edges_per_state: 6,
+            rivers: 10,
+            edges_per_river: 8,
+            share: 0.4,
+            cities: 0,
+            seed: 33,
+        })
+        .unwrap();
+        let mut engine = Engine::new(db);
+        let md = path(engine.db().schema(), &["state", "area", "edge"]).unwrap();
+        let mt = engine.define("mt", md).unwrap();
+        // two overlapping halves by hectare
+        let low = engine
+            .restrict(&mt, &QualExpr::cmp_const(0, 1, CmpOp::Le, 1300.0))
+            .unwrap();
+        let high = engine
+            .restrict(&mt, &QualExpr::cmp_const(0, 1, CmpOp::Gt, 700.0))
+            .unwrap();
+        let label = format!("states={states}");
+        group.bench_with_input(BenchmarkId::new("omega_union", &label), &(), |b, _| {
+            b.iter(|| engine.union_set(&low, &high).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("delta_difference", &label), &(), |b, _| {
+            b.iter(|| engine.difference_set(&low, &high).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("psi_double_difference", &label),
+            &(),
+            |b, _| b.iter(|| engine.intersection_set(&low, &high).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

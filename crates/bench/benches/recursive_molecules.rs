@@ -1,0 +1,91 @@
+//! B5 — the §5 recursion outlook: recursive molecule derivation (parts
+//! explosion over the reflexive `composition` link type) vs. the relational
+//! answer (semi-naive transitive closure over the auxiliary relation).
+//!
+//! Expected shape: per-root explosion beats whole-relation closure whenever
+//! only some roots are asked for; with a depth bound the gap widens. Both
+//! sides agree on the reachable sets (asserted before timing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mad_bench::presets;
+use mad_core::recursive::{derive_recursive_one, reachable_set, RecursiveSpec};
+use mad_relational::closure::{reachable_from, transitive_closure};
+use mad_relational::RelationalImage;
+use mad_storage::database::Direction;
+use mad_workload::generate_bom;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5_recursive_molecules");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for (depth, params) in presets::bom_depth_sweep() {
+        let (db, h) = generate_bom(&params).unwrap();
+        let image = RelationalImage::from_database(&db).unwrap();
+        let aux = image
+            .link_mapping(h.composition)
+            .1
+            .as_ref()
+            .expect("composition is n:m → auxiliary relation")
+            .clone();
+        let spec = RecursiveSpec {
+            atom_type: h.parts,
+            link: h.composition,
+            dir: Direction::Fwd,
+            max_depth: None,
+        };
+        let root = h.roots[0];
+        // agreement check: MAD reachable set == relational reachability
+        {
+            let mad: Vec<i64> = reachable_set(&db, &spec, root)
+                .unwrap()
+                .into_iter()
+                .map(|a| a.pack() as i64)
+                .collect();
+            let rel: Vec<i64> = reachable_from(&aux, &mad_model::Value::Int(root.pack() as i64))
+                .unwrap()
+                .into_iter()
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            let mut mad_sorted = mad;
+            mad_sorted.sort_unstable();
+            assert_eq!(mad_sorted, rel);
+        }
+        let label = format!("depth={depth}");
+        group.bench_with_input(
+            BenchmarkId::new("mad/explosion_one_root", &label),
+            &(),
+            |b, _| b.iter(|| derive_recursive_one(&db, &spec, root).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rel/reachability_one_root", &label),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    reachable_from(&aux, &mad_model::Value::Int(root.pack() as i64)).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rel/full_transitive_closure", &label),
+            &(),
+            |b, _| b.iter(|| transitive_closure(&aux, None).unwrap()),
+        );
+        // bounded explosion (depth 2)
+        let bounded = RecursiveSpec {
+            max_depth: Some(2),
+            ..spec.clone()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("mad/explosion_depth2", &label),
+            &(),
+            |b, _| b.iter(|| derive_recursive_one(&db, &bounded, root).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

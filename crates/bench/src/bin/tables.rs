@@ -1,0 +1,4 @@
+//! Print the quantitative claim tables B1–B7 (see `mad_bench::tables`).
+fn main() {
+    mad_bench::tables::run_all();
+}

@@ -1,0 +1,216 @@
+//! # mad-bench — benchmark & figure-regeneration harness
+//!
+//! Everything the experiment index of `DESIGN.md` needs:
+//!
+//! * [`table`] — aligned text tables (the output format of the regenerated
+//!   figures and of the claim benchmarks),
+//! * [`presets`] — the workload configurations used by the criterion
+//!   benches and the `figures` binary, so numbers in `EXPERIMENTS.md` are
+//!   reproducible from one place,
+//! * [`measure`] — a deterministic wall-clock helper for the table-style
+//!   experiments (criterion handles the statistical ones).
+//!
+//! Regeneration entry points:
+//!
+//! * `cargo run -p mad-bench --bin figures` (= the `figures` bench target)
+//!   — Fig. 1–5, E6, E7, E8 and the B2 duplication table ([`figures`]),
+//! * `cargo run --release -p mad-bench --bin tables` (= the `claim_tables`
+//!   bench target) — the B1/B3/B4/B5/B6/B7 summary tables ([`tables`]),
+//! * `cargo bench -p mad-bench` — all of the above plus the statistical
+//!   criterion versions of B1, B3–B7 and E8.
+
+pub mod figures;
+pub mod tables;
+
+use std::time::Instant;
+
+/// Render an aligned text table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        line.push_str(&format!("{:<w$}  ", h, w = widths[i]));
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Mean wall-clock microseconds per call of `f`, measured as the **minimum
+/// over five batches** of `iters` calls each — the minimum is the standard
+/// robust estimator against noisy-neighbor interference.
+pub fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    // one warm-up call
+    let _ = f();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let mean = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        best = best.min(mean);
+    }
+    best
+}
+
+/// Workload presets shared by the criterion benches and the figure binary.
+pub mod presets {
+    use mad_workload::{BomParams, GeoParams};
+
+    /// B1/B3/B4/B7 sweep: geography sizes.
+    pub fn geo_sweep() -> Vec<(&'static str, GeoParams)> {
+        vec![
+            (
+                "small",
+                GeoParams {
+                    states: 50,
+                    edges_per_state: 6,
+                    rivers: 10,
+                    edges_per_river: 10,
+                    share: 0.5,
+                    cities: 20,
+                    seed: 1,
+                },
+            ),
+            (
+                "medium",
+                GeoParams {
+                    states: 200,
+                    edges_per_state: 8,
+                    rivers: 40,
+                    edges_per_river: 12,
+                    share: 0.5,
+                    cities: 50,
+                    seed: 2,
+                },
+            ),
+            (
+                "large",
+                GeoParams {
+                    states: 800,
+                    edges_per_state: 8,
+                    rivers: 160,
+                    edges_per_river: 12,
+                    share: 0.5,
+                    cities: 100,
+                    seed: 3,
+                },
+            ),
+        ]
+    }
+
+    /// B1 sharing sweep at fixed size.
+    pub fn share_sweep() -> Vec<(f64, GeoParams)> {
+        [0.0, 0.5, 0.9]
+            .into_iter()
+            .map(|share| {
+                (
+                    share,
+                    GeoParams {
+                        states: 200,
+                        edges_per_state: 8,
+                        rivers: 80,
+                        edges_per_river: 12,
+                        share,
+                        cities: 0,
+                        seed: 7,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// B2/B5 BOM sweep over sharing degree.
+    pub fn bom_share_sweep() -> Vec<(f64, BomParams)> {
+        [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+            .into_iter()
+            .map(|share| {
+                (
+                    share,
+                    BomParams {
+                        depth: 4,
+                        width: 60,
+                        fanout: 3,
+                        share,
+                        seed: 11,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// B5 depth sweep.
+    pub fn bom_depth_sweep() -> Vec<(usize, BomParams)> {
+        [2usize, 4, 6, 8]
+            .into_iter()
+            .map(|depth| {
+                (
+                    depth,
+                    BomParams {
+                        depth,
+                        width: 40,
+                        fanout: 3,
+                        share: 0.3,
+                        seed: 13,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+        // all data lines align the second column
+        let col = lines[3].find('2').unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn measure_returns_positive() {
+        let us = measure(3, || (0..1000).sum::<u64>());
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn presets_are_consistent() {
+        assert_eq!(presets::geo_sweep().len(), 3);
+        assert_eq!(presets::share_sweep().len(), 3);
+        assert_eq!(presets::bom_share_sweep().len(), 6);
+        assert_eq!(presets::bom_depth_sweep().len(), 4);
+    }
+}

@@ -1,0 +1,701 @@
+//! The atom-type operations of Def. 4: projection π, restriction σ,
+//! cartesian product ×, union ω, difference δ — each producing a **new atom
+//! type** inside the (enlarged) database, with the operand's link types
+//! *inherited* to the result so that subsequent molecule operations can
+//! navigate from derived types (Theorem 1's closure over DB*).
+//!
+//! Link-type inheritance, reconstructed from the paper's description
+//! ([Mi88a] holds the full definition): for every link type touching an
+//! operand type, the result type receives a derived link type to the same
+//! partner type; a result atom is linked to exactly the partners of the
+//! source atom(s) it was built from. Cardinality restrictions are *not*
+//! inherited (projection may merge two sources into one result atom,
+//! restriction may remove partners — either can break the original bounds).
+//!
+//! All five operations use **set semantics** on attribute tuples, exactly
+//! like the relational algebra they generalize (Fig. 3); this is what the
+//! "relational degeneration" property tests check against `mad-relational`.
+
+use crate::qual::CmpOp;
+use mad_model::{
+    AtomId, AtomTypeDef, AtomTypeId, FxHashMap, LinkTypeDef, MadError, Result, Value,
+};
+use mad_storage::Database;
+
+/// A restriction predicate over a single atom (the `restr(ad)` of Def. 4;
+/// the molecule-level formulas of Def. 10 live in [`crate::qual`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AtomPred {
+    /// Always true.
+    True,
+    /// `attr op const`.
+    Cmp {
+        /// Attribute position.
+        attr: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Compared constant.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Box<AtomPred>, Box<AtomPred>),
+    /// Disjunction.
+    Or(Box<AtomPred>, Box<AtomPred>),
+    /// Negation.
+    Not(Box<AtomPred>),
+}
+
+impl AtomPred {
+    /// `attr op value` helper.
+    pub fn cmp(attr: usize, op: CmpOp, value: impl Into<Value>) -> Self {
+        AtomPred::Cmp {
+            attr,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: AtomPred) -> Self {
+        AtomPred::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: AtomPred) -> Self {
+        AtomPred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// The predicate `qual(restr(ad), a)` (unknown → false).
+    pub fn eval(&self, tuple: &[Value]) -> bool {
+        self.eval3(tuple) == Some(true)
+    }
+
+    fn eval3(&self, tuple: &[Value]) -> Option<bool> {
+        match self {
+            AtomPred::True => Some(true),
+            AtomPred::Cmp { attr, op, value } => {
+                tuple[*attr].sql_cmp(value).map(|ord| op.test(ord))
+            }
+            AtomPred::And(a, b) => match (a.eval3(tuple), b.eval3(tuple)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            AtomPred::Or(a, b) => match (a.eval3(tuple), b.eval3(tuple)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            AtomPred::Not(a) => a.eval3(tuple).map(|b| !b),
+        }
+    }
+}
+
+/// `source atom → result atoms` mapping used for link inheritance.
+type SourceMap = FxHashMap<AtomId, Vec<AtomId>>;
+
+/// Inherit every link type in `link_types` (a snapshot of the link types
+/// touching `operand`, taken *before* the operation started creating new
+/// ones) onto `result`: for each a derived link type `result ↔ partner` is
+/// created and filled with `(result atom, partner)` links.
+fn inherit_links(
+    db: &mut Database,
+    operand: AtomTypeId,
+    result: AtomTypeId,
+    map: &SourceMap,
+    op_desc: &str,
+    link_types: &[mad_model::LinkTypeId],
+) -> Result<()> {
+    for &lt in link_types {
+        let def = db.schema().link_type(lt).clone();
+        for side in 0..2 {
+            // reflexive types match both sides and are inherited twice,
+            // once per orientation
+            if def.ends[side] != operand {
+                continue;
+            }
+            let partner_ty = def.ends[1 - side];
+            let name = db
+                .schema()
+                .fresh_link_type_name(&format!("{}~{}", def.name, db.schema().atom_type(result).name));
+            let mut new_def = if side == 0 {
+                LinkTypeDef::new(name, result, partner_ty)
+            } else {
+                LinkTypeDef::new(name, partner_ty, result)
+            };
+            new_def.derived_from = Some(format!("inherited from `{}` by {op_desc}", def.name));
+            let new_lt = db.add_link_type(new_def)?;
+            // copy links: (source, partner) → (result, partner)
+            let pairs: Vec<(AtomId, AtomId)> = db.links_of(lt).collect();
+            for (a, b) in pairs {
+                let (src, partner) = if side == 0 { (a, b) } else { (b, a) };
+                if src.ty != operand {
+                    continue;
+                }
+                if let Some(results) = map.get(&src) {
+                    for &r in results {
+                        if side == 0 {
+                            db.connect(new_lt, r, partner)?;
+                        } else {
+                            db.connect(new_lt, partner, r)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn fresh_type_name(db: &Database, name: Option<&str>, default: String) -> String {
+    match name {
+        Some(n) => db.schema().fresh_atom_type_name(n),
+        None => db.schema().fresh_atom_type_name(&default),
+    }
+}
+
+/// π — atom-type projection (Def. 4). Keeps the attributes named in
+/// `attrs` (in the given order), eliminates duplicate tuples (set
+/// semantics), and inherits link types (a merged result atom receives the
+/// links of *all* its sources).
+pub fn project(
+    db: &mut Database,
+    at: AtomTypeId,
+    attrs: &[&str],
+    name: Option<&str>,
+) -> Result<AtomTypeId> {
+    let def = db.schema().atom_type(at).clone();
+    let mut positions = Vec::with_capacity(attrs.len());
+    let mut new_attrs = Vec::with_capacity(attrs.len());
+    for a in attrs {
+        let pos = def
+            .attr_index(a)
+            .ok_or_else(|| MadError::unknown("attribute", format!("{a} of `{}`", def.name)))?;
+        positions.push(pos);
+        new_attrs.push(def.attrs[pos].clone());
+    }
+    let inherited = db.schema().link_types_of(at).to_vec();
+    let result_name = fresh_type_name(db, name, format!("pi_{}", def.name));
+    let new_def = AtomTypeDef::derived(
+        result_name,
+        new_attrs,
+        format!("π[{}]({})", attrs.join(","), def.name),
+    );
+    let result = db.add_atom_type(new_def)?;
+    // set semantics: group sources by projected tuple
+    let mut by_tuple: FxHashMap<Vec<Value>, Vec<AtomId>> = FxHashMap::default();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for (id, tuple) in db.atoms_of(at) {
+        let projected: Vec<Value> = positions.iter().map(|&p| tuple[p].clone()).collect();
+        by_tuple
+            .entry(projected.clone())
+            .or_insert_with(|| {
+                order.push(projected);
+                Vec::new()
+            })
+            .push(id);
+    }
+    let mut map: SourceMap = FxHashMap::default();
+    for tuple in order {
+        let sources = by_tuple.remove(&tuple).unwrap();
+        let rid = db.insert_atom(result, tuple)?;
+        for s in sources {
+            map.entry(s).or_default().push(rid);
+        }
+    }
+    inherit_links(db, at, result, &map, "π", &inherited)?;
+    Ok(result)
+}
+
+/// σ — atom-type restriction (Def. 4).
+pub fn restrict(
+    db: &mut Database,
+    at: AtomTypeId,
+    pred: &AtomPred,
+    name: Option<&str>,
+) -> Result<AtomTypeId> {
+    let def = db.schema().atom_type(at).clone();
+    let inherited = db.schema().link_types_of(at).to_vec();
+    let result_name = fresh_type_name(db, name, format!("sigma_{}", def.name));
+    let new_def = AtomTypeDef::derived(
+        result_name,
+        def.attrs.clone(),
+        format!("σ[…]({})", def.name),
+    );
+    let result = db.add_atom_type(new_def)?;
+    let selected: Vec<(AtomId, Vec<Value>)> = db
+        .atoms_of(at)
+        .filter(|(_, t)| pred.eval(t))
+        .map(|(id, t)| (id, t.to_vec()))
+        .collect();
+    let mut map: SourceMap = FxHashMap::default();
+    for (src, tuple) in selected {
+        let rid = db.insert_atom(result, tuple)?;
+        map.insert(src, vec![rid]);
+    }
+    inherit_links(db, at, result, &map, "σ", &inherited)?;
+    Ok(result)
+}
+
+/// × — cartesian product (Def. 4). Attribute descriptions must be
+/// disjoint; the result atom `a1 & a2` concatenates the tuples and inherits
+/// the links of **both** constituents.
+pub fn product(
+    db: &mut Database,
+    at1: AtomTypeId,
+    at2: AtomTypeId,
+    name: Option<&str>,
+) -> Result<AtomTypeId> {
+    let def1 = db.schema().atom_type(at1).clone();
+    let def2 = db.schema().atom_type(at2).clone();
+    if !def1.disjoint_with(&def2) {
+        return Err(MadError::IncompatibleOperands {
+            op: "×",
+            detail: format!(
+                "descriptions of `{}` and `{}` share attribute names",
+                def1.name, def2.name
+            ),
+        });
+    }
+    let inherited1 = db.schema().link_types_of(at1).to_vec();
+    let inherited2 = db.schema().link_types_of(at2).to_vec();
+    let mut attrs = def1.attrs.clone();
+    attrs.extend(def2.attrs.iter().cloned());
+    let result_name = fresh_type_name(db, name, format!("{}_x_{}", def1.name, def2.name));
+    let new_def = AtomTypeDef::derived(
+        result_name,
+        attrs,
+        format!("×({}, {})", def1.name, def2.name),
+    );
+    let result = db.add_atom_type(new_def)?;
+    let left: Vec<(AtomId, Vec<Value>)> = db
+        .atoms_of(at1)
+        .map(|(id, t)| (id, t.to_vec()))
+        .collect();
+    let right: Vec<(AtomId, Vec<Value>)> = db
+        .atoms_of(at2)
+        .map(|(id, t)| (id, t.to_vec()))
+        .collect();
+    let mut map1: SourceMap = FxHashMap::default();
+    let mut map2: SourceMap = FxHashMap::default();
+    for (id1, t1) in &left {
+        for (id2, t2) in &right {
+            let mut tuple = t1.clone();
+            tuple.extend(t2.iter().cloned());
+            let rid = db.insert_atom(result, tuple)?;
+            map1.entry(*id1).or_default().push(rid);
+            map2.entry(*id2).or_default().push(rid);
+        }
+    }
+    inherit_links(db, at1, result, &map1, "×", &inherited1)?;
+    inherit_links(db, at2, result, &map2, "×", &inherited2)?;
+    Ok(result)
+}
+
+/// ω — atom-type union (Def. 4). Requires `ad1 = ad2`; result atoms are
+/// value-deduplicated across both operands and inherit links from every
+/// source atom with that value.
+pub fn union(
+    db: &mut Database,
+    at1: AtomTypeId,
+    at2: AtomTypeId,
+    name: Option<&str>,
+) -> Result<AtomTypeId> {
+    let def1 = db.schema().atom_type(at1).clone();
+    let def2 = db.schema().atom_type(at2).clone();
+    if !def1.same_description(&def2) {
+        return Err(MadError::IncompatibleOperands {
+            op: "ω",
+            detail: format!(
+                "`{}` and `{}` have different descriptions",
+                def1.name, def2.name
+            ),
+        });
+    }
+    let inherited1 = db.schema().link_types_of(at1).to_vec();
+    let inherited2 = db.schema().link_types_of(at2).to_vec();
+    let result_name = fresh_type_name(db, name, format!("{}_u_{}", def1.name, def2.name));
+    let new_def = AtomTypeDef::derived(
+        result_name,
+        def1.attrs.clone(),
+        format!("ω({}, {})", def1.name, def2.name),
+    );
+    let result = db.add_atom_type(new_def)?;
+    let mut by_tuple: FxHashMap<Vec<Value>, Vec<AtomId>> = FxHashMap::default();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for ty in [at1, at2] {
+        for (id, tuple) in db.atoms_of(ty) {
+            let t = tuple.to_vec();
+            by_tuple
+                .entry(t.clone())
+                .or_insert_with(|| {
+                    order.push(t);
+                    Vec::new()
+                })
+                .push(id);
+        }
+    }
+    let mut map1: SourceMap = FxHashMap::default();
+    let mut map2: SourceMap = FxHashMap::default();
+    for tuple in order {
+        let sources = by_tuple.remove(&tuple).unwrap();
+        let rid = db.insert_atom(result, tuple)?;
+        for s in sources {
+            if s.ty == at1 {
+                map1.entry(s).or_default().push(rid);
+            } else {
+                map2.entry(s).or_default().push(rid);
+            }
+        }
+    }
+    inherit_links(db, at1, result, &map1, "ω", &inherited1)?;
+    if at2 != at1 {
+        inherit_links(db, at2, result, &map2, "ω", &inherited2)?;
+    }
+    Ok(result)
+}
+
+/// δ — atom-type difference (Def. 4). Requires `ad1 = ad2`; keeps the
+/// tuples of `at1` whose values do not occur in `at2`.
+pub fn difference(
+    db: &mut Database,
+    at1: AtomTypeId,
+    at2: AtomTypeId,
+    name: Option<&str>,
+) -> Result<AtomTypeId> {
+    let def1 = db.schema().atom_type(at1).clone();
+    let def2 = db.schema().atom_type(at2).clone();
+    if !def1.same_description(&def2) {
+        return Err(MadError::IncompatibleOperands {
+            op: "δ",
+            detail: format!(
+                "`{}` and `{}` have different descriptions",
+                def1.name, def2.name
+            ),
+        });
+    }
+    let inherited = db.schema().link_types_of(at1).to_vec();
+    let result_name = fresh_type_name(db, name, format!("{}_minus_{}", def1.name, def2.name));
+    let new_def = AtomTypeDef::derived(
+        result_name,
+        def1.attrs.clone(),
+        format!("δ({}, {})", def1.name, def2.name),
+    );
+    let result = db.add_atom_type(new_def)?;
+    let minus: std::collections::HashSet<Vec<Value>> =
+        db.atoms_of(at2).map(|(_, t)| t.to_vec()).collect();
+    let mut by_tuple: FxHashMap<Vec<Value>, Vec<AtomId>> = FxHashMap::default();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for (id, tuple) in db.atoms_of(at1) {
+        if minus.contains(tuple) {
+            continue;
+        }
+        let t = tuple.to_vec();
+        by_tuple
+            .entry(t.clone())
+            .or_insert_with(|| {
+                order.push(t);
+                Vec::new()
+            })
+            .push(id);
+    }
+    let mut map: SourceMap = FxHashMap::default();
+    for tuple in order {
+        let sources = by_tuple.remove(&tuple).unwrap();
+        let rid = db.insert_atom(result, tuple)?;
+        for s in sources {
+            map.entry(s).or_default().push(rid);
+        }
+    }
+    inherit_links(db, at1, result, &map, "δ", &inherited)?;
+    Ok(result)
+}
+
+/// Derived operation: intersection of two atom types via double difference
+/// (the same construction §3.2 uses for molecule types:
+/// Ψ(t1,t2) = δ(t1, δ(t1,t2))).
+pub fn intersection(
+    db: &mut Database,
+    at1: AtomTypeId,
+    at2: AtomTypeId,
+    name: Option<&str>,
+) -> Result<AtomTypeId> {
+    let d = difference(db, at1, at2, None)?;
+    difference(db, at1, d, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::{AttrType, SchemaBuilder};
+
+    /// area(aid, hectare) —(area-edge)— edge(eid); states link to areas.
+    fn db() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int), ("hectare", AttrType::Float)])
+            .atom_type("edge", &[("eid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .link_type("area-edge", "area", "edge")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let edge = db.schema().atom_type_id("edge").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let ae = db.schema().link_type_id("area-edge").unwrap();
+        let s1 = db.insert_atom(state, vec![Value::from("SP")]).unwrap();
+        let a1 = db
+            .insert_atom(area, vec![Value::from(1), Value::from(500.0)])
+            .unwrap();
+        let a2 = db
+            .insert_atom(area, vec![Value::from(2), Value::from(1500.0)])
+            .unwrap();
+        let e1 = db.insert_atom(edge, vec![Value::from(10)]).unwrap();
+        let e2 = db.insert_atom(edge, vec![Value::from(20)]).unwrap();
+        db.connect(sa, s1, a1).unwrap();
+        db.connect(sa, s1, a2).unwrap();
+        db.connect(ae, a1, e1).unwrap();
+        db.connect(ae, a2, e1).unwrap();
+        db.connect(ae, a2, e2).unwrap();
+        db
+    }
+
+    #[test]
+    fn restriction_filters_and_inherits_links() {
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        // σ[hectare > 1000](area) — the paper's §3.1 example (on `border`
+        // there; the mechanics are identical)
+        let big = restrict(
+            &mut db,
+            area,
+            &AtomPred::cmp(1, CmpOp::Gt, 1000.0),
+            Some("big_area"),
+        )
+        .unwrap();
+        assert_eq!(db.atom_count(big), 1);
+        let (big_atom, tuple) = db.atoms_of(big).next().unwrap();
+        assert_eq!(tuple[0], Value::Int(2));
+        // inherited link types exist and carry a2's links
+        let inherited: Vec<_> = db.schema().link_types_of(big).to_vec();
+        assert_eq!(inherited.len(), 2, "state-area and area-edge inherited");
+        // through the inherited area-edge the restricted atom still reaches
+        // e1 and e2
+        let ae_inh = inherited
+            .iter()
+            .copied()
+            .find(|&lt| db.schema().link_type(lt).name.starts_with("area-edge"))
+            .unwrap();
+        let dir = db.direction_from(ae_inh, big).unwrap();
+        assert_eq!(db.partners(ae_inh, big_atom, dir).len(), 2);
+    }
+
+    #[test]
+    fn restriction_result_is_reusable_in_structures() {
+        // the point of link inheritance: derived types work as molecule
+        // structure nodes
+        use crate::derive::derive_one;
+        use crate::structure::StructureBuilder;
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let big = restrict(
+            &mut db,
+            area,
+            &AtomPred::cmp(1, CmpOp::Gt, 1000.0),
+            Some("big_area"),
+        )
+        .unwrap();
+        let ae_inh_name = db
+            .schema()
+            .link_types_of(big)
+            .iter()
+            .map(|&lt| db.schema().link_type(lt).name.clone())
+            .find(|n| n.starts_with("area-edge"))
+            .unwrap();
+        let md = StructureBuilder::new(db.schema())
+            .node("big_area")
+            .node("edge")
+            .edge_named(&ae_inh_name, "big_area", "edge")
+            .build()
+            .unwrap();
+        let root = db.atom_ids_of(big)[0];
+        let m = derive_one(&db, &md, root).unwrap();
+        assert_eq!(m.atoms_at(1).len(), 2, "a2's edges e1, e2");
+    }
+
+    #[test]
+    fn projection_dedups_and_merges_links() {
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        // add a duplicate-hectare area to force a merge
+        let a3 = db
+            .insert_atom(area, vec![Value::from(3), Value::from(500.0)])
+            .unwrap();
+        let edge = db.schema().atom_type_id("edge").unwrap();
+        let ae = db.schema().link_type_id("area-edge").unwrap();
+        let e2 = db.atom_ids_of(edge)[1];
+        db.connect(ae, a3, e2).unwrap();
+        let p = project(&mut db, area, &["hectare"], Some("hectares")).unwrap();
+        // 500.0 occurs twice → deduplicated
+        assert_eq!(db.atom_count(p), 2);
+        let def = db.schema().atom_type(p);
+        assert_eq!(def.attrs.len(), 1);
+        assert_eq!(def.attrs[0].name, "hectare");
+        // the merged 500.0 atom holds the links of BOTH a1 (e1) and a3 (e2)
+        let ae_inh = db
+            .schema()
+            .link_types_of(p)
+            .iter()
+            .copied()
+            .find(|&lt| db.schema().link_type(lt).name.starts_with("area-edge"))
+            .unwrap();
+        let v500 = db
+            .atoms_of(p)
+            .find(|(_, t)| t[0] == Value::Float(500.0))
+            .unwrap()
+            .0;
+        let dir = db.direction_from(ae_inh, p).unwrap();
+        assert_eq!(db.partners(ae_inh, v500, dir).len(), 2);
+    }
+
+    #[test]
+    fn projection_unknown_attr_errors() {
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        assert!(project(&mut db, area, &["ghost"], None).is_err());
+    }
+
+    #[test]
+    fn product_concatenates_and_inherits_both_sides() {
+        // §3.1: ×(area, edge) = border
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let edge = db.schema().atom_type_id("edge").unwrap();
+        let border = product(&mut db, area, edge, Some("border")).unwrap();
+        assert_eq!(db.atom_count(border), 2 * 2);
+        let def = db.schema().atom_type(border);
+        assert_eq!(def.arity(), 3, "aid, hectare, eid");
+        // inherited link types: from area side (state-area, area-edge) and
+        // from edge side (area-edge again, as border-area)
+        let names: Vec<String> = db
+            .schema()
+            .link_types_of(border)
+            .iter()
+            .map(|&lt| db.schema().link_type(lt).name.clone())
+            .collect();
+        assert_eq!(names.len(), 3, "{names:?}");
+        // σ[hectare>1000](border) — the full §3.1 pipeline
+        let big = restrict(
+            &mut db,
+            border,
+            &AtomPred::cmp(1, CmpOp::Gt, 1000.0),
+            None,
+        )
+        .unwrap();
+        assert_eq!(db.atom_count(big), 2, "a2 × both edges");
+    }
+
+    #[test]
+    fn product_requires_disjoint_descriptions() {
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        assert!(matches!(
+            product(&mut db, area, area, None),
+            Err(MadError::IncompatibleOperands { op: "×", .. })
+        ));
+    }
+
+    #[test]
+    fn union_dedups_across_operands() {
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let small = restrict(&mut db, area, &AtomPred::cmp(1, CmpOp::Le, 1000.0), None).unwrap();
+        let big = restrict(&mut db, area, &AtomPred::cmp(1, CmpOp::Gt, 1000.0), None).unwrap();
+        let all = union(&mut db, small, big, Some("all_areas")).unwrap();
+        assert_eq!(db.atom_count(all), 2);
+        // union with itself is idempotent (set semantics)
+        let twice = union(&mut db, all, all, None).unwrap();
+        assert_eq!(db.atom_count(twice), 2);
+    }
+
+    #[test]
+    fn union_requires_same_description() {
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let edge = db.schema().atom_type_id("edge").unwrap();
+        assert!(union(&mut db, area, edge, None).is_err());
+    }
+
+    #[test]
+    fn difference_and_intersection() {
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let small = restrict(&mut db, area, &AtomPred::cmp(1, CmpOp::Le, 1000.0), None).unwrap();
+        // area \ small = the big one
+        // first make descriptions equal: σ keeps the description, so area
+        // and small share it already
+        let diff = difference(&mut db, area, small, None).unwrap();
+        assert_eq!(db.atom_count(diff), 1);
+        let t = db.atoms_of(diff).next().unwrap().1;
+        assert_eq!(t[0], Value::Int(2));
+        // intersection via double difference
+        let inter = intersection(&mut db, area, small, None).unwrap();
+        assert_eq!(db.atom_count(inter), 1);
+        let t = db.atoms_of(inter).next().unwrap().1;
+        assert_eq!(t[0], Value::Int(1));
+        // x \ x = ∅
+        let empty = difference(&mut db, area, area, None).unwrap();
+        assert_eq!(db.atom_count(empty), 0);
+    }
+
+    #[test]
+    fn atom_pred_three_valued() {
+        let p = AtomPred::cmp(0, CmpOp::Eq, 1);
+        assert!(p.eval(&[Value::Int(1)]));
+        assert!(!p.eval(&[Value::Int(2)]));
+        assert!(!p.eval(&[Value::Null]), "unknown → false");
+        let np = AtomPred::Not(Box::new(p));
+        assert!(!np.eval(&[Value::Null]), "NOT unknown → false");
+        assert!(np.eval(&[Value::Int(2)]));
+        // and/or shortcuts through unknown
+        let q = AtomPred::cmp(0, CmpOp::Eq, 1).or(AtomPred::cmp(1, CmpOp::Eq, 9));
+        assert!(q.eval(&[Value::Int(1), Value::Null]));
+        let q = AtomPred::cmp(0, CmpOp::Eq, 2).and(AtomPred::cmp(1, CmpOp::Eq, 9));
+        assert!(!q.eval(&[Value::Int(1), Value::Null]));
+    }
+
+    #[test]
+    fn derived_names_are_fresh_and_documented() {
+        let mut db = db();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let r1 = restrict(&mut db, area, &AtomPred::True, Some("copy")).unwrap();
+        let r2 = restrict(&mut db, area, &AtomPred::True, Some("copy")).unwrap();
+        assert_ne!(
+            db.schema().atom_type(r1).name,
+            db.schema().atom_type(r2).name
+        );
+        assert!(db.schema().atom_type(r1).derived_from.is_some());
+    }
+
+    #[test]
+    fn reflexive_link_inheritance_covers_both_sides() {
+        let schema = SchemaBuilder::new()
+            .atom_type("parts", &[("pid", AttrType::Int)])
+            .link_type("composition", "parts", "parts")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let parts = db.schema().atom_type_id("parts").unwrap();
+        let comp = db.schema().link_type_id("composition").unwrap();
+        let p1 = db.insert_atom(parts, vec![Value::from(1)]).unwrap();
+        let p2 = db.insert_atom(parts, vec![Value::from(2)]).unwrap();
+        db.connect(comp, p1, p2).unwrap();
+        let copy = restrict(&mut db, parts, &AtomPred::True, Some("parts2")).unwrap();
+        // two inherited link types: copy-as-super and copy-as-sub
+        let inherited = db.schema().link_types_of(copy).len();
+        assert_eq!(inherited, 2);
+        assert_eq!(db.atom_count(copy), 2);
+    }
+}

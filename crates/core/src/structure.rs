@@ -1,0 +1,775 @@
+//! Molecule-type descriptions (Def. 5): the pair `md = <C, G>`.
+//!
+//! A [`MoleculeStructure`] is the "formula" of §2 — a coherent, directed,
+//! acyclic type graph with a unique root, whose nodes are atom types and
+//! whose edges are *directed* link types. The `md_graph` predicate of Def. 5
+//! is enforced by [`StructureBuilder::build`]; an invalid graph never
+//! becomes a `MoleculeStructure`.
+//!
+//! Two pragmatic extensions over the letter of the paper (both reduce to the
+//! paper's definition when unused):
+//!
+//! * nodes carry an *alias*, so the same atom type may appear in two roles
+//!   (the propagation function of Def. 9 renames types for the same reason);
+//! * edges over **reflexive** link types carry an explicit traversal
+//!   [`Direction`], which the unsorted pairs of Def. 2 leave ambiguous
+//!   (§3.1's super-component vs. sub-component views).
+
+use mad_model::{AtomTypeId, LinkTypeId, MadError, Result, Schema};
+use mad_storage::database::Direction;
+use std::fmt;
+
+/// A node of the type graph: one atom type under an alias.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsNode {
+    /// Role name, unique within the structure; defaults to the type name.
+    pub alias: String,
+    /// The atom type of this node.
+    pub ty: AtomTypeId,
+}
+
+/// A directed edge of the type graph: `dl = <lname, from, to>` of Def. 5.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MsEdge {
+    /// The (nondirectional) link type being traversed.
+    pub link: LinkTypeId,
+    /// Index of the start node.
+    pub from: usize,
+    /// Index of the end node.
+    pub to: usize,
+    /// How the traversal maps onto the stored orientation of `link`
+    /// (`Fwd` when `from` is on side 0; explicit for reflexive link types).
+    pub dir: Direction,
+}
+
+/// A validated molecule-type description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MoleculeStructure {
+    nodes: Vec<MsNode>,
+    edges: Vec<MsEdge>,
+    root: usize,
+    /// Node indexes in a topological order starting at the root.
+    topo: Vec<usize>,
+    /// Incoming edge indexes per node.
+    incoming: Vec<Vec<usize>>,
+    /// Outgoing edge indexes per node.
+    outgoing: Vec<Vec<usize>>,
+}
+
+impl MoleculeStructure {
+    /// The nodes, in insertion order.
+    pub fn nodes(&self) -> &[MsNode] {
+        &self.nodes
+    }
+
+    /// The edges, in insertion order.
+    pub fn edges(&self) -> &[MsEdge] {
+        &self.edges
+    }
+
+    /// Index of the root node (the unique node without incoming edges).
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The root node itself.
+    pub fn root_node(&self) -> &MsNode {
+        &self.nodes[self.root]
+    }
+
+    /// Node indexes in topological order (root first).
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Incoming edge indexes of node `n`.
+    pub fn incoming(&self, n: usize) -> &[usize] {
+        &self.incoming[n]
+    }
+
+    /// Outgoing edge indexes of node `n`.
+    pub fn outgoing(&self, n: usize) -> &[usize] {
+        &self.outgoing[n]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Find a node index by alias.
+    pub fn node_by_alias(&self, alias: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.alias == alias)
+    }
+
+    /// Are `self` and `other` isomorphic descriptions in node order — same
+    /// atom types, same link types, same edge wiring? This is the
+    /// compatibility notion used by Ω and Δ (the paper's `ad1 = ad2`
+    /// lifted to descriptions). Aliases are ignored.
+    pub fn same_shape(&self, other: &MoleculeStructure) -> bool {
+        self.root == other.root
+            && self.nodes.len() == other.nodes.len()
+            && self.edges.len() == other.edges.len()
+            && self
+                .nodes
+                .iter()
+                .zip(&other.nodes)
+                .all(|(a, b)| a.ty == b.ty)
+            && self
+                .edges
+                .iter()
+                .zip(&other.edges)
+                .all(|(a, b)| a.link == b.link && a.from == b.from && a.to == b.to && a.dir == b.dir)
+    }
+
+    /// Like [`MoleculeStructure::same_shape`] but comparing atom/link types
+    /// through a canonicalization function (used after propagation, where
+    /// types have been renamed).
+    pub fn same_shape_by<FA, FL>(&self, other: &MoleculeStructure, mut canon_at: FA, mut canon_lt: FL) -> bool
+    where
+        FA: FnMut(AtomTypeId) -> AtomTypeId,
+        FL: FnMut(LinkTypeId) -> LinkTypeId,
+    {
+        self.root == other.root
+            && self.nodes.len() == other.nodes.len()
+            && self.edges.len() == other.edges.len()
+            && self
+                .nodes
+                .iter()
+                .zip(&other.nodes)
+                .all(|(a, b)| canon_at(a.ty) == canon_at(b.ty))
+            && self.edges.iter().zip(&other.edges).all(|(a, b)| {
+                canon_lt(a.link) == canon_lt(b.link)
+                    && a.from == b.from
+                    && a.to == b.to
+                    && a.dir == b.dir
+            })
+    }
+
+    /// Render in the FROM-clause syntax of §4 (e.g.
+    /// `state-area-edge-point`, `point-edge-(area-state,net-river)`).
+    pub fn render_compact(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        self.render_from(schema, self.root, &mut out);
+        out
+    }
+
+    fn render_from(&self, schema: &Schema, node: usize, out: &mut String) {
+        out.push_str(&self.nodes[node].alias);
+        let succ: Vec<&MsEdge> = self.outgoing[node].iter().map(|&e| &self.edges[e]).collect();
+        match succ.len() {
+            0 => {}
+            1 => {
+                out.push('-');
+                self.render_edge_label(schema, succ[0], out);
+                self.render_from(schema, succ[0].to, out);
+            }
+            _ => {
+                out.push_str("-(");
+                for (i, e) in succ.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.render_edge_label(schema, e, out);
+                    self.render_from(schema, e.to, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+
+    fn render_edge_label(&self, schema: &Schema, e: &MsEdge, out: &mut String) {
+        // §4: '-' suffices when only one link type connects the two atom
+        // types; otherwise the link-type name disambiguates.
+        let from_ty = self.nodes[e.from].ty;
+        let to_ty = self.nodes[e.to].ty;
+        let between = schema.link_types_between(from_ty, to_ty);
+        let def = schema.link_type(e.link);
+        if between.len() > 1 || def.is_reflexive() {
+            out.push('[');
+            out.push_str(&def.name);
+            if def.is_reflexive() {
+                out.push_str(match e.dir {
+                    Direction::Fwd => ">",
+                    Direction::Bwd => "<",
+                    Direction::Sym => "~",
+                });
+            }
+            out.push_str("]-");
+        }
+    }
+
+    /// Render as an indented tree (used in examples and figure output).
+    pub fn render_tree(&self, schema: &Schema) -> String {
+        let mut out = String::new();
+        self.render_tree_node(schema, self.root, 0, &mut out);
+        out
+    }
+
+    fn render_tree_node(&self, schema: &Schema, node: usize, depth: usize, out: &mut String) {
+        let n = &self.nodes[node];
+        let tyname = &schema.atom_type(n.ty).name;
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        if n.alias == *tyname {
+            out.push_str(tyname);
+        } else {
+            out.push_str(&format!("{} ({})", n.alias, tyname));
+        }
+        out.push('\n');
+        for &e in &self.outgoing[node] {
+            self.render_tree_node(schema, self.edges[e].to, depth + 1, out);
+        }
+    }
+}
+
+/// Builder enforcing the `md_graph` predicate.
+pub struct StructureBuilder<'a> {
+    schema: &'a Schema,
+    nodes: Vec<MsNode>,
+    edges: Vec<MsEdge>,
+    error: Option<MadError>,
+}
+
+impl<'a> StructureBuilder<'a> {
+    /// Start building against `schema`.
+    pub fn new(schema: &'a Schema) -> Self {
+        StructureBuilder {
+            schema,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn fail(&mut self, e: MadError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    /// Add a node whose alias equals the atom-type name.
+    pub fn node(self, atom_type: &str) -> Self {
+        let alias = atom_type.to_owned();
+        self.node_as(&alias, atom_type)
+    }
+
+    /// Add a node under an explicit alias.
+    pub fn node_as(mut self, alias: &str, atom_type: &str) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if self.nodes.iter().any(|n| n.alias == alias) {
+            self.fail(MadError::duplicate("structure node alias", alias));
+            return self;
+        }
+        match self.schema.atom_type_id(atom_type) {
+            Ok(ty) => self.nodes.push(MsNode {
+                alias: alias.to_owned(),
+                ty,
+            }),
+            Err(e) => self.fail(e),
+        }
+        self
+    }
+
+    /// Add a directed edge between two aliases; the link type is inferred
+    /// when exactly one connects the two atom types (the `-` shorthand of
+    /// §4), otherwise [`StructureBuilder::edge_named`] must be used.
+    pub fn edge(mut self, from: &str, to: &str) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let (Some(fi), Some(ti)) = (self.find(from), self.find(to)) else {
+            let missing = if self.find(from).is_none() { from } else { to };
+            self.fail(MadError::unknown("structure node", missing));
+            return self;
+        };
+        let between = self
+            .schema
+            .link_types_between(self.nodes[fi].ty, self.nodes[ti].ty);
+        match between.len() {
+            0 => {
+                self.fail(MadError::structure(format!(
+                    "no link type connects `{from}` and `{to}`"
+                )));
+                self
+            }
+            1 => {
+                let link = between[0];
+                self.push_edge(link, fi, ti, None);
+                self
+            }
+            _ => {
+                self.fail(MadError::structure(format!(
+                    "{} link types connect `{from}` and `{to}`; name one explicitly",
+                    between.len()
+                )));
+                self
+            }
+        }
+    }
+
+    /// Add a directed edge through a named link type.
+    pub fn edge_named(mut self, link: &str, from: &str, to: &str) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let (Some(fi), Some(ti)) = (self.find(from), self.find(to)) else {
+            let missing = if self.find(from).is_none() { from } else { to };
+            self.fail(MadError::unknown("structure node", missing));
+            return self;
+        };
+        match self.schema.link_type_id(link) {
+            Ok(lt) => {
+                self.push_edge(lt, fi, ti, None);
+                self
+            }
+            Err(e) => {
+                self.fail(e);
+                self
+            }
+        }
+    }
+
+    /// Add an edge through a reflexive link type with explicit traversal
+    /// direction (`Fwd` = side0→side1 view, `Bwd` = the converse, `Sym` =
+    /// both).
+    pub fn edge_directed(mut self, link: &str, from: &str, to: &str, dir: Direction) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let (Some(fi), Some(ti)) = (self.find(from), self.find(to)) else {
+            let missing = if self.find(from).is_none() { from } else { to };
+            self.fail(MadError::unknown("structure node", missing));
+            return self;
+        };
+        match self.schema.link_type_id(link) {
+            Ok(lt) => {
+                self.push_edge(lt, fi, ti, Some(dir));
+                self
+            }
+            Err(e) => {
+                self.fail(e);
+                self
+            }
+        }
+    }
+
+    fn find(&self, alias: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.alias == alias)
+    }
+
+    fn push_edge(&mut self, link: LinkTypeId, from: usize, to: usize, dir: Option<Direction>) {
+        let def = self.schema.link_type(link);
+        let from_ty = self.nodes[from].ty;
+        let to_ty = self.nodes[to].ty;
+        let dir = if def.is_reflexive() {
+            if from_ty != def.ends[0] || to_ty != def.ends[0] {
+                self.fail(MadError::structure(format!(
+                    "link type `{}` does not connect the node types of `{}`→`{}`",
+                    def.name, self.nodes[from].alias, self.nodes[to].alias
+                )));
+                return;
+            }
+            match dir {
+                Some(d) => d,
+                None => {
+                    self.fail(MadError::structure(format!(
+                        "link type `{}` is reflexive; an explicit direction is required",
+                        def.name
+                    )));
+                    return;
+                }
+            }
+        } else {
+            // orientation is determined by the endpoint types
+            if def.ends[0] == from_ty && def.ends[1] == to_ty {
+                Direction::Fwd
+            } else if def.ends[1] == from_ty && def.ends[0] == to_ty {
+                Direction::Bwd
+            } else {
+                self.fail(MadError::structure(format!(
+                    "link type `{}` does not connect the node types of `{}`→`{}`",
+                    def.name, self.nodes[from].alias, self.nodes[to].alias
+                )));
+                return;
+            }
+        };
+        if self
+            .edges
+            .iter()
+            .any(|e| e.link == link && e.from == from && e.to == to)
+        {
+            self.fail(MadError::structure(format!(
+                "duplicate edge `{}` from `{}` to `{}`",
+                def.name, self.nodes[from].alias, self.nodes[to].alias
+            )));
+            return;
+        }
+        self.edges.push(MsEdge {
+            link,
+            from,
+            to,
+            dir,
+        });
+    }
+
+    /// Validate `md_graph` and produce the structure.
+    pub fn build(self) -> Result<MoleculeStructure> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        finalize(self.nodes, self.edges)
+    }
+}
+
+/// Validate the `md_graph` properties (directed, acyclic, coherent, single
+/// root) over raw node/edge lists and assemble a [`MoleculeStructure`].
+pub fn finalize(nodes: Vec<MsNode>, edges: Vec<MsEdge>) -> Result<MoleculeStructure> {
+    if nodes.is_empty() {
+        return Err(MadError::structure("a molecule structure needs ≥ 1 node"));
+    }
+    for e in &edges {
+        if e.from >= nodes.len() || e.to >= nodes.len() {
+            return Err(MadError::structure("edge references missing node"));
+        }
+        if e.from == e.to {
+            return Err(MadError::structure(
+                "self-loop edges are not allowed (use a recursive molecule type)",
+            ));
+        }
+    }
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (i, e) in edges.iter().enumerate() {
+        incoming[e.to].push(i);
+        outgoing[e.from].push(i);
+    }
+    // unique root
+    let roots: Vec<usize> = (0..nodes.len()).filter(|&n| incoming[n].is_empty()).collect();
+    let root = match roots.as_slice() {
+        [r] => *r,
+        [] => return Err(MadError::structure("no root: the type graph is cyclic")),
+        many => {
+            let names: Vec<&str> = many.iter().map(|&n| nodes[n].alias.as_str()).collect();
+            return Err(MadError::structure(format!(
+                "multiple roots: {} (the graph must be coherent with one root)",
+                names.join(", ")
+            )));
+        }
+    };
+    // topological sort (Kahn) — also detects cycles
+    let mut indeg: Vec<usize> = incoming.iter().map(Vec::len).collect();
+    let mut queue = vec![root];
+    let mut topo = Vec::with_capacity(nodes.len());
+    while let Some(n) = queue.pop() {
+        topo.push(n);
+        for &e in &outgoing[n] {
+            let t = edges[e].to;
+            indeg[t] -= 1;
+            if indeg[t] == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    if topo.len() != nodes.len() {
+        // nodes not reached either sit on a cycle or are disconnected
+        let unreached: Vec<&str> = (0..nodes.len())
+            .filter(|n| !topo.contains(n))
+            .map(|n| nodes[n].alias.as_str())
+            .collect();
+        return Err(MadError::structure(format!(
+            "type graph is not a coherent DAG; unreachable or cyclic nodes: {}",
+            unreached.join(", ")
+        )));
+    }
+    Ok(MoleculeStructure {
+        nodes,
+        edges,
+        root,
+        topo,
+        incoming,
+        outgoing,
+    })
+}
+
+/// Convenience: a linear path structure `a - b - c - …` (the
+/// `state-area-edge-point` shorthand of §4).
+pub fn path(schema: &Schema, names: &[&str]) -> Result<MoleculeStructure> {
+    let mut b = StructureBuilder::new(schema);
+    for n in names {
+        b = b.node(n);
+    }
+    for w in names.windows(2) {
+        b = b.edge(w[0], w[1]);
+    }
+    b.build()
+}
+
+impl fmt::Display for MoleculeStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "structure({} nodes, {} edges, root={})",
+            self.nodes.len(),
+            self.edges.len(),
+            self.nodes[self.root].alias
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::{AttrType, SchemaBuilder};
+
+    fn geo_schema() -> Schema {
+        SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("river", &[("rname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .atom_type("net", &[("nid", AttrType::Int)])
+            .atom_type("edge", &[("eid", AttrType::Int)])
+            .atom_type("point", &[("name", AttrType::Text)])
+            .link_type("state-area", "state", "area")
+            .link_type("river-net", "river", "net")
+            .link_type("area-edge", "area", "edge")
+            .link_type("net-edge", "net", "edge")
+            .link_type("edge-point", "edge", "point")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn path_builds_mt_state() {
+        let s = geo_schema();
+        let md = path(&s, &["state", "area", "edge", "point"]).unwrap();
+        assert_eq!(md.node_count(), 4);
+        assert_eq!(md.edge_count(), 3);
+        assert_eq!(md.root_node().alias, "state");
+        assert_eq!(md.topo_order()[0], md.root());
+        assert_eq!(md.render_compact(&s), "state-area-edge-point");
+    }
+
+    #[test]
+    fn point_neighborhood_structure() {
+        // Fig. 2 upper half: point-edge-(area-state, net-river)
+        let s = geo_schema();
+        let md = StructureBuilder::new(&s)
+            .node("point")
+            .node("edge")
+            .node("area")
+            .node("state")
+            .node("net")
+            .node("river")
+            .edge("point", "edge")
+            .edge("edge", "area")
+            .edge("area", "state")
+            .edge("edge", "net")
+            .edge("net", "river")
+            .build()
+            .unwrap();
+        assert_eq!(md.root_node().alias, "point");
+        assert_eq!(md.render_compact(&s), "point-edge-(area-state,net-river)");
+        // edges from edge→area traverse area-edge in Bwd orientation
+        let e = &md.edges()[1];
+        assert_eq!(e.dir, Direction::Bwd);
+    }
+
+    #[test]
+    fn symmetric_reuse_of_link_types() {
+        // The same link types serve both directions (the flexibility claim
+        // of §2): state→area uses Fwd, area→state uses Bwd.
+        let s = geo_schema();
+        let down = path(&s, &["state", "area"]).unwrap();
+        assert_eq!(down.edges()[0].dir, Direction::Fwd);
+        let up = path(&s, &["area", "state"]).unwrap();
+        assert_eq!(up.edges()[0].dir, Direction::Bwd);
+        assert_eq!(down.edges()[0].link, up.edges()[0].link);
+    }
+
+    #[test]
+    fn rejects_multiple_roots() {
+        let s = geo_schema();
+        let err = StructureBuilder::new(&s)
+            .node("state")
+            .node("river")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("multiple roots"));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        // state→area→state is a cycle once both edges point "down"
+        let s = geo_schema();
+        let err = StructureBuilder::new(&s)
+            .node("state")
+            .node("area")
+            .edge("state", "area")
+            .edge("area", "state")
+            .build()
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("cyclic") || msg.contains("no root"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_node_or_type() {
+        let s = geo_schema();
+        assert!(StructureBuilder::new(&s).node("city").build().is_err());
+        assert!(StructureBuilder::new(&s)
+            .node("state")
+            .edge("state", "ghost")
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_unlinked_edge() {
+        let s = geo_schema();
+        let err = StructureBuilder::new(&s)
+            .node("state")
+            .node("point")
+            .edge("state", "point")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("no link type"));
+    }
+
+    #[test]
+    fn rejects_duplicate_alias_and_edge() {
+        let s = geo_schema();
+        assert!(StructureBuilder::new(&s)
+            .node("state")
+            .node("state")
+            .build()
+            .is_err());
+        assert!(StructureBuilder::new(&s)
+            .node("state")
+            .node("area")
+            .edge("state", "area")
+            .edge("state", "area")
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn alias_allows_type_reuse() {
+        let s = geo_schema();
+        let md = StructureBuilder::new(&s)
+            .node("edge")
+            .node_as("a1", "area")
+            .node_as("a2", "area")
+            .edge("edge", "a1")
+            .edge("edge", "a2")
+            .build()
+            .unwrap();
+        assert_eq!(md.node_count(), 3);
+        assert_eq!(md.nodes()[1].ty, md.nodes()[2].ty);
+    }
+
+    #[test]
+    fn reflexive_needs_direction() {
+        let s = SchemaBuilder::new()
+            .atom_type("parts", &[("pid", AttrType::Int)])
+            .link_type("composition", "parts", "parts")
+            .build()
+            .unwrap();
+        let err = StructureBuilder::new(&s)
+            .node_as("super", "parts")
+            .node_as("sub", "parts")
+            .edge_named("composition", "super", "sub")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("reflexive"));
+        let md = StructureBuilder::new(&s)
+            .node_as("super", "parts")
+            .node_as("sub", "parts")
+            .edge_directed("composition", "super", "sub", Direction::Fwd)
+            .build()
+            .unwrap();
+        assert_eq!(md.edges()[0].dir, Direction::Fwd);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let s = SchemaBuilder::new()
+            .atom_type("parts", &[("pid", AttrType::Int)])
+            .link_type("composition", "parts", "parts")
+            .build()
+            .unwrap();
+        let err = StructureBuilder::new(&s)
+            .node("parts")
+            .edge_directed("composition", "parts", "parts", Direction::Fwd)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn same_shape_ignores_alias() {
+        let s = geo_schema();
+        let a = path(&s, &["state", "area"]).unwrap();
+        let b = StructureBuilder::new(&s)
+            .node_as("st", "state")
+            .node_as("ar", "area")
+            .edge("st", "ar")
+            .build()
+            .unwrap();
+        assert!(a.same_shape(&b));
+        let c = path(&s, &["area", "state"]).unwrap();
+        assert!(!a.same_shape(&c));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let s = geo_schema();
+        let md = StructureBuilder::new(&s)
+            .node("point")
+            .node("edge")
+            .node("area")
+            .node("state")
+            .edge("point", "edge")
+            .edge("edge", "area")
+            .edge("area", "state")
+            .build()
+            .unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; md.node_count()];
+            for (i, &n) in md.topo_order().iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        for e in md.edges() {
+            assert!(pos[e.from] < pos[e.to]);
+        }
+    }
+
+    #[test]
+    fn render_tree_nested() {
+        let s = geo_schema();
+        let md = path(&s, &["state", "area", "edge"]).unwrap();
+        let t = md.render_tree(&s);
+        assert_eq!(t, "state\n  area\n    edge\n");
+    }
+
+    #[test]
+    fn node_by_alias_lookup() {
+        let s = geo_schema();
+        let md = path(&s, &["state", "area"]).unwrap();
+        assert_eq!(md.node_by_alias("area"), Some(1));
+        assert_eq!(md.node_by_alias("ghost"), None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Operator execution traces — the machine-readable counterpart of Fig. 5.
+//!
+//! Fig. 5 presents every molecule-type operation as a staged pipeline:
+//! *operation-specific actions* → *propagation of the result set* (Def. 9)
+//! → *molecule-type definition α* (Def. 8). When tracing is enabled on an
+//! [`crate::ops::Engine`], each operator records exactly these stages, and
+//! the figure-regeneration harness prints them.
+
+use std::fmt;
+
+/// One stage of a molecule-type operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// The operation-specific part (e.g. "Σ: filter 12 → 4 molecules").
+    OpSpecific(String),
+    /// Propagation: which atom/link types were created in DB′.
+    Propagation {
+        /// Names of the propagated (renamed) atom types.
+        atom_types: Vec<String>,
+        /// Names of the inherited link types.
+        link_types: Vec<String>,
+        /// Number of atoms copied.
+        atoms_copied: usize,
+        /// Number of links copied.
+        links_copied: usize,
+    },
+    /// The closing molecule-type definition α over DB′.
+    Alpha {
+        /// Result molecule-type name.
+        name: String,
+        /// Number of molecules in the result occurrence.
+        molecules: usize,
+    },
+}
+
+/// The trace of one operator application.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpTrace {
+    /// Operator symbol (Σ, Π, X, Ω, Δ, Ψ, α).
+    pub op: String,
+    /// Recorded stages, in execution order.
+    pub stages: Vec<Stage>,
+}
+
+impl OpTrace {
+    /// Start a trace for operator `op`.
+    pub fn new(op: impl Into<String>) -> Self {
+        OpTrace {
+            op: op.into(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Record a stage.
+    pub fn push(&mut self, stage: Stage) {
+        self.stages.push(stage);
+    }
+}
+
+impl fmt::Display for OpTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "operation {}", self.op)?;
+        for (i, s) in self.stages.iter().enumerate() {
+            match s {
+                Stage::OpSpecific(d) => writeln!(f, "  {}. op-specific: {d}", i + 1)?,
+                Stage::Propagation {
+                    atom_types,
+                    link_types,
+                    atoms_copied,
+                    links_copied,
+                } => writeln!(
+                    f,
+                    "  {}. prop → DB': atom types [{}], link types [{}], {} atoms, {} links",
+                    i + 1,
+                    atom_types.join(", "),
+                    link_types.join(", "),
+                    atoms_copied,
+                    links_copied
+                )?,
+                Stage::Alpha { name, molecules } => writeln!(
+                    f,
+                    "  {}. α[{name}] over DB' → {molecules} molecule(s)",
+                    i + 1
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sink collecting operator traces.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    /// All recorded traces, oldest first.
+    pub ops: Vec<OpTrace>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// The most recent trace, if any.
+    pub fn last(&self) -> Option<&OpTrace> {
+        self.ops.last()
+    }
+
+    /// Render the whole log.
+    pub fn render(&self) -> String {
+        self.ops.iter().map(|t| t.to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_renders_stages_in_order() {
+        let mut t = OpTrace::new("Σ");
+        t.push(Stage::OpSpecific("filter 12 → 4 molecules".into()));
+        t.push(Stage::Propagation {
+            atom_types: vec!["state'".into(), "area'".into()],
+            link_types: vec!["state-area'".into()],
+            atoms_copied: 8,
+            links_copied: 6,
+        });
+        t.push(Stage::Alpha {
+            name: "big_states".into(),
+            molecules: 4,
+        });
+        let s = t.to_string();
+        let op_pos = s.find("op-specific").unwrap();
+        let prop_pos = s.find("prop →").unwrap();
+        let alpha_pos = s.find("α[big_states]").unwrap();
+        assert!(op_pos < prop_pos && prop_pos < alpha_pos);
+        assert!(s.contains("4 molecule(s)"));
+    }
+
+    #[test]
+    fn log_collects() {
+        let mut log = TraceLog::new();
+        assert!(log.last().is_none());
+        log.ops.push(OpTrace::new("Σ"));
+        log.ops.push(OpTrace::new("Π"));
+        assert_eq!(log.last().unwrap().op, "Π");
+        assert!(log.render().contains("operation Σ"));
+    }
+}

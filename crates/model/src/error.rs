@@ -1,0 +1,177 @@
+//! The shared error domain of the MAD reproduction.
+//!
+//! Every crate in the workspace reports failures through [`MadError`] so that
+//! integration code (the MQL session, the benchmark harness, the examples)
+//! deals with a single error type.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = MadError> = std::result::Result<T, E>;
+
+/// All error conditions raised by the MAD model, its storage engine, the
+/// algebras and MQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MadError {
+    /// A name (atom type, link type, attribute, molecule type, …) was not
+    /// found where the formalism requires it to exist.
+    UnknownName { kind: &'static str, name: String },
+    /// A name is already taken; the sets AT*/LT* require unique names.
+    DuplicateName { kind: &'static str, name: String },
+    /// An attribute value does not belong to the attribute's domain.
+    TypeMismatch {
+        context: String,
+        expected: String,
+        found: String,
+    },
+    /// A tuple has the wrong arity for its atom-type description.
+    ArityMismatch {
+        context: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Referential integrity would be violated: a link references a
+    /// non-existing atom, or an atom id is stale (deleted / wrong type).
+    IntegrityViolation { detail: String },
+    /// A cardinality restriction of an extended link-type definition would be
+    /// violated (§3.1: "it is even possible to control cardinality
+    /// restrictions specified in an extended link-type definition").
+    CardinalityViolation { link_type: String, detail: String },
+    /// A molecule-type description failed the `md_graph` predicate of Def. 5:
+    /// it must be a directed, acyclic, coherent graph with exactly one root.
+    InvalidStructure { detail: String },
+    /// An algebra operator was applied to incompatible operands (e.g. ω/δ on
+    /// different descriptions, Def. 4; Ω/Δ on non-isomorphic structures).
+    IncompatibleOperands { op: &'static str, detail: String },
+    /// A qualification formula is ill-formed with respect to the description
+    /// it restricts (`restr(ad)` must be an element of `qual-formulas(ad)`).
+    InvalidQualification { detail: String },
+    /// MQL lexing/parsing failure, with a 1-based character offset.
+    Parse { offset: usize, detail: String },
+    /// MQL semantic analysis failure (name resolution, ambiguity, typing).
+    Analysis { detail: String },
+    /// Snapshot (de)serialization failure.
+    Snapshot { detail: String },
+    /// Recursion-specific failure (depth bound exceeded while a finite
+    /// unfolding was required).
+    Recursion { detail: String },
+}
+
+impl MadError {
+    /// Shorthand for [`MadError::UnknownName`].
+    pub fn unknown(kind: &'static str, name: impl Into<String>) -> Self {
+        MadError::UnknownName {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::DuplicateName`].
+    pub fn duplicate(kind: &'static str, name: impl Into<String>) -> Self {
+        MadError::DuplicateName {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::IntegrityViolation`].
+    pub fn integrity(detail: impl Into<String>) -> Self {
+        MadError::IntegrityViolation {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::InvalidStructure`].
+    pub fn structure(detail: impl Into<String>) -> Self {
+        MadError::InvalidStructure {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for MadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MadError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            MadError::DuplicateName { kind, name } => write!(f, "duplicate {kind} `{name}`"),
+            MadError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
+            MadError::ArityMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch in {context}: expected {expected} values, found {found}"
+            ),
+            MadError::IntegrityViolation { detail } => {
+                write!(f, "referential integrity violation: {detail}")
+            }
+            MadError::CardinalityViolation { link_type, detail } => {
+                write!(f, "cardinality violation on link type `{link_type}`: {detail}")
+            }
+            MadError::InvalidStructure { detail } => {
+                write!(f, "invalid molecule-type description: {detail}")
+            }
+            MadError::IncompatibleOperands { op, detail } => {
+                write!(f, "incompatible operands for {op}: {detail}")
+            }
+            MadError::InvalidQualification { detail } => {
+                write!(f, "invalid qualification formula: {detail}")
+            }
+            MadError::Parse { offset, detail } => {
+                write!(f, "MQL parse error at offset {offset}: {detail}")
+            }
+            MadError::Analysis { detail } => write!(f, "MQL analysis error: {detail}"),
+            MadError::Snapshot { detail } => write!(f, "snapshot error: {detail}"),
+            MadError::Recursion { detail } => write!(f, "recursion error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_name() {
+        let e = MadError::unknown("atom type", "city");
+        assert_eq!(e.to_string(), "unknown atom type `city`");
+    }
+
+    #[test]
+    fn display_cardinality() {
+        let e = MadError::CardinalityViolation {
+            link_type: "state-area".into(),
+            detail: "state side already has 1 partner (max 1)".into(),
+        };
+        assert!(e.to_string().contains("state-area"));
+        assert!(e.to_string().contains("max 1"));
+    }
+
+    #[test]
+    fn display_parse() {
+        let e = MadError::Parse {
+            offset: 17,
+            detail: "expected FROM".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "MQL parse error at offset 17: expected FROM"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MadError>();
+    }
+}

@@ -1,0 +1,384 @@
+//! Atom-type and link-type descriptions (Def. 1 and Def. 2).
+//!
+//! A *description* is the schema-level half of a type; the occurrence half
+//! (the atom and link sets) is managed by `mad-storage`. Keeping the two
+//! apart mirrors the paper's `<aname, ad, av>` triples, where `ad` is the
+//! description and `av` the occurrence.
+
+use crate::error::{MadError, Result};
+use crate::ids::AtomTypeId;
+use crate::value::{AttrType, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An attribute description: name plus domain.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrDef {
+    /// Attribute name, unique within its atom-type description.
+    pub name: String,
+    /// The attribute domain.
+    pub ty: AttrType,
+}
+
+impl AttrDef {
+    /// Build an attribute description.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        AttrDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+impl fmt::Display for AttrDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)
+    }
+}
+
+/// An atom-type description: `<aname, ad>` of Def. 1 (without occurrence).
+///
+/// `derived_from` records provenance when the type was produced by an
+/// atom-type operation or by the propagation function `prop` — such types
+/// live in the *enlarged* database DB′ of Def. 9 and Theorem 1/3.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomTypeDef {
+    /// The atom-type name `aname ∈ N`; unique within a database.
+    pub name: String,
+    /// The set of attribute descriptions `ad` (ordered for tuple layout).
+    pub attrs: Vec<AttrDef>,
+    /// Provenance: `None` for base types defined in the schema, `Some(expr)`
+    /// with a textual derivation expression for derived/propagated types.
+    pub derived_from: Option<String>,
+}
+
+impl AtomTypeDef {
+    /// Build a base atom-type description.
+    pub fn new(name: impl Into<String>, attrs: Vec<AttrDef>) -> Self {
+        AtomTypeDef {
+            name: name.into(),
+            attrs,
+            derived_from: None,
+        }
+    }
+
+    /// Build a derived atom-type description with provenance text.
+    pub fn derived(name: impl Into<String>, attrs: Vec<AttrDef>, from: impl Into<String>) -> Self {
+        AtomTypeDef {
+            name: name.into(),
+            attrs,
+            derived_from: Some(from.into()),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of attribute `name`, if present.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// Look up an attribute description by name.
+    pub fn attr(&self, name: &str) -> Option<&AttrDef> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// Validate a tuple against this description: arity must match and every
+    /// value must conform to its attribute's domain. Returns the (possibly
+    /// coerced) tuple.
+    pub fn check_tuple(&self, mut tuple: Vec<Value>) -> Result<Vec<Value>> {
+        if tuple.len() != self.attrs.len() {
+            return Err(MadError::ArityMismatch {
+                context: format!("atom type `{}`", self.name),
+                expected: self.attrs.len(),
+                found: tuple.len(),
+            });
+        }
+        for (i, attr) in self.attrs.iter().enumerate() {
+            if !tuple[i].conforms_to(attr.ty) {
+                return Err(MadError::TypeMismatch {
+                    context: format!("atom type `{}`, attribute `{}`", self.name, attr.name),
+                    expected: attr.ty.name().to_owned(),
+                    found: tuple[i]
+                        .attr_type()
+                        .map(|t| t.name().to_owned())
+                        .unwrap_or_else(|| "NULL".to_owned()),
+                });
+            }
+            let v = std::mem::replace(&mut tuple[i], Value::Null);
+            tuple[i] = v.coerce(attr.ty);
+        }
+        Ok(tuple)
+    }
+
+    /// Descriptions are *disjoint* when they share no attribute name — the
+    /// precondition Def. 4 places on the cartesian product (`ad1`, `ad2`
+    /// pairwise disjoint).
+    pub fn disjoint_with(&self, other: &AtomTypeDef) -> bool {
+        self.attrs
+            .iter()
+            .all(|a| other.attr_index(&a.name).is_none())
+    }
+
+    /// Same attribute list (names and domains, in order) — the compatibility
+    /// requirement of ω and δ (`ad1 = ad2`).
+    pub fn same_description(&self, other: &AtomTypeDef) -> bool {
+        self.attrs == other.attrs
+    }
+}
+
+impl fmt::Display for AtomTypeDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Cardinality restriction for one side of an extended link-type definition.
+///
+/// §3.1: "it is even possible to control cardinality restrictions specified
+/// in an extended link-type definition". `max = None` means unbounded (the
+/// `n`/`m` side of 1:n or n:m).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cardinality {
+    /// Minimum number of partners an atom must have (checked on demand via
+    /// `Database::check_min_cardinalities`, since links are inserted one at a
+    /// time).
+    pub min: u32,
+    /// Maximum number of partners an atom may have (checked eagerly on link
+    /// insertion); `None` = unbounded.
+    pub max: Option<u32>,
+}
+
+impl Cardinality {
+    /// Unrestricted side (the default): `[0, *]`.
+    pub const MANY: Cardinality = Cardinality { min: 0, max: None };
+    /// At most one partner: `[0, 1]`.
+    pub const AT_MOST_ONE: Cardinality = Cardinality {
+        min: 0,
+        max: Some(1),
+    };
+    /// Exactly one partner: `[1, 1]`.
+    pub const EXACTLY_ONE: Cardinality = Cardinality {
+        min: 1,
+        max: Some(1),
+    };
+    /// At least one partner: `[1, *]`.
+    pub const AT_LEAST_ONE: Cardinality = Cardinality { min: 1, max: None };
+
+    /// Build an arbitrary range.
+    pub fn range(min: u32, max: Option<u32>) -> Self {
+        Cardinality { min, max }
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.max {
+            Some(max) => write!(f, "[{},{}]", self.min, max),
+            None => write!(f, "[{},*]", self.min),
+        }
+    }
+}
+
+/// A link-type description: `<lname, {aname1, aname2}>` of Def. 2, extended
+/// with per-side cardinality restrictions.
+///
+/// Link types are **nondirectional** (symmetric); the two endpoints are kept
+/// in a fixed order only so that cardinalities can be attributed to a side.
+/// A *reflexive* link type has `ends[0] == ends[1]` (e.g. the `composition`
+/// link type on `parts` in the bill-of-material example of §3.1/§5).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkTypeDef {
+    /// The link-type name `lname ∈ N`; unique within a database.
+    pub name: String,
+    /// The two endpoint atom types (may be equal: reflexive link type).
+    pub ends: [AtomTypeId; 2],
+    /// Cardinality restriction per endpoint side: `cards[i]` bounds how many
+    /// partners an atom of `ends[i]` may/must have through this link type.
+    pub cards: [Cardinality; 2],
+    /// Provenance: `Some(text)` when inherited by an atom-type operation or
+    /// propagated by `prop` (Def. 9).
+    pub derived_from: Option<String>,
+}
+
+impl LinkTypeDef {
+    /// Build an unrestricted (n:m) link-type description.
+    pub fn new(name: impl Into<String>, a: AtomTypeId, b: AtomTypeId) -> Self {
+        LinkTypeDef {
+            name: name.into(),
+            ends: [a, b],
+            cards: [Cardinality::MANY, Cardinality::MANY],
+            derived_from: None,
+        }
+    }
+
+    /// Build a link-type description with explicit cardinalities.
+    pub fn with_cards(
+        name: impl Into<String>,
+        a: AtomTypeId,
+        ca: Cardinality,
+        b: AtomTypeId,
+        cb: Cardinality,
+    ) -> Self {
+        LinkTypeDef {
+            name: name.into(),
+            ends: [a, b],
+            cards: [ca, cb],
+            derived_from: None,
+        }
+    }
+
+    /// Is this a reflexive link type (both endpoints the same atom type)?
+    pub fn is_reflexive(&self) -> bool {
+        self.ends[0] == self.ends[1]
+    }
+
+    /// Does this link type connect atom type `ty` (on either side)?
+    pub fn touches(&self, ty: AtomTypeId) -> bool {
+        self.ends[0] == ty || self.ends[1] == ty
+    }
+
+    /// Given one endpoint type, the other endpoint type; `None` if `ty` is
+    /// not an endpoint. For reflexive types returns `ty` itself.
+    pub fn other_end(&self, ty: AtomTypeId) -> Option<AtomTypeId> {
+        if self.ends[0] == ty {
+            Some(self.ends[1])
+        } else if self.ends[1] == ty {
+            Some(self.ends[0])
+        } else {
+            None
+        }
+    }
+
+    /// Which side (0 or 1) is atom type `ty` on? Reflexive types report side
+    /// 0. `None` if `ty` is not an endpoint.
+    pub fn side_of(&self, ty: AtomTypeId) -> Option<usize> {
+        if self.ends[0] == ty {
+            Some(0)
+        } else if self.ends[1] == ty {
+            Some(1)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city_def() -> AtomTypeDef {
+        AtomTypeDef::new(
+            "city",
+            vec![
+                AttrDef::new("name", AttrType::Text),
+                AttrDef::new("population", AttrType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn check_tuple_ok_and_coerces() {
+        let def = AtomTypeDef::new(
+            "area",
+            vec![
+                AttrDef::new("name", AttrType::Text),
+                AttrDef::new("hectare", AttrType::Float),
+            ],
+        );
+        let t = def
+            .check_tuple(vec![Value::from("MG"), Value::from(900i64)])
+            .unwrap();
+        assert_eq!(t[1], Value::Float(900.0));
+    }
+
+    #[test]
+    fn check_tuple_arity_error() {
+        let def = city_def();
+        let err = def.check_tuple(vec![Value::from("x")]).unwrap_err();
+        assert!(matches!(err, MadError::ArityMismatch { expected: 2, found: 1, .. }));
+    }
+
+    #[test]
+    fn check_tuple_type_error() {
+        let def = city_def();
+        let err = def
+            .check_tuple(vec![Value::from("x"), Value::from("not a number")])
+            .unwrap_err();
+        assert!(matches!(err, MadError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn check_tuple_null_allowed() {
+        let def = city_def();
+        let t = def
+            .check_tuple(vec![Value::Null, Value::Null])
+            .unwrap();
+        assert!(t[0].is_null() && t[1].is_null());
+    }
+
+    #[test]
+    fn disjoint_and_same_description() {
+        let a = city_def();
+        let b = AtomTypeDef::new("river", vec![AttrDef::new("rname", AttrType::Text)]);
+        let c = AtomTypeDef::new("town", a.attrs.clone());
+        assert!(a.disjoint_with(&b));
+        assert!(!a.disjoint_with(&c));
+        assert!(a.same_description(&c));
+        assert!(!a.same_description(&b));
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let def = city_def();
+        assert_eq!(def.attr_index("population"), Some(1));
+        assert_eq!(def.attr_index("missing"), None);
+        assert_eq!(def.attr("name").unwrap().ty, AttrType::Text);
+        assert_eq!(def.arity(), 2);
+    }
+
+    #[test]
+    fn link_type_endpoints() {
+        let lt = LinkTypeDef::new("state-area", AtomTypeId(0), AtomTypeId(1));
+        assert!(!lt.is_reflexive());
+        assert!(lt.touches(AtomTypeId(0)));
+        assert!(!lt.touches(AtomTypeId(2)));
+        assert_eq!(lt.other_end(AtomTypeId(0)), Some(AtomTypeId(1)));
+        assert_eq!(lt.other_end(AtomTypeId(1)), Some(AtomTypeId(0)));
+        assert_eq!(lt.other_end(AtomTypeId(2)), None);
+        assert_eq!(lt.side_of(AtomTypeId(1)), Some(1));
+    }
+
+    #[test]
+    fn reflexive_link_type() {
+        let lt = LinkTypeDef::new("composition", AtomTypeId(3), AtomTypeId(3));
+        assert!(lt.is_reflexive());
+        assert_eq!(lt.other_end(AtomTypeId(3)), Some(AtomTypeId(3)));
+        assert_eq!(lt.side_of(AtomTypeId(3)), Some(0));
+    }
+
+    #[test]
+    fn cardinality_display() {
+        assert_eq!(Cardinality::MANY.to_string(), "[0,*]");
+        assert_eq!(Cardinality::EXACTLY_ONE.to_string(), "[1,1]");
+        assert_eq!(Cardinality::range(2, Some(5)).to_string(), "[2,5]");
+    }
+
+    #[test]
+    fn display_atom_type() {
+        assert_eq!(
+            city_def().to_string(),
+            "city (name: TEXT, population: INT)"
+        );
+    }
+}

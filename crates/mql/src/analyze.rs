@@ -1,0 +1,322 @@
+//! Semantic analysis: resolve the syntactic AST against a database schema.
+//!
+//! * [`analyze_structure`] turns a [`StructureAst`] into a validated
+//!   `MoleculeStructure` (Def. 5's `md_graph` enforced by the builder).
+//!   Node terms with the same alias in different branches denote the *same*
+//!   structure node, which is how MQL expresses DAG-shaped (diamond)
+//!   structures: `r-(b-d, c-d)`.
+//! * [`analyze_expr`] turns an [`ExprAst`] into a typed
+//!   `mad_core::QualExpr`, resolving `alias.attr` references and validating
+//!   operand types.
+
+use crate::ast::*;
+use mad_core::qual::{Operand, QualExpr};
+use mad_core::structure::{MoleculeStructure, StructureBuilder};
+use mad_model::{MadError, Result, Schema};
+use mad_storage::database::Direction;
+
+fn dir_of(mark: DirMark) -> Direction {
+    match mark {
+        DirMark::Fwd => Direction::Fwd,
+        DirMark::Bwd => Direction::Bwd,
+        DirMark::Sym => Direction::Sym,
+    }
+}
+
+/// Flattened edge collected from the AST.
+struct RawEdge {
+    from: String,
+    to: String,
+    link: Option<LinkLabel>,
+}
+
+fn collect(
+    seq: &SeqAst,
+    nodes: &mut Vec<NodeTerm>,
+    edges: &mut Vec<RawEdge>,
+) -> Result<()> {
+    // merge node terms by alias; types must agree
+    match nodes.iter().find(|n| n.alias == seq.head.alias) {
+        Some(existing) => {
+            if existing.atom_type != seq.head.atom_type {
+                return Err(MadError::Analysis {
+                    detail: format!(
+                        "alias `{}` bound to both `{}` and `{}`",
+                        seq.head.alias, existing.atom_type, seq.head.atom_type
+                    ),
+                });
+            }
+        }
+        None => nodes.push(seq.head.clone()),
+    }
+    for b in &seq.branches {
+        // pre-order: this edge before the branch's own edges, so that the
+        // analyzed structure has the same edge order as a structure built
+        // top-down (render_compact → parse round-trips shape-identically)
+        if nodes.iter().all(|n| n.alias != b.seq.head.alias) {
+            nodes.push(b.seq.head.clone());
+        }
+        edges.push(RawEdge {
+            from: seq.head.alias.clone(),
+            to: b.seq.head.alias.clone(),
+            link: b.link.clone(),
+        });
+        collect(&b.seq, nodes, edges)?;
+    }
+    Ok(())
+}
+
+/// Resolve a structure AST into a validated [`MoleculeStructure`].
+pub fn analyze_structure(schema: &Schema, ast: &StructureAst) -> Result<MoleculeStructure> {
+    let mut nodes = Vec::new();
+    let mut edges = Vec::new();
+    collect(&ast.root, &mut nodes, &mut edges)?;
+    let mut b = StructureBuilder::new(schema);
+    for n in &nodes {
+        b = b.node_as(&n.alias, &n.atom_type);
+    }
+    for e in &edges {
+        b = match &e.link {
+            None => b.edge(&e.from, &e.to),
+            Some(LinkLabel { name, dir: None }) => b.edge_named(name, &e.from, &e.to),
+            Some(LinkLabel {
+                name,
+                dir: Some(mark),
+            }) => b.edge_directed(name, &e.from, &e.to, dir_of(*mark)),
+        };
+    }
+    b.build()
+}
+
+fn resolve_node(md: &MoleculeStructure, alias: &str) -> Result<usize> {
+    md.node_by_alias(alias).ok_or_else(|| MadError::Analysis {
+        detail: format!("unknown node alias `{alias}` in WHERE clause"),
+    })
+}
+
+fn resolve_attr(
+    schema: &Schema,
+    md: &MoleculeStructure,
+    node: usize,
+    attr: &str,
+) -> Result<usize> {
+    let def = schema.atom_type(md.nodes()[node].ty);
+    def.attr_index(attr).ok_or_else(|| MadError::Analysis {
+        detail: format!("atom type `{}` has no attribute `{attr}`", def.name),
+    })
+}
+
+/// Resolve a WHERE expression into a validated [`QualExpr`].
+pub fn analyze_expr(
+    schema: &Schema,
+    md: &MoleculeStructure,
+    ast: &ExprAst,
+) -> Result<QualExpr> {
+    let q = analyze_expr_inner(schema, md, ast)?;
+    q.validate(md, schema)?;
+    Ok(q)
+}
+
+fn analyze_expr_inner(
+    schema: &Schema,
+    md: &MoleculeStructure,
+    ast: &ExprAst,
+) -> Result<QualExpr> {
+    Ok(match ast {
+        ExprAst::Or(a, b) => QualExpr::Or(
+            Box::new(analyze_expr_inner(schema, md, a)?),
+            Box::new(analyze_expr_inner(schema, md, b)?),
+        ),
+        ExprAst::And(a, b) => QualExpr::And(
+            Box::new(analyze_expr_inner(schema, md, a)?),
+            Box::new(analyze_expr_inner(schema, md, b)?),
+        ),
+        ExprAst::Not(a) => QualExpr::Not(Box::new(analyze_expr_inner(schema, md, a)?)),
+        ExprAst::Cmp { left, op, right } => {
+            let l = analyze_operand(schema, md, left)?;
+            let r = analyze_operand(schema, md, right)?;
+            QualExpr::Cmp {
+                left: l,
+                op: *op,
+                right: r,
+            }
+        }
+        ExprAst::Exists { node, expr } => QualExpr::Exists {
+            node: resolve_node(md, node)?,
+            pred: Box::new(analyze_expr_inner(schema, md, expr)?),
+        },
+        ExprAst::Forall { node, expr } => QualExpr::ForAll {
+            node: resolve_node(md, node)?,
+            pred: Box::new(analyze_expr_inner(schema, md, expr)?),
+        },
+        ExprAst::CountCmp { node, op, count } => QualExpr::CountCmp {
+            node: resolve_node(md, node)?,
+            op: *op,
+            count: *count,
+        },
+        ExprAst::AggCmp {
+            agg,
+            node,
+            attr,
+            op,
+            value,
+        } => {
+            let n = resolve_node(md, node)?;
+            QualExpr::AggCmp {
+                agg: *agg,
+                node: n,
+                attr: resolve_attr(schema, md, n, attr)?,
+                op: *op,
+                value: value.to_value(),
+            }
+        }
+    })
+}
+
+fn analyze_operand(
+    schema: &Schema,
+    md: &MoleculeStructure,
+    ast: &OperandAst,
+) -> Result<Operand> {
+    Ok(match ast {
+        OperandAst::Lit(l) => Operand::Const(l.to_value()),
+        OperandAst::Attr { node, attr } => {
+            let n = resolve_node(md, node)?;
+            Operand::Attr {
+                node: n,
+                attr: resolve_attr(schema, md, n, attr)?,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::Parser;
+    use mad_model::{AttrType, SchemaBuilder};
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("river", &[("rname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .atom_type("net", &[("nid", AttrType::Int)])
+            .atom_type("edge", &[("eid", AttrType::Int)])
+            .atom_type("point", &[("pname", AttrType::Text)])
+            .atom_type("parts", &[("pid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .link_type("river-net", "river", "net")
+            .link_type("area-edge", "area", "edge")
+            .link_type("net-edge", "net", "edge")
+            .link_type("edge-point", "edge", "point")
+            .link_type("composition", "parts", "parts")
+            .build()
+            .unwrap()
+    }
+
+    fn structure_of(s: &str) -> Result<MoleculeStructure> {
+        let toks = lex(s).unwrap();
+        let stmt = Parser::new(&toks).parse_statement().unwrap();
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let FromClause::Inline { structure, .. } = sel.from else {
+            panic!()
+        };
+        analyze_structure(&schema(), &structure)
+    }
+
+    #[test]
+    fn resolves_paper_structures() {
+        let md = structure_of("SELECT ALL FROM state-area-edge-point").unwrap();
+        assert_eq!(md.node_count(), 4);
+        assert_eq!(md.root_node().alias, "state");
+        let md =
+            structure_of("SELECT ALL FROM point-edge-(area-state,net-river)").unwrap();
+        assert_eq!(md.node_count(), 6);
+        assert_eq!(md.edge_count(), 5);
+        assert_eq!(md.root_node().alias, "point");
+    }
+
+    #[test]
+    fn shared_alias_makes_diamond() {
+        // edge is reached from both area and net: same alias = same node
+        let md = structure_of("SELECT ALL FROM state-area-(edge,edge)");
+        // duplicate edges rejected by the builder
+        assert!(md.is_err());
+        // a genuine diamond through two different link types
+        let md = structure_of(
+            "SELECT ALL FROM p:point-e:edge-(a:area-s:state, n:net-s:state)",
+        );
+        // area-state and net-state: no link type net-state exists → error
+        assert!(md.is_err());
+    }
+
+    #[test]
+    fn alias_type_conflict_detected() {
+        let toks = lex("SELECT ALL FROM x:state-x:area").unwrap();
+        let stmt = Parser::new(&toks).parse_statement();
+        // parse succeeds; analysis must reject the alias rebinding
+        let Statement::Select(sel) = stmt.unwrap() else {
+            panic!()
+        };
+        let FromClause::Inline { structure, .. } = sel.from else {
+            panic!()
+        };
+        let err = analyze_structure(&schema(), &structure).unwrap_err();
+        assert!(err.to_string().contains("alias `x`"));
+    }
+
+    #[test]
+    fn reflexive_edges_need_direction_marker() {
+        assert!(structure_of("SELECT ALL FROM super:parts-[composition]-sub:parts").is_err());
+        let md = structure_of(
+            "SELECT ALL FROM super:parts-[composition>]-sub:parts",
+        )
+        .unwrap();
+        assert_eq!(md.edges()[0].dir, Direction::Fwd);
+        let md = structure_of(
+            "SELECT ALL FROM part:parts-[composition<]-used_in:parts",
+        )
+        .unwrap();
+        assert_eq!(md.edges()[0].dir, Direction::Bwd);
+    }
+
+    #[test]
+    fn where_expression_resolution() {
+        let sch = schema();
+        let md = structure_of("SELECT ALL FROM state-area-edge-point").unwrap();
+        let toks =
+            lex("SELECT ALL FROM state-area-edge-point WHERE point.pname = 'pn' AND COUNT(edge) > 1")
+                .unwrap();
+        let Statement::Select(sel) = Parser::new(&toks).parse_statement().unwrap() else {
+            panic!()
+        };
+        let q = analyze_expr(&sch, &md, &sel.where_clause.unwrap()).unwrap();
+        let rendered = q.render(&md, &sch);
+        assert!(rendered.contains("point.pname = 'pn'"));
+        assert!(rendered.contains("COUNT(edge) > 1"));
+    }
+
+    #[test]
+    fn where_errors() {
+        let sch = schema();
+        let md = structure_of("SELECT ALL FROM state-area").unwrap();
+        let parse_where = |w: &str| {
+            let toks = lex(&format!("SELECT ALL FROM state-area WHERE {w}")).unwrap();
+            let Statement::Select(sel) = Parser::new(&toks).parse_statement().unwrap() else {
+                panic!()
+            };
+            analyze_expr(&sch, &md, &sel.where_clause.unwrap())
+        };
+        assert!(parse_where("ghost.x = 1").is_err());
+        assert!(parse_where("state.ghost = 1").is_err());
+        // type error caught by validation
+        assert!(parse_where("state.sname = 3").is_err());
+        assert!(parse_where("SUM(state.sname) > 1").is_err());
+        // fine
+        assert!(parse_where("area.aid >= 2").is_ok());
+    }
+}

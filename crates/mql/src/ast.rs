@@ -1,0 +1,291 @@
+//! The MQL abstract syntax tree.
+//!
+//! The AST is purely syntactic: names are unresolved strings; `analyze`
+//! turns a [`StructureAst`] into a validated `mad_core::MoleculeStructure`
+//! and an [`ExprAst`] into a typed `mad_core::QualExpr`.
+
+use mad_core::qual::{AggFn, CmpOp};
+
+/// One parsed MQL statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `SELECT … FROM … [WHERE …]`.
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT …` — show the execution plan instead of running.
+    Explain(SelectStmt),
+    /// `DEFINE MOLECULE name AS structure`.
+    Define {
+        /// The molecule-type name.
+        name: String,
+        /// The structure.
+        structure: StructureAst,
+    },
+    /// `INSERT ATOM type (attr = lit, …)`.
+    InsertAtom {
+        /// Atom-type name.
+        atom_type: String,
+        /// Attribute assignments.
+        values: Vec<(String, Lit)>,
+    },
+    /// `CONNECT sel TO sel VIA link`.
+    Connect {
+        /// Side-0 atom selector.
+        from: AtomSelector,
+        /// Side-1 atom selector.
+        to: AtomSelector,
+        /// Link-type name.
+        link: String,
+    },
+    /// `DISCONNECT sel TO sel VIA link`.
+    Disconnect {
+        /// Side-0 atom selector.
+        from: AtomSelector,
+        /// Side-1 atom selector.
+        to: AtomSelector,
+        /// Link-type name.
+        link: String,
+    },
+    /// `DELETE ATOM sel` (cascades incident links).
+    DeleteAtom {
+        /// Selector of the atom(s) to delete.
+        selector: AtomSelector,
+    },
+    /// `UPDATE sel SET attr = lit, …`.
+    Update {
+        /// Selector of the atom(s) to update.
+        selector: AtomSelector,
+        /// Attribute assignments.
+        sets: Vec<(String, Lit)>,
+    },
+}
+
+/// `SELECT projection FROM from [WHERE expr]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectStmt {
+    /// The SELECT clause.
+    pub projection: Projection,
+    /// The FROM clause (the molecule-type definition, §4).
+    pub from: FromClause,
+    /// The WHERE clause.
+    pub where_clause: Option<ExprAst>,
+}
+
+/// The SELECT clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Projection {
+    /// `SELECT ALL` — whole molecules.
+    All,
+    /// `SELECT item, …` — node / attribute projection.
+    Items(Vec<ProjItem>),
+}
+
+/// One projection item: `node` (whole node) or `node.attr`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProjItem {
+    /// Node alias.
+    pub node: String,
+    /// Attribute name; `None` keeps all attributes of the node.
+    pub attr: Option<String>,
+}
+
+/// The FROM clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FromClause {
+    /// A previously DEFINEd molecule-type name.
+    Named(String),
+    /// An inline structure, optionally naming the molecule type
+    /// (`mt_state(state-area-edge-point)`).
+    Inline {
+        /// Optional molecule-type name.
+        name: Option<String>,
+        /// The structure expression.
+        structure: StructureAst,
+    },
+    /// `RECURSIVE type VIA link [DOWN|UP|BOTH] [DEPTH n]` — a recursive
+    /// molecule type ([Schö89]).
+    Recursive {
+        /// The traversed atom type.
+        atom_type: String,
+        /// The reflexive link type.
+        link: String,
+        /// Traversal direction.
+        dir: RecDir,
+        /// Optional depth bound.
+        depth: Option<usize>,
+    },
+}
+
+/// Direction keyword of a recursive FROM clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecDir {
+    /// Sub-component view (side 0 → side 1), the parts explosion.
+    Down,
+    /// Super-component view (where-used).
+    Up,
+    /// Both orientations.
+    Both,
+}
+
+/// A structure expression: a path with optional branching.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructureAst {
+    /// The root sequence.
+    pub root: SeqAst,
+}
+
+/// A node followed by an optional continuation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeqAst {
+    /// The head node term.
+    pub head: NodeTerm,
+    /// Branches hanging off the head (empty = leaf).
+    pub branches: Vec<BranchAst>,
+}
+
+/// One branch: an optional link label and the sub-sequence it leads to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BranchAst {
+    /// Explicit link label `[lname]` / `[lname>]` / `[lname<]` / `[lname~]`.
+    pub link: Option<LinkLabel>,
+    /// The continuation.
+    pub seq: SeqAst,
+}
+
+/// An explicit link label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkLabel {
+    /// Link-type name (may contain dashes).
+    pub name: String,
+    /// Direction marker for reflexive link types.
+    pub dir: Option<DirMark>,
+}
+
+/// Direction marker inside a link label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirMark {
+    /// `>` — side 0 → side 1.
+    Fwd,
+    /// `<` — side 1 → side 0.
+    Bwd,
+    /// `~` — symmetric.
+    Sym,
+}
+
+/// A node term: `type` or `alias:type`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeTerm {
+    /// Node alias (defaults to the atom-type name).
+    pub alias: String,
+    /// Atom-type name.
+    pub atom_type: String,
+}
+
+/// A WHERE expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprAst {
+    /// Disjunction.
+    Or(Box<ExprAst>, Box<ExprAst>),
+    /// Conjunction.
+    And(Box<ExprAst>, Box<ExprAst>),
+    /// Negation.
+    Not(Box<ExprAst>),
+    /// Comparison.
+    Cmp {
+        /// Left operand.
+        left: OperandAst,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        right: OperandAst,
+    },
+    /// `EXISTS(node: expr)`.
+    Exists {
+        /// Quantified node alias.
+        node: String,
+        /// Inner expression.
+        expr: Box<ExprAst>,
+    },
+    /// `FORALL(node: expr)`.
+    Forall {
+        /// Quantified node alias.
+        node: String,
+        /// Inner expression.
+        expr: Box<ExprAst>,
+    },
+    /// `COUNT(node) op n`.
+    CountCmp {
+        /// Counted node alias.
+        node: String,
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        count: i64,
+    },
+    /// `AGG(node.attr) op lit`.
+    AggCmp {
+        /// Aggregate function.
+        agg: AggFn,
+        /// Node alias.
+        node: String,
+        /// Attribute name.
+        attr: String,
+        /// Operator.
+        op: CmpOp,
+        /// Constant.
+        value: Lit,
+    },
+}
+
+/// A comparison operand.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OperandAst {
+    /// `node.attr`.
+    Attr {
+        /// Node alias.
+        node: String,
+        /// Attribute name.
+        attr: String,
+    },
+    /// A literal.
+    Lit(Lit),
+}
+
+/// A literal value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Lit {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// NULL.
+    Null,
+}
+
+impl Lit {
+    /// Convert into a storage value.
+    pub fn to_value(&self) -> mad_model::Value {
+        match self {
+            Lit::Int(i) => mad_model::Value::Int(*i),
+            Lit::Float(x) => mad_model::Value::Float(*x),
+            Lit::Str(s) => mad_model::Value::Text(s.clone()),
+            Lit::Bool(b) => mad_model::Value::Bool(*b),
+            Lit::Null => mad_model::Value::Null,
+        }
+    }
+}
+
+/// `type[attr = lit]` — selects the atoms of `type` whose attribute equals
+/// the literal (DML addressing).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtomSelector {
+    /// Atom-type name.
+    pub atom_type: String,
+    /// Attribute name.
+    pub attr: String,
+    /// Matched literal.
+    pub value: Lit,
+}

@@ -1,0 +1,348 @@
+//! Statement execution: the translation of analyzed MQL statements into
+//! molecule-algebra operations (the semantics definition of §4).
+
+use crate::analyze::{analyze_expr, analyze_structure};
+use crate::ast::*;
+use mad_core::derive::Strategy;
+use mad_core::molecule::MoleculeType;
+use mad_core::ops::Engine;
+use mad_core::qual::QualExpr;
+use mad_core::recursive::{derive_recursive, RecursiveMolecule, RecursiveSpec};
+use mad_core::structure::MoleculeStructure;
+use mad_model::{AtomId, FxHashMap, MadError, Result, Value};
+use mad_storage::database::Direction;
+
+/// The result of executing one MQL statement.
+#[derive(Debug)]
+pub enum StatementResult {
+    /// A SELECT produced a molecule type.
+    Molecules(MoleculeType),
+    /// EXPLAIN produced an execution plan.
+    Plan(mad_core::explain::Plan),
+    /// A SELECT over a recursive FROM clause produced recursive molecules.
+    Recursive(Vec<RecursiveMolecule>),
+    /// DEFINE MOLECULE registered a named structure.
+    Defined(String),
+    /// INSERT ATOM created an atom.
+    Inserted(AtomId),
+    /// CONNECT added a link (`false` = it already existed).
+    Connected(bool),
+    /// DISCONNECT removed a link (`false` = it did not exist).
+    Disconnected(bool),
+    /// DELETE ATOM removed atoms and cascaded links.
+    Deleted {
+        /// Number of atoms deleted.
+        atoms: usize,
+        /// Number of links cascaded away.
+        links: usize,
+    },
+    /// UPDATE modified atoms.
+    Updated {
+        /// Number of atoms updated.
+        atoms: usize,
+    },
+}
+
+/// Execute an analyzed statement against `engine`, resolving named molecule
+/// types through `catalog`.
+pub fn execute(
+    engine: &mut Engine,
+    catalog: &mut FxHashMap<String, MoleculeStructure>,
+    stmt: &Statement,
+) -> Result<StatementResult> {
+    match stmt {
+        Statement::Select(sel) => execute_select(engine, catalog, sel),
+        Statement::Explain(sel) => execute_explain(engine, catalog, sel),
+        Statement::Define { name, structure } => {
+            let md = analyze_structure(engine.db().schema(), structure)?;
+            catalog.insert(name.clone(), md);
+            Ok(StatementResult::Defined(name.clone()))
+        }
+        Statement::InsertAtom { atom_type, values } => {
+            let ty = engine.db().schema().atom_type_id(atom_type)?;
+            let def = engine.db().schema().atom_type(ty).clone();
+            let mut tuple = vec![Value::Null; def.arity()];
+            for (attr, lit) in values {
+                let pos = def.attr_index(attr).ok_or_else(|| MadError::Analysis {
+                    detail: format!("atom type `{atom_type}` has no attribute `{attr}`"),
+                })?;
+                tuple[pos] = lit.to_value();
+            }
+            let id = engine.db_mut().insert_atom(ty, tuple)?;
+            Ok(StatementResult::Inserted(id))
+        }
+        Statement::Connect { from, to, link } => {
+            let lt = engine.db().schema().link_type_id(link)?;
+            let a = select_one(engine, from)?;
+            let b = select_one(engine, to)?;
+            let added = if engine.db().schema().link_type(lt).is_reflexive() {
+                engine.db_mut().connect(lt, a, b)?
+            } else {
+                engine.db_mut().connect_sym(lt, a, b)?
+            };
+            Ok(StatementResult::Connected(added))
+        }
+        Statement::Disconnect { from, to, link } => {
+            let lt = engine.db().schema().link_type_id(link)?;
+            let a = select_one(engine, from)?;
+            let b = select_one(engine, to)?;
+            let def = engine.db().schema().link_type(lt).clone();
+            // reflexive link types take the selectors as written (side 0 =
+            // `from`); otherwise orient by endpoint type
+            let removed = if def.is_reflexive() || a.ty == def.ends[0] {
+                engine.db_mut().disconnect(lt, a, b)?
+            } else {
+                engine.db_mut().disconnect(lt, b, a)?
+            };
+            Ok(StatementResult::Disconnected(removed))
+        }
+        Statement::DeleteAtom { selector } => {
+            let ids = select_atoms(engine, selector)?;
+            let mut links = 0usize;
+            let count = ids.len();
+            for id in ids {
+                links += engine.db_mut().delete_atom(id)?;
+            }
+            Ok(StatementResult::Deleted {
+                atoms: count,
+                links,
+            })
+        }
+        Statement::Update { selector, sets } => {
+            let ids = select_atoms(engine, selector)?;
+            let ty = engine.db().schema().atom_type_id(&selector.atom_type)?;
+            let def = engine.db().schema().atom_type(ty).clone();
+            let mut resolved = Vec::with_capacity(sets.len());
+            for (attr, lit) in sets {
+                let pos = def.attr_index(attr).ok_or_else(|| MadError::Analysis {
+                    detail: format!(
+                        "atom type `{}` has no attribute `{attr}`",
+                        selector.atom_type
+                    ),
+                })?;
+                resolved.push((pos, lit.to_value()));
+            }
+            for &id in &ids {
+                for (pos, v) in &resolved {
+                    engine.db_mut().update_attr(id, *pos, v.clone())?;
+                }
+            }
+            Ok(StatementResult::Updated { atoms: ids.len() })
+        }
+    }
+}
+
+fn select_atoms(engine: &Engine, sel: &AtomSelector) -> Result<Vec<AtomId>> {
+    let ty = engine.db().schema().atom_type_id(&sel.atom_type)?;
+    let def = engine.db().schema().atom_type(ty);
+    let pos = def.attr_index(&sel.attr).ok_or_else(|| MadError::Analysis {
+        detail: format!(
+            "atom type `{}` has no attribute `{}`",
+            sel.atom_type, sel.attr
+        ),
+    })?;
+    let needle = sel.value.to_value();
+    // use an index when one exists
+    if let Some(hits) = engine.db().lookup_eq(ty, pos, &needle) {
+        return Ok(hits.to_vec());
+    }
+    Ok(engine
+        .db()
+        .atoms_of(ty)
+        .filter(|(_, t)| t[pos].sql_cmp(&needle) == Some(std::cmp::Ordering::Equal))
+        .map(|(id, _)| id)
+        .collect())
+}
+
+fn select_one(engine: &Engine, sel: &AtomSelector) -> Result<AtomId> {
+    let hits = select_atoms(engine, sel)?;
+    match hits.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(MadError::Analysis {
+            detail: format!(
+                "selector {}[{} = {}] matches no atom",
+                sel.atom_type,
+                sel.attr,
+                sel.value.to_value()
+            ),
+        }),
+        many => Err(MadError::Analysis {
+            detail: format!(
+                "selector {}[{} = {}] is ambiguous ({} atoms)",
+                sel.atom_type,
+                sel.attr,
+                sel.value.to_value(),
+                many.len()
+            ),
+        }),
+    }
+}
+
+fn execute_explain(
+    engine: &mut Engine,
+    catalog: &mut FxHashMap<String, MoleculeStructure>,
+    sel: &SelectStmt,
+) -> Result<StatementResult> {
+    if matches!(sel.from, FromClause::Recursive { .. }) {
+        return Err(MadError::Analysis {
+            detail: "EXPLAIN does not support recursive FROM clauses".into(),
+        });
+    }
+    let md = match &sel.from {
+        FromClause::Named(n) => catalog
+            .get(n)
+            .cloned()
+            .ok_or_else(|| MadError::unknown("molecule type", n))?,
+        FromClause::Inline { structure, .. } => {
+            analyze_structure(engine.db().schema(), structure)?
+        }
+        FromClause::Recursive { .. } => unreachable!(),
+    };
+    let qual = match &sel.where_clause {
+        Some(w) => Some(analyze_expr(engine.db().schema(), &md, w)?),
+        None => None,
+    };
+    Ok(StatementResult::Plan(mad_core::explain::explain(
+        engine.db(),
+        &md,
+        qual.as_ref(),
+    )))
+}
+
+fn execute_select(
+    engine: &mut Engine,
+    catalog: &mut FxHashMap<String, MoleculeStructure>,
+    sel: &SelectStmt,
+) -> Result<StatementResult> {
+    // recursive FROM is its own path
+    if let FromClause::Recursive {
+        atom_type,
+        link,
+        dir,
+        depth,
+    } = &sel.from
+    {
+        return execute_recursive(engine, sel, atom_type, link, *dir, *depth);
+    }
+    let (name, md) = match &sel.from {
+        FromClause::Named(n) => match catalog.get(n) {
+            Some(md) => (n.clone(), md.clone()),
+            None => {
+                // fall back: a bare atom-type name is the single-node
+                // structure over that type
+                let schema = engine.db().schema();
+                if schema.atom_type_id(n).is_ok() {
+                    (n.clone(), mad_core::structure::path(schema, &[n])?)
+                } else {
+                    return Err(MadError::unknown("molecule type", n));
+                }
+            }
+        },
+        FromClause::Inline { name, structure } => {
+            let md = analyze_structure(engine.db().schema(), structure)?;
+            let n = name.clone().unwrap_or_else(|| "result".to_owned());
+            if let Some(n) = name {
+                catalog.insert(n.clone(), md.clone());
+            }
+            (n, md)
+        }
+        FromClause::Recursive { .. } => unreachable!(),
+    };
+    // WHERE → Σ (pushed into the definition, Def. 10 composed with Def. 8)
+    let mt = match &sel.where_clause {
+        Some(w) => {
+            let qual = analyze_expr(engine.db().schema(), &md, w)?;
+            engine.define_restricted(&name, md, &qual, Strategy::PerRoot)?
+        }
+        None => engine.define(&name, md)?,
+    };
+    // SELECT list → Π
+    let mt = apply_projection(engine, mt, &sel.projection)?;
+    Ok(StatementResult::Molecules(mt))
+}
+
+fn apply_projection(
+    engine: &mut Engine,
+    mt: MoleculeType,
+    projection: &Projection,
+) -> Result<MoleculeType> {
+    let items = match projection {
+        Projection::All => return Ok(mt),
+        Projection::Items(items) => items,
+    };
+    // keep set in structure order, attribute projections merged per node
+    let mut keep: Vec<&str> = Vec::new();
+    let mut attr_proj: Vec<(&str, Vec<&str>)> = Vec::new();
+    for item in items {
+        if mt.structure.node_by_alias(&item.node).is_none() {
+            return Err(MadError::Analysis {
+                detail: format!("projection names unknown node `{}`", item.node),
+            });
+        }
+        if !keep.contains(&item.node.as_str()) {
+            keep.push(&item.node);
+        }
+        if let Some(attr) = &item.attr {
+            match attr_proj.iter_mut().find(|(n, _)| *n == item.node) {
+                Some((_, attrs)) => {
+                    if !attrs.contains(&attr.as_str()) {
+                        attrs.push(attr);
+                    }
+                }
+                None => attr_proj.push((&item.node, vec![attr])),
+            }
+        } else {
+            // whole-node item: drop any attribute restriction
+            attr_proj.retain(|(n, _)| *n != item.node);
+        }
+    }
+    engine.project(&mt, &keep, &attr_proj)
+}
+
+fn execute_recursive(
+    engine: &mut Engine,
+    sel: &SelectStmt,
+    atom_type: &str,
+    link: &str,
+    dir: RecDir,
+    depth: Option<usize>,
+) -> Result<StatementResult> {
+    if !matches!(sel.projection, Projection::All) {
+        return Err(MadError::Analysis {
+            detail: "recursive queries support SELECT ALL only".into(),
+        });
+    }
+    let ty = engine.db().schema().atom_type_id(atom_type)?;
+    let lt = engine.db().schema().link_type_id(link)?;
+    let spec = RecursiveSpec {
+        atom_type: ty,
+        link: lt,
+        dir: match dir {
+            RecDir::Down => Direction::Fwd,
+            RecDir::Up => Direction::Bwd,
+            RecDir::Both => Direction::Sym,
+        },
+        max_depth: depth,
+    };
+    spec.validate(engine.db())?;
+    // WHERE restricts the ROOT set, evaluated on the single-node structure
+    let roots: Option<Vec<AtomId>> = match &sel.where_clause {
+        None => None,
+        Some(w) => {
+            let md = mad_core::structure::path(engine.db().schema(), &[atom_type])?;
+            let qual: QualExpr = analyze_expr(engine.db().schema(), &md, w)?;
+            let ids = engine
+                .db()
+                .atom_ids_of(ty)
+                .into_iter()
+                .filter(|&id| {
+                    let m = mad_core::molecule::Molecule::single(id, 1, 0, 0);
+                    qual.qualifies(engine.db(), &m)
+                })
+                .collect();
+            Some(ids)
+        }
+    };
+    let ms = derive_recursive(engine.db(), &spec, roots.as_deref())?;
+    Ok(StatementResult::Recursive(ms))
+}

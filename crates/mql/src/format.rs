@@ -1,0 +1,105 @@
+//! Rendering of MQL statement results for terminal output.
+
+use crate::exec::StatementResult;
+use mad_storage::Database;
+
+/// Render a statement result as human-readable text (molecule sets come
+/// out as indented trees, Fig.-2 style).
+pub fn render_result(db: &Database, result: &StatementResult) -> String {
+    match result {
+        StatementResult::Molecules(mt) => {
+            let mut out = format!(
+                "molecule type `{}`: {} molecule(s)\n",
+                mt.name,
+                mt.len()
+            );
+            out.push_str(&format!(
+                "structure: {}\n",
+                mt.structure.render_compact(db.schema())
+            ));
+            for m in &mt.molecules {
+                out.push_str(&m.render_tree(db, &mt.structure));
+            }
+            let shared = mt.shared_atoms();
+            if !shared.is_empty() {
+                out.push_str(&format!(
+                    "shared subobjects: {} atom(s) appear in ≥ 2 molecules\n",
+                    shared.len()
+                ));
+            }
+            out
+        }
+        StatementResult::Recursive(ms) => {
+            let mut out = format!("{} recursive molecule(s)\n", ms.len());
+            for m in ms {
+                out.push_str(&m.render_tree(db));
+            }
+            out
+        }
+        StatementResult::Plan(plan) => plan.to_string(),
+        StatementResult::Defined(name) => format!("defined molecule type `{name}`\n"),
+        StatementResult::Inserted(id) => format!("inserted atom {id}\n"),
+        StatementResult::Connected(true) => "connected\n".to_owned(),
+        StatementResult::Connected(false) => "already connected\n".to_owned(),
+        StatementResult::Disconnected(true) => "disconnected\n".to_owned(),
+        StatementResult::Disconnected(false) => "no such link\n".to_owned(),
+        StatementResult::Deleted { atoms, links } => {
+            format!("deleted {atoms} atom(s), cascaded {links} link(s)\n")
+        }
+        StatementResult::Updated { atoms } => format!("updated {atoms} atom(s)\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use mad_model::{AttrType, SchemaBuilder, Value};
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s1 = db.insert_atom(state, vec![Value::from("SP")]).unwrap();
+        let s2 = db.insert_atom(state, vec![Value::from("MG")]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        db.connect(sa, s1, a).unwrap();
+        db.connect(sa, s2, a).unwrap();
+        db
+    }
+
+    #[test]
+    fn renders_molecule_trees_with_sharing_note() {
+        let mut s = Session::new(db());
+        let r = s.execute("SELECT ALL FROM state-area").unwrap();
+        let text = render_result(s.db(), &r);
+        assert!(text.contains("molecule type `result`"));
+        assert!(text.contains("'SP'"));
+        assert!(text.contains("'MG'"));
+        assert!(text.contains("shared subobjects: 1"));
+    }
+
+    #[test]
+    fn renders_dml_results() {
+        let mut s = Session::new(db());
+        let r = s.execute("INSERT ATOM state (sname = 'RJ')").unwrap();
+        assert!(render_result(s.db(), &r).starts_with("inserted atom"));
+        let r = s
+            .execute("CONNECT state[sname='RJ'] TO area[aid=1] VIA state-area")
+            .unwrap();
+        assert_eq!(render_result(s.db(), &r), "connected\n");
+        let r = s
+            .execute("CONNECT state[sname='RJ'] TO area[aid=1] VIA state-area")
+            .unwrap();
+        assert_eq!(render_result(s.db(), &r), "already connected\n");
+        let r = s.execute("DELETE ATOM state[sname='RJ']").unwrap();
+        assert!(render_result(s.db(), &r).contains("deleted 1 atom(s)"));
+    }
+}

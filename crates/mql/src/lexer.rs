@@ -1,0 +1,460 @@
+//! The MQL lexer.
+//!
+//! Produces a token stream with byte offsets for error reporting. Keywords
+//! are case-insensitive; identifiers are `[A-Za-z_][A-Za-z0-9_]*` (the `-`
+//! in link-type names like `state-area` is tokenized as [`Tok::Dash`] and
+//! re-joined by the parser inside `[…]` link labels). Strings use single
+//! quotes with `''` as the escape for a quote.
+
+use mad_model::{MadError, Result};
+
+/// Keywords of MQL.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Select,
+    All,
+    From,
+    Where,
+    And,
+    Or,
+    Not,
+    Exists,
+    Forall,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    Define,
+    Molecule,
+    As,
+    Insert,
+    Atom,
+    Connect,
+    To,
+    Via,
+    Disconnect,
+    Delete,
+    Update,
+    Set,
+    Explain,
+    Recursive,
+    Down,
+    Up,
+    Both,
+    Depth,
+    True,
+    False,
+    Null,
+}
+
+fn keyword(s: &str) -> Option<Kw> {
+    Some(match s.to_ascii_uppercase().as_str() {
+        "SELECT" => Kw::Select,
+        "ALL" => Kw::All,
+        "FROM" => Kw::From,
+        "WHERE" => Kw::Where,
+        "AND" => Kw::And,
+        "OR" => Kw::Or,
+        "NOT" => Kw::Not,
+        "EXISTS" => Kw::Exists,
+        "FORALL" => Kw::Forall,
+        "COUNT" => Kw::Count,
+        "SUM" => Kw::Sum,
+        "MIN" => Kw::Min,
+        "MAX" => Kw::Max,
+        "AVG" => Kw::Avg,
+        "DEFINE" => Kw::Define,
+        "MOLECULE" => Kw::Molecule,
+        "AS" => Kw::As,
+        "INSERT" => Kw::Insert,
+        "ATOM" => Kw::Atom,
+        "CONNECT" => Kw::Connect,
+        "TO" => Kw::To,
+        "VIA" => Kw::Via,
+        "DISCONNECT" => Kw::Disconnect,
+        "DELETE" => Kw::Delete,
+        "UPDATE" => Kw::Update,
+        "SET" => Kw::Set,
+        "EXPLAIN" => Kw::Explain,
+        "RECURSIVE" => Kw::Recursive,
+        "DOWN" => Kw::Down,
+        "UP" => Kw::Up,
+        "BOTH" => Kw::Both,
+        "DEPTH" => Kw::Depth,
+        "TRUE" => Kw::True,
+        "FALSE" => Kw::False,
+        "NULL" => Kw::Null,
+        _ => return None,
+    })
+}
+
+/// A token kind.
+#[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)]
+pub enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Kw(Kw),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Colon,
+    Dash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Tilde,
+    Star,
+}
+
+/// A token with its source offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token kind.
+    pub tok: Tok,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+/// Tokenize `input`.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let offset = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+                continue;
+            }
+            '-' => {
+                // comment `--` to end of line
+                if i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
+                out.push(Token {
+                    tok: Tok::Dash,
+                    offset,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token {
+                    tok: Tok::LParen,
+                    offset,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    tok: Tok::RParen,
+                    offset,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token {
+                    tok: Tok::LBracket,
+                    offset,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token {
+                    tok: Tok::RBracket,
+                    offset,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token {
+                    tok: Tok::Comma,
+                    offset,
+                });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token {
+                    tok: Tok::Semi,
+                    offset,
+                });
+                i += 1;
+            }
+            '.' => {
+                out.push(Token {
+                    tok: Tok::Dot,
+                    offset,
+                });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token {
+                    tok: Tok::Colon,
+                    offset,
+                });
+                i += 1;
+            }
+            '~' => {
+                out.push(Token {
+                    tok: Tok::Tilde,
+                    offset,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token {
+                    tok: Tok::Star,
+                    offset,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token {
+                    tok: Tok::Eq,
+                    offset,
+                });
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token {
+                        tok: Tok::Ne,
+                        offset,
+                    });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token {
+                        tok: Tok::Le,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        tok: Tok::Lt,
+                        offset,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token {
+                        tok: Tok::Ge,
+                        offset,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        tok: Tok::Gt,
+                        offset,
+                    });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(MadError::Parse {
+                            offset,
+                            detail: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // handle multi-byte UTF-8 transparently
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(
+                            std::str::from_utf8(&bytes[i..i + ch_len]).map_err(|_| {
+                                MadError::Parse {
+                                    offset: i,
+                                    detail: "invalid UTF-8 in string".into(),
+                                }
+                            })?,
+                        );
+                        i += ch_len;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    offset,
+                });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i + 1 < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes[i + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| MadError::Parse {
+                        offset: start,
+                        detail: format!("bad float literal `{text}`"),
+                    })?;
+                    out.push(Token {
+                        tok: Tok::Float(v),
+                        offset,
+                    });
+                } else {
+                    let v: i64 = text.parse().map_err(|_| MadError::Parse {
+                        offset: start,
+                        detail: format!("bad integer literal `{text}`"),
+                    })?;
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        offset,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                match keyword(text) {
+                    Some(kw) => out.push(Token {
+                        tok: Tok::Kw(kw),
+                        offset,
+                    }),
+                    None => out.push(Token {
+                        tok: Tok::Ident(text.to_owned()),
+                        offset,
+                    }),
+                }
+            }
+            other => {
+                return Err(MadError::Parse {
+                    offset,
+                    detail: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<Tok> {
+        lex(s).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_paper_query() {
+        let toks = kinds("SELECT ALL FROM mt_state(state-area-edge-point);");
+        assert_eq!(toks[0], Tok::Kw(Kw::Select));
+        assert_eq!(toks[1], Tok::Kw(Kw::All));
+        assert_eq!(toks[2], Tok::Kw(Kw::From));
+        assert_eq!(toks[3], Tok::Ident("mt_state".into()));
+        assert_eq!(toks[4], Tok::LParen);
+        assert!(toks.contains(&Tok::Dash));
+        assert_eq!(*toks.last().unwrap(), Tok::Semi);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(kinds("select")[0], Tok::Kw(Kw::Select));
+        assert_eq!(kinds("SeLeCt")[0], Tok::Kw(Kw::Select));
+        assert_eq!(kinds("selects")[0], Tok::Ident("selects".into()));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds("'pn'")[0], Tok::Str("pn".into()));
+        assert_eq!(kinds("'it''s'")[0], Tok::Str("it's".into()));
+        assert_eq!(kinds("'Paraná'")[0], Tok::Str("Paraná".into()));
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42")[0], Tok::Int(42));
+        assert_eq!(kinds("2.5")[0], Tok::Float(2.5));
+        // `1.` is Int then Dot (attribute access style), not a float
+        assert_eq!(kinds("1.x"), vec![Tok::Int(1), Tok::Dot, Tok::Ident("x".into())]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("= <> < <= > >="),
+            vec![Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("SELECT -- the projection\nALL");
+        assert_eq!(toks, vec![Tok::Kw(Kw::Select), Tok::Kw(Kw::All)]);
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = lex("SELECT ALL").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("SELECT ?").unwrap_err();
+        assert!(matches!(err, MadError::Parse { offset: 7, .. }));
+    }
+
+    #[test]
+    fn brackets_and_direction_markers() {
+        let toks = kinds("super:parts-[composition>]-sub:parts");
+        assert!(toks.contains(&Tok::LBracket));
+        assert!(toks.contains(&Tok::Gt));
+        assert!(toks.contains(&Tok::Colon));
+    }
+}

@@ -1,0 +1,784 @@
+//! The MQL recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{Kw, Tok, Token};
+use mad_core::qual::{AggFn, CmpOp};
+use mad_model::{MadError, Result};
+
+/// Recursive-descent parser over a token slice.
+pub struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Start parsing `tokens`.
+    pub fn new(tokens: &'a [Token]) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|t| &t.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| {
+                self.tokens
+                    .last()
+                    .map(|t| t.offset + 1)
+                    .unwrap_or(0)
+            })
+    }
+
+    fn err(&self, detail: impl Into<String>) -> MadError {
+        MadError::Parse {
+            offset: self.offset(),
+            detail: detail.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Tok) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: Tok, what: &str) -> Result<()> {
+        if self.eat(&expected) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Kw) -> bool {
+        self.eat(&Tok::Kw(kw))
+    }
+
+    fn expect_kw(&mut self, kw: Kw, what: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    /// Parse one complete statement (an optional trailing `;` is consumed;
+    /// leftover tokens are an error).
+    pub fn parse_statement(&mut self) -> Result<Statement> {
+        let stmt = match self.peek() {
+            Some(Tok::Kw(Kw::Select)) => Statement::Select(self.select()?),
+            Some(Tok::Kw(Kw::Explain)) => {
+                self.pos += 1;
+                Statement::Explain(self.select()?)
+            }
+            Some(Tok::Kw(Kw::Define)) => self.define()?,
+            Some(Tok::Kw(Kw::Insert)) => self.insert()?,
+            Some(Tok::Kw(Kw::Connect)) => self.connect(false)?,
+            Some(Tok::Kw(Kw::Disconnect)) => self.connect(true)?,
+            Some(Tok::Kw(Kw::Delete)) => self.delete()?,
+            Some(Tok::Kw(Kw::Update)) => self.update()?,
+            _ => return Err(self.err("expected a statement keyword")),
+        };
+        self.eat(&Tok::Semi);
+        if self.pos != self.tokens.len() {
+            return Err(self.err("unexpected trailing tokens"));
+        }
+        Ok(stmt)
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw(Kw::Select, "SELECT")?;
+        let projection = if self.eat_kw(Kw::All) {
+            Projection::All
+        } else {
+            let mut items = vec![self.proj_item()?];
+            while self.eat(&Tok::Comma) {
+                items.push(self.proj_item()?);
+            }
+            Projection::Items(items)
+        };
+        self.expect_kw(Kw::From, "FROM")?;
+        let from = self.from_clause()?;
+        let where_clause = if self.eat_kw(Kw::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            projection,
+            from,
+            where_clause,
+        })
+    }
+
+    fn proj_item(&mut self) -> Result<ProjItem> {
+        let node = self.ident("projection node")?;
+        let attr = if self.eat(&Tok::Dot) {
+            if self.eat_kw(Kw::All) {
+                None
+            } else {
+                Some(self.ident("attribute name")?)
+            }
+        } else {
+            None
+        };
+        Ok(ProjItem { node, attr })
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_clause(&mut self) -> Result<FromClause> {
+        if self.eat_kw(Kw::Recursive) {
+            let atom_type = self.ident("atom type")?;
+            self.expect_kw(Kw::Via, "VIA")?;
+            let link = self.link_name()?;
+            let dir = if self.eat_kw(Kw::Down) {
+                RecDir::Down
+            } else if self.eat_kw(Kw::Up) {
+                RecDir::Up
+            } else if self.eat_kw(Kw::Both) {
+                RecDir::Both
+            } else {
+                RecDir::Down
+            };
+            let depth = if self.eat_kw(Kw::Depth) {
+                match self.bump() {
+                    Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                    _ => return Err(self.err("expected a non-negative DEPTH")),
+                }
+            } else {
+                None
+            };
+            return Ok(FromClause::Recursive {
+                atom_type,
+                link,
+                dir,
+                depth,
+            });
+        }
+        // `name(structure)` | bare `name` (no '-' and no '(') | structure
+        if let Some(Tok::Ident(_)) = self.peek() {
+            if self.peek2() == Some(&Tok::LParen) {
+                let name = self.ident("molecule-type name")?;
+                self.expect(Tok::LParen, "`(`")?;
+                let structure = StructureAst {
+                    root: self.seq()?,
+                };
+                self.expect(Tok::RParen, "`)`")?;
+                return Ok(FromClause::Inline {
+                    name: Some(name),
+                    structure,
+                });
+            }
+            // bare name: single identifier not followed by - or :
+            let next_is_structure = matches!(
+                self.peek2(),
+                Some(Tok::Dash) | Some(Tok::Colon)
+            );
+            if !next_is_structure {
+                let name = self.ident("molecule-type name")?;
+                return Ok(FromClause::Named(name));
+            }
+        }
+        let structure = StructureAst { root: self.seq()? };
+        Ok(FromClause::Inline {
+            name: None,
+            structure,
+        })
+    }
+
+    /// A sequence: node term plus optional continuation.
+    fn seq(&mut self) -> Result<SeqAst> {
+        let head = self.node_term()?;
+        let mut branches = Vec::new();
+        if self.eat(&Tok::Dash) {
+            // continuation: branch or parenthesized branch list
+            if self.eat(&Tok::LParen) {
+                branches.push(self.branch()?);
+                while self.eat(&Tok::Comma) {
+                    branches.push(self.branch()?);
+                }
+                self.expect(Tok::RParen, "`)` closing the branch list")?;
+            } else {
+                branches.push(self.branch()?);
+            }
+        }
+        Ok(SeqAst { head, branches })
+    }
+
+    fn branch(&mut self) -> Result<BranchAst> {
+        let link = if self.peek() == Some(&Tok::LBracket) {
+            let label = self.link_label()?;
+            self.expect(Tok::Dash, "`-` after a link label")?;
+            Some(label)
+        } else {
+            None
+        };
+        let seq = self.seq()?;
+        Ok(BranchAst { link, seq })
+    }
+
+    fn link_label(&mut self) -> Result<LinkLabel> {
+        self.expect(Tok::LBracket, "`[`")?;
+        let name = self.link_name()?;
+        let dir = match self.peek() {
+            Some(Tok::Gt) => {
+                self.pos += 1;
+                Some(DirMark::Fwd)
+            }
+            Some(Tok::Lt) => {
+                self.pos += 1;
+                Some(DirMark::Bwd)
+            }
+            Some(Tok::Tilde) => {
+                self.pos += 1;
+                Some(DirMark::Sym)
+            }
+            _ => None,
+        };
+        self.expect(Tok::RBracket, "`]`")?;
+        Ok(LinkLabel { name, dir })
+    }
+
+    /// A link-type name: identifiers joined by dashes (`state-area`).
+    fn link_name(&mut self) -> Result<String> {
+        let mut name = self.ident("link-type name")?;
+        while self.peek() == Some(&Tok::Dash) {
+            // only continue when a name part follows (`state-area`)
+            if let Some(Tok::Ident(_)) = self.peek2() {
+                self.pos += 1;
+                name.push('-');
+                name.push_str(&self.ident("link-type name part")?);
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    fn node_term(&mut self) -> Result<NodeTerm> {
+        let first = self.ident("atom type or alias")?;
+        if self.eat(&Tok::Colon) {
+            let atom_type = self.ident("atom type")?;
+            Ok(NodeTerm {
+                alias: first,
+                atom_type,
+            })
+        } else {
+            Ok(NodeTerm {
+                alias: first.clone(),
+                atom_type: first,
+            })
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // WHERE expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<ExprAst> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw(Kw::Or) {
+            let right = self.and_expr()?;
+            left = ExprAst::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst> {
+        let mut left = self.unary_expr()?;
+        while self.eat_kw(Kw::And) {
+            let right = self.unary_expr()?;
+            left = ExprAst::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprAst> {
+        if self.eat_kw(Kw::Not) {
+            let inner = self.unary_expr()?;
+            return Ok(ExprAst::Not(Box::new(inner)));
+        }
+        self.primary_expr()
+    }
+
+    fn agg_kw(&mut self) -> Option<AggFn> {
+        let agg = match self.peek() {
+            Some(Tok::Kw(Kw::Sum)) => AggFn::Sum,
+            Some(Tok::Kw(Kw::Min)) => AggFn::Min,
+            Some(Tok::Kw(Kw::Max)) => AggFn::Max,
+            Some(Tok::Kw(Kw::Avg)) => AggFn::Avg,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(agg)
+    }
+
+    fn primary_expr(&mut self) -> Result<ExprAst> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Some(Tok::Kw(Kw::Exists)) | Some(Tok::Kw(Kw::Forall)) => {
+                let forall = matches!(self.peek(), Some(Tok::Kw(Kw::Forall)));
+                self.pos += 1;
+                self.expect(Tok::LParen, "`(`")?;
+                let node = self.ident("node alias")?;
+                self.expect(Tok::Colon, "`:`")?;
+                let inner = self.expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(if forall {
+                    ExprAst::Forall {
+                        node,
+                        expr: Box::new(inner),
+                    }
+                } else {
+                    ExprAst::Exists {
+                        node,
+                        expr: Box::new(inner),
+                    }
+                })
+            }
+            Some(Tok::Kw(Kw::Count)) => {
+                self.pos += 1;
+                self.expect(Tok::LParen, "`(`")?;
+                let node = self.ident("node alias")?;
+                self.expect(Tok::RParen, "`)`")?;
+                let op = self.cmp_op()?;
+                match self.bump() {
+                    Some(Tok::Int(n)) => Ok(ExprAst::CountCmp { node, op, count: n }),
+                    _ => Err(self.err("expected an integer after COUNT comparison")),
+                }
+            }
+            _ => {
+                if let Some(agg) = self.agg_kw() {
+                    self.expect(Tok::LParen, "`(`")?;
+                    let node = self.ident("node alias")?;
+                    self.expect(Tok::Dot, "`.`")?;
+                    let attr = self.ident("attribute")?;
+                    self.expect(Tok::RParen, "`)`")?;
+                    let op = self.cmp_op()?;
+                    let value = self.literal()?;
+                    return Ok(ExprAst::AggCmp {
+                        agg,
+                        node,
+                        attr,
+                        op,
+                        value,
+                    });
+                }
+                let left = self.operand()?;
+                let op = self.cmp_op()?;
+                let right = self.operand()?;
+                Ok(ExprAst::Cmp { left, op, right })
+            }
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek() {
+            Some(Tok::Eq) => CmpOp::Eq,
+            Some(Tok::Ne) => CmpOp::Ne,
+            Some(Tok::Lt) => CmpOp::Lt,
+            Some(Tok::Le) => CmpOp::Le,
+            Some(Tok::Gt) => CmpOp::Gt,
+            Some(Tok::Ge) => CmpOp::Ge,
+            _ => return Err(self.err("expected a comparison operator")),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn operand(&mut self) -> Result<OperandAst> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let node = self.ident("node alias")?;
+                self.expect(Tok::Dot, "`.` (operands are node.attr or literals)")?;
+                let attr = self.ident("attribute")?;
+                Ok(OperandAst::Attr { node, attr })
+            }
+            _ => Ok(OperandAst::Lit(self.literal()?)),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Lit> {
+        // optional unary minus for numerics
+        let neg = self.eat(&Tok::Dash);
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Lit::Int(if neg { -n } else { n })),
+            Some(Tok::Float(x)) => Ok(Lit::Float(if neg { -x } else { x })),
+            Some(Tok::Str(s)) if !neg => Ok(Lit::Str(s)),
+            Some(Tok::Kw(Kw::True)) if !neg => Ok(Lit::Bool(true)),
+            Some(Tok::Kw(Kw::False)) if !neg => Ok(Lit::Bool(false)),
+            Some(Tok::Kw(Kw::Null)) if !neg => Ok(Lit::Null),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expected a literal"))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // DDL / DML statements
+    // ------------------------------------------------------------------
+
+    fn define(&mut self) -> Result<Statement> {
+        self.expect_kw(Kw::Define, "DEFINE")?;
+        self.expect_kw(Kw::Molecule, "MOLECULE")?;
+        let name = self.ident("molecule-type name")?;
+        self.expect_kw(Kw::As, "AS")?;
+        let structure = StructureAst { root: self.seq()? };
+        Ok(Statement::Define { name, structure })
+    }
+
+    fn insert(&mut self) -> Result<Statement> {
+        self.expect_kw(Kw::Insert, "INSERT")?;
+        self.expect_kw(Kw::Atom, "ATOM")?;
+        let atom_type = self.ident("atom type")?;
+        self.expect(Tok::LParen, "`(`")?;
+        let mut values = Vec::new();
+        if self.peek() != Some(&Tok::RParen) {
+            loop {
+                let attr = self.ident("attribute")?;
+                self.expect(Tok::Eq, "`=`")?;
+                let lit = self.literal()?;
+                values.push((attr, lit));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "`)`")?;
+        Ok(Statement::InsertAtom { atom_type, values })
+    }
+
+    fn atom_selector(&mut self) -> Result<AtomSelector> {
+        let atom_type = self.ident("atom type")?;
+        self.expect(Tok::LBracket, "`[`")?;
+        let attr = self.ident("attribute")?;
+        self.expect(Tok::Eq, "`=`")?;
+        let value = self.literal()?;
+        self.expect(Tok::RBracket, "`]`")?;
+        Ok(AtomSelector {
+            atom_type,
+            attr,
+            value,
+        })
+    }
+
+    fn connect(&mut self, disconnect: bool) -> Result<Statement> {
+        if disconnect {
+            self.expect_kw(Kw::Disconnect, "DISCONNECT")?;
+        } else {
+            self.expect_kw(Kw::Connect, "CONNECT")?;
+        }
+        let from = self.atom_selector()?;
+        self.expect_kw(Kw::To, "TO")?;
+        let to = self.atom_selector()?;
+        self.expect_kw(Kw::Via, "VIA")?;
+        let link = self.link_name()?;
+        Ok(if disconnect {
+            Statement::Disconnect { from, to, link }
+        } else {
+            Statement::Connect { from, to, link }
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement> {
+        self.expect_kw(Kw::Delete, "DELETE")?;
+        self.expect_kw(Kw::Atom, "ATOM")?;
+        let selector = self.atom_selector()?;
+        Ok(Statement::DeleteAtom { selector })
+    }
+
+    fn update(&mut self) -> Result<Statement> {
+        self.expect_kw(Kw::Update, "UPDATE")?;
+        let selector = self.atom_selector()?;
+        self.expect_kw(Kw::Set, "SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let attr = self.ident("attribute")?;
+            self.expect(Tok::Eq, "`=`")?;
+            let lit = self.literal()?;
+            sets.push((attr, lit));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Update { selector, sets })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(s: &str) -> Result<Statement> {
+        let toks = lex(s)?;
+        Parser::new(&toks).parse_statement()
+    }
+
+    fn parse_ok(s: &str) -> Statement {
+        parse(s).unwrap_or_else(|e| panic!("parse failed for `{s}`: {e}"))
+    }
+
+    #[test]
+    fn paper_example_mt_state() {
+        let stmt = parse_ok("SELECT ALL FROM mt_state(state-area-edge-point);");
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        assert_eq!(sel.projection, Projection::All);
+        let FromClause::Inline { name, structure } = sel.from else {
+            panic!()
+        };
+        assert_eq!(name.as_deref(), Some("mt_state"));
+        // linear path: state → area → edge → point
+        let mut seq = &structure.root;
+        let mut names = vec![seq.head.atom_type.clone()];
+        while let Some(b) = seq.branches.first() {
+            seq = &b.seq;
+            names.push(seq.head.atom_type.clone());
+        }
+        assert_eq!(names, vec!["state", "area", "edge", "point"]);
+        assert!(sel.where_clause.is_none());
+    }
+
+    #[test]
+    fn paper_example_point_neighborhood() {
+        let stmt = parse_ok(
+            "SELECT ALL FROM point-edge-(area-state,net-river) WHERE point.pname = 'pn';",
+        );
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let FromClause::Inline {
+            name: None,
+            structure,
+        } = sel.from
+        else {
+            panic!()
+        };
+        let root = &structure.root;
+        assert_eq!(root.head.atom_type, "point");
+        let edge_seq = &root.branches[0].seq;
+        assert_eq!(edge_seq.head.atom_type, "edge");
+        assert_eq!(edge_seq.branches.len(), 2, "two branches under edge");
+        assert_eq!(edge_seq.branches[0].seq.head.atom_type, "area");
+        assert_eq!(edge_seq.branches[1].seq.head.atom_type, "net");
+        assert!(matches!(
+            sel.where_clause,
+            Some(ExprAst::Cmp { .. })
+        ));
+    }
+
+    #[test]
+    fn explicit_link_labels_and_aliases() {
+        let stmt =
+            parse_ok("SELECT ALL FROM super:parts-[composition>]-sub:parts");
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let FromClause::Inline { structure, .. } = sel.from else {
+            panic!()
+        };
+        let root = &structure.root;
+        assert_eq!(root.head.alias, "super");
+        assert_eq!(root.head.atom_type, "parts");
+        let b = &root.branches[0];
+        let label = b.link.as_ref().unwrap();
+        assert_eq!(label.name, "composition");
+        assert_eq!(label.dir, Some(DirMark::Fwd));
+        assert_eq!(b.seq.head.alias, "sub");
+    }
+
+    #[test]
+    fn dashed_link_names_in_labels() {
+        let stmt = parse_ok("SELECT ALL FROM state-[state-area]-area");
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let FromClause::Inline { structure, .. } = sel.from else {
+            panic!()
+        };
+        let label = structure.root.branches[0].link.as_ref().unwrap();
+        assert_eq!(label.name, "state-area");
+        assert_eq!(label.dir, None);
+    }
+
+    #[test]
+    fn named_from_clause() {
+        let stmt = parse_ok("SELECT ALL FROM mt_state");
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        assert_eq!(sel.from, FromClause::Named("mt_state".into()));
+    }
+
+    #[test]
+    fn recursive_from() {
+        let stmt = parse_ok("SELECT ALL FROM RECURSIVE parts VIA composition DOWN DEPTH 3");
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        assert_eq!(
+            sel.from,
+            FromClause::Recursive {
+                atom_type: "parts".into(),
+                link: "composition".into(),
+                dir: RecDir::Down,
+                depth: Some(3),
+            }
+        );
+        // default direction is DOWN, no depth
+        let stmt = parse_ok("SELECT ALL FROM RECURSIVE parts VIA composition");
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        assert!(matches!(
+            sel.from,
+            FromClause::Recursive {
+                dir: RecDir::Down,
+                depth: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn projection_items() {
+        let stmt = parse_ok("SELECT state.sname, area, edge.ALL FROM state-area-edge");
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let Projection::Items(items) = sel.projection else {
+            panic!()
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].attr.as_deref(), Some("sname"));
+        assert_eq!(items[1].attr, None);
+        assert_eq!(items[2].attr, None, "node.ALL keeps all attributes");
+    }
+
+    #[test]
+    fn where_precedence_and_quantifiers() {
+        let stmt = parse_ok(
+            "SELECT ALL FROM state-area WHERE state.sname = 'SP' OR state.sname = 'MG' \
+             AND NOT EXISTS(area: area.aid > 5)",
+        );
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        // OR is the top node (AND binds tighter)
+        let Some(ExprAst::Or(_, rhs)) = sel.where_clause else {
+            panic!()
+        };
+        assert!(matches!(*rhs, ExprAst::And(_, _)));
+    }
+
+    #[test]
+    fn count_and_aggregates() {
+        let stmt = parse_ok(
+            "SELECT ALL FROM state-area WHERE COUNT(area) >= 2 AND SUM(area.aid) < 10 \
+             AND MAX(area.aid) <> 4",
+        );
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        assert!(sel.where_clause.is_some());
+    }
+
+    #[test]
+    fn negative_literals() {
+        let stmt = parse_ok("SELECT ALL FROM state-area WHERE area.aid > -5");
+        let Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let Some(ExprAst::Cmp { right, .. }) = sel.where_clause else {
+            panic!()
+        };
+        assert_eq!(right, OperandAst::Lit(Lit::Int(-5)));
+    }
+
+    #[test]
+    fn define_statement() {
+        let stmt = parse_ok("DEFINE MOLECULE pn AS point-edge-(area-state,net-river)");
+        assert!(matches!(stmt, Statement::Define { ref name, .. } if name == "pn"));
+    }
+
+    #[test]
+    fn dml_statements() {
+        assert!(matches!(
+            parse_ok("INSERT ATOM state (sname = 'SP', hectare = 1000.0)"),
+            Statement::InsertAtom { .. }
+        ));
+        assert!(matches!(
+            parse_ok("CONNECT state[sname='SP'] TO area[aid=1] VIA state-area"),
+            Statement::Connect { .. }
+        ));
+        assert!(matches!(
+            parse_ok("DISCONNECT state[sname='SP'] TO area[aid=1] VIA state-area"),
+            Statement::Disconnect { .. }
+        ));
+        assert!(matches!(
+            parse_ok("DELETE ATOM state[sname='SP']"),
+            Statement::DeleteAtom { .. }
+        ));
+        assert!(matches!(
+            parse_ok("UPDATE state[sname='SP'] SET hectare = 2000.0, sname = 'SP2'"),
+            Statement::Update { .. }
+        ));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT ALL").is_err());
+        assert!(parse("SELECT ALL FROM").is_err());
+        assert!(parse("FROM state").is_err());
+        assert!(parse("SELECT ALL FROM state-").is_err());
+        assert!(parse("SELECT ALL FROM state-area WHERE").is_err());
+        assert!(parse("SELECT ALL FROM state-area WHERE state.sname").is_err());
+        assert!(parse("SELECT ALL FROM a-(b,c) extra").is_err());
+        assert!(parse("SELECT ALL FROM RECURSIVE parts VIA composition DEPTH x").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_optional() {
+        assert!(parse("SELECT ALL FROM state-area").is_ok());
+        assert!(parse("SELECT ALL FROM state-area;").is_ok());
+    }
+}

@@ -1,0 +1,501 @@
+//! The MQL session: a database + engine + named-molecule-type catalog.
+//!
+//! A [`Session`] is the user-facing entry point of the reproduction: feed it
+//! MQL text, get molecule sets back. This mirrors the PRIMA architecture
+//! (§5): the session's `Engine` is the molecule-processing component, the
+//! `Database` underneath is the atom-oriented component.
+
+use crate::ast::Statement;
+use crate::exec::{execute, StatementResult};
+use mad_core::ops::Engine;
+use mad_core::structure::MoleculeStructure;
+use mad_model::{FxHashMap, Result};
+use mad_storage::Database;
+
+/// An MQL session.
+pub struct Session {
+    engine: Engine,
+    catalog: FxHashMap<String, MoleculeStructure>,
+}
+
+impl Session {
+    /// Open a session over a database.
+    pub fn new(db: Database) -> Self {
+        Session {
+            engine: Engine::new(db),
+            catalog: FxHashMap::default(),
+        }
+    }
+
+    /// Open a session over an existing engine (keeps its provenance/trace).
+    pub fn with_engine(engine: Engine) -> Self {
+        Session {
+            engine,
+            catalog: FxHashMap::default(),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (e.g. to create indexes).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// The database.
+    pub fn db(&self) -> &Database {
+        self.engine.db()
+    }
+
+    /// Registered molecule-type names.
+    pub fn catalog_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.catalog.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Look up a registered structure.
+    pub fn catalog_get(&self, name: &str) -> Option<&MoleculeStructure> {
+        self.catalog.get(name)
+    }
+
+    /// Parse and execute one MQL statement.
+    pub fn execute(&mut self, mql: &str) -> Result<StatementResult> {
+        let stmt = crate::parse(mql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        execute(&mut self.engine, &mut self.catalog, stmt)
+    }
+
+    /// Execute a script of `;`-separated statements, returning every result.
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<StatementResult>> {
+        let mut results = Vec::new();
+        for stmt_src in split_statements(script) {
+            results.push(self.execute(&stmt_src)?);
+        }
+        Ok(results)
+    }
+}
+
+/// Split a script on `;` outside string literals; empty statements are
+/// skipped.
+fn split_statements(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_str = false;
+    let mut chars = script.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                in_str = !in_str;
+                current.push(c);
+            }
+            ';' if !in_str => {
+                if !current.trim().is_empty() {
+                    out.push(current.trim().to_owned());
+                }
+                current.clear();
+            }
+            '-' if !in_str && chars.peek() == Some(&'-') => {
+                // skip comment to end of line
+                for c2 in chars.by_ref() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                }
+                current.push(' ');
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current.trim().to_owned());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::{AttrType, SchemaBuilder, Value};
+
+    /// The mini Fig.-2 geography used across the workspace tests.
+    fn mini_geo() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text), ("hectare", AttrType::Float)])
+            .atom_type("river", &[("rname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .atom_type("net", &[("nid", AttrType::Int)])
+            .atom_type("edge", &[("eid", AttrType::Int)])
+            .atom_type("point", &[("pname", AttrType::Text)])
+            .atom_type("parts", &[("pname", AttrType::Text)])
+            .link_type("state-area", "state", "area")
+            .link_type("river-net", "river", "net")
+            .link_type("area-edge", "area", "edge")
+            .link_type("net-edge", "net", "edge")
+            .link_type("edge-point", "edge", "point")
+            .link_type("composition", "parts", "parts")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let t = |db: &Database, n: &str| db.schema().atom_type_id(n).unwrap();
+        let l = |db: &Database, n: &str| db.schema().link_type_id(n).unwrap();
+        let sp = db
+            .insert_atom(t(&db, "state"), vec![Value::from("SP"), Value::from(1000.0)])
+            .unwrap();
+        let mg = db
+            .insert_atom(t(&db, "state"), vec![Value::from("MG"), Value::from(900.0)])
+            .unwrap();
+        let parana = db
+            .insert_atom(t(&db, "river"), vec![Value::from("Parana")])
+            .unwrap();
+        let a1 = db.insert_atom(t(&db, "area"), vec![Value::from(1)]).unwrap();
+        let a2 = db.insert_atom(t(&db, "area"), vec![Value::from(2)]).unwrap();
+        let n1 = db.insert_atom(t(&db, "net"), vec![Value::from(1)]).unwrap();
+        let e1 = db.insert_atom(t(&db, "edge"), vec![Value::from(1)]).unwrap();
+        let e2 = db.insert_atom(t(&db, "edge"), vec![Value::from(2)]).unwrap();
+        let e3 = db.insert_atom(t(&db, "edge"), vec![Value::from(3)]).unwrap();
+        let p1 = db
+            .insert_atom(t(&db, "point"), vec![Value::from("p1")])
+            .unwrap();
+        let p2 = db
+            .insert_atom(t(&db, "point"), vec![Value::from("p2")])
+            .unwrap();
+        db.connect(l(&db, "state-area"), sp, a1).unwrap();
+        db.connect(l(&db, "state-area"), mg, a2).unwrap();
+        db.connect(l(&db, "river-net"), parana, n1).unwrap();
+        db.connect(l(&db, "area-edge"), a1, e1).unwrap();
+        db.connect(l(&db, "area-edge"), a1, e2).unwrap();
+        db.connect(l(&db, "area-edge"), a2, e2).unwrap();
+        db.connect(l(&db, "area-edge"), a2, e3).unwrap();
+        db.connect(l(&db, "net-edge"), n1, e2).unwrap();
+        db.connect(l(&db, "edge-point"), e1, p1).unwrap();
+        db.connect(l(&db, "edge-point"), e2, p1).unwrap();
+        db.connect(l(&db, "edge-point"), e2, p2).unwrap();
+        db.connect(l(&db, "edge-point"), e3, p2).unwrap();
+        // a small BOM for recursive queries
+        let engine = db
+            .insert_atom(t(&db, "parts"), vec![Value::from("engine")])
+            .unwrap();
+        let piston = db
+            .insert_atom(t(&db, "parts"), vec![Value::from("piston")])
+            .unwrap();
+        let bolt = db
+            .insert_atom(t(&db, "parts"), vec![Value::from("bolt")])
+            .unwrap();
+        db.connect(l(&db, "composition"), engine, piston).unwrap();
+        db.connect(l(&db, "composition"), piston, bolt).unwrap();
+        db
+    }
+
+    fn session() -> Session {
+        Session::new(mini_geo())
+    }
+
+    fn molecules(r: StatementResult) -> mad_core::molecule::MoleculeType {
+        match r {
+            StatementResult::Molecules(mt) => mt,
+            other => panic!("expected molecules, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_query_mt_state() {
+        let mut s = session();
+        let mt = molecules(
+            s.execute("SELECT ALL FROM mt_state(state-area-edge-point);")
+                .unwrap(),
+        );
+        assert_eq!(mt.len(), 2, "one molecule per state");
+        assert_eq!(mt.name, "mt_state");
+        // the inline definition was registered
+        assert!(s.catalog_get("mt_state").is_some());
+        // and can be reused by name
+        let mt2 = molecules(s.execute("SELECT ALL FROM mt_state").unwrap());
+        assert_eq!(mt2.len(), 2);
+    }
+
+    #[test]
+    fn paper_query_point_neighborhood() {
+        let mut s = session();
+        let mt = molecules(
+            s.execute(
+                "SELECT ALL FROM point-edge-(area-state,net-river) WHERE point.pname = 'p1';",
+            )
+            .unwrap(),
+        );
+        assert_eq!(mt.len(), 1);
+        let m = &mt.molecules[0];
+        // p1 → e1,e2 → a1,a2 → SP,MG; e2 → n1 → Parana
+        assert_eq!(m.atoms_at(1).len(), 2, "edges");
+        assert_eq!(m.atoms_at(3).len(), 2, "states");
+        assert_eq!(m.atoms_at(5).len(), 1, "rivers");
+        s.engine().verify_closure(&mt).unwrap();
+    }
+
+    #[test]
+    fn where_on_child_and_aggregate() {
+        let mut s = session();
+        let mt = molecules(
+            s.execute("SELECT ALL FROM state-area-edge WHERE COUNT(edge) >= 2")
+                .unwrap(),
+        );
+        assert_eq!(mt.len(), 2, "both states touch ≥ 2 edges");
+        let mt = molecules(
+            s.execute("SELECT ALL FROM state-area-edge WHERE edge.eid = 3")
+                .unwrap(),
+        );
+        assert_eq!(mt.len(), 1, "only MG reaches e3");
+    }
+
+    #[test]
+    fn select_projection() {
+        let mut s = session();
+        let mt = molecules(
+            s.execute("SELECT state.sname, area FROM state-area-edge-point")
+                .unwrap(),
+        );
+        assert_eq!(mt.structure.node_count(), 2);
+        let root_def = s.db().schema().atom_type(mt.structure.root_node().ty);
+        assert_eq!(root_def.attrs.len(), 1);
+        assert_eq!(root_def.attrs[0].name, "sname");
+        // illegal projection: point without its parent edge
+        assert!(s
+            .execute("SELECT state, point FROM state-area-edge-point")
+            .is_err());
+    }
+
+    #[test]
+    fn single_node_from() {
+        let mut s = session();
+        let mt = molecules(s.execute("SELECT ALL FROM state").unwrap());
+        assert_eq!(mt.len(), 2);
+        assert_eq!(mt.structure.node_count(), 1);
+    }
+
+    #[test]
+    fn define_then_select() {
+        let mut s = session();
+        let r = s
+            .execute("DEFINE MOLECULE pn AS point-edge-(area-state,net-river)")
+            .unwrap();
+        assert!(matches!(r, StatementResult::Defined(_)));
+        assert_eq!(s.catalog_names(), vec!["pn"]);
+        let mt = molecules(
+            s.execute("SELECT ALL FROM pn WHERE point.pname = 'p2'")
+                .unwrap(),
+        );
+        assert_eq!(mt.len(), 1);
+    }
+
+    #[test]
+    fn recursive_query() {
+        let mut s = session();
+        let r = s
+            .execute(
+                "SELECT ALL FROM RECURSIVE parts VIA composition DOWN WHERE parts.pname = 'engine'",
+            )
+            .unwrap();
+        let StatementResult::Recursive(ms) = r else {
+            panic!()
+        };
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].size(), 3, "engine, piston, bolt");
+        // where-used view
+        let r = s
+            .execute("SELECT ALL FROM RECURSIVE parts VIA composition UP WHERE parts.pname = 'bolt'")
+            .unwrap();
+        let StatementResult::Recursive(ms) = r else {
+            panic!()
+        };
+        assert_eq!(ms[0].size(), 3);
+        // depth bound
+        let r = s
+            .execute(
+                "SELECT ALL FROM RECURSIVE parts VIA composition DOWN DEPTH 1 \
+                 WHERE parts.pname = 'engine'",
+            )
+            .unwrap();
+        let StatementResult::Recursive(ms) = r else {
+            panic!()
+        };
+        assert_eq!(ms[0].size(), 2);
+    }
+
+    #[test]
+    fn dml_roundtrip() {
+        let mut s = session();
+        let r = s
+            .execute("INSERT ATOM state (sname = 'RJ', hectare = 500.0)")
+            .unwrap();
+        let StatementResult::Inserted(rj) = r else {
+            panic!()
+        };
+        assert!(s.db().atom_exists(rj));
+        let r = s
+            .execute("INSERT ATOM area (aid = 9)")
+            .unwrap();
+        let StatementResult::Inserted(_) = r else {
+            panic!()
+        };
+        let r = s
+            .execute("CONNECT state[sname='RJ'] TO area[aid=9] VIA state-area")
+            .unwrap();
+        assert!(matches!(r, StatementResult::Connected(true)));
+        // the molecule now exists
+        let mt = molecules(
+            s.execute("SELECT ALL FROM state-area WHERE state.sname = 'RJ'")
+                .unwrap(),
+        );
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.molecules[0].atoms_at(1).len(), 1);
+        // update
+        let r = s
+            .execute("UPDATE state[sname='RJ'] SET hectare = 750.0")
+            .unwrap();
+        assert!(matches!(r, StatementResult::Updated { atoms: 1 }));
+        // disconnect and delete
+        let r = s
+            .execute("DISCONNECT state[sname='RJ'] TO area[aid=9] VIA state-area")
+            .unwrap();
+        assert!(matches!(r, StatementResult::Disconnected(true)));
+        let r = s.execute("DELETE ATOM state[sname='RJ']").unwrap();
+        assert!(matches!(
+            r,
+            StatementResult::Deleted { atoms: 1, links: 0 }
+        ));
+        assert!(s.db().audit_referential_integrity().is_empty());
+    }
+
+    #[test]
+    fn delete_cascades_links() {
+        let mut s = session();
+        let r = s.execute("DELETE ATOM edge[eid=2]").unwrap();
+        let StatementResult::Deleted { atoms, links } = r else {
+            panic!()
+        };
+        assert_eq!(atoms, 1);
+        assert_eq!(links, 5, "a1,a2,n1 plus p1,p2");
+        assert!(s.db().audit_referential_integrity().is_empty());
+    }
+
+    #[test]
+    fn ambiguous_selector_rejected() {
+        let mut s = session();
+        s.execute("INSERT ATOM point (pname = 'p1')").unwrap();
+        let err = s
+            .execute("CONNECT edge[eid=1] TO point[pname='p1'] VIA edge-point")
+            .unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+        let err = s
+            .execute("CONNECT edge[eid=99] TO point[pname='p2'] VIA edge-point")
+            .unwrap_err();
+        assert!(err.to_string().contains("matches no atom"));
+    }
+
+    #[test]
+    fn reflexive_connect_uses_explicit_orientation() {
+        let mut s = session();
+        s.execute("INSERT ATOM parts (pname = 'ring')").unwrap();
+        let r = s
+            .execute("CONNECT parts[pname='piston'] TO parts[pname='ring'] VIA composition")
+            .unwrap();
+        assert!(matches!(r, StatementResult::Connected(true)));
+        let r = s
+            .execute(
+                "SELECT ALL FROM RECURSIVE parts VIA composition DOWN WHERE parts.pname = 'piston'",
+            )
+            .unwrap();
+        let StatementResult::Recursive(ms) = r else {
+            panic!()
+        };
+        assert_eq!(ms[0].size(), 3, "piston, bolt, ring");
+    }
+
+    #[test]
+    fn execute_script_multi_statement() {
+        let mut s = session();
+        let results = s
+            .execute_script(
+                "-- demo script\n\
+                 DEFINE MOLECULE ms AS state-area;\n\
+                 SELECT ALL FROM ms WHERE state.sname = 'SP';\n\
+                 SELECT ALL FROM ms;",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(matches!(results[0], StatementResult::Defined(_)));
+    }
+
+    #[test]
+    fn semicolon_inside_string_literal() {
+        let stmts = split_statements("SELECT ALL FROM state WHERE state.sname = 'a;b'; SELECT ALL FROM state");
+        assert_eq!(stmts.len(), 2);
+        assert!(stmts[0].contains("a;b"));
+    }
+
+    #[test]
+    fn explain_reports_plan() {
+        let mut s = session();
+        s.engine_mut()
+            .create_index("state", "sname", mad_storage::IndexKind::Ordered)
+            .unwrap();
+        let r = s
+            .execute("EXPLAIN SELECT ALL FROM state-area-edge WHERE state.sname = 'SP'")
+            .unwrap();
+        let StatementResult::Plan(plan) = r else {
+            panic!("expected a plan")
+        };
+        assert!(matches!(
+            plan.root_selection,
+            mad_core::explain::RootSelection::IndexAssisted { .. }
+        ));
+        let text = plan.to_string();
+        assert!(text.contains("suggested strategy"));
+        // without an index on the attribute the plan falls back to a scan
+        let r = s
+            .execute("EXPLAIN SELECT ALL FROM state-area WHERE state.hectare > 900.0")
+            .unwrap();
+        let StatementResult::Plan(plan) = r else {
+            panic!()
+        };
+        assert!(matches!(
+            plan.root_selection,
+            mad_core::explain::RootSelection::ScanFiltered { .. }
+        ));
+        // no WHERE → full occurrence
+        let r = s.execute("EXPLAIN SELECT ALL FROM state-area").unwrap();
+        let StatementResult::Plan(plan) = r else {
+            panic!()
+        };
+        assert!(matches!(
+            plan.root_selection,
+            mad_core::explain::RootSelection::FullOccurrence { atoms: 2 }
+        ));
+        // EXPLAIN over a named molecule type
+        s.execute("DEFINE MOLECULE b AS state-area").unwrap();
+        assert!(matches!(
+            s.execute("EXPLAIN SELECT ALL FROM b").unwrap(),
+            StatementResult::Plan(_)
+        ));
+        // recursive FROM is rejected
+        assert!(s
+            .execute("EXPLAIN SELECT ALL FROM RECURSIVE parts VIA composition")
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let mut s = session();
+        assert!(s.execute("SELECT ALL FROM ghost").is_err());
+        assert!(s.execute("SELECT ALL FROM state-ghost").is_err());
+        assert!(s.execute("INSERT ATOM ghost (x = 1)").is_err());
+        assert!(s.execute("INSERT ATOM state (ghost = 1)").is_err());
+    }
+}

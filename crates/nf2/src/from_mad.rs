@@ -1,0 +1,310 @@
+//! Materializing MAD molecule types as nested relations — and measuring
+//! what that costs.
+//!
+//! §5: hierarchical models (NF² among them) "are just special cases" of the
+//! MAD model because they cannot express *shared subobjects* or *network
+//! structures*. Concretely:
+//!
+//! * a molecule **structure** that is a DAG (e.g. the diamond in
+//!   `point-edge-(area-state,net-river)`) must be forced through a
+//!   spanning tree, dropping the non-tree incoming edges;
+//! * a subobject shared between molecules (the Paraná sharing edges with
+//!   three states) must be **copied into every parent** — nested relations
+//!   have no identity-based references.
+//!
+//! [`materialize`] performs that transformation; the resulting
+//! [`Nf2Materialization`] reports the duplication factor
+//! (atom *instances* embedded in the nested relation vs. *distinct* atoms
+//! in the molecule set) — the quantity benchmark B2 sweeps.
+
+use crate::nested::{NestedAttr, NestedRelation, NestedValue};
+use mad_core::molecule::MoleculeType;
+use mad_model::{AtomId, Result};
+use mad_storage::Database;
+use std::collections::BTreeSet;
+
+/// The result of materializing a molecule type as a nested relation.
+#[derive(Clone, Debug)]
+pub struct Nf2Materialization {
+    /// The nested relation (one top-level tuple per molecule).
+    pub relation: NestedRelation,
+    /// Number of atom instances embedded (with duplication).
+    pub atom_instances: usize,
+    /// Number of distinct atoms in the molecule set.
+    pub distinct_atoms: usize,
+    /// Number of structure edges dropped to force a spanning tree.
+    pub dag_edges_dropped: usize,
+}
+
+impl Nf2Materialization {
+    /// `atom_instances / distinct_atoms` — 1.0 means no sharing existed;
+    /// the factor grows with the §5 sharing degree.
+    pub fn duplication_factor(&self) -> f64 {
+        if self.distinct_atoms == 0 {
+            1.0
+        } else {
+            self.atom_instances as f64 / self.distinct_atoms as f64
+        }
+    }
+}
+
+/// Spanning tree of a structure: for every non-root node keep only its
+/// first incoming edge. Returns (kept edge per node, dropped edge count).
+fn spanning_tree(mt: &MoleculeType) -> (Vec<Option<usize>>, usize) {
+    let md = &mt.structure;
+    let mut keep: Vec<Option<usize>> = vec![None; md.node_count()];
+    let mut dropped = 0usize;
+    #[allow(clippy::needless_range_loop)]
+    for n in 0..md.node_count() {
+        let inc = md.incoming(n);
+        if let Some(&first) = inc.first() {
+            keep[n] = Some(first);
+            dropped += inc.len() - 1;
+        }
+    }
+    (keep, dropped)
+}
+
+fn nested_schema_for(
+    db: &Database,
+    mt: &MoleculeType,
+    tree_children: &[Vec<usize>],
+    node: usize,
+) -> Vec<NestedAttr> {
+    let md = &mt.structure;
+    let def = db.schema().atom_type(md.nodes()[node].ty);
+    let mut attrs: Vec<NestedAttr> = def
+        .attrs
+        .iter()
+        .map(|a| NestedAttr::atomic(&a.name, a.ty))
+        .collect();
+    for &child in &tree_children[node] {
+        let name = md.nodes()[child].alias.clone();
+        attrs.push(NestedAttr::Nested {
+            name,
+            schema: nested_schema_for(db, mt, tree_children, child),
+        });
+    }
+    attrs
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_tuple(
+    db: &Database,
+    mt: &MoleculeType,
+    molecule: usize,
+    tree_children: &[Vec<usize>],
+    tree_edge: &[Option<usize>],
+    node: usize,
+    atom: AtomId,
+    instances: &mut usize,
+) -> Result<Vec<NestedValue>> {
+    *instances += 1;
+    let m = &mt.molecules[molecule];
+    let mut tuple: Vec<NestedValue> = db
+        .atom(atom)?
+        .iter()
+        .cloned()
+        .map(NestedValue::Atomic)
+        .collect();
+    for &child in &tree_children[node] {
+        let ei = tree_edge[child].expect("child has a tree edge");
+        let mut rows: BTreeSet<Vec<NestedValue>> = BTreeSet::new();
+        for &(p, c) in m.links_at(ei) {
+            if p == atom {
+                rows.insert(build_tuple(
+                    db,
+                    mt,
+                    molecule,
+                    tree_children,
+                    tree_edge,
+                    child,
+                    c,
+                    instances,
+                )?);
+            }
+        }
+        tuple.push(NestedValue::Rel(rows));
+    }
+    Ok(tuple)
+}
+
+/// Materialize `mt` as a nested relation (one tuple per molecule, children
+/// nested along the structure's spanning tree, shared subobjects copied).
+pub fn materialize(db: &Database, mt: &MoleculeType) -> Result<Nf2Materialization> {
+    let md = &mt.structure;
+    let (tree_edge, dropped) = spanning_tree(mt);
+    let mut tree_children: Vec<Vec<usize>> = vec![Vec::new(); md.node_count()];
+    for (n, e) in tree_edge.iter().enumerate() {
+        if let Some(ei) = e {
+            tree_children[md.edges()[*ei].from].push(n);
+        }
+    }
+    let schema = nested_schema_for(db, mt, &tree_children, md.root());
+    let mut rel = NestedRelation::new(format!("nf2_{}", mt.name), schema);
+    let mut instances = 0usize;
+    for (mi, m) in mt.molecules.iter().enumerate() {
+        let tuple = build_tuple(
+            db,
+            mt,
+            mi,
+            &tree_children,
+            &tree_edge,
+            md.root(),
+            m.root,
+            &mut instances,
+        )?;
+        rel.tuples.insert(tuple);
+    }
+    Ok(Nf2Materialization {
+        relation: rel,
+        atom_instances: instances,
+        distinct_atoms: mt.distinct_atoms(),
+        dag_edges_dropped: dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_core::ops::Engine;
+    use mad_core::structure::{path, StructureBuilder};
+    use mad_model::{AttrType, SchemaBuilder, Value};
+
+    /// Two states sharing one edge atom through their areas.
+    fn shared_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .atom_type("edge", &[("eid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .link_type("area-edge", "area", "edge")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let t = |db: &Database, n: &str| db.schema().atom_type_id(n).unwrap();
+        let l = |db: &Database, n: &str| db.schema().link_type_id(n).unwrap();
+        let sp = db.insert_atom(t(&db, "state"), vec![Value::from("SP")]).unwrap();
+        let mg = db.insert_atom(t(&db, "state"), vec![Value::from("MG")]).unwrap();
+        let a1 = db.insert_atom(t(&db, "area"), vec![Value::from(1)]).unwrap();
+        let a2 = db.insert_atom(t(&db, "area"), vec![Value::from(2)]).unwrap();
+        let e_shared = db.insert_atom(t(&db, "edge"), vec![Value::from(42)]).unwrap();
+        db.connect(l(&db, "state-area"), sp, a1).unwrap();
+        db.connect(l(&db, "state-area"), mg, a2).unwrap();
+        db.connect(l(&db, "area-edge"), a1, e_shared).unwrap();
+        db.connect(l(&db, "area-edge"), a2, e_shared).unwrap();
+        db
+    }
+
+    #[test]
+    fn shared_edge_is_duplicated() {
+        let mut engine = Engine::new(shared_db());
+        let md = path(engine.db().schema(), &["state", "area", "edge"]).unwrap();
+        let mt = engine.define("mt_state", md).unwrap();
+        let mat = materialize(engine.db(), &mt).unwrap();
+        // 2 states + 2 areas + 1 shared edge = 5 distinct atoms
+        assert_eq!(mat.distinct_atoms, 5);
+        // the shared edge is embedded once per state → 6 instances
+        assert_eq!(mat.atom_instances, 6);
+        assert!(mat.duplication_factor() > 1.0);
+        assert_eq!(mat.relation.len(), 2);
+        assert_eq!(mat.dag_edges_dropped, 0);
+    }
+
+    #[test]
+    fn dag_structure_loses_edges() {
+        // diamond structure: r→b→d, r→c→d — NF² keeps only one path to d
+        let schema = SchemaBuilder::new()
+            .atom_type("r", &[("x", AttrType::Int)])
+            .atom_type("b", &[("y", AttrType::Int)])
+            .atom_type("c", &[("z", AttrType::Int)])
+            .atom_type("d", &[("w", AttrType::Int)])
+            .link_type("rb", "r", "b")
+            .link_type("rc", "r", "c")
+            .link_type("bd", "b", "d")
+            .link_type("cd", "c", "d")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let t = |db: &Database, n: &str| db.schema().atom_type_id(n).unwrap();
+        let l = |db: &Database, n: &str| db.schema().link_type_id(n).unwrap();
+        let r1 = db.insert_atom(t(&db, "r"), vec![Value::from(1)]).unwrap();
+        let b1 = db.insert_atom(t(&db, "b"), vec![Value::from(1)]).unwrap();
+        let c1 = db.insert_atom(t(&db, "c"), vec![Value::from(1)]).unwrap();
+        let d1 = db.insert_atom(t(&db, "d"), vec![Value::from(1)]).unwrap();
+        db.connect(l(&db, "rb"), r1, b1).unwrap();
+        db.connect(l(&db, "rc"), r1, c1).unwrap();
+        db.connect(l(&db, "bd"), b1, d1).unwrap();
+        db.connect(l(&db, "cd"), c1, d1).unwrap();
+        let md = StructureBuilder::new(db.schema())
+            .node("r")
+            .node("b")
+            .node("c")
+            .node("d")
+            .edge("r", "b")
+            .edge("r", "c")
+            .edge("b", "d")
+            .edge("c", "d")
+            .build()
+            .unwrap();
+        let mut engine = Engine::new(db);
+        let mt = engine.define("diamond", md).unwrap();
+        let mat = materialize(engine.db(), &mt).unwrap();
+        assert_eq!(mat.dag_edges_dropped, 1, "the cd (or bd) edge is lost");
+        assert_eq!(mat.relation.len(), 1);
+    }
+
+    #[test]
+    fn no_sharing_means_factor_one() {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let t = |db: &Database, n: &str| db.schema().atom_type_id(n).unwrap();
+        let l = |db: &Database, n: &str| db.schema().link_type_id(n).unwrap();
+        let sp = db.insert_atom(t(&db, "state"), vec![Value::from("SP")]).unwrap();
+        let a1 = db.insert_atom(t(&db, "area"), vec![Value::from(1)]).unwrap();
+        db.connect(l(&db, "state-area"), sp, a1).unwrap();
+        let mut engine = Engine::new(db);
+        let md = path(engine.db().schema(), &["state", "area"]).unwrap();
+        let mt = engine.define("t", md).unwrap();
+        let mat = materialize(engine.db(), &mt).unwrap();
+        assert_eq!(mat.duplication_factor(), 1.0);
+        assert_eq!(mat.atom_instances, 2);
+    }
+
+    #[test]
+    fn empty_molecule_set() {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .build()
+            .unwrap();
+        let db = Database::new(schema);
+        let mut engine = Engine::new(db);
+        let md = path(engine.db().schema(), &["state", "area"]).unwrap();
+        let mt = engine.define("t", md).unwrap();
+        let mat = materialize(engine.db(), &mt).unwrap();
+        assert!(mat.relation.is_empty());
+        assert_eq!(mat.duplication_factor(), 1.0);
+        assert_eq!(mat.dag_edges_dropped, 0);
+    }
+
+    #[test]
+    fn nested_relation_roundtrips_through_unnest() {
+        // flattening the NF² image with μ twice gives the flat join result
+        let mut engine = Engine::new(shared_db());
+        let md = path(engine.db().schema(), &["state", "area", "edge"]).unwrap();
+        let mt = engine.define("mt_state", md).unwrap();
+        let mat = materialize(engine.db(), &mt).unwrap();
+        let u1 = crate::ops::unnest(&mat.relation, "area").unwrap();
+        let u2 = crate::ops::unnest(&u1, "edge").unwrap();
+        // flat rows: one per (state, area, edge) path = 2
+        assert_eq!(u2.len(), 2);
+        assert!(u2.is_flat());
+    }
+}

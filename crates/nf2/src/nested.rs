@@ -1,0 +1,338 @@
+//! Nested relations: the data structures of the NF² model ([SS86]).
+//!
+//! A [`NestedRelation`] is a relation whose attributes are either atomic
+//! (a [`mad_model::AttrType`]) or themselves relation-valued. Tuples are
+//! kept in `BTreeSet`s at every level, so nested relations are canonical:
+//! equality is deep set equality, iteration is deterministic.
+
+use mad_model::{AttrType, MadError, Result, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An attribute of a nested schema: atomic or relation-valued.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NestedAttr {
+    /// An atomic attribute.
+    Atomic {
+        /// Attribute name.
+        name: String,
+        /// Attribute domain.
+        ty: AttrType,
+    },
+    /// A relation-valued attribute (a sub-relation schema).
+    Nested {
+        /// Attribute name.
+        name: String,
+        /// The sub-relation's schema.
+        schema: Vec<NestedAttr>,
+    },
+}
+
+impl NestedAttr {
+    /// Atomic attribute helper.
+    pub fn atomic(name: &str, ty: AttrType) -> Self {
+        NestedAttr::Atomic {
+            name: name.to_owned(),
+            ty,
+        }
+    }
+
+    /// Nested attribute helper.
+    pub fn nested(name: &str, schema: Vec<NestedAttr>) -> Self {
+        NestedAttr::Nested {
+            name: name.to_owned(),
+            schema,
+        }
+    }
+
+    /// The attribute name.
+    pub fn name(&self) -> &str {
+        match self {
+            NestedAttr::Atomic { name, .. } | NestedAttr::Nested { name, .. } => name,
+        }
+    }
+
+    /// Is this attribute relation-valued?
+    pub fn is_nested(&self) -> bool {
+        matches!(self, NestedAttr::Nested { .. })
+    }
+}
+
+/// A value of a nested tuple: atomic or a sub-relation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NestedValue {
+    /// An atomic value.
+    Atomic(Value),
+    /// A sub-relation value.
+    Rel(BTreeSet<Vec<NestedValue>>),
+}
+
+impl NestedValue {
+    /// Extract the atomic value.
+    pub fn as_atomic(&self) -> Option<&Value> {
+        match self {
+            NestedValue::Atomic(v) => Some(v),
+            NestedValue::Rel(_) => None,
+        }
+    }
+
+    /// Extract the sub-relation.
+    pub fn as_rel(&self) -> Option<&BTreeSet<Vec<NestedValue>>> {
+        match self {
+            NestedValue::Rel(r) => Some(r),
+            NestedValue::Atomic(_) => None,
+        }
+    }
+
+    /// Count atomic leaf values in this value (tuple instances measure for
+    /// the duplication metric).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            NestedValue::Atomic(_) => 1,
+            NestedValue::Rel(rows) => rows
+                .iter()
+                .map(|r| r.iter().map(NestedValue::leaf_count).sum::<usize>())
+                .sum(),
+        }
+    }
+}
+
+impl From<Value> for NestedValue {
+    fn from(v: Value) -> Self {
+        NestedValue::Atomic(v)
+    }
+}
+
+/// A nested relation: name, (possibly nested) schema, tuple set.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NestedRelation {
+    /// Relation name.
+    pub name: String,
+    /// Schema, in column order.
+    pub schema: Vec<NestedAttr>,
+    /// Tuple set.
+    pub tuples: BTreeSet<Vec<NestedValue>>,
+}
+
+impl NestedRelation {
+    /// An empty nested relation.
+    pub fn new(name: impl Into<String>, schema: Vec<NestedAttr>) -> Self {
+        NestedRelation {
+            name: name.into(),
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Number of top-level tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Position of a top-level attribute.
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        self.schema
+            .iter()
+            .position(|a| a.name() == name)
+            .ok_or_else(|| MadError::unknown("attribute", format!("{name} of `{}`", self.name)))
+    }
+
+    /// Validate a tuple shallowly (arity + kind per column) and insert it.
+    pub fn insert(&mut self, tuple: Vec<NestedValue>) -> Result<bool> {
+        if tuple.len() != self.schema.len() {
+            return Err(MadError::ArityMismatch {
+                context: format!("nested relation `{}`", self.name),
+                expected: self.schema.len(),
+                found: tuple.len(),
+            });
+        }
+        for (v, a) in tuple.iter().zip(&self.schema) {
+            match (v, a) {
+                (NestedValue::Atomic(av), NestedAttr::Atomic { ty, name }) => {
+                    if !av.conforms_to(*ty) {
+                        return Err(MadError::TypeMismatch {
+                            context: format!("nested relation `{}`, attribute `{name}`", self.name),
+                            expected: ty.name().to_owned(),
+                            found: av
+                                .attr_type()
+                                .map(|t| t.name().to_owned())
+                                .unwrap_or_else(|| "NULL".to_owned()),
+                        });
+                    }
+                }
+                (NestedValue::Rel(_), NestedAttr::Nested { .. }) => {}
+                (v, a) => {
+                    return Err(MadError::TypeMismatch {
+                        context: format!("nested relation `{}`, attribute `{}`", self.name, a.name()),
+                        expected: if a.is_nested() { "relation".to_owned() } else { "atomic".to_owned() },
+                        found: match v {
+                            NestedValue::Atomic(_) => "atomic".to_owned(),
+                            NestedValue::Rel(_) => "relation".to_owned(),
+                        },
+                    });
+                }
+            }
+        }
+        Ok(self.tuples.insert(tuple))
+    }
+
+    /// Total number of atomic leaf values across all tuples — the storage
+    /// measure used by the duplication benchmarks.
+    pub fn leaf_count(&self) -> usize {
+        self.tuples
+            .iter()
+            .map(|t| t.iter().map(NestedValue::leaf_count).sum::<usize>())
+            .sum()
+    }
+
+    /// Is the schema flat (1NF)?
+    pub fn is_flat(&self) -> bool {
+        self.schema.iter().all(|a| !a.is_nested())
+    }
+
+    /// Render as indented text (sub-relations inset).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} (", self.name));
+        for (i, a) in self.schema.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(a.name());
+            if a.is_nested() {
+                out.push_str("(…)");
+            }
+        }
+        out.push_str(")\n");
+        for t in &self.tuples {
+            render_tuple(t, &self.schema, 1, &mut out);
+        }
+        out
+    }
+}
+
+fn render_tuple(tuple: &[NestedValue], schema: &[NestedAttr], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let mut atomics: Vec<String> = Vec::new();
+    for (v, a) in tuple.iter().zip(schema) {
+        if let NestedValue::Atomic(av) = v {
+            atomics.push(format!("{}={av}", a.name()));
+        }
+    }
+    out.push_str(&format!("{pad}<{}>\n", atomics.join(", ")));
+    for (v, a) in tuple.iter().zip(schema) {
+        if let (NestedValue::Rel(rows), NestedAttr::Nested { name, schema }) = (v, a) {
+            out.push_str(&format!("{pad}  {name}:\n"));
+            for r in rows {
+                render_tuple(r, schema, depth + 2, out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for NestedRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} tuples]", self.name, self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn states_with_areas() -> NestedRelation {
+        let mut r = NestedRelation::new(
+            "state",
+            vec![
+                NestedAttr::atomic("sname", AttrType::Text),
+                NestedAttr::nested("areas", vec![NestedAttr::atomic("aid", AttrType::Int)]),
+            ],
+        );
+        let areas: BTreeSet<Vec<NestedValue>> = [
+            vec![NestedValue::from(Value::from(1))],
+            vec![NestedValue::from(Value::from(2))],
+        ]
+        .into_iter()
+        .collect();
+        r.insert(vec![
+            NestedValue::from(Value::from("SP")),
+            NestedValue::Rel(areas),
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_validates_shape() {
+        let mut r = states_with_areas();
+        // wrong arity
+        assert!(r.insert(vec![NestedValue::from(Value::from("MG"))]).is_err());
+        // atomic where relation expected
+        assert!(r
+            .insert(vec![
+                NestedValue::from(Value::from("MG")),
+                NestedValue::from(Value::from(1)),
+            ])
+            .is_err());
+        // relation where atomic expected
+        assert!(r
+            .insert(vec![
+                NestedValue::Rel(BTreeSet::new()),
+                NestedValue::Rel(BTreeSet::new()),
+            ])
+            .is_err());
+        // wrong atomic type
+        assert!(r
+            .insert(vec![
+                NestedValue::from(Value::from(1)),
+                NestedValue::Rel(BTreeSet::new()),
+            ])
+            .is_err());
+        // duplicate is a no-op
+        let dup = r.tuples.iter().next().unwrap().clone();
+        assert!(!r.insert(dup).unwrap());
+    }
+
+    #[test]
+    fn leaf_count_counts_nested_leaves() {
+        let r = states_with_areas();
+        // 'SP' + two aids
+        assert_eq!(r.leaf_count(), 3);
+    }
+
+    #[test]
+    fn flatness() {
+        let r = states_with_areas();
+        assert!(!r.is_flat());
+        let f = NestedRelation::new("x", vec![NestedAttr::atomic("a", AttrType::Int)]);
+        assert!(f.is_flat());
+    }
+
+    #[test]
+    fn deep_equality_is_set_based() {
+        let a = states_with_areas();
+        let b = states_with_areas();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_shows_nesting() {
+        let r = states_with_areas();
+        let s = r.render();
+        assert!(s.contains("state (sname, areas(…))"));
+        assert!(s.contains("areas:"));
+        assert!(s.contains("aid=1"));
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let r = states_with_areas();
+        assert_eq!(r.attr_index("areas").unwrap(), 1);
+        assert!(r.attr_index("ghost").is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! The NF² algebra core: `nest` ν and `unnest` μ ([SS86]) plus top-level
+//! selection and projection.
+//!
+//! The classical identities hold and are tested here and in the property
+//! suite:
+//!
+//! * `μ_B(ν_B(R)) = R` for every relation `R` (unnest undoes nest),
+//! * `ν_B(μ_B(R)) = R` only when `R` is *partitioned* by the remaining
+//!   attributes (PNF); a counterexample test documents the failure case.
+
+use crate::nested::{NestedAttr, NestedRelation, NestedValue};
+use mad_core::qual::CmpOp;
+use mad_model::{MadError, Result, Value};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// ν — nest the attributes named in `nest_attrs` into a relation-valued
+/// attribute `as_name`, grouping by the remaining top-level attributes.
+pub fn nest(rel: &NestedRelation, nest_attrs: &[&str], as_name: &str) -> Result<NestedRelation> {
+    if nest_attrs.is_empty() {
+        return Err(MadError::IncompatibleOperands {
+            op: "ν",
+            detail: "cannot nest zero attributes".into(),
+        });
+    }
+    let positions: Vec<usize> = nest_attrs
+        .iter()
+        .map(|a| rel.attr_index(a))
+        .collect::<Result<_>>()?;
+    if rel.schema.iter().any(|a| a.name() == as_name) {
+        return Err(MadError::duplicate("attribute", as_name));
+    }
+    let keep: Vec<usize> = (0..rel.schema.len())
+        .filter(|i| !positions.contains(i))
+        .collect();
+    let nested_schema: Vec<NestedAttr> = positions
+        .iter()
+        .map(|&p| rel.schema[p].clone())
+        .collect();
+    let mut schema: Vec<NestedAttr> = keep.iter().map(|&i| rel.schema[i].clone()).collect();
+    schema.push(NestedAttr::nested(as_name, nested_schema));
+    // group
+    let mut groups: BTreeMap<Vec<NestedValue>, BTreeSet<Vec<NestedValue>>> = BTreeMap::new();
+    for t in &rel.tuples {
+        let key: Vec<NestedValue> = keep.iter().map(|&i| t[i].clone()).collect();
+        let inner: Vec<NestedValue> = positions.iter().map(|&p| t[p].clone()).collect();
+        groups.entry(key).or_default().insert(inner);
+    }
+    let mut out = NestedRelation::new(format!("ν({})", rel.name), schema);
+    for (mut key, inner) in groups {
+        key.push(NestedValue::Rel(inner));
+        out.tuples.insert(key);
+    }
+    Ok(out)
+}
+
+/// μ — unnest the relation-valued attribute `attr`: each inner tuple joins
+/// its outer tuple. An empty inner relation drops the outer tuple (the
+/// standard μ; this is why ν∘μ is not the identity in general).
+pub fn unnest(rel: &NestedRelation, attr: &str) -> Result<NestedRelation> {
+    let pos = rel.attr_index(attr)?;
+    let inner_schema = match &rel.schema[pos] {
+        NestedAttr::Nested { schema, .. } => schema.clone(),
+        NestedAttr::Atomic { .. } => {
+            return Err(MadError::IncompatibleOperands {
+                op: "μ",
+                detail: format!("attribute `{attr}` is atomic"),
+            })
+        }
+    };
+    let mut schema: Vec<NestedAttr> = rel
+        .schema
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != pos)
+        .map(|(_, a)| a.clone())
+        .collect();
+    schema.extend(inner_schema.iter().cloned());
+    let mut out = NestedRelation::new(format!("μ({})", rel.name), schema);
+    for t in &rel.tuples {
+        let inner = t[pos].as_rel().expect("validated on insert");
+        for row in inner {
+            let mut flat: Vec<NestedValue> = t
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, v)| v.clone())
+                .collect();
+            flat.extend(row.iter().cloned());
+            out.tuples.insert(flat);
+        }
+    }
+    Ok(out)
+}
+
+/// σ — select on a top-level atomic attribute.
+pub fn select(rel: &NestedRelation, attr: &str, op: CmpOp, value: &Value) -> Result<NestedRelation> {
+    let pos = rel.attr_index(attr)?;
+    if rel.schema[pos].is_nested() {
+        return Err(MadError::IncompatibleOperands {
+            op: "σ",
+            detail: format!("attribute `{attr}` is relation-valued"),
+        });
+    }
+    let mut out = NestedRelation::new(format!("σ({})", rel.name), rel.schema.clone());
+    for t in &rel.tuples {
+        if let Some(v) = t[pos].as_atomic() {
+            if v.sql_cmp(value).is_some_and(|o| op.test(o)) {
+                out.tuples.insert(t.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// π — project to the named top-level attributes (atomic or nested), with
+/// duplicate elimination.
+pub fn project(rel: &NestedRelation, attrs: &[&str]) -> Result<NestedRelation> {
+    let positions: Vec<usize> = attrs
+        .iter()
+        .map(|a| rel.attr_index(a))
+        .collect::<Result<_>>()?;
+    let schema: Vec<NestedAttr> = positions.iter().map(|&p| rel.schema[p].clone()).collect();
+    let mut out = NestedRelation::new(format!("π({})", rel.name), schema);
+    for t in &rel.tuples {
+        out.tuples
+            .insert(positions.iter().map(|&p| t[p].clone()).collect());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::AttrType;
+
+    /// flat state-area pairs (the unnested form)
+    fn flat() -> NestedRelation {
+        let mut r = NestedRelation::new(
+            "sa",
+            vec![
+                NestedAttr::atomic("sname", AttrType::Text),
+                NestedAttr::atomic("aid", AttrType::Int),
+            ],
+        );
+        for (s, a) in [("SP", 1), ("SP", 2), ("MG", 2), ("MG", 3)] {
+            r.insert(vec![
+                NestedValue::from(Value::from(s)),
+                NestedValue::from(Value::from(a as i64)),
+            ])
+            .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn nest_groups() {
+        let r = flat();
+        let n = nest(&r, &["aid"], "areas").unwrap();
+        assert_eq!(n.len(), 2, "one tuple per state");
+        assert!(!n.is_flat());
+        // SP's group has areas {1, 2}
+        let sp = n
+            .tuples
+            .iter()
+            .find(|t| t[0].as_atomic() == Some(&Value::from("SP")))
+            .unwrap();
+        assert_eq!(sp[1].as_rel().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unnest_inverts_nest() {
+        let r = flat();
+        let n = nest(&r, &["aid"], "areas").unwrap();
+        let u = unnest(&n, "areas").unwrap();
+        // same tuples (names differ)
+        assert_eq!(u.tuples, r.tuples);
+        assert_eq!(u.schema, r.schema);
+    }
+
+    #[test]
+    fn nest_unnest_not_identity_without_pnf() {
+        // A relation whose nested attribute does NOT partition by the rest:
+        // two tuples with the same key but different sub-relations merge
+        // under μ∘ν into one — ν(μ(R)) ≠ R.
+        let mut r = NestedRelation::new(
+            "x",
+            vec![
+                NestedAttr::atomic("k", AttrType::Int),
+                NestedAttr::nested("s", vec![NestedAttr::atomic("v", AttrType::Int)]),
+            ],
+        );
+        let sub = |vals: &[i64]| {
+            NestedValue::Rel(
+                vals.iter()
+                    .map(|v| vec![NestedValue::from(Value::from(*v))])
+                    .collect(),
+            )
+        };
+        r.insert(vec![NestedValue::from(Value::from(1)), sub(&[10])])
+            .unwrap();
+        r.insert(vec![NestedValue::from(Value::from(1)), sub(&[20])])
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        let u = unnest(&r, "s").unwrap();
+        let n = nest(&u, &["v"], "s").unwrap();
+        assert_eq!(n.len(), 1, "ν∘μ merged the two groups");
+        assert_ne!(n.tuples, r.tuples);
+    }
+
+    #[test]
+    fn unnest_drops_tuples_with_empty_inner() {
+        let mut r = NestedRelation::new(
+            "x",
+            vec![
+                NestedAttr::atomic("k", AttrType::Int),
+                NestedAttr::nested("s", vec![NestedAttr::atomic("v", AttrType::Int)]),
+            ],
+        );
+        r.insert(vec![
+            NestedValue::from(Value::from(1)),
+            NestedValue::Rel(BTreeSet::new()),
+        ])
+        .unwrap();
+        let u = unnest(&r, "s").unwrap();
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn nest_validation() {
+        let r = flat();
+        assert!(nest(&r, &[], "x").is_err());
+        assert!(nest(&r, &["ghost"], "x").is_err());
+        assert!(nest(&r, &["aid"], "sname").is_err(), "name collision");
+    }
+
+    #[test]
+    fn unnest_validation() {
+        let r = flat();
+        assert!(unnest(&r, "sname").is_err(), "atomic attribute");
+        assert!(unnest(&r, "ghost").is_err());
+    }
+
+    #[test]
+    fn select_and_project_top_level() {
+        let r = flat();
+        let s = select(&r, "sname", CmpOp::Eq, &Value::from("SP")).unwrap();
+        assert_eq!(s.len(), 2);
+        let n = nest(&r, &["aid"], "areas").unwrap();
+        let p = project(&n, &["areas"]).unwrap();
+        assert_eq!(p.len(), 2, "two distinct area sets");
+        assert!(select(&n, "areas", CmpOp::Eq, &Value::from(1)).is_err());
+    }
+
+    #[test]
+    fn double_nesting() {
+        // nest twice: areas into states, then states into one group — depth 2
+        let r = flat();
+        let n1 = nest(&r, &["aid"], "areas").unwrap();
+        let n2 = nest(&n1, &["sname", "areas"], "states").unwrap();
+        assert_eq!(n2.len(), 1);
+        let u2 = unnest(&n2, "states").unwrap();
+        assert_eq!(u2.tuples, n1.tuples);
+    }
+}

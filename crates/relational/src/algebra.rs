@@ -1,0 +1,451 @@
+//! The classical relational algebra ([Ul80]) — the model the molecule
+//! algebra extends and degenerates to.
+//!
+//! Operations take relations by reference and produce new relations (set
+//! semantics throughout). Predicates reuse [`mad_core::atom_ops::AtomPred`]'s
+//! shape via a local mirror to keep this crate independent of `mad-core`.
+
+use crate::relation::Relation;
+use mad_model::{AttrDef, MadError, Result, Value};
+use std::cmp::Ordering;
+
+/// Comparison operators (mirror of `mad_core::qual::CmpOp`, kept local so
+/// the baseline crate has no dependency on the system under test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Cmp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            Cmp::Eq => ord == Ordering::Equal,
+            Cmp::Ne => ord != Ordering::Equal,
+            Cmp::Lt => ord == Ordering::Less,
+            Cmp::Le => ord != Ordering::Greater,
+            Cmp::Gt => ord == Ordering::Greater,
+            Cmp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// A tuple predicate for σ.
+#[derive(Clone, Debug)]
+pub enum Pred {
+    /// Always true.
+    True,
+    /// `attr op const`.
+    Cmp {
+        /// Attribute name.
+        attr: String,
+        /// Operator.
+        op: Cmp,
+        /// Constant.
+        value: Value,
+    },
+    /// `attr1 op attr2`.
+    CmpAttr {
+        /// Left attribute name.
+        left: String,
+        /// Operator.
+        op: Cmp,
+        /// Right attribute name.
+        right: String,
+    },
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// `attr op value` helper.
+    pub fn cmp(attr: &str, op: Cmp, value: impl Into<Value>) -> Pred {
+        Pred::Cmp {
+            attr: attr.to_owned(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Pred) -> Pred {
+        Pred::And(Box::new(self), Box::new(other))
+    }
+
+    fn eval(&self, rel: &Relation, tuple: &[Value]) -> Result<Option<bool>> {
+        Ok(match self {
+            Pred::True => Some(true),
+            Pred::Cmp { attr, op, value } => {
+                let i = rel.attr_index(attr)?;
+                tuple[i].sql_cmp(value).map(|o| op.test(o))
+            }
+            Pred::CmpAttr { left, op, right } => {
+                let l = rel.attr_index(left)?;
+                let r = rel.attr_index(right)?;
+                tuple[l].sql_cmp(&tuple[r]).map(|o| op.test(o))
+            }
+            Pred::And(a, b) => match (a.eval(rel, tuple)?, b.eval(rel, tuple)?) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            Pred::Or(a, b) => match (a.eval(rel, tuple)?, b.eval(rel, tuple)?) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            Pred::Not(a) => a.eval(rel, tuple)?.map(|b| !b),
+        })
+    }
+}
+
+/// σ — selection.
+pub fn select(rel: &Relation, pred: &Pred) -> Result<Relation> {
+    let mut out = Relation::new(format!("σ({})", rel.name), rel.schema.clone());
+    for t in &rel.tuples {
+        if pred.eval(rel, t)? == Some(true) {
+            out.tuples.insert(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// π — projection (with duplicate elimination).
+pub fn project(rel: &Relation, attrs: &[&str]) -> Result<Relation> {
+    let positions: Vec<usize> = attrs
+        .iter()
+        .map(|a| rel.attr_index(a))
+        .collect::<Result<_>>()?;
+    let schema: Vec<AttrDef> = positions.iter().map(|&p| rel.schema[p].clone()).collect();
+    let mut out = Relation::new(format!("π({})", rel.name), schema);
+    for t in &rel.tuples {
+        out.tuples
+            .insert(positions.iter().map(|&p| t[p].clone()).collect());
+    }
+    Ok(out)
+}
+
+/// ρ — rename attributes (`renames` maps old → new).
+pub fn rename(rel: &Relation, renames: &[(&str, &str)]) -> Result<Relation> {
+    let mut schema = rel.schema.clone();
+    for (old, new) in renames {
+        let i = rel.attr_index(old)?;
+        schema[i].name = (*new).to_owned();
+    }
+    let mut out = Relation::new(format!("ρ({})", rel.name), schema);
+    out.tuples = rel.tuples.clone();
+    Ok(out)
+}
+
+/// × — cartesian product. Attribute names must be disjoint.
+pub fn product(a: &Relation, b: &Relation) -> Result<Relation> {
+    for attr in &a.schema {
+        if b.schema.iter().any(|x| x.name == attr.name) {
+            return Err(MadError::IncompatibleOperands {
+                op: "×",
+                detail: format!("attribute `{}` appears in both operands", attr.name),
+            });
+        }
+    }
+    let mut schema = a.schema.clone();
+    schema.extend(b.schema.iter().cloned());
+    let mut out = Relation::new(format!("{}×{}", a.name, b.name), schema);
+    for ta in &a.tuples {
+        for tb in &b.tuples {
+            let mut t = ta.clone();
+            t.extend(tb.iter().cloned());
+            out.tuples.insert(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Equi-join on `a.left = b.right` (hash join). The right join column is
+/// dropped from the result (it duplicates the left one); remaining name
+/// clashes are an error.
+pub fn equi_join(a: &Relation, left: &str, b: &Relation, right: &str) -> Result<Relation> {
+    let li = a.attr_index(left)?;
+    let ri = b.attr_index(right)?;
+    let mut schema = a.schema.clone();
+    for (i, attr) in b.schema.iter().enumerate() {
+        if i == ri {
+            continue;
+        }
+        if schema.iter().any(|x| x.name == attr.name) {
+            return Err(MadError::IncompatibleOperands {
+                op: "⋈",
+                detail: format!("attribute `{}` appears in both operands", attr.name),
+            });
+        }
+        schema.push(attr.clone());
+    }
+    let mut out = Relation::new(format!("{}⋈{}", a.name, b.name), schema);
+    // hash build on the smaller side conceptually; here: build on b
+    let mut table: mad_model::FxHashMap<&Value, Vec<&Vec<Value>>> =
+        mad_model::FxHashMap::default();
+    for tb in &b.tuples {
+        table.entry(&tb[ri]).or_default().push(tb);
+    }
+    for ta in &a.tuples {
+        if ta[li].is_null() {
+            continue; // SQL: NULL joins with nothing
+        }
+        if let Some(matches) = table.get(&ta[li]) {
+            for tb in matches {
+                let mut t = ta.clone();
+                for (i, v) in tb.iter().enumerate() {
+                    if i != ri {
+                        t.push(v.clone());
+                    }
+                }
+                out.tuples.insert(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Natural join over all shared attribute names.
+pub fn natural_join(a: &Relation, b: &Relation) -> Result<Relation> {
+    let shared: Vec<String> = a
+        .schema
+        .iter()
+        .filter(|x| b.schema.iter().any(|y| y.name == x.name))
+        .map(|x| x.name.clone())
+        .collect();
+    if shared.is_empty() {
+        return product(a, b);
+    }
+    // reduce to a sequence of equi-joins by renaming, for simplicity join on
+    // the first shared attribute then select equality on the rest
+    let mut out = {
+        let renamed: Vec<(String, String)> = shared
+            .iter()
+            .map(|s| (s.clone(), format!("__rhs_{s}")))
+            .collect();
+        let rb = rename(
+            b,
+            &renamed
+                .iter()
+                .map(|(o, n)| (o.as_str(), n.as_str()))
+                .collect::<Vec<_>>(),
+        )?;
+        let mut joined = equi_join(a, &shared[0], &rb, &format!("__rhs_{}", shared[0]))?;
+        for s in &shared[1..] {
+            joined = select(
+                &joined,
+                &Pred::CmpAttr {
+                    left: s.clone(),
+                    op: Cmp::Eq,
+                    right: format!("__rhs_{s}"),
+                },
+            )?;
+        }
+        // project away the remaining __rhs_ columns
+        let keep: Vec<&str> = joined
+            .schema
+            .iter()
+            .map(|x| x.name.as_str())
+            .filter(|n| !n.starts_with("__rhs_"))
+            .collect();
+        project(&joined, &keep)?
+    };
+    out.name = format!("{}⋈{}", a.name, b.name);
+    Ok(out)
+}
+
+/// ∪ — union (schemas must match).
+pub fn union(a: &Relation, b: &Relation) -> Result<Relation> {
+    if !a.union_compatible(b) {
+        return Err(MadError::IncompatibleOperands {
+            op: "∪",
+            detail: format!("`{}` and `{}` have different schemas", a.name, b.name),
+        });
+    }
+    let mut out = Relation::new(format!("{}∪{}", a.name, b.name), a.schema.clone());
+    out.tuples = a.tuples.union(&b.tuples).cloned().collect();
+    Ok(out)
+}
+
+/// − — difference (schemas must match).
+pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
+    if !a.union_compatible(b) {
+        return Err(MadError::IncompatibleOperands {
+            op: "−",
+            detail: format!("`{}` and `{}` have different schemas", a.name, b.name),
+        });
+    }
+    let mut out = Relation::new(format!("{}−{}", a.name, b.name), a.schema.clone());
+    out.tuples = a.tuples.difference(&b.tuples).cloned().collect();
+    Ok(out)
+}
+
+/// ∩ — intersection, via double difference (mirroring Ψ of §3.2).
+pub fn intersect(a: &Relation, b: &Relation) -> Result<Relation> {
+    let d = difference(a, b)?;
+    let mut out = difference(a, &d)?;
+    out.name = format!("{}∩{}", a.name, b.name);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::AttrType;
+
+    fn states() -> Relation {
+        let mut r = Relation::with_attrs(
+            "state",
+            &[("sname", AttrType::Text), ("hectare", AttrType::Float)],
+        );
+        r.insert_all([
+            vec![Value::from("SP"), Value::from(1000.0)],
+            vec![Value::from("MG"), Value::from(900.0)],
+            vec![Value::from("RJ"), Value::from(500.0)],
+        ])
+        .unwrap();
+        r
+    }
+
+    fn state_area() -> Relation {
+        // auxiliary relation for the n:m link type
+        let mut r = Relation::with_attrs(
+            "state_area",
+            &[("sname", AttrType::Text), ("aid", AttrType::Int)],
+        );
+        r.insert_all([
+            vec![Value::from("SP"), Value::from(1)],
+            vec![Value::from("MG"), Value::from(2)],
+            vec![Value::from("MG"), Value::from(3)],
+        ])
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn select_with_predicate() {
+        let r = states();
+        let big = select(&r, &Pred::cmp("hectare", Cmp::Gt, 600.0)).unwrap();
+        assert_eq!(big.len(), 2);
+        let none = select(&r, &Pred::cmp("hectare", Cmp::Gt, 9999.0)).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn select_attr_vs_attr() {
+        let mut r = Relation::with_attrs("m", &[("a", AttrType::Int), ("b", AttrType::Int)]);
+        r.insert_all([
+            vec![Value::from(1), Value::from(2)],
+            vec![Value::from(3), Value::from(3)],
+        ])
+        .unwrap();
+        let eq = select(
+            &r,
+            &Pred::CmpAttr {
+                left: "a".into(),
+                op: Cmp::Eq,
+                right: "b".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(eq.len(), 1);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let mut r = Relation::with_attrs("m", &[("a", AttrType::Int), ("b", AttrType::Int)]);
+        r.insert_all([
+            vec![Value::from(1), Value::from(2)],
+            vec![Value::from(1), Value::from(3)],
+        ])
+        .unwrap();
+        let p = project(&r, &["a"]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(project(&r, &["ghost"]).is_err());
+    }
+
+    #[test]
+    fn product_disjointness() {
+        let a = states();
+        assert!(product(&a, &a).is_err());
+        let b = Relation::with_attrs("x", &[("k", AttrType::Int)]);
+        let p = product(&a, &b).unwrap();
+        assert_eq!(p.arity(), 3);
+        assert!(p.is_empty(), "empty × anything = empty");
+    }
+
+    #[test]
+    fn equi_join_states_with_aux() {
+        let s = states();
+        let sa = state_area();
+        let j = equi_join(&s, "sname", &sa, "sname").unwrap();
+        assert_eq!(j.len(), 3, "SP×1, MG×2");
+        assert_eq!(j.arity(), 3);
+        // NULL never joins
+        let mut s2 = states();
+        s2.insert(vec![Value::Null, Value::from(1.0)]).unwrap();
+        let j2 = equi_join(&s2, "sname", &sa, "sname").unwrap();
+        assert_eq!(j2.len(), 3);
+    }
+
+    #[test]
+    fn natural_join_on_shared_attr() {
+        let s = states();
+        let sa = state_area();
+        let j = natural_join(&s, &sa).unwrap();
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.arity(), 3, "shared column kept once");
+        // no shared attrs → degenerates to product
+        let b = Relation::with_attrs("x", &[("k", AttrType::Int)]);
+        let p = natural_join(&s, &b).unwrap();
+        assert_eq!(p.arity(), 3);
+    }
+
+    #[test]
+    fn union_difference_intersect() {
+        let s = states();
+        let big = select(&s, &Pred::cmp("hectare", Cmp::Gt, 600.0)).unwrap();
+        let small = select(&s, &Pred::cmp("hectare", Cmp::Le, 600.0)).unwrap();
+        let u = union(&big, &small).unwrap();
+        assert_eq!(u.len(), 3);
+        let d = difference(&s, &big).unwrap();
+        assert_eq!(d, small.clone_with_name(&d.name));
+        let i = intersect(&s, &big).unwrap();
+        assert_eq!(i.len(), 2);
+        // incompatible schemas rejected
+        let x = Relation::with_attrs("x", &[("k", AttrType::Int)]);
+        assert!(union(&s, &x).is_err());
+        assert!(difference(&s, &x).is_err());
+    }
+
+    #[test]
+    fn rename_changes_schema_only() {
+        let s = states();
+        let r = rename(&s, &[("sname", "state_name")]).unwrap();
+        assert!(r.attr_index("state_name").is_ok());
+        assert_eq!(r.len(), s.len());
+        assert!(rename(&s, &[("ghost", "x")]).is_err());
+    }
+
+    impl Relation {
+        fn clone_with_name(&self, name: &str) -> Relation {
+            let mut c = self.clone();
+            c.name = name.to_owned();
+            c
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Semi-naive transitive closure over a binary relation — the relational
+//! way to answer the recursive queries of §5 (parts explosion), used as the
+//! comparator for recursive molecule types in benchmark B5.
+
+use crate::relation::Relation;
+use mad_model::{AttrType, FxHashMap, MadError, Result, Value};
+
+/// Compute the transitive closure of the binary relation `edges`
+/// (attributes `(_from, _to)`), optionally bounded to paths of at most
+/// `max_depth` steps. Returns a relation `closure(_from, _to)`.
+///
+/// Semi-naive evaluation: each round joins only the *delta* of the previous
+/// round against the base relation, the classical fixpoint optimization.
+pub fn transitive_closure(edges: &Relation, max_depth: Option<usize>) -> Result<Relation> {
+    if edges.arity() != 2 {
+        return Err(MadError::IncompatibleOperands {
+            op: "closure",
+            detail: format!("`{}` is not binary", edges.name),
+        });
+    }
+    // adjacency index for the delta joins
+    let mut adj: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
+    for t in &edges.tuples {
+        adj.entry(t[0].clone()).or_default().push(t[1].clone());
+    }
+    let mut closure = Relation::with_attrs(
+        format!("closure({})", edges.name),
+        &[("_from", AttrType::Int), ("_to", AttrType::Int)],
+    );
+    closure.tuples = edges.tuples.clone();
+    let mut delta: Vec<Vec<Value>> = edges.tuples.iter().cloned().collect();
+    let mut depth = 1usize;
+    while !delta.is_empty() {
+        if let Some(max) = max_depth {
+            if depth >= max {
+                break;
+            }
+        }
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        for t in &delta {
+            if let Some(tos) = adj.get(&t[1]) {
+                for to in tos {
+                    let candidate = vec![t[0].clone(), to.clone()];
+                    if closure.tuples.insert(candidate.clone()) {
+                        next.push(candidate);
+                    }
+                }
+            }
+        }
+        delta = next;
+        depth += 1;
+    }
+    Ok(closure)
+}
+
+/// All nodes reachable from `start` through `edges` (including `start`).
+pub fn reachable_from(edges: &Relation, start: &Value) -> Result<Vec<Value>> {
+    if edges.arity() != 2 {
+        return Err(MadError::IncompatibleOperands {
+            op: "closure",
+            detail: format!("`{}` is not binary", edges.name),
+        });
+    }
+    let mut adj: FxHashMap<&Value, Vec<&Value>> = FxHashMap::default();
+    for t in &edges.tuples {
+        adj.entry(&t[0]).or_default().push(&t[1]);
+    }
+    let mut seen: std::collections::BTreeSet<Value> = std::collections::BTreeSet::new();
+    seen.insert(start.clone());
+    let mut frontier = vec![start.clone()];
+    while let Some(v) = frontier.pop() {
+        if let Some(next) = adj.get(&v) {
+            for &n in next {
+                if seen.insert(n.clone()) {
+                    frontier.push(n.clone());
+                }
+            }
+        }
+    }
+    Ok(seen.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(i64, i64)]) -> Relation {
+        let mut r = Relation::with_attrs(
+            "comp",
+            &[("_from", AttrType::Int), ("_to", AttrType::Int)],
+        );
+        for (a, b) in pairs {
+            r.insert(vec![Value::Int(*a), Value::Int(*b)]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn chain_closure() {
+        let e = edges(&[(1, 2), (2, 3), (3, 4)]);
+        let c = transitive_closure(&e, None).unwrap();
+        assert_eq!(c.len(), 6, "1→2,1→3,1→4,2→3,2→4,3→4");
+        assert!(c.contains(&[Value::Int(1), Value::Int(4)]));
+    }
+
+    #[test]
+    fn dag_with_sharing() {
+        // engine→piston, engine→crank, piston→bolt, crank→bolt
+        let e = edges(&[(1, 2), (1, 3), (2, 4), (3, 4)]);
+        let c = transitive_closure(&e, None).unwrap();
+        assert!(c.contains(&[Value::Int(1), Value::Int(4)]));
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn cyclic_terminates() {
+        let e = edges(&[(1, 2), (2, 3), (3, 1)]);
+        let c = transitive_closure(&e, None).unwrap();
+        assert_eq!(c.len(), 9, "complete closure of a 3-cycle");
+    }
+
+    #[test]
+    fn depth_bound() {
+        let e = edges(&[(1, 2), (2, 3), (3, 4)]);
+        let c = transitive_closure(&e, Some(2)).unwrap();
+        assert!(c.contains(&[Value::Int(1), Value::Int(3)]));
+        assert!(!c.contains(&[Value::Int(1), Value::Int(4)]), "3 steps > bound");
+    }
+
+    #[test]
+    fn reachability() {
+        let e = edges(&[(1, 2), (2, 3), (5, 6)]);
+        let r = reachable_from(&e, &Value::Int(1)).unwrap();
+        assert_eq!(r, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let r = reachable_from(&e, &Value::Int(4)).unwrap();
+        assert_eq!(r, vec![Value::Int(4)], "isolated start reaches itself");
+    }
+
+    #[test]
+    fn non_binary_rejected() {
+        let r = Relation::with_attrs("x", &[("a", AttrType::Int)]);
+        assert!(transitive_closure(&r, None).is_err());
+        assert!(reachable_from(&r, &Value::Int(1)).is_err());
+    }
+}

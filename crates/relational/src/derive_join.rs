@@ -1,0 +1,435 @@
+//! Molecule derivation expressed over the relational image — the baseline
+//! the paper argues against (§2: with auxiliary relations "the queries and
+//! their processing obviously become more complicated and perhaps less
+//! efficient").
+//!
+//! Two evaluators of the same hierarchical-join cascade:
+//!
+//! * [`derive_via_algebra`] — a literal composition of relational-algebra
+//!   operators (rename → equi-join → project → intersect), the way a
+//!   textbook translation of the molecule query would run;
+//! * [`derive_via_hash_joins`] — a tuned physical plan: per-edge hash join
+//!   indexes are built from the auxiliary/FK relations once, then the
+//!   molecule set is assembled per root. This is the *fair* comparator for
+//!   benchmark B1 (the algebra evaluator pays materialization costs a real
+//!   system would optimize away).
+//!
+//! Both produce `mad_core::Molecule` values over the original atom ids
+//! (surrogate keys are unpacked), so tests can assert bit-for-bit equality
+//! with the MAD engine's derivation.
+
+use crate::algebra::{self, Cmp, Pred};
+use crate::mapping::{unpack, LinkMapping, RelationalImage};
+use crate::relation::Relation;
+use mad_core::molecule::Molecule;
+use mad_core::structure::MoleculeStructure;
+use mad_model::{AtomId, FxHashMap, MadError, Result, Value};
+use mad_storage::database::Direction;
+use std::collections::BTreeSet;
+
+/// The oriented `(parent, child)` pair list of a structure edge, read from
+/// the relational image (auxiliary relation or FK column).
+fn edge_pairs(
+    image: &RelationalImage,
+    md: &MoleculeStructure,
+    edge_idx: usize,
+) -> Result<Vec<(AtomId, AtomId)>> {
+    let e = &md.edges()[edge_idx];
+    let (mapping, aux) = image.link_mapping(e.link);
+    let mut pairs: Vec<(AtomId, AtomId)> = Vec::new();
+    match mapping {
+        LinkMapping::Auxiliary => {
+            let rel = aux.as_ref().expect("auxiliary mapping carries relation");
+            for t in &rel.tuples {
+                let from = unpack(&t[0])?;
+                let to = unpack(&t[1])?;
+                push_oriented(&mut pairs, from, to, e.dir);
+            }
+        }
+        LinkMapping::ForeignKey { side, column } => {
+            // the FK column lives in the relation of ends[side]
+            let holder_rel = image.atom_relation(match side {
+                0 => md.nodes()[if e.dir == Direction::Bwd { e.to } else { e.from }].ty,
+                _ => md.nodes()[if e.dir == Direction::Bwd { e.from } else { e.to }].ty,
+            });
+            let fk = holder_rel.attr_index(column)?;
+            for t in &holder_rel.tuples {
+                if t[fk].is_null() {
+                    continue;
+                }
+                let holder = unpack(&t[0])?;
+                let referenced = unpack(&t[fk])?;
+                // (side0, side1) orientation
+                let (s0, s1) = if *side == 0 {
+                    (holder, referenced)
+                } else {
+                    (referenced, holder)
+                };
+                push_oriented(&mut pairs, s0, s1, e.dir);
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    Ok(pairs)
+}
+
+fn push_oriented(pairs: &mut Vec<(AtomId, AtomId)>, s0: AtomId, s1: AtomId, dir: Direction) {
+    match dir {
+        Direction::Fwd => pairs.push((s0, s1)),
+        Direction::Bwd => pairs.push((s1, s0)),
+        Direction::Sym => {
+            pairs.push((s0, s1));
+            pairs.push((s1, s0));
+        }
+    }
+}
+
+/// Derive the molecule set of `md` with per-edge hash joins over the
+/// relational image.
+pub fn derive_via_hash_joins(
+    image: &RelationalImage,
+    md: &MoleculeStructure,
+) -> Result<Vec<Molecule>> {
+    // build hash join indexes per edge
+    let mut adj: Vec<FxHashMap<AtomId, Vec<AtomId>>> = Vec::with_capacity(md.edge_count());
+    for ei in 0..md.edge_count() {
+        let mut m: FxHashMap<AtomId, Vec<AtomId>> = FxHashMap::default();
+        for (p, c) in edge_pairs(image, md, ei)? {
+            m.entry(p).or_default().push(c);
+        }
+        adj.push(m);
+    }
+    // root scan
+    let root_rel = image.atom_relation(md.root_node().ty);
+    let mut roots: Vec<AtomId> = root_rel
+        .tuples
+        .iter()
+        .map(|t| unpack(&t[0]))
+        .collect::<Result<_>>()?;
+    roots.sort_unstable();
+    let empty: Vec<AtomId> = Vec::new();
+    let molecules = roots
+        .into_iter()
+        .map(|root| {
+            let mut atoms: Vec<Vec<AtomId>> = vec![Vec::new(); md.node_count()];
+            atoms[md.root()] = vec![root];
+            for &node in &md.topo_order()[1..] {
+                let mut candidate: Option<Vec<AtomId>> = None;
+                for &ei in md.incoming(node) {
+                    let e = &md.edges()[ei];
+                    let mut reached: Vec<AtomId> = Vec::new();
+                    for p in &atoms[e.from] {
+                        reached.extend(adj[ei].get(p).unwrap_or(&empty).iter().copied());
+                    }
+                    reached.sort_unstable();
+                    reached.dedup();
+                    candidate = Some(match candidate {
+                        None => reached,
+                        Some(prev) => prev
+                            .into_iter()
+                            .filter(|a| reached.binary_search(a).is_ok())
+                            .collect(),
+                    });
+                }
+                atoms[node] = candidate.unwrap_or_default();
+            }
+            let mut links: Vec<Vec<(AtomId, AtomId)>> = vec![Vec::new(); md.edge_count()];
+            for (ei, e) in md.edges().iter().enumerate() {
+                for p in &atoms[e.from] {
+                    if let Some(cs) = adj[ei].get(p) {
+                        for c in cs {
+                            if atoms[e.to].binary_search(c).is_ok() {
+                                links[ei].push((*p, *c));
+                            }
+                        }
+                    }
+                }
+                links[ei].sort_unstable();
+                links[ei].dedup();
+            }
+            Molecule { root, atoms, links }
+        })
+        .collect();
+    Ok(molecules)
+}
+
+/// Derive the molecule set of `md` as a literal relational-algebra plan:
+/// per node a relation `R(_root, _atom)`, advanced edge by edge through
+/// rename/equi-join/project, with ∩ at multi-parent nodes.
+pub fn derive_via_algebra(
+    image: &RelationalImage,
+    md: &MoleculeStructure,
+) -> Result<Vec<Molecule>> {
+    use mad_model::AttrType;
+    // pair relations per edge
+    let mut pair_rels: Vec<Relation> = Vec::with_capacity(md.edge_count());
+    for ei in 0..md.edge_count() {
+        let mut rel = Relation::with_attrs(
+            format!("pairs{ei}"),
+            &[("_parent", AttrType::Int), ("_child", AttrType::Int)],
+        );
+        for (p, c) in edge_pairs(image, md, ei)? {
+            rel.insert(vec![
+                Value::Int(p.pack() as i64),
+                Value::Int(c.pack() as i64),
+            ])?;
+        }
+        pair_rels.push(rel);
+    }
+    // R_root(_root, _atom)
+    let root_rel = image.atom_relation(md.root_node().ty);
+    let ids = algebra::project(root_rel, &["_id"])?;
+    let mut r: Vec<Option<Relation>> = vec![None; md.node_count()];
+    {
+        let mut rr = Relation::with_attrs(
+            "R_root",
+            &[("_root", AttrType::Int), ("_atom", AttrType::Int)],
+        );
+        for t in &ids.tuples {
+            rr.insert(vec![t[0].clone(), t[0].clone()])?;
+        }
+        r[md.root()] = Some(rr);
+    }
+    for &node in &md.topo_order()[1..] {
+        let mut acc: Option<Relation> = None;
+        for &ei in md.incoming(node) {
+            let e = &md.edges()[ei];
+            let from = r[e.from]
+                .as_ref()
+                .ok_or_else(|| MadError::structure("topological order violated"))?;
+            // π_{_root, _child}(R_from ⋈_{_atom=_parent} pairs)
+            let joined = algebra::equi_join(from, "_atom", &pair_rels[ei], "_parent")?;
+            let stepped = algebra::project(&joined, &["_root", "_child"])?;
+            let stepped = algebra::rename(&stepped, &[("_child", "_atom")])?;
+            acc = Some(match acc {
+                None => stepped,
+                Some(prev) => algebra::intersect(&prev, &stepped)?,
+            });
+        }
+        r[node] = Some(acc.unwrap_or_else(|| {
+            Relation::with_attrs(
+                "empty",
+                &[("_root", AttrType::Int), ("_atom", AttrType::Int)],
+            )
+        }));
+    }
+    // link relations per edge: L(_root, _parent, _child)
+    let mut link_rels: Vec<Relation> = Vec::with_capacity(md.edge_count());
+    for (ei, e) in md.edges().iter().enumerate() {
+        let from = r[e.from].as_ref().unwrap();
+        let to = r[e.to].as_ref().unwrap();
+        let from_r = algebra::rename(from, &[("_atom", "_parent")])?;
+        let joined = algebra::equi_join(&from_r, "_parent", &pair_rels[ei], "_parent")?;
+        // join against R_to on (_root, _child)
+        let to_r = algebra::rename(to, &[("_root", "_root2"), ("_atom", "_child2")])?;
+        let j2 = algebra::equi_join(&joined, "_child", &to_r, "_child2")?;
+        let sel = algebra::select(
+            &j2,
+            &Pred::CmpAttr {
+                left: "_root".into(),
+                op: Cmp::Eq,
+                right: "_root2".into(),
+            },
+        )?;
+        link_rels.push(algebra::project(&sel, &["_root", "_parent", "_child"])?);
+    }
+    // assemble molecules, grouped by root
+    let mut roots: BTreeSet<AtomId> = BTreeSet::new();
+    for t in &r[md.root()].as_ref().unwrap().tuples {
+        roots.insert(unpack(&t[0])?);
+    }
+    let mut by_root: FxHashMap<AtomId, Molecule> = FxHashMap::default();
+    for &root in &roots {
+        by_root.insert(
+            root,
+            Molecule::single(root, md.node_count(), md.edge_count(), md.root()),
+        );
+    }
+    for (node, rel) in r.iter().enumerate() {
+        if node == md.root() {
+            continue;
+        }
+        for t in &rel.as_ref().unwrap().tuples {
+            let root = unpack(&t[0])?;
+            let atom = unpack(&t[1])?;
+            if let Some(m) = by_root.get_mut(&root) {
+                m.atoms[node].push(atom);
+            }
+        }
+    }
+    for (ei, rel) in link_rels.iter().enumerate() {
+        for t in &rel.tuples {
+            let root = unpack(&t[0])?;
+            let p = unpack(&t[1])?;
+            let c = unpack(&t[2])?;
+            if let Some(m) = by_root.get_mut(&root) {
+                m.links[ei].push((p, c));
+            }
+        }
+    }
+    let mut out: Vec<Molecule> = roots
+        .into_iter()
+        .map(|root| by_root.remove(&root).unwrap())
+        .collect();
+    for m in &mut out {
+        for v in &mut m.atoms {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in &mut m.links {
+            v.sort_unstable();
+            v.dedup();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_core::derive::{derive_molecules, DeriveOptions};
+    use mad_core::structure::{path, StructureBuilder};
+    use mad_model::{AttrType, Cardinality, SchemaBuilder};
+    use mad_storage::Database;
+
+    fn mini_geo() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("capital", &[("cname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .atom_type("edge", &[("eid", AttrType::Int)])
+            .atom_type("point", &[("pname", AttrType::Text)])
+            .link_type_card(
+                "state-capital",
+                "state",
+                Cardinality::AT_MOST_ONE,
+                "capital",
+                Cardinality::AT_MOST_ONE,
+            )
+            .link_type("state-area", "state", "area")
+            .link_type("area-edge", "area", "edge")
+            .link_type("edge-point", "edge", "point")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let t = |db: &Database, n: &str| db.schema().atom_type_id(n).unwrap();
+        let l = |db: &Database, n: &str| db.schema().link_type_id(n).unwrap();
+        let state = t(&db, "state");
+        let capital = t(&db, "capital");
+        let area = t(&db, "area");
+        let edge = t(&db, "edge");
+        let point = t(&db, "point");
+        let sp = db.insert_atom(state, vec![Value::from("SP")]).unwrap();
+        let mg = db.insert_atom(state, vec![Value::from("MG")]).unwrap();
+        let c1 = db
+            .insert_atom(capital, vec![Value::from("Sao Paulo")])
+            .unwrap();
+        db.connect(l(&db, "state-capital"), sp, c1).unwrap();
+        let a1 = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        let a2 = db.insert_atom(area, vec![Value::from(2)]).unwrap();
+        db.connect(l(&db, "state-area"), sp, a1).unwrap();
+        db.connect(l(&db, "state-area"), mg, a2).unwrap();
+        let e1 = db.insert_atom(edge, vec![Value::from(1)]).unwrap();
+        let e2 = db.insert_atom(edge, vec![Value::from(2)]).unwrap();
+        db.connect(l(&db, "area-edge"), a1, e1).unwrap();
+        db.connect(l(&db, "area-edge"), a1, e2).unwrap();
+        db.connect(l(&db, "area-edge"), a2, e2).unwrap();
+        let p1 = db.insert_atom(point, vec![Value::from("p1")]).unwrap();
+        db.connect(l(&db, "edge-point"), e1, p1).unwrap();
+        db.connect(l(&db, "edge-point"), e2, p1).unwrap();
+        db
+    }
+
+    #[test]
+    fn hash_join_derivation_matches_mad() {
+        let db = mini_geo();
+        let image = RelationalImage::from_database(&db).unwrap();
+        for md in [
+            path(db.schema(), &["state", "area", "edge", "point"]).unwrap(),
+            path(db.schema(), &["point", "edge", "area", "state"]).unwrap(),
+            path(db.schema(), &["state", "capital"]).unwrap(),
+        ] {
+            let mad = derive_molecules(&db, &md, &DeriveOptions::default()).unwrap();
+            let rel = derive_via_hash_joins(&image, &md).unwrap();
+            assert_eq!(mad, rel, "structure {}", md.render_compact(db.schema()));
+        }
+    }
+
+    #[test]
+    fn algebra_derivation_matches_mad() {
+        let db = mini_geo();
+        let image = RelationalImage::from_database(&db).unwrap();
+        for md in [
+            path(db.schema(), &["state", "area", "edge", "point"]).unwrap(),
+            path(db.schema(), &["capital", "state", "area"]).unwrap(),
+        ] {
+            let mad = derive_molecules(&db, &md, &DeriveOptions::default()).unwrap();
+            let rel = derive_via_algebra(&image, &md).unwrap();
+            assert_eq!(mad, rel, "structure {}", md.render_compact(db.schema()));
+        }
+    }
+
+    #[test]
+    fn diamond_intersection_matches() {
+        // multi-incoming node: the ∩ path of both evaluators
+        let schema = SchemaBuilder::new()
+            .atom_type("r", &[("x", AttrType::Int)])
+            .atom_type("b", &[("y", AttrType::Int)])
+            .atom_type("c", &[("z", AttrType::Int)])
+            .atom_type("d", &[("w", AttrType::Int)])
+            .link_type("rb", "r", "b")
+            .link_type("rc", "r", "c")
+            .link_type("bd", "b", "d")
+            .link_type("cd", "c", "d")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let t = |db: &Database, n: &str| db.schema().atom_type_id(n).unwrap();
+        let l = |db: &Database, n: &str| db.schema().link_type_id(n).unwrap();
+        let r1 = db.insert_atom(t(&db, "r"), vec![Value::from(1)]).unwrap();
+        let b1 = db.insert_atom(t(&db, "b"), vec![Value::from(1)]).unwrap();
+        let c1 = db.insert_atom(t(&db, "c"), vec![Value::from(1)]).unwrap();
+        let d1 = db.insert_atom(t(&db, "d"), vec![Value::from(1)]).unwrap();
+        let d2 = db.insert_atom(t(&db, "d"), vec![Value::from(2)]).unwrap();
+        db.connect(l(&db, "rb"), r1, b1).unwrap();
+        db.connect(l(&db, "rc"), r1, c1).unwrap();
+        db.connect(l(&db, "bd"), b1, d1).unwrap();
+        db.connect(l(&db, "cd"), c1, d1).unwrap();
+        db.connect(l(&db, "bd"), b1, d2).unwrap();
+        let md = StructureBuilder::new(db.schema())
+            .node("r")
+            .node("b")
+            .node("c")
+            .node("d")
+            .edge("r", "b")
+            .edge("r", "c")
+            .edge("b", "d")
+            .edge("c", "d")
+            .build()
+            .unwrap();
+        let image = RelationalImage::from_database(&db).unwrap();
+        let mad = derive_molecules(&db, &md, &DeriveOptions::default()).unwrap();
+        let h = derive_via_hash_joins(&image, &md).unwrap();
+        let a = derive_via_algebra(&image, &md).unwrap();
+        assert_eq!(mad, h);
+        assert_eq!(mad, a);
+        assert!(mad[0].contains_atom(d1));
+        assert!(!mad[0].contains_atom(d2));
+    }
+
+    #[test]
+    fn empty_database_yields_empty_set() {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .build()
+            .unwrap();
+        let db = Database::new(schema);
+        let image = RelationalImage::from_database(&db).unwrap();
+        let md = path(db.schema(), &["state", "area"]).unwrap();
+        assert!(derive_via_hash_joins(&image, &md).unwrap().is_empty());
+        assert!(derive_via_algebra(&image, &md).unwrap().is_empty());
+    }
+}

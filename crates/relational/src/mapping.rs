@@ -1,0 +1,241 @@
+//! The MAD → relational schema mapping.
+//!
+//! §2: "It is easy to imagine that a transformation to the relational model
+//! becomes quite cumbersome, since all n:m relationship types have to be
+//! modeled by some auxiliary relations." This module performs that
+//! transformation faithfully — and fairly:
+//!
+//! * each atom type becomes a relation with a surrogate key column `_id`
+//!   (the packed [`mad_model::AtomId`], so results remain comparable with
+//!   the MAD side),
+//! * a link type with a `max ≤ 1` cardinality on one side becomes a
+//!   **foreign key** column on that side's relation (the relational model's
+//!   native representation of 1:1 / 1:n),
+//! * every other (n:m) link type becomes an **auxiliary relation**
+//!   `lname(_from, _to)` — the transformation the paper complains about.
+
+use crate::relation::Relation;
+use mad_model::{AtomId, AttrDef, AttrType, LinkTypeId, MadError, Result, Value};
+use mad_storage::Database;
+
+/// How one link type was mapped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkMapping {
+    /// Foreign-key column `fk_<lname>` embedded into the relation of
+    /// `ends[side]` (that side has `max ≤ 1` partners).
+    ForeignKey {
+        /// The side holding the FK column (0 or 1).
+        side: usize,
+        /// Column name.
+        column: String,
+    },
+    /// Auxiliary relation `lname(_from, _to)`.
+    Auxiliary,
+}
+
+/// The relational image of a MAD database.
+#[derive(Clone, Debug)]
+pub struct RelationalImage {
+    /// One relation per atom type, in schema order. Column 0 is `_id`.
+    pub atom_relations: Vec<Relation>,
+    /// One entry per link type describing its mapping; auxiliary relations
+    /// are stored alongside.
+    pub link_mappings: Vec<(LinkMapping, Option<Relation>)>,
+}
+
+fn pack(id: AtomId) -> Value {
+    Value::Int(id.pack() as i64)
+}
+
+/// Unpack a surrogate key back into an [`AtomId`].
+pub fn unpack(v: &Value) -> Result<AtomId> {
+    v.as_int()
+        .map(|i| AtomId::unpack(i as u64))
+        .ok_or_else(|| MadError::integrity(format!("not a surrogate key: {v}")))
+}
+
+impl RelationalImage {
+    /// Transform `db` into its relational image.
+    pub fn from_database(db: &Database) -> Result<Self> {
+        let schema = db.schema();
+        // decide mappings first, because FK columns extend atom relations
+        let mut link_mappings: Vec<LinkMapping> = Vec::new();
+        for (_, lt) in schema.link_types() {
+            // a side with max ≤ 1 can hold the FK; reflexive link types
+            // also qualify (the FK then references the same relation)
+            let fk_side = (0..2).find(|&s| matches!(lt.cards[s].max, Some(m) if m <= 1));
+            match fk_side {
+                Some(side) => link_mappings.push(LinkMapping::ForeignKey {
+                    side,
+                    column: format!("fk_{}", lt.name),
+                }),
+                None => link_mappings.push(LinkMapping::Auxiliary),
+            }
+        }
+        // build atom relations (with FK columns appended)
+        let mut atom_relations: Vec<Relation> = Vec::new();
+        for (ty, def) in schema.atom_types() {
+            let mut attrs = vec![AttrDef::new("_id", AttrType::Int)];
+            attrs.extend(def.attrs.iter().cloned());
+            for (li, (_, lt)) in schema.link_types().enumerate() {
+                if let LinkMapping::ForeignKey { side, column } = &link_mappings[li] {
+                    if lt.ends[*side] == ty {
+                        attrs.push(AttrDef::new(column.clone(), AttrType::Int));
+                    }
+                }
+            }
+            let mut rel = Relation::new(def.name.clone(), attrs);
+            for (id, tuple) in db.atoms_of(ty) {
+                let mut row = vec![pack(id)];
+                row.extend(tuple.iter().cloned());
+                // FK columns
+                for (li, (ltid, lt)) in schema.link_types().enumerate() {
+                    if let LinkMapping::ForeignKey { side, .. } = &link_mappings[li] {
+                        if lt.ends[*side] == ty {
+                            let partners = if *side == 0 {
+                                db.link_store(ltid).partners_fwd(id)
+                            } else {
+                                db.link_store(ltid).partners_bwd(id)
+                            };
+                            row.push(match partners.first() {
+                                Some(&p) => pack(p),
+                                None => Value::Null,
+                            });
+                        }
+                    }
+                }
+                rel.insert(row)?;
+            }
+            atom_relations.push(rel);
+        }
+        // auxiliary relations for the n:m link types
+        let mut mappings: Vec<(LinkMapping, Option<Relation>)> = Vec::new();
+        for (li, (ltid, lt)) in schema.link_types().enumerate() {
+            match &link_mappings[li] {
+                fk @ LinkMapping::ForeignKey { .. } => mappings.push((fk.clone(), None)),
+                LinkMapping::Auxiliary => {
+                    let mut rel = Relation::with_attrs(
+                        &lt.name,
+                        &[("_from", AttrType::Int), ("_to", AttrType::Int)],
+                    );
+                    for (a, b) in db.links_of(ltid) {
+                        rel.insert(vec![pack(a), pack(b)])?;
+                    }
+                    mappings.push((LinkMapping::Auxiliary, Some(rel)));
+                }
+            }
+        }
+        Ok(RelationalImage {
+            atom_relations,
+            link_mappings: mappings,
+        })
+    }
+
+    /// The relation of an atom type.
+    pub fn atom_relation(&self, ty: mad_model::AtomTypeId) -> &Relation {
+        &self.atom_relations[ty.0 as usize]
+    }
+
+    /// The mapping of a link type.
+    pub fn link_mapping(&self, lt: LinkTypeId) -> &(LinkMapping, Option<Relation>) {
+        &self.link_mappings[lt.0 as usize]
+    }
+
+    /// Number of auxiliary relations the transformation needed — the §2
+    /// "cumbersomeness" measure reported by the figure harness.
+    pub fn auxiliary_count(&self) -> usize {
+        self.link_mappings
+            .iter()
+            .filter(|(m, _)| matches!(m, LinkMapping::Auxiliary))
+            .count()
+    }
+
+    /// Total number of relations in the image.
+    pub fn relation_count(&self) -> usize {
+        self.atom_relations.len() + self.auxiliary_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::{AttrType, Cardinality, SchemaBuilder};
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("capital", &[("cname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            // 1:1 → FK
+            .link_type_card(
+                "state-capital",
+                "state",
+                Cardinality::AT_MOST_ONE,
+                "capital",
+                Cardinality::AT_MOST_ONE,
+            )
+            // n:m → auxiliary
+            .link_type("state-area", "state", "area")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let state = db.schema().atom_type_id("state").unwrap();
+        let capital = db.schema().atom_type_id("capital").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sc = db.schema().link_type_id("state-capital").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s1 = db.insert_atom(state, vec![Value::from("SP")]).unwrap();
+        let s2 = db.insert_atom(state, vec![Value::from("MG")]).unwrap();
+        let c1 = db
+            .insert_atom(capital, vec![Value::from("Sao Paulo")])
+            .unwrap();
+        let a1 = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        db.connect(sc, s1, c1).unwrap();
+        db.connect(sa, s1, a1).unwrap();
+        db.connect(sa, s2, a1).unwrap();
+        db
+    }
+
+    #[test]
+    fn nm_becomes_auxiliary_11_becomes_fk() {
+        let db = db();
+        let img = RelationalImage::from_database(&db).unwrap();
+        assert_eq!(img.auxiliary_count(), 1, "only state-area needs an aux");
+        assert_eq!(img.relation_count(), 4, "3 atom relations + 1 aux");
+        let sc = db.schema().link_type_id("state-capital").unwrap();
+        assert!(matches!(
+            img.link_mapping(sc).0,
+            LinkMapping::ForeignKey { .. }
+        ));
+        // state relation has the FK column, filled for SP, null for MG
+        let state = db.schema().atom_type_id("state").unwrap();
+        let rel = img.atom_relation(state);
+        let fk = rel.attr_index("fk_state-capital").unwrap();
+        let mut fks: Vec<bool> = rel.tuples.iter().map(|t| t[fk].is_null()).collect();
+        fks.sort_unstable();
+        assert_eq!(fks, vec![false, true]);
+    }
+
+    #[test]
+    fn aux_relation_holds_the_links() {
+        let db = db();
+        let img = RelationalImage::from_database(&db).unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let aux = img.link_mapping(sa).1.as_ref().unwrap();
+        assert_eq!(aux.len(), 2);
+    }
+
+    #[test]
+    fn surrogate_keys_roundtrip() {
+        let db = db();
+        let img = RelationalImage::from_database(&db).unwrap();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let rel = img.atom_relation(state);
+        for t in &rel.tuples {
+            let id = unpack(&t[0]).unwrap();
+            assert!(db.atom_exists(id));
+            assert_eq!(db.atom(id).unwrap()[0], t[1]);
+        }
+        assert!(unpack(&Value::from("x")).is_err());
+    }
+}

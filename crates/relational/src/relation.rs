@@ -1,0 +1,219 @@
+//! Relations with set semantics.
+//!
+//! A [`Relation`] is the classical `<name, schema, tuple set>` triple —
+//! Fig. 3's left column. Tuples live in a `BTreeSet`, so relations are
+//! canonical by construction: equality is set equality and iteration order
+//! is deterministic (the figure-regeneration harness depends on that).
+
+use mad_model::{AttrDef, AttrType, MadError, Result, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A named relation: schema plus tuple set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    /// Relation name.
+    pub name: String,
+    /// Attribute descriptions, in column order.
+    pub schema: Vec<AttrDef>,
+    /// The tuple set.
+    pub tuples: BTreeSet<Vec<Value>>,
+}
+
+impl Relation {
+    /// An empty relation.
+    pub fn new(name: impl Into<String>, schema: Vec<AttrDef>) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Build from `(name, type)` pairs.
+    pub fn with_attrs(name: impl Into<String>, attrs: &[(&str, AttrType)]) -> Self {
+        Relation::new(
+            name,
+            attrs.iter().map(|(n, t)| AttrDef::new(*n, *t)).collect(),
+        )
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Position of attribute `name`.
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        self.schema
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| MadError::unknown("attribute", format!("{name} of `{}`", self.name)))
+    }
+
+    /// Insert a tuple (validated against the schema). Returns `false` if it
+    /// was already present (set semantics).
+    pub fn insert(&mut self, tuple: Vec<Value>) -> Result<bool> {
+        if tuple.len() != self.schema.len() {
+            return Err(MadError::ArityMismatch {
+                context: format!("relation `{}`", self.name),
+                expected: self.schema.len(),
+                found: tuple.len(),
+            });
+        }
+        let mut coerced = Vec::with_capacity(tuple.len());
+        for (v, attr) in tuple.into_iter().zip(&self.schema) {
+            if !v.conforms_to(attr.ty) {
+                return Err(MadError::TypeMismatch {
+                    context: format!("relation `{}`, attribute `{}`", self.name, attr.name),
+                    expected: attr.ty.name().to_owned(),
+                    found: v
+                        .attr_type()
+                        .map(|t| t.name().to_owned())
+                        .unwrap_or_else(|| "NULL".to_owned()),
+                });
+            }
+            coerced.push(v.coerce(attr.ty));
+        }
+        Ok(self.tuples.insert(coerced))
+    }
+
+    /// Insert many tuples.
+    pub fn insert_all(&mut self, tuples: impl IntoIterator<Item = Vec<Value>>) -> Result<usize> {
+        let mut added = 0;
+        for t in tuples {
+            if self.insert(t)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Do the schemas (names and types, in order) match? Precondition of
+    /// `∪`, `−`, `∩`.
+    pub fn union_compatible(&self, other: &Relation) -> bool {
+        self.schema == other.schema
+    }
+
+    /// Does `self` contain `tuple`?
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Render as an aligned table (Fig. 4-style occurrence dumps).
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.schema.iter().map(|a| a.name.len()).collect();
+        let rows: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{} (", self.name));
+        for (i, a) in self.schema.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&a.name);
+        }
+        out.push_str(")\n");
+        for row in &rows {
+            out.push_str("  ");
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$} ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} tuples]", self.name, self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city() -> Relation {
+        Relation::with_attrs(
+            "city",
+            &[("name", AttrType::Text), ("pop", AttrType::Int)],
+        )
+    }
+
+    #[test]
+    fn insert_validates_and_dedups() {
+        let mut r = city();
+        assert!(r.insert(vec![Value::from("SP"), Value::from(12)]).unwrap());
+        assert!(!r.insert(vec![Value::from("SP"), Value::from(12)]).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.insert(vec![Value::from("SP")]).is_err());
+        assert!(r
+            .insert(vec![Value::from(1), Value::from(2)])
+            .is_err());
+    }
+
+    #[test]
+    fn int_coerces_into_float_column() {
+        let mut r = Relation::with_attrs("m", &[("x", AttrType::Float)]);
+        r.insert(vec![Value::from(3)]).unwrap();
+        assert!(r.contains(&[Value::Float(3.0)]));
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = city();
+        let b = city();
+        let c = Relation::with_attrs("x", &[("name", AttrType::Text)]);
+        assert!(a.union_compatible(&b));
+        assert!(!a.union_compatible(&c));
+    }
+
+    #[test]
+    fn attr_index_lookup() {
+        let r = city();
+        assert_eq!(r.attr_index("pop").unwrap(), 1);
+        assert!(r.attr_index("ghost").is_err());
+    }
+
+    #[test]
+    fn render_contains_header_and_rows() {
+        let mut r = city();
+        r.insert(vec![Value::from("SP"), Value::from(12)]).unwrap();
+        let s = r.render();
+        assert!(s.contains("city (name, pop)"));
+        assert!(s.contains("'SP'"));
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let mut r = city();
+        r.insert(vec![Value::from("SP"), Value::from(2)]).unwrap();
+        r.insert(vec![Value::from("MG"), Value::from(1)]).unwrap();
+        let names: Vec<String> = r
+            .tuples
+            .iter()
+            .map(|t| t[0].as_text().unwrap().to_owned())
+            .collect();
+        assert_eq!(names, vec!["MG", "SP"], "BTreeSet orders tuples");
+    }
+}

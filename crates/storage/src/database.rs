@@ -1,0 +1,804 @@
+//! The database `DB = <AT, LT>` of Def. 3, with occurrences.
+//!
+//! [`Database`] couples a growable [`Schema`] with one [`AtomStore`] per atom
+//! type and one [`LinkStore`] per link type, and enforces the two integrity
+//! guarantees §3.1 contrasts with the relational model:
+//!
+//! 1. **Referential integrity**: links connect only existing atoms of the
+//!    right types; deleting an atom cascades into all incident links; there
+//!    are no dangling references, ever.
+//! 2. **Cardinality restrictions** from extended link-type definitions:
+//!    `max` bounds are enforced eagerly on [`Database::connect`], `min`
+//!    bounds are checked on demand via
+//!    [`Database::check_min_cardinalities`] (they can only be validated once
+//!    loading is complete).
+//!
+//! The schema grows at runtime — atom-type operations and the propagation
+//! function `prop` (Def. 9) add derived atom and link types — which is
+//! exactly the "correspondingly enlarged database" DB′ the closure theorems
+//! of the paper quantify over.
+
+use crate::atom_store::AtomStore;
+use crate::index::{AttrIndex, IndexKind};
+use crate::link_store::LinkStore;
+use mad_model::{
+    AtomId, AtomTypeDef, AtomTypeId, FxHashMap, LinkTypeDef, LinkTypeId, MadError, Result,
+    Schema, Value,
+};
+use std::ops::Bound;
+
+/// Traversal direction through a link type.
+///
+/// For non-reflexive link types `Fwd`/`Bwd` are determined by the endpoint
+/// types and `Sym` coincides with whichever side applies. For reflexive link
+/// types (e.g. `composition` on `parts`) the three differ: `Fwd` is the
+/// super→sub view, `Bwd` the sub→super view, and `Sym` the union (§3.1:
+/// "Exploiting the link type's symmetry it is now easy to evaluate either
+/// the super-component view or only the sub-component view").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// side 0 → side 1.
+    Fwd,
+    /// side 1 → side 0.
+    Bwd,
+    /// Both orientations merged.
+    Sym,
+}
+
+/// A violation reported by [`Database::check_min_cardinalities`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinCardViolation {
+    /// The violating link type.
+    pub link_type: LinkTypeId,
+    /// The atom with too few partners.
+    pub atom: AtomId,
+    /// Which side of the link type the atom is on.
+    pub side: usize,
+    /// How many partners it has.
+    pub found: u32,
+    /// How many the extended link-type definition requires.
+    pub required: u32,
+}
+
+/// A MAD database: schema plus atom-type and link-type occurrences.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    schema: Schema,
+    atoms: Vec<AtomStore>,
+    links: Vec<LinkStore>,
+    indexes: Vec<AttrIndex>,
+    index_map: FxHashMap<(AtomTypeId, usize), usize>,
+}
+
+impl Database {
+    /// A database over the given schema, with empty occurrences.
+    pub fn new(schema: Schema) -> Self {
+        let atoms = (0..schema.atom_type_count()).map(|_| AtomStore::new()).collect();
+        let links = (0..schema.link_type_count()).map(|_| LinkStore::new()).collect();
+        Database {
+            schema,
+            atoms,
+            links,
+            indexes: Vec::new(),
+            index_map: FxHashMap::default(),
+        }
+    }
+
+    /// An empty database with an empty schema.
+    pub fn empty() -> Self {
+        Database::new(Schema::new())
+    }
+
+    /// The schema (read-only; DDL goes through the methods below so that the
+    /// occurrence stores stay in sync).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    // ------------------------------------------------------------------
+    // DDL
+    // ------------------------------------------------------------------
+
+    /// Add an atom type (with empty occurrence).
+    pub fn add_atom_type(&mut self, def: AtomTypeDef) -> Result<AtomTypeId> {
+        let id = self.schema.add_atom_type(def)?;
+        self.atoms.push(AtomStore::new());
+        Ok(id)
+    }
+
+    /// Add a link type (with empty occurrence).
+    pub fn add_link_type(&mut self, def: LinkTypeDef) -> Result<LinkTypeId> {
+        let id = self.schema.add_link_type(def)?;
+        self.links.push(LinkStore::new());
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Atom DML
+    // ------------------------------------------------------------------
+
+    /// Insert an atom; the tuple is validated (and coerced) against the
+    /// atom-type description.
+    pub fn insert_atom(&mut self, ty: AtomTypeId, tuple: Vec<Value>) -> Result<AtomId> {
+        let def = self.schema.atom_type(ty);
+        let tuple = def.check_tuple(tuple)?;
+        let slot = self.atoms[ty.0 as usize].insert(tuple);
+        let id = AtomId::new(ty, slot);
+        // maintain indexes
+        for idx_pos in self.indexes_of_type(ty) {
+            let idx = &mut self.indexes[idx_pos];
+            let key = self.atoms[ty.0 as usize].get(slot).unwrap()[idx.attr].clone();
+            idx.insert(&key, id);
+        }
+        Ok(id)
+    }
+
+    /// Insert many atoms of one type; returns their ids in order.
+    pub fn insert_atoms(
+        &mut self,
+        ty: AtomTypeId,
+        tuples: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Result<Vec<AtomId>> {
+        tuples
+            .into_iter()
+            .map(|t| self.insert_atom(ty, t))
+            .collect()
+    }
+
+    /// Delete an atom, **cascading** into every link incident to it (the
+    /// no-dangling-references guarantee). Returns the number of links
+    /// removed.
+    pub fn delete_atom(&mut self, id: AtomId) -> Result<usize> {
+        let removed_tuple = self.atoms[id.ty.0 as usize]
+            .remove(id.slot)
+            .ok_or_else(|| MadError::integrity(format!("atom {id} does not exist")))?;
+        for idx_pos in self.indexes_of_type(id.ty) {
+            let idx = &mut self.indexes[idx_pos];
+            idx.remove(&removed_tuple[idx.attr], id);
+        }
+        let mut removed_links = 0;
+        for lt in self.schema.link_types_of(id.ty).to_vec() {
+            removed_links += self.links[lt.0 as usize].remove_atom(id);
+        }
+        Ok(removed_links)
+    }
+
+    /// Update one attribute of an atom.
+    pub fn update_attr(&mut self, id: AtomId, attr: usize, value: Value) -> Result<()> {
+        let def = self.schema.atom_type(id.ty);
+        let attr_def = def.attrs.get(attr).ok_or_else(|| {
+            MadError::unknown("attribute index", format!("{attr} of `{}`", def.name))
+        })?;
+        if !value.conforms_to(attr_def.ty) {
+            return Err(MadError::TypeMismatch {
+                context: format!("update of `{}`.`{}`", def.name, attr_def.name),
+                expected: attr_def.ty.name().to_owned(),
+                found: value
+                    .attr_type()
+                    .map(|t| t.name().to_owned())
+                    .unwrap_or_else(|| "NULL".to_owned()),
+            });
+        }
+        let value = value.coerce(attr_def.ty);
+        let store = &mut self.atoms[id.ty.0 as usize];
+        let row = store
+            .get_mut(id.slot)
+            .ok_or_else(|| MadError::integrity(format!("atom {id} does not exist")))?;
+        let old = std::mem::replace(&mut row[attr], value.clone());
+        if let Some(&idx_pos) = self.index_map.get(&(id.ty, attr)) {
+            let idx = &mut self.indexes[idx_pos];
+            idx.remove(&old, id);
+            idx.insert(&value, id);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Atom access
+    // ------------------------------------------------------------------
+
+    /// Is `id` a live atom?
+    pub fn atom_exists(&self, id: AtomId) -> bool {
+        (id.ty.0 as usize) < self.atoms.len() && self.atoms[id.ty.0 as usize].contains(id.slot)
+    }
+
+    /// The tuple of atom `id`.
+    pub fn atom(&self, id: AtomId) -> Result<&[Value]> {
+        self.atoms
+            .get(id.ty.0 as usize)
+            .and_then(|s| s.get(id.slot))
+            .ok_or_else(|| MadError::integrity(format!("atom {id} does not exist")))
+    }
+
+    /// One attribute value of atom `id`.
+    pub fn atom_value(&self, id: AtomId, attr: usize) -> Result<&Value> {
+        self.atom(id)?.get(attr).ok_or_else(|| {
+            MadError::unknown("attribute index", format!("{attr} of atom {id}"))
+        })
+    }
+
+    /// Iterate the occurrence of atom type `ty` as `(id, tuple)`.
+    pub fn atoms_of(&self, ty: AtomTypeId) -> impl Iterator<Item = (AtomId, &[Value])> {
+        self.atoms[ty.0 as usize].iter_ids(ty)
+    }
+
+    /// Ids of the occurrence of atom type `ty`, in slot order.
+    pub fn atom_ids_of(&self, ty: AtomTypeId) -> Vec<AtomId> {
+        self.atoms_of(ty).map(|(id, _)| id).collect()
+    }
+
+    /// Number of live atoms of type `ty`.
+    pub fn atom_count(&self, ty: AtomTypeId) -> usize {
+        self.atoms[ty.0 as usize].len()
+    }
+
+    /// Total number of live atoms across all types.
+    pub fn total_atoms(&self) -> usize {
+        self.atoms.iter().map(AtomStore::len).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Link DML
+    // ------------------------------------------------------------------
+
+    /// Connect two atoms with an **explicit orientation**: `side0` must be
+    /// of `ends[0]`, `side1` of `ends[1]`. This is the only way to connect
+    /// through a reflexive link type (orientation cannot be inferred).
+    /// Returns `false` if the link already existed.
+    pub fn connect(&mut self, lt: LinkTypeId, side0: AtomId, side1: AtomId) -> Result<bool> {
+        let def = self.schema.link_type(lt);
+        if side0.ty != def.ends[0] || side1.ty != def.ends[1] {
+            return Err(MadError::integrity(format!(
+                "link type `{}` connects `{}` and `{}`, got atoms {side0} and {side1}",
+                def.name,
+                self.schema.atom_type(def.ends[0]).name,
+                self.schema.atom_type(def.ends[1]).name,
+            )));
+        }
+        if !self.atom_exists(side0) {
+            return Err(MadError::integrity(format!("atom {side0} does not exist")));
+        }
+        if !self.atom_exists(side1) {
+            return Err(MadError::integrity(format!("atom {side1} does not exist")));
+        }
+        let store = &self.links[lt.0 as usize];
+        if store.contains(side0, side1) {
+            return Ok(false);
+        }
+        // eager max-cardinality enforcement
+        if let Some(max) = def.cards[0].max {
+            if store.degree_fwd(side0) as u32 >= max {
+                return Err(MadError::CardinalityViolation {
+                    link_type: def.name.clone(),
+                    detail: format!(
+                        "atom {side0} already has {} partner(s) on side 0 (max {max})",
+                        store.degree_fwd(side0)
+                    ),
+                });
+            }
+        }
+        if let Some(max) = def.cards[1].max {
+            if store.degree_bwd(side1) as u32 >= max {
+                return Err(MadError::CardinalityViolation {
+                    link_type: def.name.clone(),
+                    detail: format!(
+                        "atom {side1} already has {} partner(s) on side 1 (max {max})",
+                        store.degree_bwd(side1)
+                    ),
+                });
+            }
+        }
+        Ok(self.links[lt.0 as usize].insert(side0, side1))
+    }
+
+    /// Connect two atoms, inferring the orientation from their atom types.
+    /// Errors for reflexive link types (use [`Database::connect`]).
+    pub fn connect_sym(&mut self, lt: LinkTypeId, a: AtomId, b: AtomId) -> Result<bool> {
+        let def = self.schema.link_type(lt);
+        if def.is_reflexive() {
+            return Err(MadError::integrity(format!(
+                "link type `{}` is reflexive; orientation must be explicit",
+                def.name
+            )));
+        }
+        if a.ty == def.ends[0] && b.ty == def.ends[1] {
+            self.connect(lt, a, b)
+        } else if a.ty == def.ends[1] && b.ty == def.ends[0] {
+            self.connect(lt, b, a)
+        } else {
+            Err(MadError::integrity(format!(
+                "atoms {a} and {b} do not match the endpoints of link type `{}`",
+                def.name
+            )))
+        }
+    }
+
+    /// Remove an oriented link. Returns `false` if it did not exist.
+    pub fn disconnect(&mut self, lt: LinkTypeId, side0: AtomId, side1: AtomId) -> Result<bool> {
+        let def = self.schema.link_type(lt);
+        if side0.ty != def.ends[0] || side1.ty != def.ends[1] {
+            return Err(MadError::integrity(format!(
+                "atoms {side0}, {side1} do not fit link type `{}`",
+                def.name
+            )));
+        }
+        Ok(self.links[lt.0 as usize].remove(side0, side1))
+    }
+
+    // ------------------------------------------------------------------
+    // Link access / navigation
+    // ------------------------------------------------------------------
+
+    /// Does the oriented link `(side0, side1)` exist?
+    pub fn linked(&self, lt: LinkTypeId, side0: AtomId, side1: AtomId) -> bool {
+        self.links[lt.0 as usize].contains(side0, side1)
+    }
+
+    /// Are `a` and `b` linked in either orientation?
+    pub fn linked_sym(&self, lt: LinkTypeId, a: AtomId, b: AtomId) -> bool {
+        let s = &self.links[lt.0 as usize];
+        s.contains(a, b) || s.contains(b, a)
+    }
+
+    /// Partners of `atom` through link type `lt` in the given direction.
+    /// `Fwd`/`Bwd` return the stored posting slice; `Sym` merges both.
+    pub fn partners(&self, lt: LinkTypeId, atom: AtomId, dir: Direction) -> Vec<AtomId> {
+        let s = &self.links[lt.0 as usize];
+        match dir {
+            Direction::Fwd => s.partners_fwd(atom).to_vec(),
+            Direction::Bwd => s.partners_bwd(atom).to_vec(),
+            Direction::Sym => s.partners_sym(atom),
+        }
+    }
+
+    /// Allocation-free partner traversal.
+    pub fn for_each_partner(
+        &self,
+        lt: LinkTypeId,
+        atom: AtomId,
+        dir: Direction,
+        mut f: impl FnMut(AtomId),
+    ) {
+        let s = &self.links[lt.0 as usize];
+        match dir {
+            Direction::Fwd => s.partners_fwd(atom).iter().copied().for_each(&mut f),
+            Direction::Bwd => s.partners_bwd(atom).iter().copied().for_each(&mut f),
+            Direction::Sym => {
+                // merged view without building the dedup vec when one side
+                // is empty (the common, non-reflexive case)
+                let fwd = s.partners_fwd(atom);
+                let bwd = s.partners_bwd(atom);
+                if bwd.is_empty() {
+                    fwd.iter().copied().for_each(&mut f);
+                } else if fwd.is_empty() {
+                    bwd.iter().copied().for_each(&mut f);
+                } else {
+                    s.partners_sym(atom).into_iter().for_each(&mut f);
+                }
+            }
+        }
+    }
+
+    /// The traversal direction that goes *from* atom type `from` through
+    /// link type `lt`: `Fwd` if `from` is side 0, `Bwd` if side 1. Reflexive
+    /// link types default to `Fwd` (callers that need the sub→super view or
+    /// the symmetric view pass an explicit direction instead).
+    pub fn direction_from(&self, lt: LinkTypeId, from: AtomTypeId) -> Result<Direction> {
+        let def = self.schema.link_type(lt);
+        match def.side_of(from) {
+            Some(0) => Ok(Direction::Fwd),
+            Some(_) => Ok(Direction::Bwd),
+            None => Err(MadError::integrity(format!(
+                "atom type `{}` is not an endpoint of link type `{}`",
+                self.schema.atom_type(from).name,
+                def.name
+            ))),
+        }
+    }
+
+    /// Iterate all oriented links of a link type.
+    pub fn links_of(&self, lt: LinkTypeId) -> impl Iterator<Item = (AtomId, AtomId)> + '_ {
+        self.links[lt.0 as usize].iter_oriented()
+    }
+
+    /// Number of links in a link-type occurrence.
+    pub fn link_count(&self, lt: LinkTypeId) -> usize {
+        self.links[lt.0 as usize].len()
+    }
+
+    /// Total number of links across all link types.
+    pub fn total_links(&self) -> usize {
+        self.links.iter().map(LinkStore::len).sum()
+    }
+
+    /// Raw access to a link store (used by the algebra's inheritance pass).
+    pub fn link_store(&self, lt: LinkTypeId) -> &LinkStore {
+        &self.links[lt.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Indexes
+    // ------------------------------------------------------------------
+
+    /// Create a secondary index on `(ty, attr_name)`, backfilling it from
+    /// the current occurrence.
+    pub fn create_index(
+        &mut self,
+        ty: AtomTypeId,
+        attr_name: &str,
+        kind: IndexKind,
+    ) -> Result<()> {
+        let def = self.schema.atom_type(ty);
+        let attr = def.attr_index(attr_name).ok_or_else(|| {
+            MadError::unknown("attribute", format!("{attr_name} of `{}`", def.name))
+        })?;
+        if self.index_map.contains_key(&(ty, attr)) {
+            return Err(MadError::duplicate(
+                "index",
+                format!("{}.{attr_name}", def.name),
+            ));
+        }
+        let mut idx = AttrIndex::new(ty, attr, kind);
+        for (id, tuple) in self.atoms[ty.0 as usize].iter_ids(ty) {
+            idx.insert(&tuple[attr], id);
+        }
+        self.index_map.insert((ty, attr), self.indexes.len());
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Does an index on `(ty, attr)` exist?
+    pub fn has_index(&self, ty: AtomTypeId, attr: usize) -> bool {
+        self.index_map.contains_key(&(ty, attr))
+    }
+
+    /// Index-backed equality lookup; `None` when no index exists (caller
+    /// falls back to a scan).
+    pub fn lookup_eq(&self, ty: AtomTypeId, attr: usize, key: &Value) -> Option<&[AtomId]> {
+        self.index_map
+            .get(&(ty, attr))
+            .map(|&pos| self.indexes[pos].lookup_eq(key))
+    }
+
+    /// Index-backed range lookup; `None` when no ordered index exists.
+    pub fn lookup_range(
+        &self,
+        ty: AtomTypeId,
+        attr: usize,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Option<Vec<AtomId>> {
+        self.index_map
+            .get(&(ty, attr))
+            .and_then(|&pos| self.indexes[pos].lookup_range(lo, hi))
+    }
+
+    fn indexes_of_type(&self, ty: AtomTypeId) -> Vec<usize> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .filter(|(_, idx)| idx.ty == ty)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Integrity
+    // ------------------------------------------------------------------
+
+    /// Check the `min` side of all extended link-type definitions. Intended
+    /// to run after bulk loading; returns every violation found.
+    pub fn check_min_cardinalities(&self) -> Vec<MinCardViolation> {
+        let mut out = Vec::new();
+        for (lt, def) in self.schema.link_types() {
+            let store = &self.links[lt.0 as usize];
+            if def.cards[0].min > 0 {
+                for (atom, _) in self.atoms_of(def.ends[0]) {
+                    let found = store.degree_fwd(atom) as u32;
+                    if found < def.cards[0].min {
+                        out.push(MinCardViolation {
+                            link_type: lt,
+                            atom,
+                            side: 0,
+                            found,
+                            required: def.cards[0].min,
+                        });
+                    }
+                }
+            }
+            if def.cards[1].min > 0 {
+                for (atom, _) in self.atoms_of(def.ends[1]) {
+                    let found = store.degree_bwd(atom) as u32;
+                    if found < def.cards[1].min {
+                        out.push(MinCardViolation {
+                            link_type: lt,
+                            atom,
+                            side: 1,
+                            found,
+                            required: def.cards[1].min,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Full referential-integrity audit: every stored link endpoint must be
+    /// a live atom of the right type. Always empty if the DML interface was
+    /// used exclusively; exposed so property tests can verify the invariant.
+    pub fn audit_referential_integrity(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (lt, def) in self.schema.link_types() {
+            for (a, b) in self.links_of(lt) {
+                if a.ty != def.ends[0] || b.ty != def.ends[1] {
+                    problems.push(format!(
+                        "link type `{}` holds pair ({a}, {b}) with wrong endpoint types",
+                        def.name
+                    ));
+                }
+                if !self.atom_exists(a) {
+                    problems.push(format!("link type `{}` references dead atom {a}", def.name));
+                }
+                if !self.atom_exists(b) {
+                    problems.push(format!("link type `{}` references dead atom {b}", def.name));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::{AttrType, Cardinality, SchemaBuilder};
+
+    fn geo_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text), ("hectare", AttrType::Float)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .atom_type("edge", &[("eid", AttrType::Int)])
+            .link_type_card(
+                "state-area",
+                "state",
+                Cardinality::MANY,
+                "area",
+                Cardinality::AT_MOST_ONE,
+            )
+            .link_type("area-edge", "area", "edge")
+            .build()
+            .unwrap();
+        Database::new(schema)
+    }
+
+    #[test]
+    fn insert_and_read_atoms() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let id = db
+            .insert_atom(state, vec![Value::from("MG"), Value::from(900)])
+            .unwrap();
+        assert_eq!(db.atom(id).unwrap()[0], Value::from("MG"));
+        // Int 900 coerced into Float domain
+        assert_eq!(db.atom(id).unwrap()[1], Value::Float(900.0));
+        assert_eq!(db.atom_count(state), 1);
+    }
+
+    #[test]
+    fn insert_rejects_bad_tuple() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        assert!(db.insert_atom(state, vec![Value::from(1)]).is_err());
+        assert!(db
+            .insert_atom(state, vec![Value::from(1), Value::from(2)])
+            .is_err());
+    }
+
+    #[test]
+    fn connect_requires_existing_atoms_of_right_type() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1000)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        // wrong orientation
+        assert!(db.connect(sa, a, s).is_err());
+        // dead atom
+        let ghost = AtomId::new(area, 99);
+        assert!(db.connect(sa, s, ghost).is_err());
+        // ok
+        assert!(db.connect(sa, s, a).unwrap());
+        assert!(!db.connect(sa, s, a).unwrap(), "duplicate link is a no-op");
+        assert!(db.linked(sa, s, a));
+        assert!(db.linked_sym(sa, a, s));
+    }
+
+    #[test]
+    fn connect_sym_infers_orientation() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1000)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        assert!(db.connect_sym(sa, a, s).unwrap());
+        assert!(db.linked(sa, s, a), "stored in canonical orientation");
+    }
+
+    #[test]
+    fn max_cardinality_enforced() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s1 = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        let s2 = db.insert_atom(state, vec![Value::from("MG"), Value::from(2)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        // area side has max 1: second state for the same area must fail
+        db.connect(sa, s1, a).unwrap();
+        let err = db.connect(sa, s2, a).unwrap_err();
+        assert!(matches!(err, MadError::CardinalityViolation { .. }));
+    }
+
+    #[test]
+    fn min_cardinality_reported() {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .link_type_card(
+                "state-area",
+                "state",
+                Cardinality::AT_LEAST_ONE,
+                "area",
+                Cardinality::MANY,
+            )
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s1 = db.insert_atom(state, vec![Value::from("SP")]).unwrap();
+        let s2 = db.insert_atom(state, vec![Value::from("MG")]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        db.connect(sa, s1, a).unwrap();
+        let violations = db.check_min_cardinalities();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].atom, s2);
+        assert_eq!(violations[0].required, 1);
+    }
+
+    #[test]
+    fn delete_atom_cascades_links() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let edge = db.schema().atom_type_id("edge").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let ae = db.schema().link_type_id("area-edge").unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        let e = db.insert_atom(edge, vec![Value::from(10)]).unwrap();
+        db.connect(sa, s, a).unwrap();
+        db.connect(ae, a, e).unwrap();
+        assert_eq!(db.total_links(), 2);
+        let removed = db.delete_atom(a).unwrap();
+        assert_eq!(removed, 2, "both incident links cascade");
+        assert!(!db.atom_exists(a));
+        assert_eq!(db.total_links(), 0);
+        assert!(db.audit_referential_integrity().is_empty());
+    }
+
+    #[test]
+    fn delete_missing_atom_errors() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        assert!(db.delete_atom(AtomId::new(state, 3)).is_err());
+    }
+
+    #[test]
+    fn reflexive_link_directions() {
+        let schema = SchemaBuilder::new()
+            .atom_type("parts", &[("pid", AttrType::Int)])
+            .link_type("composition", "parts", "parts")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let parts = db.schema().atom_type_id("parts").unwrap();
+        let comp = db.schema().link_type_id("composition").unwrap();
+        let engine = db.insert_atom(parts, vec![Value::from(1)]).unwrap();
+        let piston = db.insert_atom(parts, vec![Value::from(2)]).unwrap();
+        let ring = db.insert_atom(parts, vec![Value::from(3)]).unwrap();
+        db.connect(comp, engine, piston).unwrap(); // engine ⊃ piston
+        db.connect(comp, piston, ring).unwrap();
+        // sub-component view of piston
+        assert_eq!(db.partners(comp, piston, Direction::Fwd), vec![ring]);
+        // super-component view of piston
+        assert_eq!(db.partners(comp, piston, Direction::Bwd), vec![engine]);
+        // symmetric view merges both
+        assert_eq!(
+            db.partners(comp, piston, Direction::Sym),
+            vec![engine, ring]
+        );
+        // connect_sym is ambiguous on reflexive types
+        assert!(db.connect_sym(comp, engine, ring).is_err());
+    }
+
+    #[test]
+    fn update_attr_checks_and_updates_index() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        db.create_index(state, "sname", IndexKind::Hash).unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        assert_eq!(
+            db.lookup_eq(state, 0, &Value::from("SP")).unwrap(),
+            &[s]
+        );
+        db.update_attr(s, 0, Value::from("MG")).unwrap();
+        assert!(db.lookup_eq(state, 0, &Value::from("SP")).unwrap().is_empty());
+        assert_eq!(db.lookup_eq(state, 0, &Value::from("MG")).unwrap(), &[s]);
+        // type error
+        assert!(db.update_attr(s, 0, Value::from(3)).is_err());
+        // unknown attr
+        assert!(db.update_attr(s, 9, Value::Null).is_err());
+    }
+
+    #[test]
+    fn index_backfills_and_tracks_deletes() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let s1 = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        let s2 = db.insert_atom(state, vec![Value::from("SP"), Value::from(2)]).unwrap();
+        db.create_index(state, "sname", IndexKind::Ordered).unwrap();
+        assert_eq!(
+            db.lookup_eq(state, 0, &Value::from("SP")).unwrap(),
+            &[s1, s2]
+        );
+        db.delete_atom(s1).unwrap();
+        assert_eq!(db.lookup_eq(state, 0, &Value::from("SP")).unwrap(), &[s2]);
+        // range over ordered index
+        let hits = db
+            .lookup_range(
+                state,
+                0,
+                Bound::Included(&Value::from("SP")),
+                Bound::Unbounded,
+            )
+            .unwrap();
+        assert_eq!(hits, vec![s2]);
+        // duplicate index rejected
+        assert!(db.create_index(state, "sname", IndexKind::Hash).is_err());
+    }
+
+    #[test]
+    fn direction_from_resolves_sides() {
+        let db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let edge = db.schema().atom_type_id("edge").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        assert_eq!(db.direction_from(sa, state).unwrap(), Direction::Fwd);
+        assert_eq!(db.direction_from(sa, area).unwrap(), Direction::Bwd);
+        assert!(db.direction_from(sa, edge).is_err());
+    }
+
+    #[test]
+    fn ddl_grows_occurrence_stores() {
+        let mut db = geo_db();
+        let city = db
+            .add_atom_type(AtomTypeDef::new(
+                "city",
+                vec![mad_model::AttrDef::new("cname", AttrType::Text)],
+            ))
+            .unwrap();
+        let id = db.insert_atom(city, vec![Value::from("Ouro Preto")]).unwrap();
+        assert!(db.atom_exists(id));
+        let state = db.schema().atom_type_id("state").unwrap();
+        let cs = db
+            .add_link_type(LinkTypeDef::new("city-state", city, state))
+            .unwrap();
+        assert_eq!(db.link_count(cs), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Secondary indexes over atom attributes.
+//!
+//! The PRIMA prototype (§5) evaluates root restrictions through its
+//! atom-oriented interface before molecules are built; these indexes are the
+//! mechanism that makes that *restriction pushdown* pay off (benchmark B4).
+//! Two kinds are provided:
+//!
+//! * [`IndexKind::Hash`] — equality lookups, `O(1)` expected,
+//! * [`IndexKind::Ordered`] — a BTree supporting range scans.
+//!
+//! Indexes are maintained incrementally by [`crate::Database`] on every
+//! insert / delete / update of an indexed atom type.
+
+use mad_model::{AtomId, AtomTypeId, FxHashMap, Value};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Which data structure backs an [`AttrIndex`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash index: equality only.
+    Hash,
+    /// Ordered index: equality and ranges.
+    Ordered,
+}
+
+/// A secondary index over one attribute of one atom type.
+#[derive(Clone, Debug)]
+pub struct AttrIndex {
+    /// The indexed atom type.
+    pub ty: AtomTypeId,
+    /// The indexed attribute position.
+    pub attr: usize,
+    /// The index kind.
+    pub kind: IndexKind,
+    hash: FxHashMap<Value, Vec<AtomId>>,
+    ordered: BTreeMap<Value, Vec<AtomId>>,
+}
+
+fn posting_insert(v: &mut Vec<AtomId>, id: AtomId) {
+    if let Err(pos) = v.binary_search(&id) {
+        v.insert(pos, id);
+    }
+}
+
+fn posting_remove(v: &mut Vec<AtomId>, id: AtomId) -> bool {
+    match v.binary_search(&id) {
+        Ok(pos) => {
+            v.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+impl AttrIndex {
+    /// An empty index for `(ty, attr)`.
+    pub fn new(ty: AtomTypeId, attr: usize, kind: IndexKind) -> Self {
+        AttrIndex {
+            ty,
+            attr,
+            kind,
+            hash: FxHashMap::default(),
+            ordered: BTreeMap::new(),
+        }
+    }
+
+    /// Register `id` under `key`.
+    pub fn insert(&mut self, key: &Value, id: AtomId) {
+        match self.kind {
+            IndexKind::Hash => {
+                posting_insert(self.hash.entry(key.clone()).or_default(), id)
+            }
+            IndexKind::Ordered => {
+                posting_insert(self.ordered.entry(key.clone()).or_default(), id)
+            }
+        }
+    }
+
+    /// Unregister `id` from `key`.
+    pub fn remove(&mut self, key: &Value, id: AtomId) {
+        match self.kind {
+            IndexKind::Hash => {
+                if let Some(v) = self.hash.get_mut(key) {
+                    posting_remove(v, id);
+                    if v.is_empty() {
+                        self.hash.remove(key);
+                    }
+                }
+            }
+            IndexKind::Ordered => {
+                if let Some(v) = self.ordered.get_mut(key) {
+                    posting_remove(v, id);
+                    if v.is_empty() {
+                        self.ordered.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Equality lookup: atoms whose attribute equals `key` (sorted).
+    pub fn lookup_eq(&self, key: &Value) -> &[AtomId] {
+        match self.kind {
+            IndexKind::Hash => self.hash.get(key).map_or(&[], |v| v.as_slice()),
+            IndexKind::Ordered => self.ordered.get(key).map_or(&[], |v| v.as_slice()),
+        }
+    }
+
+    /// Range lookup (ordered indexes only; a hash index returns `None` to
+    /// signal the caller must fall back to a scan).
+    pub fn lookup_range(
+        &self,
+        lo: Bound<&Value>,
+        hi: Bound<&Value>,
+    ) -> Option<Vec<AtomId>> {
+        if self.kind != IndexKind::Ordered {
+            return None;
+        }
+        let mut out = Vec::new();
+        for (_, postings) in self.ordered.range::<Value, _>((lo, hi)) {
+            out.extend_from_slice(postings);
+        }
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match self.kind {
+            IndexKind::Hash => self.hash.len(),
+            IndexKind::Ordered => self.ordered.len(),
+        }
+    }
+
+    /// Total number of entries.
+    pub fn entries(&self) -> usize {
+        match self.kind {
+            IndexKind::Hash => self.hash.values().map(Vec::len).sum(),
+            IndexKind::Ordered => self.ordered.values().map(Vec::len).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(slot: u32) -> AtomId {
+        AtomId::new(AtomTypeId(0), slot)
+    }
+
+    #[test]
+    fn hash_index_eq() {
+        let mut idx = AttrIndex::new(AtomTypeId(0), 0, IndexKind::Hash);
+        idx.insert(&Value::from("SP"), id(1));
+        idx.insert(&Value::from("SP"), id(3));
+        idx.insert(&Value::from("MG"), id(2));
+        assert_eq!(idx.lookup_eq(&Value::from("SP")), &[id(1), id(3)]);
+        assert_eq!(idx.lookup_eq(&Value::from("RJ")), &[] as &[AtomId]);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.entries(), 3);
+    }
+
+    #[test]
+    fn hash_index_rejects_range() {
+        let idx = AttrIndex::new(AtomTypeId(0), 0, IndexKind::Hash);
+        assert!(idx
+            .lookup_range(Bound::Unbounded, Bound::Unbounded)
+            .is_none());
+    }
+
+    #[test]
+    fn ordered_index_range() {
+        let mut idx = AttrIndex::new(AtomTypeId(0), 1, IndexKind::Ordered);
+        for (i, v) in [100i64, 500, 900, 1200, 2000].iter().enumerate() {
+            idx.insert(&Value::Int(*v), id(i as u32));
+        }
+        let hits = idx
+            .lookup_range(Bound::Excluded(&Value::Int(500)), Bound::Unbounded)
+            .unwrap();
+        assert_eq!(hits, vec![id(2), id(3), id(4)]);
+        let hits = idx
+            .lookup_range(
+                Bound::Included(&Value::Int(500)),
+                Bound::Included(&Value::Int(1200)),
+            )
+            .unwrap();
+        assert_eq!(hits, vec![id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn remove_cleans_empty_postings() {
+        let mut idx = AttrIndex::new(AtomTypeId(0), 0, IndexKind::Ordered);
+        idx.insert(&Value::Int(1), id(1));
+        idx.remove(&Value::Int(1), id(1));
+        assert_eq!(idx.distinct_keys(), 0);
+        assert_eq!(idx.lookup_eq(&Value::Int(1)), &[] as &[AtomId]);
+        // removing again is harmless
+        idx.remove(&Value::Int(1), id(1));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut idx = AttrIndex::new(AtomTypeId(0), 0, IndexKind::Hash);
+        idx.insert(&Value::Int(1), id(1));
+        idx.insert(&Value::Int(1), id(1));
+        assert_eq!(idx.entries(), 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Storage for one link-type occurrence (`lv` of Def. 2).
+//!
+//! A link store keeps the adjacency of one link type in both directions:
+//! `fwd` maps a side-0 atom to its sorted side-1 partners, `bwd` the reverse.
+//! Both maps together realize the **symmetric** link concept of the MAD
+//! model — "the direct representation and the consideration of
+//! bidirectional, i.e. symmetric links establish the basis of the model's
+//! flexibility" (§2) — while still giving reflexive link types a
+//! well-defined orientation (side 0 = e.g. super-component, side 1 =
+//! sub-component).
+//!
+//! Postings are kept sorted so that membership tests are `O(log d)` and
+//! iteration order is deterministic (which the test suite and the figure
+//! regeneration rely on).
+
+use mad_model::{AtomId, FxHashMap, LinkPair};
+
+/// The adjacency store backing one link type.
+#[derive(Clone, Debug, Default)]
+pub struct LinkStore {
+    fwd: FxHashMap<AtomId, Vec<AtomId>>,
+    bwd: FxHashMap<AtomId, Vec<AtomId>>,
+    count: usize,
+}
+
+fn insert_sorted(v: &mut Vec<AtomId>, x: AtomId) -> bool {
+    match v.binary_search(&x) {
+        Ok(_) => false,
+        Err(pos) => {
+            v.insert(pos, x);
+            true
+        }
+    }
+}
+
+fn remove_sorted(v: &mut Vec<AtomId>, x: AtomId) -> bool {
+    match v.binary_search(&x) {
+        Ok(pos) => {
+            v.remove(pos);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+impl LinkStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        LinkStore::default()
+    }
+
+    /// Insert the link `(side0, side1)`. Returns `false` if it already
+    /// existed (link occurrences are sets).
+    pub fn insert(&mut self, side0: AtomId, side1: AtomId) -> bool {
+        let added = insert_sorted(self.fwd.entry(side0).or_default(), side1);
+        if added {
+            insert_sorted(self.bwd.entry(side1).or_default(), side0);
+            self.count += 1;
+        }
+        added
+    }
+
+    /// Remove the link `(side0, side1)`. Returns `false` if absent.
+    pub fn remove(&mut self, side0: AtomId, side1: AtomId) -> bool {
+        let removed = match self.fwd.get_mut(&side0) {
+            Some(v) => remove_sorted(v, side1),
+            None => false,
+        };
+        if removed {
+            if let Some(v) = self.bwd.get_mut(&side1) {
+                remove_sorted(v, side0);
+            }
+            self.count -= 1;
+        }
+        removed
+    }
+
+    /// Does the link `(side0, side1)` exist (in this orientation)?
+    pub fn contains(&self, side0: AtomId, side1: AtomId) -> bool {
+        self.fwd
+            .get(&side0)
+            .is_some_and(|v| v.binary_search(&side1).is_ok())
+    }
+
+    /// Side-1 partners of a side-0 atom (sorted).
+    pub fn partners_fwd(&self, side0: AtomId) -> &[AtomId] {
+        self.fwd.get(&side0).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Side-0 partners of a side-1 atom (sorted).
+    pub fn partners_bwd(&self, side1: AtomId) -> &[AtomId] {
+        self.bwd.get(&side1).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All partners of `atom` regardless of side — the symmetric view. For
+    /// non-reflexive link types an atom appears on only one side, so this
+    /// equals the per-side view; for reflexive link types it merges both
+    /// orientations (deduplicated).
+    pub fn partners_sym(&self, atom: AtomId) -> Vec<AtomId> {
+        let f = self.partners_fwd(atom);
+        let b = self.partners_bwd(atom);
+        if b.is_empty() {
+            return f.to_vec();
+        }
+        if f.is_empty() {
+            return b.to_vec();
+        }
+        // merge two sorted lists, deduplicating
+        let mut out = Vec::with_capacity(f.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < f.len() && j < b.len() {
+            match f[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(f[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(f[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&f[i..]);
+        out.extend_from_slice(&b[j..]);
+        out
+    }
+
+    /// Number of side-1 partners of a side-0 atom (for cardinality checks).
+    pub fn degree_fwd(&self, side0: AtomId) -> usize {
+        self.partners_fwd(side0).len()
+    }
+
+    /// Number of side-0 partners of a side-1 atom.
+    pub fn degree_bwd(&self, side1: AtomId) -> usize {
+        self.partners_bwd(side1).len()
+    }
+
+    /// Remove every link incident to `atom` (both sides). Returns how many
+    /// links were removed. Used by cascading atom deletion.
+    pub fn remove_atom(&mut self, atom: AtomId) -> usize {
+        let mut removed = 0;
+        if let Some(partners) = self.fwd.remove(&atom) {
+            removed += partners.len();
+            for p in partners {
+                if let Some(v) = self.bwd.get_mut(&p) {
+                    remove_sorted(v, atom);
+                }
+            }
+        }
+        if let Some(partners) = self.bwd.remove(&atom) {
+            removed += partners.len();
+            for p in partners {
+                if let Some(v) = self.fwd.get_mut(&p) {
+                    remove_sorted(v, atom);
+                }
+            }
+        }
+        self.count -= removed;
+        removed
+    }
+
+    /// Number of links in the occurrence.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the occurrence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterate all links as oriented `(side0, side1)` pairs, in sorted order
+    /// of `side0` then `side1` (deterministic).
+    pub fn iter_oriented(&self) -> impl Iterator<Item = (AtomId, AtomId)> + '_ {
+        let mut keys: Vec<AtomId> = self.fwd.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().flat_map(move |a| {
+            self.fwd[&a].iter().map(move |&b| (a, b))
+        })
+    }
+
+    /// Iterate all links as normalized unordered [`LinkPair`]s.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = LinkPair> + '_ {
+        self.iter_oriented().map(|(a, b)| LinkPair::new(a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::AtomTypeId;
+
+    fn a(slot: u32) -> AtomId {
+        AtomId::new(AtomTypeId(0), slot)
+    }
+    fn b(slot: u32) -> AtomId {
+        AtomId::new(AtomTypeId(1), slot)
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = LinkStore::new();
+        assert!(s.insert(a(1), b(2)));
+        assert!(!s.insert(a(1), b(2)), "set semantics");
+        assert!(s.contains(a(1), b(2)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(a(1), b(2)));
+        assert!(!s.remove(a(1), b(2)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn partners_sorted() {
+        let mut s = LinkStore::new();
+        s.insert(a(1), b(5));
+        s.insert(a(1), b(2));
+        s.insert(a(1), b(9));
+        assert_eq!(s.partners_fwd(a(1)), &[b(2), b(5), b(9)]);
+        assert_eq!(s.partners_bwd(b(5)), &[a(1)]);
+        assert_eq!(s.degree_fwd(a(1)), 3);
+        assert_eq!(s.degree_bwd(b(2)), 1);
+    }
+
+    #[test]
+    fn symmetric_view_non_reflexive() {
+        let mut s = LinkStore::new();
+        s.insert(a(1), b(2));
+        assert_eq!(s.partners_sym(a(1)), vec![b(2)]);
+        assert_eq!(s.partners_sym(b(2)), vec![a(1)]);
+    }
+
+    #[test]
+    fn symmetric_view_reflexive_merges_sides() {
+        // reflexive link type: both endpoints in type 0
+        let mut s = LinkStore::new();
+        s.insert(a(1), a(2)); // 1 super of 2
+        s.insert(a(3), a(1)); // 3 super of 1
+        let sym = s.partners_sym(a(1));
+        assert_eq!(sym, vec![a(2), a(3)]);
+        assert_eq!(s.partners_fwd(a(1)), &[a(2)]);
+        assert_eq!(s.partners_bwd(a(1)), &[a(3)]);
+    }
+
+    #[test]
+    fn symmetric_view_dedups_bidirectional_pair() {
+        let mut s = LinkStore::new();
+        s.insert(a(1), a(2));
+        s.insert(a(2), a(1));
+        assert_eq!(s.partners_sym(a(1)), vec![a(2)]);
+        assert_eq!(s.len(), 2, "two oriented links");
+    }
+
+    #[test]
+    fn remove_atom_cascades_both_sides() {
+        let mut s = LinkStore::new();
+        s.insert(a(1), b(1));
+        s.insert(a(1), b(2));
+        s.insert(a(2), b(1));
+        assert_eq!(s.remove_atom(b(1)), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(a(1), b(2)));
+        assert!(!s.contains(a(1), b(1)));
+        assert_eq!(s.partners_fwd(a(2)), &[] as &[AtomId]);
+    }
+
+    #[test]
+    fn remove_self_link() {
+        let mut s = LinkStore::new();
+        s.insert(a(1), a(1));
+        assert_eq!(s.len(), 1);
+        // a self link sits in fwd[a1] and bwd[a1]; it is one link and must
+        // be counted once when the atom goes away
+        assert_eq!(s.remove_atom(a(1)), 1);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_oriented_deterministic() {
+        let mut s = LinkStore::new();
+        s.insert(a(2), b(1));
+        s.insert(a(1), b(2));
+        s.insert(a(1), b(1));
+        let links: Vec<(AtomId, AtomId)> = s.iter_oriented().collect();
+        assert_eq!(links, vec![(a(1), b(1)), (a(1), b(2)), (a(2), b(1))]);
+    }
+
+    #[test]
+    fn iter_pairs_normalized() {
+        let mut s = LinkStore::new();
+        s.insert(a(1), b(1));
+        let pairs: Vec<LinkPair> = s.iter_pairs().collect();
+        assert_eq!(pairs, vec![LinkPair::new(b(1), a(1))]);
+    }
+}

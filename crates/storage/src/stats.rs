@@ -1,0 +1,232 @@
+//! Database statistics: occurrence sizes, degree distributions and a rough
+//! memory footprint.
+//!
+//! Used by the benchmark harness (B2 compares the MAD footprint of shared
+//! subobjects with the duplicated NF² footprint) and by examples to print
+//! "database occurrence" summaries in the spirit of Fig. 1's lower half.
+
+use crate::database::Database;
+use mad_model::{AtomTypeId, LinkTypeId, Value};
+
+/// Size statistics for one atom type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AtomTypeStats {
+    /// Atom-type name.
+    pub name: String,
+    /// Live atom count.
+    pub atoms: usize,
+    /// Approximate bytes held by the occurrence (tuple payloads).
+    pub bytes: usize,
+}
+
+/// Size and degree statistics for one link type.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkTypeStats {
+    /// Link-type name.
+    pub name: String,
+    /// Link count.
+    pub links: usize,
+    /// Maximum side-0 fan-out observed.
+    pub max_degree_fwd: usize,
+    /// Maximum side-1 fan-out observed.
+    pub max_degree_bwd: usize,
+    /// Mean side-0 fan-out over atoms that have at least one partner.
+    pub mean_degree_fwd: f64,
+}
+
+/// Whole-database statistics.
+#[derive(Clone, Debug, Default)]
+pub struct DatabaseStats {
+    /// Per-atom-type stats, in schema order.
+    pub atom_types: Vec<AtomTypeStats>,
+    /// Per-link-type stats, in schema order.
+    pub link_types: Vec<LinkTypeStats>,
+}
+
+fn value_bytes(v: &Value) -> usize {
+    std::mem::size_of::<Value>()
+        + match v {
+            Value::Text(s) => s.len(),
+            _ => 0,
+        }
+}
+
+impl DatabaseStats {
+    /// Collect statistics for `db`.
+    pub fn collect(db: &Database) -> Self {
+        let mut atom_types = Vec::new();
+        for (ty, def) in db.schema().atom_types() {
+            let mut bytes = 0usize;
+            for (_, tuple) in db.atoms_of(ty) {
+                bytes += tuple.iter().map(value_bytes).sum::<usize>();
+            }
+            atom_types.push(AtomTypeStats {
+                name: def.name.clone(),
+                atoms: db.atom_count(ty),
+                bytes,
+            });
+        }
+        let mut link_types = Vec::new();
+        for (lt, def) in db.schema().link_types() {
+            let store = db.link_store(lt);
+            let mut max_fwd = 0usize;
+            let mut max_bwd = 0usize;
+            let mut sum_fwd = 0usize;
+            let mut nonzero_fwd = 0usize;
+            for (a, _) in db.atoms_of(def.ends[0]) {
+                let d = store.degree_fwd(a);
+                max_fwd = max_fwd.max(d);
+                if d > 0 {
+                    sum_fwd += d;
+                    nonzero_fwd += 1;
+                }
+            }
+            for (b, _) in db.atoms_of(def.ends[1]) {
+                max_bwd = max_bwd.max(store.degree_bwd(b));
+            }
+            link_types.push(LinkTypeStats {
+                name: def.name.clone(),
+                links: store.len(),
+                max_degree_fwd: max_fwd,
+                max_degree_bwd: max_bwd,
+                mean_degree_fwd: if nonzero_fwd == 0 {
+                    0.0
+                } else {
+                    sum_fwd as f64 / nonzero_fwd as f64
+                },
+            });
+        }
+        DatabaseStats {
+            atom_types,
+            link_types,
+        }
+    }
+
+    /// Total live atoms.
+    pub fn total_atoms(&self) -> usize {
+        self.atom_types.iter().map(|s| s.atoms).sum()
+    }
+
+    /// Total links.
+    pub fn total_links(&self) -> usize {
+        self.link_types.iter().map(|s| s.links).sum()
+    }
+
+    /// Approximate total payload bytes (atoms only; link adjacency adds
+    /// `16 * 2` bytes per link on top).
+    pub fn total_bytes(&self) -> usize {
+        let atom_bytes: usize = self.atom_types.iter().map(|s| s.bytes).sum();
+        atom_bytes + self.total_links() * 32
+    }
+
+    /// Stats for a named atom type.
+    pub fn atom_type(&self, name: &str) -> Option<&AtomTypeStats> {
+        self.atom_types.iter().find(|s| s.name == name)
+    }
+
+    /// Stats for a named link type.
+    pub fn link_type(&self, name: &str) -> Option<&LinkTypeStats> {
+        self.link_types.iter().find(|s| s.name == name)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>12}\n",
+            "atom type", "atoms", "bytes"
+        ));
+        for s in &self.atom_types {
+            out.push_str(&format!("{:<20} {:>10} {:>12}\n", s.name, s.atoms, s.bytes));
+        }
+        out.push_str(&format!(
+            "{:<20} {:>10} {:>8} {:>8} {:>10}\n",
+            "link type", "links", "max→", "max←", "mean→"
+        ));
+        for s in &self.link_types {
+            out.push_str(&format!(
+                "{:<20} {:>10} {:>8} {:>8} {:>10.2}\n",
+                s.name, s.links, s.max_degree_fwd, s.max_degree_bwd, s.mean_degree_fwd
+            ));
+        }
+        out
+    }
+}
+
+/// Degree histogram of one link type side (used by workload validation).
+pub fn degree_histogram(db: &Database, lt: LinkTypeId, side0: bool) -> Vec<(usize, usize)> {
+    let def = db.schema().link_type(lt);
+    let ty: AtomTypeId = if side0 { def.ends[0] } else { def.ends[1] };
+    let store = db.link_store(lt);
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+    for (a, _) in db.atoms_of(ty) {
+        let d = if side0 {
+            store.degree_fwd(a)
+        } else {
+            store.degree_bwd(a)
+        };
+        *counts.entry(d).or_default() += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::{AttrType, SchemaBuilder};
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s1 = db.insert_atom(state, vec![Value::from("SP")]).unwrap();
+        let s2 = db.insert_atom(state, vec![Value::from("MG")]).unwrap();
+        let a1 = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        let a2 = db.insert_atom(area, vec![Value::from(2)]).unwrap();
+        db.connect(sa, s1, a1).unwrap();
+        db.connect(sa, s1, a2).unwrap();
+        db.connect(sa, s2, a1).unwrap();
+        db
+    }
+
+    #[test]
+    fn collects_counts_and_degrees() {
+        let db = db();
+        let stats = DatabaseStats::collect(&db);
+        assert_eq!(stats.total_atoms(), 4);
+        assert_eq!(stats.total_links(), 3);
+        let sa = stats.link_type("state-area").unwrap();
+        assert_eq!(sa.max_degree_fwd, 2);
+        assert_eq!(sa.max_degree_bwd, 2);
+        assert!((sa.mean_degree_fwd - 1.5).abs() < 1e-9);
+        assert!(stats.atom_type("state").unwrap().bytes > 0);
+        assert!(stats.total_bytes() > 0);
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let db = db();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let h = degree_histogram(&db, sa, true);
+        // s1 has degree 2, s2 degree 1
+        assert_eq!(h, vec![(1, 1), (2, 1)]);
+        let h = degree_histogram(&db, sa, false);
+        // a1 degree 2, a2 degree 1
+        assert_eq!(h, vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn render_contains_names() {
+        let stats = DatabaseStats::collect(&db());
+        let r = stats.render();
+        assert!(r.contains("state-area"));
+        assert!(r.contains("atom type"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Bill-of-material generator (benchmarks B2/B5).
+//!
+//! The §3.1/§5 example: one atom type `parts` with a reflexive
+//! `composition` link type. The generator builds a levelled DAG:
+//! `depth` levels with `width` parts each; every part of level *l* has
+//! `fanout` children picked from level *l+1*. The `share` parameter picks
+//! how children are chosen: `share = 0` gives each parent private children
+//! (a forest — no shared subobjects, if the level is wide enough);
+//! `share → 1` concentrates choices on few children, producing the
+//! heavily-shared sub-component structures that break hierarchical models.
+
+use mad_model::{AtomId, AtomTypeId, AttrType, LinkTypeId, Result, SchemaBuilder, Value};
+use mad_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the BOM generator.
+#[derive(Clone, Debug)]
+pub struct BomParams {
+    /// Number of levels below the roots.
+    pub depth: usize,
+    /// Parts per level.
+    pub width: usize,
+    /// Children per part (links into the next level).
+    pub fanout: usize,
+    /// Sharing degree in `0..=1`: probability that a child link targets a
+    /// "popular" part (the first ⌈10 %⌉ of the next level) instead of a
+    /// spread-out one.
+    pub share: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BomParams {
+    fn default() -> Self {
+        BomParams {
+            depth: 4,
+            width: 50,
+            fanout: 3,
+            share: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+/// Handles into the generated BOM database.
+#[derive(Clone, Debug)]
+pub struct BomHandles {
+    /// The `parts` atom type.
+    pub parts: AtomTypeId,
+    /// The reflexive `composition` link type.
+    pub composition: LinkTypeId,
+    /// The top-level (level 0) parts.
+    pub roots: Vec<AtomId>,
+}
+
+/// Generate a BOM database.
+pub fn generate_bom(params: &BomParams) -> Result<(Database, BomHandles)> {
+    let schema = SchemaBuilder::new()
+        .atom_type(
+            "parts",
+            &[
+                ("pname", AttrType::Text),
+                ("cost", AttrType::Float),
+                ("level", AttrType::Int),
+            ],
+        )
+        .link_type("composition", "parts", "parts")
+        .build()?;
+    let mut db = Database::new(schema);
+    let parts = db.schema().atom_type_id("parts")?;
+    let composition = db.schema().link_type_id("composition")?;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut levels: Vec<Vec<AtomId>> = Vec::with_capacity(params.depth + 1);
+    for level in 0..=params.depth {
+        let mut atoms = Vec::with_capacity(params.width);
+        for i in 0..params.width {
+            atoms.push(db.insert_atom(
+                parts,
+                vec![
+                    Value::Text(format!("P{level}_{i}")),
+                    Value::Float(rng.gen_range(1.0..100.0)),
+                    Value::Int(level as i64),
+                ],
+            )?);
+        }
+        levels.push(atoms);
+    }
+    let popular = (params.width / 10).max(1);
+    for l in 0..params.depth {
+        let (parents, children) = (levels[l].clone(), &levels[l + 1]);
+        for (pi, &p) in parents.iter().enumerate() {
+            for f in 0..params.fanout {
+                let child = if rng.gen_bool(params.share.clamp(0.0, 1.0)) {
+                    children[rng.gen_range(0..popular)]
+                } else {
+                    // spread: deterministic-ish slot to keep low collision
+                    children[(pi * params.fanout + f) % children.len()]
+                };
+                db.connect(composition, p, child)?;
+            }
+        }
+    }
+    let roots = levels[0].clone();
+    Ok((
+        db,
+        BomHandles {
+            parts,
+            composition,
+            roots,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_core::recursive::{derive_recursive_one, RecursiveSpec};
+    use mad_storage::database::Direction;
+
+    #[test]
+    fn generates_requested_shape() {
+        let p = BomParams::default();
+        let (db, h) = generate_bom(&p).unwrap();
+        assert_eq!(db.atom_count(h.parts), (p.depth + 1) * p.width);
+        assert!(db.audit_referential_integrity().is_empty());
+        assert_eq!(h.roots.len(), p.width);
+    }
+
+    #[test]
+    fn explosion_reaches_lower_levels() {
+        let (db, h) = generate_bom(&BomParams::default()).unwrap();
+        let spec = RecursiveSpec {
+            atom_type: h.parts,
+            link: h.composition,
+            dir: Direction::Fwd,
+            max_depth: None,
+        };
+        let m = derive_recursive_one(&db, &spec, h.roots[0]).unwrap();
+        assert!(m.size() > 1);
+        assert!(m.depth() >= 1);
+    }
+
+    #[test]
+    fn high_share_concentrates_children() {
+        let base = BomParams {
+            depth: 2,
+            width: 100,
+            fanout: 4,
+            ..Default::default()
+        };
+        let (dbs, hs) = generate_bom(&BomParams {
+            share: 1.0,
+            ..base.clone()
+        })
+        .unwrap();
+        let (dbd, hd) = generate_bom(&BomParams {
+            share: 0.0,
+            ..base
+        })
+        .unwrap();
+        // with full sharing, all links of a level land on ~width/10 children
+        let spec = |h: &BomHandles| RecursiveSpec {
+            atom_type: h.parts,
+            link: h.composition,
+            dir: Direction::Bwd,
+            max_depth: Some(1),
+        };
+        // count parents of the most popular child in each database
+        let max_parents = |db: &Database, h: &BomHandles| -> usize {
+            db.atom_ids_of(h.parts)
+                .into_iter()
+                .map(|a| {
+                    derive_recursive_one(db, &spec(h), a)
+                        .unwrap()
+                        .size()
+                        .saturating_sub(1)
+                })
+                .max()
+                .unwrap()
+        };
+        assert!(max_parents(&dbs, &hs) > max_parents(&dbd, &hd));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = BomParams::default();
+        let (a, _) = generate_bom(&p).unwrap();
+        let (b, _) = generate_bom(&p).unwrap();
+        assert_eq!(a.total_links(), b.total_links());
+    }
+}

@@ -1,0 +1,319 @@
+//! The geographic database of Fig. 1 / Fig. 4 — Brazil, hand-built.
+//!
+//! Schema (the MAD diagram of Fig. 1):
+//!
+//! ```text
+//!   state ─ state-area ─ area ─ area-edge ─ edge ─ edge-point ─ point
+//!   river ─ river-net  ─ net  ─ net-edge  ─ edge
+//!   city  ─ city-point ─ point
+//! ```
+//!
+//! Occurrence (the atom networks): the ten states named in Fig. 1
+//! (MG, BA, GO, MS, ES, RJ, SP, PR, SC, RS), three rivers (Paraná,
+//! Amazonas, Uruguai) and a handful of cities over a shared substrate of
+//! edges and points. Sharing is wired exactly as the paper tells it:
+//! *"the river Parana shares with the states Minas Gerais, Sao Paulo, and
+//! Parana some edge and point tuples — representing in one case the course
+//! of the river and in another case the border of the states"*.
+
+use mad_model::{AtomId, AtomTypeId, AttrType, LinkTypeId, Result, SchemaBuilder, Value};
+use mad_storage::Database;
+
+/// Handles into the Brazil database (type/link ids plus landmark atoms).
+#[derive(Clone, Debug)]
+pub struct BrazilHandles {
+    /// `state` atom type.
+    pub state: AtomTypeId,
+    /// `river` atom type.
+    pub river: AtomTypeId,
+    /// `city` atom type.
+    pub city: AtomTypeId,
+    /// `area` atom type.
+    pub area: AtomTypeId,
+    /// `net` atom type.
+    pub net: AtomTypeId,
+    /// `edge` atom type.
+    pub edge: AtomTypeId,
+    /// `point` atom type.
+    pub point: AtomTypeId,
+    /// Link types in schema order: state-area, river-net, city-point,
+    /// area-edge, net-edge, edge-point.
+    pub links: Vec<LinkTypeId>,
+    /// The Paraná river atom.
+    pub parana_river: AtomId,
+    /// The São Paulo state atom.
+    pub sao_paulo: AtomId,
+    /// The Minas Gerais state atom.
+    pub minas_gerais: AtomId,
+    /// Edges shared between the Paraná's net and state borders.
+    pub shared_edges: Vec<AtomId>,
+}
+
+/// The ten states of Fig. 1 with (abbreviation, full name, hectare).
+pub const STATES: [(&str, &str, f64); 10] = [
+    ("MG", "Minas Gerais", 900.0),
+    ("BA", "Bahia", 1100.0),
+    ("GO", "Goias", 700.0),
+    ("MS", "Mato Grosso do Sul", 800.0),
+    ("ES", "Espirito Santo", 200.0),
+    ("RJ", "Rio de Janeiro", 300.0),
+    ("SP", "Sao Paulo", 1000.0),
+    ("PR", "Parana", 600.0),
+    ("SC", "Santa Catarina", 400.0),
+    ("RS", "Rio Grande do Sul", 500.0),
+];
+
+/// The rivers of Fig. 4.
+pub const RIVERS: [&str; 3] = ["Parana", "Amazonas", "Uruguai"];
+
+/// Cities placed on the map.
+pub const CITIES: [(&str, i64); 5] = [
+    ("Sao Paulo", 12000),
+    ("Belo Horizonte", 2500),
+    ("Curitiba", 1900),
+    ("Rio de Janeiro", 6700),
+    ("Porto Alegre", 1400),
+];
+
+/// Build the Fig. 1/4 database.
+pub fn brazil_database() -> Result<(Database, BrazilHandles)> {
+    let schema = SchemaBuilder::new()
+        .atom_type(
+            "state",
+            &[
+                ("sname", AttrType::Text),
+                ("fullname", AttrType::Text),
+                ("hectare", AttrType::Float),
+            ],
+        )
+        .atom_type(
+            "river",
+            &[("rname", AttrType::Text), ("length", AttrType::Float)],
+        )
+        .atom_type(
+            "city",
+            &[("cname", AttrType::Text), ("population", AttrType::Int)],
+        )
+        .atom_type("area", &[("aid", AttrType::Int)])
+        .atom_type("net", &[("nid", AttrType::Int)])
+        .atom_type("edge", &[("eid", AttrType::Int)])
+        .atom_type(
+            "point",
+            &[
+                ("pname", AttrType::Text),
+                ("x", AttrType::Float),
+                ("y", AttrType::Float),
+            ],
+        )
+        .link_type("state-area", "state", "area")
+        .link_type("river-net", "river", "net")
+        .link_type("city-point", "city", "point")
+        .link_type("area-edge", "area", "edge")
+        .link_type("net-edge", "net", "edge")
+        .link_type("edge-point", "edge", "point")
+        .build()?;
+    let mut db = Database::new(schema);
+    let state = db.schema().atom_type_id("state")?;
+    let river = db.schema().atom_type_id("river")?;
+    let city = db.schema().atom_type_id("city")?;
+    let area = db.schema().atom_type_id("area")?;
+    let net = db.schema().atom_type_id("net")?;
+    let edge = db.schema().atom_type_id("edge")?;
+    let point = db.schema().atom_type_id("point")?;
+    let sa = db.schema().link_type_id("state-area")?;
+    let rn = db.schema().link_type_id("river-net")?;
+    let cp = db.schema().link_type_id("city-point")?;
+    let ae = db.schema().link_type_id("area-edge")?;
+    let ne = db.schema().link_type_id("net-edge")?;
+    let ep = db.schema().link_type_id("edge-point")?;
+
+    // ---- points: a 10×4 grid, named p0…p39 -------------------------------
+    let mut points = Vec::new();
+    for i in 0..40i64 {
+        let (x, y) = ((i % 10) as f64, (i / 10) as f64);
+        points.push(db.insert_atom(
+            point,
+            vec![
+                Value::Text(format!("p{i}")),
+                Value::Float(x),
+                Value::Float(y),
+            ],
+        )?);
+    }
+    // ---- edges: each edge connects two neighbouring grid points ----------
+    // 4 border edges per state (a small closed loop region per state) plus
+    // dedicated river-course edges; shared edges are created below.
+    let mut edges = Vec::new();
+    let mut eid = 0i64;
+    let mut new_edge = |db: &mut Database, a: AtomId, b: AtomId| -> Result<AtomId> {
+        let e = db.insert_atom(edge, vec![Value::Int(eid)])?;
+        eid += 1;
+        db.connect(ep, e, a)?;
+        db.connect(ep, e, b)?;
+        Ok(e)
+    };
+
+    // ---- states with their areas and border edges ------------------------
+    let mut state_atoms = Vec::new();
+    let mut area_atoms = Vec::new();
+    for (i, (abbr, full, hect)) in STATES.iter().enumerate() {
+        let s = db.insert_atom(
+            state,
+            vec![
+                Value::Text((*abbr).to_owned()),
+                Value::Text((*full).to_owned()),
+                Value::Float(*hect),
+            ],
+        )?;
+        let a = db.insert_atom(area, vec![Value::Int(i as i64)])?;
+        db.connect(sa, s, a)?;
+        // four border edges over four consecutive grid points
+        let base = (i * 4) % 36;
+        let quad = [
+            points[base],
+            points[base + 1],
+            points[base + 2],
+            points[base + 3],
+        ];
+        for w in 0..4 {
+            let e = new_edge(&mut db, quad[w], quad[(w + 1) % 4])?;
+            db.connect(ae, a, e)?;
+            edges.push(e);
+        }
+        state_atoms.push(s);
+        area_atoms.push(a);
+    }
+
+    // ---- rivers with nets; the Paraná shares edges with MG, SP, PR -------
+    let mut shared_edges = Vec::new();
+    let mut river_atoms = Vec::new();
+    for (ri, rname) in RIVERS.iter().enumerate() {
+        let r = db.insert_atom(
+            river,
+            vec![
+                Value::Text((*rname).to_owned()),
+                Value::Float(1000.0 + 500.0 * ri as f64),
+            ],
+        )?;
+        let n = db.insert_atom(net, vec![Value::Int(ri as i64)])?;
+        db.connect(rn, r, n)?;
+        if ri == 0 {
+            // Paraná: its course *is* (part of) the border of MG, SP, PR —
+            // share one existing border edge of each (indices into `edges`:
+            // state i owns edges 4i..4i+4; MG=0, SP=6, PR=7)
+            for &si in &[0usize, 6, 7] {
+                let shared = edges[si * 4];
+                db.connect(ne, n, shared)?;
+                shared_edges.push(shared);
+            }
+            // plus one private course edge
+            let e = new_edge(&mut db, points[36], points[37])?;
+            db.connect(ne, n, e)?;
+        } else {
+            // other rivers: private course edges only
+            for k in 0..3 {
+                let e = new_edge(&mut db, points[36 + k], points[37 + k])?;
+                db.connect(ne, n, e)?;
+            }
+        }
+        river_atoms.push(r);
+    }
+
+    // ---- cities on points -------------------------------------------------
+    for (ci, (cname, pop)) in CITIES.iter().enumerate() {
+        let c = db.insert_atom(
+            city,
+            vec![Value::Text((*cname).to_owned()), Value::Int(*pop)],
+        )?;
+        db.connect(cp, c, points[ci * 7])?;
+    }
+
+    let handles = BrazilHandles {
+        state,
+        river,
+        city,
+        area,
+        net,
+        edge,
+        point,
+        links: vec![sa, rn, cp, ae, ne, ep],
+        parana_river: river_atoms[0],
+        sao_paulo: state_atoms[6],
+        minas_gerais: state_atoms[0],
+        shared_edges,
+    };
+    Ok((db, handles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_core::derive::{derive_molecules, DeriveOptions};
+    use mad_core::structure::path;
+
+    #[test]
+    fn builds_with_integrity() {
+        let (db, h) = brazil_database().unwrap();
+        assert!(db.audit_referential_integrity().is_empty());
+        assert_eq!(db.atom_count(h.state), 10);
+        assert_eq!(db.atom_count(h.river), 3);
+        assert_eq!(db.atom_count(h.city), 5);
+        assert!(db.atom_count(h.edge) >= 40);
+        assert_eq!(db.atom_count(h.point), 40);
+    }
+
+    #[test]
+    fn parana_shares_edges_with_three_states() {
+        let (db, h) = brazil_database().unwrap();
+        // every shared edge is linked to both a net and an area
+        let ne = db.schema().link_type_id("net-edge").unwrap();
+        let ae = db.schema().link_type_id("area-edge").unwrap();
+        assert_eq!(h.shared_edges.len(), 3);
+        for &e in &h.shared_edges {
+            assert_eq!(db.link_store(ne).partners_bwd(e).len(), 1, "on the river net");
+            assert_eq!(db.link_store(ae).partners_bwd(e).len(), 1, "on a state border");
+        }
+    }
+
+    #[test]
+    fn mt_state_molecules_match_fig2() {
+        let (db, h) = brazil_database().unwrap();
+        let md = path(db.schema(), &["state", "area", "edge", "point"]).unwrap();
+        let ms = derive_molecules(&db, &md, &DeriveOptions::default()).unwrap();
+        assert_eq!(ms.len(), 10, "one molecule per state");
+        // each state has 1 area, 4 edges, 4 points
+        for m in &ms {
+            assert_eq!(m.atoms_at(1).len(), 1);
+            assert_eq!(m.atoms_at(2).len(), 4);
+            assert_eq!(m.atoms_at(3).len(), 4);
+        }
+        let _ = h;
+    }
+
+    #[test]
+    fn point_neighborhood_reaches_rivers_and_states() {
+        use mad_core::structure::StructureBuilder;
+        let (db, h) = brazil_database().unwrap();
+        let md = StructureBuilder::new(db.schema())
+            .node("point")
+            .node("edge")
+            .node("area")
+            .node("state")
+            .node("net")
+            .node("river")
+            .edge("point", "edge")
+            .edge("edge", "area")
+            .edge("area", "state")
+            .edge("edge", "net")
+            .edge("net", "river")
+            .build()
+            .unwrap();
+        // a point on a shared Paraná/MG edge sees both the state and the river
+        let ep = db.schema().link_type_id("edge-point").unwrap();
+        let some_shared_point = db.link_store(ep).partners_fwd(h.shared_edges[0])[0];
+        let m = mad_core::derive::derive_one(&db, &md, some_shared_point).unwrap();
+        assert!(!m.atoms_at(3).is_empty(), "reaches a state");
+        assert!(!m.atoms_at(5).is_empty(), "reaches the Paraná");
+        assert!(m.contains_atom(h.parana_river));
+    }
+}

@@ -1,0 +1,23 @@
+//! # mad-workload — fixtures and workload generators
+//!
+//! * [`brazil`] — the hand-built geographic database of Fig. 1/2/4: Brazil's
+//!   states, rivers and cities over a shared geometric substrate of points,
+//!   edges, areas and nets. The Paraná shares border edges with the states
+//!   Minas Gerais, São Paulo and Paraná, exactly as §2 describes.
+//! * [`geo`] — a seeded synthetic geography with tunable size and sharing
+//!   degree (benchmarks B1/B3/B4/B7).
+//! * [`bom`] — bill-of-material DAGs over a reflexive `composition` link
+//!   type with tunable depth/fan-out/sharing (benchmarks B2/B5, the §3.1
+//!   and §5 example).
+//! * [`vlsi`] — a VLSI cell library (cells, instances, nets, pins), the
+//!   design-application workload of the paper's motivation ([BB84]).
+
+pub mod bom;
+pub mod brazil;
+pub mod geo;
+pub mod vlsi;
+
+pub use bom::{generate_bom, BomParams};
+pub use brazil::{brazil_database, BrazilHandles};
+pub use geo::{generate_geo, GeoParams};
+pub use vlsi::{generate_vlsi, VlsiParams};

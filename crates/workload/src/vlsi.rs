@@ -1,0 +1,245 @@
+//! VLSI cell-library generator — the design-application motivation of the
+//! paper ([BB84]'s "molecular objects" framework was born from VLSI CAD).
+//!
+//! Schema:
+//!
+//! ```text
+//!   cell ─ cell-inst ─ inst ─ inst-of   ─ cell     (instance-of, reused cells!)
+//!   cell ─ cell-net  ─ net  ─ net-pin   ─ pin
+//!   inst ─ inst-pin  ─ pin                         (pins bind nets to instances)
+//! ```
+//!
+//! A cell at level *l* instantiates cells of level *l−1*; library cells are
+//! instantiated by **many** parents — exactly the shared-subobject pattern
+//! (a NAND gate's definition is one object, no matter how many instances
+//! exist). `inst-of` makes the schema a *network*, not a tree: `cell` is
+//! reachable from `inst` both as owner and as definition, and the paper's
+//! symmetric links let queries use either view.
+
+use mad_model::{AtomId, AtomTypeId, AttrType, LinkTypeId, Result, SchemaBuilder, Value};
+use mad_storage::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the VLSI generator.
+#[derive(Clone, Debug)]
+pub struct VlsiParams {
+    /// Hierarchy levels (level 0 = leaf library cells).
+    pub levels: usize,
+    /// Cells per level.
+    pub cells_per_level: usize,
+    /// Instances per (non-leaf) cell.
+    pub insts_per_cell: usize,
+    /// Nets per cell.
+    pub nets_per_cell: usize,
+    /// Pins per net.
+    pub pins_per_net: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VlsiParams {
+    fn default() -> Self {
+        VlsiParams {
+            levels: 3,
+            cells_per_level: 8,
+            insts_per_cell: 6,
+            nets_per_cell: 4,
+            pins_per_net: 3,
+            seed: 42,
+        }
+    }
+}
+
+/// Handles into the generated design database.
+#[derive(Clone, Debug)]
+pub struct VlsiHandles {
+    /// `cell` atom type.
+    pub cell: AtomTypeId,
+    /// `inst` atom type.
+    pub inst: AtomTypeId,
+    /// `net` atom type.
+    pub net: AtomTypeId,
+    /// `pin` atom type.
+    pub pin: AtomTypeId,
+    /// `cell-inst` link type (cell owns instance).
+    pub cell_inst: LinkTypeId,
+    /// `inst-of` link type (instance of definition cell).
+    pub inst_of: LinkTypeId,
+    /// `cell-net` link type.
+    pub cell_net: LinkTypeId,
+    /// `net-pin` link type.
+    pub net_pin: LinkTypeId,
+    /// `inst-pin` link type.
+    pub inst_pin: LinkTypeId,
+    /// The top-level cells.
+    pub top_cells: Vec<AtomId>,
+}
+
+/// Generate a VLSI design library.
+pub fn generate_vlsi(params: &VlsiParams) -> Result<(Database, VlsiHandles)> {
+    let schema = SchemaBuilder::new()
+        .atom_type(
+            "cell",
+            &[("cname", AttrType::Text), ("level", AttrType::Int)],
+        )
+        .atom_type("inst", &[("iname", AttrType::Text)])
+        .atom_type("net", &[("nname", AttrType::Text)])
+        .atom_type(
+            "pin",
+            &[("pname", AttrType::Text), ("dirn", AttrType::Text)],
+        )
+        .link_type("cell-inst", "cell", "inst")
+        .link_type("inst-of", "inst", "cell")
+        .link_type("cell-net", "cell", "net")
+        .link_type("net-pin", "net", "pin")
+        .link_type("inst-pin", "inst", "pin")
+        .build()?;
+    let mut db = Database::new(schema);
+    let h_cell = db.schema().atom_type_id("cell")?;
+    let h_inst = db.schema().atom_type_id("inst")?;
+    let h_net = db.schema().atom_type_id("net")?;
+    let h_pin = db.schema().atom_type_id("pin")?;
+    let l_ci = db.schema().link_type_id("cell-inst")?;
+    let l_io = db.schema().link_type_id("inst-of")?;
+    let l_cn = db.schema().link_type_id("cell-net")?;
+    let l_np = db.schema().link_type_id("net-pin")?;
+    let l_ip = db.schema().link_type_id("inst-pin")?;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut levels: Vec<Vec<AtomId>> = Vec::with_capacity(params.levels);
+    for level in 0..params.levels {
+        let mut cells = Vec::with_capacity(params.cells_per_level);
+        for i in 0..params.cells_per_level {
+            let c = db.insert_atom(
+                h_cell,
+                vec![
+                    Value::Text(format!("cell_{level}_{i}")),
+                    Value::Int(level as i64),
+                ],
+            )?;
+            cells.push(c);
+        }
+        levels.push(cells);
+    }
+    // instances + nets + pins for every non-leaf cell
+    for level in 1..params.levels {
+        for (ci, &c) in levels[level].clone().iter().enumerate() {
+            let mut insts = Vec::with_capacity(params.insts_per_cell);
+            for k in 0..params.insts_per_cell {
+                let inst = db.insert_atom(
+                    h_inst,
+                    vec![Value::Text(format!("i_{level}_{ci}_{k}"))],
+                )?;
+                db.connect(l_ci, c, inst)?;
+                // shared definition cell from the level below
+                let def = levels[level - 1][rng.gen_range(0..levels[level - 1].len())];
+                db.connect(l_io, inst, def)?;
+                insts.push(inst);
+            }
+            for n in 0..params.nets_per_cell {
+                let net = db.insert_atom(
+                    h_net,
+                    vec![Value::Text(format!("n_{level}_{ci}_{n}"))],
+                )?;
+                db.connect(l_cn, c, net)?;
+                for p in 0..params.pins_per_net {
+                    let pin = db.insert_atom(
+                        h_pin,
+                        vec![
+                            Value::Text(format!("p_{level}_{ci}_{n}_{p}")),
+                            Value::Text(if p == 0 { "out" } else { "in" }.to_owned()),
+                        ],
+                    )?;
+                    db.connect(l_np, net, pin)?;
+                    // bind the pin to one of the cell's instances
+                    let inst = insts[rng.gen_range(0..insts.len())];
+                    db.connect(l_ip, inst, pin)?;
+                }
+            }
+        }
+    }
+    let top_cells = levels.last().cloned().unwrap_or_default();
+    Ok((
+        db,
+        VlsiHandles {
+            cell: h_cell,
+            inst: h_inst,
+            net: h_net,
+            pin: h_pin,
+            cell_inst: l_ci,
+            inst_of: l_io,
+            cell_net: l_cn,
+            net_pin: l_np,
+            inst_pin: l_ip,
+            top_cells,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_core::derive::derive_one;
+    use mad_core::structure::StructureBuilder;
+
+    #[test]
+    fn generates_with_integrity() {
+        let p = VlsiParams::default();
+        let (db, h) = generate_vlsi(&p).unwrap();
+        assert!(db.audit_referential_integrity().is_empty());
+        assert_eq!(db.atom_count(h.cell), p.levels * p.cells_per_level);
+        assert!(db.atom_count(h.inst) > 0);
+        assert!(db.atom_count(h.pin) > 0);
+        assert_eq!(h.top_cells.len(), p.cells_per_level);
+    }
+
+    #[test]
+    fn library_cells_are_shared_definitions() {
+        let (db, h) = generate_vlsi(&VlsiParams::default()).unwrap();
+        // some level-0 cell is the definition of several instances
+        let max_uses = db
+            .atom_ids_of(h.cell)
+            .into_iter()
+            .map(|c| db.link_store(h.inst_of).partners_bwd(c).len())
+            .max()
+            .unwrap();
+        assert!(max_uses >= 2, "expected shared library cells, max={max_uses}");
+    }
+
+    #[test]
+    fn cell_explosion_molecule() {
+        // cell → inst → definition cell: the design-hierarchy molecule
+        let (db, h) = generate_vlsi(&VlsiParams::default()).unwrap();
+        let md = StructureBuilder::new(db.schema())
+            .node_as("top", "cell")
+            .node("inst")
+            .node_as("def", "cell")
+            .edge_named("cell-inst", "top", "inst")
+            .edge_named("inst-of", "inst", "def")
+            .build()
+            .unwrap();
+        let m = derive_one(&db, &md, h.top_cells[0]).unwrap();
+        assert_eq!(m.atoms_at(1).len(), 6, "six instances");
+        assert!(!m.atoms_at(2).is_empty(), "definition cells reached");
+    }
+
+    #[test]
+    fn net_pin_molecules() {
+        let (db, h) = generate_vlsi(&VlsiParams::default()).unwrap();
+        let md = StructureBuilder::new(db.schema())
+            .node("cell")
+            .node("net")
+            .node("pin")
+            .node("inst")
+            .edge_named("cell-net", "cell", "net")
+            .edge_named("net-pin", "net", "pin")
+            .edge_named("inst-pin", "pin", "inst")
+            .build()
+            .unwrap();
+        let m = derive_one(&db, &md, h.top_cells[0]).unwrap();
+        assert_eq!(m.atoms_at(1).len(), 4, "four nets");
+        assert_eq!(m.atoms_at(2).len(), 12, "3 pins per net");
+        assert!(!m.atoms_at(3).is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: define a schema, load atoms and links, derive molecules,
+//! run MQL.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use mad::model::{AttrType, SchemaBuilder, Value};
+use mad::mql::Session;
+use mad::storage::Database;
+
+fn main() -> mad::model::Result<()> {
+    // 1. schema: two atom types and one (n:m-capable) link type — no
+    //    foreign keys, no auxiliary relations
+    let schema = SchemaBuilder::new()
+        .atom_type(
+            "author",
+            &[("name", AttrType::Text), ("born", AttrType::Int)],
+        )
+        .atom_type(
+            "paper",
+            &[("title", AttrType::Text), ("year", AttrType::Int)],
+        )
+        .link_type("wrote", "author", "paper")
+        .build()?;
+    let mut db = Database::new(schema);
+
+    // 2. atoms (uniquely identified tuples) and symmetric links
+    let author = db.schema().atom_type_id("author")?;
+    let paper = db.schema().atom_type_id("paper")?;
+    let wrote = db.schema().link_type_id("wrote")?;
+    let mitschang = db.insert_atom(
+        author,
+        vec![Value::from("Mitschang"), Value::from(1955)],
+    )?;
+    let haerder = db.insert_atom(author, vec![Value::from("Härder"), Value::from(1945)])?;
+    let mad_paper = db.insert_atom(
+        paper,
+        vec![
+            Value::from("Extending the Relational Algebra to Capture Complex Objects"),
+            Value::from(1989),
+        ],
+    )?;
+    let prima = db.insert_atom(
+        paper,
+        vec![Value::from("PRIMA - A DBMS Prototype"), Value::from(1987)],
+    )?;
+    db.connect(wrote, mitschang, mad_paper)?;
+    db.connect(wrote, mitschang, prima)?;
+    db.connect(wrote, haerder, prima)?; // PRIMA is a *shared* subobject
+
+    // 3. MQL: the FROM clause *is* the molecule-type definition. `wrote`
+    //    is the only link type between author and paper, so plain `-`
+    //    suffices (explicit form: `author-[wrote]-paper`).
+    let mut session = Session::new(db);
+    let result = session.execute("SELECT ALL FROM author-paper WHERE paper.year >= 1989")?;
+    println!("{}", mad::mql::format::render_result(session.db(), &result));
+
+    // 4. symmetric navigation: who wrote PRIMA? Same links, other direction.
+    let r = session.execute("SELECT ALL FROM paper-author WHERE paper.year = 1987")?;
+    println!("{}", mad::mql::format::render_result(session.db(), &r));
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! Property tests: the relational-baseline evaluators compute the very same
+//! molecule sets as the MAD engine (the correctness precondition of the B1
+//! benchmark), and the NF² materialization flattens back to the join
+//! result.
+
+use mad::algebra::molecule::MoleculeType;
+use mad::algebra::structure::path;
+use mad::algebra::{derive_molecules, DeriveOptions};
+use mad::nf2::materialize;
+use mad::nf2::ops as nf2_ops;
+use mad::relational::derive_join::{derive_via_algebra, derive_via_hash_joins};
+use mad::relational::RelationalImage;
+use mad::workload::{generate_bom, generate_geo, BomParams, GeoParams};
+use proptest::prelude::*;
+
+fn geo_params() -> impl Strategy<Value = GeoParams> {
+    (2usize..10, 1usize..5, 0usize..5, 0.0f64..1.0, any::<u64>()).prop_map(
+        |(states, edges_per_state, rivers, share, seed)| GeoParams {
+            states,
+            edges_per_state,
+            rivers,
+            edges_per_river: 3,
+            share,
+            cities: 1,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// MAD link traversal == relational hash joins == relational algebra
+    /// plan, molecule for molecule.
+    #[test]
+    fn relational_evaluators_agree_with_mad(params in geo_params()) {
+        let (db, _) = generate_geo(&params).unwrap();
+        let image = RelationalImage::from_database(&db).unwrap();
+        for names in [
+            ["state", "area", "edge", "point"].as_slice(),
+            ["river", "net", "edge"].as_slice(),
+            ["point", "edge", "area"].as_slice(),
+        ] {
+            let md = path(db.schema(), names).unwrap();
+            let mad_side = derive_molecules(&db, &md, &DeriveOptions::default()).unwrap();
+            let hash_side = derive_via_hash_joins(&image, &md).unwrap();
+            prop_assert_eq!(&mad_side, &hash_side);
+            let algebra_side = derive_via_algebra(&image, &md).unwrap();
+            prop_assert_eq!(&mad_side, &algebra_side);
+        }
+    }
+
+    /// Unnesting the NF² materialization level by level yields exactly the
+    /// flat path tuples (state, area, edge) of the join result — i.e. the
+    /// NF² image loses nothing *except* identity/sharing.
+    #[test]
+    fn nf2_flattens_to_join_paths(params in geo_params()) {
+        let (db, _) = generate_geo(&params).unwrap();
+        let md = path(db.schema(), &["state", "area", "edge"]).unwrap();
+        let molecules = derive_molecules(&db, &md, &DeriveOptions::default()).unwrap();
+        // count (state, area, edge) paths in the molecule set
+        let mut path_count = 0usize;
+        for m in &molecules {
+            for (_, area) in m.links_at(0) {
+                path_count += m
+                    .links_at(1)
+                    .iter()
+                    .filter(|(p, _)| p == area)
+                    .count();
+            }
+        }
+        let mt = MoleculeType {
+            name: "mt".into(),
+            structure: md,
+            molecules,
+        };
+        let mat = materialize(&db, &mt).unwrap();
+        let u1 = nf2_ops::unnest(&mat.relation, "area").unwrap();
+        let u2 = nf2_ops::unnest(&u1, "edge").unwrap();
+        // each flat tuple is one (state, area, edge) path; value-level
+        // duplicates can collapse, so flattening gives at most path_count
+        prop_assert!(u2.len() <= path_count);
+        // and the duplication factor is never below 1
+        prop_assert!(mat.duplication_factor() >= 1.0);
+    }
+
+    /// On BOM DAGs, the duplication factor grows monotonically-ish with the
+    /// sharing parameter (weak check: share=1.0 duplicates at least as much
+    /// as share=0.0 for identical seeds).
+    #[test]
+    fn bom_sharing_increases_duplication(seed in any::<u64>()) {
+        let mk = |share: f64| {
+            let (db, h) = generate_bom(&BomParams {
+                depth: 3,
+                width: 30,
+                fanout: 2,
+                share,
+                seed,
+            })
+            .unwrap();
+            let md = mad::algebra::structure::StructureBuilder::new(db.schema())
+                .node_as("l0", "parts")
+                .node_as("l1", "parts")
+                .node_as("l2", "parts")
+                .edge_directed("composition", "l0", "l1", mad::algebra::Direction::Fwd)
+                .edge_directed("composition", "l1", "l2", mad::algebra::Direction::Fwd)
+                .build()
+                .unwrap();
+            let opts = DeriveOptions {
+                roots: Some(h.roots.clone()),
+                ..Default::default()
+            };
+            let molecules = derive_molecules(&db, &md, &opts).unwrap();
+            let mt = MoleculeType {
+                name: "x".into(),
+                structure: md,
+                molecules,
+            };
+            materialize(&db, &mt).unwrap().duplication_factor()
+        };
+        let disjoint = mk(0.0);
+        let shared = mk(1.0);
+        prop_assert!(shared >= disjoint - 1e-9, "shared={shared}, disjoint={disjoint}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property test: the FROM-clause rendering of a molecule structure
+//! (`render_compact`, the §4 syntax) parses and analyzes back to the same
+//! structure — i.e. the MQL surface syntax is a faithful notation for
+//! Def. 5 descriptions.
+
+use mad::algebra::structure::{MoleculeStructure, StructureBuilder};
+use mad::model::Schema;
+use mad::mql;
+use mad::workload::brazil_database;
+use proptest::prelude::*;
+
+/// Random structures over the Brazil schema: grow a tree by repeatedly
+/// attaching a random linkable atom type under a random existing node.
+fn random_structure(schema: &Schema, choices: &[usize]) -> Option<MoleculeStructure> {
+    let type_names: Vec<String> = schema
+        .atom_types()
+        .map(|(_, d)| d.name.clone())
+        .collect();
+    let mut c = choices.iter().copied();
+    let root = type_names[c.next()? % type_names.len()].clone();
+    let mut nodes: Vec<String> = vec![root.clone()];
+    let mut edges: Vec<(String, String)> = Vec::new();
+    for _ in 0..(choices.len().saturating_sub(1) / 2) {
+        let parent_i = c.next()? % nodes.len();
+        let parent = nodes[parent_i].clone();
+        // candidate children: types linked to parent's type, not yet used
+        let pty = schema.atom_type_id(&parent).ok()?;
+        let mut candidates: Vec<String> = schema
+            .link_types_of(pty)
+            .iter()
+            .filter_map(|&lt| {
+                let other = schema.link_type(lt).other_end(pty)?;
+                let name = schema.atom_type(other).name.clone();
+                if nodes.contains(&name) {
+                    None
+                } else {
+                    Some(name)
+                }
+            })
+            .collect();
+        candidates.sort();
+        candidates.dedup();
+        if candidates.is_empty() {
+            continue;
+        }
+        let child = candidates[c.next()? % candidates.len()].clone();
+        nodes.push(child.clone());
+        edges.push((parent, child));
+    }
+    let mut b = StructureBuilder::new(schema);
+    for n in &nodes {
+        b = b.node(n);
+    }
+    for (p, ch) in &edges {
+        b = b.edge(p, ch);
+    }
+    b.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn render_parse_roundtrip(choices in prop::collection::vec(0usize..100, 1..12)) {
+        let (db, _) = brazil_database().unwrap();
+        let schema = db.schema();
+        let Some(md) = random_structure(schema, &choices) else {
+            return Ok(());
+        };
+        let rendered = md.render_compact(schema);
+        let query = format!("SELECT ALL FROM {rendered}");
+        let stmt = mql::parse(&query)
+            .unwrap_or_else(|e| panic!("`{query}` failed to parse: {e}"));
+        let mad::mql::ast::Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let mad::mql::ast::FromClause::Inline { structure, .. } = sel.from else {
+            // single-node structures render as a bare name
+            let mad::mql::ast::FromClause::Named(name) = sel.from else {
+                panic!()
+            };
+            prop_assert_eq!(md.node_count(), 1);
+            prop_assert_eq!(&name, &md.root_node().alias);
+            return Ok(());
+        };
+        let back = mql::analyze::analyze_structure(schema, &structure)
+            .unwrap_or_else(|e| panic!("`{rendered}` failed to analyze: {e}"));
+        // the canonical rendering is a fixpoint …
+        prop_assert_eq!(
+            back.render_compact(schema),
+            rendered.clone(),
+            "rendering is not canonical"
+        );
+        // … and both structures derive the same molecules (strongest
+        // observable equivalence; node/edge order may legitimately differ)
+        let orig = mad::algebra::derive_molecules(
+            &db,
+            &md,
+            &mad::algebra::DeriveOptions::default(),
+        )
+        .unwrap();
+        let reparsed = mad::algebra::derive_molecules(
+            &db,
+            &back,
+            &mad::algebra::DeriveOptions::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(orig.len(), reparsed.len());
+        for (a, b) in orig.iter().zip(&reparsed) {
+            prop_assert_eq!(a.root, b.root);
+            prop_assert_eq!(a.atom_set(), b.atom_set());
+            prop_assert_eq!(a.link_set(), b.link_set());
+        }
+    }
+}
+
+#[test]
+fn roundtrip_of_the_paper_structures() {
+    let (db, _) = brazil_database().unwrap();
+    let schema = db.schema();
+    for src in [
+        "state-area-edge-point",
+        "point-edge-(area-state,net-river)",
+        "river-net-edge-point",
+        "city-point-edge-(area-state,net-river)",
+    ] {
+        let stmt = mql::parse(&format!("SELECT ALL FROM {src}")).unwrap();
+        let mad::mql::ast::Statement::Select(sel) = stmt else {
+            panic!()
+        };
+        let mad::mql::ast::FromClause::Inline { structure, .. } = sel.from else {
+            panic!()
+        };
+        let md = mql::analyze::analyze_structure(schema, &structure).unwrap();
+        assert_eq!(md.render_compact(schema), src, "canonical rendering");
+    }
+}

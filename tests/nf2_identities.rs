@@ -1,0 +1,82 @@
+//! Property tests for the NF² algebra identities ([SS86]):
+//! `μ_B(ν_B(R)) = R` for every flat relation, and `ν∘μ = id` exactly on
+//! relations in partitioned normal form.
+
+use mad::model::AttrType;
+use mad::nf2::ops::{nest, unnest};
+use mad::nf2::{NestedAttr, NestedRelation, NestedValue};
+use proptest::prelude::*;
+
+fn flat_relation(rows: &[(i64, i64, i64)]) -> NestedRelation {
+    let mut r = NestedRelation::new(
+        "r",
+        vec![
+            NestedAttr::atomic("a", AttrType::Int),
+            NestedAttr::atomic("b", AttrType::Int),
+            NestedAttr::atomic("c", AttrType::Int),
+        ],
+    );
+    for (a, b, c) in rows {
+        r.insert(vec![
+            NestedValue::Atomic(mad::model::Value::Int(*a)),
+            NestedValue::Atomic(mad::model::Value::Int(*b)),
+            NestedValue::Atomic(mad::model::Value::Int(*c)),
+        ])
+        .unwrap();
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// μ(ν(R)) = R on arbitrary flat relations, for every nest column set —
+    /// up to attribute order (relations are over attribute *sets*; ν moves
+    /// the nested columns to the end, so we re-project into the original
+    /// order before comparing).
+    #[test]
+    fn unnest_inverts_nest(rows in prop::collection::vec((0i64..6, 0i64..6, 0i64..6), 0..40)) {
+        let r = flat_relation(&rows);
+        for cols in [vec!["c"], vec!["b", "c"], vec!["a", "c"]] {
+            let refs: Vec<&str> = cols.clone();
+            let n = nest(&r, &refs, "g").unwrap();
+            let u = unnest(&n, "g").unwrap();
+            let u = mad::nf2::ops::project(&u, &["a", "b", "c"]).unwrap();
+            prop_assert_eq!(&u.tuples, &r.tuples, "nest cols {:?}", cols);
+        }
+    }
+
+    /// ν(μ(N)) = N when N was produced by a nest (i.e. is partitioned).
+    #[test]
+    fn nest_unnest_identity_on_pnf(rows in prop::collection::vec((0i64..6, 0i64..6, 0i64..6), 1..40)) {
+        let r = flat_relation(&rows);
+        let n = nest(&r, &["c"], "g").unwrap();
+        // n is in PNF by construction: groups are keyed by (a, b)
+        let u = unnest(&n, "g").unwrap();
+        let n2 = nest(&u, &["c"], "g").unwrap();
+        prop_assert_eq!(n.tuples, n2.tuples);
+    }
+
+    /// Nesting never increases the tuple count, and unnesting never
+    /// decreases it below the group count.
+    #[test]
+    fn cardinality_bounds(rows in prop::collection::vec((0i64..6, 0i64..6, 0i64..6), 0..40)) {
+        let r = flat_relation(&rows);
+        let n = nest(&r, &["b", "c"], "g").unwrap();
+        prop_assert!(n.len() <= r.len());
+        let u = unnest(&n, "g").unwrap();
+        prop_assert_eq!(u.len(), r.len());
+    }
+
+    /// Double nesting round-trips through double unnesting.
+    #[test]
+    fn double_nesting_roundtrip(rows in prop::collection::vec((0i64..4, 0i64..4, 0i64..4), 0..25)) {
+        let r = flat_relation(&rows);
+        let n1 = nest(&r, &["c"], "inner").unwrap();
+        let n2 = nest(&n1, &["b", "inner"], "outer").unwrap();
+        let u1 = unnest(&n2, "outer").unwrap();
+        prop_assert_eq!(&u1.tuples, &n1.tuples);
+        let u2 = unnest(&u1, "inner").unwrap();
+        prop_assert_eq!(&u2.tuples, &r.tuples);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for recursive molecule types ([Schö89] / §5) against the
+//! relational transitive-closure semantics, on random BOM DAGs.
+
+use mad::algebra::recursive::{derive_recursive_one, RecursiveSpec};
+use mad::algebra::Direction;
+use mad::model::Value;
+use mad::relational::closure::{reachable_from, transitive_closure};
+use mad::relational::RelationalImage;
+use mad::workload::{generate_bom, BomParams};
+use proptest::prelude::*;
+
+fn params() -> impl Strategy<Value = BomParams> {
+    (1usize..5, 3usize..20, 1usize..4, 0.0f64..1.0, any::<u64>()).prop_map(
+        |(depth, width, fanout, share, seed)| BomParams {
+            depth,
+            width,
+            fanout,
+            share,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The recursive molecule's atom set equals relational reachability
+    /// from the same root, for every root.
+    #[test]
+    fn explosion_equals_reachability(p in params()) {
+        let (db, h) = generate_bom(&p).unwrap();
+        let image = RelationalImage::from_database(&db).unwrap();
+        let aux = image.link_mapping(h.composition).1.as_ref().unwrap();
+        let spec = RecursiveSpec {
+            atom_type: h.parts,
+            link: h.composition,
+            dir: Direction::Fwd,
+            max_depth: None,
+        };
+        for &root in h.roots.iter().take(5) {
+            let m = derive_recursive_one(&db, &spec, root).unwrap();
+            let mut mad_set: Vec<i64> =
+                m.atom_set().into_iter().map(|a| a.pack() as i64).collect();
+            mad_set.sort_unstable();
+            let rel_set: Vec<i64> =
+                reachable_from(aux, &Value::Int(root.pack() as i64))
+                    .unwrap()
+                    .into_iter()
+                    .map(|v| v.as_int().unwrap())
+                    .collect();
+            prop_assert_eq!(mad_set, rel_set);
+        }
+    }
+
+    /// Depth-bounded explosions are monotone: deeper bounds contain
+    /// shallower ones, and the unbounded explosion contains them all.
+    #[test]
+    fn depth_bound_monotone(p in params()) {
+        let (db, h) = generate_bom(&p).unwrap();
+        let root = h.roots[0];
+        let mut previous: Option<Vec<mad::model::AtomId>> = None;
+        for depth in 0..=p.depth + 1 {
+            let spec = RecursiveSpec {
+                atom_type: h.parts,
+                link: h.composition,
+                dir: Direction::Fwd,
+                max_depth: Some(depth),
+            };
+            let m = derive_recursive_one(&db, &spec, root).unwrap();
+            prop_assert!(m.depth() <= depth);
+            let atoms = m.atom_set();
+            if let Some(prev) = &previous {
+                prop_assert!(
+                    prev.iter().all(|a| atoms.binary_search(a).is_ok()),
+                    "depth {depth} lost atoms of depth {}",
+                    depth - 1
+                );
+            }
+            previous = Some(atoms);
+        }
+        // the generator builds ≤ p.depth levels, so the unbounded result
+        // equals the bound at p.depth
+        let unbounded = derive_recursive_one(
+            &db,
+            &RecursiveSpec {
+                atom_type: h.parts,
+                link: h.composition,
+                dir: Direction::Fwd,
+                max_depth: None,
+            },
+            root,
+        )
+        .unwrap();
+        prop_assert_eq!(unbounded.atom_set(), previous.unwrap());
+    }
+
+    /// Down- and up-explosions are converses: `b ∈ down(a) ⟺ a ∈ up(b)`
+    /// (spot-checked over the first roots and their components).
+    #[test]
+    fn down_up_converse(p in params()) {
+        let (db, h) = generate_bom(&p).unwrap();
+        let down = |root| {
+            derive_recursive_one(
+                &db,
+                &RecursiveSpec {
+                    atom_type: h.parts,
+                    link: h.composition,
+                    dir: Direction::Fwd,
+                    max_depth: None,
+                },
+                root,
+            )
+            .unwrap()
+        };
+        let up = |root| {
+            derive_recursive_one(
+                &db,
+                &RecursiveSpec {
+                    atom_type: h.parts,
+                    link: h.composition,
+                    dir: Direction::Bwd,
+                    max_depth: None,
+                },
+                root,
+            )
+            .unwrap()
+        };
+        let root = h.roots[0];
+        let exploded = down(root);
+        for &component in exploded.atom_set().iter().take(8) {
+            let used_in = up(component);
+            prop_assert!(
+                used_in.atom_set().binary_search(&root).is_ok(),
+                "{component} is below {root} but {root} not above {component}"
+            );
+        }
+    }
+
+    /// The full transitive closure contains every (root, component) pair of
+    /// every explosion.
+    #[test]
+    fn closure_covers_explosions(p in params()) {
+        let (db, h) = generate_bom(&p).unwrap();
+        let image = RelationalImage::from_database(&db).unwrap();
+        let aux = image.link_mapping(h.composition).1.as_ref().unwrap();
+        let closure = transitive_closure(aux, None).unwrap();
+        let spec = RecursiveSpec {
+            atom_type: h.parts,
+            link: h.composition,
+            dir: Direction::Fwd,
+            max_depth: None,
+        };
+        for &root in h.roots.iter().take(3) {
+            let m = derive_recursive_one(&db, &spec, root).unwrap();
+            for a in m.atom_set() {
+                if a == root {
+                    continue;
+                }
+                prop_assert!(closure.contains(&[
+                    Value::Int(root.pack() as i64),
+                    Value::Int(a.pack() as i64)
+                ]));
+            }
+        }
+    }
+}
