@@ -1,9 +1,15 @@
 //! B3 — the §5 "query parallelism" outlook: per-root vs. set-oriented
-//! (level-at-a-time) vs. parallel molecule derivation.
+//! (level-at-a-time) vs. parallel vs. frontier-bitset molecule derivation.
 //!
-//! Expected shape: level-at-a-time wins when molecules overlap heavily
-//! (shared adjacency is scanned once); parallel derivation scales with the
-//! number of molecules and cores.
+//! Expected shape: level-at-a-time wins over per-root when molecules
+//! overlap heavily (shared adjacency is scanned once); parallel derivation
+//! scales with the number of molecules and cores; the bitset engine over
+//! the CSR snapshot beats all single-threaded strategies by replacing hash
+//! probes and sorted-vector intersections with sequential scans and
+//! word-wise set operations.
+//!
+//! Run with `-- --quick` to emit/merge `BENCH_derive.json` (median ns/op
+//! per strategy) for cross-commit perf comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mad_bench::presets;
@@ -21,11 +27,14 @@ fn bench(c: &mut Criterion) {
     for (label, params) in presets::geo_sweep() {
         let (db, _) = generate_geo(&params).unwrap();
         let md = path(db.schema(), &["state", "area", "edge", "point"]).unwrap();
+        // warm the CSR snapshot outside the timed region, as a session would
+        let _ = db.csr_snapshot();
         for (name, strat) in [
             ("per_root", Strategy::PerRoot),
             ("level_at_a_time", Strategy::LevelAtATime),
             ("parallel_2", Strategy::Parallel(2)),
             ("parallel_4", Strategy::Parallel(4)),
+            ("bitset", Strategy::Bitset),
         ] {
             group.bench_with_input(BenchmarkId::new(name, label), &(), |b, _| {
                 b.iter(|| {
@@ -38,9 +47,11 @@ fn bench(c: &mut Criterion) {
     for (share, params) in presets::share_sweep() {
         let (db, _) = generate_geo(&params).unwrap();
         let md = path(db.schema(), &["river", "net", "edge", "point"]).unwrap();
+        let _ = db.csr_snapshot();
         for (name, strat) in [
             ("per_root", Strategy::PerRoot),
             ("level_at_a_time", Strategy::LevelAtATime),
+            ("bitset", Strategy::Bitset),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("share={share}")),

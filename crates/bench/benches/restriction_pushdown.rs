@@ -6,6 +6,13 @@
 //! wins by roughly 1/selectivity at low selectivity and converges to parity
 //! as the predicate approaches "all roots". Both paths use the *pure*
 //! evaluation API (no propagation), so only derivation cost is measured.
+//!
+//! Strategy arms: the classic per-root evaluator, the set-oriented
+//! level-at-a-time evaluator, and the bitset engine whose planner pushes
+//! conjuncts to *every* structure node (not just the root).
+//!
+//! Run with `-- --quick` to emit/merge `BENCH_derive.json` (median ns/op
+//! per strategy) for cross-commit perf comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mad_core::derive::Strategy;
@@ -45,23 +52,26 @@ fn bench(c: &mut Criterion) {
         ("sel=50%", 1050.0),
     ] {
         let qual = QualExpr::cmp_const(0, 1, CmpOp::Gt, threshold);
-        // verify both paths agree before timing
+        // verify all paths agree before timing
         {
-            let pushed = engine
-                .evaluate_restricted(&md, &qual, Strategy::PerRoot)
-                .unwrap();
             let naive = engine
                 .evaluate_filtered(&md, &qual, Strategy::PerRoot)
                 .unwrap();
-            assert_eq!(pushed, naive);
+            for strat in [Strategy::PerRoot, Strategy::LevelAtATime, Strategy::Bitset] {
+                let pushed = engine.evaluate_restricted(&md, &qual, strat).unwrap();
+                assert_eq!(pushed, naive, "pushdown with {strat:?} diverged");
+            }
         }
-        group.bench_with_input(BenchmarkId::new("pushdown", label), &(), |b, _| {
-            b.iter(|| {
-                engine
-                    .evaluate_restricted(&md, &qual, Strategy::PerRoot)
-                    .unwrap()
-            })
-        });
+        let _ = engine.db().csr_snapshot();
+        for (name, strat) in [
+            ("pushdown", Strategy::PerRoot),
+            ("pushdown_level", Strategy::LevelAtATime),
+            ("pushdown_bitset", Strategy::Bitset),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, label), &(), |b, _| {
+                b.iter(|| engine.evaluate_restricted(&md, &qual, strat).unwrap())
+            });
+        }
         group.bench_with_input(
             BenchmarkId::new("derive_then_filter", label),
             &(),

@@ -10,7 +10,7 @@
 //! ∀/∃ nesting of Def. 6). The `total` predicate — maximality — holds by
 //! construction, since every qualifying atom is taken.
 //!
-//! Three strategies implement the same function (they are checked equal by
+//! Four strategies implement the same function (they are checked equal by
 //! property tests; benchmark B3 compares them):
 //!
 //! * [`Strategy::PerRoot`] — one depth-first hierarchical join per root
@@ -20,10 +20,18 @@
 //!   scanned once in total instead of once per molecule.
 //! * [`Strategy::Parallel`] — per-root derivation fanned over threads
 //!   (the "query parallelism" outlook of §5).
+//! * [`Strategy::Bitset`] — the second-generation engine: per-node atom
+//!   sets are dense slot-indexed [`BitSet`]s, frontiers are expanded in
+//!   batch through the database's frozen [`CsrSnapshot`]
+//!   (`Database::csr_snapshot`), and the ∀-intersection over incoming
+//!   edges is a word-wise `AND`. No hash probes and no sorted-vector
+//!   intersections remain on the hot path. [`derive_bitset_pruned`]
+//!   additionally accepts per-node qualification bitsets for restriction
+//!   pushdown at every structure node (benchmark B4).
 
 use crate::molecule::Molecule;
 use crate::structure::MoleculeStructure;
-use mad_model::{AtomId, FxHashMap, MadError, Result};
+use mad_model::{AtomId, BitSet, FxHashMap, MadError, Result};
 use mad_storage::database::Direction;
 use mad_storage::Database;
 
@@ -37,6 +45,8 @@ pub enum Strategy {
     LevelAtATime,
     /// Per-root traversals distributed over `n` threads.
     Parallel(usize),
+    /// Frontier-bitset evaluation over the CSR adjacency snapshot.
+    Bitset,
 }
 
 /// Options for [`derive_molecules`].
@@ -163,7 +173,131 @@ pub fn derive_molecules(
         Strategy::PerRoot => roots.iter().map(|&r| derive_one(db, md, r)).collect(),
         Strategy::LevelAtATime => Ok(derive_level_at_a_time(db, md, &roots)),
         Strategy::Parallel(threads) => derive_parallel(db, md, &roots, threads.max(1)),
+        Strategy::Bitset => derive_bitset_pruned(db, md, &roots, &[]),
     }
+}
+
+/// Frontier-bitset derivation over the CSR snapshot, with optional
+/// per-node qualification pushdown.
+///
+/// `prune[node]`, when present, is the bitset of slots satisfying the
+/// simple predicates the planner extracted for that structure node. A
+/// molecule whose derived atom set at such a node contains **no** matching
+/// atom is omitted from the result — it could never satisfy the
+/// qualification's top-level conjunct, so deriving or filtering it further
+/// is wasted work. Atom sets of *surviving* molecules are **not** filtered
+/// (Def. 6 molecules are maximal w.r.t. the structure alone); callers
+/// evaluating a qualification still apply the full formula afterwards.
+///
+/// With an empty `prune` slice this computes exactly `m_dom` of Def. 6 and
+/// agrees with every other strategy (checked by the equivalence property
+/// test). Roots are validated like every other derivation entry point:
+/// wrong-typed or nonexistent roots are an error, not a fabricated
+/// molecule.
+pub fn derive_bitset_pruned(
+    db: &Database,
+    md: &MoleculeStructure,
+    roots: &[AtomId],
+    prune: &[Option<BitSet>],
+) -> Result<Vec<Molecule>> {
+    for &r in roots {
+        if r.ty != md.root_node().ty {
+            return Err(MadError::structure(format!(
+                "selected root {r} is not of the root atom type"
+            )));
+        }
+        if !db.atom_exists(r) {
+            return Err(MadError::integrity(format!("root atom {r} does not exist")));
+        }
+    }
+    let csr = db.csr_snapshot();
+    let root_node = md.root();
+    // one reusable bitset per structure node, sized to the node type's slot
+    // horizon, plus one scratch set for per-edge expansion
+    let mut node_sets: Vec<BitSet> = md
+        .nodes()
+        .iter()
+        .map(|nd| BitSet::with_capacity(csr.slot_count(nd.ty)))
+        .collect();
+    let mut reached = BitSet::default();
+    let mut out = Vec::with_capacity(roots.len());
+    'roots: for &root in roots {
+        for s in &mut node_sets {
+            s.clear();
+        }
+        if let Some(Some(q)) = prune.get(root_node) {
+            if !q.contains(root.slot as usize) {
+                continue;
+            }
+        }
+        node_sets[root_node].insert(root.slot as usize);
+        for &node in &md.topo_order()[1..] {
+            let mut first = true;
+            for &ei in md.incoming(node) {
+                let e = &md.edges()[ei];
+                reached.clear();
+                csr.expand_frontier(e.link, e.dir, &node_sets[e.from], &mut reached);
+                if first {
+                    // node_sets[node] is empty: take the expansion wholesale
+                    std::mem::swap(&mut node_sets[node], &mut reached);
+                    first = false;
+                } else {
+                    // ∀ incoming edges (Def. 6): word-wise intersection
+                    node_sets[node].intersect_with(&reached);
+                }
+                if node_sets[node].is_empty() {
+                    break; // no atom can satisfy the remaining edges either
+                }
+            }
+            if let Some(Some(q)) = prune.get(node) {
+                if !node_sets[node].intersects(q) {
+                    continue 'roots; // no witness: the molecule cannot qualify
+                }
+            }
+        }
+        out.push(assemble_bitset_molecule(&csr, md, root, &node_sets));
+    }
+    Ok(out)
+}
+
+fn assemble_bitset_molecule(
+    csr: &mad_storage::CsrSnapshot,
+    md: &MoleculeStructure,
+    root: AtomId,
+    node_sets: &[BitSet],
+) -> Molecule {
+    let atoms: Vec<Vec<AtomId>> = md
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(ni, nd)| {
+            // ascending slot order == sorted AtomId order within one type
+            node_sets[ni]
+                .iter()
+                .map(|slot| AtomId::new(nd.ty, slot as u32))
+                .collect()
+        })
+        .collect();
+    let links: Vec<Vec<(AtomId, AtomId)>> = md
+        .edges()
+        .iter()
+        .map(|e| {
+            let from_ty = md.nodes()[e.from].ty;
+            let to_ty = md.nodes()[e.to].ty;
+            let targets = &node_sets[e.to];
+            let mut pairs = Vec::new();
+            for p in &node_sets[e.from] {
+                csr.for_each_partner(e.link, p as u32, e.dir, |c| {
+                    if targets.contains(c as usize) {
+                        pairs.push((AtomId::new(from_ty, p as u32), AtomId::new(to_ty, c)));
+                    }
+                });
+            }
+            // ascending (p, c) generation keeps pairs sorted and unique
+            pairs
+        })
+        .collect();
+    Molecule { root, atoms, links }
 }
 
 /// Set-oriented hierarchical join. For every structure node we compute the
@@ -285,8 +419,8 @@ fn derive_level_at_a_time(
     molecules
 }
 
-/// Per-root derivation distributed over threads with crossbeam scoped
-/// threads; results keep root order.
+/// Per-root derivation distributed over std scoped threads; results keep
+/// root order.
 fn derive_parallel(
     db: &Database,
     md: &MoleculeStructure,
@@ -298,11 +432,11 @@ fn derive_parallel(
     }
     let threads = threads.min(roots.len());
     let chunk = roots.len().div_ceil(threads);
-    let results: Vec<Result<Vec<Molecule>>> = crossbeam::thread::scope(|scope| {
+    let results: Vec<Result<Vec<Molecule>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = roots
             .chunks(chunk)
             .map(|chunk_roots| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk_roots
                         .iter()
                         .map(|&r| derive_one(db, md, r))
@@ -310,9 +444,14 @@ fn derive_parallel(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .map_err(|_| MadError::structure("parallel derivation panicked"))?;
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(MadError::structure("parallel derivation panicked")))
+            })
+            .collect()
+    });
     let mut out = Vec::with_capacity(roots.len());
     for r in results {
         out.extend(r?);
@@ -598,8 +737,11 @@ mod tests {
                 &DeriveOptions::with_strategy(Strategy::Parallel(3)),
             )
             .unwrap();
+            let d = derive_molecules(&db, &md, &DeriveOptions::with_strategy(Strategy::Bitset))
+                .unwrap();
             assert_eq!(a, b, "LevelAtATime diverged");
             assert_eq!(a, c, "Parallel diverged");
+            assert_eq!(a, d, "Bitset diverged");
         }
     }
 
@@ -701,7 +843,12 @@ mod tests {
             .unwrap();
         let db = Database::new(schema);
         let md = path(db.schema(), &["state", "area"]).unwrap();
-        for strat in [Strategy::PerRoot, Strategy::LevelAtATime, Strategy::Parallel(2)] {
+        for strat in [
+            Strategy::PerRoot,
+            Strategy::LevelAtATime,
+            Strategy::Parallel(2),
+            Strategy::Bitset,
+        ] {
             let ms = derive_molecules(&db, &md, &DeriveOptions::with_strategy(strat)).unwrap();
             assert!(ms.is_empty());
         }

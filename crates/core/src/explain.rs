@@ -14,6 +14,7 @@
 //! * **strategy advice** — per-root vs. parallel derivation, picked from
 //!   the estimated total work (the crossover benchmark B3 measures).
 
+use crate::ops::{classify_pushdown, index_probe_key, AccessPath};
 use crate::qual::{CmpOp, QualExpr};
 use crate::structure::MoleculeStructure;
 use mad_model::Value;
@@ -56,6 +57,25 @@ pub struct NodeEstimate {
     pub total: f64,
 }
 
+/// One pushed conjunct in the EXPLAIN report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PushedConjunct {
+    /// The conjunct, rendered (`alias.attr op value`).
+    pub rendered: String,
+    /// How this conjunct's candidate set is produced (index vs. scan) —
+    /// decided per conjunct, exactly like the execution-time planner.
+    pub access: AccessPath,
+}
+
+/// Conjuncts pushed to one structure node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PushedNode {
+    /// The node's alias.
+    pub alias: String,
+    /// The pushed conjuncts with their access paths.
+    pub conjuncts: Vec<PushedConjunct>,
+}
+
 /// The explanation of a molecule-type definition.
 #[derive(Clone, Debug)]
 pub struct Plan {
@@ -65,10 +85,18 @@ pub struct Plan {
     pub estimated_roots: f64,
     /// Per-node estimates, in topological order.
     pub nodes: Vec<NodeEstimate>,
+    /// Qualification pushdown per structure node (only nodes with pushable
+    /// conjuncts appear; empty without a qualification).
+    pub pushdown: Vec<PushedNode>,
     /// Estimated adjacency lookups for the whole derivation.
     pub estimated_lookups: f64,
     /// Suggested derivation strategy.
     pub suggested_strategy: crate::derive::Strategy,
+    /// Whether traversal runs over the frozen CSR snapshot (true for the
+    /// bitset strategy) — and whether that snapshot is already warm.
+    pub csr_expansion: bool,
+    /// Is the database's CSR snapshot current (no rebuild needed)?
+    pub csr_warm: bool,
     /// Residual qualification evaluated per molecule (rendered), if any.
     pub residual_filter: Option<String>,
 }
@@ -111,7 +139,7 @@ pub fn explain(db: &Database, md: &MoleculeStructure, qual: Option<&QualExpr>) -
     let root_def = db.schema().atom_type(root_ty);
     for (attr, op, value) in &conjuncts {
         est_roots *= selectivity(*op);
-        indexed &= db.has_index(root_ty, *attr) && *op != CmpOp::Ne;
+        indexed &= index_probe_key(db, root_ty, *attr, *op, value).is_some();
         rendered.push(format!(
             "{}.{} {} {}",
             md.root_node().alias,
@@ -176,22 +204,61 @@ pub fn explain(db: &Database, md: &MoleculeStructure, qual: Option<&QualExpr>) -
             per_molecule[e.from] * fan.max(1.0) * est_roots
         })
         .sum();
+    // --- qualification pushdown report -----------------------------------
+    let attr_name = |node: usize, attr: usize| {
+        let def = db.schema().atom_type(md.nodes()[node].ty);
+        def.attrs
+            .get(attr)
+            .map(|a| a.name.as_str())
+            .unwrap_or("?")
+            .to_owned()
+    };
+    // report exactly what the execution-time planner will do — same
+    // classification code, minus the bitset materialization
+    let pushdown: Vec<PushedNode> = qual
+        .map(|q| {
+            classify_pushdown(db, md, q)
+                .iter()
+                .map(|entry| PushedNode {
+                    alias: md.nodes()[entry.node].alias.clone(),
+                    conjuncts: entry
+                        .conjuncts
+                        .iter()
+                        .map(|(c, access)| PushedConjunct {
+                            rendered: format!(
+                                "{}.{} {} {}",
+                                md.nodes()[c.node].alias,
+                                attr_name(c.node, c.attr),
+                                c.op.symbol(),
+                                c.value
+                            ),
+                            access: *access,
+                        })
+                        .collect(),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     // --- strategy advice --------------------------------------------------
     // parallel pays off past ~10 ms of single-threaded work; a lookup costs
     // on the order of 100 ns here, so the crossover sits around 10⁵ lookups
     // (benchmark B3 places it between the "large" geo sweep and the
-    // point-neighborhood workload)
+    // point-neighborhood workload). Below the crossover the frontier-bitset
+    // engine over the CSR snapshot is the default.
     let suggested_strategy = if estimated_lookups > 1e5 {
         crate::derive::Strategy::Parallel(4)
     } else {
-        crate::derive::Strategy::PerRoot
+        crate::derive::Strategy::Bitset
     };
     Plan {
         root_selection,
         estimated_roots: est_roots,
         nodes,
+        pushdown,
         estimated_lookups,
         suggested_strategy,
+        csr_expansion: suggested_strategy == crate::derive::Strategy::Bitset,
+        csr_warm: db.csr_is_warm(),
         residual_filter: qual.map(|q| q.render(md, db.schema())),
     }
 }
@@ -227,8 +294,32 @@ impl fmt::Display for Plan {
                 n.alias, n.per_molecule, n.total
             )?;
         }
+        for p in &self.pushdown {
+            let rendered: Vec<String> = p
+                .conjuncts
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{} (via {})",
+                        c.rendered,
+                        match c.access {
+                            AccessPath::Index => "index",
+                            AccessPath::Scan => "scan",
+                        }
+                    )
+                })
+                .collect();
+            writeln!(f, "  pushdown @{:<10} [{}]", p.alias, rendered.join(" AND "))?;
+        }
         writeln!(f, "  estimated adjacency lookups: ≈{:.0}", self.estimated_lookups)?;
         writeln!(f, "  suggested strategy: {:?}", self.suggested_strategy)?;
+        if self.csr_expansion {
+            writeln!(
+                f,
+                "  traversal: CSR snapshot expansion ({})",
+                if self.csr_warm { "warm" } else { "built on first use" }
+            )?;
+        }
         if let Some(r) = &self.residual_filter {
             writeln!(f, "  residual molecule filter: {r}")?;
         }
@@ -287,8 +378,50 @@ mod tests {
         // fan-out estimates: 1 area per state, 4 edges per area
         assert!((plan.nodes[1].per_molecule - 1.0).abs() < 1e-9);
         assert!((plan.nodes[2].per_molecule - 4.0).abs() < 1e-9);
-        assert_eq!(plan.suggested_strategy, Strategy::PerRoot);
+        assert_eq!(plan.suggested_strategy, Strategy::Bitset);
+        assert!(plan.csr_expansion);
+        assert!(plan.pushdown.is_empty());
         assert!(plan.residual_filter.is_none());
+    }
+
+    #[test]
+    fn report_matches_what_execution_would_do() {
+        // a hash index cannot serve a range probe: the report must say
+        // "scan", exactly like the execution-time planner decides
+        let mut db = db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        db.create_index(state, "hectare", IndexKind::Hash).unwrap();
+        let md = path(db.schema(), &["state", "area"]).unwrap();
+        let range = QualExpr::cmp_const(0, 1, CmpOp::Gt, 5.0);
+        let plan = explain(&db, &md, Some(&range));
+        assert!(matches!(plan.root_selection, RootSelection::ScanFiltered { .. }));
+        assert_eq!(plan.pushdown[0].conjuncts[0].access, AccessPath::Scan);
+        let eq = QualExpr::cmp_const(0, 1, CmpOp::Eq, 5.0);
+        let plan = explain(&db, &md, Some(&eq));
+        assert!(matches!(plan.root_selection, RootSelection::IndexAssisted { .. }));
+        assert_eq!(plan.pushdown[0].conjuncts[0].access, AccessPath::Index);
+    }
+
+    #[test]
+    fn pushdown_report_covers_non_root_nodes() {
+        let mut db = db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        db.create_index(state, "hectare", IndexKind::Ordered).unwrap();
+        let md = path(db.schema(), &["state", "area", "edge"]).unwrap();
+        let q = QualExpr::cmp_const(0, 1, CmpOp::Gt, 5.0)
+            .and(QualExpr::cmp_const(2, 0, CmpOp::Lt, 8));
+        let plan = explain(&db, &md, Some(&q));
+        assert_eq!(plan.pushdown.len(), 2);
+        let root = plan.pushdown.iter().find(|p| p.alias == "state").unwrap();
+        assert_eq!(root.conjuncts[0].access, AccessPath::Index);
+        assert!(root.conjuncts[0].rendered.contains("state.hectare > 5"));
+        let edge = plan.pushdown.iter().find(|p| p.alias == "edge").unwrap();
+        assert_eq!(edge.conjuncts[0].access, AccessPath::Scan);
+        let text = plan.to_string();
+        assert!(text.contains("pushdown @state"), "got: {text}");
+        assert!(text.contains("via index"), "got: {text}");
+        assert!(text.contains("via scan"), "got: {text}");
+        assert!(text.contains("CSR snapshot"), "got: {text}");
     }
 
     #[test]

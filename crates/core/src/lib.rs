@@ -36,10 +36,13 @@ pub mod trace;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use crate::atom_ops;
-    pub use crate::derive::{check_molecule, derive_molecules, derive_one, DeriveOptions, Strategy};
+    pub use crate::derive::{
+        check_molecule, derive_bitset_pruned, derive_molecules, derive_one, DeriveOptions,
+        Strategy,
+    };
     pub use crate::explain::{explain, Plan};
     pub use crate::molecule::{Molecule, MoleculeType};
-    pub use crate::ops::Engine;
+    pub use crate::ops::{plan_pushdown, AccessPath, Engine, PushdownPlan};
     pub use crate::qual::{AggFn, CmpOp, Operand, QualExpr};
     pub use crate::recursive::{derive_recursive, RecursiveMolecule, RecursiveSpec};
     pub use crate::structure::{path, MoleculeStructure, MsEdge, MsNode, StructureBuilder};

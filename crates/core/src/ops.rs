@@ -31,18 +31,186 @@
 //! exact correspondence Def. 9 promises would break. Branch pruning (the
 //! SELECT-clause use case of §4) always satisfies the rule.
 
-use crate::derive::{derive_molecules, derive_one, DeriveOptions, Strategy};
+use crate::derive::{
+    derive_bitset_pruned, derive_molecules, derive_one, DeriveOptions, Strategy,
+};
 use crate::molecule::{Molecule, MoleculeType};
 use crate::provenance::Provenance;
-use crate::qual::{CmpOp, QualExpr};
+use crate::qual::{CmpOp, NodeConjunct, QualExpr};
 use crate::structure::{finalize, MoleculeStructure, MsEdge, MsNode};
 use crate::trace::{OpTrace, Stage, TraceLog};
 use mad_model::{
-    AtomId, AtomTypeDef, AttrDef, AttrType, FxHashMap, LinkTypeDef, MadError, Result, Value,
+    AtomId, AtomTypeDef, AttrDef, AttrType, BitSet, FxHashMap, LinkTypeDef, MadError, Result,
+    Value,
 };
 use mad_storage::database::Direction;
 use mad_storage::{Database, IndexKind};
 use std::ops::Bound;
+
+/// How a pushed conjunct's candidate bitset was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Postings of a secondary [`mad_storage::AttrIndex`].
+    Index,
+    /// A filtered scan of the atom-type occurrence.
+    Scan,
+}
+
+/// The pushed conjuncts of one structure node and how they were evaluated.
+#[derive(Clone, Debug)]
+pub struct NodePushdown {
+    /// The structure node the conjuncts restrict.
+    pub node: usize,
+    /// Each pushed conjunct with its access path.
+    pub conjuncts: Vec<(NodeConjunct, AccessPath)>,
+}
+
+/// The qualification-pushdown plan for one derivation: per-node candidate
+/// bitsets (`prune[n]`) plus the per-conjunct access-path report EXPLAIN
+/// renders.
+#[derive(Clone, Debug, Default)]
+pub struct PushdownPlan {
+    /// Per structure node: the slots satisfying all pushed conjuncts of the
+    /// node (`None` when nothing was pushable there).
+    pub prune: Vec<Option<BitSet>>,
+    /// Report entries, one per node with pushed conjuncts.
+    pub nodes: Vec<NodePushdown>,
+}
+
+/// Classify the pushable conjuncts of `qual` per structure node: which
+/// access path each would use, without materializing any candidate bitset.
+/// EXPLAIN consumes this directly; [`plan_pushdown`] builds the bitsets on
+/// top of it, so report and execution can never disagree. Conjuncts with
+/// out-of-range node or attribute references (possible when the
+/// qualification was never validated against `md`) are skipped rather than
+/// panicking.
+pub(crate) fn classify_pushdown(
+    db: &Database,
+    md: &MoleculeStructure,
+    qual: &QualExpr,
+) -> Vec<NodePushdown> {
+    let mut nodes: Vec<NodePushdown> = Vec::new();
+    for c in qual.node_conjuncts() {
+        let Some(node) = md.nodes().get(c.node) else {
+            continue;
+        };
+        if db.schema().atom_type(node.ty).attrs.get(c.attr).is_none() {
+            continue;
+        }
+        let access = if index_probe_key(db, node.ty, c.attr, c.op, &c.value).is_some() {
+            AccessPath::Index
+        } else {
+            AccessPath::Scan
+        };
+        match nodes.iter_mut().find(|n| n.node == c.node) {
+            Some(entry) => entry.conjuncts.push((c, access)),
+            None => nodes.push(NodePushdown {
+                node: c.node,
+                conjuncts: vec![(c, access)],
+            }),
+        }
+    }
+    nodes
+}
+
+/// Extract the top-level `node.attr op const` conjuncts of `qual` and
+/// evaluate each into a slot bitset — through a secondary index when one
+/// serves the comparison, by scanning the occurrence otherwise. This is
+/// restriction pushdown (benchmark B4) generalized from the root to
+/// *every* structure node; `derive_bitset_pruned` consumes the result.
+pub fn plan_pushdown(db: &Database, md: &MoleculeStructure, qual: &QualExpr) -> PushdownPlan {
+    let nodes = classify_pushdown(db, md, qual);
+    let mut prune: Vec<Option<BitSet>> = vec![None; md.node_count()];
+    for entry in &nodes {
+        let ty = md.nodes()[entry.node].ty;
+        for (c, access) in &entry.conjuncts {
+            let bits = conjunct_bitset(db, ty, c, *access);
+            match &mut prune[entry.node] {
+                slot @ None => *slot = Some(bits),
+                Some(prev) => prev.intersect_with(&bits),
+            }
+        }
+    }
+    PushdownPlan { prune, nodes }
+}
+
+/// Can a secondary index serve `(attr, op, value)` on atom type `ty` with
+/// the *same semantics* as the `sql_cmp` scan path? Returns the probe key
+/// when it can.
+///
+/// Index keys compare with `Value`'s total order, which ranks variants
+/// before values (`Int(5) < Float(0.0)`), while scans and the final
+/// qualification filter compare numerically via `sql_cmp`. A probe is
+/// therefore only sound once the constant is coerced into the attribute's
+/// declared domain and actually lands there (an `Int` constant widens into
+/// a `Float` attribute; a fractional `Float` against an `Int` attribute
+/// does not, and must fall back to the scan). Range probes additionally
+/// need an ordered backend.
+pub(crate) fn index_probe_key(
+    db: &Database,
+    ty: mad_model::AtomTypeId,
+    attr: usize,
+    op: CmpOp,
+    value: &Value,
+) -> Option<Value> {
+    let attr_ty = db.schema().atom_type(ty).attrs.get(attr)?.ty;
+    let key = value.clone().coerce(attr_ty);
+    if key.attr_type() != Some(attr_ty) {
+        return None;
+    }
+    let kind = db.index_kind(ty, attr)?;
+    let served = match op {
+        CmpOp::Eq => true,
+        CmpOp::Ne => false,
+        _ => kind == IndexKind::Ordered,
+    };
+    served.then_some(key)
+}
+
+/// Index lookup for `(attr, op, key)` — the one place that maps a
+/// comparison operator onto index probes, shared by root preselection and
+/// per-node pushdown. `key` must come from [`index_probe_key`].
+fn index_lookup(
+    db: &Database,
+    ty: mad_model::AtomTypeId,
+    attr: usize,
+    op: CmpOp,
+    key: &Value,
+) -> Option<Vec<AtomId>> {
+    match op {
+        CmpOp::Eq => db.lookup_eq(ty, attr, key).map(|s| s.to_vec()),
+        CmpOp::Lt => db.lookup_range(ty, attr, Bound::Unbounded, Bound::Excluded(key)),
+        CmpOp::Le => db.lookup_range(ty, attr, Bound::Unbounded, Bound::Included(key)),
+        CmpOp::Gt => db.lookup_range(ty, attr, Bound::Excluded(key), Bound::Unbounded),
+        CmpOp::Ge => db.lookup_range(ty, attr, Bound::Included(key), Bound::Unbounded),
+        CmpOp::Ne => None,
+    }
+}
+
+/// Evaluate one classified conjunct into the bitset of satisfying slots.
+fn conjunct_bitset(
+    db: &Database,
+    ty: mad_model::AtomTypeId,
+    c: &NodeConjunct,
+    access: AccessPath,
+) -> BitSet {
+    if access == AccessPath::Index {
+        if let Some(ids) = index_probe_key(db, ty, c.attr, c.op, &c.value)
+            .and_then(|key| index_lookup(db, ty, c.attr, c.op, &key))
+        {
+            return ids.iter().map(|id| id.slot as usize).collect();
+        }
+    }
+    db.atoms_of(ty)
+        .filter(|(_, tuple)| {
+            tuple
+                .get(c.attr)
+                .and_then(|v| v.sql_cmp(&c.value))
+                .is_some_and(|ord| c.op.test(ord))
+        })
+        .map(|(id, _)| id.slot as usize)
+        .collect()
+}
 
 /// A result set `rst = <mname, rsd, rsv>` (Def. 9): the output of an
 /// operation-specific action, expressed over canonical (base) types and
@@ -61,6 +229,7 @@ pub struct Engine {
     prov: Provenance,
     tracing: bool,
     trace_log: TraceLog,
+    strategy_override: Option<Strategy>,
 }
 
 impl Engine {
@@ -71,7 +240,22 @@ impl Engine {
             prov: Provenance::new(),
             tracing: false,
             trace_log: TraceLog::new(),
+            strategy_override: None,
         }
+    }
+
+    /// The derivation strategy the query layer should use. Defaults to
+    /// [`Strategy::Bitset`] — a [`mad_storage::CsrSnapshot`] is always
+    /// available (built lazily, cached per database version) — unless an
+    /// explicit override was set via [`Engine::set_preferred_strategy`].
+    pub fn preferred_strategy(&self) -> Strategy {
+        self.strategy_override.unwrap_or(Strategy::Bitset)
+    }
+
+    /// Override the strategy the query layer picks (`None` restores the
+    /// automatic choice).
+    pub fn set_preferred_strategy(&mut self, strategy: Option<Strategy>) {
+        self.strategy_override = strategy;
     }
 
     /// The underlying database (grows with every operator application).
@@ -183,9 +367,7 @@ impl Engine {
         strategy: Strategy,
     ) -> Result<MoleculeType> {
         qual.validate(&md, self.db.schema())?;
-        let roots = self.preselect_roots(&md, qual);
-        let opts = DeriveOptions { strategy, roots };
-        let candidates = derive_molecules(&self.db, &md, &opts)?;
+        let candidates = self.pushdown_candidates(&md, qual, strategy)?;
         let total = candidates.len();
         let kept: Vec<Molecule> = candidates
             .into_iter()
@@ -230,12 +412,42 @@ impl Engine {
         strategy: Strategy,
     ) -> Result<Vec<Molecule>> {
         qual.validate(md, self.db.schema())?;
-        let roots = self.preselect_roots(md, qual);
-        let opts = DeriveOptions { strategy, roots };
-        Ok(derive_molecules(&self.db, md, &opts)?
+        Ok(self
+            .pushdown_candidates(md, qual, strategy)?
             .into_iter()
             .filter(|m| qual.qualifies(&self.db, m))
             .collect())
+    }
+
+    /// Candidate molecules under restriction pushdown.
+    ///
+    /// * [`Strategy::Bitset`]: the generalized plan — per-node conjunct
+    ///   bitsets prune molecules *during* traversal (and the root bitset
+    ///   pre-selects the root set), see [`plan_pushdown`].
+    /// * every other strategy: the classic root-only preselection
+    ///   ([`Engine::preselect_roots`]) followed by a full derivation.
+    ///
+    /// Either way the caller still applies the complete formula, so both
+    /// paths return the same final molecule set.
+    fn pushdown_candidates(
+        &self,
+        md: &MoleculeStructure,
+        qual: &QualExpr,
+        strategy: Strategy,
+    ) -> Result<Vec<Molecule>> {
+        if strategy == Strategy::Bitset {
+            let plan = plan_pushdown(&self.db, md, qual);
+            let root_ty = md.root_node().ty;
+            let roots: Vec<AtomId> = match &plan.prune[md.root()] {
+                Some(q) => q.iter().map(|slot| AtomId::new(root_ty, slot as u32)).collect(),
+                None => self.db.atom_ids_of(root_ty),
+            };
+            derive_bitset_pruned(&self.db, md, &roots, &plan.prune)
+        } else {
+            let roots = self.preselect_roots(md, qual);
+            let opts = DeriveOptions { strategy, roots };
+            derive_molecules(&self.db, md, &opts)
+        }
     }
 
     /// Naive evaluation: derive the *whole* molecule set, then filter
@@ -309,37 +521,9 @@ impl Engine {
         let mut selected: Option<Vec<AtomId>> = None;
         let mut residual: Vec<(usize, CmpOp, Value)> = Vec::new();
         for (attr, op, value) in conjuncts {
-            let via_index: Option<Vec<AtomId>> = match op {
-                CmpOp::Eq => self
-                    .db
-                    .lookup_eq(root_ty, attr, &value)
-                    .map(|s| s.to_vec()),
-                CmpOp::Lt => self.db.lookup_range(
-                    root_ty,
-                    attr,
-                    Bound::Unbounded,
-                    Bound::Excluded(&value),
-                ),
-                CmpOp::Le => self.db.lookup_range(
-                    root_ty,
-                    attr,
-                    Bound::Unbounded,
-                    Bound::Included(&value),
-                ),
-                CmpOp::Gt => self.db.lookup_range(
-                    root_ty,
-                    attr,
-                    Bound::Excluded(&value),
-                    Bound::Unbounded,
-                ),
-                CmpOp::Ge => self.db.lookup_range(
-                    root_ty,
-                    attr,
-                    Bound::Included(&value),
-                    Bound::Unbounded,
-                ),
-                CmpOp::Ne => None,
-            };
+            let via_index: Option<Vec<AtomId>> =
+                index_probe_key(&self.db, root_ty, attr, op, &value)
+                    .and_then(|key| index_lookup(&self.db, root_ty, attr, op, &key));
             match via_index {
                 Some(ids) => {
                     selected = Some(match selected {
@@ -1130,6 +1314,92 @@ mod tests {
         };
         assert_eq!(canon(&e, &pushed), canon(&e, &slow));
         e.verify_closure(&pushed).unwrap();
+    }
+
+    #[test]
+    fn bitset_pushdown_matches_classic_paths() {
+        let mut e = engine();
+        e.create_index("state", "sname", IndexKind::Ordered).unwrap();
+        let md = path(e.db().schema(), &["state", "area", "edge", "point"]).unwrap();
+        // root conjunct (index), child conjunct (scan) and a residual OR
+        // that cannot be pushed
+        let q = QualExpr::cmp_const(0, 0, CmpOp::Eq, "SP")
+            .and(QualExpr::cmp_const(3, 0, CmpOp::Eq, "p1"))
+            .and(
+                QualExpr::cmp_const(2, 0, CmpOp::Le, 2)
+                    .or(QualExpr::cmp_const(2, 0, CmpOp::Ge, 1)),
+            );
+        let bitset = e.evaluate_restricted(&md, &q, Strategy::Bitset).unwrap();
+        let classic = e.evaluate_restricted(&md, &q, Strategy::PerRoot).unwrap();
+        let naive = e.evaluate_filtered(&md, &q, Strategy::PerRoot).unwrap();
+        assert_eq!(bitset, classic);
+        assert_eq!(bitset, naive);
+        assert_eq!(bitset.len(), 1);
+        // a child conjunct with no witness anywhere prunes everything
+        let q = QualExpr::cmp_const(3, 0, CmpOp::Eq, "p9");
+        let bitset = e.evaluate_restricted(&md, &q, Strategy::Bitset).unwrap();
+        let naive = e.evaluate_filtered(&md, &q, Strategy::PerRoot).unwrap();
+        assert_eq!(bitset, naive);
+        assert!(bitset.is_empty());
+    }
+
+    #[test]
+    fn index_probe_coerces_cross_type_constants() {
+        // Value's total order ranks variants (every Int below every Float),
+        // so probing a Float-keyed BTree with an Int constant finds nothing
+        // unless the planner coerces into the attribute's domain first.
+        let mut e = engine();
+        e.create_index("state", "hectare", IndexKind::Ordered).unwrap();
+        let md = path(e.db().schema(), &["state", "area"]).unwrap();
+        // hectare: SP = 1000.0, MG = 900.0; Int constant 950
+        let q = QualExpr::cmp_const(0, 1, CmpOp::Gt, 950);
+        let naive = e.evaluate_filtered(&md, &q, Strategy::PerRoot).unwrap();
+        assert_eq!(naive.len(), 1, "only SP exceeds 950");
+        assert_eq!(e.evaluate_restricted(&md, &q, Strategy::Bitset).unwrap(), naive);
+        assert_eq!(e.evaluate_restricted(&md, &q, Strategy::PerRoot).unwrap(), naive);
+        // a fractional Float constant cannot land in an Int domain: the
+        // planner must fall back to the numeric scan, not probe the index
+        e.create_index("area", "aid", IndexKind::Ordered).unwrap();
+        let q = QualExpr::cmp_const(1, 0, CmpOp::Lt, 1.5); // aid ∈ {1, 2}
+        let naive = e.evaluate_filtered(&md, &q, Strategy::PerRoot).unwrap();
+        assert_eq!(naive.len(), 1, "only a1 has aid < 1.5");
+        assert_eq!(e.evaluate_restricted(&md, &q, Strategy::Bitset).unwrap(), naive);
+        assert_eq!(e.evaluate_restricted(&md, &q, Strategy::PerRoot).unwrap(), naive);
+    }
+
+    #[test]
+    fn hash_index_does_not_serve_ranges() {
+        let mut e = engine();
+        e.create_index("state", "hectare", IndexKind::Hash).unwrap();
+        let md = path(e.db().schema(), &["state", "area"]).unwrap();
+        let range = QualExpr::cmp_const(0, 1, CmpOp::Gt, 950.0);
+        let plan = plan_pushdown(e.db(), &md, &range);
+        assert_eq!(plan.nodes[0].conjuncts[0].1, AccessPath::Scan);
+        let eq = QualExpr::cmp_const(0, 1, CmpOp::Eq, 900.0);
+        let plan = plan_pushdown(e.db(), &md, &eq);
+        assert_eq!(plan.nodes[0].conjuncts[0].1, AccessPath::Index);
+        // results agree either way
+        let naive = e.evaluate_filtered(&md, &range, Strategy::PerRoot).unwrap();
+        assert_eq!(e.evaluate_restricted(&md, &range, Strategy::Bitset).unwrap(), naive);
+    }
+
+    #[test]
+    fn pushdown_plan_reports_access_paths() {
+        let mut e = engine();
+        e.create_index("state", "sname", IndexKind::Ordered).unwrap();
+        let md = path(e.db().schema(), &["state", "area", "edge", "point"]).unwrap();
+        let q = QualExpr::cmp_const(0, 0, CmpOp::Eq, "SP")
+            .and(QualExpr::cmp_const(2, 0, CmpOp::Ge, 3));
+        let plan = plan_pushdown(e.db(), &md, &q);
+        assert_eq!(plan.nodes.len(), 2);
+        let root_entry = plan.nodes.iter().find(|n| n.node == 0).unwrap();
+        assert_eq!(root_entry.conjuncts[0].1, AccessPath::Index);
+        let edge_entry = plan.nodes.iter().find(|n| n.node == 2).unwrap();
+        assert_eq!(edge_entry.conjuncts[0].1, AccessPath::Scan);
+        // prune bitsets hold exactly the satisfying slots
+        assert_eq!(plan.prune[0].as_ref().unwrap().len(), 1, "one SP state");
+        assert_eq!(plan.prune[2].as_ref().unwrap().len(), 1, "one edge ≥ 3");
+        assert!(plan.prune[1].is_none() && plan.prune[3].is_none());
     }
 
     #[test]

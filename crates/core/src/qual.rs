@@ -287,16 +287,18 @@ impl QualExpr {
     /// The predicate `qual(m, restr(md))`: does molecule `m` qualify?
     /// (Unknown collapses to *false* at the top, like SQL WHERE.)
     pub fn qualifies(&self, db: &Database, m: &Molecule) -> bool {
-        self.eval(db, m, &FxHashMap::default()) == Some(true)
+        self.eval(db, m, &mut FxHashMap::default()) == Some(true)
     }
 
     /// Kleene evaluation under bindings (`node → atom index within
-    /// `m.atoms[node]``).
+    /// `m.atoms[node]``). The binding map is threaded mutably — quantifiers
+    /// insert before and restore after evaluating their body, instead of
+    /// cloning the whole map once per quantified atom.
     fn eval(
         &self,
         db: &Database,
         m: &Molecule,
-        bind: &FxHashMap<usize, mad_model::AtomId>,
+        bind: &mut FxHashMap<usize, mad_model::AtomId>,
     ) -> Option<bool> {
         match self {
             QualExpr::True => Some(true),
@@ -313,37 +315,47 @@ impl QualExpr {
             QualExpr::Not(a) => a.eval(db, m, bind).map(|b| !b),
             QualExpr::Cmp { left, op, right } => self.eval_cmp(db, m, bind, left, *op, right),
             QualExpr::Exists { node, pred } => {
+                let saved = bind.get(node).copied();
                 let mut unknown = false;
+                let mut found = false;
                 for &a in m.atoms_at(*node) {
-                    let mut b2 = bind.clone();
-                    b2.insert(*node, a);
-                    match pred.eval(db, m, &b2) {
-                        Some(true) => return Some(true),
+                    bind.insert(*node, a);
+                    match pred.eval(db, m, bind) {
+                        Some(true) => {
+                            found = true;
+                            break;
+                        }
                         None => unknown = true,
                         Some(false) => {}
                     }
                 }
-                if unknown {
-                    None
-                } else {
-                    Some(false)
+                restore_binding(bind, *node, saved);
+                match (found, unknown) {
+                    (true, _) => Some(true),
+                    (false, true) => None,
+                    (false, false) => Some(false),
                 }
             }
             QualExpr::ForAll { node, pred } => {
+                let saved = bind.get(node).copied();
                 let mut unknown = false;
+                let mut refuted = false;
                 for &a in m.atoms_at(*node) {
-                    let mut b2 = bind.clone();
-                    b2.insert(*node, a);
-                    match pred.eval(db, m, &b2) {
-                        Some(false) => return Some(false),
+                    bind.insert(*node, a);
+                    match pred.eval(db, m, bind) {
+                        Some(false) => {
+                            refuted = true;
+                            break;
+                        }
                         None => unknown = true,
                         Some(true) => {}
                     }
                 }
-                if unknown {
-                    None
-                } else {
-                    Some(true)
+                restore_binding(bind, *node, saved);
+                match (refuted, unknown) {
+                    (true, _) => Some(false),
+                    (false, true) => None,
+                    (false, false) => Some(true),
                 }
             }
             QualExpr::CountCmp { node, op, count } => {
@@ -373,9 +385,10 @@ impl QualExpr {
         right: &Operand,
     ) -> Option<bool> {
         // Resolve each operand into its candidate values; free node refs are
-        // existential over the node's atom set.
-        let lvals = self.operand_values(db, m, bind, left)?;
-        let rvals = self.operand_values(db, m, bind, right)?;
+        // existential over the node's atom set. Values are borrowed from the
+        // store (`db.atom_value`) or from the formula — never cloned.
+        let lvals = operand_values(db, m, bind, left)?;
+        let rvals = operand_values(db, m, bind, right)?;
         let mut unknown = false;
         for l in &lvals {
             for r in &rvals {
@@ -398,30 +411,6 @@ impl QualExpr {
         }
     }
 
-    fn operand_values(
-        &self,
-        db: &Database,
-        m: &Molecule,
-        bind: &FxHashMap<usize, mad_model::AtomId>,
-        operand: &Operand,
-    ) -> Option<Vec<Value>> {
-        match operand {
-            Operand::Const(v) => Some(vec![v.clone()]),
-            Operand::Attr { node, attr } => {
-                if let Some(&a) = bind.get(node) {
-                    db.atom(a).ok().map(|t| vec![t[*attr].clone()])
-                } else {
-                    let vals: Vec<Value> = m
-                        .atoms_at(*node)
-                        .iter()
-                        .filter_map(|&a| db.atom(a).ok().map(|t| t[*attr].clone()))
-                        .collect();
-                    Some(vals)
-                }
-            }
-        }
-    }
-
     fn aggregate(
         &self,
         db: &Database,
@@ -434,9 +423,9 @@ impl QualExpr {
         if agg == AggFn::Count {
             return Some(Value::Int(atoms.len() as i64));
         }
-        let vals: Vec<Value> = atoms
+        let vals: Vec<&Value> = atoms
             .iter()
-            .filter_map(|&a| db.atom(a).ok().map(|t| t[attr].clone()))
+            .filter_map(|&a| db.atom_value(a, attr).ok())
             .filter(|v| !v.is_null())
             .collect();
         if vals.is_empty() {
@@ -444,14 +433,14 @@ impl QualExpr {
         }
         match agg {
             AggFn::Count => unreachable!(),
-            AggFn::Min => vals.into_iter().min(),
-            AggFn::Max => vals.into_iter().max(),
+            AggFn::Min => vals.into_iter().min().cloned(),
+            AggFn::Max => vals.into_iter().max().cloned(),
             AggFn::Sum | AggFn::Avg => {
                 let mut all_int = true;
                 let mut sum_f = 0.0f64;
                 let mut sum_i = 0i64;
                 let n = vals.len();
-                for v in &vals {
+                for v in vals {
                     match v {
                         Value::Int(i) => {
                             sum_i = sum_i.wrapping_add(*i);
@@ -475,31 +464,54 @@ impl QualExpr {
         }
     }
 
-    /// Extract root-level `attr op const` conjuncts usable for restriction
-    /// pushdown (benchmark B4): conservative — only top-level ANDs are
-    /// mined, and the full formula is still evaluated afterwards.
-    pub fn root_conjuncts(&self, root: usize) -> Vec<(usize, CmpOp, Value)> {
+    /// Extract the simple `node.attr op const` conjuncts of the top-level
+    /// AND spine, for **every** structure node — the raw material of the
+    /// qualification-pushdown planner. Conservative: nothing under `OR`,
+    /// `NOT` or a quantifier is mined, and the full formula is still
+    /// evaluated per molecule afterwards.
+    ///
+    /// A conjunct on a non-root node is a free (existential) reference, so
+    /// it certifies only that a qualifying molecule must contain a
+    /// *witness* atom at that node — which is exactly how
+    /// `derive_bitset_pruned` uses it.
+    pub fn node_conjuncts(&self) -> Vec<NodeConjunct> {
         let mut out = Vec::new();
-        self.collect_root_conjuncts(root, &mut out);
+        self.collect_node_conjuncts(&mut out);
         out
     }
 
-    fn collect_root_conjuncts(&self, root: usize, out: &mut Vec<(usize, CmpOp, Value)>) {
+    /// [`QualExpr::node_conjuncts`] restricted to the root node (the
+    /// original benchmark-B4 extraction; kept for the scan/index root
+    /// preselection path).
+    pub fn root_conjuncts(&self, root: usize) -> Vec<(usize, CmpOp, Value)> {
+        self.node_conjuncts()
+            .into_iter()
+            .filter(|c| c.node == root)
+            .map(|c| (c.attr, c.op, c.value))
+            .collect()
+    }
+
+    fn collect_node_conjuncts(&self, out: &mut Vec<NodeConjunct>) {
         match self {
             QualExpr::And(a, b) => {
-                a.collect_root_conjuncts(root, out);
-                b.collect_root_conjuncts(root, out);
+                a.collect_node_conjuncts(out);
+                b.collect_node_conjuncts(out);
             }
             QualExpr::Cmp {
                 left: Operand::Attr { node, attr },
                 op,
                 right: Operand::Const(v),
-            } if *node == root => out.push((*attr, *op, v.clone())),
+            } => out.push(NodeConjunct {
+                node: *node,
+                attr: *attr,
+                op: *op,
+                value: v.clone(),
+            }),
             QualExpr::Cmp {
                 left: Operand::Const(v),
                 op,
                 right: Operand::Attr { node, attr },
-            } if *node == root => {
+            } => {
                 // flip the comparison
                 let flipped = match op {
                     CmpOp::Lt => CmpOp::Gt,
@@ -508,7 +520,12 @@ impl QualExpr {
                     CmpOp::Ge => CmpOp::Le,
                     other => *other,
                 };
-                out.push((*attr, flipped, v.clone()));
+                out.push(NodeConjunct {
+                    node: *node,
+                    attr: *attr,
+                    op: flipped,
+                    value: v.clone(),
+                });
             }
             _ => {}
         }
@@ -573,6 +590,59 @@ impl QualExpr {
 impl fmt::Display for CmpOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.symbol())
+    }
+}
+
+/// One pushable `node.attr op const` conjunct of the top-level AND spine
+/// (see [`QualExpr::node_conjuncts`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeConjunct {
+    /// The referenced structure node.
+    pub node: usize,
+    /// The attribute position within the node's atom type.
+    pub attr: usize,
+    /// The comparison, normalized so the attribute is on the left.
+    pub op: CmpOp,
+    /// The compared constant.
+    pub value: Value,
+}
+
+fn restore_binding(
+    bind: &mut FxHashMap<usize, mad_model::AtomId>,
+    node: usize,
+    saved: Option<mad_model::AtomId>,
+) {
+    match saved {
+        Some(a) => {
+            bind.insert(node, a);
+        }
+        None => {
+            bind.remove(&node);
+        }
+    }
+}
+
+/// Candidate values of an operand, borrowed from the store or the formula.
+fn operand_values<'a>(
+    db: &'a Database,
+    m: &Molecule,
+    bind: &FxHashMap<usize, mad_model::AtomId>,
+    operand: &'a Operand,
+) -> Option<Vec<&'a Value>> {
+    match operand {
+        Operand::Const(v) => Some(vec![v]),
+        Operand::Attr { node, attr } => {
+            if let Some(&a) = bind.get(node) {
+                db.atom_value(a, *attr).ok().map(|v| vec![v])
+            } else {
+                Some(
+                    m.atoms_at(*node)
+                        .iter()
+                        .filter_map(|&a| db.atom_value(a, *attr).ok())
+                        .collect(),
+                )
+            }
+        }
     }
 }
 

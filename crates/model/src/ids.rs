@@ -7,19 +7,18 @@
 //! hasher. Slots are allocated by the storage engine and never reused within
 //! one database, so an `AtomId` is stable for the lifetime of its database.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an atom type within a [`crate::Schema`] (position in `AT`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AtomTypeId(pub u32);
 
 /// Index of a link type within a [`crate::Schema`] (position in `LT`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkTypeId(pub u32);
 
 /// The identity of an atom: its atom type plus a slot unique within the type.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AtomId {
     /// The atom type this atom belongs to.
     pub ty: AtomTypeId,
@@ -78,7 +77,7 @@ impl fmt::Display for AtomId {
 ///
 /// The pair is stored in normalized order (smaller id first) so that value
 /// equality coincides with the unordered-pair equality of the formalism.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkPair {
     lo: AtomId,
     hi: AtomId,

@@ -19,13 +19,16 @@
 //! atom, relation ↔ atom type, plus the concepts that have *no* relational
 //! counterpart: link, link-type description, link-type occurrence, link type.
 
+pub mod bitset;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod json;
 pub mod schema;
 pub mod types;
 pub mod value;
 
+pub use bitset::BitSet;
 pub use error::{MadError, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{AtomId, AtomTypeId, LinkPair, LinkTypeId};

@@ -17,23 +17,43 @@ use crate::fxhash::FxHashMap;
 use crate::ids::{AtomTypeId, LinkTypeId};
 use crate::types::{AtomTypeDef, Cardinality, LinkTypeDef};
 use crate::value::AttrType;
+use crate::json::{FromJson, Json, ToJson};
 use crate::AttrDef;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The schema part of a database: atom types `AT` and link types `LT`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Schema {
     atom_types: Vec<AtomTypeDef>,
     link_types: Vec<LinkTypeDef>,
-    #[serde(skip)]
     atom_by_name: FxHashMap<String, AtomTypeId>,
-    #[serde(skip)]
     link_by_name: FxHashMap<String, LinkTypeId>,
     /// For each atom type, the link types touching it (the basis of link-type
-    /// inheritance and of symmetric navigation).
-    #[serde(skip)]
+    /// inheritance and of symmetric navigation). Derived; rebuilt after
+    /// deserialization rather than serialized.
     links_of_atom: Vec<Vec<LinkTypeId>>,
+}
+
+impl ToJson for Schema {
+    fn to_json(&self) -> Json {
+        // the lookup maps are derived state: only the two type lists travel
+        Json::Obj(vec![
+            ("atom_types".into(), self.atom_types.to_json()),
+            ("link_types".into(), self.link_types.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Schema {
+    fn from_json(v: &Json) -> Result<Self> {
+        let mut schema = Schema {
+            atom_types: Vec::from_json(v.get("atom_types")?)?,
+            link_types: Vec::from_json(v.get("link_types")?)?,
+            ..Schema::default()
+        };
+        schema.rebuild_indexes();
+        Ok(schema)
+    }
 }
 
 impl Schema {

@@ -8,11 +8,10 @@
 use crate::error::{MadError, Result};
 use crate::ids::AtomTypeId;
 use crate::value::{AttrType, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An attribute description: name plus domain.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrDef {
     /// Attribute name, unique within its atom-type description.
     pub name: String,
@@ -41,7 +40,7 @@ impl fmt::Display for AttrDef {
 /// `derived_from` records provenance when the type was produced by an
 /// atom-type operation or by the propagation function `prop` — such types
 /// live in the *enlarged* database DB′ of Def. 9 and Theorem 1/3.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AtomTypeDef {
     /// The atom-type name `aname ∈ N`; unique within a database.
     pub name: String,
@@ -148,7 +147,7 @@ impl fmt::Display for AtomTypeDef {
 /// §3.1: "it is even possible to control cardinality restrictions specified
 /// in an extended link-type definition". `max = None` means unbounded (the
 /// `n`/`m` side of 1:n or n:m).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cardinality {
     /// Minimum number of partners an atom must have (checked on demand via
     /// `Database::check_min_cardinalities`, since links are inserted one at a
@@ -197,7 +196,7 @@ impl fmt::Display for Cardinality {
 /// in a fixed order only so that cardinalities can be attributed to a side.
 /// A *reflexive* link type has `ends[0] == ends[1]` (e.g. the `composition`
 /// link type on `parts` in the bill-of-material example of §3.1/§5).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LinkTypeDef {
     /// The link-type name `lname ∈ N`; unique within a database.
     pub name: String,

@@ -13,13 +13,12 @@
 //! compare via `f64::total_cmp` and hash via their bit pattern.
 
 use crate::ids::AtomId;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
 /// The domain of an attribute (Fig. 3: "attribute domain").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AttrType {
     /// Truth values.
     Bool,
@@ -53,7 +52,7 @@ impl fmt::Display for AttrType {
 }
 
 /// A single attribute value.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Value {
     /// The null value; member of every domain.
     Null,

@@ -3,7 +3,7 @@
 
 use crate::analyze::{analyze_expr, analyze_structure};
 use crate::ast::*;
-use mad_core::derive::Strategy;
+use mad_core::derive::DeriveOptions;
 use mad_core::molecule::MoleculeType;
 use mad_core::ops::Engine;
 use mad_core::qual::QualExpr;
@@ -248,13 +248,16 @@ fn execute_select(
         }
         FromClause::Recursive { .. } => unreachable!(),
     };
-    // WHERE → Σ (pushed into the definition, Def. 10 composed with Def. 8)
+    // WHERE → Σ (pushed into the definition, Def. 10 composed with Def. 8).
+    // The engine picks the strategy: bitset derivation over the CSR
+    // snapshot by default, overridable per session.
+    let strategy = engine.preferred_strategy();
     let mt = match &sel.where_clause {
         Some(w) => {
             let qual = analyze_expr(engine.db().schema(), &md, w)?;
-            engine.define_restricted(&name, md, &qual, Strategy::PerRoot)?
+            engine.define_restricted(&name, md, &qual, strategy)?
         }
-        None => engine.define(&name, md)?,
+        None => engine.define_with(&name, md, &DeriveOptions::with_strategy(strategy))?,
     };
     // SELECT list → Π
     let mt = apply_projection(engine, mt, &sel.projection)?;

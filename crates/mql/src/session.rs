@@ -7,6 +7,7 @@
 
 use crate::ast::Statement;
 use crate::exec::{execute, StatementResult};
+use mad_core::derive::Strategy;
 use mad_core::ops::Engine;
 use mad_core::structure::MoleculeStructure;
 use mad_model::{FxHashMap, Result};
@@ -48,6 +49,19 @@ impl Session {
     /// The database.
     pub fn db(&self) -> &Database {
         self.engine.db()
+    }
+
+    /// The derivation strategy SELECT statements run with. Defaults to
+    /// [`Strategy::Bitset`] (frontier bitsets over the database's CSR
+    /// snapshot).
+    pub fn strategy(&self) -> Strategy {
+        self.engine.preferred_strategy()
+    }
+
+    /// Override the derivation strategy for this session (`None` restores
+    /// the automatic bitset default).
+    pub fn set_strategy(&mut self, strategy: Option<Strategy>) {
+        self.engine.set_preferred_strategy(strategy);
     }
 
     /// Registered molecule-type names.

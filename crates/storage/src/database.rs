@@ -19,6 +19,7 @@
 //! of the paper quantify over.
 
 use crate::atom_store::AtomStore;
+use crate::csr::CsrSnapshot;
 use crate::index::{AttrIndex, IndexKind};
 use crate::link_store::LinkStore;
 use mad_model::{
@@ -26,6 +27,7 @@ use mad_model::{
     Schema, Value,
 };
 use std::ops::Bound;
+use std::sync::{Arc, Mutex};
 
 /// Traversal direction through a link type.
 ///
@@ -60,6 +62,19 @@ pub struct MinCardViolation {
     pub required: u32,
 }
 
+/// Version-stamped cache for the read-optimized [`CsrSnapshot`].
+///
+/// Cloning a database yields a cold cache (snapshots are cheap to rebuild
+/// and sharing one across clones would couple their lifetimes).
+#[derive(Debug, Default)]
+struct CsrCache(Mutex<Option<(u64, Arc<CsrSnapshot>)>>);
+
+impl Clone for CsrCache {
+    fn clone(&self) -> Self {
+        CsrCache::default()
+    }
+}
+
 /// A MAD database: schema plus atom-type and link-type occurrences.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
@@ -68,6 +83,10 @@ pub struct Database {
     links: Vec<LinkStore>,
     indexes: Vec<AttrIndex>,
     index_map: FxHashMap<(AtomTypeId, usize), usize>,
+    /// Bumped by every structural change (atom/link DML, DDL); stamps the
+    /// CSR snapshot cache.
+    version: u64,
+    csr: CsrCache,
 }
 
 impl Database {
@@ -81,6 +100,8 @@ impl Database {
             links,
             indexes: Vec::new(),
             index_map: FxHashMap::default(),
+            version: 0,
+            csr: CsrCache::default(),
         }
     }
 
@@ -103,6 +124,7 @@ impl Database {
     pub fn add_atom_type(&mut self, def: AtomTypeDef) -> Result<AtomTypeId> {
         let id = self.schema.add_atom_type(def)?;
         self.atoms.push(AtomStore::new());
+        self.version += 1;
         Ok(id)
     }
 
@@ -110,6 +132,7 @@ impl Database {
     pub fn add_link_type(&mut self, def: LinkTypeDef) -> Result<LinkTypeId> {
         let id = self.schema.add_link_type(def)?;
         self.links.push(LinkStore::new());
+        self.version += 1;
         Ok(id)
     }
 
@@ -123,6 +146,7 @@ impl Database {
         let def = self.schema.atom_type(ty);
         let tuple = def.check_tuple(tuple)?;
         let slot = self.atoms[ty.0 as usize].insert(tuple);
+        self.version += 1;
         let id = AtomId::new(ty, slot);
         // maintain indexes
         for idx_pos in self.indexes_of_type(ty) {
@@ -160,6 +184,7 @@ impl Database {
         for lt in self.schema.link_types_of(id.ty).to_vec() {
             removed_links += self.links[lt.0 as usize].remove_atom(id);
         }
+        self.version += 1;
         Ok(removed_links)
     }
 
@@ -288,6 +313,7 @@ impl Database {
                 });
             }
         }
+        self.version += 1;
         Ok(self.links[lt.0 as usize].insert(side0, side1))
     }
 
@@ -322,7 +348,11 @@ impl Database {
                 def.name
             )));
         }
-        Ok(self.links[lt.0 as usize].remove(side0, side1))
+        let removed = self.links[lt.0 as usize].remove(side0, side1);
+        if removed {
+            self.version += 1;
+        }
+        Ok(removed)
     }
 
     // ------------------------------------------------------------------
@@ -417,6 +447,52 @@ impl Database {
     }
 
     // ------------------------------------------------------------------
+    // CSR snapshots
+    // ------------------------------------------------------------------
+
+    /// Slot horizon of atom type `ty`: live atoms plus tombstones. Slot
+    /// indexes below this bound are the dense key space of the type.
+    pub fn atom_slot_count(&self, ty: AtomTypeId) -> usize {
+        self.atoms
+            .get(ty.0 as usize)
+            .map_or(0, AtomStore::slots)
+    }
+
+    /// The structural version stamp (bumped by every atom/link DML and DDL).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The read-optimized [`CsrSnapshot`] of the current database state.
+    ///
+    /// Built on first use and cached; any structural change invalidates the
+    /// cache and the next call rebuilds. The returned [`Arc`] stays valid —
+    /// and frozen at its version — for as long as the caller holds it, so a
+    /// whole derivation runs against one consistent adjacency image.
+    pub fn csr_snapshot(&self) -> Arc<CsrSnapshot> {
+        let mut guard = self.csr.0.lock().unwrap();
+        if let Some((version, snap)) = guard.as_ref() {
+            if *version == self.version {
+                return Arc::clone(snap);
+            }
+        }
+        let snap = Arc::new(CsrSnapshot::build(self));
+        *guard = Some((self.version, Arc::clone(&snap)));
+        snap
+    }
+
+    /// Is a current (non-stale) CSR snapshot already built? EXPLAIN uses
+    /// this to report whether bitset derivation starts warm.
+    pub fn csr_is_warm(&self) -> bool {
+        self.csr
+            .0
+            .lock()
+            .unwrap()
+            .as_ref()
+            .is_some_and(|(v, _)| *v == self.version)
+    }
+
+    // ------------------------------------------------------------------
     // Indexes
     // ------------------------------------------------------------------
 
@@ -450,6 +526,15 @@ impl Database {
     /// Does an index on `(ty, attr)` exist?
     pub fn has_index(&self, ty: AtomTypeId, attr: usize) -> bool {
         self.index_map.contains_key(&(ty, attr))
+    }
+
+    /// The kind of the index on `(ty, attr)`, if one exists. Planners use
+    /// this to decide whether a range predicate can be index-served (a hash
+    /// index cannot).
+    pub fn index_kind(&self, ty: AtomTypeId, attr: usize) -> Option<IndexKind> {
+        self.index_map
+            .get(&(ty, attr))
+            .map(|&pos| self.indexes[pos].kind())
     }
 
     /// Index-backed equality lookup; `None` when no index exists (caller

@@ -24,6 +24,16 @@ pub enum IndexKind {
     Ordered,
 }
 
+/// The data structure behind an [`AttrIndex`] — exactly one per index, so
+/// an equality-only index carries no dead BTree (and vice versa).
+#[derive(Clone, Debug)]
+enum Backend {
+    /// Equality lookups only.
+    Hash(FxHashMap<Value, Vec<AtomId>>),
+    /// Equality and range lookups.
+    Ordered(BTreeMap<Value, Vec<AtomId>>),
+}
+
 /// A secondary index over one attribute of one atom type.
 #[derive(Clone, Debug)]
 pub struct AttrIndex {
@@ -31,10 +41,7 @@ pub struct AttrIndex {
     pub ty: AtomTypeId,
     /// The indexed attribute position.
     pub attr: usize,
-    /// The index kind.
-    pub kind: IndexKind,
-    hash: FxHashMap<Value, Vec<AtomId>>,
-    ordered: BTreeMap<Value, Vec<AtomId>>,
+    backend: Backend,
 }
 
 fn posting_insert(v: &mut Vec<AtomId>, id: AtomId) {
@@ -59,40 +66,45 @@ impl AttrIndex {
         AttrIndex {
             ty,
             attr,
-            kind,
-            hash: FxHashMap::default(),
-            ordered: BTreeMap::new(),
+            backend: match kind {
+                IndexKind::Hash => Backend::Hash(FxHashMap::default()),
+                IndexKind::Ordered => Backend::Ordered(BTreeMap::new()),
+            },
+        }
+    }
+
+    /// The index kind (derived from the backend).
+    pub fn kind(&self) -> IndexKind {
+        match self.backend {
+            Backend::Hash(_) => IndexKind::Hash,
+            Backend::Ordered(_) => IndexKind::Ordered,
         }
     }
 
     /// Register `id` under `key`.
     pub fn insert(&mut self, key: &Value, id: AtomId) {
-        match self.kind {
-            IndexKind::Hash => {
-                posting_insert(self.hash.entry(key.clone()).or_default(), id)
-            }
-            IndexKind::Ordered => {
-                posting_insert(self.ordered.entry(key.clone()).or_default(), id)
-            }
+        match &mut self.backend {
+            Backend::Hash(map) => posting_insert(map.entry(key.clone()).or_default(), id),
+            Backend::Ordered(map) => posting_insert(map.entry(key.clone()).or_default(), id),
         }
     }
 
     /// Unregister `id` from `key`.
     pub fn remove(&mut self, key: &Value, id: AtomId) {
-        match self.kind {
-            IndexKind::Hash => {
-                if let Some(v) = self.hash.get_mut(key) {
+        match &mut self.backend {
+            Backend::Hash(map) => {
+                if let Some(v) = map.get_mut(key) {
                     posting_remove(v, id);
                     if v.is_empty() {
-                        self.hash.remove(key);
+                        map.remove(key);
                     }
                 }
             }
-            IndexKind::Ordered => {
-                if let Some(v) = self.ordered.get_mut(key) {
+            Backend::Ordered(map) => {
+                if let Some(v) = map.get_mut(key) {
                     posting_remove(v, id);
                     if v.is_empty() {
-                        self.ordered.remove(key);
+                        map.remove(key);
                     }
                 }
             }
@@ -101,45 +113,76 @@ impl AttrIndex {
 
     /// Equality lookup: atoms whose attribute equals `key` (sorted).
     pub fn lookup_eq(&self, key: &Value) -> &[AtomId] {
-        match self.kind {
-            IndexKind::Hash => self.hash.get(key).map_or(&[], |v| v.as_slice()),
-            IndexKind::Ordered => self.ordered.get(key).map_or(&[], |v| v.as_slice()),
+        match &self.backend {
+            Backend::Hash(map) => map.get(key).map_or(&[], |v| v.as_slice()),
+            Backend::Ordered(map) => map.get(key).map_or(&[], |v| v.as_slice()),
         }
     }
 
     /// Range lookup (ordered indexes only; a hash index returns `None` to
-    /// signal the caller must fall back to a scan).
+    /// signal the caller must fall back to a scan). The postings lists are
+    /// already sorted per key, so the result is produced by a k-way merge —
+    /// no re-sort of the combined list.
     pub fn lookup_range(
         &self,
         lo: Bound<&Value>,
         hi: Bound<&Value>,
     ) -> Option<Vec<AtomId>> {
-        if self.kind != IndexKind::Ordered {
+        let Backend::Ordered(map) = &self.backend else {
             return None;
-        }
-        let mut out = Vec::new();
-        for (_, postings) in self.ordered.range::<Value, _>((lo, hi)) {
-            out.extend_from_slice(postings);
-        }
-        out.sort_unstable();
-        Some(out)
+        };
+        let lists: Vec<&[AtomId]> = map
+            .range::<Value, _>((lo, hi))
+            .map(|(_, postings)| postings.as_slice())
+            .collect();
+        Some(merge_sorted_postings(&lists))
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
-        match self.kind {
-            IndexKind::Hash => self.hash.len(),
-            IndexKind::Ordered => self.ordered.len(),
+        match &self.backend {
+            Backend::Hash(map) => map.len(),
+            Backend::Ordered(map) => map.len(),
         }
     }
 
     /// Total number of entries.
     pub fn entries(&self) -> usize {
-        match self.kind {
-            IndexKind::Hash => self.hash.values().map(Vec::len).sum(),
-            IndexKind::Ordered => self.ordered.values().map(Vec::len).sum(),
+        match &self.backend {
+            Backend::Hash(map) => map.values().map(Vec::len).sum(),
+            Backend::Ordered(map) => map.values().map(Vec::len).sum(),
         }
     }
+}
+
+/// Merge sorted, pairwise-disjoint postings lists into one sorted list.
+///
+/// A binary min-heap over the list heads gives `O(n log k)` for `k` lists —
+/// against the `O(n log n)` of concatenating and re-sorting, with `n` the
+/// total number of postings.
+fn merge_sorted_postings(lists: &[&[AtomId]]) -> Vec<AtomId> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    match lists.len() {
+        0 => return Vec::new(),
+        1 => return lists[0].to_vec(),
+        _ => {}
+    }
+    let total = lists.iter().map(|l| l.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap: BinaryHeap<Reverse<(AtomId, usize, usize)>> = lists
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty())
+        .map(|(li, l)| Reverse((l[0], li, 0)))
+        .collect();
+    while let Some(Reverse((id, li, pos))) = heap.pop() {
+        out.push(id);
+        if let Some(&next) = lists[li].get(pos + 1) {
+            heap.push(Reverse((next, li, pos + 1)));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -187,6 +230,20 @@ mod tests {
             )
             .unwrap();
         assert_eq!(hits, vec![id(1), id(2), id(3)]);
+    }
+
+    #[test]
+    fn range_merge_interleaves_postings() {
+        let mut idx = AttrIndex::new(AtomTypeId(0), 0, IndexKind::Ordered);
+        // postings whose slot orders interleave across keys
+        for (v, slot) in [(1i64, 5u32), (1, 9), (2, 2), (2, 7), (3, 0), (3, 8)] {
+            idx.insert(&Value::Int(v), id(slot));
+        }
+        let hits = idx
+            .lookup_range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        assert_eq!(hits, vec![id(0), id(2), id(5), id(7), id(8), id(9)]);
+        assert_eq!(idx.kind(), IndexKind::Ordered);
     }
 
     #[test]

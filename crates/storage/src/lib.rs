@@ -27,13 +27,16 @@
 //! makes the super-component vs. sub-component views of §3.1 well-defined.
 
 pub mod atom_store;
+pub mod csr;
 pub mod database;
 pub mod index;
 pub mod link_store;
+mod merge;
 pub mod snapshot;
 pub mod stats;
 
 pub use atom_store::AtomStore;
+pub use csr::{CsrAdjacency, CsrSnapshot};
 pub use database::Database;
 pub use index::{AttrIndex, IndexKind};
 pub use link_store::LinkStore;

@@ -107,26 +107,7 @@ impl LinkStore {
         }
         // merge two sorted lists, deduplicating
         let mut out = Vec::with_capacity(f.len() + b.len());
-        let (mut i, mut j) = (0, 0);
-        while i < f.len() && j < b.len() {
-            match f[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => {
-                    out.push(f[i]);
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    out.push(b[j]);
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    out.push(f[i]);
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        out.extend_from_slice(&f[i..]);
-        out.extend_from_slice(&b[j..]);
+        crate::merge::merge_sorted_dedup(f, b, |x| out.push(x));
         out
     }
 

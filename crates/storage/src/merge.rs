@@ -1,0 +1,51 @@
+//! Shared sorted-sequence merging.
+//!
+//! Both the mutable [`crate::LinkStore`] (symmetric partner view) and the
+//! frozen [`crate::CsrSnapshot`] (Sym traversal of reflexive link types)
+//! need the same operation: visit the union of two sorted runs in order,
+//! deduplicating elements present in both. Keeping one implementation
+//! ensures the two adjacency representations can never drift apart in
+//! ordering or dedup semantics.
+
+/// Visit the sorted, deduplicated union of two sorted slices.
+pub(crate) fn merge_sorted_dedup<T: Ord + Copy>(a: &[T], b: &[T], mut f: impl FnMut(T)) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                f(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                f(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                f(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    a[i..].iter().copied().for_each(&mut f);
+    b[j..].iter().copied().for_each(&mut f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn merged(a: &[u32], b: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        merge_sorted_dedup(a, b, |x| out.push(x));
+        out
+    }
+
+    #[test]
+    fn merges_and_dedups() {
+        assert_eq!(merged(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(merged(&[], &[1, 2]), vec![1, 2]);
+        assert_eq!(merged(&[1, 2], &[]), vec![1, 2]);
+        assert_eq!(merged(&[], &[]), Vec::<u32>::new());
+    }
+}

@@ -8,12 +8,12 @@
 
 use crate::database::Database;
 use crate::index::IndexKind;
+use mad_model::json::{FromJson, Json, ToJson};
 use mad_model::{AtomId, MadError, Result, Schema, Value};
-use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// A serializable image of a [`Database`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatabaseSnapshot {
     /// The schema (atom-type and link-type descriptions).
     pub schema: Schema,
@@ -25,7 +25,44 @@ pub struct DatabaseSnapshot {
     pub indexes: Vec<(String, String, bool)>,
 }
 
+impl ToJson for DatabaseSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), self.schema.to_json()),
+            ("atoms".into(), self.atoms.to_json()),
+            ("links".into(), self.links.to_json()),
+            ("indexes".into(), self.indexes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DatabaseSnapshot {
+    fn from_json(v: &Json) -> Result<Self> {
+        Ok(DatabaseSnapshot {
+            schema: Schema::from_json(v.get("schema")?)?,
+            atoms: Vec::from_json(v.get("atoms")?)?,
+            links: Vec::from_json(v.get("links")?)?,
+            indexes: Vec::from_json(v.get("indexes")?)?,
+        })
+    }
+}
+
 impl DatabaseSnapshot {
+    /// Render to a JSON string (compact).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Render to a pretty-printed JSON string.
+    pub fn to_json_pretty(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// Parse from a JSON string produced by the renderers above.
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        DatabaseSnapshot::from_json(&Json::parse(text)?)
+    }
+
     /// Capture the state of `db`.
     pub fn capture(db: &Database) -> Self {
         let schema = db.schema().clone();
@@ -109,10 +146,7 @@ impl DatabaseSnapshot {
 /// Serialize `db` to pretty JSON at `path`.
 pub fn save_json(db: &Database, path: impl AsRef<Path>) -> Result<()> {
     let snap = DatabaseSnapshot::capture(db);
-    let json = serde_json::to_string_pretty(&snap).map_err(|e| MadError::Snapshot {
-        detail: e.to_string(),
-    })?;
-    std::fs::write(path, json).map_err(|e| MadError::Snapshot {
+    std::fs::write(path, snap.to_json_pretty()).map_err(|e| MadError::Snapshot {
         detail: e.to_string(),
     })
 }
@@ -122,10 +156,7 @@ pub fn load_json(path: impl AsRef<Path>) -> Result<Database> {
     let json = std::fs::read_to_string(path).map_err(|e| MadError::Snapshot {
         detail: e.to_string(),
     })?;
-    let snap: DatabaseSnapshot = serde_json::from_str(&json).map_err(|e| MadError::Snapshot {
-        detail: e.to_string(),
-    })?;
-    snap.restore()
+    DatabaseSnapshot::from_json_str(&json)?.restore()
 }
 
 #[cfg(test)]
@@ -189,8 +220,8 @@ mod tests {
     fn json_roundtrip_through_string() {
         let db = sample_db();
         let snap = DatabaseSnapshot::capture(&db);
-        let json = serde_json::to_string(&snap).unwrap();
-        let snap2: DatabaseSnapshot = serde_json::from_str(&json).unwrap();
+        let json = snap.to_json_string();
+        let snap2 = DatabaseSnapshot::from_json_str(&json).unwrap();
         let db2 = snap2.restore().unwrap();
         assert_eq!(db2.total_atoms(), db.total_atoms());
         assert_eq!(db2.total_links(), db.total_links());

@@ -11,8 +11,7 @@
 
 use mad_model::{AtomId, AtomTypeId, AttrType, LinkTypeId, Result, SchemaBuilder, Value};
 use mad_storage::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// Parameters of the BOM generator.
 #[derive(Clone, Debug)]

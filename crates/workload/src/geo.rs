@@ -9,8 +9,7 @@
 
 use mad_model::{AtomId, AtomTypeId, AttrType, Result, SchemaBuilder, Value};
 use mad_storage::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// Parameters of the synthetic geography.
 #[derive(Clone, Debug)]
@@ -189,7 +188,7 @@ pub fn generate_geo(params: &GeoParams) -> Result<(Database, GeoHandles)> {
             h.city,
             vec![
                 Value::Text(format!("C{ci}")),
-                Value::Int(rng.gen_range(1_000..10_000_000)),
+                Value::Int(rng.gen_range(1_000i64..10_000_000)),
             ],
         )?;
         let p = points[rng.gen_range(0..points.len())];

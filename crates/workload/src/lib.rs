@@ -15,6 +15,7 @@
 pub mod bom;
 pub mod brazil;
 pub mod geo;
+pub mod rng;
 pub mod vlsi;
 
 pub use bom::{generate_bom, BomParams};

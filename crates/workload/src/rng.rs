@@ -1,0 +1,117 @@
+//! Deterministic PRNG for the workload generators.
+//!
+//! The build environment cannot fetch the `rand` crate, so — following the
+//! precedent of `mad_model::fxhash` — the few dozen lines the generators
+//! need are inlined: a splitmix64 core with `gen_range`/`gen_bool` in the
+//! familiar shape. Streams are fully determined by the seed, which is what
+//! the reproducible-workload fixtures (and the benchmark presets) rely on;
+//! there is no compatibility guarantee with `rand::rngs::StdRng` streams.
+
+use std::ops::Range;
+
+/// A small deterministic generator (splitmix64).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Seed the generator; equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `[range.start, range.end)`.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped into `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+}
+
+/// Ranges [`StdRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform value.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! sample_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range over empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+sample_int_range!(i32, i64, u32, u64, usize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: usize = (0..100)
+            .filter(|_| a.gen_range(0u64..1 << 60) == c.gen_range(0u64..1 << 60))
+            .count();
+        assert!(same < 5, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10i64..20);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -18,8 +18,7 @@
 
 use mad_model::{AtomId, AtomTypeId, AttrType, LinkTypeId, Result, SchemaBuilder, Value};
 use mad_storage::Database;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// Parameters of the VLSI generator.
 #[derive(Clone, Debug)]

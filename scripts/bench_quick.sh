@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Perf-trajectory snapshot: run the two derivation benches in the bench
+# profile with --quick and merge their median ns/op into BENCH_derive.json.
+# Cargo runs bench binaries with the package dir as cwd, so the report
+# lands in crates/bench/. Future PRs diff this file to catch regressions.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo bench -p mad-bench --bench derivation_strategies -- --quick
+cargo bench -p mad-bench --bench restriction_pushdown -- --quick
+echo "merged results into $(pwd)/crates/bench/BENCH_derive.json"

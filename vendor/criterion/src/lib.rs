@@ -1,0 +1,357 @@
+//! A minimal, dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched; this shim keeps the bench sources unchanged and performs *real*
+//! wall-clock measurement:
+//!
+//! * warm-up for `warm_up_time`, then `sample_size` samples, each running as
+//!   many iterations as fit into `measurement_time / sample_size`;
+//! * the reported figure is the **median ns/iteration** over the samples
+//!   (robust against noisy neighbors);
+//! * results print as `<group>/<function>/<param>  time: <median> ns/iter`.
+//!
+//! Command-line flags (everything after `--` in `cargo bench ... -- <flags>`):
+//!
+//! * `--quick` — 3 samples and a quarter of the measurement time, and the
+//!   results are written to `BENCH_derive.json` (merged with any existing
+//!   content) so perf trajectories can be compared across commits;
+//! * `--json <path>` — like `--quick`'s report but to an explicit path and
+//!   without reducing the sample count;
+//! * any other non-flag argument — substring filter on the benchmark id.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion's is a thin wrapper).
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim sizes batches from the measurement budget).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing helper handed to the closure of `bench_function`/`bench_with_input`.
+pub struct Bencher<'a> {
+    samples_ns: &'a mut Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Measure `f` (the routine under test) and record the samples.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // warm-up: run until the warm-up budget is spent
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        // estimate the per-iteration cost to size the sample batches
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = (per_sample / est.as_secs_f64()).clamp(1.0, 1e7) as u64;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; only the routine is
+    /// timed (setup cost is excluded by pre-building each batch).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // warm-up
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine(setup()));
+        }
+        // size the batches from one timed call
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let est = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters = (per_sample / est.as_secs_f64()).clamp(1.0, 1e5) as usize;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples_ns
+                .push(t.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Options {
+    quick: bool,
+    json_path: Option<String>,
+    filters: Vec<String>,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut opts = Options {
+            quick: false,
+            json_path: None,
+            filters: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => opts.quick = true,
+                "--json" => opts.json_path = args.next(),
+                // flags cargo/criterion conventionally pass; ignore
+                "--bench" | "--nocapture" | "--noplot" => {}
+                s if s.starts_with("--") => {
+                    // unknown flag: skip (and its value if present and not a flag)
+                }
+                s => opts.filters.push(s.to_owned()),
+            }
+        }
+        if opts.quick && opts.json_path.is_none() {
+            opts.json_path = Some("BENCH_derive.json".to_owned());
+        }
+        opts
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    opts: Options,
+    results: BTreeMap<String, f64>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            opts: Options::from_args(),
+            results: BTreeMap::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+        }
+    }
+
+    /// Benchmark a routine outside a group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id.to_owned(), f);
+        g.finish();
+    }
+
+    fn record(&mut self, id: &str, median_ns: f64) {
+        println!("{id:<58} time: {median_ns:>14.1} ns/iter");
+        self.results.insert(id.to_owned(), median_ns);
+    }
+
+    fn flush_json(&self) {
+        let Some(path) = &self.opts.json_path else {
+            return;
+        };
+        // merge with an existing report so several bench targets accumulate
+        let mut merged: BTreeMap<String, f64> = std::fs::read_to_string(path)
+            .ok()
+            .map(|text| parse_flat_json(&text))
+            .unwrap_or_default();
+        merged.extend(self.results.iter().map(|(k, v)| (k.clone(), *v)));
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in merged.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!("  \"{}\": {:.1}", escape(k), v));
+        }
+        out.push_str("\n}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("bench report written to {path}");
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush_json();
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parse a flat `{"id": number, ...}` object (the only shape we emit).
+fn parse_flat_json(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(q) = rest.find('"') {
+        rest = &rest[q + 1..];
+        let Some(endq) = rest.find('"') else { break };
+        let key = rest[..endq].to_owned();
+        rest = &rest[endq + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let end = rest
+            .find([',', '}'])
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.insert(key, v);
+        }
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.id.clone(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f` under a plain string id.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id: String = id.into();
+        self.run(id, |b| f(b));
+        self
+    }
+
+    fn run(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let full_id = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let opts = self.criterion.opts.clone();
+        if !opts.filters.is_empty() && !opts.filters.iter().any(|s| full_id.contains(s.as_str())) {
+            return;
+        }
+        let (sample_size, measurement) = if opts.quick {
+            (3usize.min(self.sample_size), self.measurement / 4)
+        } else {
+            (self.sample_size, self.measurement)
+        };
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        let mut bencher = Bencher {
+            samples_ns: &mut samples,
+            warm_up: self.warm_up,
+            measurement,
+            sample_size,
+        };
+        f(&mut bencher);
+        if samples.is_empty() {
+            return; // the closure never called iter()
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        self.criterion.record(&full_id, median);
+    }
+
+    /// End the group (kept for API compatibility; reporting is incremental).
+    pub fn finish(&mut self) {}
+}
+
+/// Declare the benchmark entry function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
