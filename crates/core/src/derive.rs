@@ -13,27 +13,28 @@
 //! Four strategies implement the same function (they are checked equal by
 //! property tests; benchmark B3 compares them):
 //!
-//! * [`Strategy::PerRoot`] — one depth-first hierarchical join per root
-//!   atom; simplest, cache-friendly for small molecules.
-//! * [`Strategy::LevelAtATime`] — a set-oriented hierarchical join over
-//!   `(atom, root-set)` relations; adjacency of a **shared** subobject is
-//!   scanned once in total instead of once per molecule.
-//! * [`Strategy::Parallel`] — per-root derivation fanned over threads
-//!   (the "query parallelism" outlook of §5).
-//! * [`Strategy::Bitset`] — the second-generation engine: per-node atom
-//!   sets are dense slot-indexed [`BitSet`]s, frontiers are expanded in
-//!   batch through the database's frozen [`CsrSnapshot`]
-//!   (`Database::csr_snapshot`), and the ∀-intersection over incoming
-//!   edges is a word-wise `AND`. No hash probes and no sorted-vector
-//!   intersections remain on the hot path. [`derive_bitset_pruned`]
-//!   additionally accepts per-node qualification bitsets for restriction
-//!   pushdown at every structure node (benchmark B4).
+//! | strategy | evaluation | storage path |
+//! |---|---|---|
+//! | [`Strategy::PerRoot`] | one depth-first hierarchical join per root atom; simplest, cache-friendly for small molecules | hash-map [`mad_storage::LinkStore`] probes |
+//! | [`Strategy::LevelAtATime`] | set-oriented hierarchical join over `(atom, root-set)` relations; adjacency of a **shared** subobject is scanned once in total | hash-map probes, one per distinct atom |
+//! | [`Strategy::Bitset`] | second-generation engine: per-node atom sets are dense slot-indexed [`BitSet`]s, frontiers expand in batch, the ∀-intersection over incoming edges is a word-wise `AND` | frozen [`CsrSnapshot`](mad_storage::CsrSnapshot) sequential scans |
+//! | [`Strategy::Parallel`] | the bitset engine partitioned by **slot ranges**: the qualified root set is split into contiguous chunks and fanned over `std::thread::scope` workers (the "query parallelism" outlook of §5) | one shared `Arc<CsrSnapshot>` across all workers |
+//!
+//! `Parallel` is exactly `Bitset` per worker — same per-node pruning
+//! bitsets (computed once, shared read-only), same assembly — so its
+//! results are bit-identical and root-ordered. The legacy per-root
+//! hash-map fan-out it replaced was *slower* than serial `Bitset`;
+//! partitioned set-at-a-time evaluation over a frozen snapshot is the
+//! classic fix (cf. the parallel transitive-closure line of work in
+//! PAPERS.md). [`derive_bitset_pruned`] / [`derive_bitset_parallel`]
+//! additionally accept per-node qualification bitsets for restriction
+//! pushdown at every structure node (benchmark B4).
 
 use crate::molecule::Molecule;
 use crate::structure::MoleculeStructure;
 use mad_model::{AtomId, BitSet, FxHashMap, MadError, Result};
 use mad_storage::database::Direction;
-use mad_storage::Database;
+use mad_storage::{CsrSnapshot, Database};
 
 /// Derivation strategy (see module docs).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,10 +44,34 @@ pub enum Strategy {
     PerRoot,
     /// Set-oriented hierarchical join, level by level.
     LevelAtATime,
-    /// Per-root traversals distributed over `n` threads.
+    /// Frontier-bitset derivation partitioned into root slot ranges and
+    /// fanned over `n` scoped threads sharing one `Arc<CsrSnapshot>`.
     Parallel(usize),
     /// Frontier-bitset evaluation over the CSR adjacency snapshot.
     Bitset,
+}
+
+impl Strategy {
+    /// How many worker threads the strategy fans derivation over (1 for
+    /// every serial strategy; `Parallel(0)` is normalized to 1).
+    pub fn parallelism(&self) -> usize {
+        match self {
+            Strategy::Parallel(n) => (*n).max(1),
+            _ => 1,
+        }
+    }
+
+    /// The worker count [`derive_molecules`] will actually use for this
+    /// strategy: the requested parallelism capped at the hardware's
+    /// available parallelism. Oversubscribing physical cores buys only
+    /// spawn overhead — on a single-core host `Parallel(n)` degrades to
+    /// the serial bitset loop, which *is* as fast as that hardware allows.
+    pub fn effective_parallelism(&self) -> usize {
+        static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+        let hw =
+            *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from));
+        self.parallelism().min(hw)
+    }
 }
 
 /// Options for [`derive_molecules`].
@@ -172,34 +197,18 @@ pub fn derive_molecules(
     match opts.strategy {
         Strategy::PerRoot => roots.iter().map(|&r| derive_one(db, md, r)).collect(),
         Strategy::LevelAtATime => Ok(derive_level_at_a_time(db, md, &roots)),
-        Strategy::Parallel(threads) => derive_parallel(db, md, &roots, threads.max(1)),
+        Strategy::Parallel(_) => derive_bitset_parallel(
+            db,
+            md,
+            &roots,
+            &[],
+            opts.strategy.effective_parallelism(),
+        ),
         Strategy::Bitset => derive_bitset_pruned(db, md, &roots, &[]),
     }
 }
 
-/// Frontier-bitset derivation over the CSR snapshot, with optional
-/// per-node qualification pushdown.
-///
-/// `prune[node]`, when present, is the bitset of slots satisfying the
-/// simple predicates the planner extracted for that structure node. A
-/// molecule whose derived atom set at such a node contains **no** matching
-/// atom is omitted from the result — it could never satisfy the
-/// qualification's top-level conjunct, so deriving or filtering it further
-/// is wasted work. Atom sets of *surviving* molecules are **not** filtered
-/// (Def. 6 molecules are maximal w.r.t. the structure alone); callers
-/// evaluating a qualification still apply the full formula afterwards.
-///
-/// With an empty `prune` slice this computes exactly `m_dom` of Def. 6 and
-/// agrees with every other strategy (checked by the equivalence property
-/// test). Roots are validated like every other derivation entry point:
-/// wrong-typed or nonexistent roots are an error, not a fabricated
-/// molecule.
-pub fn derive_bitset_pruned(
-    db: &Database,
-    md: &MoleculeStructure,
-    roots: &[AtomId],
-    prune: &[Option<BitSet>],
-) -> Result<Vec<Molecule>> {
+fn validate_roots(db: &Database, md: &MoleculeStructure, roots: &[AtomId]) -> Result<()> {
     for &r in roots {
         if r.ty != md.root_node().ty {
             return Err(MadError::structure(format!(
@@ -210,7 +219,21 @@ pub fn derive_bitset_pruned(
             return Err(MadError::integrity(format!("root atom {r} does not exist")));
         }
     }
-    let csr = db.csr_snapshot();
+    Ok(())
+}
+
+/// The per-root frontier-bitset loop shared by the serial and the parallel
+/// engine: derive the molecules of `roots` (already validated) against one
+/// frozen snapshot, appending survivors of the per-node `prune` test to
+/// `out`. Scratch bitsets live across roots, so the reset cost is bounded
+/// by each molecule's dirty window, not the slot horizon.
+fn derive_bitset_roots(
+    csr: &CsrSnapshot,
+    md: &MoleculeStructure,
+    roots: &[AtomId],
+    prune: &[Option<BitSet>],
+    out: &mut Vec<Molecule>,
+) {
     let root_node = md.root();
     // one reusable bitset per structure node, sized to the node type's slot
     // horizon, plus one scratch set for per-edge expansion
@@ -220,7 +243,6 @@ pub fn derive_bitset_pruned(
         .map(|nd| BitSet::with_capacity(csr.slot_count(nd.ty)))
         .collect();
     let mut reached = BitSet::default();
-    let mut out = Vec::with_capacity(roots.len());
     'roots: for &root in roots {
         for s in &mut node_sets {
             s.clear();
@@ -255,7 +277,94 @@ pub fn derive_bitset_pruned(
                 }
             }
         }
-        out.push(assemble_bitset_molecule(&csr, md, root, &node_sets));
+        out.push(assemble_bitset_molecule(csr, md, root, &node_sets));
+    }
+}
+
+/// Frontier-bitset derivation over the CSR snapshot, with optional
+/// per-node qualification pushdown.
+///
+/// `prune[node]`, when present, is the bitset of slots satisfying the
+/// simple predicates the planner extracted for that structure node. A
+/// molecule whose derived atom set at such a node contains **no** matching
+/// atom is omitted from the result — it could never satisfy the
+/// qualification's top-level conjunct, so deriving or filtering it further
+/// is wasted work. Atom sets of *surviving* molecules are **not** filtered
+/// (Def. 6 molecules are maximal w.r.t. the structure alone); callers
+/// evaluating a qualification still apply the full formula afterwards.
+///
+/// With an empty `prune` slice this computes exactly `m_dom` of Def. 6 and
+/// agrees with every other strategy (checked by the equivalence property
+/// test). Roots are validated like every other derivation entry point:
+/// wrong-typed or nonexistent roots are an error, not a fabricated
+/// molecule.
+pub fn derive_bitset_pruned(
+    db: &Database,
+    md: &MoleculeStructure,
+    roots: &[AtomId],
+    prune: &[Option<BitSet>],
+) -> Result<Vec<Molecule>> {
+    validate_roots(db, md, roots)?;
+    let csr = db.csr_snapshot();
+    let mut out = Vec::with_capacity(roots.len());
+    derive_bitset_roots(&csr, md, roots, prune, &mut out);
+    Ok(out)
+}
+
+/// [`derive_bitset_pruned`] partitioned over `threads` scoped workers.
+///
+/// The qualified root set is split into contiguous **slot ranges** (roots
+/// arrive in ascending slot order, so chunking the list partitions the
+/// slot space); each range derives independently against one shared
+/// `Arc<CsrSnapshot>` — the snapshot is frozen, the per-node `prune`
+/// bitsets are computed once by the caller and read concurrently, and
+/// every worker owns its scratch bitsets. Results keep root order, so the
+/// output is bit-identical to the serial engine (the Def. 6 molecule set
+/// is per-root — disjoint root ranges share no state beyond the frozen
+/// adjacency).
+///
+/// `threads` is honored **exactly** (capped only by the root count) — the
+/// strategy-level entry points cap it at
+/// [`Strategy::effective_parallelism`] first, so query execution never
+/// oversubscribes the hardware while tests can still drive a genuine
+/// multi-worker fan-out on any machine. Degenerate inputs fall back to
+/// the serial loop: 0 or 1 threads, and empty root sets.
+pub fn derive_bitset_parallel(
+    db: &Database,
+    md: &MoleculeStructure,
+    roots: &[AtomId],
+    prune: &[Option<BitSet>],
+    threads: usize,
+) -> Result<Vec<Molecule>> {
+    validate_roots(db, md, roots)?;
+    let csr = db.csr_snapshot();
+    let threads = threads.max(1).min(roots.len());
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(roots.len());
+        derive_bitset_roots(&csr, md, roots, prune, &mut out);
+        return Ok(out);
+    }
+    let chunk = roots.len().div_ceil(threads);
+    let csr = &*csr; // one frozen image shared by every worker
+    let results: Vec<Vec<Molecule>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = roots
+            .chunks(chunk)
+            .map(|range| {
+                scope.spawn(move || {
+                    let mut out = Vec::with_capacity(range.len());
+                    derive_bitset_roots(csr, md, range, prune, &mut out);
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel derivation worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(roots.len());
+    for r in results {
+        out.extend(r);
     }
     Ok(out)
 }
@@ -417,46 +526,6 @@ fn derive_level_at_a_time(
         }
     }
     molecules
-}
-
-/// Per-root derivation distributed over std scoped threads; results keep
-/// root order.
-fn derive_parallel(
-    db: &Database,
-    md: &MoleculeStructure,
-    roots: &[AtomId],
-    threads: usize,
-) -> Result<Vec<Molecule>> {
-    if roots.is_empty() {
-        return Ok(Vec::new());
-    }
-    let threads = threads.min(roots.len());
-    let chunk = roots.len().div_ceil(threads);
-    let results: Vec<Result<Vec<Molecule>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = roots
-            .chunks(chunk)
-            .map(|chunk_roots| {
-                scope.spawn(move || {
-                    chunk_roots
-                        .iter()
-                        .map(|&r| derive_one(db, md, r))
-                        .collect::<Result<Vec<Molecule>>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|_| Err(MadError::structure("parallel derivation panicked")))
-            })
-            .collect()
-    });
-    let mut out = Vec::with_capacity(roots.len());
-    for r in results {
-        out.extend(r?);
-    }
-    Ok(out)
 }
 
 /// The `mv_graph(m, md)` predicate of Def. 6 plus the `total` predicate:

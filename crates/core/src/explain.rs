@@ -92,11 +92,22 @@ pub struct Plan {
     pub estimated_lookups: f64,
     /// Suggested derivation strategy.
     pub suggested_strategy: crate::derive::Strategy,
+    /// How many worker threads execution will actually fan derivation over
+    /// for the suggested strategy — the requested parallelism capped at the
+    /// hardware's available parallelism
+    /// ([`Strategy::effective_parallelism`](crate::derive::Strategy::effective_parallelism));
+    /// 1 for every serial strategy.
+    pub parallelism: usize,
     /// Whether traversal runs over the frozen CSR snapshot (true for the
-    /// bitset strategy) — and whether that snapshot is already warm.
+    /// bitset engine, serial *and* parallel) — and whether that snapshot is
+    /// already warm.
     pub csr_expansion: bool,
     /// Is the database's CSR snapshot current (no rebuild needed)?
     pub csr_warm: bool,
+    /// `(rebuilt, total)` link-type CSR pairs of the most recent snapshot
+    /// (re)build — the incremental-invalidation statistic (`None` before
+    /// the first build).
+    pub csr_rebuilt_pairs: Option<(usize, usize)>,
     /// Residual qualification evaluated per molecule (rendered), if any.
     pub residual_filter: Option<String>,
 }
@@ -243,8 +254,9 @@ pub fn explain(db: &Database, md: &MoleculeStructure, qual: Option<&QualExpr>) -
     // parallel pays off past ~10 ms of single-threaded work; a lookup costs
     // on the order of 100 ns here, so the crossover sits around 10⁵ lookups
     // (benchmark B3 places it between the "large" geo sweep and the
-    // point-neighborhood workload). Below the crossover the frontier-bitset
-    // engine over the CSR snapshot is the default.
+    // point-neighborhood workload). Both sides of the crossover are the
+    // frontier-bitset engine over the CSR snapshot — parallel just
+    // partitions the root slot ranges over workers.
     let suggested_strategy = if estimated_lookups > 1e5 {
         crate::derive::Strategy::Parallel(4)
     } else {
@@ -257,8 +269,10 @@ pub fn explain(db: &Database, md: &MoleculeStructure, qual: Option<&QualExpr>) -
         pushdown,
         estimated_lookups,
         suggested_strategy,
-        csr_expansion: suggested_strategy == crate::derive::Strategy::Bitset,
+        parallelism: suggested_strategy.effective_parallelism(),
+        csr_expansion: true,
         csr_warm: db.csr_is_warm(),
+        csr_rebuilt_pairs: db.csr_rebuild_stats(),
         residual_filter: qual.map(|q| q.render(md, db.schema())),
     }
 }
@@ -312,13 +326,21 @@ impl fmt::Display for Plan {
             writeln!(f, "  pushdown @{:<10} [{}]", p.alias, rendered.join(" AND "))?;
         }
         writeln!(f, "  estimated adjacency lookups: ≈{:.0}", self.estimated_lookups)?;
-        writeln!(f, "  suggested strategy: {:?}", self.suggested_strategy)?;
+        writeln!(
+            f,
+            "  suggested strategy: {:?} (parallelism {})",
+            self.suggested_strategy, self.parallelism
+        )?;
         if self.csr_expansion {
-            writeln!(
+            write!(
                 f,
-                "  traversal: CSR snapshot expansion ({})",
+                "  traversal: CSR snapshot expansion ({}",
                 if self.csr_warm { "warm" } else { "built on first use" }
             )?;
+            if let Some((rebuilt, total)) = self.csr_rebuilt_pairs {
+                write!(f, "; last rebuild re-froze {rebuilt}/{total} link-type pairs")?;
+            }
+            writeln!(f, ")")?;
         }
         if let Some(r) = &self.residual_filter {
             writeln!(f, "  residual molecule filter: {r}")?;
@@ -491,6 +513,42 @@ mod tests {
         let plan = explain(&db, &md, None);
         assert!(plan.estimated_lookups > 1e5);
         assert_eq!(plan.suggested_strategy, Strategy::Parallel(4));
+        // the plan reports the worker count execution will actually use:
+        // requested 4, capped at the hardware's available parallelism
+        assert_eq!(plan.parallelism, Strategy::Parallel(4).effective_parallelism());
+        assert!(plan.parallelism >= 1);
+        // the parallel engine rides the CSR snapshot too
+        assert!(plan.csr_expansion);
+        let text = plan.to_string();
+        assert!(
+            text.contains(&format!("parallelism {}", plan.parallelism)),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn reports_incremental_rebuild_stats() {
+        let mut db = db();
+        let md = path(db.schema(), &["state", "area", "edge"]).unwrap();
+        // cold: no snapshot yet
+        let plan = explain(&db, &md, None);
+        assert_eq!(plan.csr_rebuilt_pairs, None);
+        assert!(!plan.csr_warm);
+        // warm it, then touch one link type: only that pair re-freezes
+        let _ = db.csr_snapshot();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s = db.insert_atom(state, vec![Value::Text("X".into()), Value::Float(0.0)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::Int(99)]).unwrap();
+        db.connect(sa, s, a).unwrap();
+        let _ = db.csr_snapshot();
+        let plan = explain(&db, &md, None);
+        assert_eq!(plan.csr_rebuilt_pairs, Some((1, 2)));
+        assert!(plan.csr_warm);
+        assert_eq!(plan.parallelism, 1);
+        let text = plan.to_string();
+        assert!(text.contains("re-froze 1/2 link-type pairs"), "got: {text}");
     }
 
     #[test]

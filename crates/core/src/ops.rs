@@ -421,13 +421,15 @@ impl Engine {
 
     /// Candidate molecules under restriction pushdown.
     ///
-    /// * [`Strategy::Bitset`]: the generalized plan — per-node conjunct
-    ///   bitsets prune molecules *during* traversal (and the root bitset
-    ///   pre-selects the root set), see [`plan_pushdown`].
+    /// * [`Strategy::Bitset`] and [`Strategy::Parallel`]: the generalized
+    ///   plan — per-node conjunct bitsets prune molecules *during*
+    ///   traversal (and the root bitset pre-selects the root set), see
+    ///   [`plan_pushdown`]. The plan is computed **once**; parallel workers
+    ///   share it read-only alongside the `Arc`'d CSR snapshot.
     /// * every other strategy: the classic root-only preselection
     ///   ([`Engine::preselect_roots`]) followed by a full derivation.
     ///
-    /// Either way the caller still applies the complete formula, so both
+    /// Either way the caller still applies the complete formula, so all
     /// paths return the same final molecule set.
     fn pushdown_candidates(
         &self,
@@ -435,18 +437,30 @@ impl Engine {
         qual: &QualExpr,
         strategy: Strategy,
     ) -> Result<Vec<Molecule>> {
-        if strategy == Strategy::Bitset {
-            let plan = plan_pushdown(&self.db, md, qual);
-            let root_ty = md.root_node().ty;
-            let roots: Vec<AtomId> = match &plan.prune[md.root()] {
-                Some(q) => q.iter().map(|slot| AtomId::new(root_ty, slot as u32)).collect(),
-                None => self.db.atom_ids_of(root_ty),
-            };
-            derive_bitset_pruned(&self.db, md, &roots, &plan.prune)
-        } else {
-            let roots = self.preselect_roots(md, qual);
-            let opts = DeriveOptions { strategy, roots };
-            derive_molecules(&self.db, md, &opts)
+        match strategy {
+            Strategy::Bitset | Strategy::Parallel(_) => {
+                let plan = plan_pushdown(&self.db, md, qual);
+                let root_ty = md.root_node().ty;
+                let roots: Vec<AtomId> = match &plan.prune[md.root()] {
+                    Some(q) => q.iter().map(|slot| AtomId::new(root_ty, slot as u32)).collect(),
+                    None => self.db.atom_ids_of(root_ty),
+                };
+                match strategy {
+                    Strategy::Parallel(_) => crate::derive::derive_bitset_parallel(
+                        &self.db,
+                        md,
+                        &roots,
+                        &plan.prune,
+                        strategy.effective_parallelism(),
+                    ),
+                    _ => derive_bitset_pruned(&self.db, md, &roots, &plan.prune),
+                }
+            }
+            _ => {
+                let roots = self.preselect_roots(md, qual);
+                let opts = DeriveOptions { strategy, roots };
+                derive_molecules(&self.db, md, &opts)
+            }
         }
     }
 

@@ -12,10 +12,18 @@
 //! **cycle-safe**: an atom already contained is not expanded again, so the
 //! derivation terminates even on cyclic atom networks (the unfolded
 //! molecule is the reachable subgraph, levelled by first-visit depth).
+//!
+//! Since PR 2 the unfolding rides the same storage engine as
+//! `Strategy::Bitset`: the contained set and each BFS level are dense
+//! slot-indexed [`BitSet`]s, and frontiers expand through the database's
+//! frozen [`CsrSnapshot`](mad_storage::CsrSnapshot) with sequential
+//! partner scans — no per-atom hash probes remain on the recursive hot
+//! path, and a whole [`derive_recursive`] sweep shares one snapshot
+//! across all roots.
 
-use mad_model::{AtomId, AtomTypeId, FxHashMap, FxHashSet, LinkTypeId, MadError, Result};
+use mad_model::{AtomId, AtomTypeId, BitSet, FxHashMap, FxHashSet, LinkTypeId, MadError, Result};
 use mad_storage::database::Direction;
-use mad_storage::Database;
+use mad_storage::{CsrSnapshot, Database};
 
 /// Description of a recursive molecule type.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -136,13 +144,7 @@ impl RecursiveMolecule {
     }
 }
 
-/// Derive one recursive molecule from `root`.
-pub fn derive_recursive_one(
-    db: &Database,
-    spec: &RecursiveSpec,
-    root: AtomId,
-) -> Result<RecursiveMolecule> {
-    spec.validate(db)?;
+fn validate_recursive_root(db: &Database, spec: &RecursiveSpec, root: AtomId) -> Result<()> {
     if root.ty != spec.atom_type {
         return Err(MadError::Recursion {
             detail: format!("root atom {root} is not of the recursive atom type"),
@@ -151,54 +153,108 @@ pub fn derive_recursive_one(
     if !db.atom_exists(root) {
         return Err(MadError::integrity(format!("atom {root} does not exist")));
     }
-    let mut contained: FxHashSet<AtomId> = FxHashSet::default();
-    contained.insert(root);
+    Ok(())
+}
+
+/// Derive one recursive molecule from `root`.
+pub fn derive_recursive_one(
+    db: &Database,
+    spec: &RecursiveSpec,
+    root: AtomId,
+) -> Result<RecursiveMolecule> {
+    spec.validate(db)?;
+    validate_recursive_root(db, spec, root)?;
+    let csr = db.csr_snapshot();
+    let mut scratch = RecursiveScratch::new(&csr, spec.atom_type);
+    Ok(unfold_csr(&csr, spec, root, &mut scratch))
+}
+
+/// Reusable per-sweep bitsets: one slot-indexed contained set and two
+/// frontier sets, cleared (dirty-window cheap) between roots.
+struct RecursiveScratch {
+    contained: BitSet,
+    frontier: BitSet,
+    next: BitSet,
+}
+
+impl RecursiveScratch {
+    fn new(csr: &CsrSnapshot, ty: AtomTypeId) -> Self {
+        let cap = csr.slot_count(ty);
+        RecursiveScratch {
+            contained: BitSet::with_capacity(cap),
+            frontier: BitSet::with_capacity(cap),
+            next: BitSet::with_capacity(cap),
+        }
+    }
+}
+
+/// The breadth-first unfolding over the frozen snapshot. Frontier and
+/// contained sets are slot bitsets of the (single, reflexive) atom type;
+/// each level expands with sequential CSR partner scans. Bitset iteration
+/// is ascending-slot, which for one atom type *is* sorted `AtomId` order,
+/// so levels come out sorted exactly like the classic implementation's.
+fn unfold_csr(
+    csr: &CsrSnapshot,
+    spec: &RecursiveSpec,
+    root: AtomId,
+    scratch: &mut RecursiveScratch,
+) -> RecursiveMolecule {
+    let ty = spec.atom_type;
+    let RecursiveScratch {
+        contained,
+        frontier,
+        next,
+    } = scratch;
+    contained.clear();
+    frontier.clear();
+    contained.insert(root.slot as usize);
+    frontier.insert(root.slot as usize);
     let mut levels = vec![vec![root]];
     let mut links: Vec<(AtomId, AtomId)> = Vec::new();
     let mut reconverging = false;
-    let mut frontier = vec![root];
     let mut depth = 0usize;
-    while !frontier.is_empty() {
+    loop {
         if let Some(max) = spec.max_depth {
             if depth >= max {
                 break;
             }
         }
-        let mut next: Vec<AtomId> = Vec::new();
-        for &p in &frontier {
-            db.for_each_partner(spec.link, p, spec.dir, |c| {
-                links.push((p, c));
-                if contained.insert(c) {
-                    next.push(c);
-                } else {
+        next.clear();
+        let mut level: Vec<AtomId> = Vec::new();
+        for p in frontier.iter() {
+            let parent = AtomId::new(ty, p as u32);
+            csr.for_each_partner(spec.link, p as u32, spec.dir, |c| {
+                links.push((parent, AtomId::new(ty, c)));
+                if contained.contains(c as usize) {
                     reconverging = true; // shared subobject or cycle
+                } else {
+                    contained.insert(c as usize);
+                    next.insert(c as usize);
+                    level.push(AtomId::new(ty, c));
                 }
             });
         }
-        next.sort_unstable();
-        next.dedup();
         if next.is_empty() {
             break;
         }
-        levels.push(next.clone());
-        frontier = next;
+        level.sort_unstable();
+        levels.push(level);
+        std::mem::swap(frontier, next);
         depth += 1;
     }
     links.sort_unstable();
     links.dedup();
-    // prune links that lead outside the contained set (possible only when a
-    // depth bound cut the expansion short)
-    links.retain(|(p, c)| contained.contains(p) && contained.contains(c));
-    Ok(RecursiveMolecule {
+    RecursiveMolecule {
         root,
         levels,
         links,
         reconverging,
-    })
+    }
 }
 
 /// Derive recursive molecules for all atoms of the spec's atom type (or a
-/// chosen subset).
+/// chosen subset). All roots unfold against **one** shared CSR snapshot and
+/// reuse one set of scratch bitsets.
 pub fn derive_recursive(
     db: &Database,
     spec: &RecursiveSpec,
@@ -209,10 +265,15 @@ pub fn derive_recursive(
         Some(r) => r.to_vec(),
         None => db.atom_ids_of(spec.atom_type),
     };
-    roots
+    for &r in &roots {
+        validate_recursive_root(db, spec, r)?;
+    }
+    let csr = db.csr_snapshot();
+    let mut scratch = RecursiveScratch::new(&csr, spec.atom_type);
+    Ok(roots
         .into_iter()
-        .map(|r| derive_recursive_one(db, spec, r))
-        .collect()
+        .map(|r| unfold_csr(&csr, spec, r, &mut scratch))
+        .collect())
 }
 
 /// Transitive-closure reachability (the set semantics a relational

@@ -21,12 +21,26 @@
 /// A fixed-capacity dense bitset with a dirty-window fast clear.
 ///
 /// Invariant: every nonzero word lies inside `dirty_lo..=dirty_hi`
-/// (`dirty_lo > dirty_hi` means the set is known empty).
-#[derive(Clone, Debug, Default)]
+/// (`dirty_lo > dirty_hi` means the set is known empty), and the boundary
+/// words of a nonempty window are nonzero — ops that can strand zeros at
+/// the edges ([`BitSet::remove`], [`BitSet::intersect_with`]) re-tighten.
+#[derive(Clone, Debug)]
 pub struct BitSet {
     words: Vec<u64>,
     dirty_lo: usize,
     dirty_hi: usize,
+}
+
+impl Default for BitSet {
+    /// An empty set with the canonical empty window (`lo > hi`); a derived
+    /// default would claim word 0 as dirty and spoil the window invariant.
+    fn default() -> Self {
+        BitSet {
+            words: Vec::new(),
+            dirty_lo: usize::MAX,
+            dirty_hi: 0,
+        }
+    }
 }
 
 impl BitSet {
@@ -66,6 +80,31 @@ impl BitSet {
         }
     }
 
+    /// Shrink the dirty window to the outermost nonzero words. Cost is
+    /// proportional to the number of zero *boundary* words only, so ops
+    /// that can strand zeros at the window edges (`remove`,
+    /// `intersect_with`) call this to keep later clears/iterations tight.
+    fn trim(&mut self) {
+        if self.dirty_lo > self.dirty_hi {
+            return;
+        }
+        let mut lo = self.dirty_lo;
+        let mut hi = self.dirty_hi.min(self.words.len().saturating_sub(1));
+        while lo <= hi && self.words[lo] == 0 {
+            lo += 1;
+        }
+        if lo > hi {
+            self.dirty_lo = usize::MAX;
+            self.dirty_hi = 0;
+            return;
+        }
+        while self.words[hi] == 0 {
+            hi -= 1;
+        }
+        self.dirty_lo = lo;
+        self.dirty_hi = hi;
+    }
+
     /// Set bit `i`. The set grows if `i` is beyond the current capacity.
     #[inline]
     pub fn insert(&mut self, i: usize) {
@@ -77,11 +116,16 @@ impl BitSet {
         self.mark(w);
     }
 
-    /// Clear bit `i` (no-op when out of range).
+    /// Clear bit `i` (no-op when out of range). A boundary word zeroed by
+    /// the removal shrinks the dirty window.
     #[inline]
     pub fn remove(&mut self, i: usize) {
-        if let Some(w) = self.words.get_mut(i / 64) {
+        let wi = i / 64;
+        if let Some(w) = self.words.get_mut(wi) {
             *w &= !(1u64 << (i % 64));
+            if *w == 0 && (wi == self.dirty_lo || wi == self.dirty_hi) {
+                self.trim();
+            }
         }
     }
 
@@ -129,16 +173,27 @@ impl BitSet {
         for w in &mut self.words[n.max(lo)..hi] {
             *w = 0;
         }
+        // the AND can zero arbitrarily many boundary words; re-tighten so
+        // the next clear/iteration does not pay for them
+        self.trim();
     }
 
     /// `self ∪= other` (word-wise OR; grows to fit `other`).
     pub fn union_with(&mut self, other: &BitSet) {
-        let (olo, ohi) = other.window();
+        let (mut olo, mut ohi) = other.window();
+        // skip zero boundary words of `other` so a sloppily-windowed
+        // operand does not widen our window past its actual content
+        while olo < ohi && other.words[olo] == 0 {
+            olo += 1;
+        }
+        while ohi > olo && other.words[ohi - 1] == 0 {
+            ohi -= 1;
+        }
         if olo >= ohi {
             return;
         }
-        if other.words.len() > self.words.len() {
-            self.words.resize(other.words.len(), 0);
+        if ohi > self.words.len() {
+            self.words.resize(ohi, 0);
         }
         for i in olo..ohi {
             self.words[i] |= other.words[i];
@@ -311,6 +366,109 @@ mod tests {
         assert_eq!(a, b);
         b.insert(4);
         assert_ne!(a, b);
+    }
+
+    /// The tightened invariant the derivation engine relies on: every
+    /// nonzero word lies inside the dirty window, and the boundary words of
+    /// a nonempty window are themselves nonzero (no stale bounds).
+    fn assert_tight(s: &BitSet, ctx: &str) {
+        let nonzero: Vec<usize> = s
+            .words
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w != 0)
+            .map(|(i, _)| i)
+            .collect();
+        match (nonzero.first(), nonzero.last()) {
+            (Some(&first), Some(&last)) => {
+                assert!(
+                    s.dirty_lo <= first && last <= s.dirty_hi,
+                    "{ctx}: nonzero words {first}..={last} escape window \
+                     {}..={}",
+                    s.dirty_lo,
+                    s.dirty_hi
+                );
+                assert_eq!(s.dirty_lo, first, "{ctx}: stale lower bound");
+                assert_eq!(s.dirty_hi, last, "{ctx}: stale upper bound");
+            }
+            _ => assert!(
+                s.dirty_lo > s.dirty_hi,
+                "{ctx}: empty set keeps a nonempty window {}..={}",
+                s.dirty_lo,
+                s.dirty_hi
+            ),
+        }
+    }
+
+    #[test]
+    fn remove_trims_stale_bounds() {
+        let mut s: BitSet = [5usize, 300, 700].into_iter().collect();
+        s.remove(700); // upper boundary word becomes zero
+        assert_tight(&s, "after removing upper bound");
+        s.remove(5); // lower boundary word becomes zero
+        assert_tight(&s, "after removing lower bound");
+        s.remove(300); // now empty
+        assert_tight(&s, "after removing last bit");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn intersect_trims_stale_bounds() {
+        let mut a: BitSet = [1usize, 300, 900].into_iter().collect();
+        let b: BitSet = [300usize].into_iter().collect();
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![300]);
+        assert_tight(&a, "after intersect");
+        // disjoint intersection empties the set and the window
+        let c: BitSet = [40usize].into_iter().collect();
+        a.intersect_with(&c);
+        assert!(a.is_empty());
+        assert_tight(&a, "after disjoint intersect");
+    }
+
+    #[test]
+    fn union_ignores_other_stale_window() {
+        // widen b's window artificially, then empty the boundary words:
+        // union must not inherit the stale bounds
+        let mut b: BitSet = [10usize, 2000].into_iter().collect();
+        b.remove(10);
+        b.remove(2000);
+        b.insert(640);
+        let mut a: BitSet = [600usize].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![600, 640]);
+        assert_tight(&a, "after union with sloppy operand");
+        // union with a fully-empty (but once-dirty) set is a no-op
+        let mut empty = BitSet::with_capacity(4096);
+        empty.insert(3000);
+        empty.remove(3000);
+        a.union_with(&empty);
+        assert_tight(&a, "after union with emptied operand");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn mixed_op_sequence_keeps_window_tight() {
+        let mut s = BitSet::with_capacity(4096);
+        let mut other = BitSet::with_capacity(4096);
+        for i in [0usize, 63, 64, 1000, 4000] {
+            s.insert(i);
+            assert_tight(&s, "after insert");
+        }
+        for i in [70usize, 1000, 4000] {
+            other.insert(i);
+        }
+        s.intersect_with(&other);
+        assert_tight(&s, "after intersect_with");
+        s.remove(4000);
+        assert_tight(&s, "after remove");
+        s.union_with(&other);
+        assert_tight(&s, "after union_with");
+        s.clear();
+        assert_tight(&s, "after clear");
+        s.insert(2);
+        assert_tight(&s, "after reuse");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2]);
     }
 
     #[test]

@@ -59,9 +59,27 @@ impl Session {
     }
 
     /// Override the derivation strategy for this session (`None` restores
-    /// the automatic bitset default).
+    /// the automatic bitset default). `Strategy::Parallel(n)` selects the
+    /// partitioned bitset engine: root slot ranges fan over `n` scoped
+    /// workers sharing one CSR snapshot.
     pub fn set_strategy(&mut self, strategy: Option<Strategy>) {
         self.engine.set_preferred_strategy(strategy);
+    }
+
+    /// How many worker threads the session's current strategy requests (1
+    /// for every serial strategy). Execution additionally caps this at the
+    /// hardware's available parallelism
+    /// ([`Strategy::effective_parallelism`]) so queries never oversubscribe
+    /// the cores.
+    pub fn parallelism(&self) -> usize {
+        self.strategy().parallelism()
+    }
+
+    /// `(rebuilt, total)` link-type CSR pairs of the database's most recent
+    /// snapshot (re)build — shows the incremental invalidation at work
+    /// (`None` before the first SELECT builds a snapshot).
+    pub fn csr_rebuild_stats(&self) -> Option<(usize, usize)> {
+        self.db().csr_rebuild_stats()
     }
 
     /// Registered molecule-type names.
@@ -502,6 +520,40 @@ mod tests {
         assert!(s
             .execute("EXPLAIN SELECT ALL FROM RECURSIVE parts VIA composition")
             .is_err());
+    }
+
+    #[test]
+    fn parallel_strategy_serves_selects() {
+        let mut s = session();
+        assert_eq!(s.parallelism(), 1, "bitset default is serial");
+        assert_eq!(s.csr_rebuild_stats(), None, "no snapshot before first SELECT");
+        let serial = molecules(s.execute("SELECT ALL FROM state-area-edge-point").unwrap());
+        s.set_strategy(Some(mad_core::derive::Strategy::Parallel(3)));
+        assert_eq!(s.parallelism(), 3);
+        let parallel = molecules(s.execute("SELECT ALL FROM state-area-edge-point").unwrap());
+        assert_eq!(serial.molecules, parallel.molecules);
+        // the WHERE pushdown path rides the parallel engine too
+        let mt = molecules(
+            s.execute("SELECT ALL FROM state-area-edge WHERE state.sname = 'SP'")
+                .unwrap(),
+        );
+        assert_eq!(mt.len(), 1);
+        // the first SELECT built the snapshot; stats are now reported
+        assert!(s.csr_rebuild_stats().is_some());
+    }
+
+    #[test]
+    fn explain_reports_parallelism_and_rebuilds() {
+        let mut s = session();
+        s.execute("SELECT ALL FROM state-area").unwrap(); // warm the snapshot
+        // attribute-only DML must not cost a rebuild
+        s.execute("UPDATE state[sname='SP'] SET hectare = 1.5").unwrap();
+        let r = s.execute("EXPLAIN SELECT ALL FROM state-area").unwrap();
+        let StatementResult::Plan(plan) = r else { panic!() };
+        assert!(plan.csr_warm, "update_attr invalidated the snapshot");
+        assert_eq!(plan.parallelism, 1);
+        let text = plan.to_string();
+        assert!(text.contains("parallelism"), "got: {text}");
     }
 
     #[test]

@@ -17,14 +17,32 @@
 //! literature applied to Def. 6 derivation, and the storage substrate of
 //! `mad_core::derive::Strategy::Bitset`.
 //!
-//! Snapshots are invalidated by version stamps: every structural DML on the
-//! [`crate::Database`] bumps a counter, and [`crate::Database::csr_snapshot`]
-//! rebuilds lazily when the cached snapshot is stale. Later sharding /
-//! parallel-partitioning work is expected to build on this frozen
-//! representation (see ROADMAP).
+//! ## Invalidation semantics
+//!
+//! Snapshots are invalidated by **two-level version stamps**:
+//!
+//! * a global *structural* version on the [`crate::Database`], bumped by
+//!   every DDL and every atom/link DML that can change adjacency or slot
+//!   horizons (attribute updates bump a separate attribute version and do
+//!   **not** invalidate the snapshot);
+//! * a *per-link-type* version, bumped only when that link type's pair set
+//!   actually changes (a successful `connect`/`disconnect`, or a
+//!   `delete_atom` cascade that removed pairs of it).
+//!
+//! [`crate::Database::csr_snapshot`] rebuilds lazily when the cached
+//! snapshot's structural version is stale — but the rebuild is
+//! **incremental** ([`CsrSnapshot::rebuild`]): link types whose
+//! per-link-type version is unchanged share their frozen [`CsrAdjacency`]
+//! pair with the previous snapshot via `Arc`, so one `connect` re-freezes
+//! only the touched link type instead of the whole database. Growing a slot
+//! horizon (plain `insert_atom`) never forces a per-link rebuild: fresh
+//! slots have no partners, and `partners_of` treats out-of-range slots as
+//! empty. Parallel derivation workers share one `Arc<CsrSnapshot>` across
+//! threads (every field is plain frozen data, so the type is `Sync`).
 
 use crate::database::{Database, Direction};
 use mad_model::{AtomTypeId, BitSet, LinkTypeId};
+use std::sync::Arc;
 
 /// One direction of one link type, frozen in CSR form.
 ///
@@ -82,43 +100,77 @@ struct LinkCsr {
 /// A frozen, slot-addressed adjacency image of a whole database.
 #[derive(Clone, Debug, Default)]
 pub struct CsrSnapshot {
-    /// Per link type, both directions.
-    links: Vec<LinkCsr>,
+    /// Per link type, both directions; `Arc`-shared with the previous
+    /// snapshot when the link type's pair set did not change between
+    /// rebuilds.
+    links: Vec<Arc<LinkCsr>>,
+    /// Per link type: the [`Database::link_version`] its CSR pair was
+    /// frozen at (keys the incremental rebuild).
+    link_versions: Vec<u64>,
     /// Per atom type: the slot horizon (live + tombstoned) at build time.
     slots: Vec<u32>,
 }
 
 impl CsrSnapshot {
-    /// Freeze the adjacency of every link type of `db`.
+    /// Freeze the adjacency of every link type of `db` from scratch.
     pub fn build(db: &Database) -> Self {
+        Self::rebuild(db, None).0
+    }
+
+    /// Freeze the adjacency of `db`, re-using every link type of `prev`
+    /// whose per-link-type version is unchanged (its frozen pair is shared
+    /// via `Arc`, not copied). Returns the snapshot and how many link-type
+    /// CSR pairs were actually (re)built — the incremental-invalidation
+    /// statistic EXPLAIN reports.
+    pub fn rebuild(db: &Database, prev: Option<&CsrSnapshot>) -> (Self, usize) {
         let schema = db.schema();
         let slots: Vec<u32> = (0..schema.atom_type_count())
             .map(|i| db.atom_slot_count(AtomTypeId(i as u32)) as u32)
             .collect();
-        let links = schema
-            .link_types()
-            .map(|(lt, def)| {
-                // iter_oriented yields pairs sorted by (side0, side1)
-                let fwd_pairs: Vec<(u32, u32)> = db
-                    .links_of(lt)
-                    .map(|(a, b)| (a.slot, b.slot))
-                    .collect();
-                let mut bwd_pairs: Vec<(u32, u32)> =
-                    fwd_pairs.iter().map(|&(a, b)| (b, a)).collect();
-                bwd_pairs.sort_unstable();
-                LinkCsr {
-                    fwd: CsrAdjacency::from_sorted_pairs(
-                        &fwd_pairs,
-                        slots[def.ends[0].0 as usize] as usize,
-                    ),
-                    bwd: CsrAdjacency::from_sorted_pairs(
-                        &bwd_pairs,
-                        slots[def.ends[1].0 as usize] as usize,
-                    ),
+        let mut rebuilt = 0usize;
+        let mut links = Vec::with_capacity(schema.link_type_count());
+        let mut link_versions = Vec::with_capacity(schema.link_type_count());
+        for (lt, def) in schema.link_types() {
+            let version = db.link_version(lt);
+            let li = lt.0 as usize;
+            let reusable = prev.and_then(|p| {
+                (p.link_versions.get(li) == Some(&version)).then(|| Arc::clone(&p.links[li]))
+            });
+            let pair = match reusable {
+                Some(pair) => pair,
+                None => {
+                    rebuilt += 1;
+                    // iter_oriented yields pairs sorted by (side0, side1)
+                    let fwd_pairs: Vec<(u32, u32)> = db
+                        .links_of(lt)
+                        .map(|(a, b)| (a.slot, b.slot))
+                        .collect();
+                    let mut bwd_pairs: Vec<(u32, u32)> =
+                        fwd_pairs.iter().map(|&(a, b)| (b, a)).collect();
+                    bwd_pairs.sort_unstable();
+                    Arc::new(LinkCsr {
+                        fwd: CsrAdjacency::from_sorted_pairs(
+                            &fwd_pairs,
+                            slots[def.ends[0].0 as usize] as usize,
+                        ),
+                        bwd: CsrAdjacency::from_sorted_pairs(
+                            &bwd_pairs,
+                            slots[def.ends[1].0 as usize] as usize,
+                        ),
+                    })
                 }
-            })
-            .collect();
-        CsrSnapshot { links, slots }
+            };
+            links.push(pair);
+            link_versions.push(version);
+        }
+        (
+            CsrSnapshot {
+                links,
+                link_versions,
+                slots,
+            },
+            rebuilt,
+        )
     }
 
     /// The slot horizon of atom type `ty` at build time — the capacity a
@@ -279,6 +331,34 @@ mod tests {
         let mut seen = Vec::new();
         snap.for_each_partner(comp, 1, Direction::Sym, |p| seen.push(p));
         assert_eq!(seen, vec![0, 2], "merged, deduplicated, sorted");
+    }
+
+    #[test]
+    fn incremental_rebuild_shares_untouched_pairs() {
+        let mut db = db_with_links();
+        let ab = db.schema().link_type_id("ab").unwrap();
+        let comp = db.schema().link_type_id("composition").unwrap();
+        let parts = db.schema().atom_type_id("parts").unwrap();
+        let p0 = db.insert_atom(parts, vec![Value::Int(0)]).unwrap();
+        let p1 = db.insert_atom(parts, vec![Value::Int(1)]).unwrap();
+        db.connect(comp, p0, p1).unwrap();
+        let (snap, rebuilt) = CsrSnapshot::rebuild(&db, None);
+        assert_eq!(rebuilt, 2, "cold build freezes everything");
+        // touch `composition` only
+        let p2 = db.insert_atom(parts, vec![Value::Int(2)]).unwrap();
+        db.connect(comp, p1, p2).unwrap();
+        let (snap2, rebuilt2) = CsrSnapshot::rebuild(&db, Some(&snap));
+        assert_eq!(rebuilt2, 1, "only the touched pair is re-frozen");
+        // the untouched `ab` adjacency is Arc-shared, not copied
+        assert!(std::ptr::eq(
+            snap.adjacency(ab, Direction::Fwd),
+            snap2.adjacency(ab, Direction::Fwd)
+        ));
+        // the rebuilt pair reflects the new link
+        assert_eq!(snap2.adjacency(comp, Direction::Fwd).partners_of(p1.slot), &[p2.slot]);
+        assert!(snap.adjacency(comp, Direction::Fwd).partners_of(p1.slot).is_empty());
+        // slot horizons track the live database even for shared pairs
+        assert_eq!(snap2.slot_count(parts), 3);
     }
 
     #[test]

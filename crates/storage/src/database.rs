@@ -62,12 +62,21 @@ pub struct MinCardViolation {
     pub required: u32,
 }
 
-/// Version-stamped cache for the read-optimized [`CsrSnapshot`].
+/// Version-stamped cache for the read-optimized [`CsrSnapshot`], plus the
+/// statistics of the most recent (incremental) rebuild.
 ///
 /// Cloning a database yields a cold cache (snapshots are cheap to rebuild
 /// and sharing one across clones would couple their lifetimes).
 #[derive(Debug, Default)]
-struct CsrCache(Mutex<Option<(u64, Arc<CsrSnapshot>)>>);
+struct CsrCache(Mutex<CsrCacheState>);
+
+#[derive(Debug, Default)]
+struct CsrCacheState {
+    /// The cached snapshot and the structural version it was built at.
+    snap: Option<(u64, Arc<CsrSnapshot>)>,
+    /// `(rebuilt, total)` link-type CSR pairs of the last rebuild.
+    last_rebuild: Option<(usize, usize)>,
+}
 
 impl Clone for CsrCache {
     fn clone(&self) -> Self {
@@ -83,9 +92,17 @@ pub struct Database {
     links: Vec<LinkStore>,
     indexes: Vec<AttrIndex>,
     index_map: FxHashMap<(AtomTypeId, usize), usize>,
-    /// Bumped by every structural change (atom/link DML, DDL); stamps the
-    /// CSR snapshot cache.
-    version: u64,
+    /// Bumped by every **structural** change (atom/link DML, DDL); keys the
+    /// CSR snapshot cache. Attribute-only DML bumps `attr_version` instead
+    /// — it cannot change adjacency, so it must not invalidate the
+    /// snapshot.
+    structural_version: u64,
+    /// Bumped by attribute-only DML (`update_attr`).
+    attr_version: u64,
+    /// Per link type: bumped only when that link type's pair set changes
+    /// (successful connect/disconnect, delete cascade). Keys the
+    /// incremental CSR rebuild ([`CsrSnapshot::rebuild`]).
+    link_versions: Vec<u64>,
     csr: CsrCache,
 }
 
@@ -94,13 +111,16 @@ impl Database {
     pub fn new(schema: Schema) -> Self {
         let atoms = (0..schema.atom_type_count()).map(|_| AtomStore::new()).collect();
         let links = (0..schema.link_type_count()).map(|_| LinkStore::new()).collect();
+        let link_versions = vec![0; schema.link_type_count()];
         Database {
             schema,
             atoms,
             links,
             indexes: Vec::new(),
             index_map: FxHashMap::default(),
-            version: 0,
+            structural_version: 0,
+            attr_version: 0,
+            link_versions,
             csr: CsrCache::default(),
         }
     }
@@ -124,7 +144,7 @@ impl Database {
     pub fn add_atom_type(&mut self, def: AtomTypeDef) -> Result<AtomTypeId> {
         let id = self.schema.add_atom_type(def)?;
         self.atoms.push(AtomStore::new());
-        self.version += 1;
+        self.structural_version += 1;
         Ok(id)
     }
 
@@ -132,7 +152,8 @@ impl Database {
     pub fn add_link_type(&mut self, def: LinkTypeDef) -> Result<LinkTypeId> {
         let id = self.schema.add_link_type(def)?;
         self.links.push(LinkStore::new());
-        self.version += 1;
+        self.link_versions.push(0);
+        self.structural_version += 1;
         Ok(id)
     }
 
@@ -146,7 +167,9 @@ impl Database {
         let def = self.schema.atom_type(ty);
         let tuple = def.check_tuple(tuple)?;
         let slot = self.atoms[ty.0 as usize].insert(tuple);
-        self.version += 1;
+        // a fresh slot grows the type's slot horizon but cannot carry
+        // links yet: structural, but no per-link-type bump
+        self.structural_version += 1;
         let id = AtomId::new(ty, slot);
         // maintain indexes
         for idx_pos in self.indexes_of_type(ty) {
@@ -182,9 +205,13 @@ impl Database {
         }
         let mut removed_links = 0;
         for lt in self.schema.link_types_of(id.ty).to_vec() {
-            removed_links += self.links[lt.0 as usize].remove_atom(id);
+            let removed = self.links[lt.0 as usize].remove_atom(id);
+            if removed > 0 {
+                self.link_versions[lt.0 as usize] += 1;
+            }
+            removed_links += removed;
         }
-        self.version += 1;
+        self.structural_version += 1;
         Ok(removed_links)
     }
 
@@ -215,6 +242,9 @@ impl Database {
             idx.remove(&old, id);
             idx.insert(&value, id);
         }
+        // attribute-only DML: adjacency is untouched, so this must not
+        // invalidate the CSR snapshot (structural version stays put)
+        self.attr_version += 1;
         Ok(())
     }
 
@@ -313,8 +343,14 @@ impl Database {
                 });
             }
         }
-        self.version += 1;
-        Ok(self.links[lt.0 as usize].insert(side0, side1))
+        // bump only when the insert actually adds a link (mirrors
+        // `disconnect`): a no-op connect must not invalidate the cached
+        // CSR snapshot
+        let added = self.links[lt.0 as usize].insert(side0, side1);
+        if added {
+            self.bump_link(lt);
+        }
+        Ok(added)
     }
 
     /// Connect two atoms, inferring the orientation from their atom types.
@@ -350,9 +386,16 @@ impl Database {
         }
         let removed = self.links[lt.0 as usize].remove(side0, side1);
         if removed {
-            self.version += 1;
+            self.bump_link(lt);
         }
         Ok(removed)
+    }
+
+    /// One link type's pair set changed: bump its stamp and the structural
+    /// version.
+    fn bump_link(&mut self, lt: LinkTypeId) {
+        self.structural_version += 1;
+        self.link_versions[lt.0 as usize] += 1;
     }
 
     // ------------------------------------------------------------------
@@ -458,26 +501,47 @@ impl Database {
             .map_or(0, AtomStore::slots)
     }
 
-    /// The structural version stamp (bumped by every atom/link DML and DDL).
+    /// The structural version stamp (bumped by every adjacency- or
+    /// slot-horizon-changing DML and by DDL; **not** by attribute updates).
     pub fn version(&self) -> u64 {
-        self.version
+        self.structural_version
+    }
+
+    /// The attribute version stamp (bumped by `update_attr` only).
+    /// Attribute-only DML cannot change adjacency, so it is deliberately
+    /// excluded from the stamp that keys the CSR snapshot cache.
+    pub fn attr_version(&self) -> u64 {
+        self.attr_version
+    }
+
+    /// The per-link-type version stamp of `lt` (bumped only when that link
+    /// type's pair set changes); keys the incremental CSR rebuild.
+    pub fn link_version(&self, lt: LinkTypeId) -> u64 {
+        self.link_versions[lt.0 as usize]
     }
 
     /// The read-optimized [`CsrSnapshot`] of the current database state.
     ///
     /// Built on first use and cached; any structural change invalidates the
-    /// cache and the next call rebuilds. The returned [`Arc`] stays valid —
-    /// and frozen at its version — for as long as the caller holds it, so a
-    /// whole derivation runs against one consistent adjacency image.
+    /// cache and the next call rebuilds **incrementally** — only link types
+    /// whose per-link-type version moved are re-frozen, the rest share
+    /// their CSR pair with the previous snapshot ([`CsrSnapshot::rebuild`]).
+    /// The returned [`Arc`] stays valid — and frozen at its version — for
+    /// as long as the caller holds it, so a whole derivation (including
+    /// every worker of a parallel one) runs against one consistent
+    /// adjacency image.
     pub fn csr_snapshot(&self) -> Arc<CsrSnapshot> {
         let mut guard = self.csr.0.lock().unwrap();
-        if let Some((version, snap)) = guard.as_ref() {
-            if *version == self.version {
+        if let Some((version, snap)) = guard.snap.as_ref() {
+            if *version == self.structural_version {
                 return Arc::clone(snap);
             }
         }
-        let snap = Arc::new(CsrSnapshot::build(self));
-        *guard = Some((self.version, Arc::clone(&snap)));
+        let prev = guard.snap.take().map(|(_, s)| s);
+        let (snap, rebuilt) = CsrSnapshot::rebuild(self, prev.as_deref());
+        let snap = Arc::new(snap);
+        guard.last_rebuild = Some((rebuilt, self.schema.link_type_count()));
+        guard.snap = Some((self.structural_version, Arc::clone(&snap)));
         snap
     }
 
@@ -488,8 +552,17 @@ impl Database {
             .0
             .lock()
             .unwrap()
+            .snap
             .as_ref()
-            .is_some_and(|(v, _)| *v == self.version)
+            .is_some_and(|(v, _)| *v == self.structural_version)
+    }
+
+    /// `(rebuilt, total)` link-type CSR pairs of the most recent snapshot
+    /// (re)build, or `None` before the first build. EXPLAIN reports this to
+    /// show the incremental invalidation at work: after one `connect`, only
+    /// the touched pair is re-frozen.
+    pub fn csr_rebuild_stats(&self) -> Option<(usize, usize)> {
+        self.csr.0.lock().unwrap().last_rebuild
     }
 
     // ------------------------------------------------------------------
@@ -867,6 +940,80 @@ mod tests {
         assert_eq!(db.direction_from(sa, state).unwrap(), Direction::Fwd);
         assert_eq!(db.direction_from(sa, area).unwrap(), Direction::Bwd);
         assert!(db.direction_from(sa, edge).is_err());
+    }
+
+    #[test]
+    fn duplicate_connect_keeps_csr_snapshot_cached() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        assert!(db.connect(sa, s, a).unwrap());
+        let _ = db.csr_snapshot();
+        assert!(db.csr_is_warm());
+        let v = db.version();
+        // regression: a duplicate (no-op) connect used to bump the version
+        // before LinkStore::insert, invalidating the cache for nothing
+        assert!(!db.connect(sa, s, a).unwrap());
+        assert_eq!(db.version(), v, "no-op connect bumped the version");
+        assert!(db.csr_is_warm(), "no-op connect invalidated the snapshot");
+        // a no-op disconnect is equally invisible
+        let ghost_area = db.insert_atom(area, vec![Value::from(2)]).unwrap();
+        let _ = db.csr_snapshot();
+        assert!(!db.disconnect(sa, s, ghost_area).unwrap());
+        assert!(db.csr_is_warm(), "no-op disconnect invalidated the snapshot");
+    }
+
+    #[test]
+    fn update_attr_keeps_csr_snapshot_cached() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        let _ = db.csr_snapshot();
+        assert!(db.csr_is_warm());
+        let (structural, attrs) = (db.version(), db.attr_version());
+        // regression: attribute-only DML used to share the structural
+        // stamp, rebuilding adjacency that cannot have changed
+        db.update_attr(s, 1, Value::from(2.0)).unwrap();
+        assert_eq!(db.version(), structural, "update_attr bumped the structural version");
+        assert_eq!(db.attr_version(), attrs + 1, "update_attr must stamp the attr version");
+        assert!(db.csr_is_warm(), "update_attr invalidated the CSR snapshot");
+    }
+
+    #[test]
+    fn one_connect_rebuilds_only_the_touched_pair() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let edge = db.schema().atom_type_id("edge").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let ae = db.schema().link_type_id("area-edge").unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        let e = db.insert_atom(edge, vec![Value::from(1)]).unwrap();
+        db.connect(sa, s, a).unwrap();
+        db.connect(ae, a, e).unwrap();
+        let _ = db.csr_snapshot();
+        assert_eq!(db.csr_rebuild_stats(), Some((2, 2)), "cold build freezes every pair");
+        // one more link through `area-edge` only
+        let e2 = db.insert_atom(edge, vec![Value::from(2)]).unwrap();
+        db.connect(ae, a, e2).unwrap();
+        let _ = db.csr_snapshot();
+        assert_eq!(
+            db.csr_rebuild_stats(),
+            Some((1, 2)),
+            "only the touched link type is re-frozen"
+        );
+        // plain atom inserts move the slot horizon but re-freeze nothing
+        let _ = db.insert_atom(edge, vec![Value::from(3)]).unwrap();
+        let _ = db.csr_snapshot();
+        assert_eq!(db.csr_rebuild_stats(), Some((0, 2)));
+        // the cascade of a delete re-freezes exactly the link types it hit
+        db.delete_atom(a).unwrap();
+        let _ = db.csr_snapshot();
+        assert_eq!(db.csr_rebuild_stats(), Some((2, 2)), "cascade touched both link types");
     }
 
     #[test]

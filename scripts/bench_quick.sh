@@ -2,9 +2,52 @@
 # Perf-trajectory snapshot: run the two derivation benches in the bench
 # profile with --quick and merge their median ns/op into BENCH_derive.json.
 # Cargo runs bench binaries with the package dir as cwd, so the report
-# lands in crates/bench/. Future PRs diff this file to catch regressions.
+# lands in crates/bench/.
+#
+# After the run, the fresh numbers are diffed against the baseline
+# committed at HEAD and the per-bench % delta is printed, so every PR sees
+# its own perf regressions. The exit code is nonzero ONLY when a bench
+# present in the baseline is missing from the fresh run (a silently
+# dropped bench is a coverage bug; timing noise is not).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+REPORT=crates/bench/BENCH_derive.json
+BASELINE="$(mktemp)"
+trap 'rm -f "$BASELINE"' EXIT
+if git show HEAD:"$REPORT" > "$BASELINE" 2>/dev/null; then
+  have_baseline=1
+else
+  have_baseline=0
+  echo "no committed baseline at HEAD:$REPORT — skipping diff"
+fi
+
 cargo bench -p mad-bench --bench derivation_strategies -- --quick
 cargo bench -p mad-bench --bench restriction_pushdown -- --quick
-echo "merged results into $(pwd)/crates/bench/BENCH_derive.json"
+echo "merged results into $(pwd)/$REPORT"
+
+if [ "$have_baseline" = 1 ]; then
+  python3 - "$BASELINE" "$REPORT" <<'EOF'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+fresh = json.load(open(sys.argv[2]))
+
+missing = sorted(k for k in base if k not in fresh)
+width = max((len(k) for k in base), default=0)
+print(f"\n{'benchmark':<{width}}  {'baseline':>12}  {'fresh':>12}  {'delta':>8}")
+for k in sorted(base):
+    if k in missing:
+        continue
+    b, f = base[k], fresh[k]
+    delta = (f - b) / b * 100 if b else float("inf")
+    print(f"{k:<{width}}  {b:>12.1f}  {f:>12.1f}  {delta:>+7.1f}%")
+for k in sorted(k for k in fresh if k not in base):
+    print(f"{k:<{width}}  {'-':>12}  {fresh[k]:>12.1f}      new")
+if missing:
+    print("\nMISSING from fresh run (baseline benches that no longer report):")
+    for k in missing:
+        print(f"  {k}")
+    sys.exit(1)
+EOF
+fi
