@@ -1,0 +1,122 @@
+//! B8 — concurrent multi-session serving over one shared `DbHandle`.
+//!
+//! Three measurements of the transaction subsystem:
+//!
+//! * `txn_commit` — latency of one uncontended transaction (begin → one
+//!   atomic insert group → commit) against a pre-populated database: the
+//!   cost of the CoW fork, the op log, and the fast-path publish.
+//! * `snapshot_read` — latency of one committed-snapshot derivation while
+//!   the handle keeps absorbing commits between iterations: readers must
+//!   never pay more than the plain single-owner derivation plus one `Arc`
+//!   clone.
+//! * `mixed_rw_rNwM` — wall clock of a whole mixed scenario (N readers +
+//!   M writers to completion, isolation invariants verified online).
+//!
+//! Run with `-- --quick` to merge median ns/op into `BENCH_derive.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mad_core::derive::{derive_molecules, DeriveOptions, Strategy};
+use mad_core::structure::path;
+use mad_model::Value;
+use mad_txn::{DbHandle, Transaction};
+use mad_workload::{mixed_database, run_mixed, MixedParams};
+use std::time::Duration;
+
+fn populated_handle(groups: i64) -> DbHandle {
+    let mut db = mixed_database().unwrap();
+    let state = db.schema().atom_type_id("state").unwrap();
+    let area = db.schema().atom_type_id("area").unwrap();
+    let sa = db.schema().link_type_id("state-area").unwrap();
+    for i in 0..groups {
+        let s = db
+            .insert_atom(state, vec![Value::from(format!("seed{i}")), Value::from(1.0)])
+            .unwrap();
+        let ids = db
+            .insert_atoms(area, (0..4).map(|j| vec![Value::from(i * 10 + j)]))
+            .unwrap();
+        for a in ids {
+            db.connect(sa, s, a).unwrap();
+        }
+    }
+    let _ = db.csr_snapshot();
+    DbHandle::new(db)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B8_concurrent_sessions");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    // ------------------------------------------------------------------
+    let handle = populated_handle(500);
+    let state = handle.committed().schema().atom_type_id("state").unwrap();
+    let area = handle.committed().schema().atom_type_id("area").unwrap();
+    let sa = handle.committed().schema().link_type_id("state-area").unwrap();
+    let mut n = 0i64;
+    group.bench_function("txn_commit", |b| {
+        b.iter(|| {
+            let mut t = Transaction::begin(&handle);
+            let s = t
+                .insert_atom(state, vec![Value::from(format!("b{n}")), Value::from(2.0)])
+                .unwrap();
+            let ids = t
+                .insert_atoms(area, (0..4).map(|j| vec![Value::from(n * 10 + j)]).collect())
+                .unwrap();
+            for a in ids {
+                t.connect(sa, s, a).unwrap();
+            }
+            n += 1;
+            t.commit().unwrap()
+        })
+    });
+
+    // ------------------------------------------------------------------
+    let handle = populated_handle(500);
+    let md = path(handle.committed().schema(), &["state", "area"]).unwrap();
+    let opts = DeriveOptions::with_strategy(Strategy::Bitset);
+    let mut n = 0i64;
+    group.bench_function("snapshot_read", |b| {
+        b.iter(|| {
+            // one commit lands between reads, as under live write traffic
+            let mut t = Transaction::begin(&handle);
+            t.update_attr(
+                mad_model::AtomId::new(state, 0),
+                1,
+                Value::from(n as f64),
+            )
+            .unwrap();
+            n += 1;
+            t.commit().unwrap();
+            let snap = handle.committed();
+            derive_molecules(&snap, &md, &opts).unwrap()
+        })
+    });
+
+    // ------------------------------------------------------------------
+    for (label, readers, writers) in [("r2w2", 2usize, 2usize), ("r1w4", 1, 4)] {
+        group.bench_function(format!("mixed_rw_{label}"), |b| {
+            b.iter(|| {
+                let handle = DbHandle::new(mixed_database().unwrap());
+                let stats = run_mixed(
+                    &handle,
+                    &MixedParams {
+                        readers,
+                        writers,
+                        txns_per_writer: 5,
+                        areas_per_state: 3,
+                        seed: 99,
+                    },
+                )
+                .unwrap();
+                assert_eq!(stats.inconsistencies, 0);
+                stats
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

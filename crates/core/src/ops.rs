@@ -268,6 +268,15 @@ impl Engine {
         &mut self.db
     }
 
+    /// Swap the engine's database for a fresh image (the session layer uses
+    /// this to re-sync with a shared handle's committed state), returning
+    /// the old one. Provenance entries referring to derived types of the
+    /// old image become inert: they are only consulted for atoms of
+    /// molecule types built over that image.
+    pub fn replace_db(&mut self, db: Database) -> Database {
+        std::mem::replace(&mut self.db, db)
+    }
+
     /// The provenance registry.
     pub fn provenance(&self) -> &Provenance {
         &self.prov
@@ -1482,7 +1491,7 @@ mod tests {
         let mt1 = e.define("states", md1).unwrap();
         let mt2 = e.define("rivers", md2).unwrap();
         let x = e.product(&mt1, &mt2, "states_x_rivers").unwrap();
-        assert_eq!(x.len(), 2 * 1);
+        assert_eq!(x.len(), 2, "2 states × 1 river");
         assert_eq!(x.structure.node_count(), 1 + 2 + 2);
         assert_eq!(x.structure.root_node().alias, "pair");
         e.verify_closure(&x).unwrap();

@@ -55,6 +55,22 @@ pub enum MadError {
     /// Recursion-specific failure (depth bound exceeded while a finite
     /// unfolding was required).
     Recursion { detail: String },
+    /// A transaction failed first-committer-wins validation: another
+    /// transaction committed an overlapping write since this one's begin
+    /// snapshot. The transaction is aborted; retrying against a fresh
+    /// snapshot is the standard response.
+    TxnConflict { detail: String },
+    /// A transaction-control operation in an invalid state (BEGIN inside an
+    /// open transaction, COMMIT/ABORT without one).
+    TxnState { detail: String },
+    /// A statement inside a multi-statement script failed; wraps the
+    /// underlying error with the 0-based statement index and its source
+    /// text so transaction scripts can be debugged without bisecting.
+    Script {
+        index: usize,
+        statement: String,
+        source: Box<MadError>,
+    },
 }
 
 impl MadError {
@@ -85,6 +101,30 @@ impl MadError {
     pub fn structure(detail: impl Into<String>) -> Self {
         MadError::InvalidStructure {
             detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::TxnConflict`].
+    pub fn txn_conflict(detail: impl Into<String>) -> Self {
+        MadError::TxnConflict {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::TxnState`].
+    pub fn txn_state(detail: impl Into<String>) -> Self {
+        MadError::TxnState {
+            detail: detail.into(),
+        }
+    }
+
+    /// Is this (or, for a [`MadError::Script`] wrapper, its root cause) a
+    /// serialization conflict the caller should retry?
+    pub fn is_conflict(&self) -> bool {
+        match self {
+            MadError::TxnConflict { .. } => true,
+            MadError::Script { source, .. } => source.is_conflict(),
+            _ => false,
         }
     }
 }
@@ -131,6 +171,15 @@ impl fmt::Display for MadError {
             MadError::Analysis { detail } => write!(f, "MQL analysis error: {detail}"),
             MadError::Snapshot { detail } => write!(f, "snapshot error: {detail}"),
             MadError::Recursion { detail } => write!(f, "recursion error: {detail}"),
+            MadError::TxnConflict { detail } => {
+                write!(f, "transaction conflict: {detail}")
+            }
+            MadError::TxnState { detail } => write!(f, "transaction state error: {detail}"),
+            MadError::Script {
+                index,
+                statement,
+                source,
+            } => write!(f, "statement {index} (`{statement}`): {source}"),
         }
     }
 }

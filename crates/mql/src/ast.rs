@@ -57,6 +57,12 @@ pub enum Statement {
         /// Attribute assignments.
         sets: Vec<(String, Lit)>,
     },
+    /// `BEGIN [TRANSACTION]` — open a snapshot-isolated transaction.
+    Begin,
+    /// `COMMIT` — validate and publish the open transaction.
+    Commit,
+    /// `ABORT` (or `ROLLBACK`) — drop the open transaction's overlay.
+    Abort,
 }
 
 /// `SELECT projection FROM from [WHERE expr]`.

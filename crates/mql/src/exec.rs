@@ -11,6 +11,8 @@ use mad_core::recursive::{derive_recursive, RecursiveMolecule, RecursiveSpec};
 use mad_core::structure::MoleculeStructure;
 use mad_model::{AtomId, FxHashMap, MadError, Result, Value};
 use mad_storage::database::Direction;
+use mad_storage::Database;
+use mad_txn::Transaction;
 
 /// The result of executing one MQL statement.
 #[derive(Debug)]
@@ -41,6 +43,198 @@ pub enum StatementResult {
         /// Number of atoms updated.
         atoms: usize,
     },
+    /// BEGIN opened a transaction.
+    Began,
+    /// COMMIT validated and published the transaction.
+    Committed {
+        /// Number of DML operations published.
+        ops: usize,
+        /// Transaction-born atoms whose committed id differs from the
+        /// provisional id reported by the in-transaction INSERT (possible
+        /// only when other sessions committed inserts of the same type
+        /// concurrently). Callers that stored provisional ids must map
+        /// them through this before further use.
+        remap: FxHashMap<AtomId, AtomId>,
+    },
+    /// ABORT dropped the transaction's overlay.
+    Aborted,
+}
+
+/// The write side of DML execution: either a [`Database`] mutated directly
+/// (autocommit / single-owner sessions) or a [`Transaction`] overlay (DML
+/// inside `BEGIN … COMMIT`, logged and validated at commit). Both expose a
+/// read view for selector resolution — for a transaction that view includes
+/// its own uncommitted writes.
+pub trait DmlTarget {
+    /// The database state selectors and schema lookups resolve against.
+    fn view(&self) -> &Database;
+    /// Insert an atom.
+    fn insert_atom(&mut self, ty: mad_model::AtomTypeId, tuple: Vec<Value>) -> Result<AtomId>;
+    /// Delete an atom (cascading links); returns the cascade count.
+    fn delete_atom(&mut self, id: AtomId) -> Result<usize>;
+    /// Update one attribute.
+    fn update_attr(&mut self, id: AtomId, attr: usize, value: Value) -> Result<()>;
+    /// Connect with explicit orientation.
+    fn connect(&mut self, lt: mad_model::LinkTypeId, side0: AtomId, side1: AtomId) -> Result<bool>;
+    /// Connect, inferring orientation (non-reflexive link types).
+    fn connect_sym(&mut self, lt: mad_model::LinkTypeId, a: AtomId, b: AtomId) -> Result<bool>;
+    /// Remove an oriented link.
+    fn disconnect(
+        &mut self,
+        lt: mad_model::LinkTypeId,
+        side0: AtomId,
+        side1: AtomId,
+    ) -> Result<bool>;
+}
+
+impl DmlTarget for Database {
+    fn view(&self) -> &Database {
+        self
+    }
+    fn insert_atom(&mut self, ty: mad_model::AtomTypeId, tuple: Vec<Value>) -> Result<AtomId> {
+        Database::insert_atom(self, ty, tuple)
+    }
+    fn delete_atom(&mut self, id: AtomId) -> Result<usize> {
+        Database::delete_atom(self, id)
+    }
+    fn update_attr(&mut self, id: AtomId, attr: usize, value: Value) -> Result<()> {
+        Database::update_attr(self, id, attr, value)
+    }
+    fn connect(&mut self, lt: mad_model::LinkTypeId, side0: AtomId, side1: AtomId) -> Result<bool> {
+        Database::connect(self, lt, side0, side1)
+    }
+    fn connect_sym(&mut self, lt: mad_model::LinkTypeId, a: AtomId, b: AtomId) -> Result<bool> {
+        Database::connect_sym(self, lt, a, b)
+    }
+    fn disconnect(
+        &mut self,
+        lt: mad_model::LinkTypeId,
+        side0: AtomId,
+        side1: AtomId,
+    ) -> Result<bool> {
+        Database::disconnect(self, lt, side0, side1)
+    }
+}
+
+impl DmlTarget for Transaction {
+    fn view(&self) -> &Database {
+        self.db()
+    }
+    fn insert_atom(&mut self, ty: mad_model::AtomTypeId, tuple: Vec<Value>) -> Result<AtomId> {
+        Transaction::insert_atom(self, ty, tuple)
+    }
+    fn delete_atom(&mut self, id: AtomId) -> Result<usize> {
+        Transaction::delete_atom(self, id)
+    }
+    fn update_attr(&mut self, id: AtomId, attr: usize, value: Value) -> Result<()> {
+        Transaction::update_attr(self, id, attr, value)
+    }
+    fn connect(&mut self, lt: mad_model::LinkTypeId, side0: AtomId, side1: AtomId) -> Result<bool> {
+        Transaction::connect(self, lt, side0, side1)
+    }
+    fn connect_sym(&mut self, lt: mad_model::LinkTypeId, a: AtomId, b: AtomId) -> Result<bool> {
+        Transaction::connect_sym(self, lt, a, b)
+    }
+    fn disconnect(
+        &mut self,
+        lt: mad_model::LinkTypeId,
+        side0: AtomId,
+        side1: AtomId,
+    ) -> Result<bool> {
+        Transaction::disconnect(self, lt, side0, side1)
+    }
+}
+
+/// Is `stmt` a manipulation statement (routed through a [`DmlTarget`])?
+pub fn is_dml(stmt: &Statement) -> bool {
+    matches!(
+        stmt,
+        Statement::InsertAtom { .. }
+            | Statement::Connect { .. }
+            | Statement::Disconnect { .. }
+            | Statement::DeleteAtom { .. }
+            | Statement::Update { .. }
+    )
+}
+
+/// Execute a manipulation statement against any [`DmlTarget`].
+pub fn execute_dml<W: DmlTarget>(target: &mut W, stmt: &Statement) -> Result<StatementResult> {
+    match stmt {
+        Statement::InsertAtom { atom_type, values } => {
+            let ty = target.view().schema().atom_type_id(atom_type)?;
+            let def = target.view().schema().atom_type(ty).clone();
+            let mut tuple = vec![Value::Null; def.arity()];
+            for (attr, lit) in values {
+                let pos = def.attr_index(attr).ok_or_else(|| MadError::Analysis {
+                    detail: format!("atom type `{atom_type}` has no attribute `{attr}`"),
+                })?;
+                tuple[pos] = lit.to_value();
+            }
+            let id = target.insert_atom(ty, tuple)?;
+            Ok(StatementResult::Inserted(id))
+        }
+        Statement::Connect { from, to, link } => {
+            let lt = target.view().schema().link_type_id(link)?;
+            let a = select_one(target.view(), from)?;
+            let b = select_one(target.view(), to)?;
+            let added = if target.view().schema().link_type(lt).is_reflexive() {
+                target.connect(lt, a, b)?
+            } else {
+                target.connect_sym(lt, a, b)?
+            };
+            Ok(StatementResult::Connected(added))
+        }
+        Statement::Disconnect { from, to, link } => {
+            let lt = target.view().schema().link_type_id(link)?;
+            let a = select_one(target.view(), from)?;
+            let b = select_one(target.view(), to)?;
+            let def = target.view().schema().link_type(lt).clone();
+            // reflexive link types take the selectors as written (side 0 =
+            // `from`); otherwise orient by endpoint type
+            let removed = if def.is_reflexive() || a.ty == def.ends[0] {
+                target.disconnect(lt, a, b)?
+            } else {
+                target.disconnect(lt, b, a)?
+            };
+            Ok(StatementResult::Disconnected(removed))
+        }
+        Statement::DeleteAtom { selector } => {
+            let ids = select_atoms(target.view(), selector)?;
+            let mut links = 0usize;
+            let count = ids.len();
+            for id in ids {
+                links += target.delete_atom(id)?;
+            }
+            Ok(StatementResult::Deleted {
+                atoms: count,
+                links,
+            })
+        }
+        Statement::Update { selector, sets } => {
+            let ids = select_atoms(target.view(), selector)?;
+            let ty = target.view().schema().atom_type_id(&selector.atom_type)?;
+            let def = target.view().schema().atom_type(ty).clone();
+            let mut resolved = Vec::with_capacity(sets.len());
+            for (attr, lit) in sets {
+                let pos = def.attr_index(attr).ok_or_else(|| MadError::Analysis {
+                    detail: format!(
+                        "atom type `{}` has no attribute `{attr}`",
+                        selector.atom_type
+                    ),
+                })?;
+                resolved.push((pos, lit.to_value()));
+            }
+            for &id in &ids {
+                for (pos, v) in &resolved {
+                    target.update_attr(id, *pos, v.clone())?;
+                }
+            }
+            Ok(StatementResult::Updated { atoms: ids.len() })
+        }
+        other => Err(MadError::Analysis {
+            detail: format!("not a DML statement: {other:?}"),
+        }),
+    }
 }
 
 /// Execute an analyzed statement against `engine`, resolving named molecule
@@ -58,83 +252,20 @@ pub fn execute(
             catalog.insert(name.clone(), md);
             Ok(StatementResult::Defined(name.clone()))
         }
-        Statement::InsertAtom { atom_type, values } => {
-            let ty = engine.db().schema().atom_type_id(atom_type)?;
-            let def = engine.db().schema().atom_type(ty).clone();
-            let mut tuple = vec![Value::Null; def.arity()];
-            for (attr, lit) in values {
-                let pos = def.attr_index(attr).ok_or_else(|| MadError::Analysis {
-                    detail: format!("atom type `{atom_type}` has no attribute `{attr}`"),
-                })?;
-                tuple[pos] = lit.to_value();
-            }
-            let id = engine.db_mut().insert_atom(ty, tuple)?;
-            Ok(StatementResult::Inserted(id))
-        }
-        Statement::Connect { from, to, link } => {
-            let lt = engine.db().schema().link_type_id(link)?;
-            let a = select_one(engine, from)?;
-            let b = select_one(engine, to)?;
-            let added = if engine.db().schema().link_type(lt).is_reflexive() {
-                engine.db_mut().connect(lt, a, b)?
-            } else {
-                engine.db_mut().connect_sym(lt, a, b)?
-            };
-            Ok(StatementResult::Connected(added))
-        }
-        Statement::Disconnect { from, to, link } => {
-            let lt = engine.db().schema().link_type_id(link)?;
-            let a = select_one(engine, from)?;
-            let b = select_one(engine, to)?;
-            let def = engine.db().schema().link_type(lt).clone();
-            // reflexive link types take the selectors as written (side 0 =
-            // `from`); otherwise orient by endpoint type
-            let removed = if def.is_reflexive() || a.ty == def.ends[0] {
-                engine.db_mut().disconnect(lt, a, b)?
-            } else {
-                engine.db_mut().disconnect(lt, b, a)?
-            };
-            Ok(StatementResult::Disconnected(removed))
-        }
-        Statement::DeleteAtom { selector } => {
-            let ids = select_atoms(engine, selector)?;
-            let mut links = 0usize;
-            let count = ids.len();
-            for id in ids {
-                links += engine.db_mut().delete_atom(id)?;
-            }
-            Ok(StatementResult::Deleted {
-                atoms: count,
-                links,
-            })
-        }
-        Statement::Update { selector, sets } => {
-            let ids = select_atoms(engine, selector)?;
-            let ty = engine.db().schema().atom_type_id(&selector.atom_type)?;
-            let def = engine.db().schema().atom_type(ty).clone();
-            let mut resolved = Vec::with_capacity(sets.len());
-            for (attr, lit) in sets {
-                let pos = def.attr_index(attr).ok_or_else(|| MadError::Analysis {
-                    detail: format!(
-                        "atom type `{}` has no attribute `{attr}`",
-                        selector.atom_type
-                    ),
-                })?;
-                resolved.push((pos, lit.to_value()));
-            }
-            for &id in &ids {
-                for (pos, v) in &resolved {
-                    engine.db_mut().update_attr(id, *pos, v.clone())?;
-                }
-            }
-            Ok(StatementResult::Updated { atoms: ids.len() })
-        }
+        Statement::InsertAtom { .. }
+        | Statement::Connect { .. }
+        | Statement::Disconnect { .. }
+        | Statement::DeleteAtom { .. }
+        | Statement::Update { .. } => execute_dml(engine.db_mut(), stmt),
+        Statement::Begin | Statement::Commit | Statement::Abort => Err(MadError::txn_state(
+            "transaction control statements are handled by the session",
+        )),
     }
 }
 
-fn select_atoms(engine: &Engine, sel: &AtomSelector) -> Result<Vec<AtomId>> {
-    let ty = engine.db().schema().atom_type_id(&sel.atom_type)?;
-    let def = engine.db().schema().atom_type(ty);
+fn select_atoms(db: &Database, sel: &AtomSelector) -> Result<Vec<AtomId>> {
+    let ty = db.schema().atom_type_id(&sel.atom_type)?;
+    let def = db.schema().atom_type(ty);
     let pos = def.attr_index(&sel.attr).ok_or_else(|| MadError::Analysis {
         detail: format!(
             "atom type `{}` has no attribute `{}`",
@@ -143,19 +274,18 @@ fn select_atoms(engine: &Engine, sel: &AtomSelector) -> Result<Vec<AtomId>> {
     })?;
     let needle = sel.value.to_value();
     // use an index when one exists
-    if let Some(hits) = engine.db().lookup_eq(ty, pos, &needle) {
+    if let Some(hits) = db.lookup_eq(ty, pos, &needle) {
         return Ok(hits.to_vec());
     }
-    Ok(engine
-        .db()
+    Ok(db
         .atoms_of(ty)
         .filter(|(_, t)| t[pos].sql_cmp(&needle) == Some(std::cmp::Ordering::Equal))
         .map(|(id, _)| id)
         .collect())
 }
 
-fn select_one(engine: &Engine, sel: &AtomSelector) -> Result<AtomId> {
-    let hits = select_atoms(engine, sel)?;
+fn select_one(db: &Database, sel: &AtomSelector) -> Result<AtomId> {
+    let hits = select_atoms(db, sel)?;
     match hits.as_slice() {
         [one] => Ok(*one),
         [] => Err(MadError::Analysis {

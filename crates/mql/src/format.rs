@@ -47,6 +47,17 @@ pub fn render_result(db: &Database, result: &StatementResult) -> String {
             format!("deleted {atoms} atom(s), cascaded {links} link(s)\n")
         }
         StatementResult::Updated { atoms } => format!("updated {atoms} atom(s)\n"),
+        StatementResult::Began => "transaction started\n".to_owned(),
+        StatementResult::Committed { ops, remap } if remap.is_empty() => {
+            format!("committed {ops} operation(s)\n")
+        }
+        StatementResult::Committed { ops, remap } => {
+            format!(
+                "committed {ops} operation(s); {} inserted atom(s) remapped\n",
+                remap.len()
+            )
+        }
+        StatementResult::Aborted => "transaction aborted\n".to_owned(),
     }
 }
 

@@ -47,6 +47,11 @@ pub enum Kw {
     True,
     False,
     Null,
+    Begin,
+    Transaction,
+    Commit,
+    Abort,
+    Rollback,
 }
 
 fn keyword(s: &str) -> Option<Kw> {
@@ -86,6 +91,11 @@ fn keyword(s: &str) -> Option<Kw> {
         "TRUE" => Kw::True,
         "FALSE" => Kw::False,
         "NULL" => Kw::Null,
+        "BEGIN" => Kw::Begin,
+        "TRANSACTION" => Kw::Transaction,
+        "COMMIT" => Kw::Commit,
+        "ABORT" => Kw::Abort,
+        "ROLLBACK" => Kw::Rollback,
         _ => return None,
     })
 }

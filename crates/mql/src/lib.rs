@@ -38,6 +38,7 @@ pub mod parser;
 pub mod session;
 
 pub use exec::StatementResult;
+pub use mad_txn::{DbHandle, Transaction};
 pub use session::Session;
 
 /// Parse a single MQL statement into its AST (lex + parse only).

@@ -107,6 +107,19 @@ impl<'a> Parser<'a> {
             Some(Tok::Kw(Kw::Disconnect)) => self.connect(true)?,
             Some(Tok::Kw(Kw::Delete)) => self.delete()?,
             Some(Tok::Kw(Kw::Update)) => self.update()?,
+            Some(Tok::Kw(Kw::Begin)) => {
+                self.pos += 1;
+                self.eat_kw(Kw::Transaction); // optional noise word
+                Statement::Begin
+            }
+            Some(Tok::Kw(Kw::Commit)) => {
+                self.pos += 1;
+                Statement::Commit
+            }
+            Some(Tok::Kw(Kw::Abort)) | Some(Tok::Kw(Kw::Rollback)) => {
+                self.pos += 1;
+                Statement::Abort
+            }
             _ => return Err(self.err("expected a statement keyword")),
         };
         self.eat(&Tok::Semi);

@@ -1,42 +1,108 @@
-//! The MQL session: a database + engine + named-molecule-type catalog.
+//! The MQL session: a database + engine + named-molecule-type catalog,
+//! with transactions and shared-handle serving.
 //!
 //! A [`Session`] is the user-facing entry point of the reproduction: feed it
 //! MQL text, get molecule sets back. This mirrors the PRIMA architecture
 //! (§5): the session's `Engine` is the molecule-processing component, the
 //! `Database` underneath is the atom-oriented component.
+//!
+//! ## Two ownership modes
+//!
+//! * **Single-owner** ([`Session::new`] / [`Session::with_engine`]): the
+//!   session owns its database; outside a transaction every statement
+//!   applies directly (exactly the pre-transaction behavior — autocommit).
+//!   `BEGIN` wraps the current state in a throwaway [`DbHandle`] and runs
+//!   the real `mad_txn` machinery against it, so `ABORT` restores the
+//!   pre-transaction state bit for bit.
+//! * **Shared** ([`Session::shared`]): many sessions — typically one per
+//!   serving thread — hold clones of one [`DbHandle`]. Queries run against
+//!   the session's fork of the committed snapshot (refreshed when other
+//!   sessions commit); each DML statement outside a transaction is an
+//!   implicit single-op transaction (autocommit); `BEGIN … COMMIT` groups
+//!   statements into one atomic, snapshot-isolated unit whose SELECTs read
+//!   through the transaction's own write overlay.
 
 use crate::ast::Statement;
-use crate::exec::{execute, StatementResult};
+use crate::exec::{execute, execute_dml, is_dml, StatementResult};
 use mad_core::derive::Strategy;
 use mad_core::ops::Engine;
 use mad_core::structure::MoleculeStructure;
-use mad_model::{FxHashMap, Result};
+use mad_model::{FxHashMap, MadError, Result};
 use mad_storage::Database;
+use mad_txn::{CommitInfo, DbHandle, Transaction};
+
+/// The open transaction of a session: the overlay plus a query engine over
+/// a fork of the overlay view (kept so consecutive in-transaction SELECTs
+/// share one consistently-enlarged database image).
+struct ActiveTxn {
+    handle: DbHandle,
+    txn: Transaction,
+    qe: Engine,
+}
 
 /// An MQL session.
 pub struct Session {
     engine: Engine,
     catalog: FxHashMap<String, MoleculeStructure>,
+    /// `Some` when serving a shared database through a [`DbHandle`].
+    shared: Option<DbHandle>,
+    /// Commit sequence the engine's database fork was taken at (shared
+    /// mode; used to detect staleness after other sessions commit).
+    base_seq: u64,
+    /// The open explicit transaction, if any.
+    txn: Option<ActiveTxn>,
 }
 
 impl Session {
-    /// Open a session over a database.
+    /// Open a single-owner session over a database.
     pub fn new(db: Database) -> Self {
         Session {
             engine: Engine::new(db),
             catalog: FxHashMap::default(),
+            shared: None,
+            base_seq: 0,
+            txn: None,
         }
     }
 
-    /// Open a session over an existing engine (keeps its provenance/trace).
+    /// Open a single-owner session over an existing engine (keeps its
+    /// provenance/trace).
     pub fn with_engine(engine: Engine) -> Self {
         Session {
             engine,
             catalog: FxHashMap::default(),
+            shared: None,
+            base_seq: 0,
+            txn: None,
         }
     }
 
-    /// The underlying engine.
+    /// Open a session over a shared [`DbHandle`]. Any number of sessions
+    /// (across threads) may serve the same handle concurrently; each sees
+    /// consistent committed snapshots and commits through `mad_txn`.
+    pub fn shared(handle: DbHandle) -> Self {
+        let (db, base_seq) = handle.fork();
+        Session {
+            engine: Engine::new(db),
+            catalog: FxHashMap::default(),
+            shared: Some(handle),
+            base_seq,
+            txn: None,
+        }
+    }
+
+    /// The shared handle this session serves, if it is in shared mode.
+    pub fn handle(&self) -> Option<&DbHandle> {
+        self.shared.as_ref()
+    }
+
+    /// Is an explicit transaction (`BEGIN` without `COMMIT`/`ABORT`) open?
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// The underlying engine (the autocommit one; an open transaction's
+    /// scratch engine is internal).
     pub fn engine(&self) -> &Engine {
         &self.engine
     }
@@ -46,9 +112,14 @@ impl Session {
         &mut self.engine
     }
 
-    /// The database.
+    /// The database this session currently reads: inside a transaction the
+    /// transaction's view (its own writes included), otherwise the
+    /// session's working image.
     pub fn db(&self) -> &Database {
-        self.engine.db()
+        match &self.txn {
+            Some(active) => active.qe.db(),
+            None => self.engine.db(),
+        }
     }
 
     /// The derivation strategy SELECT statements run with. Defaults to
@@ -102,16 +173,167 @@ impl Session {
 
     /// Execute an already-parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
-        execute(&mut self.engine, &mut self.catalog, stmt)
+        match stmt {
+            Statement::Begin => self.begin().map(|_| StatementResult::Began),
+            Statement::Commit => self.commit().map(|info| StatementResult::Committed {
+                ops: info.ops,
+                remap: info.remap,
+            }),
+            Statement::Abort => self.abort().map(|_| StatementResult::Aborted),
+            _ if self.txn.is_some() => self.execute_in_txn(stmt),
+            _ if self.shared.is_some() && is_dml(stmt) => self.execute_autocommit_dml(stmt),
+            _ => {
+                self.refresh_if_stale();
+                execute(&mut self.engine, &mut self.catalog, stmt)
+            }
+        }
     }
 
     /// Execute a script of `;`-separated statements, returning every result.
+    /// A failing statement aborts the script and reports **which** statement
+    /// failed ([`MadError::Script`]: 0-based index plus source text) — an
+    /// open transaction the script started stays open, so the caller decides
+    /// between `ABORT` and repair.
     pub fn execute_script(&mut self, script: &str) -> Result<Vec<StatementResult>> {
         let mut results = Vec::new();
-        for stmt_src in split_statements(script) {
-            results.push(self.execute(&stmt_src)?);
+        for (index, stmt_src) in split_statements(script).into_iter().enumerate() {
+            match self.execute(&stmt_src) {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    return Err(MadError::Script {
+                        index,
+                        statement: stmt_src,
+                        source: Box::new(e),
+                    })
+                }
+            }
         }
         Ok(results)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Open a snapshot-isolated transaction (the `BEGIN` statement).
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(MadError::txn_state(
+                "a transaction is already open (COMMIT or ABORT it first)",
+            ));
+        }
+        self.refresh_if_stale();
+        let handle = match &self.shared {
+            Some(h) => h.clone(),
+            // single-owner mode: wrap the current state in a throwaway
+            // handle so the full mad_txn machinery (overlay, op log,
+            // atomic publish) runs identically
+            None => DbHandle::new(self.engine.db().clone()),
+        };
+        let txn = Transaction::begin(&handle);
+        let qe = self.fork_query_engine(&txn);
+        self.txn = Some(ActiveTxn { handle, txn, qe });
+        Ok(())
+    }
+
+    /// Validate and publish the open transaction (the `COMMIT` statement).
+    /// On conflict the transaction is aborted (state as before `BEGIN` for
+    /// everything this session had not committed) and the error returned.
+    pub fn commit(&mut self) -> Result<CommitInfo> {
+        let active = self
+            .txn
+            .take()
+            .ok_or_else(|| MadError::txn_state("no open transaction to COMMIT"))?;
+        let info = active.txn.commit()?;
+        // re-sync the session's working image with the committed state
+        // (covers both the throwaway owner-mode handle and the shared one)
+        let (db, seq) = active.handle.fork();
+        self.engine.replace_db(db);
+        self.base_seq = seq;
+        Ok(info)
+    }
+
+    /// Drop the open transaction's overlay (the `ABORT` statement). The
+    /// session's state is exactly what it was before `BEGIN`.
+    pub fn abort(&mut self) -> Result<()> {
+        let active = self
+            .txn
+            .take()
+            .ok_or_else(|| MadError::txn_state("no open transaction to ABORT"))?;
+        active.txn.abort();
+        Ok(())
+    }
+
+    /// A fresh query engine over a fork of the transaction's view, carrying
+    /// the session's strategy preference. Queries enlarge this scratch fork
+    /// (propagation writes derived types into it) rather than the overlay,
+    /// so a committed transaction publishes only its logged DML.
+    fn fork_query_engine(&self, txn: &Transaction) -> Engine {
+        let mut qe = Engine::new(txn.db().clone());
+        qe.set_preferred_strategy(Some(self.engine.preferred_strategy()));
+        qe
+    }
+
+    fn execute_in_txn(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        if is_dml(stmt) {
+            let active = self.txn.as_mut().expect("caller checked txn presence");
+            let result = execute_dml(&mut active.txn, stmt)?;
+            // the overlay changed: rebuild the query view over it
+            let active = self.txn.take().expect("still present");
+            let qe = self.fork_query_engine(&active.txn);
+            self.txn = Some(ActiveTxn { qe, ..active });
+            Ok(result)
+        } else {
+            let active = self.txn.as_mut().expect("caller checked txn presence");
+            execute(&mut active.qe, &mut self.catalog, stmt)
+        }
+    }
+
+    /// One DML statement in shared autocommit mode: an implicit
+    /// transaction — begin, apply, commit, refresh. The user never asked
+    /// for a transaction, so a first-committer-wins conflict is retried
+    /// internally against a fresh snapshot (the statement is
+    /// self-contained: selectors re-resolve on every attempt) instead of
+    /// surfacing as a spurious error; statement-level errors (unknown
+    /// names, integrity violations) propagate on the first attempt.
+    fn execute_autocommit_dml(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        const MAX_RETRIES: usize = 16;
+        let handle = self.shared.clone().expect("caller checked shared mode");
+        let mut attempt = 0;
+        loop {
+            let mut txn = Transaction::begin(&handle);
+            let mut result = execute_dml(&mut txn, stmt)?;
+            match txn.commit() {
+                Ok(info) => {
+                    // a concurrent committer may have shifted our fresh
+                    // atom's slot
+                    if let StatementResult::Inserted(id) = &mut result {
+                        *id = info.resolve(*id);
+                    }
+                    let (db, seq) = handle.fork();
+                    self.engine.replace_db(db);
+                    self.base_seq = seq;
+                    return Ok(result);
+                }
+                Err(e) if e.is_conflict() && attempt < MAX_RETRIES => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Shared mode: re-fork the committed state when other sessions
+    /// committed since our fork was taken. Local derived-type enlargement
+    /// from past queries is dropped with the stale fork.
+    fn refresh_if_stale(&mut self) {
+        if let Some(h) = &self.shared {
+            if h.commit_seq() != self.base_seq {
+                let (db, seq) = h.fork();
+                self.engine.replace_db(db);
+                self.base_seq = seq;
+            }
+        }
     }
 }
 
@@ -563,5 +785,156 @@ mod tests {
         assert!(s.execute("SELECT ALL FROM state-ghost").is_err());
         assert!(s.execute("INSERT ATOM ghost (x = 1)").is_err());
         assert!(s.execute("INSERT ATOM state (ghost = 1)").is_err());
+    }
+
+    #[test]
+    fn txn_abort_restores_state_and_select_sees_overlay() {
+        // the acceptance round-trip: BEGIN; DML; SELECT; ABORT leaves the
+        // database byte-identical while the in-txn SELECT saw the DML
+        let mut s = session();
+        let before = mad_storage::DatabaseSnapshot::capture(s.db()).to_json_string();
+        assert!(matches!(s.execute("BEGIN").unwrap(), StatementResult::Began));
+        assert!(s.in_transaction());
+        s.execute("INSERT ATOM state (sname = 'RJ', hectare = 500.0)").unwrap();
+        s.execute("INSERT ATOM area (aid = 9)").unwrap();
+        s.execute("CONNECT state[sname='RJ'] TO area[aid=9] VIA state-area").unwrap();
+        s.execute("UPDATE state[sname='SP'] SET hectare = 9999.0").unwrap();
+        s.execute("DELETE ATOM edge[eid=1]").unwrap();
+        // the SELECT observes every uncommitted write…
+        let mt = molecules(
+            s.execute("SELECT ALL FROM state-area WHERE state.sname = 'RJ'").unwrap(),
+        );
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.molecules[0].atoms_at(1).len(), 1);
+        let mt = molecules(
+            s.execute("SELECT ALL FROM state-area-edge WHERE state.hectare > 9000.0").unwrap(),
+        );
+        assert_eq!(mt.len(), 1, "updated attribute visible to pushdown");
+        // …and ABORT drops all of it
+        assert!(matches!(s.execute("ABORT").unwrap(), StatementResult::Aborted));
+        assert!(!s.in_transaction());
+        let after = mad_storage::DatabaseSnapshot::capture(s.db()).to_json_string();
+        assert_eq!(before, after, "ABORT must leave the database byte-identical");
+    }
+
+    #[test]
+    fn txn_commit_publishes_atomically() {
+        let mut s = session();
+        s.execute("BEGIN TRANSACTION").unwrap();
+        s.execute("INSERT ATOM state (sname = 'RJ', hectare = 500.0)").unwrap();
+        s.execute("INSERT ATOM area (aid = 9)").unwrap();
+        s.execute("CONNECT state[sname='RJ'] TO area[aid=9] VIA state-area").unwrap();
+        let r = s.execute("COMMIT").unwrap();
+        assert!(matches!(r, StatementResult::Committed { ops: 3, .. }));
+        let mt = molecules(
+            s.execute("SELECT ALL FROM state-area WHERE state.sname = 'RJ'").unwrap(),
+        );
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.molecules[0].atoms_at(1).len(), 1);
+        assert!(s.db().audit_referential_integrity().is_empty());
+    }
+
+    #[test]
+    fn txn_state_errors() {
+        let mut s = session();
+        assert!(s.execute("COMMIT").unwrap_err().to_string().contains("no open transaction"));
+        assert!(s.execute("ROLLBACK").is_err());
+        s.execute("BEGIN").unwrap();
+        let err = s.execute("BEGIN").unwrap_err();
+        assert!(matches!(err, MadError::TxnState { .. }));
+        s.execute("ABORT").unwrap();
+    }
+
+    #[test]
+    fn shared_sessions_see_each_others_commits() {
+        let handle = DbHandle::new(mini_geo());
+        let mut s1 = Session::shared(handle.clone());
+        let mut s2 = Session::shared(handle.clone());
+        // autocommit DML in s1 is immediately visible to s2's next query
+        s1.execute("INSERT ATOM state (sname = 'RJ', hectare = 500.0)").unwrap();
+        let mt = molecules(
+            s2.execute("SELECT ALL FROM state WHERE state.sname = 'RJ'").unwrap(),
+        );
+        assert_eq!(mt.len(), 1);
+        // an open transaction in s2 is invisible to s1 until COMMIT
+        s2.execute("BEGIN").unwrap();
+        s2.execute("UPDATE state[sname='RJ'] SET hectare = 1.0").unwrap();
+        let mt = molecules(
+            s1.execute("SELECT ALL FROM state WHERE state.hectare < 2.0").unwrap(),
+        );
+        assert_eq!(mt.len(), 0, "uncommitted overlay leaked across sessions");
+        s2.execute("COMMIT").unwrap();
+        let mt = molecules(
+            s1.execute("SELECT ALL FROM state WHERE state.hectare < 2.0").unwrap(),
+        );
+        assert_eq!(mt.len(), 1);
+    }
+
+    #[test]
+    fn shared_sessions_conflict_first_committer_wins() {
+        let handle = DbHandle::new(mini_geo());
+        let mut s1 = Session::shared(handle.clone());
+        let mut s2 = Session::shared(handle.clone());
+        s1.execute("BEGIN").unwrap();
+        s2.execute("BEGIN").unwrap();
+        s1.execute("UPDATE state[sname='SP'] SET hectare = 1.0").unwrap();
+        s2.execute("UPDATE state[sname='SP'] SET hectare = 2.0").unwrap();
+        s1.execute("COMMIT").unwrap();
+        let err = s2.execute("COMMIT").unwrap_err();
+        assert!(err.is_conflict(), "got {err}");
+        assert!(!s2.in_transaction(), "failed COMMIT aborts the transaction");
+        let mt = molecules(
+            s2.execute("SELECT ALL FROM state WHERE state.hectare = 1.0").unwrap(),
+        );
+        assert_eq!(mt.len(), 1, "the first committer's value survived");
+    }
+
+    #[test]
+    fn execute_script_reports_failing_statement() {
+        let mut s = session();
+        let err = s
+            .execute_script(
+                "INSERT ATOM state (sname = 'RJ', hectare = 1.0);\n\
+                 SELECT ALL FROM ghost;\n\
+                 INSERT ATOM state (sname = 'ES', hectare = 2.0);",
+            )
+            .unwrap_err();
+        let MadError::Script {
+            index,
+            statement,
+            source,
+        } = &err
+        else {
+            panic!("expected MadError::Script, got {err:?}");
+        };
+        assert_eq!(*index, 1);
+        assert!(statement.contains("FROM ghost"));
+        assert!(matches!(**source, MadError::UnknownName { .. }));
+        let text = err.to_string();
+        assert!(text.contains("statement 1"), "got: {text}");
+        assert!(text.contains("ghost"), "got: {text}");
+        // statement 0 did execute, statement 2 did not
+        assert_eq!(s.db().atom_count(s.db().schema().atom_type_id("state").unwrap()), 3);
+    }
+
+    #[test]
+    fn transactional_script_roundtrip() {
+        let mut s = session();
+        let before = mad_storage::DatabaseSnapshot::capture(s.db()).to_json_string();
+        let results = s
+            .execute_script(
+                "BEGIN;\n\
+                 INSERT ATOM state (sname = 'RJ', hectare = 500.0);\n\
+                 SELECT ALL FROM state WHERE state.sname = 'RJ';\n\
+                 ABORT;",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 4);
+        let StatementResult::Molecules(mt) = &results[2] else {
+            panic!()
+        };
+        assert_eq!(mt.len(), 1, "in-transaction SELECT observed the insert");
+        let after = mad_storage::DatabaseSnapshot::capture(s.db()).to_json_string();
+        assert_eq!(before, after);
     }
 }

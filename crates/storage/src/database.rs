@@ -65,12 +65,16 @@ pub struct MinCardViolation {
 /// Version-stamped cache for the read-optimized [`CsrSnapshot`], plus the
 /// statistics of the most recent (incremental) rebuild.
 ///
-/// Cloning a database yields a cold cache (snapshots are cheap to rebuild
-/// and sharing one across clones would couple their lifetimes).
+/// Cloning a database **shares** the cached snapshot (it is an immutable
+/// `Arc`, keyed by the structural version the clone inherits): a
+/// transaction fork starts with a warm cache, and its first post-DML
+/// rebuild is incremental against the shared image. The clones' caches are
+/// independent `Mutex`es, so forks that diverge rebuild privately and can
+/// never see each other's adjacency.
 #[derive(Debug, Default)]
 struct CsrCache(Mutex<CsrCacheState>);
 
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct CsrCacheState {
     /// The cached snapshot and the structural version it was built at.
     snap: Option<(u64, Arc<CsrSnapshot>)>,
@@ -80,17 +84,28 @@ struct CsrCacheState {
 
 impl Clone for CsrCache {
     fn clone(&self) -> Self {
-        CsrCache::default()
+        CsrCache(Mutex::new(self.0.lock().unwrap().clone()))
     }
 }
 
 /// A MAD database: schema plus atom-type and link-type occurrences.
+///
+/// Every bulky component (schema, per-type atom and link stores, secondary
+/// indexes) lives behind an [`Arc`], and DML clones a store lazily via
+/// [`Arc::make_mut`] on first write. `Database::clone` is therefore **O(number
+/// of types)**, not O(data): a clone is a *copy-on-write fork* that shares
+/// all untouched stores with its origin. This is the substrate of the
+/// `mad_txn` transaction overlay — a transaction's fork physically *is* the
+/// committed image plus privately-rewritten stores for exactly the touched
+/// types — and it makes an `Arc<Database>` a cheap immutable published
+/// snapshot for concurrent readers (the type is `Sync`; the only interior
+/// mutability is the mutex-guarded CSR cache).
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    schema: Schema,
-    atoms: Vec<AtomStore>,
-    links: Vec<LinkStore>,
-    indexes: Vec<AttrIndex>,
+    schema: Arc<Schema>,
+    atoms: Vec<Arc<AtomStore>>,
+    links: Vec<Arc<LinkStore>>,
+    indexes: Vec<Arc<AttrIndex>>,
     index_map: FxHashMap<(AtomTypeId, usize), usize>,
     /// Bumped by every **structural** change (atom/link DML, DDL); keys the
     /// CSR snapshot cache. Attribute-only DML bumps `attr_version` instead
@@ -109,11 +124,15 @@ pub struct Database {
 impl Database {
     /// A database over the given schema, with empty occurrences.
     pub fn new(schema: Schema) -> Self {
-        let atoms = (0..schema.atom_type_count()).map(|_| AtomStore::new()).collect();
-        let links = (0..schema.link_type_count()).map(|_| LinkStore::new()).collect();
+        let atoms = (0..schema.atom_type_count())
+            .map(|_| Arc::new(AtomStore::new()))
+            .collect();
+        let links = (0..schema.link_type_count())
+            .map(|_| Arc::new(LinkStore::new()))
+            .collect();
         let link_versions = vec![0; schema.link_type_count()];
         Database {
-            schema,
+            schema: Arc::new(schema),
             atoms,
             links,
             indexes: Vec::new(),
@@ -142,16 +161,16 @@ impl Database {
 
     /// Add an atom type (with empty occurrence).
     pub fn add_atom_type(&mut self, def: AtomTypeDef) -> Result<AtomTypeId> {
-        let id = self.schema.add_atom_type(def)?;
-        self.atoms.push(AtomStore::new());
+        let id = Arc::make_mut(&mut self.schema).add_atom_type(def)?;
+        self.atoms.push(Arc::new(AtomStore::new()));
         self.structural_version += 1;
         Ok(id)
     }
 
     /// Add a link type (with empty occurrence).
     pub fn add_link_type(&mut self, def: LinkTypeDef) -> Result<LinkTypeId> {
-        let id = self.schema.add_link_type(def)?;
-        self.links.push(LinkStore::new());
+        let id = Arc::make_mut(&mut self.schema).add_link_type(def)?;
+        self.links.push(Arc::new(LinkStore::new()));
         self.link_versions.push(0);
         self.structural_version += 1;
         Ok(id)
@@ -164,53 +183,89 @@ impl Database {
     /// Insert an atom; the tuple is validated (and coerced) against the
     /// atom-type description.
     pub fn insert_atom(&mut self, ty: AtomTypeId, tuple: Vec<Value>) -> Result<AtomId> {
-        let def = self.schema.atom_type(ty);
-        let tuple = def.check_tuple(tuple)?;
-        let slot = self.atoms[ty.0 as usize].insert(tuple);
+        let id = self.insert_atom_unstamped(ty, tuple)?;
         // a fresh slot grows the type's slot horizon but cannot carry
         // links yet: structural, but no per-link-type bump
         self.structural_version += 1;
+        Ok(id)
+    }
+
+    /// The shared insert path *without* the structural-version bump, so that
+    /// [`Database::insert_atoms`] can stamp a whole batch once.
+    fn insert_atom_unstamped(&mut self, ty: AtomTypeId, tuple: Vec<Value>) -> Result<AtomId> {
+        let def = self.schema.atom_type(ty);
+        let tuple = def.check_tuple(tuple)?;
+        let slot = Arc::make_mut(&mut self.atoms[ty.0 as usize]).insert(tuple);
         let id = AtomId::new(ty, slot);
         // maintain indexes
         for idx_pos in self.indexes_of_type(ty) {
-            let idx = &mut self.indexes[idx_pos];
-            let key = self.atoms[ty.0 as usize].get(slot).unwrap()[idx.attr].clone();
-            idx.insert(&key, id);
+            let attr = self.indexes[idx_pos].attr;
+            let key = self.atoms[ty.0 as usize].get(slot).unwrap()[attr].clone();
+            Arc::make_mut(&mut self.indexes[idx_pos]).insert(&key, id);
         }
         Ok(id)
     }
 
     /// Insert many atoms of one type; returns their ids in order.
+    ///
+    /// The structural version is bumped **once per batch**, not once per
+    /// atom: fresh slots carry no links, so the whole bulk load invalidates
+    /// the CSR snapshot cache exactly as much as a single insert would —
+    /// loaders no longer thrash snapshot invalidation. If a tuple fails
+    /// validation mid-batch, the atoms inserted before it remain (the same
+    /// partial-application contract as the per-atom loop this replaces) and
+    /// the version is still bumped so no stale snapshot can be served.
     pub fn insert_atoms(
         &mut self,
         ty: AtomTypeId,
         tuples: impl IntoIterator<Item = Vec<Value>>,
     ) -> Result<Vec<AtomId>> {
-        tuples
-            .into_iter()
-            .map(|t| self.insert_atom(ty, t))
-            .collect()
+        let mut ids = Vec::new();
+        for t in tuples {
+            match self.insert_atom_unstamped(ty, t) {
+                Ok(id) => ids.push(id),
+                Err(e) => {
+                    if !ids.is_empty() {
+                        self.structural_version += 1;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        if !ids.is_empty() {
+            self.structural_version += 1;
+        }
+        Ok(ids)
     }
 
     /// Delete an atom, **cascading** into every link incident to it (the
     /// no-dangling-references guarantee). Returns the number of links
     /// removed.
     pub fn delete_atom(&mut self, id: AtomId) -> Result<usize> {
-        let removed_tuple = self.atoms[id.ty.0 as usize]
+        if !self.atom_exists(id) {
+            return Err(MadError::integrity(format!("atom {id} does not exist")));
+        }
+        let removed_tuple = Arc::make_mut(&mut self.atoms[id.ty.0 as usize])
             .remove(id.slot)
-            .ok_or_else(|| MadError::integrity(format!("atom {id} does not exist")))?;
+            .expect("existence checked above");
         for idx_pos in self.indexes_of_type(id.ty) {
-            let idx = &mut self.indexes[idx_pos];
+            let idx = Arc::make_mut(&mut self.indexes[idx_pos]);
             idx.remove(&removed_tuple[idx.attr], id);
         }
         let mut removed_links = 0;
+        // `link_types_of` lists each incident link type once (reflexive
+        // types included), and `remove_atom` clears both orientations in
+        // one call, so every touched link type is stamped exactly once.
         for lt in self.schema.link_types_of(id.ty).to_vec() {
-            let removed = self.links[lt.0 as usize].remove_atom(id);
+            let removed = Arc::make_mut(&mut self.links[lt.0 as usize]).remove_atom(id);
             if removed > 0 {
                 self.link_versions[lt.0 as usize] += 1;
             }
             removed_links += removed;
         }
+        // exactly one structural bump per delete (cascade included), so the
+        // next `csr_snapshot` call re-freezes the touched pairs and a stale
+        // adjacency image is never served.
         self.structural_version += 1;
         Ok(removed_links)
     }
@@ -232,13 +287,14 @@ impl Database {
             });
         }
         let value = value.coerce(attr_def.ty);
-        let store = &mut self.atoms[id.ty.0 as usize];
-        let row = store
-            .get_mut(id.slot)
-            .ok_or_else(|| MadError::integrity(format!("atom {id} does not exist")))?;
+        if !self.atom_exists(id) {
+            return Err(MadError::integrity(format!("atom {id} does not exist")));
+        }
+        let store = Arc::make_mut(&mut self.atoms[id.ty.0 as usize]);
+        let row = store.get_mut(id.slot).expect("existence checked above");
         let old = std::mem::replace(&mut row[attr], value.clone());
         if let Some(&idx_pos) = self.index_map.get(&(id.ty, attr)) {
-            let idx = &mut self.indexes[idx_pos];
+            let idx = Arc::make_mut(&mut self.indexes[idx_pos]);
             idx.remove(&old, id);
             idx.insert(&value, id);
         }
@@ -289,7 +345,7 @@ impl Database {
 
     /// Total number of live atoms across all types.
     pub fn total_atoms(&self) -> usize {
-        self.atoms.iter().map(AtomStore::len).sum()
+        self.atoms.iter().map(|s| s.len()).sum()
     }
 
     // ------------------------------------------------------------------
@@ -346,7 +402,7 @@ impl Database {
         // bump only when the insert actually adds a link (mirrors
         // `disconnect`): a no-op connect must not invalidate the cached
         // CSR snapshot
-        let added = self.links[lt.0 as usize].insert(side0, side1);
+        let added = Arc::make_mut(&mut self.links[lt.0 as usize]).insert(side0, side1);
         if added {
             self.bump_link(lt);
         }
@@ -384,7 +440,10 @@ impl Database {
                 def.name
             )));
         }
-        let removed = self.links[lt.0 as usize].remove(side0, side1);
+        if !self.links[lt.0 as usize].contains(side0, side1) {
+            return Ok(false);
+        }
+        let removed = Arc::make_mut(&mut self.links[lt.0 as usize]).remove(side0, side1);
         if removed {
             self.bump_link(lt);
         }
@@ -481,7 +540,7 @@ impl Database {
 
     /// Total number of links across all link types.
     pub fn total_links(&self) -> usize {
-        self.links.iter().map(LinkStore::len).sum()
+        self.links.iter().map(|s| s.len()).sum()
     }
 
     /// Raw access to a link store (used by the algebra's inheritance pass).
@@ -496,9 +555,7 @@ impl Database {
     /// Slot horizon of atom type `ty`: live atoms plus tombstones. Slot
     /// indexes below this bound are the dense key space of the type.
     pub fn atom_slot_count(&self, ty: AtomTypeId) -> usize {
-        self.atoms
-            .get(ty.0 as usize)
-            .map_or(0, AtomStore::slots)
+        self.atoms.get(ty.0 as usize).map_or(0, |s| s.slots())
     }
 
     /// The structural version stamp (bumped by every adjacency- or
@@ -592,7 +649,7 @@ impl Database {
             idx.insert(&tuple[attr], id);
         }
         self.index_map.insert((ty, attr), self.indexes.len());
-        self.indexes.push(idx);
+        self.indexes.push(Arc::new(idx));
         Ok(())
     }
 
@@ -1014,6 +1071,144 @@ mod tests {
         db.delete_atom(a).unwrap();
         let _ = db.csr_snapshot();
         assert_eq!(db.csr_rebuild_stats(), Some((2, 2)), "cascade touched both link types");
+    }
+
+    #[test]
+    fn delete_atom_never_serves_stale_csr_snapshot() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let edge = db.schema().atom_type_id("edge").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let ae = db.schema().link_type_id("area-edge").unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        let e = db.insert_atom(edge, vec![Value::from(1)]).unwrap();
+        db.connect(sa, s, a).unwrap();
+        db.connect(ae, a, e).unwrap();
+        let before = db.csr_snapshot();
+        assert!(!before.adjacency(sa, Direction::Fwd).partners_of(s.slot).is_empty());
+        let (v, sa_v, ae_v) = (db.version(), db.link_version(sa), db.link_version(ae));
+        db.delete_atom(a).unwrap();
+        // exactly one structural bump, one bump per touched link type
+        assert_eq!(db.version(), v + 1, "delete must bump the structural version once");
+        assert_eq!(db.link_version(sa), sa_v + 1);
+        assert_eq!(db.link_version(ae), ae_v + 1);
+        assert!(!db.csr_is_warm(), "stale snapshot left in the cache after delete");
+        // the next snapshot must not carry the deleted atom's adjacency
+        let after = db.csr_snapshot();
+        assert!(after.adjacency(sa, Direction::Fwd).partners_of(s.slot).is_empty());
+        assert!(after.adjacency(ae, Direction::Bwd).partners_of(e.slot).is_empty());
+        // the old Arc the reader held is untouched (their snapshot, frozen)
+        assert!(!before.adjacency(sa, Direction::Fwd).partners_of(s.slot).is_empty());
+    }
+
+    #[test]
+    fn delete_reflexive_atom_bumps_link_version_once() {
+        let schema = SchemaBuilder::new()
+            .atom_type("parts", &[("pid", AttrType::Int)])
+            .link_type("composition", "parts", "parts")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let parts = db.schema().atom_type_id("parts").unwrap();
+        let comp = db.schema().link_type_id("composition").unwrap();
+        let top = db.insert_atom(parts, vec![Value::from(1)]).unwrap();
+        let mid = db.insert_atom(parts, vec![Value::from(2)]).unwrap();
+        let bot = db.insert_atom(parts, vec![Value::from(3)]).unwrap();
+        // `mid` has links on BOTH sides of the reflexive type
+        db.connect(comp, top, mid).unwrap();
+        db.connect(comp, mid, bot).unwrap();
+        let (v, lv) = (db.version(), db.link_version(comp));
+        let removed = db.delete_atom(mid).unwrap();
+        assert_eq!(removed, 2, "both orientations cascade");
+        assert_eq!(db.version(), v + 1, "one structural bump for the whole cascade");
+        assert_eq!(db.link_version(comp), lv + 1, "one bump per touched link type");
+        assert!(db.audit_referential_integrity().is_empty());
+    }
+
+    #[test]
+    fn insert_atoms_bumps_structural_version_once_per_batch() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let _ = db.csr_snapshot();
+        let v = db.version();
+        let ids = db
+            .insert_atoms(
+                state,
+                (0..100).map(|i| vec![Value::from(format!("s{i}")), Value::from(i)]),
+            )
+            .unwrap();
+        assert_eq!(ids.len(), 100);
+        assert_eq!(db.version(), v + 1, "a batch stamps the version exactly once");
+        // the single bump still invalidates the cached snapshot…
+        assert!(!db.csr_is_warm());
+        // …and an empty batch stamps nothing
+        let v = db.version();
+        assert!(db.insert_atoms(state, std::iter::empty()).unwrap().is_empty());
+        assert_eq!(db.version(), v);
+        // a failing batch keeps the atoms inserted before the bad tuple and
+        // still bumps (those atoms grew the slot horizon)
+        let v = db.version();
+        let err = db.insert_atoms(
+            state,
+            vec![
+                vec![Value::from("ok"), Value::from(1)],
+                vec![Value::from(1)], // wrong arity
+            ],
+        );
+        assert!(err.is_err());
+        assert_eq!(db.version(), v + 1);
+    }
+
+    #[test]
+    fn insert_atoms_batch_maintains_indexes() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        db.create_index(state, "sname", IndexKind::Hash).unwrap();
+        let ids = db
+            .insert_atoms(
+                state,
+                vec![
+                    vec![Value::from("SP"), Value::from(1)],
+                    vec![Value::from("MG"), Value::from(2)],
+                ],
+            )
+            .unwrap();
+        assert_eq!(db.lookup_eq(state, 0, &Value::from("MG")).unwrap(), &[ids[1]]);
+    }
+
+    #[test]
+    fn clone_is_a_copy_on_write_fork() {
+        let mut db = geo_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let s = db.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        let a = db.insert_atom(area, vec![Value::from(1)]).unwrap();
+        db.connect(sa, s, a).unwrap();
+        let _ = db.csr_snapshot();
+        let mut fork = db.clone();
+        // the fork starts warm: the cached snapshot Arc is shared
+        assert!(fork.csr_is_warm(), "clone must inherit the warm CSR cache");
+        // writes to the fork never show through to the origin
+        let s2 = fork.insert_atom(state, vec![Value::from("MG"), Value::from(2)]).unwrap();
+        fork.update_attr(s, 0, Value::from("XX")).unwrap();
+        fork.disconnect(sa, s, a).unwrap();
+        assert!(!db.atom_exists(s2));
+        assert_eq!(db.atom(s).unwrap()[0], Value::from("SP"));
+        assert!(db.linked(sa, s, a));
+        assert!(db.csr_is_warm(), "fork DML must not disturb the origin's cache");
+        // …and vice versa
+        db.delete_atom(a).unwrap();
+        assert!(fork.atom_exists(a));
+    }
+
+    #[test]
+    fn database_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<std::sync::Arc<Database>>();
     }
 
     #[test]

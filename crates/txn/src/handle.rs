@@ -1,0 +1,178 @@
+//! The shared database handle: committed state, publication, commit log.
+
+use crate::txn::WriteKey;
+use mad_model::{FxHashSet, MadError, Result};
+use mad_storage::Database;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One published commit: its sequence number and the write-set keys it
+/// published. Kept (pruned) for first-committer-wins validation of
+/// transactions that began before it.
+#[derive(Clone, Debug)]
+pub struct CommitRecord {
+    /// The commit sequence number this record was published at.
+    pub seq: u64,
+    /// The pre-existing state the commit overwrote.
+    pub keys: Vec<WriteKey>,
+}
+
+#[derive(Debug)]
+struct State {
+    /// The committed image. Immutable once published; replaced wholesale.
+    db: Arc<Database>,
+    /// Monotone commit sequence number (0 = the initial load).
+    seq: u64,
+    /// Commit records newer than the oldest active transaction's begin.
+    log: Vec<CommitRecord>,
+    /// begin_seq → number of active transactions that began there.
+    active: BTreeMap<u64, usize>,
+}
+
+/// A cloneable, thread-safe handle to one shared MAD database.
+///
+/// All sessions of a deployment hold clones of one `DbHandle`. Readers take
+/// a consistent frozen image with [`DbHandle::committed`]; writers go
+/// through [`crate::Transaction`]. Publication is atomic: the committed
+/// `Arc<Database>` is swapped under the handle's lock, in-flight readers
+/// keep whatever image they already cloned.
+#[derive(Clone, Debug)]
+pub struct DbHandle {
+    inner: Arc<Mutex<State>>,
+}
+
+impl DbHandle {
+    /// Wrap a loaded database as commit 0 of a shared handle.
+    pub fn new(db: Database) -> Self {
+        DbHandle {
+            inner: Arc::new(Mutex::new(State {
+                db: Arc::new(db),
+                seq: 0,
+                log: Vec::new(),
+                active: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// The current committed image. The returned `Arc` is a consistent
+    /// snapshot: it never changes, no matter what commits afterwards.
+    pub fn committed(&self) -> Arc<Database> {
+        Arc::clone(&self.inner.lock().unwrap().db)
+    }
+
+    /// The current commit sequence number (how many commits have been
+    /// published). Sessions use it to detect that their cached fork of the
+    /// committed state is stale.
+    pub fn commit_seq(&self) -> u64 {
+        self.inner.lock().unwrap().seq
+    }
+
+    /// A copy-on-write fork of the committed image plus the sequence number
+    /// it was taken at — the cheap way for a session to get a *mutable*
+    /// working copy (e.g. for autocommit query scratch space).
+    pub fn fork(&self) -> (Database, u64) {
+        let st = self.inner.lock().unwrap();
+        ((*st.db).clone(), st.seq)
+    }
+
+    /// How many commit records the first-committer-wins log currently
+    /// retains (bounded by in-flight contention; exposed for tests and
+    /// monitoring).
+    pub fn commit_log_len(&self) -> usize {
+        self.inner.lock().unwrap().log.len()
+    }
+
+    /// Begin bookkeeping: returns `(committed image, begin_seq)` and
+    /// registers the transaction as active at that sequence.
+    pub(crate) fn begin_txn(&self) -> (Arc<Database>, u64) {
+        let mut st = self.inner.lock().unwrap();
+        let seq = st.seq;
+        *st.active.entry(seq).or_insert(0) += 1;
+        (Arc::clone(&st.db), seq)
+    }
+
+    /// Drop an active transaction's registration (abort, or the cleanup
+    /// half of commit) and prune the commit log.
+    pub(crate) fn finish_txn(&self, begin_seq: u64) {
+        let mut st = self.inner.lock().unwrap();
+        Self::unregister(&mut st, begin_seq);
+    }
+
+    fn unregister(st: &mut State, begin_seq: u64) {
+        if let Some(n) = st.active.get_mut(&begin_seq) {
+            *n -= 1;
+            if *n == 0 {
+                st.active.remove(&begin_seq);
+            }
+        }
+        // every surviving active transaction with begin b validates against
+        // records with seq > b, so records at or below the oldest begin are
+        // dead; with no active transactions the whole log is.
+        match st.active.keys().next().copied() {
+            Some(oldest) => st.log.retain(|r| r.seq > oldest),
+            None => st.log.clear(),
+        }
+    }
+
+    /// One optimistic publication attempt, entirely under the handle lock
+    /// but doing **no heavy work there** (key-set validation and an `Arc`
+    /// pointer comparison only — op-log replay happens outside, between
+    /// attempts, so readers are never blocked behind a contended commit).
+    ///
+    /// * `Err(TxnConflict)` — first-committer-wins validation failed; the
+    ///   transaction is unregistered (aborted).
+    /// * `Ok(Published(seq))` — `candidate` was built against `expected`
+    ///   and `expected` is still the committed state: published, record
+    ///   appended, transaction unregistered.
+    /// * `Ok(Stale(current))` — another commit landed since `expected` was
+    ///   observed; the caller must replay against `current` and try again
+    ///   (the transaction stays registered).
+    pub(crate) fn publish_if(
+        &self,
+        begin_seq: u64,
+        expected: &Arc<Database>,
+        keys: &FxHashSet<WriteKey>,
+        candidate: Database,
+    ) -> Result<PublishOutcome> {
+        let mut st = self.inner.lock().unwrap();
+        // first-committer-wins: any committed write since our begin that
+        // overlaps our write-set aborts us.
+        let conflict = st
+            .log
+            .iter()
+            .filter(|r| r.seq > begin_seq)
+            .find_map(|rec| {
+                rec.keys
+                    .iter()
+                    .find(|k| keys.contains(k))
+                    .map(|k| (k.clone(), rec.seq))
+            });
+        if let Some((key, seq)) = conflict {
+            Self::unregister(&mut st, begin_seq);
+            return Err(MadError::txn_conflict(format!(
+                "write-write conflict on {key} with the transaction committed at sequence {seq}"
+            )));
+        }
+        if !Arc::ptr_eq(&st.db, expected) {
+            return Ok(PublishOutcome::Stale(Arc::clone(&st.db)));
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        st.log.push(CommitRecord {
+            seq,
+            keys: keys.iter().cloned().collect(),
+        });
+        st.db = Arc::new(candidate);
+        Self::unregister(&mut st, begin_seq);
+        Ok(PublishOutcome::Published(seq))
+    }
+}
+
+/// Result of one [`DbHandle::publish_if`] attempt.
+pub(crate) enum PublishOutcome {
+    /// Published at this commit sequence; the transaction is finished.
+    Published(u64),
+    /// The committed state moved; replay against the carried image and
+    /// retry.
+    Stale(Arc<Database>),
+}

@@ -11,14 +11,19 @@
 //!   and §5 example).
 //! * [`vlsi`] — a VLSI cell library (cells, instances, nets, pins), the
 //!   design-application workload of the paper's motivation ([BB84]).
+//! * [`mixed`] — the concurrent mixed read/write scenario: N reader + M
+//!   writer threads over one shared `mad_txn::DbHandle`, with the
+//!   isolation invariants verified online (benchmark B8).
 
 pub mod bom;
 pub mod brazil;
 pub mod geo;
+pub mod mixed;
 pub mod rng;
 pub mod vlsi;
 
 pub use bom::{generate_bom, BomParams};
 pub use brazil::{brazil_database, BrazilHandles};
 pub use geo::{generate_geo, GeoParams};
+pub use mixed::{mixed_database, run_mixed, MixedParams, MixedStats};
 pub use vlsi::{generate_vlsi, VlsiParams};

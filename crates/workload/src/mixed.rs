@@ -1,0 +1,264 @@
+//! Concurrent mixed read/write workload over one shared [`DbHandle`].
+//!
+//! The "heavy traffic" scenario of the ROADMAP in miniature: `writers`
+//! threads commit snapshot-isolated transactions — each inserts one
+//! `state` with `areas_per_state` connected `area` atoms (an atomic group)
+//! and then bumps a contended per-state counter attribute — while
+//! `readers` threads continuously derive `state-area` molecules from
+//! committed snapshots and *verify* the isolation invariants:
+//!
+//! * **atomicity** — every committed state has exactly `areas_per_state`
+//!   areas; a reader can never observe a half-inserted group;
+//! * **consistency** — referential integrity holds on every snapshot;
+//! * **snapshot stability** — a snapshot taken once yields identical
+//!   derivation results no matter how many commits land meanwhile.
+//!
+//! Violations are *counted*, not panicked, so the scenario doubles as a
+//! stress harness for tests (assert `inconsistencies == 0`) and as the
+//! driver of the `concurrent_sessions` benchmark.
+
+use crate::rng::StdRng;
+use mad_core::derive::{derive_molecules, DeriveOptions, Strategy};
+use mad_core::structure::path;
+use mad_model::{AttrType, Result, SchemaBuilder, Value};
+use mad_storage::Database;
+use mad_txn::{DbHandle, Transaction};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Parameters of the mixed scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct MixedParams {
+    /// Reader threads (continuous snapshot derivation + invariant checks).
+    pub readers: usize,
+    /// Writer threads (transactional inserts + contended updates).
+    pub writers: usize,
+    /// Committed transactions per writer thread.
+    pub txns_per_writer: usize,
+    /// Areas connected to each inserted state (the atomic group size).
+    pub areas_per_state: usize,
+    /// RNG seed for writer jitter.
+    pub seed: u64,
+}
+
+impl Default for MixedParams {
+    fn default() -> Self {
+        MixedParams {
+            readers: 2,
+            writers: 2,
+            txns_per_writer: 25,
+            areas_per_state: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome counters of one [`run_mixed`] execution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MixedStats {
+    /// Transactions committed (excluding retries).
+    pub commits: usize,
+    /// First-committer-wins conflicts that forced a retry.
+    pub conflicts: usize,
+    /// Snapshot derivations performed by the readers.
+    pub reads: usize,
+    /// Isolation-invariant violations observed (must be 0).
+    pub inconsistencies: usize,
+}
+
+/// A fresh database for the mixed scenario: the `state`/`area` core of the
+/// geographic schema plus one pre-seeded contended `state` (slot 0) whose
+/// `hectare` attribute the writers fight over.
+pub fn mixed_database() -> Result<Database> {
+    let schema = SchemaBuilder::new()
+        .atom_type(
+            "state",
+            &[("sname", AttrType::Text), ("hectare", AttrType::Float)],
+        )
+        .atom_type("area", &[("aid", AttrType::Int)])
+        .link_type("state-area", "state", "area")
+        .build()?;
+    let mut db = Database::new(schema);
+    let state = db.schema().atom_type_id("state")?;
+    db.insert_atom(state, vec![Value::from("contended"), Value::from(0.0)])?;
+    Ok(db)
+}
+
+/// Drive `params.writers` writer and `params.readers` reader threads over
+/// `handle` until every writer has committed its quota. See the module
+/// docs for the invariants the readers verify.
+pub fn run_mixed(handle: &DbHandle, params: &MixedParams) -> Result<MixedStats> {
+    let db = handle.committed();
+    let state = db.schema().atom_type_id("state")?;
+    let md = path(db.schema(), &["state", "area"])?;
+    let contended = mad_model::AtomId::new(state, 0);
+    let k = params.areas_per_state;
+
+    let commits = AtomicUsize::new(0);
+    let conflicts = AtomicUsize::new(0);
+    let reads = AtomicUsize::new(0);
+    let inconsistencies = AtomicUsize::new(0);
+    let writers_done = AtomicBool::new(false);
+    let writers_left = AtomicUsize::new(params.writers);
+
+    /// Flags `done` when the last writer exits — **including by panic**
+    /// (the guard drops during unwind), so the readers always terminate
+    /// and a writer failure surfaces as a test failure, never a hang.
+    struct WriterExit<'a> {
+        left: &'a AtomicUsize,
+        done: &'a AtomicBool,
+    }
+    impl Drop for WriterExit<'_> {
+        fn drop(&mut self) {
+            if self.left.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.done.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for w in 0..params.writers {
+            let handle = handle.clone();
+            let (commits, conflicts) = (&commits, &conflicts);
+            let (writers_left, writers_done) = (&writers_left, &writers_done);
+            let mut rng =
+                StdRng::seed_from_u64(params.seed ^ (w as u64).wrapping_mul(0x9e37_79b9));
+            scope.spawn(move || {
+                let _exit = WriterExit {
+                    left: writers_left,
+                    done: writers_done,
+                };
+                for i in 0..params.txns_per_writer {
+                    loop {
+                        let mut txn = Transaction::begin(&handle);
+                        let outcome = write_group(&mut txn, w, i, k, &mut rng);
+                        match outcome.and_then(|()| txn.commit()) {
+                            Ok(_) => {
+                                commits.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(e) if e.is_conflict() => {
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("writer {w} failed non-retryably: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..params.readers {
+            let handle = handle.clone();
+            let (reads, inconsistencies, writers_done) =
+                (&reads, &inconsistencies, &writers_done);
+            let md = &md;
+            scope.spawn(move || {
+                let opts = DeriveOptions::with_strategy(Strategy::Bitset);
+                loop {
+                    let snap = handle.committed();
+                    let ms = derive_molecules(&snap, md, &opts)
+                        .expect("derivation over a committed snapshot");
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    // atomicity: every committed group is whole
+                    for m in &ms {
+                        let areas = m.atoms_at(1).len();
+                        if m.root != contended && areas != k {
+                            inconsistencies.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // consistency: no dangling references on any snapshot
+                    if !snap.audit_referential_integrity().is_empty() {
+                        inconsistencies.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // snapshot stability: re-deriving over the SAME Arc
+                    // gives identical results even while commits land
+                    let again = derive_molecules(&snap, md, &opts).unwrap();
+                    if again != ms {
+                        inconsistencies.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if writers_done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    Ok(MixedStats {
+        commits: commits.into_inner(),
+        conflicts: conflicts.into_inner(),
+        reads: reads.into_inner(),
+        inconsistencies: inconsistencies.into_inner(),
+    })
+}
+
+/// One writer transaction: insert a state + `k` connected areas (atomic
+/// group), then bump the contended counter so that overlapping writers
+/// exercise first-committer-wins.
+fn write_group(
+    txn: &mut Transaction,
+    writer: usize,
+    i: usize,
+    k: usize,
+    rng: &mut StdRng,
+) -> Result<()> {
+    let db = txn.db();
+    let state = db.schema().atom_type_id("state")?;
+    let area = db.schema().atom_type_id("area")?;
+    let sa = db.schema().link_type_id("state-area")?;
+    let contended = mad_model::AtomId::new(state, 0);
+    let s = txn.insert_atom(
+        state,
+        vec![
+            Value::from(format!("w{writer}-{i}")),
+            Value::from((i as f64) + 1.0),
+        ],
+    )?;
+    let tuples: Vec<Vec<Value>> = (0..k)
+        .map(|j| vec![Value::from((writer * 1_000_000 + i * 100 + j) as i64)])
+        .collect();
+    let areas = txn.insert_atoms(area, tuples)?;
+    for a in areas {
+        txn.connect(sa, s, a)?;
+    }
+    // the contended write: read the counter through the overlay, bump it
+    let current = txn.db().atom_value(contended, 1)?.clone();
+    let bumped = match current {
+        Value::Float(x) => x + 1.0,
+        _ => 1.0,
+    };
+    txn.update_attr(contended, 1, Value::from(bumped))?;
+    // writer jitter so interleavings vary run to run
+    if rng.gen_bool(0.25) {
+        std::thread::yield_now();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_scenario_upholds_isolation_invariants() {
+        let handle = DbHandle::new(mixed_database().unwrap());
+        let params = MixedParams {
+            readers: 2,
+            writers: 2,
+            txns_per_writer: 10,
+            areas_per_state: 3,
+            seed: 7,
+        };
+        let stats = run_mixed(&handle, &params).unwrap();
+        assert_eq!(stats.commits, 20);
+        assert_eq!(stats.inconsistencies, 0, "isolation invariant violated");
+        assert!(stats.reads > 0);
+        let db = handle.committed();
+        let state = db.schema().atom_type_id("state").unwrap();
+        assert_eq!(db.atom_count(state), 21, "20 committed groups + contended");
+        // the contended counter is exactly the commit count: every lost
+        // update was caught by first-committer-wins and retried
+        let counter = db.atom_value(mad_model::AtomId::new(state, 0), 1).unwrap();
+        assert_eq!(counter, &Value::Float(20.0), "lost update slipped through");
+        assert!(db.audit_referential_integrity().is_empty());
+    }
+}

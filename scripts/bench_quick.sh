@@ -24,6 +24,7 @@ fi
 
 cargo bench -p mad-bench --bench derivation_strategies -- --quick
 cargo bench -p mad-bench --bench restriction_pushdown -- --quick
+cargo bench -p mad-bench --bench concurrent_sessions -- --quick
 echo "merged results into $(pwd)/$REPORT"
 
 if [ "$have_baseline" = 1 ]; then

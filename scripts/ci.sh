@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The tier-1 gate, runnable locally and in CI:
+#
+#   1. release build (the profile the benches and examples use),
+#   2. full test suite,
+#   3. clippy over the whole workspace with warnings promoted to errors
+#      (vendored shim crates included — they are workspace members).
+#
+# Any step failing fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci.sh: all green"

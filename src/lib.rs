@@ -12,7 +12,10 @@
 //! * [`relational`] — the relational substrate/baseline,
 //! * [`nf2`] — the NF² substrate/baseline,
 //! * [`workload`] — fixtures and generators (the Brazil database of
-//!   Fig. 1/2/4, synthetic geography, bill-of-material, VLSI).
+//!   Fig. 1/2/4, synthetic geography, bill-of-material, VLSI, the
+//!   concurrent mixed read/write scenario),
+//! * [`txn`] — snapshot-isolated transactions and concurrent multi-session
+//!   serving over a shared database handle.
 
 pub use mad_core as algebra;
 pub use mad_model as model;
@@ -20,6 +23,7 @@ pub use mad_mql as mql;
 pub use mad_nf2 as nf2;
 pub use mad_relational as relational;
 pub use mad_storage as storage;
+pub use mad_txn as txn;
 pub use mad_workload as workload;
 
 pub use mad_core::prelude::*;

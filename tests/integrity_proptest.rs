@@ -150,21 +150,17 @@ proptest! {
                 Op::InsertArea(w) => {
                     areas.push(db.insert_atom(area, vec![Value::Int(w)]).unwrap())
                 }
-                Op::Connect(i, j) => {
-                    if !states.is_empty() && !areas.is_empty() {
-                        let s = states[i % states.len()];
-                        let a = areas[j % areas.len()];
-                        if db.atom_exists(s) && db.atom_exists(a) {
-                            let _ = db.connect(sa, s, a);
-                        }
+                Op::Connect(i, j) if !states.is_empty() && !areas.is_empty() => {
+                    let s = states[i % states.len()];
+                    let a = areas[j % areas.len()];
+                    if db.atom_exists(s) && db.atom_exists(a) {
+                        let _ = db.connect(sa, s, a);
                     }
                 }
-                Op::DeleteState(i) => {
-                    if !states.is_empty() {
-                        let s = states[i % states.len()];
-                        if db.atom_exists(s) {
-                            db.delete_atom(s).unwrap();
-                        }
+                Op::DeleteState(i) if !states.is_empty() => {
+                    let s = states[i % states.len()];
+                    if db.atom_exists(s) {
+                        db.delete_atom(s).unwrap();
                     }
                 }
                 _ => {}

@@ -1,0 +1,232 @@
+//! Property tests for the transaction overlay (snapshot isolation).
+//!
+//! For *any* interleaving of two transactions' random DML sequences:
+//!
+//! 1. **overlay = direct**: derivation inside a transaction (through the
+//!    write overlay) equals derivation on a fresh database where that
+//!    transaction's ops were applied directly — and the full state views
+//!    agree, byte for byte, at every step;
+//! 2. **isolation**: neither transaction's view is perturbed by the other's
+//!    interleaved ops;
+//! 3. **no trace**: an aborted transaction leaves the committed state
+//!    byte-identical, while the committed one publishes exactly its
+//!    direct-application image.
+
+use mad::algebra::derive::{derive_molecules, DeriveOptions, Strategy as DeriveStrategy};
+use mad::algebra::structure::path;
+use mad::model::{AtomId, AttrType, SchemaBuilder, Value};
+use mad::storage::{Database, DatabaseSnapshot};
+use mad::txn::{DbHandle, Transaction};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    InsertState(i64),
+    InsertArea(i64),
+    Connect(usize, usize),
+    Disconnect(usize, usize),
+    DeleteState(usize),
+    DeleteArea(usize),
+    Update(usize, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..50).prop_map(Op::InsertState),
+        (0i64..50).prop_map(Op::InsertArea),
+        (0usize..16, 0usize..16).prop_map(|(a, b)| Op::Connect(a, b)),
+        (0usize..16, 0usize..16).prop_map(|(a, b)| Op::Disconnect(a, b)),
+        (0usize..16).prop_map(Op::DeleteState),
+        (0usize..16).prop_map(Op::DeleteArea),
+        (0usize..16, 0i64..50).prop_map(|(i, v)| Op::Update(i, v)),
+    ]
+}
+
+fn base_db() -> Database {
+    let schema = SchemaBuilder::new()
+        .atom_type("state", &[("v", AttrType::Int)])
+        .atom_type("area", &[("w", AttrType::Int)])
+        .link_type("state-area", "state", "area")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    let state = db.schema().atom_type_id("state").unwrap();
+    let area = db.schema().atom_type_id("area").unwrap();
+    let sa = db.schema().link_type_id("state-area").unwrap();
+    // a little committed substrate so deletes/updates have targets
+    let mut states = Vec::new();
+    let mut areas = Vec::new();
+    for i in 0..4i64 {
+        states.push(db.insert_atom(state, vec![Value::Int(i)]).unwrap());
+        areas.push(db.insert_atom(area, vec![Value::Int(i)]).unwrap());
+    }
+    for (s, a) in states.iter().zip(&areas) {
+        db.connect(sa, *s, *a).unwrap();
+    }
+    db
+}
+
+/// A mutation target that keeps a roster of known atom ids so random ops
+/// can address them. Applied identically to a `Transaction` overlay and to
+/// a plain `Database`, the two must stay indistinguishable.
+struct Roster {
+    states: Vec<AtomId>,
+    areas: Vec<AtomId>,
+}
+
+impl Roster {
+    fn seeded(db: &Database) -> Self {
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        Roster {
+            states: db.atom_ids_of(state),
+            areas: db.atom_ids_of(area),
+        }
+    }
+}
+
+/// Apply one op through the overlay and directly; results must agree.
+fn apply_both(
+    txn: &mut Transaction,
+    direct: &mut Database,
+    roster: &mut Roster,
+    op: &Op,
+) -> std::result::Result<(), proptest::test_runner::TestCaseError> {
+    let state = direct.schema().atom_type_id("state").unwrap();
+    let area = direct.schema().atom_type_id("area").unwrap();
+    let sa = direct.schema().link_type_id("state-area").unwrap();
+    match op {
+        Op::InsertState(v) => {
+            let a = txn.insert_atom(state, vec![Value::Int(*v)]).unwrap();
+            let b = direct.insert_atom(state, vec![Value::Int(*v)]).unwrap();
+            prop_assert_eq!(a, b, "overlay and direct slot allocation diverged");
+            roster.states.push(a);
+        }
+        Op::InsertArea(v) => {
+            let a = txn.insert_atom(area, vec![Value::Int(*v)]).unwrap();
+            let b = direct.insert_atom(area, vec![Value::Int(*v)]).unwrap();
+            prop_assert_eq!(a, b);
+            roster.areas.push(a);
+        }
+        Op::Connect(i, j) => {
+            if roster.states.is_empty() || roster.areas.is_empty() {
+                return Ok(());
+            }
+            let s = roster.states[i % roster.states.len()];
+            let a = roster.areas[j % roster.areas.len()];
+            let r1 = txn.connect(sa, s, a);
+            let r2 = direct.connect(sa, s, a);
+            prop_assert_eq!(r1.is_ok(), r2.is_ok());
+            if let (Ok(x), Ok(y)) = (r1, r2) {
+                prop_assert_eq!(x, y);
+            }
+        }
+        Op::Disconnect(i, j) => {
+            if roster.states.is_empty() || roster.areas.is_empty() {
+                return Ok(());
+            }
+            let s = roster.states[i % roster.states.len()];
+            let a = roster.areas[j % roster.areas.len()];
+            let r1 = txn.disconnect(sa, s, a);
+            let r2 = direct.disconnect(sa, s, a);
+            prop_assert_eq!(r1.is_ok(), r2.is_ok());
+            if let (Ok(x), Ok(y)) = (r1, r2) {
+                prop_assert_eq!(x, y);
+            }
+        }
+        Op::DeleteState(i) => {
+            if roster.states.is_empty() {
+                return Ok(());
+            }
+            let s = roster.states[i % roster.states.len()];
+            let r1 = txn.delete_atom(s);
+            let r2 = direct.delete_atom(s);
+            prop_assert_eq!(r1.is_ok(), r2.is_ok());
+            if let (Ok(x), Ok(y)) = (r1, r2) {
+                prop_assert_eq!(x, y, "cascade counts diverged");
+            }
+        }
+        Op::DeleteArea(i) => {
+            if roster.areas.is_empty() {
+                return Ok(());
+            }
+            let a = roster.areas[i % roster.areas.len()];
+            let r1 = txn.delete_atom(a);
+            let r2 = direct.delete_atom(a);
+            prop_assert_eq!(r1.is_ok(), r2.is_ok());
+        }
+        Op::Update(i, v) => {
+            if roster.states.is_empty() {
+                return Ok(());
+            }
+            let s = roster.states[i % roster.states.len()];
+            let r1 = txn.update_attr(s, 0, Value::Int(*v));
+            let r2 = direct.update_attr(s, 0, Value::Int(*v));
+            prop_assert_eq!(r1.is_ok(), r2.is_ok());
+        }
+    }
+    Ok(())
+}
+
+fn derive_all(db: &Database) -> Vec<mad::algebra::molecule::Molecule> {
+    let md = path(db.schema(), &["state", "area"]).unwrap();
+    derive_molecules(db, &md, &DeriveOptions::with_strategy(DeriveStrategy::Bitset)).unwrap()
+}
+
+fn snapshot_of(db: &Database) -> String {
+    DatabaseSnapshot::capture(db).to_json_string()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn overlay_view_equals_direct_application(
+        ops_a in prop::collection::vec(op_strategy(), 1..40),
+        ops_b in prop::collection::vec(op_strategy(), 1..40),
+        schedule in prop::collection::vec(any::<bool>(), 1..80),
+    ) {
+        let base = base_db();
+        let handle = DbHandle::new(base.clone());
+        let before = snapshot_of(&handle.committed());
+
+        // two transactions with interleaved op application (the schedule
+        // picks which transaction steps next), each shadowed by a direct-
+        // application reference database forked from the same base
+        let mut txn_a = Transaction::begin(&handle);
+        let mut txn_b = Transaction::begin(&handle);
+        let mut ref_a = base.clone();
+        let mut ref_b = base.clone();
+        let mut roster_a = Roster::seeded(&base);
+        let mut roster_b = Roster::seeded(&base);
+
+        let (mut ia, mut ib) = (0usize, 0usize);
+        for pick_a in schedule {
+            if pick_a && ia < ops_a.len() {
+                apply_both(&mut txn_a, &mut ref_a, &mut roster_a, &ops_a[ia])?;
+                ia += 1;
+            } else if ib < ops_b.len() {
+                apply_both(&mut txn_b, &mut ref_b, &mut roster_b, &ops_b[ib])?;
+                ib += 1;
+            }
+        }
+
+        // 1. the overlay view IS the direct-application state…
+        prop_assert_eq!(snapshot_of(txn_a.db()), snapshot_of(&ref_a));
+        prop_assert_eq!(snapshot_of(txn_b.db()), snapshot_of(&ref_b));
+        // …including through the derivation engine (pushdown + frontiers)
+        prop_assert_eq!(derive_all(txn_a.db()), derive_all(&ref_a));
+        prop_assert_eq!(derive_all(txn_b.db()), derive_all(&ref_b));
+        // 2. nothing leaked between the interleaved transactions, and the
+        // committed state never moved
+        prop_assert_eq!(snapshot_of(&handle.committed()), before.clone());
+
+        // 3a. the aborted transaction leaves no trace
+        txn_b.abort();
+        prop_assert_eq!(snapshot_of(&handle.committed()), before);
+        // 3b. the committed one publishes exactly its direct image
+        txn_a.commit().unwrap();
+        prop_assert_eq!(snapshot_of(&handle.committed()), snapshot_of(&ref_a));
+        prop_assert!(handle.committed().audit_referential_integrity().is_empty());
+    }
+}
