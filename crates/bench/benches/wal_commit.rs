@@ -1,0 +1,185 @@
+//! B9 — write-ahead-log durability: commit latency vs fsync policy, group
+//! commit under concurrent writers, recovery time vs log length.
+//!
+//! Three measurements of the `mad_wal` subsystem through `mad_txn`:
+//!
+//! * `commit_latency/<policy>` — one uncontended durable commit (begin →
+//!   insert group → commit) under each [`FsyncPolicy`]: `never` prices
+//!   the pure append, `per_commit` adds a blocking fsync, `group` sits
+//!   between (a lone writer cannot batch, but skips redundant syncs).
+//! * `burst_<policy>/wN` — wall clock of N writer threads each pushing a
+//!   fixed commit quota through one durable handle. The headline claim:
+//!   group commit amortizes one fsync over the commits that arrive while
+//!   the previous fsync is in flight, so `burst_group/w4` should beat
+//!   `burst_per_commit/w4` by ≥ 2x on fsync-bound storage.
+//! * `recovery/commits_N` — time for `DbHandle::open_durable` to scan,
+//!   verify and replay a log of N commits.
+//!
+//! Run with `-- --quick` to merge median ns/op into `BENCH_derive.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mad_model::Value;
+use mad_txn::{DbHandle, FsyncPolicy, Transaction};
+use mad_workload::mixed_database;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_wal_path() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mad-bench-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("b9-{}.wal", UNIQUE.fetch_add(1, Ordering::Relaxed)))
+}
+
+fn policy_name(p: FsyncPolicy) -> &'static str {
+    match p {
+        FsyncPolicy::PerCommit => "per_commit",
+        FsyncPolicy::Group => "group",
+        FsyncPolicy::Never => "never",
+    }
+}
+
+/// One writer transaction: a small atomic group, like the mixed workload's.
+fn commit_group(handle: &DbHandle, tag: u64) {
+    let db = handle.committed();
+    let state = db.schema().atom_type_id("state").unwrap();
+    let area = db.schema().atom_type_id("area").unwrap();
+    let sa = db.schema().link_type_id("state-area").unwrap();
+    loop {
+        let mut t = Transaction::begin(handle);
+        let s = t
+            .insert_atom(state, vec![Value::from(format!("b{tag}")), Value::from(1.0)])
+            .unwrap();
+        let a = t.insert_atom(area, vec![Value::from(tag as i64)]).unwrap();
+        t.connect(sa, s, a).unwrap();
+        match t.commit() {
+            Ok(_) => return,
+            Err(e) if e.is_conflict() => continue,
+            Err(e) => panic!("durable commit failed: {e}"),
+        }
+    }
+}
+
+/// One minimal writer transaction: a single conflict-free attribute update
+/// on the writer's own pre-seeded atom. Keeps the commit CPU cost tiny so
+/// the burst benches isolate the durability cost (the fsync schedule),
+/// not op application.
+fn commit_update(handle: &DbHandle, slot: u32, n: u64) {
+    let db = handle.committed();
+    let state = db.schema().atom_type_id("state").unwrap();
+    let mut t = Transaction::begin(handle);
+    t.update_attr(mad_model::AtomId::new(state, slot), 1, Value::from(n as f64))
+        .unwrap();
+    t.commit().unwrap();
+}
+
+/// The mixed database plus one pre-seeded state per writer, so update
+/// bursts are conflict-free.
+fn burst_database(writers: u64) -> mad_storage::Database {
+    let mut db = mixed_database().unwrap();
+    let state = db.schema().atom_type_id("state").unwrap();
+    for w in 0..writers {
+        db.insert_atom(state, vec![Value::from(format!("w{w}")), Value::from(0.0)])
+            .unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B9_wal");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+
+    // ------------------------------------------------------------------
+    // single-writer commit latency per fsync policy (update-only, so the
+    // database does not grow across iterations and the number isolates
+    // the durability cost, not CoW store copies)
+    for policy in [FsyncPolicy::Never, FsyncPolicy::Group, FsyncPolicy::PerCommit] {
+        let path = fresh_wal_path();
+        let handle = DbHandle::create_durable(mixed_database().unwrap(), &path, policy).unwrap();
+        let state = handle.committed().schema().atom_type_id("state").unwrap();
+        let contended = mad_model::AtomId::new(state, 0);
+        let mut n = 0u64;
+        group.bench_function(format!("commit_latency/{}", policy_name(policy)), |b| {
+            b.iter(|| {
+                n += 1;
+                let mut t = Transaction::begin(&handle);
+                t.update_attr(contended, 1, Value::from(n as f64)).unwrap();
+                t.commit().unwrap()
+            })
+        });
+        drop(handle);
+        std::fs::remove_file(&path).ok();
+    }
+
+    // ------------------------------------------------------------------
+    // concurrent-writer bursts: group commit vs fsync-per-commit
+    const COMMITS_PER_BURST: u64 = 96; // total, split across the writers
+    for policy in [FsyncPolicy::PerCommit, FsyncPolicy::Group] {
+        for writers in [1u64, 4, 16] {
+            group.bench_function(
+                format!("burst_{}/w{writers}", policy_name(policy)),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            // handle + log creation is setup, not burst
+                            let path = fresh_wal_path();
+                            let handle =
+                                DbHandle::create_durable(burst_database(writers), &path, policy)
+                                    .unwrap();
+                            (path, handle)
+                        },
+                        |(path, handle)| {
+                            let quota = COMMITS_PER_BURST / writers;
+                            std::thread::scope(|scope| {
+                                for w in 0..writers {
+                                    let handle = handle.clone();
+                                    scope.spawn(move || {
+                                        for i in 0..quota {
+                                            commit_update(&handle, 1 + w as u32, i);
+                                        }
+                                    });
+                                }
+                            });
+                            let fsyncs = handle.wal_fsync_count().unwrap();
+                            drop(handle);
+                            std::fs::remove_file(&path).ok();
+                            fsyncs
+                        },
+                        criterion::BatchSize::PerIteration,
+                    )
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // recovery time vs log length
+    for commits in [100u64, 1000] {
+        let path = fresh_wal_path();
+        let handle =
+            DbHandle::create_durable(mixed_database().unwrap(), &path, FsyncPolicy::Never)
+                .unwrap();
+        for i in 0..commits {
+            commit_group(&handle, i);
+        }
+        drop(handle);
+        group.bench_function(format!("recovery/commits_{commits}"), |b| {
+            b.iter(|| {
+                let h = DbHandle::open_durable(&path, FsyncPolicy::Never).unwrap();
+                assert_eq!(h.recovery_info().unwrap().commits_replayed, commits);
+                h
+            })
+        });
+        std::fs::remove_file(&path).ok();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -226,7 +226,7 @@ pub fn fig5() {
     );
 }
 
-/// §3.1 in-text example — ×(area, edge) = border; σ[hectare>1000](border);
+/// §3.1 in-text example — ×(area, edge) = border; σ\[hectare>1000\](border);
 /// and the relational equivalents.
 pub fn e6_border() {
     heading("E6 — §3.1 example: ×(area,edge)=border, σ[hectare>1000], relational equivalent");

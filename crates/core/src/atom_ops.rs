@@ -5,7 +5,7 @@
 //! navigate from derived types (Theorem 1's closure over DB*).
 //!
 //! Link-type inheritance, reconstructed from the paper's description
-//! ([Mi88a] holds the full definition): for every link type touching an
+//! (\[Mi88a\] holds the full definition): for every link type touching an
 //! operand type, the result type receives a derived link type to the same
 //! partner type; a result atom is linked to exactly the partners of the
 //! source atom(s) it was built from. Cardinality restrictions are *not*

@@ -17,7 +17,7 @@
 //! |---|---|---|
 //! | [`Strategy::PerRoot`] | one depth-first hierarchical join per root atom; simplest, cache-friendly for small molecules | hash-map [`mad_storage::LinkStore`] probes |
 //! | [`Strategy::LevelAtATime`] | set-oriented hierarchical join over `(atom, root-set)` relations; adjacency of a **shared** subobject is scanned once in total | hash-map probes, one per distinct atom |
-//! | [`Strategy::Bitset`] | second-generation engine: per-node atom sets are dense slot-indexed [`BitSet`]s, frontiers expand in batch, the ∀-intersection over incoming edges is a word-wise `AND` | frozen [`CsrSnapshot`](mad_storage::CsrSnapshot) sequential scans |
+//! | [`Strategy::Bitset`] | second-generation engine: per-node atom sets are dense slot-indexed [`BitSet`]s, frontiers expand in batch, the ∀-intersection over incoming edges is a word-wise `AND` | frozen [`CsrSnapshot`] sequential scans |
 //! | [`Strategy::Parallel`] | the bitset engine partitioned by **slot ranges**: the qualified root set is split into contiguous chunks and fanned over `std::thread::scope` workers (the "query parallelism" outlook of §5) | one shared `Arc<CsrSnapshot>` across all workers |
 //!
 //! `Parallel` is exactly `Bitset` per worker — same per-node pruning

@@ -9,13 +9,13 @@
 //! |---|---|
 //! | Def. 4 atom-type ops π σ × ω δ (+ link inheritance) | [`atom_ops`] |
 //! | Def. 5 molecule-type description, `md_graph` | [`structure`] |
-//! | Def. 6 `m_dom`, `contained`, `total` | [`derive`] |
+//! | Def. 6 `m_dom`, `contained`, `total` | [`derive`](mod@derive) |
 //! | Def. 7/8 molecule type, operator α | [`molecule`], [`ops`] |
-//! | Def. 9 propagation `prop` | [`ops::Engine::prop_result_set`] (via [`provenance`]) |
+//! | Def. 9 propagation `prop` | `Engine`'s propagation step (via [`provenance`]) |
 //! | Def. 10 Σ (and the omitted Π X Ω Δ, Ψ) | [`ops`] |
 //! | §3.2 qualification formulas `restr(md)` | [`qual`] |
-//! | §5 recursive molecule types [Schö89] | [`recursive`] |
-//! | §5 query optimization outlook | [`explain`] |
+//! | §5 recursive molecule types \[Schö89\] | [`recursive`] |
+//! | §5 query optimization outlook | [`explain`](mod@explain) |
 //! | Fig. 5 staged operator pipeline | [`trace`] |
 //!
 //! The closure theorems (1–3) are not just claimed: [`derive::check_molecule`]

@@ -14,14 +14,14 @@
 //!
 //! Every operator follows the Fig. 5 pipeline: an operation-specific action
 //! produces a *result set* (structure + molecules, expressed over canonical
-//! base atoms), [`prop`](Engine::prop_result_set) materializes it into the
+//! base atoms), `prop` materializes it into the
 //! enlarged database DB′ as renamed atom types and inherited link types
 //! (Def. 9), and the closing molecule-type definition yields the result.
 //! Theorems 2–3 — every operator output is a valid molecule type over DB′ —
 //! are checked *experimentally* by [`Engine::verify_closure`], which
 //! re-derives `m_dom(md)` over DB′ and compares.
 //!
-//! ### Projection caveat (reconstructed from [Mi88a])
+//! ### Projection caveat (reconstructed from \[Mi88a\])
 //!
 //! Π removes structure nodes (and, optionally, attributes). The kept node
 //! set must be *predecessor-closed*: every kept node keeps all its incoming

@@ -1,4 +1,4 @@
-//! Recursive molecule types — the §5 outlook feature ([Schö89]).
+//! Recursive molecule types — the §5 outlook feature (\[Schö89\]).
 //!
 //! "The MAD model allows for reflexive link types and for other cycles in
 //! the database schema; e.g. for modeling a bill-of-material application.
@@ -16,7 +16,7 @@
 //! Since PR 2 the unfolding rides the same storage engine as
 //! `Strategy::Bitset`: the contained set and each BFS level are dense
 //! slot-indexed [`BitSet`]s, and frontiers expand through the database's
-//! frozen [`CsrSnapshot`](mad_storage::CsrSnapshot) with sequential
+//! frozen [`CsrSnapshot`] with sequential
 //! partner scans — no per-atom hash probes remain on the recursive hot
 //! path, and a whole [`derive_recursive`] sweep shares one snapshot
 //! across all roots.

@@ -52,6 +52,14 @@ pub enum MadError {
     Analysis { detail: String },
     /// Snapshot (de)serialization failure.
     Snapshot { detail: String },
+    /// Binary codec failure: truncated, malformed or unknown-tag input (the
+    /// WAL recovery path feeds untrusted torn tails through the decoder, so
+    /// this must surface as an error, never a panic).
+    Codec { detail: String },
+    /// Write-ahead-log failure: an I/O error on the log file, a corrupt
+    /// record beyond the recoverable torn tail, or a recovery replay that
+    /// diverged from the logged commit.
+    Wal { detail: String },
     /// Recursion-specific failure (depth bound exceeded while a finite
     /// unfolding was required).
     Recursion { detail: String },
@@ -100,6 +108,20 @@ impl MadError {
     /// Shorthand for [`MadError::InvalidStructure`].
     pub fn structure(detail: impl Into<String>) -> Self {
         MadError::InvalidStructure {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::Codec`].
+    pub fn codec(detail: impl Into<String>) -> Self {
+        MadError::Codec {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::Wal`].
+    pub fn wal(detail: impl Into<String>) -> Self {
+        MadError::Wal {
             detail: detail.into(),
         }
     }
@@ -170,6 +192,8 @@ impl fmt::Display for MadError {
             }
             MadError::Analysis { detail } => write!(f, "MQL analysis error: {detail}"),
             MadError::Snapshot { detail } => write!(f, "snapshot error: {detail}"),
+            MadError::Codec { detail } => write!(f, "binary codec error: {detail}"),
+            MadError::Wal { detail } => write!(f, "write-ahead-log error: {detail}"),
             MadError::Recursion { detail } => write!(f, "recursion error: {detail}"),
             MadError::TxnConflict { detail } => {
                 write!(f, "transaction conflict: {detail}")

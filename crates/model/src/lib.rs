@@ -19,6 +19,7 @@
 //! atom, relation ↔ atom type, plus the concepts that have *no* relational
 //! counterpart: link, link-type description, link-type occurrence, link type.
 
+pub mod bin;
 pub mod bitset;
 pub mod error;
 pub mod fxhash;

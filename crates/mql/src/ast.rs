@@ -63,6 +63,9 @@ pub enum Statement {
     Commit,
     /// `ABORT` (or `ROLLBACK`) — drop the open transaction's overlay.
     Abort,
+    /// `CHECKPOINT` — fold the write-ahead log into a fresh bootstrap
+    /// image of the committed state (durable shared sessions only).
+    Checkpoint,
 }
 
 /// `SELECT projection FROM from [WHERE expr]`.
@@ -108,7 +111,7 @@ pub enum FromClause {
         structure: StructureAst,
     },
     /// `RECURSIVE type VIA link [DOWN|UP|BOTH] [DEPTH n]` — a recursive
-    /// molecule type ([Schö89]).
+    /// molecule type (\[Schö89\]).
     Recursive {
         /// The traversed atom type.
         atom_type: String,

@@ -58,6 +58,8 @@ pub enum StatementResult {
     },
     /// ABORT dropped the transaction's overlay.
     Aborted,
+    /// CHECKPOINT folded the write-ahead log into a fresh bootstrap image.
+    Checkpointed(mad_txn::CheckpointStats),
 }
 
 /// The write side of DML execution: either a [`Database`] mutated directly
@@ -257,9 +259,11 @@ pub fn execute(
         | Statement::Disconnect { .. }
         | Statement::DeleteAtom { .. }
         | Statement::Update { .. } => execute_dml(engine.db_mut(), stmt),
-        Statement::Begin | Statement::Commit | Statement::Abort => Err(MadError::txn_state(
-            "transaction control statements are handled by the session",
-        )),
+        Statement::Begin | Statement::Commit | Statement::Abort | Statement::Checkpoint => {
+            Err(MadError::txn_state(
+                "transaction control statements are handled by the session",
+            ))
+        }
     }
 }
 

@@ -58,6 +58,10 @@ pub fn render_result(db: &Database, result: &StatementResult) -> String {
             )
         }
         StatementResult::Aborted => "transaction aborted\n".to_owned(),
+        StatementResult::Checkpointed(stats) => format!(
+            "checkpointed: write-ahead log {} -> {} bytes (image at commit {})\n",
+            stats.bytes_before, stats.bytes_after, stats.base_seq
+        ),
     }
 }
 

@@ -52,6 +52,7 @@ pub enum Kw {
     Commit,
     Abort,
     Rollback,
+    Checkpoint,
 }
 
 fn keyword(s: &str) -> Option<Kw> {
@@ -96,6 +97,7 @@ fn keyword(s: &str) -> Option<Kw> {
         "COMMIT" => Kw::Commit,
         "ABORT" => Kw::Abort,
         "ROLLBACK" => Kw::Rollback,
+        "CHECKPOINT" => Kw::Checkpoint,
         _ => return None,
     })
 }

@@ -120,6 +120,10 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 Statement::Abort
             }
+            Some(Tok::Kw(Kw::Checkpoint)) => {
+                self.pos += 1;
+                Statement::Checkpoint
+            }
             _ => return Err(self.err("expected a statement keyword")),
         };
         self.eat(&Tok::Semi);

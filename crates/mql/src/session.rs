@@ -180,6 +180,7 @@ impl Session {
                 remap: info.remap,
             }),
             Statement::Abort => self.abort().map(|_| StatementResult::Aborted),
+            Statement::Checkpoint => self.checkpoint().map(StatementResult::Checkpointed),
             _ if self.txn.is_some() => self.execute_in_txn(stmt),
             _ if self.shared.is_some() && is_dml(stmt) => self.execute_autocommit_dml(stmt),
             _ => {
@@ -262,6 +263,20 @@ impl Session {
             .ok_or_else(|| MadError::txn_state("no open transaction to ABORT"))?;
         active.txn.abort();
         Ok(())
+    }
+
+    /// Fold the shared handle's write-ahead log into a fresh bootstrap
+    /// image of the committed state (the `CHECKPOINT` statement). Requires
+    /// a shared session over a durable handle; commits are held off for
+    /// the duration, reads are not.
+    pub fn checkpoint(&self) -> Result<mad_txn::CheckpointStats> {
+        match &self.shared {
+            Some(h) => h.checkpoint(),
+            None => Err(MadError::wal(
+                "CHECKPOINT requires a session over a shared durable handle \
+                 (Session::shared over DbHandle::create_durable/open_durable)",
+            )),
+        }
     }
 
     /// A fresh query engine over a fork of the transaction's view, carrying
@@ -887,6 +902,65 @@ mod tests {
             s2.execute("SELECT ALL FROM state WHERE state.hectare = 1.0").unwrap(),
         );
         assert_eq!(mt.len(), 1, "the first committer's value survived");
+    }
+
+    #[test]
+    fn durable_shared_sessions_checkpoint_and_recover() {
+        let dir = std::env::temp_dir().join(format!("mad-mql-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mad.wal");
+        let handle =
+            mad_txn::DbHandle::create_durable(mini_geo(), &path, mad_txn::FsyncPolicy::Group)
+                .unwrap();
+        let mut s = Session::shared(handle.clone());
+        // autocommit DML and an explicit transaction, both WAL-logged
+        s.execute("INSERT ATOM state (sname = 'RJ', hectare = 500.0)").unwrap();
+        s.execute_script(
+            "BEGIN;\n\
+             INSERT ATOM area (aid = 9);\n\
+             CONNECT state[sname='RJ'] TO area[aid=9] VIA state-area;\n\
+             COMMIT;",
+        )
+        .unwrap();
+        // CHECKPOINT through MQL shrinks the log
+        let bytes_before_stmt = handle.wal_len_bytes().unwrap();
+        let r = s.execute("CHECKPOINT").unwrap();
+        let StatementResult::Checkpointed(stats) = r else {
+            panic!("expected Checkpointed, got {r:?}")
+        };
+        assert_eq!(stats.bytes_before, bytes_before_stmt);
+        assert!(stats.bytes_after < stats.bytes_before);
+        // one more commit after the checkpoint
+        s.execute("UPDATE state[sname='RJ'] SET hectare = 750.0").unwrap();
+        let expected =
+            mad_storage::DatabaseSnapshot::capture(&handle.committed()).to_json_string();
+        drop(s);
+        drop(handle);
+
+        // restart: a fresh shared session over the recovered handle sees it all
+        let handle = mad_txn::DbHandle::open_durable(&path, mad_txn::FsyncPolicy::Group).unwrap();
+        assert_eq!(
+            mad_storage::DatabaseSnapshot::capture(&handle.committed()).to_json_string(),
+            expected
+        );
+        let mut s = Session::shared(handle);
+        let mt = molecules(
+            s.execute("SELECT ALL FROM state-area WHERE state.hectare = 750.0").unwrap(),
+        );
+        assert_eq!(mt.len(), 1, "recovered molecule derivable through MQL");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_requires_durable_shared_session() {
+        // single-owner sessions have no WAL
+        let mut s = session();
+        assert!(s.execute("CHECKPOINT").is_err());
+        // shared but non-durable handles refuse too
+        let mut s = Session::shared(DbHandle::new(mini_geo()));
+        let err = s.execute("CHECKPOINT").unwrap_err();
+        assert!(err.to_string().contains("durable"), "got {err}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! # mad-nf2 — the NF² (non-first-normal-form) substrate and baseline
 //!
 //! §5 of the paper compares the molecule algebra with the NF² relational
-//! algebra of Schek/Scholl ([SS86]) and finds that nested relations support
+//! algebra of Schek/Scholl (\[SS86\]) and finds that nested relations support
 //! only *hierarchical* complex objects *without shared subobjects*. This
 //! crate builds that comparison partner:
 //!

@@ -1,4 +1,4 @@
-//! Nested relations: the data structures of the NF² model ([SS86]).
+//! Nested relations: the data structures of the NF² model (\[SS86\]).
 //!
 //! A [`NestedRelation`] is a relation whose attributes are either atomic
 //! (a [`mad_model::AttrType`]) or themselves relation-valued. Tuples are

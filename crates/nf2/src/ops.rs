@@ -1,4 +1,4 @@
-//! The NF² algebra core: `nest` ν and `unnest` μ ([SS86]) plus top-level
+//! The NF² algebra core: `nest` ν and `unnest` μ (\[SS86\]) plus top-level
 //! selection and projection.
 //!
 //! The classical identities hold and are tested here and in the property

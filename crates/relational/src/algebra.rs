@@ -1,4 +1,4 @@
-//! The classical relational algebra ([Ul80]) — the model the molecule
+//! The classical relational algebra (\[Ul80\]) — the model the molecule
 //! algebra extends and degenerates to.
 //!
 //! Operations take relations by reference and produce new relations (set

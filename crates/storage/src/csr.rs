@@ -1,7 +1,7 @@
 //! Read-optimized CSR (compressed sparse row) adjacency snapshots.
 //!
 //! The mutable [`crate::LinkStore`] keeps adjacency in hash maps keyed by
-//! [`AtomId`] — ideal for DML, but molecule derivation pays one hash probe
+//! [`AtomId`](mad_model::AtomId) — ideal for DML, but molecule derivation pays one hash probe
 //! per atom per traversed edge. A [`CsrSnapshot`] is the read-optimized
 //! counterpart: built **once** from the live link stores and then shared
 //! immutably across derivations, it stores, per link type and direction, a

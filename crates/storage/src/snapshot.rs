@@ -8,6 +8,7 @@
 
 use crate::database::Database;
 use crate::index::IndexKind;
+use mad_model::bin::{BinDecode, BinEncode, Reader};
 use mad_model::json::{FromJson, Json, ToJson};
 use mad_model::{AtomId, MadError, Result, Schema, Value};
 use std::path::Path;
@@ -43,6 +44,42 @@ impl FromJson for DatabaseSnapshot {
             atoms: Vec::from_json(v.get("atoms")?)?,
             links: Vec::from_json(v.get("links")?)?,
             indexes: Vec::from_json(v.get("indexes")?)?,
+        })
+    }
+}
+
+impl BinEncode for DatabaseSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.schema.encode(out);
+        self.atoms.encode(out);
+        self.links.encode(out);
+        mad_model::bin::put_u32(out, self.indexes.len() as u32);
+        for (ty, attr, ordered) in &self.indexes {
+            ty.encode(out);
+            attr.encode(out);
+            out.push(*ordered as u8);
+        }
+    }
+}
+
+impl BinDecode for DatabaseSnapshot {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let schema = Schema::decode(r)?;
+        let atoms = Vec::decode(r)?;
+        let links = Vec::decode(r)?;
+        let n = r.seq_len()?;
+        let mut indexes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ty = r.str()?;
+            let attr = r.str()?;
+            let ordered = r.u8()? != 0;
+            indexes.push((ty, attr, ordered));
+        }
+        Ok(DatabaseSnapshot {
+            schema,
+            atoms,
+            links,
+            indexes,
         })
     }
 }
@@ -214,6 +251,32 @@ mod tests {
             db2.atom(AtomId::new(state, 1)).unwrap()[0],
             Value::from("MG")
         );
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let mut db = sample_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        db.create_index(state, "sname", IndexKind::Hash).unwrap();
+        // a tombstone, so slot gaps travel through the binary form too
+        db.delete_atom(AtomId::new(state, 0)).unwrap();
+        let snap = DatabaseSnapshot::capture(&db);
+        let bytes = snap.to_bytes();
+        let db2 = DatabaseSnapshot::from_bytes(&bytes).unwrap().restore().unwrap();
+        assert_eq!(
+            DatabaseSnapshot::capture(&db2).to_json_string(),
+            snap.to_json_string(),
+            "binary round-trip must agree with the JSON image"
+        );
+        assert!(db2.has_index(state, 0));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let bytes = DatabaseSnapshot::capture(&sample_db()).to_bytes();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(DatabaseSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

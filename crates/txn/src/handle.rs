@@ -1,10 +1,13 @@
-//! The shared database handle: committed state, publication, commit log.
+//! The shared database handle: committed state, publication, commit log,
+//! durability.
 
 use crate::txn::WriteKey;
 use mad_model::{FxHashSet, MadError, Result};
 use mad_storage::Database;
+use mad_wal::{CheckpointStats, FsyncPolicy, Lsn, RecoveryInfo, Wal, WalOp};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// One published commit: its sequence number and the write-set keys it
 /// published. Kept (pruned) for first-committer-wins validation of
@@ -17,10 +20,30 @@ pub struct CommitRecord {
     pub keys: Vec<WriteKey>,
 }
 
+/// Does (and how does) the handle persist committed transactions?
+#[derive(Clone, Debug, Default)]
+pub enum Durability {
+    /// In-memory only (the default): committed state dies with the
+    /// process.
+    #[default]
+    None,
+    /// Write-ahead logging: every commit appends its resolved op log to
+    /// the file at `path` before acknowledging, per `fsync`.
+    Wal {
+        /// The log file.
+        path: PathBuf,
+        /// When commits wait for stable storage.
+        fsync: FsyncPolicy,
+    },
+}
+
+/// The publication state: everything commit validation needs, guarded by
+/// one mutex. The commit path never holds it across an fsync or an
+/// op-log replay; [`DbHandle::checkpoint`] is the one deliberate
+/// exception — it holds the mutex for the whole log rewrite to fence out
+/// concurrent appends (blocking writers, never snapshot readers).
 #[derive(Debug)]
 struct State {
-    /// The committed image. Immutable once published; replaced wholesale.
-    db: Arc<Database>,
     /// Monotone commit sequence number (0 = the initial load).
     seq: u64,
     /// Commit records newer than the oldest active transaction's begin.
@@ -29,72 +52,222 @@ struct State {
     active: BTreeMap<u64, usize>,
 }
 
+/// The committed image plus the sequence it was published at, behind its
+/// own reader-writer lock so snapshot reads are a lock-clone-unlock pair
+/// that never contends with commit validation or WAL fsync stalls (the
+/// write half is held only for the pointer swap inside publication).
+#[derive(Debug)]
+struct Published {
+    /// The committed image. Immutable once published; replaced wholesale.
+    db: Arc<Database>,
+    /// The sequence number `db` was published at.
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: Mutex<State>,
+    published: RwLock<Published>,
+    /// The write-ahead log, when the handle is durable.
+    wal: Option<Wal>,
+    durability: Durability,
+    /// What recovery found, when this handle was opened from a log.
+    recovery: Option<RecoveryInfo>,
+}
+
 /// A cloneable, thread-safe handle to one shared MAD database.
 ///
 /// All sessions of a deployment hold clones of one `DbHandle`. Readers take
 /// a consistent frozen image with [`DbHandle::committed`]; writers go
 /// through [`crate::Transaction`]. Publication is atomic: the committed
-/// `Arc<Database>` is swapped under the handle's lock, in-flight readers
-/// keep whatever image they already cloned.
+/// `Arc<Database>` is swapped under a dedicated read-write lock, in-flight
+/// readers keep whatever image they already cloned, and new readers are
+/// never blocked behind commit validation or a WAL fsync.
+///
+/// A durable handle ([`DbHandle::create_durable`] /
+/// [`DbHandle::open_durable`] / [`DbHandle::with_durability`]) additionally
+/// appends every commit's resolved op log to a [`Wal`] before
+/// acknowledging it, and can [`DbHandle::checkpoint`] the log back down to
+/// a bootstrap image.
 #[derive(Clone, Debug)]
 pub struct DbHandle {
-    inner: Arc<Mutex<State>>,
+    inner: Arc<Inner>,
 }
 
 impl DbHandle {
-    /// Wrap a loaded database as commit 0 of a shared handle.
+    /// Wrap a loaded database as commit 0 of a shared, **non-durable**
+    /// handle.
     pub fn new(db: Database) -> Self {
-        DbHandle {
-            inner: Arc::new(Mutex::new(State {
-                db: Arc::new(db),
-                seq: 0,
-                log: Vec::new(),
-                active: BTreeMap::new(),
-            })),
+        Self::build(db, 0, None, Durability::None, None)
+    }
+
+    /// Wrap `db` as the bootstrap image of a **new** write-ahead log at
+    /// `path` (error if the file already exists — recover with
+    /// [`DbHandle::open_durable`] instead).
+    pub fn create_durable(
+        db: Database,
+        path: impl AsRef<Path>,
+        fsync: FsyncPolicy,
+    ) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let wal = Wal::create(&path, &db, fsync)?;
+        Ok(Self::build(db, 0, Some(wal), Durability::Wal { path, fsync }, None))
+    }
+
+    /// Recover the committed state from the write-ahead log at `path`
+    /// (error if it does not exist): torn tail truncated, bootstrap image
+    /// restored, every complete commit record replayed.
+    pub fn open_durable(path: impl AsRef<Path>, fsync: FsyncPolicy) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let (wal, db, info) = Wal::recover(&path, fsync)?;
+        Ok(Self::build(
+            db,
+            info.last_seq,
+            Some(wal),
+            Durability::Wal { path, fsync },
+            Some(info),
+        ))
+    }
+
+    /// The `Durability` knob as one constructor: [`Durability::None`]
+    /// behaves like [`DbHandle::new`]; [`Durability::Wal`] opens the log
+    /// if it exists (recovering from it — `db` is then **ignored** in
+    /// favor of the logged state) and otherwise creates it with `db` as
+    /// the bootstrap image.
+    pub fn with_durability(db: Database, durability: Durability) -> Result<Self> {
+        match durability {
+            Durability::None => Ok(Self::new(db)),
+            Durability::Wal { path, fsync } => {
+                if path.exists() {
+                    Self::open_durable(path, fsync)
+                } else {
+                    Self::create_durable(db, path, fsync)
+                }
+            }
         }
+    }
+
+    fn build(
+        db: Database,
+        seq: u64,
+        wal: Option<Wal>,
+        durability: Durability,
+        recovery: Option<RecoveryInfo>,
+    ) -> Self {
+        DbHandle {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    seq,
+                    log: Vec::new(),
+                    active: BTreeMap::new(),
+                }),
+                published: RwLock::new(Published {
+                    db: Arc::new(db),
+                    seq,
+                }),
+                wal,
+                durability,
+                recovery,
+            }),
+        }
+    }
+
+    /// How this handle persists commits.
+    pub fn durability(&self) -> &Durability {
+        &self.inner.durability
+    }
+
+    /// Is every commit written ahead to a log?
+    pub fn is_durable(&self) -> bool {
+        self.inner.wal.is_some()
+    }
+
+    /// What recovery found when this handle was opened from an existing
+    /// log (`None` for fresh or non-durable handles).
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.inner.recovery
+    }
+
+    /// Current write-ahead-log size in bytes (`None` when not durable).
+    pub fn wal_len_bytes(&self) -> Option<u64> {
+        self.inner.wal.as_ref().map(Wal::len_bytes)
+    }
+
+    /// Fsyncs the log has performed since open (`None` when not durable).
+    /// Group commit shows up as `fsyncs ≪ commits`.
+    pub fn wal_fsync_count(&self) -> Option<u64> {
+        self.inner.wal.as_ref().map(Wal::fsync_count)
+    }
+
+    /// Fold the log into a fresh bootstrap image of the current committed
+    /// state and drop every commit record, bounding log size and recovery
+    /// time. Writers — commits *and* new transaction begins — are held
+    /// off for the whole rewrite (snapshot capture, write, fsync, atomic
+    /// rename); snapshot readers are not. Errors on a non-durable handle.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        let Some(wal) = &self.inner.wal else {
+            return Err(MadError::wal(
+                "CHECKPOINT requires a durable handle (no write-ahead log attached)",
+            ));
+        };
+        // hold the publication mutex so no commit appends mid-rewrite
+        let _st = self.inner.state.lock().unwrap();
+        let (db, seq) = {
+            let p = self.inner.published.read().unwrap();
+            (Arc::clone(&p.db), p.seq)
+        };
+        wal.checkpoint(&db, seq)
     }
 
     /// The current committed image. The returned `Arc` is a consistent
     /// snapshot: it never changes, no matter what commits afterwards.
+    ///
+    /// This is an atomic load off the publication fast path: it touches
+    /// only the published cell, so a reader is never blocked behind
+    /// commit validation, op-log replay or a WAL fsync.
     pub fn committed(&self) -> Arc<Database> {
-        Arc::clone(&self.inner.lock().unwrap().db)
+        Arc::clone(&self.inner.published.read().unwrap().db)
     }
 
     /// The current commit sequence number (how many commits have been
     /// published). Sessions use it to detect that their cached fork of the
     /// committed state is stale.
     pub fn commit_seq(&self) -> u64 {
-        self.inner.lock().unwrap().seq
+        self.inner.published.read().unwrap().seq
     }
 
     /// A copy-on-write fork of the committed image plus the sequence number
     /// it was taken at — the cheap way for a session to get a *mutable*
     /// working copy (e.g. for autocommit query scratch space).
     pub fn fork(&self) -> (Database, u64) {
-        let st = self.inner.lock().unwrap();
-        ((*st.db).clone(), st.seq)
+        let p = self.inner.published.read().unwrap();
+        ((*p.db).clone(), p.seq)
     }
 
     /// How many commit records the first-committer-wins log currently
     /// retains (bounded by in-flight contention; exposed for tests and
     /// monitoring).
     pub fn commit_log_len(&self) -> usize {
-        self.inner.lock().unwrap().log.len()
+        self.inner.state.lock().unwrap().log.len()
     }
 
     /// Begin bookkeeping: returns `(committed image, begin_seq)` and
     /// registers the transaction as active at that sequence.
     pub(crate) fn begin_txn(&self) -> (Arc<Database>, u64) {
-        let mut st = self.inner.lock().unwrap();
-        let seq = st.seq;
+        let mut st = self.inner.state.lock().unwrap();
+        let (db, seq) = {
+            let p = self.inner.published.read().unwrap();
+            (Arc::clone(&p.db), p.seq)
+        };
+        debug_assert_eq!(seq, st.seq);
         *st.active.entry(seq).or_insert(0) += 1;
-        (Arc::clone(&st.db), seq)
+        (db, seq)
     }
 
     /// Drop an active transaction's registration (abort, or the cleanup
     /// half of commit) and prune the commit log.
     pub(crate) fn finish_txn(&self, begin_seq: u64) {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.inner.state.lock().unwrap();
         Self::unregister(&mut st, begin_seq);
     }
 
@@ -114,16 +287,19 @@ impl DbHandle {
         }
     }
 
-    /// One optimistic publication attempt, entirely under the handle lock
-    /// but doing **no heavy work there** (key-set validation and an `Arc`
-    /// pointer comparison only — op-log replay happens outside, between
-    /// attempts, so readers are never blocked behind a contended commit).
+    /// One optimistic publication attempt, entirely under the publication
+    /// mutex but doing **no heavy work there** (key-set validation, an
+    /// `Arc` pointer comparison and — on a durable handle — the buffered
+    /// WAL append; fsync waiting and op-log replay happen outside, so
+    /// readers and other committers are never blocked behind them).
     ///
     /// * `Err(TxnConflict)` — first-committer-wins validation failed; the
-    ///   transaction is unregistered (aborted).
-    /// * `Ok(Published(seq))` — `candidate` was built against `expected`
-    ///   and `expected` is still the committed state: published, record
-    ///   appended, transaction unregistered.
+    ///   transaction is unregistered (aborted). A WAL append failure
+    ///   reports the same way (as its own error): nothing was published.
+    /// * `Ok(Published { .. })` — `candidate` was built against `expected`
+    ///   and `expected` is still the committed state: record logged (when
+    ///   durable), published, transaction unregistered. The caller must
+    ///   still await `lsn` per the fsync policy before acknowledging.
     /// * `Ok(Stale(current))` — another commit landed since `expected` was
     ///   observed; the caller must replay against `current` and try again
     ///   (the transaction stays registered).
@@ -133,8 +309,9 @@ impl DbHandle {
         expected: &Arc<Database>,
         keys: &FxHashSet<WriteKey>,
         candidate: Database,
+        wal_ops: Option<&[WalOp]>,
     ) -> Result<PublishOutcome> {
-        let mut st = self.inner.lock().unwrap();
+        let mut st = self.inner.state.lock().unwrap();
         // first-committer-wins: any committed write since our begin that
         // overlaps our write-set aborts us.
         let conflict = st
@@ -153,25 +330,71 @@ impl DbHandle {
                 "write-write conflict on {key} with the transaction committed at sequence {seq}"
             )));
         }
-        if !Arc::ptr_eq(&st.db, expected) {
-            return Ok(PublishOutcome::Stale(Arc::clone(&st.db)));
+        if !Arc::ptr_eq(&self.inner.published.read().unwrap().db, expected) {
+            return Ok(PublishOutcome::Stale(self.committed()));
         }
-        st.seq += 1;
-        let seq = st.seq;
+        let seq = st.seq + 1;
+        // write-ahead: the record must be in the log (buffered) before the
+        // state becomes visible; an append failure publishes nothing
+        let lsn = match (&self.inner.wal, wal_ops) {
+            (Some(wal), Some(ops)) => match wal.append_commit(seq, ops) {
+                Ok(lsn) => Some(lsn),
+                Err(e) => {
+                    Self::unregister(&mut st, begin_seq);
+                    return Err(e);
+                }
+            },
+            (None, _) => None,
+            (Some(_), None) => {
+                // a durable handle was handed no ops — a caller bug, and
+                // publishing would silently lose the commit on restart
+                Self::unregister(&mut st, begin_seq);
+                return Err(MadError::wal(
+                    "durable publication without a serialized op log",
+                ));
+            }
+        };
+        st.seq = seq;
         st.log.push(CommitRecord {
             seq,
             keys: keys.iter().cloned().collect(),
         });
-        st.db = Arc::new(candidate);
+        {
+            let mut p = self.inner.published.write().unwrap();
+            p.db = Arc::new(candidate);
+            p.seq = seq;
+        }
         Self::unregister(&mut st, begin_seq);
-        Ok(PublishOutcome::Published(seq))
+        Ok(PublishOutcome::Published { seq, lsn })
+    }
+
+    /// Wait for the WAL record at `lsn` per the fsync policy (no-op for
+    /// non-durable handles).
+    pub(crate) fn wait_durable(&self, lsn: Option<Lsn>) -> Result<()> {
+        match (&self.inner.wal, lsn) {
+            (Some(wal), Some(lsn)) => wal.wait_durable(lsn),
+            _ => Ok(()),
+        }
+    }
+
+    /// Test hook: hold the publication mutex, proving reads stay
+    /// unblocked while a commit (or fsync stall) owns it.
+    #[cfg(test)]
+    pub(crate) fn lock_publication_for_test(&self) -> std::sync::MutexGuard<'_, impl Sized> {
+        self.inner.state.lock().unwrap()
     }
 }
 
 /// Result of one [`DbHandle::publish_if`] attempt.
 pub(crate) enum PublishOutcome {
     /// Published at this commit sequence; the transaction is finished.
-    Published(u64),
+    /// `lsn` is the WAL position to await (durable handles only).
+    Published {
+        /// The published commit sequence.
+        seq: u64,
+        /// WAL position of the record, if the handle is durable.
+        lsn: Option<Lsn>,
+    },
     /// The committed state moved; replay against the carried image and
     /// retry.
     Stale(Arc<Database>),

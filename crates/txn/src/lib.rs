@@ -70,6 +70,27 @@
 //! index creation are deliberately **not** transactional — they remain
 //! load-time, single-owner operations (see ROADMAP follow-ons).
 //!
+//! ## Durability
+//!
+//! A handle opened with [`DbHandle::create_durable`] /
+//! [`DbHandle::open_durable`] (or the [`Durability`] knob on
+//! [`DbHandle::with_durability`]) write-ahead-logs every commit: at
+//! publication time the validated op log — with provisional ids resolved
+//! to their committed slots — is appended to a `mad_wal::Wal` *before*
+//! the new state becomes visible, and `commit()` returns only once the
+//! record is durable per the [`mad_wal::FsyncPolicy`]
+//! (`PerCommit` | `Group` | `Never`; `Group` batches one fsync over every
+//! commit that arrives while the previous fsync is in flight). Reopening
+//! the log recovers exactly the acknowledged commits:
+//! [`DbHandle::open_durable`] truncates any torn tail, restores the
+//! bootstrap image and replays the records through the full storage
+//! integrity machinery. [`DbHandle::checkpoint`] folds the log back into
+//! a bootstrap image of the current committed state.
+//!
+//! Snapshot reads ([`DbHandle::committed`] / [`DbHandle::fork`]) live on
+//! a dedicated read-write cell off the publication mutex, so a commit
+//! stalled in `fsync` never blocks readers.
+//!
 //! ```
 //! use mad_model::{AttrType, SchemaBuilder, Value};
 //! use mad_storage::Database;
@@ -95,5 +116,8 @@
 mod handle;
 mod txn;
 
-pub use handle::{CommitRecord, DbHandle};
+pub use handle::{CommitRecord, DbHandle, Durability};
 pub use txn::{CommitInfo, Transaction, WriteKey};
+
+// the durability knob's vocabulary, so sessions need no direct wal dep
+pub use mad_wal::{CheckpointStats, FsyncPolicy, RecoveryInfo};

@@ -3,6 +3,7 @@
 use crate::handle::{DbHandle, PublishOutcome};
 use mad_model::{AtomId, AtomTypeId, FxHashMap, FxHashSet, LinkTypeId, MadError, Result, Value};
 use mad_storage::Database;
+use mad_wal::WalOp;
 use std::fmt;
 use std::sync::Arc;
 
@@ -271,6 +272,16 @@ impl Transaction {
     /// the op log is replayed against the newest state *outside* the lock
     /// and the attempt repeats, so concurrent readers are never blocked
     /// behind a heavy commit.
+    ///
+    /// **Durability caveat**: on a durable handle, a [`MadError::Wal`]
+    /// error from the post-publication fsync wait means the commit **was
+    /// published** (all sessions see it) but its durability is unknown —
+    /// it is not a failed transaction and must not be retried. The
+    /// handle's log is poisoned: further durable commits fail until a
+    /// successful `checkpoint()` rebuilds the log or the database is
+    /// reopened. Errors *before* publication (validation conflicts,
+    /// replay failures, the WAL append itself) keep the guarantee that
+    /// nothing was published.
     pub fn commit(mut self) -> Result<CommitInfo> {
         self.finished = true;
         if self.ops.is_empty() {
@@ -289,9 +300,19 @@ impl Transaction {
         let mut candidate = std::mem::take(&mut self.local);
         let mut observed = Arc::clone(&self.begin);
         let mut remap: FxHashMap<AtomId, AtomId> = FxHashMap::default();
+        let durable = handle.is_durable();
         loop {
-            match handle.publish_if(begin_seq, &observed, &keys, candidate)? {
-                PublishOutcome::Published(seq) => {
+            // the WAL record carries the op log with every provisional id
+            // resolved to where this candidate actually placed it, so
+            // recovery replay is deterministic; rebuilt per attempt since
+            // a replayed attempt maps ids differently
+            let wal_ops = durable.then(|| resolve_ops(&ops, &remap));
+            match handle.publish_if(begin_seq, &observed, &keys, candidate, wal_ops.as_deref())? {
+                PublishOutcome::Published { seq, lsn } => {
+                    // the commit is acknowledged only once its record is
+                    // durable per the handle's fsync policy (group commit
+                    // batches this wait with concurrent committers)
+                    handle.wait_durable(lsn)?;
                     // identity mappings (the replayed insert landed on its
                     // provisional slot anyway) are not remappings the
                     // caller needs to see
@@ -333,6 +354,53 @@ impl Drop for Transaction {
             self.handle.finish_txn(self.begin_seq);
         }
     }
+}
+
+/// Serialize the op log for the write-ahead log, resolving every
+/// provisional id through `remap` (empty on the fast path, where
+/// provisional ids *are* the committed ids). Later ops referencing a
+/// transaction-born atom always find it in `remap` after a replay, because
+/// the replay mapped its insert first.
+fn resolve_ops(ops: &[TxnOp], remap: &FxHashMap<AtomId, AtomId>) -> Vec<WalOp> {
+    let res = |id: AtomId| remap.get(&id).copied().unwrap_or(id);
+    ops.iter()
+        .map(|op| match op {
+            TxnOp::Insert {
+                ty,
+                tuple,
+                provisional,
+            } => WalOp::Insert {
+                ty: *ty,
+                tuple: tuple.clone(),
+                id: res(*provisional),
+            },
+            TxnOp::InsertBatch {
+                ty,
+                tuples,
+                provisional,
+            } => WalOp::InsertBatch {
+                ty: *ty,
+                tuples: tuples.clone(),
+                ids: provisional.iter().map(|&p| res(p)).collect(),
+            },
+            TxnOp::Delete { id } => WalOp::Delete { id: res(*id) },
+            TxnOp::UpdateAttr { id, attr, value } => WalOp::UpdateAttr {
+                id: res(*id),
+                attr: *attr as u32,
+                value: value.clone(),
+            },
+            TxnOp::Connect { lt, side0, side1 } => WalOp::Connect {
+                lt: *lt,
+                side0: res(*side0),
+                side1: res(*side1),
+            },
+            TxnOp::Disconnect { lt, side0, side1 } => WalOp::Disconnect {
+                lt: *lt,
+                side0: res(*side0),
+                side1: res(*side1),
+            },
+        })
+        .collect()
 }
 
 /// Replay the op log against a fork of the *current* committed state,
@@ -634,6 +702,168 @@ mod tests {
             snap.adjacency(bc, Direction::Fwd),
         ));
         txn.abort();
+    }
+
+    #[test]
+    fn committed_reads_bypass_the_publication_mutex() {
+        // the lock-free-publication bugfix: a commit stalled inside the
+        // publication mutex (e.g. on a WAL fsync) must not block snapshot
+        // reads — committed()/fork()/commit_seq() go through the published
+        // cell only
+        let h = geo_handle();
+        let state = ty(&h, "state");
+        let guard = h.lock_publication_for_test();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let h2 = h.clone();
+        let reader = std::thread::spawn(move || {
+            let db = h2.committed();
+            let _ = h2.fork();
+            let seq = h2.commit_seq();
+            done_tx.send((db.atom_count(state), seq)).unwrap();
+        });
+        let (count, seq) = done_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("reader blocked behind the held publication mutex");
+        assert_eq!((count, seq), (1, 0));
+        drop(guard);
+        reader.join().unwrap();
+    }
+
+    fn wal_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mad-txn-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("mad.wal")
+    }
+
+    fn geo_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text), ("pop", AttrType::Int)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .build()
+            .unwrap();
+        Database::new(schema)
+    }
+
+    #[test]
+    fn durable_commits_survive_reopen() {
+        let path = wal_path("reopen");
+        let h = DbHandle::create_durable(geo_db(), &path, mad_wal::FsyncPolicy::Group).unwrap();
+        let state = ty(&h, "state");
+        let area = ty(&h, "area");
+        let sa = lt(&h, "state-area");
+        let mut t = Transaction::begin(&h);
+        let s = t.insert_atom(state, vec![Value::from("SP"), Value::from(10)]).unwrap();
+        let a = t.insert_atom(area, vec![Value::from(1)]).unwrap();
+        t.connect(sa, s, a).unwrap();
+        t.commit().unwrap();
+        let mut t = Transaction::begin(&h);
+        t.update_attr(s, 1, Value::from(11)).unwrap();
+        t.commit().unwrap();
+        let expected = DatabaseSnapshot::capture(&h.committed()).to_json_string();
+        drop(h);
+
+        let h2 = DbHandle::open_durable(&path, mad_wal::FsyncPolicy::Group).unwrap();
+        let info = h2.recovery_info().unwrap();
+        assert_eq!(info.commits_replayed, 2);
+        assert_eq!(h2.commit_seq(), 2, "sequence numbering continues across restart");
+        assert_eq!(
+            DatabaseSnapshot::capture(&h2.committed()).to_json_string(),
+            expected,
+            "recovered state must be byte-identical"
+        );
+        // and the recovered handle keeps committing durably
+        let mut t = Transaction::begin(&h2);
+        t.update_attr(AtomId::new(state, 0), 1, Value::from(12)).unwrap();
+        assert_eq!(t.commit().unwrap().seq, 3);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn durable_contended_commit_logs_resolved_ids() {
+        // the second committer's inserts are remapped during replay; the
+        // WAL must carry the *resolved* slots so recovery reproduces the
+        // published state exactly
+        let path = wal_path("remap");
+        let h = DbHandle::create_durable(geo_db(), &path, mad_wal::FsyncPolicy::Group).unwrap();
+        let state = ty(&h, "state");
+        let area = ty(&h, "area");
+        let sa = lt(&h, "state-area");
+        let mut t1 = Transaction::begin(&h);
+        let mut t2 = Transaction::begin(&h);
+        t1.insert_atom(state, vec![Value::from("RJ"), Value::from(7)]).unwrap();
+        let mg = t2.insert_atom(state, vec![Value::from("MG"), Value::from(9)]).unwrap();
+        let a = t2.insert_atom(area, vec![Value::from(2)]).unwrap();
+        t2.connect(sa, mg, a).unwrap();
+        t1.commit().unwrap();
+        let info = t2.commit().unwrap();
+        assert!(!info.remap.is_empty(), "the test needs the contended path");
+        let expected = DatabaseSnapshot::capture(&h.committed()).to_json_string();
+        drop(h);
+        let h2 = DbHandle::open_durable(&path, mad_wal::FsyncPolicy::Group).unwrap();
+        assert_eq!(
+            DatabaseSnapshot::capture(&h2.committed()).to_json_string(),
+            expected
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn with_durability_knob_creates_then_recovers() {
+        let path = wal_path("knob");
+        let d = crate::Durability::Wal {
+            path: path.clone(),
+            fsync: mad_wal::FsyncPolicy::PerCommit,
+        };
+        let h = DbHandle::with_durability(geo_db(), d.clone()).unwrap();
+        assert!(h.is_durable());
+        assert!(h.recovery_info().is_none(), "fresh log, nothing recovered");
+        let state = ty(&h, "state");
+        let mut t = Transaction::begin(&h);
+        t.insert_atom(state, vec![Value::from("SP"), Value::from(1)]).unwrap();
+        t.commit().unwrap();
+        drop(h);
+        // same knob, existing log: the bootstrap argument is ignored,
+        // the logged state wins
+        let h2 = DbHandle::with_durability(geo_db(), d).unwrap();
+        assert!(h2.recovery_info().is_some());
+        assert_eq!(h2.committed().atom_count(state), 1);
+        // non-durable handles refuse CHECKPOINT
+        assert!(DbHandle::new(geo_db()).checkpoint().is_err());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn checkpoint_bounds_log_and_recovery() {
+        let path = wal_path("ckpt");
+        let h = DbHandle::create_durable(geo_db(), &path, mad_wal::FsyncPolicy::Group).unwrap();
+        let state = ty(&h, "state");
+        for i in 0..30 {
+            let mut t = Transaction::begin(&h);
+            t.insert_atom(state, vec![Value::from(format!("s{i}")), Value::from(i)])
+                .unwrap();
+            t.commit().unwrap();
+        }
+        let before = h.wal_len_bytes().unwrap();
+        let stats = h.checkpoint().unwrap();
+        assert_eq!(stats.bytes_before, before);
+        assert!(h.wal_len_bytes().unwrap() < before);
+        // post-checkpoint commits land in the fresh log
+        let mut t = Transaction::begin(&h);
+        t.insert_atom(state, vec![Value::from("late"), Value::from(99)]).unwrap();
+        t.commit().unwrap();
+        let expected = DatabaseSnapshot::capture(&h.committed()).to_json_string();
+        drop(h);
+        let h2 = DbHandle::open_durable(&path, mad_wal::FsyncPolicy::Group).unwrap();
+        let info = h2.recovery_info().unwrap();
+        assert_eq!(info.commits_replayed, 1, "only the post-checkpoint commit replays");
+        assert_eq!(h2.commit_seq(), 31);
+        assert_eq!(
+            DatabaseSnapshot::capture(&h2.committed()).to_json_string(),
+            expected
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
     }
 
     #[test]

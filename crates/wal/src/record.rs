@@ -1,0 +1,458 @@
+//! The WAL record format: logged operations, record payloads, framing.
+//!
+//! This module is the **normative spec** of what goes on disk (see
+//! `ARCHITECTURE.md` for the prose version):
+//!
+//! ```text
+//! file   := magic frame*
+//! magic  := "MADWAL1\n"                         (8 bytes)
+//! frame  := len:u32le crc:u32le payload[len]    (crc = CRC-32/IEEE of payload)
+//! payload:= 0x00 bootstrap | 0x01 commit
+//! bootstrap := base_seq:u64le DatabaseSnapshot  (mad_model::bin encoding)
+//! commit    := seq:u64le Vec<WalOp>
+//! ```
+//!
+//! The first frame of a log is always a bootstrap (the full database image
+//! the following commits apply to — written at create and rewritten by
+//! checkpoint); every further frame is one committed transaction's op log
+//! with **resolved** atom ids: provisional-id remapping has already
+//! happened at commit publication, so replay is deterministic — inserts
+//! re-land on exactly the recorded slots, which recovery verifies.
+
+use mad_model::bin::{put_u32, put_u64, BinDecode, BinEncode, Reader};
+use mad_model::{AtomId, AtomTypeId, LinkTypeId, MadError, Result, Value};
+use mad_storage::{Database, DatabaseSnapshot};
+
+/// The 8-byte file magic ("MADWAL" + format version 1 + newline).
+pub const MAGIC: &[u8; 8] = b"MADWAL1\n";
+
+/// Size of a frame header (`len` + `crc`).
+pub const FRAME_HEADER: usize = 8;
+
+/// One replayable operation of a committed transaction, with all atom ids
+/// **resolved** (never provisional).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalOp {
+    /// An atom insert; `id` is the slot the insert landed on at commit,
+    /// which replay re-derives and verifies.
+    Insert {
+        /// The atom type.
+        ty: AtomTypeId,
+        /// The attribute tuple.
+        tuple: Vec<Value>,
+        /// The committed id (replay must land here).
+        id: AtomId,
+    },
+    /// A batched insert of several atoms of one type.
+    InsertBatch {
+        /// The atom type.
+        ty: AtomTypeId,
+        /// The attribute tuples.
+        tuples: Vec<Vec<Value>>,
+        /// The committed ids, parallel to `tuples`.
+        ids: Vec<AtomId>,
+    },
+    /// An atom delete (incident links cascade, as in
+    /// [`Database::delete_atom`]).
+    Delete {
+        /// The deleted atom.
+        id: AtomId,
+    },
+    /// A single-attribute update.
+    UpdateAttr {
+        /// The updated atom.
+        id: AtomId,
+        /// Attribute position.
+        attr: u32,
+        /// The new value.
+        value: Value,
+    },
+    /// An oriented link insert.
+    Connect {
+        /// The link type.
+        lt: LinkTypeId,
+        /// Side-0 atom.
+        side0: AtomId,
+        /// Side-1 atom.
+        side1: AtomId,
+    },
+    /// An oriented link removal.
+    Disconnect {
+        /// The link type.
+        lt: LinkTypeId,
+        /// Side-0 atom.
+        side0: AtomId,
+        /// Side-1 atom.
+        side1: AtomId,
+    },
+}
+
+impl BinEncode for WalOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalOp::Insert { ty, tuple, id } => {
+                out.push(0);
+                ty.encode(out);
+                tuple.encode(out);
+                id.encode(out);
+            }
+            WalOp::InsertBatch { ty, tuples, ids } => {
+                out.push(1);
+                ty.encode(out);
+                tuples.encode(out);
+                ids.encode(out);
+            }
+            WalOp::Delete { id } => {
+                out.push(2);
+                id.encode(out);
+            }
+            WalOp::UpdateAttr { id, attr, value } => {
+                out.push(3);
+                id.encode(out);
+                put_u32(out, *attr);
+                value.encode(out);
+            }
+            WalOp::Connect { lt, side0, side1 } => {
+                out.push(4);
+                lt.encode(out);
+                side0.encode(out);
+                side1.encode(out);
+            }
+            WalOp::Disconnect { lt, side0, side1 } => {
+                out.push(5);
+                lt.encode(out);
+                side0.encode(out);
+                side1.encode(out);
+            }
+        }
+    }
+}
+
+impl BinDecode for WalOp {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.u8()? {
+            0 => WalOp::Insert {
+                ty: AtomTypeId::decode(r)?,
+                tuple: Vec::decode(r)?,
+                id: AtomId::decode(r)?,
+            },
+            1 => WalOp::InsertBatch {
+                ty: AtomTypeId::decode(r)?,
+                tuples: Vec::decode(r)?,
+                ids: Vec::decode(r)?,
+            },
+            2 => WalOp::Delete {
+                id: AtomId::decode(r)?,
+            },
+            3 => WalOp::UpdateAttr {
+                id: AtomId::decode(r)?,
+                attr: r.u32()?,
+                value: Value::decode(r)?,
+            },
+            4 => WalOp::Connect {
+                lt: LinkTypeId::decode(r)?,
+                side0: AtomId::decode(r)?,
+                side1: AtomId::decode(r)?,
+            },
+            5 => WalOp::Disconnect {
+                lt: LinkTypeId::decode(r)?,
+                side0: AtomId::decode(r)?,
+                side1: AtomId::decode(r)?,
+            },
+            t => {
+                return Err(MadError::codec(format!("unknown WalOp tag {t}")))
+            }
+        })
+    }
+}
+
+/// Apply one logged operation to a database during recovery replay,
+/// verifying that inserts land on the recorded slots (slot allocation is
+/// deterministic, so a divergence means the log does not belong to this
+/// bootstrap image).
+pub fn apply_op(db: &mut Database, op: &WalOp) -> Result<()> {
+    match op {
+        WalOp::Insert { ty, tuple, id } => {
+            let actual = db.insert_atom(*ty, tuple.clone())?;
+            if actual != *id {
+                return Err(MadError::wal(format!(
+                    "replay divergence: logged insert landed on {actual}, log says {id}"
+                )));
+            }
+        }
+        WalOp::InsertBatch { ty, tuples, ids } => {
+            let actual = db.insert_atoms(*ty, tuples.iter().cloned())?;
+            if actual != *ids {
+                return Err(MadError::wal(format!(
+                    "replay divergence: logged batch insert landed on {actual:?}, log says {ids:?}"
+                )));
+            }
+        }
+        WalOp::Delete { id } => {
+            db.delete_atom(*id)?;
+        }
+        WalOp::UpdateAttr { id, attr, value } => {
+            db.update_attr(*id, *attr as usize, value.clone())?;
+        }
+        WalOp::Connect { lt, side0, side1 } => {
+            db.connect(*lt, *side0, *side1)?;
+        }
+        WalOp::Disconnect { lt, side0, side1 } => {
+            db.disconnect(*lt, *side0, *side1)?;
+        }
+    }
+    Ok(())
+}
+
+/// One frame payload.
+#[derive(Clone, Debug)]
+pub enum WalRecord {
+    /// The full database image commits after it apply to. `base_seq` is the
+    /// commit sequence number the image was taken at (0 for a fresh log).
+    Bootstrap {
+        /// Commit sequence of the image.
+        base_seq: u64,
+        /// The image itself.
+        snapshot: Box<DatabaseSnapshot>,
+    },
+    /// One committed transaction.
+    Commit {
+        /// The commit sequence number it published at.
+        seq: u64,
+        /// The resolved op log.
+        ops: Vec<WalOp>,
+    },
+}
+
+impl BinEncode for WalRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Bootstrap { base_seq, snapshot } => {
+                out.push(0);
+                put_u64(out, *base_seq);
+                snapshot.encode(out);
+            }
+            WalRecord::Commit { seq, ops } => {
+                out.push(1);
+                put_u64(out, *seq);
+                ops.encode(out);
+            }
+        }
+    }
+}
+
+impl BinDecode for WalRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.u8()? {
+            0 => WalRecord::Bootstrap {
+                base_seq: r.u64()?,
+                snapshot: Box::new(DatabaseSnapshot::decode(r)?),
+            },
+            1 => WalRecord::Commit {
+                seq: r.u64()?,
+                ops: Vec::decode(r)?,
+            },
+            t => {
+                return Err(MadError::codec(format!("unknown WalRecord tag {t}")))
+            }
+        })
+    }
+}
+
+/// Frame a record: `len` + `crc` + payload, ready to append to the log.
+/// Errors if the payload exceeds the `u32` length field — a silently
+/// wrapped length would render the whole log unrecoverable.
+pub fn frame(record: &WalRecord) -> Result<Vec<u8>> {
+    let payload = record.to_bytes();
+    if payload.len() > u32::MAX as usize {
+        return Err(MadError::wal(format!(
+            "record payload of {} bytes exceeds the 4 GiB frame limit \
+             (checkpoint the database in smaller units)",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, crc32(&payload));
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Outcome of reading one frame from a buffer position.
+pub enum FrameRead {
+    /// A record plus the offset just past its frame.
+    Ok(WalRecord, usize),
+    /// The bytes from this offset on are not a complete, checksummed frame
+    /// — the torn tail (or the clean end of the log when the remainder is
+    /// empty). Recovery truncates here.
+    Torn,
+}
+
+/// Read the frame starting at `offset`. Any failure — short header, short
+/// payload, checksum mismatch, undecodable payload — classifies as
+/// [`FrameRead::Torn`]: the scan stops and the file is truncated at
+/// `offset`. (A checksummed frame never *follows* a torn one, because the
+/// log is append-only and written through one file handle.)
+pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
+    let Some(rest) = buf.get(offset..) else {
+        return FrameRead::Torn;
+    };
+    if rest.len() < FRAME_HEADER {
+        return FrameRead::Torn;
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let Some(payload) = rest.get(FRAME_HEADER..FRAME_HEADER + len) else {
+        return FrameRead::Torn;
+    };
+    if crc32(payload) != crc {
+        return FrameRead::Torn;
+    }
+    match WalRecord::from_bytes(payload) {
+        Ok(rec) => FrameRead::Ok(rec, offset + FRAME_HEADER + len),
+        Err(_) => FrameRead::Torn,
+    }
+}
+
+/// The byte offsets at which each complete, checksummed frame of a log
+/// image ends — every element is a valid truncation point for simulating
+/// a crash at a record boundary (element 0 is the end of the bootstrap
+/// record). Scanning stops at the torn tail, like recovery does.
+pub fn frame_boundaries(buf: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return out;
+    }
+    let mut offset = MAGIC.len();
+    while let FrameRead::Ok(_, end) = read_frame(buf, offset) {
+        out.push(end);
+        offset = end;
+    }
+    out
+}
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), table-driven; the table is
+/// computed at compile time.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::{AttrType, SchemaBuilder};
+
+    #[test]
+    fn crc32_known_vectors() {
+        // the classic check value of CRC-32/IEEE
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample_ops() -> Vec<WalOp> {
+        let ty = AtomTypeId(0);
+        let lt = LinkTypeId(0);
+        vec![
+            WalOp::Insert {
+                ty,
+                tuple: vec![Value::from("SP"), Value::Null],
+                id: AtomId::new(ty, 3),
+            },
+            WalOp::InsertBatch {
+                ty,
+                tuples: vec![vec![Value::from(1)], vec![Value::from(2)]],
+                ids: vec![AtomId::new(ty, 4), AtomId::new(ty, 5)],
+            },
+            WalOp::Delete {
+                id: AtomId::new(ty, 4),
+            },
+            WalOp::UpdateAttr {
+                id: AtomId::new(ty, 3),
+                attr: 1,
+                value: Value::from(2.5),
+            },
+            WalOp::Connect {
+                lt,
+                side0: AtomId::new(ty, 3),
+                side1: AtomId::new(ty, 5),
+            },
+            WalOp::Disconnect {
+                lt,
+                side0: AtomId::new(ty, 3),
+                side1: AtomId::new(ty, 5),
+            },
+        ]
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        let ops = sample_ops();
+        let bytes = ops.to_bytes();
+        assert_eq!(Vec::<WalOp>::from_bytes(&bytes).unwrap(), ops);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_torn_detection() {
+        let rec = WalRecord::Commit {
+            seq: 7,
+            ops: sample_ops(),
+        };
+        let framed = frame(&rec).unwrap();
+        match read_frame(&framed, 0) {
+            FrameRead::Ok(WalRecord::Commit { seq, ops }, end) => {
+                assert_eq!(seq, 7);
+                assert_eq!(ops, sample_ops());
+                assert_eq!(end, framed.len());
+            }
+            _ => panic!("expected a full frame"),
+        }
+        // every strict prefix is torn, never mis-decoded
+        for cut in 0..framed.len() {
+            assert!(matches!(read_frame(&framed[..cut], 0), FrameRead::Torn));
+        }
+        // a flipped payload byte breaks the checksum
+        let mut corrupt = framed.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert!(matches!(read_frame(&corrupt, 0), FrameRead::Torn));
+    }
+
+    #[test]
+    fn apply_op_verifies_insert_slot() {
+        let schema = SchemaBuilder::new()
+            .atom_type("a", &[("x", AttrType::Int)])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let ty = db.schema().atom_type_id("a").unwrap();
+        // log says the insert landed on slot 5, but the db is empty
+        let op = WalOp::Insert {
+            ty,
+            tuple: vec![Value::from(1)],
+            id: AtomId::new(ty, 5),
+        };
+        let err = apply_op(&mut db, &op).unwrap_err();
+        assert!(matches!(err, MadError::Wal { .. }), "got {err}");
+    }
+}

@@ -10,13 +10,18 @@
 //!   type with tunable depth/fan-out/sharing (benchmarks B2/B5, the §3.1
 //!   and §5 example).
 //! * [`vlsi`] — a VLSI cell library (cells, instances, nets, pins), the
-//!   design-application workload of the paper's motivation ([BB84]).
+//!   design-application workload of the paper's motivation (\[BB84\]).
 //! * [`mixed`] — the concurrent mixed read/write scenario: N reader + M
 //!   writer threads over one shared `mad_txn::DbHandle`, with the
 //!   isolation invariants verified online (benchmark B8).
+//! * [`crash`] — the crash-recovery scenario: the mixed workload over a
+//!   *durable* handle, a simulated kill at a random WAL record boundary,
+//!   then recovery with prefix-consistency verification (benchmark B9's
+//!   correctness twin).
 
 pub mod bom;
 pub mod brazil;
+pub mod crash;
 pub mod geo;
 pub mod mixed;
 pub mod rng;
@@ -24,6 +29,7 @@ pub mod vlsi;
 
 pub use bom::{generate_bom, BomParams};
 pub use brazil::{brazil_database, BrazilHandles};
+pub use crash::{run_crash_recovery, CrashParams, CrashStats};
 pub use geo::{generate_geo, GeoParams};
 pub use mixed::{mixed_database, run_mixed, MixedParams, MixedStats};
 pub use vlsi::{generate_vlsi, VlsiParams};

@@ -1,5 +1,5 @@
 //! VLSI cell-library generator — the design-application motivation of the
-//! paper ([BB84]'s "molecular objects" framework was born from VLSI CAD).
+//! paper (\[BB84\]'s "molecular objects" framework was born from VLSI CAD).
 //!
 //! Schema:
 //!

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Perf-trajectory snapshot: run the two derivation benches in the bench
-# profile with --quick and merge their median ns/op into BENCH_derive.json.
+# Perf-trajectory snapshot: run the derivation, concurrency (B8) and WAL
+# durability (B9) benches with --quick and merge their median ns/op into
+# BENCH_derive.json.
 # Cargo runs bench binaries with the package dir as cwd, so the report
 # lands in crates/bench/.
 #
@@ -25,6 +26,7 @@ fi
 cargo bench -p mad-bench --bench derivation_strategies -- --quick
 cargo bench -p mad-bench --bench restriction_pushdown -- --quick
 cargo bench -p mad-bench --bench concurrent_sessions -- --quick
+cargo bench -p mad-bench --bench wal_commit -- --quick
 echo "merged results into $(pwd)/$REPORT"
 
 if [ "$have_baseline" = 1 ]; then

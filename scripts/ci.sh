@@ -4,7 +4,11 @@
 #   1. release build (the profile the benches and examples use),
 #   2. full test suite,
 #   3. clippy over the whole workspace with warnings promoted to errors
-#      (vendored shim crates included — they are workspace members).
+#      (vendored shim crates included — they are workspace members),
+#   4. rustdoc, warning-free (every crate carries `//!` module docs),
+#   5. the crash-recovery scenario end to end: mixed workload over a
+#      durable handle, kill at a random WAL record boundary, recovery,
+#      prefix-consistency verification (examples/durability.rs).
 #
 # Any step failing fails the script.
 set -euo pipefail
@@ -18,5 +22,11 @@ cargo test --workspace -q
 
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== crash-recovery scenario (examples/durability.rs)"
+cargo run --release --quiet --example durability
 
 echo "ci.sh: all green"

@@ -13,9 +13,14 @@
 //! * [`nf2`] — the NF² substrate/baseline,
 //! * [`workload`] — fixtures and generators (the Brazil database of
 //!   Fig. 1/2/4, synthetic geography, bill-of-material, VLSI, the
-//!   concurrent mixed read/write scenario),
+//!   concurrent mixed read/write and crash-recovery scenarios),
 //! * [`txn`] — snapshot-isolated transactions and concurrent multi-session
-//!   serving over a shared database handle.
+//!   serving over a shared database handle,
+//! * [`wal`] — write-ahead-log durability: checksummed commit records,
+//!   group-commit fsync batching, torn-tail crash recovery, checkpoints.
+//!
+//! See `README.md` for the quickstart and `ARCHITECTURE.md` for the layer
+//! map.
 
 pub use mad_core as algebra;
 pub use mad_model as model;
@@ -24,6 +29,7 @@ pub use mad_nf2 as nf2;
 pub use mad_relational as relational;
 pub use mad_storage as storage;
 pub use mad_txn as txn;
+pub use mad_wal as wal;
 pub use mad_workload as workload;
 
 pub use mad_core::prelude::*;
