@@ -95,6 +95,42 @@ fn bench(c: &mut Criterion) {
     });
 
     // ------------------------------------------------------------------
+    // commit validation under a pinned log: an old open transaction keeps
+    // 64 commit records × 32 write keys each alive; a small disjoint
+    // commit must validate against them. With the per-key hash index this
+    // is O(|write-set|) probes — the old nested scan paid O(Σ logged
+    // keys) *inside the publication mutex* on every attempt.
+    {
+        let handle = populated_handle(2100);
+        let pinned = Transaction::begin(&handle);
+        for c in 0..64 {
+            let mut t = Transaction::begin(&handle);
+            for s in 0..32u32 {
+                t.update_attr(
+                    mad_model::AtomId::new(state, 1 + c * 32 + s),
+                    1,
+                    Value::from(f64::from(c)),
+                )
+                .unwrap();
+            }
+            t.commit().unwrap();
+        }
+        assert_eq!(handle.commit_log_len(), 64, "the log must stay pinned");
+        assert_eq!(handle.conflict_index_len(), 64 * 32);
+        let mut n = 0u64;
+        group.bench_function("commit_validation_pinned", |b| {
+            b.iter(|| {
+                n += 1;
+                let mut t = Transaction::begin(&handle);
+                t.update_attr(mad_model::AtomId::new(state, 2080), 1, Value::from(n as f64))
+                    .unwrap();
+                t.commit().unwrap()
+            })
+        });
+        drop(pinned);
+    }
+
+    // ------------------------------------------------------------------
     for (label, readers, writers) in [("r2w2", 2usize, 2usize), ("r1w4", 1, 4)] {
         group.bench_function(format!("mixed_rw_{label}"), |b| {
             b.iter(|| {

@@ -1,0 +1,196 @@
+//! B10 — the network front-end: statement throughput and latency
+//! percentiles at 1/4/16 concurrent connections.
+//!
+//! Unlike the criterion benches, this harness needs *per-statement*
+//! latency distributions (p50/p99), so it measures directly: `N` client
+//! threads each push a fixed statement quota through one in-process
+//! [`mad_net::Server`] on loopback, every round-trip is timed, and the
+//! aggregate reports
+//!
+//! * `B10_net/<kind>_stmts_per_sec/cN` — completed statements per second
+//!   across all `N` connections (wall clock of the whole burst),
+//! * `B10_net/<kind>_p50_ns/cN`, `B10_net/<kind>_p99_ns/cN` — round-trip
+//!   latency percentiles in nanoseconds,
+//!
+//! for `kind = read` (a pushdown SELECT) and `kind = update` (autocommit
+//! DML, one implicit transaction per statement, conflict-free across
+//! connections). The handle is non-durable: B10 prices the protocol +
+//! session + commit path, B9 already prices fsync schedules.
+//!
+//! `-- --quick` shrinks the quota and merges the results into
+//! `BENCH_derive.json` (same contract as the criterion shim).
+
+use mad_model::Value;
+use mad_net::{Client, Server};
+use mad_txn::DbHandle;
+use mad_workload::mixed_database;
+use std::collections::BTreeMap;
+use std::sync::Barrier;
+use std::time::Instant;
+
+const CONNECTIONS: [usize; 3] = [1, 4, 16];
+
+/// Statement generator of one bench kind: `(connection, iteration) → MQL`.
+type StmtGen = Box<dyn Fn(usize, usize) -> String + Sync>;
+
+fn populated_handle(conns: usize) -> DbHandle {
+    let mut db = mixed_database().unwrap();
+    let state = db.schema().atom_type_id("state").unwrap();
+    let area = db.schema().atom_type_id("area").unwrap();
+    let sa = db.schema().link_type_id("state-area").unwrap();
+    // one private state per connection (conflict-free update target) plus
+    // a shared molecule population for the SELECTs
+    for w in 0..conns {
+        db.insert_atom(state, vec![Value::from(format!("w{w}")), Value::from(0.0)])
+            .unwrap();
+    }
+    for g in 0..64i64 {
+        let s = db
+            .insert_atom(state, vec![Value::from(format!("g{g}")), Value::from(1.0)])
+            .unwrap();
+        let ids = db
+            .insert_atoms(area, (0..4).map(|j| vec![Value::from(g * 10 + j)]))
+            .unwrap();
+        for a in ids {
+            db.connect(sa, s, a).unwrap();
+        }
+    }
+    let _ = db.csr_snapshot();
+    DbHandle::new(db)
+}
+
+/// Drive `conns` clients, each issuing `quota` statements produced by
+/// `stmt(conn, i)`; returns every round-trip latency in ns plus the
+/// burst's wall-clock seconds.
+fn burst(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    quota: usize,
+    stmt: impl Fn(usize, usize) -> String + Sync,
+) -> (Vec<u64>, f64) {
+    let barrier = Barrier::new(conns + 1);
+    let mut all = Vec::with_capacity(conns * quota);
+    let wall = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for c in 0..conns {
+            let (barrier, stmt) = (&barrier, &stmt);
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect to bench server");
+                // warm the connection and the session's fork
+                client.execute(&stmt(c, 0)).expect("warm-up statement");
+                let mut lat = Vec::with_capacity(quota);
+                barrier.wait();
+                for i in 0..quota {
+                    let t = Instant::now();
+                    client.execute(&stmt(c, i)).expect("bench statement");
+                    lat.push(t.elapsed().as_nanos() as u64);
+                }
+                lat
+            }));
+        }
+        barrier.wait();
+        let t = Instant::now();
+        for j in joins {
+            all.extend(j.join().expect("bench client thread"));
+        }
+        t.elapsed().as_secs_f64()
+    });
+    (all, wall)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| quick.then(|| "BENCH_derive.json".to_owned()));
+    let quota = if quick { 60 } else { 300 };
+
+    let mut results: BTreeMap<String, f64> = BTreeMap::new();
+    for conns in CONNECTIONS {
+        let server = Server::serve(populated_handle(conns), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let kinds: [(&str, StmtGen); 2] = [
+            (
+                "read",
+                Box::new(|_, _| {
+                    "SELECT ALL FROM state-area WHERE state.sname = 'g7'".to_owned()
+                }),
+            ),
+            (
+                "update",
+                Box::new(|c, i| format!("UPDATE state[sname='w{c}'] SET hectare = {i}.0")),
+            ),
+        ];
+        for (kind, stmt) in kinds {
+            let (mut lat, wall) = burst(addr, conns, quota, stmt);
+            lat.sort_unstable();
+            let total = lat.len() as f64;
+            results.insert(
+                format!("B10_net/{kind}_stmts_per_sec/c{conns}"),
+                total / wall,
+            );
+            results.insert(format!("B10_net/{kind}_p50_ns/c{conns}"), percentile(&lat, 0.50));
+            results.insert(format!("B10_net/{kind}_p99_ns/c{conns}"), percentile(&lat, 0.99));
+        }
+        server.shutdown();
+    }
+
+    for (k, v) in &results {
+        println!("{k:<46} {v:>14.1}");
+    }
+    if let Some(path) = json_path {
+        merge_json(&path, &results);
+        println!("bench report written to {path}");
+    }
+}
+
+/// Merge into the flat `{"id": number}` report, same shape the criterion
+/// shim writes.
+fn merge_json(path: &str, fresh: &BTreeMap<String, f64>) {
+    let mut merged: BTreeMap<String, f64> = std::fs::read_to_string(path)
+        .ok()
+        .map(|text| parse_flat_json(&text))
+        .unwrap_or_default();
+    merged.extend(fresh.iter().map(|(k, v)| (k.clone(), *v)));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in merged.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!("  \"{}\": {:.1}", k.replace('"', "\\\""), v));
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+fn parse_flat_json(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(q) = rest.find('"') {
+        rest = &rest[q + 1..];
+        let Some(endq) = rest.find('"') else { break };
+        let key = rest[..endq].to_owned();
+        rest = &rest[endq + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.insert(key, v);
+        }
+        rest = &rest[end..];
+    }
+    out
+}

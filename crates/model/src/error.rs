@@ -79,6 +79,15 @@ pub enum MadError {
         statement: String,
         source: Box<MadError>,
     },
+    /// A wire-protocol violation on a network connection: bad magic, an
+    /// oversized or truncated frame, a checksum mismatch, an unknown
+    /// message tag. The connection that produced it is closed; the shared
+    /// database handle is untouched.
+    Protocol { detail: String },
+    /// A socket/file I/O failure on a network connection (connect refused,
+    /// reset, unexpected EOF). Like [`MadError::Protocol`] this is scoped
+    /// to one connection, never to the shared state.
+    Io { detail: String },
 }
 
 impl MadError {
@@ -136,6 +145,20 @@ impl MadError {
     /// Shorthand for [`MadError::TxnState`].
     pub fn txn_state(detail: impl Into<String>) -> Self {
         MadError::TxnState {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::Protocol`].
+    pub fn protocol(detail: impl Into<String>) -> Self {
+        MadError::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`MadError::Io`].
+    pub fn io(detail: impl Into<String>) -> Self {
+        MadError::Io {
             detail: detail.into(),
         }
     }
@@ -204,6 +227,8 @@ impl fmt::Display for MadError {
                 statement,
                 source,
             } => write!(f, "statement {index} (`{statement}`): {source}"),
+            MadError::Protocol { detail } => write!(f, "protocol error: {detail}"),
+            MadError::Io { detail } => write!(f, "I/O error: {detail}"),
         }
     }
 }

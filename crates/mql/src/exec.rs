@@ -47,6 +47,11 @@ pub enum StatementResult {
     Began,
     /// COMMIT validated and published the transaction.
     Committed {
+        /// The commit sequence number the write-set was published at (0
+        /// for a read-only transaction, which publishes nothing). Network
+        /// clients use it to reason about what a later snapshot — or a
+        /// recovery after a crash — must still contain.
+        seq: u64,
         /// Number of DML operations published.
         ops: usize,
         /// Transaction-born atoms whose committed id differs from the

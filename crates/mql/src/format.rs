@@ -48,12 +48,12 @@ pub fn render_result(db: &Database, result: &StatementResult) -> String {
         }
         StatementResult::Updated { atoms } => format!("updated {atoms} atom(s)\n"),
         StatementResult::Began => "transaction started\n".to_owned(),
-        StatementResult::Committed { ops, remap } if remap.is_empty() => {
-            format!("committed {ops} operation(s)\n")
+        StatementResult::Committed { seq, ops, remap } if remap.is_empty() => {
+            format!("committed {ops} operation(s) at sequence {seq}\n")
         }
-        StatementResult::Committed { ops, remap } => {
+        StatementResult::Committed { seq, ops, remap } => {
             format!(
-                "committed {ops} operation(s); {} inserted atom(s) remapped\n",
+                "committed {ops} operation(s) at sequence {seq}; {} inserted atom(s) remapped\n",
                 remap.len()
             )
         }

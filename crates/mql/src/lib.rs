@@ -39,7 +39,7 @@ pub mod session;
 
 pub use exec::StatementResult;
 pub use mad_txn::{DbHandle, Transaction};
-pub use session::Session;
+pub use session::{split_statements, Session};
 
 /// Parse a single MQL statement into its AST (lex + parse only).
 pub fn parse(input: &str) -> mad_model::Result<ast::Statement> {

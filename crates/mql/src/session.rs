@@ -176,6 +176,7 @@ impl Session {
         match stmt {
             Statement::Begin => self.begin().map(|_| StatementResult::Began),
             Statement::Commit => self.commit().map(|info| StatementResult::Committed {
+                seq: info.seq,
                 ops: info.ops,
                 remap: info.remap,
             }),
@@ -188,6 +189,16 @@ impl Session {
                 execute(&mut self.engine, &mut self.catalog, stmt)
             }
         }
+    }
+
+    /// Parse and execute one MQL statement, returning the result rendered
+    /// as terminal text ([`crate::format::render_result`]). The entry
+    /// point network front-ends use: one statement in, one text frame out,
+    /// with the session's current view (inside a transaction: the overlay
+    /// view) supplying names for the rendering.
+    pub fn execute_rendered(&mut self, mql: &str) -> Result<String> {
+        let result = self.execute(mql)?;
+        Ok(crate::format::render_result(self.db(), &result))
     }
 
     /// Execute a script of `;`-separated statements, returning every result.
@@ -352,9 +363,13 @@ impl Session {
     }
 }
 
-/// Split a script on `;` outside string literals; empty statements are
-/// skipped.
-fn split_statements(script: &str) -> Vec<String> {
+/// Split a script on `;` outside string literals, stripping `--` line
+/// comments; empty statements are skipped. This is the one splitting rule
+/// of the language — [`Session::execute_script`] and every client-side
+/// script runner (e.g. the `madc` REPL) must share it, or a `;` inside a
+/// comment or string would split differently on the two sides of the
+/// wire.
+pub fn split_statements(script: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut current = String::new();
     let mut in_str = false;

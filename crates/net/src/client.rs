@@ -1,0 +1,128 @@
+//! The blocking client: connect, send MQL text, get rendered results —
+//! or the server's error, with `is_conflict()` intact.
+
+use crate::frame::{
+    decode_response, encode_request, read_frame, write_frame, FrameIn, Request, Response, MAGIC,
+    PROTOCOL_VERSION,
+};
+use mad_model::{MadError, Result};
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What the server announced in its hello frame.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerInfo {
+    /// The server's protocol version.
+    pub protocol: u32,
+    /// Commit sequence of the served handle when this connection opened.
+    pub commit_seq: u64,
+    /// Does the server write-ahead-log its commits?
+    pub durable: bool,
+}
+
+/// A blocking connection to a [`crate::Server`].
+///
+/// One client is one server-side session: statements execute in order on
+/// the same session state, so `BEGIN` … `COMMIT` may span any number of
+/// [`Client::execute`] round-trips. Statement failures come back as the
+/// server's own [`MadError`] — a first-committer-wins conflict satisfies
+/// [`MadError::is_conflict`] on the client exactly as it would
+/// in-process, so retry loops port unchanged. Dropping the client closes
+/// the connection; the server aborts any transaction left open.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    info: ServerInfo,
+}
+
+impl Client {
+    /// Connect and complete the handshake (preamble out, hello in).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| MadError::io(format!("connect: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| MadError::io(format!("clone stream: {e}")))?;
+        use std::io::Write;
+        writer
+            .write_all(MAGIC)
+            .and_then(|()| writer.flush())
+            .map_err(|e| MadError::io(format!("send preamble: {e}")))?;
+        let mut reader = BufReader::new(stream);
+        let info = match read_response(&mut reader)? {
+            Response::Hello {
+                protocol,
+                commit_seq,
+                durable,
+            } => ServerInfo {
+                protocol,
+                commit_seq,
+                durable,
+            },
+            other => {
+                return Err(MadError::protocol(format!(
+                    "expected the server hello, got {other:?}"
+                )))
+            }
+        };
+        if info.protocol != PROTOCOL_VERSION {
+            return Err(MadError::protocol(format!(
+                "protocol version mismatch: server speaks {}, client speaks {PROTOCOL_VERSION}",
+                info.protocol
+            )));
+        }
+        Ok(Client {
+            writer,
+            reader,
+            info,
+        })
+    }
+
+    /// What the server announced at connect time.
+    pub fn server_info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// Execute one MQL statement on the connection's server-side session
+    /// and return the rendered result text. A statement error is returned
+    /// as the server's own [`MadError`] (conflicts keep `is_conflict()`);
+    /// transport failures surface as [`MadError::Io`] /
+    /// [`MadError::Protocol`].
+    pub fn execute(&mut self, statement: &str) -> Result<String> {
+        self.round_trip(&Request::Statement(statement.to_owned()))
+            .and_then(|resp| match resp {
+                Response::Result(text) => Ok(text),
+                Response::Error(e) => Err(e),
+                other => Err(MadError::protocol(format!(
+                    "expected a statement response, got {other:?}"
+                ))),
+            })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(MadError::protocol(format!(
+                "expected a pong, got {other:?}"
+            ))),
+        }
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.writer, &encode_request(req))?;
+        read_response(&mut self.reader)
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response> {
+    match read_frame(reader)? {
+        FrameIn::Payload(payload) => decode_response(&payload),
+        FrameIn::Closed => Err(MadError::io(
+            "connection closed by the server before a response arrived",
+        )),
+    }
+}

@@ -1,0 +1,342 @@
+//! The TCP server: one listener, one thread + one shared session per
+//! connection, graceful shutdown.
+
+use crate::frame::{
+    encode_response, read_frame, write_frame, FrameIn, Request, Response, MAGIC,
+    PROTOCOL_VERSION,
+};
+use mad_model::{MadError, Result};
+use mad_mql::Session;
+use mad_txn::DbHandle;
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Shared state of a running server, visible to every connection thread.
+#[derive(Debug)]
+struct Shared {
+    handle: DbHandle,
+    /// Set by [`Server::shutdown`]; the accept loop and every connection
+    /// loop observe it and wind down.
+    stopping: AtomicBool,
+    /// Connection id → stream clone for every **live** connection, so
+    /// shutdown can unblock threads parked in a read; entries are removed
+    /// when their connection ends (no fd outlives its connection).
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    active: AtomicUsize,
+    served: AtomicUsize,
+}
+
+/// A running MAD TCP server.
+///
+/// [`Server::serve`] binds the listener and returns immediately; accepting
+/// and serving happen on background threads (one per connection — sessions
+/// are thread-confined, the [`DbHandle`] underneath is the shared,
+/// thread-safe piece). Drop without [`Server::shutdown`] leaves the
+/// threads running until the process exits; call `shutdown` for a
+/// graceful stop (stop accepting, close every connection, join all
+/// threads).
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port, see
+    /// [`Server::local_addr`]) and serve `handle` until shutdown. Every
+    /// accepted connection gets its own [`Session::shared`] over a clone
+    /// of `handle`.
+    pub fn serve(handle: DbHandle, addr: impl ToSocketAddrs) -> Result<Server> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| MadError::io(format!("bind listener: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| MadError::io(format!("listener address: {e}")))?;
+        let shared = Arc::new(Shared {
+            handle,
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            active: AtomicUsize::new(0),
+            served: AtomicUsize::new(0),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_threads = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("mad-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_threads))
+            .map_err(|e| MadError::io(format!("spawn accept thread: {e}")))?;
+        Ok(Server {
+            shared,
+            addr: local,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served database handle.
+    pub fn handle(&self) -> &DbHandle {
+        &self.shared.handle
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted since the server started.
+    pub fn connections_served(&self) -> usize {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, close every live connection
+    /// (in-flight statements finish or fail with an I/O error on their
+    /// client; open transactions abort through session drop), and join
+    /// every thread. Idempotent in effect; consumes the server.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // unblock the accept loop with a loopback connection to ourselves
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // close every live connection so reads unblock
+        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let threads: Vec<_> = self.conn_threads.lock().unwrap().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let accepted = listener.accept();
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok((stream, _)) = accepted else {
+            // transient accept failure (the peer vanished between SYN and
+            // accept, or fd exhaustion); back off briefly so a persistent
+            // error condition cannot busy-spin the accept thread
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            continue;
+        };
+        let conn_id = shared.served.fetch_add(1, Ordering::Relaxed) as u64;
+        match stream.try_clone() {
+            Ok(clone) => {
+                shared.conns.lock().unwrap().insert(conn_id, clone);
+            }
+            // without a registered clone, shutdown could not unblock this
+            // connection's read and would hang joining its thread — refuse
+            // the connection instead of serving it untracked
+            Err(_) => continue,
+        }
+        let conn_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("mad-net-conn".into())
+            .spawn(move || {
+                conn_shared.active.fetch_add(1, Ordering::Relaxed);
+                serve_connection(&conn_shared, stream);
+                conn_shared.active.fetch_sub(1, Ordering::Relaxed);
+                conn_shared.conns.lock().unwrap().remove(&conn_id);
+            });
+        let mut threads = threads.lock().unwrap();
+        if let Ok(t) = spawned {
+            threads.push(t);
+        }
+        // reap finished threads so a long-lived server does not
+        // accumulate one parked JoinHandle per past connection
+        let (done, running): (Vec<_>, Vec<_>) =
+            threads.drain(..).partition(|t| t.is_finished());
+        *threads = running;
+        drop(threads);
+        for t in done {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serve one connection to completion. All failure modes are scoped to
+/// this connection: a malformed frame or statement error is answered with
+/// an error frame (best-effort for protocol errors, after which the
+/// connection closes); the shared handle is never poisoned. Returning —
+/// normally or early — drops the session, which aborts any transaction
+/// the client left open.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    if let Err(e) = handshake(shared, &mut reader, &mut writer) {
+        let _ = send(&mut writer, &Response::Error(e));
+        return;
+    }
+    let mut session = Session::shared(shared.handle.clone());
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(FrameIn::Payload(p)) => p,
+            // clean disconnect — or our own shutdown closing the socket
+            Ok(FrameIn::Closed) => return,
+            Err(e) => {
+                // malformed frame: answer with the protocol error (the
+                // peer may already be gone — best effort) and close
+                let _ = send(&mut writer, &Response::Error(e));
+                return;
+            }
+        };
+        let response = match crate::frame::decode_request(&payload) {
+            Ok(Request::Statement(text)) => match session.execute_rendered(&text) {
+                Ok(rendered) => Response::Result(rendered),
+                Err(e) => Response::Error(e),
+            },
+            Ok(Request::Ping) => Response::Pong,
+            Err(e) => {
+                let _ = send(&mut writer, &Response::Error(e));
+                return;
+            }
+        };
+        if send(&mut writer, &response).is_err() {
+            // the client is gone; drop the session (aborting any open
+            // transaction) and release the thread
+            return;
+        }
+    }
+}
+
+/// Verify the client preamble and send the hello frame.
+fn handshake(shared: &Shared, r: &mut impl Read, w: &mut impl Write) -> Result<()> {
+    let mut magic = [0u8; MAGIC.len()];
+    r.read_exact(&mut magic)
+        .map_err(|e| MadError::protocol(format!("connection preamble: {e}")))?;
+    if &magic != MAGIC {
+        return Err(MadError::protocol(
+            "connection preamble mismatch: not a MAD protocol client",
+        ));
+    }
+    send(
+        w,
+        &Response::Hello {
+            protocol: PROTOCOL_VERSION,
+            commit_seq: shared.handle.commit_seq(),
+            durable: shared.handle.is_durable(),
+        },
+    )
+}
+
+fn send(w: &mut impl Write, resp: &Response) -> Result<()> {
+    write_frame(w, &encode_response(resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Client;
+    use mad_model::{AttrType, SchemaBuilder, Value};
+    use mad_storage::Database;
+
+    fn geo_handle() -> DbHandle {
+        let schema = SchemaBuilder::new()
+            .atom_type("state", &[("sname", AttrType::Text), ("pop", AttrType::Int)])
+            .atom_type("area", &[("aid", AttrType::Int)])
+            .link_type("state-area", "state", "area")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let state = db.schema().atom_type_id("state").unwrap();
+        db.insert_atom(state, vec![Value::from("SP"), Value::from(10)])
+            .unwrap();
+        DbHandle::new(db)
+    }
+
+    #[test]
+    fn serve_execute_shutdown_roundtrip() {
+        let server = Server::serve(geo_handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.server_info().protocol, PROTOCOL_VERSION);
+        assert!(!client.server_info().durable);
+        client.ping().unwrap();
+        let text = client
+            .execute("INSERT ATOM state (sname = 'MG', pop = 9)")
+            .unwrap();
+        assert!(text.starts_with("inserted atom"), "got: {text}");
+        let text = client
+            .execute("SELECT ALL FROM state WHERE state.sname = 'MG'")
+            .unwrap();
+        assert!(text.contains("1 molecule(s)"), "got: {text}");
+        // statement errors come back typed, not as closed connections
+        let err = client.execute("SELECT ALL FROM ghost").unwrap_err();
+        assert!(matches!(err, MadError::UnknownName { .. }), "got {err:?}");
+        // the session survives the error
+        client.ping().unwrap();
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_preamble_gets_a_protocol_error() {
+        let server = Server::serve(geo_handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"GET / HT").unwrap(); // an HTTP client, say
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let reply = crate::frame::read_frame(&mut reader).unwrap();
+        let crate::frame::FrameIn::Payload(payload) = reply else {
+            panic!("expected an error frame before close");
+        };
+        let resp = crate::frame::decode_response(&payload).unwrap();
+        let Response::Error(e) = resp else {
+            panic!("expected an error response, got {resp:?}")
+        };
+        assert!(matches!(e, MadError::Protocol { .. }), "got {e:?}");
+        // ...and the connection is then closed
+        assert!(matches!(
+            crate::frame::read_frame(&mut reader),
+            Ok(crate::frame::FrameIn::Closed)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_parked_clients() {
+        let server = Server::serve(geo_handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        assert_eq!(server.active_connections(), 1);
+        server.shutdown(); // must not hang on the idle connection
+        // the client now observes a dead connection as an I/O error
+        let err = client.execute("SELECT ALL FROM state").unwrap_err();
+        assert!(
+            matches!(err, MadError::Io { .. } | MadError::Protocol { .. }),
+            "got {err:?}"
+        );
+    }
+}

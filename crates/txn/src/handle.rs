@@ -2,7 +2,7 @@
 //! durability.
 
 use crate::txn::WriteKey;
-use mad_model::{FxHashSet, MadError, Result};
+use mad_model::{FxHashMap, FxHashSet, MadError, Result};
 use mad_storage::Database;
 use mad_wal::{CheckpointStats, FsyncPolicy, Lsn, RecoveryInfo, Wal, WalOp};
 use std::collections::BTreeMap;
@@ -46,10 +46,17 @@ pub enum Durability {
 struct State {
     /// Monotone commit sequence number (0 = the initial load).
     seq: u64,
-    /// Commit records newer than the oldest active transaction's begin.
+    /// Commit records newer than the oldest active transaction's begin
+    /// (ordered by `seq`, since publication pushes monotonically).
     log: Vec<CommitRecord>,
     /// begin_seq → number of active transactions that began there.
     active: BTreeMap<u64, usize>,
+    /// Write key → the sequence of the *last* commit that published it,
+    /// covering exactly the keys of the retained `log` records. Conflict
+    /// validation is one hash probe per key of the committing write-set —
+    /// O(|write-set|) — instead of a scan over every logged record's key
+    /// vector; commits therefore contend only on true overlaps.
+    last_write: FxHashMap<WriteKey, u64>,
 }
 
 /// The committed image plus the sequence it was published at, behind its
@@ -160,6 +167,7 @@ impl DbHandle {
                     seq,
                     log: Vec::new(),
                     active: BTreeMap::new(),
+                    last_write: FxHashMap::default(),
                 }),
                 published: RwLock::new(Published {
                     db: Arc::new(db),
@@ -251,6 +259,13 @@ impl DbHandle {
         self.inner.state.lock().unwrap().log.len()
     }
 
+    /// How many distinct write keys the commit-validation hash index
+    /// currently covers (pruned together with the commit log; exposed for
+    /// tests and monitoring).
+    pub fn conflict_index_len(&self) -> usize {
+        self.inner.state.lock().unwrap().last_write.len()
+    }
+
     /// Begin bookkeeping: returns `(committed image, begin_seq)` and
     /// registers the transaction as active at that sequence.
     pub(crate) fn begin_txn(&self) -> (Arc<Database>, u64) {
@@ -265,7 +280,11 @@ impl DbHandle {
     }
 
     /// Drop an active transaction's registration (abort, or the cleanup
-    /// half of commit) and prune the commit log.
+    /// half of commit) and prune the commit log. Idempotence lives one
+    /// level up: [`crate::Transaction`] releases its registration exactly
+    /// once (its `finish` is called on commit, abort **and** plain drop —
+    /// early return, panic, a disconnected client), so a leaked
+    /// registration can never pin the log forever.
     pub(crate) fn finish_txn(&self, begin_seq: u64) {
         let mut st = self.inner.state.lock().unwrap();
         Self::unregister(&mut st, begin_seq);
@@ -281,28 +300,48 @@ impl DbHandle {
         // every surviving active transaction with begin b validates against
         // records with seq > b, so records at or below the oldest begin are
         // dead; with no active transactions the whole log is.
-        match st.active.keys().next().copied() {
-            Some(oldest) => st.log.retain(|r| r.seq > oldest),
-            None => st.log.clear(),
+        let cutoff = st.active.keys().next().copied().unwrap_or(u64::MAX);
+        // the log is seq-ordered: drain the dead prefix, dropping each dead
+        // record's keys from the hash index unless a newer retained record
+        // re-published the key (then the index points at that newer seq and
+        // the key is removed when *that* record dies)
+        let keep_from = st.log.partition_point(|r| r.seq <= cutoff);
+        if keep_from == 0 {
+            return;
         }
+        let log = std::mem::take(&mut st.log);
+        let mut dead = log;
+        let live = dead.split_off(keep_from);
+        for rec in &dead {
+            for key in &rec.keys {
+                if st.last_write.get(key) == Some(&rec.seq) {
+                    st.last_write.remove(key);
+                }
+            }
+        }
+        st.log = live;
     }
 
     /// One optimistic publication attempt, entirely under the publication
-    /// mutex but doing **no heavy work there** (key-set validation, an
-    /// `Arc` pointer comparison and — on a durable handle — the buffered
-    /// WAL append; fsync waiting and op-log replay happen outside, so
-    /// readers and other committers are never blocked behind them).
+    /// mutex but doing **no heavy work there** (per-key hash-index
+    /// validation, an `Arc` pointer comparison and — on a durable handle —
+    /// the buffered WAL append; fsync waiting and op-log replay happen
+    /// outside, so readers and other committers are never blocked behind
+    /// them).
     ///
-    /// * `Err(TxnConflict)` — first-committer-wins validation failed; the
-    ///   transaction is unregistered (aborted). A WAL append failure
-    ///   reports the same way (as its own error): nothing was published.
+    /// The transaction's registration is **not** touched here: on every
+    /// outcome the caller still owns it and releases it through
+    /// [`DbHandle::finish_txn`] (commit success/failure, abort, or drop).
+    ///
+    /// * `Err(TxnConflict)` — first-committer-wins validation failed;
+    ///   nothing was published. A WAL append failure reports the same way
+    ///   (as its own error): nothing was published.
     /// * `Ok(Published { .. })` — `candidate` was built against `expected`
     ///   and `expected` is still the committed state: record logged (when
-    ///   durable), published, transaction unregistered. The caller must
-    ///   still await `lsn` per the fsync policy before acknowledging.
+    ///   durable) and published. The caller must still await `lsn` per the
+    ///   fsync policy before acknowledging.
     /// * `Ok(Stale(current))` — another commit landed since `expected` was
-    ///   observed; the caller must replay against `current` and try again
-    ///   (the transaction stays registered).
+    ///   observed; the caller must replay against `current` and try again.
     pub(crate) fn publish_if(
         &self,
         begin_seq: u64,
@@ -313,19 +352,16 @@ impl DbHandle {
     ) -> Result<PublishOutcome> {
         let mut st = self.inner.state.lock().unwrap();
         // first-committer-wins: any committed write since our begin that
-        // overlaps our write-set aborts us.
-        let conflict = st
-            .log
-            .iter()
-            .filter(|r| r.seq > begin_seq)
-            .find_map(|rec| {
-                rec.keys
-                    .iter()
-                    .find(|k| keys.contains(k))
-                    .map(|k| (k.clone(), rec.seq))
-            });
+        // overlaps our write-set aborts us — one hash probe per key of OUR
+        // write-set, independent of how many keys other commits logged
+        let conflict = keys.iter().find_map(|key| {
+            st.last_write
+                .get(key)
+                .copied()
+                .filter(|&seq| seq > begin_seq)
+                .map(|seq| (key, seq))
+        });
         if let Some((key, seq)) = conflict {
-            Self::unregister(&mut st, begin_seq);
             return Err(MadError::txn_conflict(format!(
                 "write-write conflict on {key} with the transaction committed at sequence {seq}"
             )));
@@ -337,18 +373,11 @@ impl DbHandle {
         // write-ahead: the record must be in the log (buffered) before the
         // state becomes visible; an append failure publishes nothing
         let lsn = match (&self.inner.wal, wal_ops) {
-            (Some(wal), Some(ops)) => match wal.append_commit(seq, ops) {
-                Ok(lsn) => Some(lsn),
-                Err(e) => {
-                    Self::unregister(&mut st, begin_seq);
-                    return Err(e);
-                }
-            },
+            (Some(wal), Some(ops)) => Some(wal.append_commit(seq, ops)?),
             (None, _) => None,
             (Some(_), None) => {
                 // a durable handle was handed no ops — a caller bug, and
                 // publishing would silently lose the commit on restart
-                Self::unregister(&mut st, begin_seq);
                 return Err(MadError::wal(
                     "durable publication without a serialized op log",
                 ));
@@ -359,12 +388,14 @@ impl DbHandle {
             seq,
             keys: keys.iter().cloned().collect(),
         });
+        for key in keys {
+            st.last_write.insert(key.clone(), seq);
+        }
         {
             let mut p = self.inner.published.write().unwrap();
             p.db = Arc::new(candidate);
             p.seq = seq;
         }
-        Self::unregister(&mut st, begin_seq);
         Ok(PublishOutcome::Published { seq, lsn })
     }
 

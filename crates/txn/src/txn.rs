@@ -283,10 +283,9 @@ impl Transaction {
     /// replay failures, the WAL append itself) keep the guarantee that
     /// nothing was published.
     pub fn commit(mut self) -> Result<CommitInfo> {
-        self.finished = true;
         if self.ops.is_empty() {
             // read-only: nothing to validate or publish
-            self.handle.finish_txn(self.begin_seq);
+            self.finish();
             return Ok(CommitInfo::default());
         }
         let handle = self.handle.clone();
@@ -307,8 +306,16 @@ impl Transaction {
             // recovery replay is deterministic; rebuilt per attempt since
             // a replayed attempt maps ids differently
             let wal_ops = durable.then(|| resolve_ops(&ops, &remap));
+            // any Err — validation conflict, WAL append failure, replay
+            // failure below, even a panic — releases the registration via
+            // `finish` (the `?` drops `self`, whose Drop runs it), so a
+            // failed commit can never pin the commit log
             match handle.publish_if(begin_seq, &observed, &keys, candidate, wal_ops.as_deref())? {
                 PublishOutcome::Published { seq, lsn } => {
+                    // published: release the registration *before* the
+                    // durability wait, so an fsync stall never pins the
+                    // commit log behind this transaction
+                    self.finish();
                     // the commit is acknowledged only once its record is
                     // durable per the handle's fsync policy (group commit
                     // batches this wait with concurrent committers)
@@ -329,10 +336,7 @@ impl Transaction {
                     // from the discarded attempt
                     remap.clear();
                     let mut fresh = (*current).clone();
-                    if let Err(e) = replay(&mut fresh, &ops, &base_slots, &mut remap) {
-                        handle.finish_txn(begin_seq);
-                        return Err(e);
-                    }
+                    replay(&mut fresh, &ops, &base_slots, &mut remap)?;
                     observed = current;
                     candidate = fresh;
                 }
@@ -342,17 +346,25 @@ impl Transaction {
 
     /// Drop the overlay; the committed state was never touched.
     pub fn abort(mut self) {
-        self.finished = true;
-        self.handle.finish_txn(self.begin_seq);
+        self.finish();
+    }
+
+    /// Release the handle registration exactly once. Every exit path of a
+    /// transaction funnels here — commit (success or failure), abort, and
+    /// plain drop (early return, panic unwind, a client disconnecting
+    /// mid-transaction) — so an abandoned transaction can never keep the
+    /// commit log pinned at its begin sequence.
+    fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.handle.finish_txn(self.begin_seq);
+        }
     }
 }
 
 impl Drop for Transaction {
     fn drop(&mut self) {
-        if !self.finished {
-            self.finished = true;
-            self.handle.finish_txn(self.begin_seq);
-        }
+        self.finish();
     }
 }
 
@@ -652,6 +664,75 @@ mod tests {
         t.update_attr(AtomId::new(state, 0), 1, Value::from(999)).unwrap();
         t.commit().unwrap();
         assert_eq!(h.commit_log_len(), 0);
+    }
+
+    #[test]
+    fn leaked_and_panicked_transactions_drain_the_commit_log() {
+        // the registry-leak regression: a transaction abandoned without
+        // commit()/abort() — early return, panic, a client disconnecting
+        // mid-transaction — must unregister on drop, or its begin_seq pins
+        // the commit log (and the conflict index) forever
+        let h = geo_handle();
+        let state = ty(&h, "state");
+        let sp = AtomId::new(state, 0);
+        // records only prune when something is registered to prune *for*:
+        // pin an old reader so leaked registrations would be observable
+        let commit_one = |h: &DbHandle, v: i64| {
+            let mut t = Transaction::begin(h);
+            t.update_attr(sp, 1, Value::from(v)).unwrap();
+            t.commit().unwrap();
+        };
+        // 1. leaked by early return (plain drop without commit/abort)
+        {
+            let mut t = Transaction::begin(&h);
+            t.update_attr(sp, 1, Value::from(-1)).unwrap();
+        }
+        // 2. leaked by a panicking thread (unwind runs Drop)
+        let h2 = h.clone();
+        let panicked = std::thread::spawn(move || {
+            let state = h2.committed().schema().atom_type_id("state").unwrap();
+            let mut t = Transaction::begin(&h2);
+            t.update_attr(AtomId::new(state, 0), 1, Value::from(-2)).unwrap();
+            panic!("client vanished mid-transaction");
+        })
+        .join();
+        assert!(panicked.is_err(), "the thread must have panicked");
+        // 3. a commit that *fails* (conflict) must release its registration
+        let mut loser = Transaction::begin(&h);
+        loser.update_attr(sp, 1, Value::from(-3)).unwrap();
+        commit_one(&h, 10);
+        assert!(loser.commit().unwrap_err().is_conflict());
+        // with every abandoned registration released, the next commit
+        // prunes the log back to empty — nothing is pinned
+        commit_one(&h, 11);
+        assert_eq!(h.commit_log_len(), 0, "a leaked registration pins the log");
+        assert_eq!(h.conflict_index_len(), 0, "the conflict index must prune too");
+    }
+
+    #[test]
+    fn conflict_index_prunes_with_the_log() {
+        let h = geo_handle();
+        let state = ty(&h, "state");
+        let sp = AtomId::new(state, 0);
+        let pinned = Transaction::begin(&h);
+        for i in 0..5 {
+            let mut t = Transaction::begin(&h);
+            t.update_attr(sp, 1, Value::from(i)).unwrap();
+            // a disjoint insert too, so records carry >1 key
+            t.insert_atom(state, vec![Value::from(format!("s{i}")), Value::from(i)])
+                .unwrap();
+            t.commit().unwrap();
+        }
+        assert_eq!(h.commit_log_len(), 5, "records pinned by the old reader");
+        // all 5 records overwrite the same contended key; the index holds
+        // the *last* committing seq per key, so exactly one entry covers it
+        assert_eq!(h.conflict_index_len(), 1);
+        drop(pinned);
+        let mut t = Transaction::begin(&h);
+        t.update_attr(sp, 1, Value::from(99)).unwrap();
+        t.commit().unwrap();
+        assert_eq!(h.commit_log_len(), 0);
+        assert_eq!(h.conflict_index_len(), 0);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! `madd` — the MAD server daemon.
+//!
+//! ```text
+//! madd [--addr ADDR] [--wal PATH] [--fsync per-commit|group|never]
+//!      [--bootstrap mixed|brazil]
+//! ```
+//!
+//! Serves one shared database over TCP (default `127.0.0.1:7878`): one
+//! session per connection, `madc` as the client. With `--wal` the handle
+//! is durable — the log is recovered if it exists and created from the
+//! chosen bootstrap fixture otherwise, so killing the daemon (SIGKILL
+//! included) and restarting it with the same `--wal` resumes from the
+//! last acknowledged commit. Without `--wal` the state dies with the
+//! process.
+
+use mad_net::Server;
+use mad_txn::{DbHandle, Durability, FsyncPolicy};
+use mad_workload::{brazil_database, mixed_database};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("madd: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut wal: Option<std::path::PathBuf> = None;
+    let mut fsync = FsyncPolicy::Group;
+    let mut bootstrap = "mixed".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value (try --help)"))
+        };
+        match a.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--wal" => wal = Some(value("--wal")?.into()),
+            "--fsync" => {
+                fsync = match value("--fsync")?.as_str() {
+                    "per-commit" => FsyncPolicy::PerCommit,
+                    "group" => FsyncPolicy::Group,
+                    "never" => FsyncPolicy::Never,
+                    other => return Err(format!("unknown fsync policy `{other}`").into()),
+                }
+            }
+            "--bootstrap" => bootstrap = value("--bootstrap")?,
+            "-h" | "--help" => {
+                println!(
+                    "usage: madd [--addr ADDR] [--wal PATH] \
+                     [--fsync per-commit|group|never] [--bootstrap mixed|brazil]"
+                );
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)").into()),
+        }
+    }
+
+    let db = match bootstrap.as_str() {
+        "mixed" => mixed_database()?,
+        "brazil" => brazil_database()?.0,
+        other => return Err(format!("unknown bootstrap fixture `{other}`").into()),
+    };
+    let durability = match wal {
+        Some(path) => Durability::Wal { path, fsync },
+        None => Durability::None,
+    };
+    let handle = DbHandle::with_durability(db, durability)?;
+    if let Some(info) = handle.recovery_info() {
+        eprintln!(
+            "madd: recovered {} commit(s), truncated {} torn byte(s)",
+            info.commits_replayed, info.truncated_bytes
+        );
+    }
+    let durable = handle.is_durable();
+    let server = Server::serve(handle, addr.as_str())?;
+    eprintln!(
+        "madd: serving {} database on {} (one session per connection; connect with \
+         `madc {}`)",
+        if durable { "a durable" } else { "an in-memory" },
+        server.local_addr(),
+        server.local_addr(),
+    );
+    // serve until the process is killed; durability (when enabled) makes
+    // an abrupt kill recoverable by construction
+    loop {
+        std::thread::park();
+    }
+}

@@ -24,6 +24,7 @@ pub mod brazil;
 pub mod crash;
 pub mod geo;
 pub mod mixed;
+pub mod net;
 pub mod rng;
 pub mod vlsi;
 
@@ -32,4 +33,5 @@ pub use brazil::{brazil_database, BrazilHandles};
 pub use crash::{run_crash_recovery, CrashParams, CrashStats};
 pub use geo::{generate_geo, GeoParams};
 pub use mixed::{mixed_database, run_mixed, MixedParams, MixedStats};
+pub use net::{run_net_crash, NetCrashParams, NetCrashStats};
 pub use vlsi::{generate_vlsi, VlsiParams};

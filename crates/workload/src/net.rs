@@ -1,0 +1,425 @@
+//! Networked crash-recovery scenario: the mixed read/write workload
+//! driven by real TCP clients against a durable [`mad_net::Server`], a
+//! kill at a crash-consistent point, restart, and verification that every
+//! client-acknowledged commit survives as an exact prefix.
+//!
+//! This composes the PR-3 `mixed` scenario (concurrent writers + readers
+//! over one shared handle) with the PR-4 `crash` scenario (cut the WAL
+//! the way a crash would leave it), but pushes both through the network
+//! stack: every statement is MQL text over checksummed frames, every
+//! writer transaction spans multiple round-trips (`BEGIN` … `COMMIT`),
+//! and the conflict retries exercise `is_conflict()` *across the wire*.
+//!
+//! ## What "kill" means here
+//!
+//! The server is shut down abruptly mid-traffic (in-flight statements die
+//! with transport errors on their clients; an indeterminate `COMMIT` —
+//! sent but unacknowledged — is *not* counted as acked) and the log file
+//! is then cut at a random record boundary **at or beyond the highest
+//! client-acknowledged commit sequence**, optionally with a torn partial
+//! record appended. That is exactly the family of states a real power
+//! failure can leave: acknowledged commits were fsynced (the group-commit
+//! protocol acknowledges only after their covering fsync), so a real
+//! crash can only lose a suffix of unacknowledged records plus a torn
+//! tail. Recovery must then restore a state containing **every** acked
+//! commit, as a gap-free prefix of whole transaction groups.
+
+use crate::mixed::mixed_database;
+use crate::rng::StdRng;
+use mad_model::{AtomId, MadError, Result, Value};
+use mad_net::{Client, Server};
+use mad_txn::{DbHandle, FsyncPolicy};
+use mad_wal::frame_boundaries;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parameters of the networked crash scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct NetCrashParams {
+    /// Writer connections (each runs `BEGIN … COMMIT` groups with retries).
+    pub writers: usize,
+    /// Reader connections (continuous SELECT until the kill).
+    pub readers: usize,
+    /// Transaction groups each writer tries to commit.
+    pub txns_per_writer: usize,
+    /// Areas connected to each inserted state (the atomic group size).
+    pub areas_per_state: usize,
+    /// Fsync policy of the durable handle behind the server.
+    pub fsync: FsyncPolicy,
+    /// Kill the server once this many commits were acknowledged (the
+    /// writers may be mid-transaction then; capped by the total quota).
+    pub kill_after_acks: usize,
+    /// Also tear a strict prefix of the record after the cut.
+    pub tear_tail: bool,
+    /// Seed for the cut point and writer jitter.
+    pub seed: u64,
+}
+
+impl Default for NetCrashParams {
+    fn default() -> Self {
+        NetCrashParams {
+            writers: 3,
+            readers: 2,
+            txns_per_writer: 8,
+            areas_per_state: 3,
+            fsync: FsyncPolicy::Group,
+            kill_after_acks: 12,
+            tear_tail: true,
+            seed: 20260731,
+        }
+    }
+}
+
+/// Outcome of one [`run_net_crash`] execution.
+#[derive(Clone, Debug, Default)]
+pub struct NetCrashStats {
+    /// Commits acknowledged to a client before the kill.
+    pub acked: usize,
+    /// First-committer-wins conflicts retried over the wire.
+    pub conflicts: usize,
+    /// SELECT round-trips completed by the reader connections.
+    pub reads: usize,
+    /// Commit records surviving the crash cut.
+    pub survived: u64,
+    /// Bytes of torn tail recovery truncated.
+    pub truncated_bytes: u64,
+    /// Commits published by the post-restart verification client.
+    pub post_restart_commits: usize,
+    /// Invariant violations (must be 0): a lost acked commit, a torn or
+    /// phantom group, a count mismatch, an integrity-audit failure, a
+    /// malformed server response.
+    pub violations: usize,
+}
+
+/// Is this error a transport failure (the server died underneath the
+/// client) rather than a statement failure?
+fn is_transport(e: &MadError) -> bool {
+    matches!(e, MadError::Io { .. } | MadError::Protocol { .. })
+}
+
+/// Parse the commit sequence out of a rendered COMMIT acknowledgment
+/// (`"committed N operation(s) at sequence S…"`).
+fn parse_commit_seq(text: &str) -> Option<u64> {
+    let rest = text.split("at sequence ").nth(1)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// One writer group over the wire: BEGIN, the inserts and connects of one
+/// atomic group, a contended update (forcing first-committer-wins races
+/// between writers), COMMIT. Returns the acknowledged commit sequence.
+fn commit_group_over_wire(
+    client: &mut Client,
+    name: &str,
+    aid_base: i64,
+    areas_per_state: usize,
+) -> Result<u64> {
+    client.execute("BEGIN")?;
+    client.execute(&format!(
+        "INSERT ATOM state (sname = '{name}', hectare = 1.0)"
+    ))?;
+    for j in 0..areas_per_state {
+        let aid = aid_base + j as i64;
+        client.execute(&format!("INSERT ATOM area (aid = {aid})"))?;
+        client.execute(&format!(
+            "CONNECT state[sname='{name}'] TO area[aid={aid}] VIA state-area"
+        ))?;
+    }
+    client.execute("UPDATE state[sname='contended'] SET hectare = 1.0")?;
+    let ack = client.execute("COMMIT")?;
+    parse_commit_seq(&ack).ok_or_else(|| {
+        MadError::protocol(format!("unparseable COMMIT acknowledgment: {ack:?}"))
+    })
+}
+
+/// Run the scenario against a fresh durable server at `wal_path` (the file
+/// must not exist). The log file is left in its post-recovery state.
+pub fn run_net_crash(wal_path: &Path, params: &NetCrashParams) -> Result<NetCrashStats> {
+    let k = params.areas_per_state;
+
+    // ---------------------------------------------------------------
+    // phase 1: serve a durable handle, drive it with real TCP clients
+    let handle = DbHandle::create_durable(mixed_database()?, wal_path, params.fsync)?;
+    let server = Server::serve(handle, "127.0.0.1:0")?;
+    let addr = server.local_addr();
+
+    let stop = AtomicBool::new(false);
+    let acked: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let max_acked_seq = AtomicU64::new(0);
+    let conflicts = AtomicUsize::new(0);
+    let reads = AtomicUsize::new(0);
+    let violations = AtomicUsize::new(0);
+    let writers_left = AtomicUsize::new(params.writers);
+
+    /// Decrements on writer exit — **including by panic** — so the killer
+    /// loop below can never wait forever on a dead writer.
+    struct WriterExit<'a>(&'a AtomicUsize);
+    impl Drop for WriterExit<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for w in 0..params.writers {
+            let (stop, acked, max_acked_seq, conflicts, violations, writers_left) =
+                (&stop, &acked, &max_acked_seq, &conflicts, &violations, &writers_left);
+            scope.spawn(move || {
+                let _exit = WriterExit(writers_left);
+                let Ok(mut client) = Client::connect(addr) else {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                'groups: for i in 0..params.txns_per_writer {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let name = format!("w{w}-{i}");
+                    let aid_base = ((w * params.txns_per_writer + i) * k) as i64;
+                    loop {
+                        match commit_group_over_wire(&mut client, &name, aid_base, k) {
+                            Ok(seq) => {
+                                max_acked_seq.fetch_max(seq, Ordering::AcqRel);
+                                acked.lock().unwrap().push(name);
+                                break;
+                            }
+                            Err(e) if e.is_conflict() => {
+                                // the failed COMMIT aborted the server-side
+                                // transaction; retry the whole group
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) if is_transport(&e) => break 'groups, // the kill
+                            Err(_) => {
+                                violations.fetch_add(1, Ordering::Relaxed);
+                                break 'groups;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..params.readers {
+            let (stop, reads, violations) = (&stop, &reads, &violations);
+            scope.spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                while !stop.load(Ordering::Acquire) {
+                    match client.execute("SELECT ALL FROM state-area") {
+                        Ok(text) => {
+                            reads.fetch_add(1, Ordering::Relaxed);
+                            if !text.contains("molecule(s)") {
+                                violations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) if is_transport(&e) => break, // the kill
+                        Err(_) => {
+                            violations.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // the killer: wait for the configured number of acknowledgments
+        // (or for every writer to finish/fail), then pull the plug
+        let quota = params.writers * params.txns_per_writer;
+        let target = params.kill_after_acks.min(quota);
+        while acked.lock().unwrap().len() < target && writers_left.load(Ordering::Acquire) > 0
+        {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Release);
+        server.shutdown(); // closes every connection; clients see I/O errors
+    });
+
+    let acked = acked.into_inner().unwrap();
+    let max_seq = max_acked_seq.into_inner();
+
+    // ---------------------------------------------------------------
+    // phase 2: the crash image — cut at a random record boundary at or
+    // beyond the highest acked commit (acked ⇒ fsynced ⇒ survives a real
+    // crash), optionally tearing a prefix of the next record
+    let full =
+        std::fs::read(wal_path).map_err(|e| MadError::wal(format!("read log: {e}")))?;
+    let boundaries = frame_boundaries(&full);
+    // boundaries[i] = end of record i; record 0 is the bootstrap image,
+    // so a cut at boundaries[c] keeps commits 1..=c
+    if boundaries.len() as u64 <= max_seq {
+        return Err(MadError::wal(format!(
+            "log holds {} records but sequence {max_seq} was acknowledged",
+            boundaries.len().saturating_sub(1),
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let eligible = &boundaries[max_seq as usize..];
+    let cut_index = max_seq as usize + rng.gen_range(0..eligible.len());
+    let cut = boundaries[cut_index];
+    let mut image = full[..cut].to_vec();
+    if params.tear_tail && cut < full.len() {
+        let next_len = boundaries
+            .get(cut_index + 1)
+            .map(|&b| b - cut)
+            .unwrap_or(full.len() - cut);
+        if next_len > 1 {
+            let torn = 1 + rng.gen_range(0..next_len - 1);
+            image.extend_from_slice(&full[cut..cut + torn]);
+        }
+    }
+    let torn_bytes = (image.len() - cut) as u64;
+    std::fs::write(wal_path, &image).map_err(|e| MadError::wal(format!("cut log: {e}")))?;
+
+    // ---------------------------------------------------------------
+    // phase 3: recover and verify the acked-prefix invariants
+    let handle = DbHandle::open_durable(wal_path, params.fsync)?;
+    let info = handle
+        .recovery_info()
+        .expect("open_durable always records recovery info");
+    let mut violation_count = violations.into_inner();
+    if info.truncated_bytes != torn_bytes {
+        violation_count += 1;
+    }
+    if info.commits_replayed != cut_index as u64 {
+        violation_count += 1;
+    }
+    violation_count += verify_prefix(&handle, info.commits_replayed, &acked, k);
+
+    // ---------------------------------------------------------------
+    // phase 4: the service comes back — a fresh server over the recovered
+    // handle keeps serving reads and durable commits
+    let server = Server::serve(handle, "127.0.0.1:0")?;
+    let mut client = Client::connect(server.local_addr())?;
+    if !client.server_info().durable {
+        violation_count += 1;
+    }
+    let text = client.execute("SELECT ALL FROM state-area")?;
+    if !text.contains("molecule(s)") {
+        violation_count += 1;
+    }
+    let seq = commit_group_over_wire(&mut client, "post-restart", 1_000_000, k)?;
+    let post_restart_commits = 1;
+    if seq != info.commits_replayed + 1 {
+        violation_count += 1; // sequence numbering must continue seamlessly
+    }
+    // read-your-committed-writes through a second, fresh connection
+    let mut other = Client::connect(server.local_addr())?;
+    let text = other.execute("SELECT ALL FROM state-area WHERE state.sname = 'post-restart'")?;
+    if !text.contains("1 molecule(s)") {
+        violation_count += 1;
+    }
+    drop(client);
+    drop(other);
+    server.shutdown();
+
+    Ok(NetCrashStats {
+        acked: acked.len(),
+        conflicts: conflicts.into_inner(),
+        reads: reads.into_inner(),
+        survived: info.commits_replayed,
+        truncated_bytes: info.truncated_bytes,
+        post_restart_commits,
+        violations: violation_count,
+    })
+}
+
+/// Check the recovered state: exactly `k_commits` whole groups, every
+/// acked group present, no phantom groups, referential integrity clean.
+/// Returns the number of violated invariants.
+fn verify_prefix(
+    handle: &DbHandle,
+    k_commits: u64,
+    acked: &[String],
+    areas_per_state: usize,
+) -> usize {
+    let db = handle.committed();
+    let mut violations = 0usize;
+    let state = db.schema().atom_type_id("state").expect("mixed schema");
+    let area = db.schema().atom_type_id("area").expect("mixed schema");
+    let sa = db.schema().link_type_id("state-area").expect("mixed schema");
+    let k = k_commits as usize;
+    if db.atom_count(state) != 1 + k {
+        violations += 1; // a group vanished or half-appeared
+    }
+    if db.atom_count(area) != k * areas_per_state {
+        violations += 1;
+    }
+    if db.link_count(sa) != k * areas_per_state {
+        violations += 1;
+    }
+    // every surviving group is a submitted one, exactly once, and every
+    // *acknowledged* group is among the survivors (slot 0 is the seed)
+    let mut survivors: Vec<String> = Vec::with_capacity(k);
+    for slot in 1..=k as u32 {
+        match db.atom_value(AtomId::new(state, slot), 0) {
+            Ok(Value::Text(name)) => survivors.push(name.clone()),
+            _ => violations += 1,
+        }
+    }
+    for name in acked {
+        if !survivors.iter().any(|s| s == name) {
+            violations += 1; // an acknowledged commit was lost
+        }
+    }
+    if !survivors
+        .iter()
+        .all(|s| s.starts_with('w') && s.contains('-'))
+    {
+        violations += 1; // a phantom group appeared
+    }
+    if !db.audit_referential_integrity().is_empty() {
+        violations += 1;
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(seed: u64, fsync: FsyncPolicy) -> NetCrashStats {
+        let dir = std::env::temp_dir().join(format!(
+            "mad-netcrash-{seed}-{fsync:?}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mad.wal");
+        let params = NetCrashParams {
+            writers: 2,
+            readers: 1,
+            txns_per_writer: 5,
+            areas_per_state: 2,
+            fsync,
+            kill_after_acks: 6,
+            tear_tail: true,
+            seed,
+        };
+        let stats = run_net_crash(&path, &params).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        stats
+    }
+
+    #[test]
+    fn networked_crash_recovers_every_acked_commit() {
+        for seed in [1u64, 2, 3] {
+            let stats = scenario(seed, FsyncPolicy::Group);
+            assert_eq!(
+                stats.violations, 0,
+                "seed {seed} recovered inconsistently: {stats:?}"
+            );
+            assert!(stats.acked >= 6, "the kill fired too early: {stats:?}");
+            assert!(stats.survived >= stats.acked as u64, "{stats:?}");
+            assert_eq!(stats.post_restart_commits, 1);
+        }
+    }
+
+    #[test]
+    fn networked_crash_holds_under_per_commit_fsync() {
+        let stats = scenario(77, FsyncPolicy::PerCommit);
+        assert_eq!(stats.violations, 0, "{stats:?}");
+    }
+}

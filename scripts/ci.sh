@@ -8,7 +8,10 @@
 #   4. rustdoc, warning-free (every crate carries `//!` module docs),
 #   5. the crash-recovery scenario end to end: mixed workload over a
 #      durable handle, kill at a random WAL record boundary, recovery,
-#      prefix-consistency verification (examples/durability.rs).
+#      prefix-consistency verification (examples/durability.rs),
+#   6. the networked crash scenario on loopback: TCP clients against a
+#      durable server, kill mid-traffic, restart, acked-prefix
+#      verification (examples/network.rs).
 #
 # Any step failing fails the script.
 set -euo pipefail
@@ -28,5 +31,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "== crash-recovery scenario (examples/durability.rs)"
 cargo run --release --quiet --example durability
+
+echo "== networked crash scenario on loopback (examples/network.rs)"
+cargo run --release --quiet --example network
 
 echo "ci.sh: all green"

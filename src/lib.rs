@@ -9,6 +9,8 @@
 //! * [`algebra`] — the atom-type algebra and the molecule algebra
 //!   (Def. 4–10, Theorems 1–3), molecule derivation, recursion,
 //! * [`mql`] — the molecule query language of §4,
+//! * [`net`] — the TCP server front-end and blocking client (MQL over
+//!   checksummed frames; one shared session per connection),
 //! * [`relational`] — the relational substrate/baseline,
 //! * [`nf2`] — the NF² substrate/baseline,
 //! * [`workload`] — fixtures and generators (the Brazil database of
@@ -25,6 +27,7 @@
 pub use mad_core as algebra;
 pub use mad_model as model;
 pub use mad_mql as mql;
+pub use mad_net as net;
 pub use mad_nf2 as nf2;
 pub use mad_relational as relational;
 pub use mad_storage as storage;

@@ -1,0 +1,186 @@
+//! Integration tests of the TCP front-end over real loopback sockets:
+//! concurrent writers + readers, forced first-committer-wins conflicts
+//! across the wire, transactions spanning round-trips, and the
+//! disconnect-mid-transaction registry drain.
+
+use mad::model::MadError;
+use mad::net::{Client, Server};
+use mad::txn::DbHandle;
+use mad::workload::mixed_database;
+use std::time::{Duration, Instant};
+
+fn serve_mixed() -> Server {
+    Server::serve(DbHandle::new(mixed_database().unwrap()), "127.0.0.1:0").unwrap()
+}
+
+#[test]
+fn two_writers_two_readers_over_real_sockets() {
+    let server = serve_mixed();
+    let addr = server.local_addr();
+    let writers = 2usize;
+    let per_writer = 6usize;
+    let areas = 2usize;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..per_writer {
+                    loop {
+                        client.execute("BEGIN").unwrap();
+                        client
+                            .execute(&format!(
+                                "INSERT ATOM state (sname = 'w{w}-{i}', hectare = 1.0)"
+                            ))
+                            .unwrap();
+                        for j in 0..areas {
+                            let aid = (w * per_writer + i) * areas + j;
+                            client
+                                .execute(&format!("INSERT ATOM area (aid = {aid})"))
+                                .unwrap();
+                            client
+                                .execute(&format!(
+                                    "CONNECT state[sname='w{w}-{i}'] TO area[aid={aid}] \
+                                     VIA state-area"
+                                ))
+                                .unwrap();
+                        }
+                        // the contended write forces real conflicts
+                        client
+                            .execute("UPDATE state[sname='contended'] SET hectare = 1.0")
+                            .unwrap();
+                        match client.execute("COMMIT") {
+                            Ok(ack) => {
+                                assert!(ack.contains("at sequence"), "got: {ack}");
+                                break;
+                            }
+                            Err(e) if e.is_conflict() => continue, // retry the group
+                            Err(e) => panic!("writer {w} failed non-retryably: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..2 {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for _ in 0..20 {
+                    let text = client.execute("SELECT ALL FROM state-area").unwrap();
+                    assert!(text.contains("molecule(s)"), "got: {text}");
+                }
+            });
+        }
+    });
+    // every group arrived whole
+    let db = server.handle().committed();
+    let state = db.schema().atom_type_id("state").unwrap();
+    let area = db.schema().atom_type_id("area").unwrap();
+    let sa = db.schema().link_type_id("state-area").unwrap();
+    assert_eq!(db.atom_count(state), 1 + writers * per_writer);
+    assert_eq!(db.atom_count(area), writers * per_writer * areas);
+    assert_eq!(db.link_count(sa), writers * per_writer * areas);
+    assert!(db.audit_referential_integrity().is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn forced_conflict_aborts_exactly_one_client() {
+    let server = serve_mixed();
+    let addr = server.local_addr();
+    let mut c1 = Client::connect(addr).unwrap();
+    let mut c2 = Client::connect(addr).unwrap();
+    c1.execute("BEGIN").unwrap();
+    c2.execute("BEGIN").unwrap();
+    c1.execute("UPDATE state[sname='contended'] SET hectare = 1.0").unwrap();
+    c2.execute("UPDATE state[sname='contended'] SET hectare = 2.0").unwrap();
+    c1.execute("COMMIT").unwrap();
+    let err = c2.execute("COMMIT").unwrap_err();
+    assert!(err.is_conflict(), "conflict flag lost across the wire: {err:?}");
+    assert!(matches!(err, MadError::TxnConflict { .. }), "got {err:?}");
+    // the losing session was aborted server-side and keeps serving: the
+    // first committer's value is visible, and a fresh transaction works
+    let text = c2
+        .execute("SELECT ALL FROM state WHERE state.hectare = 1.0")
+        .unwrap();
+    assert!(text.contains("1 molecule(s)"), "got: {text}");
+    c2.execute("BEGIN").unwrap();
+    c2.execute("UPDATE state[sname='contended'] SET hectare = 3.0").unwrap();
+    c2.execute("COMMIT").unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn transaction_spans_round_trips_with_isolation() {
+    let server = serve_mixed();
+    let addr = server.local_addr();
+    let mut writer = Client::connect(addr).unwrap();
+    let mut observer = Client::connect(addr).unwrap();
+    writer.execute("BEGIN").unwrap();
+    writer
+        .execute("INSERT ATOM state (sname = 'open', hectare = 5.0)")
+        .unwrap();
+    // the writer reads its own uncommitted insert…
+    let text = writer
+        .execute("SELECT ALL FROM state WHERE state.sname = 'open'")
+        .unwrap();
+    assert!(text.contains("1 molecule(s)"), "got: {text}");
+    // …the observer (a different connection = different session) does not
+    let text = observer
+        .execute("SELECT ALL FROM state WHERE state.sname = 'open'")
+        .unwrap();
+    assert!(text.contains("0 molecule(s)"), "uncommitted overlay leaked: {text}");
+    writer.execute("COMMIT").unwrap();
+    let text = observer
+        .execute("SELECT ALL FROM state WHERE state.sname = 'open'")
+        .unwrap();
+    assert!(text.contains("1 molecule(s)"), "commit not visible: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn disconnect_mid_transaction_drains_the_commit_log() {
+    // the acceptance regression: a client that vanishes mid-BEGIN must not
+    // pin the commit log — the server-side session drop aborts the
+    // transaction and unregisters it
+    let server = serve_mixed();
+    let addr = server.local_addr();
+    let handle = server.handle().clone();
+
+    let mut ghost = Client::connect(addr).unwrap();
+    ghost.execute("BEGIN").unwrap();
+    ghost
+        .execute("UPDATE state[sname='contended'] SET hectare = 9.0")
+        .unwrap();
+    // commits land while the ghost's transaction pins the log (updates of
+    // a pre-existing atom, so each record carries a write key)
+    let mut worker = Client::connect(addr).unwrap();
+    for i in 0..3 {
+        worker
+            .execute(&format!("UPDATE state[sname='contended'] SET hectare = {i}.0"))
+            .unwrap();
+    }
+    assert_eq!(handle.commit_log_len(), 3, "the open transaction pins the log");
+    assert_eq!(handle.conflict_index_len(), 1, "one contended key, newest seq wins");
+
+    // the client vanishes without COMMIT/ABORT
+    drop(ghost);
+
+    // the server notices the disconnect and the registry drains; the next
+    // commit prunes the log back to empty
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        worker
+            .execute("UPDATE state[sname='contended'] SET hectare = 0.5")
+            .unwrap();
+        if handle.commit_log_len() == 0 && handle.conflict_index_len() == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "abandoned connection still pins the commit log: len = {}, index = {}",
+            handle.commit_log_len(),
+            handle.conflict_index_len()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    server.shutdown();
+}
