@@ -1,0 +1,274 @@
+//! B11 — streaming replication: lag vs write rate, sync-quorum commit
+//! cost, and read throughput scaling across standby replicas.
+//!
+//! Like B10 this harness measures directly rather than through criterion:
+//! replication lag is a *distributed* observable (primary commit sequence
+//! minus standby replicated sequence) sampled while traffic runs, not a
+//! closed-loop iteration time. Everything runs in-process over loopback:
+//!
+//! * `B11_repl/lag_commits/r<rate>` — mean standby lag in commits,
+//!   sampled once per commit while a writer publishes at `rate`
+//!   commits/sec (`r0` = unthrottled) against one async standby;
+//! * `B11_repl/drain_ms/r<rate>` — after the burst, milliseconds until
+//!   the standby has replayed everything the primary acknowledged;
+//! * `B11_repl/commits_per_sec/<mode>` — direct-handle commit
+//!   throughput with `async` acks vs a `quorum1` sync standby (the
+//!   durability-of-acknowledgment price);
+//! * `B11_repl/reads_per_sec/n<replicas>` — aggregate SELECT throughput
+//!   of 8 TCP reader connections round-robined across `n` standby-backed
+//!   servers (the scale-out story: every replica serves its own
+//!   snapshot, so read throughput grows with the replica count).
+//!
+//! `-- --quick` shrinks the quotas and merges the results into
+//! `BENCH_derive.json` (same contract as the criterion shim).
+
+use mad_model::Value;
+use mad_net::{Client, Server};
+use mad_repl::{ReplPrimary, Standby, StandbyConfig};
+use mad_txn::{DbHandle, FsyncPolicy, ReplAck, Transaction};
+use mad_workload::mixed_database;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// One commit: insert a state atom and update it (two resolved ops).
+fn commit_one(handle: &DbHandle, i: usize) {
+    let db = handle.committed();
+    let state = db.schema().atom_type_id("state").unwrap();
+    let mut txn = Transaction::begin(handle);
+    txn.insert_atom(
+        state,
+        vec![Value::from(format!("b11-{i}")), Value::from(i as f64)],
+    )
+    .unwrap();
+    txn.commit().unwrap();
+}
+
+struct Cluster {
+    primary: DbHandle,
+    repl: ReplPrimary,
+    standbys: Vec<Standby>,
+    dir: PathBuf,
+}
+
+impl Cluster {
+    fn start(tag: &str, standbys: usize) -> Cluster {
+        let dir = std::env::temp_dir().join(format!("mad-b11-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let primary = DbHandle::create_durable(
+            mixed_database().unwrap(),
+            dir.join("primary.wal"),
+            FsyncPolicy::Group,
+        )
+        .unwrap();
+        let repl = ReplPrimary::start(primary.clone(), "127.0.0.1:0").unwrap();
+        let addr = repl.local_addr().to_string();
+        let standbys = (0..standbys)
+            .map(|i| {
+                Standby::start(StandbyConfig::new(
+                    addr.clone(),
+                    dir.join(format!("standby{i}.wal")),
+                    FsyncPolicy::Group,
+                ))
+                .unwrap()
+            })
+            .collect();
+        Cluster { primary, repl, standbys, dir }
+    }
+
+    fn stop(mut self) {
+        self.repl.shutdown();
+        let dir = self.dir.clone();
+        drop(self);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Lag vs write rate: commit `quota` groups at `rate` commits/sec
+/// (0 = unthrottled), sampling the standby's lag after every commit;
+/// then time the post-burst drain.
+fn bench_lag(results: &mut BTreeMap<String, f64>, rate: u64, quota: usize) {
+    let cluster = Cluster::start(&format!("lag{rate}"), 1);
+    let standby = &cluster.standbys[0];
+    let period = (rate > 0).then(|| Duration::from_nanos(1_000_000_000 / rate));
+    let mut lag_sum = 0u64;
+    for i in 0..quota {
+        let t = Instant::now();
+        commit_one(&cluster.primary, i);
+        lag_sum += cluster.primary.commit_seq() - standby.replicated_seq();
+        if let Some(p) = period {
+            if let Some(rest) = p.checked_sub(t.elapsed()) {
+                std::thread::sleep(rest);
+            }
+        }
+    }
+    let target = cluster.primary.commit_seq();
+    let t = Instant::now();
+    while standby.replicated_seq() < target {
+        std::thread::yield_now();
+    }
+    let drain = t.elapsed().as_secs_f64() * 1e3;
+    results.insert(
+        format!("B11_repl/lag_commits/r{rate}"),
+        lag_sum as f64 / quota as f64,
+    );
+    results.insert(format!("B11_repl/drain_ms/r{rate}"), drain);
+    cluster.stop();
+}
+
+/// Commit throughput: async acks vs a one-standby sync quorum.
+fn bench_ack_modes(results: &mut BTreeMap<String, f64>, quota: usize) {
+    for (mode, ack) in [("async", ReplAck::Async), ("quorum1", ReplAck::SyncQuorum(1))] {
+        let cluster = Cluster::start(&format!("ack-{mode}"), 1);
+        cluster.primary.set_repl_ack(ack);
+        let t = Instant::now();
+        for i in 0..quota {
+            commit_one(&cluster.primary, i);
+        }
+        let wall = t.elapsed().as_secs_f64();
+        results.insert(
+            format!("B11_repl/commits_per_sec/{mode}"),
+            quota as f64 / wall,
+        );
+        cluster.stop();
+    }
+}
+
+/// Read throughput at 1/2/4 replicas: 8 TCP readers round-robined over
+/// `n` standby-backed servers, all querying the replicated population.
+fn bench_read_scaling(results: &mut BTreeMap<String, f64>, quota: usize) {
+    for replicas in [1usize, 2, 4] {
+        let cluster = Cluster::start(&format!("read{replicas}"), replicas);
+        // replicate a molecule population for the readers to chew on
+        let db = cluster.primary.committed();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let area = db.schema().atom_type_id("area").unwrap();
+        let sa = db.schema().link_type_id("state-area").unwrap();
+        let mut txn = Transaction::begin(&cluster.primary);
+        for g in 0..32i64 {
+            let s = txn
+                .insert_atom(state, vec![Value::from(format!("g{g}")), Value::from(1.0)])
+                .unwrap();
+            for j in 0..4 {
+                let a = txn.insert_atom(area, vec![Value::from(g * 10 + j)]).unwrap();
+                txn.connect(sa, s, a).unwrap();
+            }
+        }
+        txn.commit().unwrap();
+        let target = cluster.primary.commit_seq();
+        for s in &cluster.standbys {
+            while s.replicated_seq() < target {
+                std::thread::yield_now();
+            }
+        }
+        let servers: Vec<Server> = cluster
+            .standbys
+            .iter()
+            .map(|s| Server::serve(s.handle(), "127.0.0.1:0").unwrap())
+            .collect();
+        const READERS: usize = 8;
+        let barrier = Barrier::new(READERS + 1);
+        let wall = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..READERS)
+                .map(|r| {
+                    let (barrier, servers) = (&barrier, &servers);
+                    scope.spawn(move || {
+                        let addr = servers[r % servers.len()].local_addr();
+                        let mut client = Client::connect(addr).expect("connect reader");
+                        client
+                            .execute("SELECT ALL FROM state-area WHERE state.sname = 'g7'")
+                            .expect("warm-up");
+                        barrier.wait();
+                        for _ in 0..quota {
+                            client
+                                .execute("SELECT ALL FROM state-area WHERE state.sname = 'g7'")
+                                .expect("bench read");
+                        }
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let t = Instant::now();
+            for j in joins {
+                j.join().expect("reader thread");
+            }
+            t.elapsed().as_secs_f64()
+        });
+        results.insert(
+            format!("B11_repl/reads_per_sec/n{replicas}"),
+            (READERS * quota) as f64 / wall,
+        );
+        for s in servers {
+            s.shutdown();
+        }
+        cluster.stop();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| quick.then(|| "BENCH_derive.json".to_owned()));
+    let (lag_quota, ack_quota, read_quota) = if quick { (80, 60, 40) } else { (400, 300, 200) };
+
+    let mut results: BTreeMap<String, f64> = BTreeMap::new();
+    for rate in [100u64, 500, 0] {
+        bench_lag(&mut results, rate, lag_quota);
+    }
+    bench_ack_modes(&mut results, ack_quota);
+    bench_read_scaling(&mut results, read_quota);
+
+    for (k, v) in &results {
+        println!("{k:<46} {v:>14.1}");
+    }
+    if let Some(path) = json_path {
+        merge_json(&path, &results);
+        println!("bench report written to {path}");
+    }
+}
+
+/// Merge into the flat `{"id": number}` report, same shape the criterion
+/// shim writes.
+fn merge_json(path: &str, fresh: &BTreeMap<String, f64>) {
+    let mut merged: BTreeMap<String, f64> = std::fs::read_to_string(path)
+        .ok()
+        .map(|text| parse_flat_json(&text))
+        .unwrap_or_default();
+    merged.extend(fresh.iter().map(|(k, v)| (k.clone(), *v)));
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in merged.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!("  \"{}\": {:.1}", k.replace('"', "\\\""), v));
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
+
+fn parse_flat_json(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = text;
+    while let Some(q) = rest.find('"') {
+        rest = &rest[q + 1..];
+        let Some(endq) = rest.find('"') else { break };
+        let key = rest[..endq].to_owned();
+        rest = &rest[endq + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].trim().parse::<f64>() {
+            out.insert(key, v);
+        }
+        rest = &rest[end..];
+    }
+    out
+}

@@ -1,5 +1,7 @@
 //! The blocking client: connect, send MQL text, get rendered results —
-//! or the server's error, with `is_conflict()` intact.
+//! or the server's error, with `is_conflict()` intact. Per-operation
+//! deadlines, reconnection and a bounded-backoff retry helper make it
+//! usable against servers that stall or restart.
 
 use crate::frame::{
     decode_response, encode_request, read_frame, write_frame, FrameIn, Request, Response, MAGIC,
@@ -7,7 +9,8 @@ use crate::frame::{
 };
 use mad_model::{MadError, Result};
 use std::io::BufReader;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// What the server announced in its hello frame.
 #[derive(Clone, Copy, Debug)]
@@ -18,6 +21,69 @@ pub struct ServerInfo {
     pub commit_seq: u64,
     /// Does the server write-ahead-log its commits?
     pub durable: bool,
+}
+
+/// Per-connection knobs: socket deadlines for each read and write, so a
+/// stalled or half-open server surfaces as a classified timeout error
+/// (see [`crate::frame::is_timeout_error`]) instead of a forever-blocked
+/// thread. `None` (the default) blocks indefinitely, the pre-deadline
+/// behavior.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientConfig {
+    /// Deadline for each socket read (a response, or part of one).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each socket write.
+    pub write_timeout: Option<Duration>,
+}
+
+/// Bounded exponential backoff for retryable failures: conflict retry
+/// loops ([`Client::execute_retry`]) and reconnection
+/// ([`Client::reconnect_retry`]) share it.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). At least 1.
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles per further attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Run `op` up to [`RetryPolicy::max_attempts`] times, sleeping the
+    /// backoff schedule between attempts, retrying only failures
+    /// `should_retry` accepts. The final error is returned unchanged.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T>,
+        mut should_retry: impl FnMut(&MadError) -> bool,
+    ) -> Result<T> {
+        let attempts = self.max_attempts.max(1);
+        let mut delay = self.base_delay;
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(self.max_delay);
+            }
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt + 1 < attempts && should_retry(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| MadError::io("retry loop made no attempt")))
+    }
 }
 
 /// A blocking connection to a [`crate::Server`].
@@ -34,14 +100,36 @@ pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     info: ServerInfo,
+    addr: SocketAddr,
+    config: ClientConfig,
 }
 
 impl Client {
-    /// Connect and complete the handshake (preamble out, hello in).
+    /// Connect and complete the handshake (preamble out, hello in), with
+    /// no deadlines — see [`Client::connect_with`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with per-operation deadlines. The first address `addr`
+    /// resolves to is remembered for [`Client::reconnect`].
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Client> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| MadError::io(format!("resolve server address: {e}")))?
+            .next()
+            .ok_or_else(|| MadError::io("server address resolved to nothing"))?;
+        Self::dial(addr, config)
+    }
+
+    fn dial(addr: SocketAddr, config: ClientConfig) -> Result<Client> {
         let stream = TcpStream::connect(addr)
             .map_err(|e| MadError::io(format!("connect: {e}")))?;
         let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(config.read_timeout)
+            .and_then(|()| stream.set_write_timeout(config.write_timeout))
+            .map_err(|e| MadError::io(format!("set socket deadlines: {e}")))?;
         let mut writer = stream
             .try_clone()
             .map_err(|e| MadError::io(format!("clone stream: {e}")))?;
@@ -77,7 +165,32 @@ impl Client {
             writer,
             reader,
             info,
+            addr,
+            config,
         })
+    }
+
+    /// Drop the current connection and dial the same server again with
+    /// the same deadlines. The new connection is a **fresh server-side
+    /// session**: any transaction the old session had open was aborted
+    /// when its connection died.
+    pub fn reconnect(&mut self) -> Result<()> {
+        let fresh = Self::dial(self.addr, self.config)?;
+        *self = fresh;
+        Ok(())
+    }
+
+    /// [`Client::reconnect`] under a [`RetryPolicy`]: every transport
+    /// failure is retryable (the server may still be restarting).
+    pub fn reconnect_retry(&mut self, policy: &RetryPolicy) -> Result<()> {
+        let addr = self.addr;
+        let config = self.config;
+        let fresh = policy.run(
+            || Self::dial(addr, config),
+            |e| matches!(e, MadError::Io { .. } | MadError::Protocol { .. }),
+        )?;
+        *self = fresh;
+        Ok(())
     }
 
     /// What the server announced at connect time.
@@ -85,11 +198,17 @@ impl Client {
         &self.info
     }
 
+    /// The server address this client dials.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
     /// Execute one MQL statement on the connection's server-side session
     /// and return the rendered result text. A statement error is returned
     /// as the server's own [`MadError`] (conflicts keep `is_conflict()`);
     /// transport failures surface as [`MadError::Io`] /
-    /// [`MadError::Protocol`].
+    /// [`MadError::Protocol`], with an expired deadline classified per
+    /// [`crate::frame::is_timeout_error`].
     pub fn execute(&mut self, statement: &str) -> Result<String> {
         self.round_trip(&Request::Statement(statement.to_owned()))
             .and_then(|resp| match resp {
@@ -97,8 +216,19 @@ impl Client {
                 Response::Error(e) => Err(e),
                 other => Err(MadError::protocol(format!(
                     "expected a statement response, got {other:?}"
-                ))),
+                )))
             })
+    }
+
+    /// [`Client::execute`] under a [`RetryPolicy`], retrying only
+    /// first-committer-wins conflicts (`is_conflict()`), the one failure
+    /// class where the statement is known not to have taken effect and a
+    /// bare re-run is the documented recipe. Transport errors are **not**
+    /// retried here — whether the statement executed is unknown then;
+    /// [`Client::reconnect_retry`] plus application-level idempotence is
+    /// the recovery path for those.
+    pub fn execute_retry(&mut self, statement: &str, policy: &RetryPolicy) -> Result<String> {
+        policy.run(|| self.execute(statement), MadError::is_conflict)
     }
 
     /// Liveness probe.

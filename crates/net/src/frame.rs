@@ -46,6 +46,30 @@ pub const FRAME_HEADER: usize = 8;
 /// header allocate attacker-controlled memory.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
 
+/// Map a socket-level failure into a [`MadError::Io`], classifying an
+/// expired read/write deadline ([`std::io::ErrorKind::TimedOut`] /
+/// [`std::io::ErrorKind::WouldBlock`], which is what a socket with
+/// `set_read_timeout` raises on Unix) with a stable "timed out" marker
+/// that [`is_timeout_error`] recognizes.
+pub fn io_error(context: &str, e: &std::io::Error) -> MadError {
+    if matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+    ) {
+        MadError::io(format!("{context}: timed out waiting for the peer"))
+    } else {
+        MadError::io(format!("{context}: {e}"))
+    }
+}
+
+/// Did this transport error stem from a socket deadline expiring (as
+/// classified by [`io_error`])? Servers use it to tell an idle/half-open
+/// connection from a genuinely broken one; clients to decide a retry is
+/// worth it.
+pub fn is_timeout_error(e: &MadError) -> bool {
+    matches!(e, MadError::Io { detail } if detail.contains("timed out waiting for the peer"))
+}
+
 /// One client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
@@ -107,7 +131,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
     w.write_all(&header)
         .and_then(|()| w.write_all(payload))
         .and_then(|()| w.flush())
-        .map_err(|e| MadError::io(format!("write frame: {e}")))
+        .map_err(|e| io_error("write frame", &e))
 }
 
 /// Read one frame. EOF **at a frame boundary** is a clean close
@@ -135,7 +159,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<FrameIn> {
                 "truncated frame: peer closed inside a {len} byte payload"
             ))
         } else {
-            MadError::io(format!("read frame payload: {e}"))
+            io_error("read frame payload", &e)
         }
     })?;
     if crc32(&payload) != crc {
@@ -165,7 +189,7 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome> {
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(MadError::io(format!("read frame header: {e}"))),
+            Err(e) => return Err(io_error("read frame header", &e)),
         }
     }
     Ok(ReadOutcome::Full)

@@ -34,8 +34,8 @@ pub mod client;
 pub mod frame;
 pub mod server;
 
-pub use client::{Client, ServerInfo};
-pub use frame::{Request, Response, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use server::Server;
+pub use client::{Client, ClientConfig, RetryPolicy, ServerInfo};
+pub use frame::{is_timeout_error, Request, Response, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};
 
 pub use mad_txn::DbHandle;

@@ -2,8 +2,8 @@
 //! connection, graceful shutdown.
 
 use crate::frame::{
-    encode_response, read_frame, write_frame, FrameIn, Request, Response, MAGIC,
-    PROTOCOL_VERSION,
+    encode_response, is_timeout_error, read_frame, write_frame, FrameIn, Request, Response,
+    MAGIC, PROTOCOL_VERSION,
 };
 use mad_model::{MadError, Result};
 use mad_mql::Session;
@@ -15,10 +15,25 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+/// Server-side connection knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerConfig {
+    /// Reap a connection after this long without a complete request
+    /// (socket read deadline): a half-open or abandoned connection then
+    /// drops its session — aborting any transaction it left open —
+    /// instead of pinning a thread, a session and the transaction's
+    /// commit-log registration forever. `None` (the default) never
+    /// reaps, the pre-deadline behavior.
+    pub idle_timeout: Option<std::time::Duration>,
+}
+
 /// Shared state of a running server, visible to every connection thread.
 #[derive(Debug)]
 struct Shared {
     handle: DbHandle,
+    config: ServerConfig,
+    /// Connections reaped by the idle timeout (monitoring/tests).
+    reaped: AtomicUsize,
     /// Set by [`Server::shutdown`]; the accept loop and every connection
     /// loop observe it and wind down.
     stopping: AtomicBool,
@@ -53,6 +68,16 @@ impl Server {
     /// accepted connection gets its own [`Session::shared`] over a clone
     /// of `handle`.
     pub fn serve(handle: DbHandle, addr: impl ToSocketAddrs) -> Result<Server> {
+        Self::serve_with(handle, addr, ServerConfig::default())
+    }
+
+    /// [`Server::serve`] with connection knobs — notably
+    /// [`ServerConfig::idle_timeout`], the idle-connection reaper.
+    pub fn serve_with(
+        handle: DbHandle,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(addr)
             .map_err(|e| MadError::io(format!("bind listener: {e}")))?;
         let local = listener
@@ -60,6 +85,8 @@ impl Server {
             .map_err(|e| MadError::io(format!("listener address: {e}")))?;
         let shared = Arc::new(Shared {
             handle,
+            config,
+            reaped: AtomicUsize::new(0),
             stopping: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             active: AtomicUsize::new(0),
@@ -98,6 +125,11 @@ impl Server {
     /// Connections accepted since the server started.
     pub fn connections_served(&self) -> usize {
         self.shared.served.load(Ordering::Relaxed)
+    }
+
+    /// Connections reaped by the idle timeout since the server started.
+    pub fn connections_reaped(&self) -> usize {
+        self.shared.reaped.load(Ordering::Relaxed)
     }
 
     /// Graceful shutdown: stop accepting, close every live connection
@@ -186,6 +218,11 @@ fn accept_loop(
 /// the client left open.
 fn serve_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    // the read deadline implements the idle reaper: a connection that
+    // completes no request within the timeout is torn down below
+    if stream.set_read_timeout(shared.config.idle_timeout).is_err() {
+        return;
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -204,6 +241,19 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
             Ok(FrameIn::Payload(p)) => p,
             // clean disconnect — or our own shutdown closing the socket
             Ok(FrameIn::Closed) => return,
+            Err(e) if is_timeout_error(&e) => {
+                // idle for a whole timeout window: reap. Returning drops
+                // the session, aborting any open transaction, so a
+                // half-open client cannot pin server state
+                shared.reaped.fetch_add(1, Ordering::Relaxed);
+                let _ = send(
+                    &mut writer,
+                    &Response::Error(MadError::io(
+                        "connection reaped after idling past the server's timeout",
+                    )),
+                );
+                return;
+            }
             Err(e) => {
                 // malformed frame: answer with the protocol error (the
                 // peer may already be gone — best effort) and close
@@ -321,6 +371,96 @@ mod tests {
             crate::frame::read_frame(&mut reader),
             Ok(crate::frame::FrameIn::Closed)
         ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_and_their_transactions_aborted() {
+        use std::time::Duration;
+        let server = Server::serve_with(
+            geo_handle(),
+            "127.0.0.1:0",
+            ServerConfig {
+                idle_timeout: Some(Duration::from_millis(100)),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.execute("BEGIN").unwrap();
+        client
+            .execute("INSERT ATOM state (sname = 'RJ', pop = 6)")
+            .unwrap();
+        // ...and then the client goes silent (half-open in spirit)
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while server.active_connections() > 0 {
+            assert!(std::time::Instant::now() < deadline, "connection never reaped");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.connections_reaped(), 1);
+        // the open transaction died with its session: nothing committed,
+        // and no registration pins the commit log
+        assert_eq!(server.handle().committed().total_atoms(), 1);
+        assert_eq!(server.handle().commit_log_len(), 0);
+        // an active client is NOT reaped while it keeps talking
+        let mut live = Client::connect(addr).unwrap();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(60));
+            live.ping().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_read_deadline_classifies_a_stalled_server() {
+        use crate::{is_timeout_error, ClientConfig};
+        use std::time::Duration;
+        // a listener that accepts and then never says anything
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(stream);
+        });
+        let err = Client::connect_with(
+            addr,
+            ClientConfig {
+                read_timeout: Some(Duration::from_millis(100)),
+                write_timeout: Some(Duration::from_millis(100)),
+            },
+        )
+        .unwrap_err();
+        assert!(is_timeout_error(&err), "got {err:?}");
+        sink.join().unwrap();
+    }
+
+    #[test]
+    fn conflict_retry_and_reconnect_policies() {
+        use crate::RetryPolicy;
+        let server = Server::serve(geo_handle(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let policy = RetryPolicy::default();
+
+        // retry helper: a conflict-free statement goes through unchanged
+        let mut client = Client::connect(addr).unwrap();
+        let text = client
+            .execute_retry("SELECT ALL FROM state", &policy)
+            .unwrap();
+        assert!(text.contains("molecule"), "got: {text}");
+        // a non-conflict error is NOT retried (fails fast, same error)
+        let err = client
+            .execute_retry("SELECT ALL FROM ghost", &policy)
+            .unwrap_err();
+        assert!(matches!(err, MadError::UnknownName { .. }), "got {err:?}");
+
+        // reconnect: kill the connection server-side, then recover
+        for (_, conn) in server.shared.conns.lock().unwrap().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        assert!(client.ping().is_err(), "connection should be dead");
+        client.reconnect_retry(&policy).unwrap();
+        client.ping().unwrap();
         server.shutdown();
     }
 

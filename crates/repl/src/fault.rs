@@ -1,0 +1,314 @@
+//! Deterministic network-level fault injection: a frame-aware TCP proxy
+//! between a standby and its primary.
+//!
+//! [`FaultProxy`] listens on its own port and forwards to an upstream
+//! replication listener. The standby→primary direction (magic, hello,
+//! acks) passes through byte-for-byte; the primary→standby direction is
+//! parsed at **frame** granularity so faults land on record boundaries
+//! deterministically: the `at_frame`-th frame of a connection gets the
+//! planned mutilation, a bounded number of times
+//! ([`NetFaultPlan::max_fires`]), after which the proxy is transparent —
+//! so every experiment has a convergence phase. The standby's own CRC,
+//! sequence and protocol checks are the system under test: a mutilated
+//! stream must end in reconnect-and-resync or a clean halt, never in
+//! silently divergent state.
+
+use mad_model::{MadError, Result};
+use mad_net::frame::{read_frame, write_frame, FrameIn, FRAME_HEADER};
+use mad_wal::crc32;
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The kinds of stream mutilation the proxy can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFault {
+    /// Deliver the frame twice (a retransmit duplicate).
+    DuplicateFrame,
+    /// Swap the frame with its successor (middlebox reordering).
+    ReorderAdjacent,
+    /// Deliver the header plus half the payload, then close — a torn
+    /// frame, the wire analogue of a torn WAL tail.
+    TornFrame,
+    /// Close after 5 of the 8 header bytes — a mid-record disconnect.
+    CloseMidFrame,
+    /// Hold the frame back for the configured delay, then deliver it
+    /// (stream stall / latency spike).
+    DelayFrame {
+        /// How long to stall.
+        millis: u64,
+    },
+    /// Flip one payload byte and recompute nothing — the CRC must catch
+    /// it on the receiving side.
+    CorruptPayload,
+}
+
+/// Where and how often a [`FaultProxy`] fires.
+#[derive(Clone, Copy, Debug)]
+pub struct NetFaultPlan {
+    /// What to do to the stream.
+    pub kind: NetFault,
+    /// Which primary→standby frame of a connection to hit (1-based; the
+    /// hello is frame 1, the first record frame 2).
+    pub at_frame: u64,
+    /// Total firings across all connections, after which the proxy is
+    /// transparent (so the standby can converge).
+    pub max_fires: usize,
+}
+
+#[derive(Debug)]
+struct Shared {
+    upstream: String,
+    plan: NetFaultPlan,
+    stopping: AtomicBool,
+    fired: AtomicUsize,
+    conns: Mutex<HashMap<u64, (TcpStream, TcpStream)>>,
+    next_conn: AtomicU64,
+}
+
+/// A fault-injecting TCP proxy for replication streams (see the module
+/// docs). Point a [`crate::StandbyConfig`] at [`FaultProxy::local_addr`]
+/// instead of the primary.
+#[derive(Debug)]
+pub struct FaultProxy {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl FaultProxy {
+    /// Listen on `addr` (e.g. `"127.0.0.1:0"`), forwarding to the
+    /// primary's replication listener at `upstream`, injecting per
+    /// `plan`.
+    pub fn start(addr: &str, upstream: impl Into<String>, plan: NetFaultPlan) -> Result<FaultProxy> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| MadError::io(format!("bind fault proxy on {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| MadError::io(format!("fault proxy address: {e}")))?;
+        let shared = Arc::new(Shared {
+            upstream: upstream.into(),
+            plan,
+            stopping: AtomicBool::new(false),
+            fired: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let threads = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let threads = Arc::clone(&threads);
+            std::thread::spawn(move || accept_loop(listener, shared, threads))
+        };
+        Ok(FaultProxy {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            threads,
+        })
+    }
+
+    /// The proxy's listening address (give this to the standby).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// How many times the fault has fired so far.
+    pub fn fires(&self) -> usize {
+        self.shared.fired.load(Ordering::SeqCst)
+    }
+
+    /// Stop proxying, close all streams, join the threads. Idempotent;
+    /// also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        for (_, (a, b)) in self.shared.conns.lock().unwrap().drain() {
+            let _ = a.shutdown(std::net::Shutdown::Both);
+            let _ = b.shutdown(std::net::Shutdown::Both);
+        }
+        let threads: Vec<_> = self.threads.lock().unwrap().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, threads: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        let client = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let upstream = match TcpStream::connect(&shared.upstream) {
+            Ok(s) => s,
+            Err(_) => continue, // primary gone; the standby will retry
+        };
+        // the proxy must not add latency of its own (beyond planned
+        // DelayFrame faults) — forward every byte immediately
+        let _ = client.set_nodelay(true);
+        let _ = upstream.set_nodelay(true);
+        let id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        if let (Ok(c), Ok(u)) = (client.try_clone(), upstream.try_clone()) {
+            shared.conns.lock().unwrap().insert(id, (c, u));
+        }
+        let shared2 = Arc::clone(&shared);
+        let t = std::thread::spawn(move || {
+            pump_connection(&shared2, client, upstream);
+            shared2.conns.lock().unwrap().remove(&id);
+        });
+        threads.lock().unwrap().push(t);
+    }
+}
+
+/// Run one proxied connection until either side dies.
+fn pump_connection(shared: &Shared, client: TcpStream, upstream: TcpStream) {
+    // standby → primary: transparent byte pump (magic, hello, acks)
+    let up_thread = {
+        let (mut from, mut to) = match (client.try_clone(), upstream.try_clone()) {
+            (Ok(f), Ok(t)) => (f, t),
+            _ => return,
+        };
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if to.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = to.shutdown(std::net::Shutdown::Write);
+        })
+    };
+    // primary → standby: frame-aware, where the plan fires
+    pump_frames(shared, upstream, client.try_clone());
+    let _ = client.shutdown(std::net::Shutdown::Both);
+    let _ = up_thread.join();
+}
+
+fn pump_frames(shared: &Shared, upstream: TcpStream, client: std::io::Result<TcpStream>) {
+    let Ok(mut client) = client else { return };
+    let mut reader = BufReader::new(upstream);
+    let mut frame_no = 0u64;
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(FrameIn::Payload(p)) => p,
+            // clean close, or a close the upstream itself tore: propagate
+            Ok(FrameIn::Closed) | Err(_) => return,
+        };
+        frame_no += 1;
+        let fire = frame_no == shared.plan.at_frame && claim_fire(shared);
+        if !fire {
+            if forward(&mut client, &payload).is_err() {
+                return;
+            }
+            continue;
+        }
+        match shared.plan.kind {
+            NetFault::DuplicateFrame => {
+                if forward(&mut client, &payload).is_err()
+                    || forward(&mut client, &payload).is_err()
+                {
+                    return;
+                }
+            }
+            NetFault::ReorderAdjacent => {
+                // hold this frame, deliver the successor first
+                match read_frame(&mut reader) {
+                    Ok(FrameIn::Payload(next)) => {
+                        frame_no += 1;
+                        if forward(&mut client, &next).is_err()
+                            || forward(&mut client, &payload).is_err()
+                        {
+                            return;
+                        }
+                    }
+                    // stream ended under the held frame: deliver it alone
+                    Ok(FrameIn::Closed) | Err(_) => {
+                        let _ = forward(&mut client, &payload);
+                        return;
+                    }
+                }
+            }
+            NetFault::TornFrame => {
+                let mut bytes = framed(&payload);
+                bytes.truncate(FRAME_HEADER + payload.len() / 2);
+                let _ = client.write_all(&bytes);
+                let _ = client.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            NetFault::CloseMidFrame => {
+                let bytes = framed(&payload);
+                let _ = client.write_all(&bytes[..5.min(bytes.len())]);
+                let _ = client.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            NetFault::DelayFrame { millis } => {
+                std::thread::sleep(Duration::from_millis(millis));
+                if forward(&mut client, &payload).is_err() {
+                    return;
+                }
+            }
+            NetFault::CorruptPayload => {
+                let mut bytes = framed(&payload);
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x01; // breaks the CRC on the receiver
+                if client.write_all(&bytes).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Atomically claim one firing if the budget allows.
+fn claim_fire(shared: &Shared) -> bool {
+    shared
+        .fired
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < shared.plan.max_fires).then_some(n + 1)
+        })
+        .is_ok()
+}
+
+fn forward(client: &mut TcpStream, payload: &[u8]) -> Result<()> {
+    write_frame(client, payload)
+}
+
+/// Re-frame a payload exactly as [`write_frame`] would put it on the
+/// wire, as mutable bytes the injectors can mutilate.
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}

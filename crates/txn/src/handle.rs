@@ -4,10 +4,11 @@
 use crate::txn::WriteKey;
 use mad_model::{FxHashMap, FxHashSet, MadError, Result};
 use mad_storage::Database;
-use mad_wal::{CheckpointStats, FsyncPolicy, Lsn, RecoveryInfo, Wal, WalOp};
+use mad_wal::{CheckpointStats, FaultPlan, FsyncPolicy, Lsn, RecoveryInfo, TailRead, Wal, WalOp};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 
 /// One published commit: its sequence number and the write-set keys it
 /// published. Kept (pruned) for first-committer-wins validation of
@@ -37,6 +38,65 @@ pub enum Durability {
     },
 }
 
+/// When does a commit acknowledge with respect to **replication** — the
+/// knob beside [`FsyncPolicy`], governing standbys instead of disks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReplAck {
+    /// Acknowledge as soon as the commit is locally durable (the
+    /// default); standbys catch up asynchronously. A primary failure can
+    /// lose acknowledged commits that no standby had received yet.
+    #[default]
+    Async,
+    /// Acknowledge only after at least `n` registered standbys have
+    /// confirmed the commit durably appended to *their* logs — after
+    /// promotion of any confirming standby, every acknowledged commit
+    /// still exists. Blocks while fewer than `n` standbys are attached;
+    /// sealing replication (shutdown, promotion) errors the waiters.
+    SyncQuorum(usize),
+}
+
+/// One commit as seen by a replication subscriber: the sequence number
+/// and the resolved op log exactly as written to the primary's WAL.
+#[derive(Clone, Debug)]
+pub struct FeedCommit {
+    /// The commit sequence number.
+    pub seq: u64,
+    /// The resolved op log (provisional ids already remapped).
+    pub ops: Vec<WalOp>,
+}
+
+/// Size/record-count triggers for automatic [`DbHandle::checkpoint`]s, so
+/// the log — and with it recovery time and replication-bootstrap images —
+/// stays bounded without anyone typing `CHECKPOINT`. Both triggers unset
+/// (the default) disables auto-checkpointing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once the log exceeds this many bytes.
+    pub max_bytes: Option<u64>,
+    /// Checkpoint once this many commits accumulated since the last one.
+    pub max_commits: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// Is any trigger armed?
+    pub fn is_enabled(&self) -> bool {
+        self.max_bytes.is_some() || self.max_commits.is_some()
+    }
+}
+
+/// Replication bookkeeping: the ack mode, each registered standby's
+/// durably-acknowledged sequence, and the seal.
+#[derive(Debug, Default)]
+struct ReplState {
+    mode: ReplAck,
+    /// Standby token → highest sequence that standby confirmed durable.
+    standbys: FxHashMap<u64, u64>,
+    next_token: u64,
+    /// Sealed: no further acknowledgment can arrive (shutdown or
+    /// promotion); quorum waiters error instead of blocking forever.
+    sealed: bool,
+}
+
 /// The publication state: everything commit validation needs, guarded by
 /// one mutex. The commit path never holds it across an fsync or an
 /// op-log replay; [`DbHandle::checkpoint`] is the one deliberate
@@ -57,6 +117,10 @@ struct State {
     /// O(|write-set|) — instead of a scan over every logged record's key
     /// vector; commits therefore contend only on true overlaps.
     last_write: FxHashMap<WriteKey, u64>,
+    /// Live replication subscribers. Commits are pushed here under the
+    /// publication lock, so feed order **is** commit order; a subscriber
+    /// whose receiver is gone is dropped on the next push.
+    feeds: Vec<mpsc::Sender<FeedCommit>>,
 }
 
 /// The committed image plus the sequence it was published at, behind its
@@ -80,6 +144,26 @@ struct Inner {
     durability: Durability,
     /// What recovery found, when this handle was opened from a log.
     recovery: Option<RecoveryInfo>,
+    /// A standby's serving handle: writes are refused at publication (the
+    /// replication replayer installs state through
+    /// [`DbHandle::install_replicated`] instead).
+    read_only: bool,
+    /// Replication ack bookkeeping, with its condvar for quorum waits.
+    repl: Mutex<ReplState>,
+    repl_cv: Condvar,
+    /// Auto-checkpoint knob and counters (interior-mutable so the policy
+    /// can be set on a running handle).
+    ckpt_policy: Mutex<CheckpointPolicy>,
+    /// Fast-path gate: true only when a policy is armed on a durable
+    /// handle, so undurable/unconfigured commits pay one relaxed load.
+    ckpt_armed: AtomicBool,
+    /// Commits since the last checkpoint (any kind).
+    commits_since_ckpt: AtomicU64,
+    /// Claimed by the one committer running an auto-checkpoint, so a
+    /// burst of over-threshold commits triggers one rewrite, not many.
+    ckpt_claimed: AtomicBool,
+    /// Auto-checkpoints completed (monitoring/tests).
+    auto_ckpts: AtomicU64,
 }
 
 /// A cloneable, thread-safe handle to one shared MAD database.
@@ -105,7 +189,18 @@ impl DbHandle {
     /// Wrap a loaded database as commit 0 of a shared, **non-durable**
     /// handle.
     pub fn new(db: Database) -> Self {
-        Self::build(db, 0, None, Durability::None, None)
+        Self::build(db, 0, None, Durability::None, None, false)
+    }
+
+    /// Wrap `db` — replicated state at commit sequence `seq` — as a
+    /// **read-only** serving handle: sessions read ordinary snapshots,
+    /// but any write is refused at publication with
+    /// [`mad_model::MadError::TxnState`]. The replication replayer
+    /// advances the handle through [`DbHandle::install_replicated`];
+    /// durability of the replicated stream is the replayer's own local
+    /// WAL, not this handle's.
+    pub fn new_read_only(db: Database, seq: u64) -> Self {
+        Self::build(db, seq, None, Durability::None, None, true)
     }
 
     /// Wrap `db` as the bootstrap image of a **new** write-ahead log at
@@ -118,7 +213,7 @@ impl DbHandle {
     ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let wal = Wal::create(&path, &db, fsync)?;
-        Ok(Self::build(db, 0, Some(wal), Durability::Wal { path, fsync }, None))
+        Ok(Self::build(db, 0, Some(wal), Durability::Wal { path, fsync }, None, false))
     }
 
     /// Recover the committed state from the write-ahead log at `path`
@@ -133,6 +228,7 @@ impl DbHandle {
             Some(wal),
             Durability::Wal { path, fsync },
             Some(info),
+            false,
         ))
     }
 
@@ -160,6 +256,7 @@ impl DbHandle {
         wal: Option<Wal>,
         durability: Durability,
         recovery: Option<RecoveryInfo>,
+        read_only: bool,
     ) -> Self {
         DbHandle {
             inner: Arc::new(Inner {
@@ -168,6 +265,7 @@ impl DbHandle {
                     log: Vec::new(),
                     active: BTreeMap::new(),
                     last_write: FxHashMap::default(),
+                    feeds: Vec::new(),
                 }),
                 published: RwLock::new(Published {
                     db: Arc::new(db),
@@ -176,6 +274,14 @@ impl DbHandle {
                 wal,
                 durability,
                 recovery,
+                read_only,
+                repl: Mutex::new(ReplState::default()),
+                repl_cv: Condvar::new(),
+                ckpt_policy: Mutex::new(CheckpointPolicy::default()),
+                ckpt_armed: AtomicBool::new(false),
+                commits_since_ckpt: AtomicU64::new(0),
+                ckpt_claimed: AtomicBool::new(false),
+                auto_ckpts: AtomicU64::new(0),
             }),
         }
     }
@@ -183,6 +289,235 @@ impl DbHandle {
     /// How this handle persists commits.
     pub fn durability(&self) -> &Durability {
         &self.inner.durability
+    }
+
+    /// Does this handle refuse writes (a standby's serving handle)?
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read_only
+    }
+
+    // ------------------------------------------------------------------
+    // replication
+    // ------------------------------------------------------------------
+
+    /// Set the replication acknowledgment mode (see [`ReplAck`]). Takes
+    /// effect for commits that reach their replication wait afterwards;
+    /// loosening to [`ReplAck::Async`] releases current quorum waiters.
+    pub fn set_repl_ack(&self, mode: ReplAck) {
+        let mut repl = self.inner.repl.lock().unwrap();
+        repl.mode = mode;
+        self.inner.repl_cv.notify_all();
+    }
+
+    /// The current replication acknowledgment mode.
+    pub fn repl_ack(&self) -> ReplAck {
+        self.inner.repl.lock().unwrap().mode
+    }
+
+    /// Subscribe to the commit feed: every commit published from now on
+    /// is delivered as a [`FeedCommit`], in exact commit order (the push
+    /// happens under the publication lock). Only durable handles feed
+    /// subscribers — the stream *is* the WAL record stream — so a
+    /// subscription on a non-durable handle never receives anything.
+    /// Dropping the receiver unsubscribes on the next push.
+    pub fn subscribe_commits(&self) -> mpsc::Receiver<FeedCommit> {
+        let (tx, rx) = mpsc::channel();
+        self.inner.state.lock().unwrap().feeds.push(tx);
+        rx
+    }
+
+    /// Read committed records newer than `from_seq` back out of the WAL
+    /// — the replication catch-up source (`None` on non-durable handles).
+    /// [`TailRead::SnapshotNeeded`] means a checkpoint folded the
+    /// requested records away and the subscriber needs a full snapshot.
+    pub fn wal_tail_commits(&self, from_seq: u64) -> Result<Option<TailRead>> {
+        match &self.inner.wal {
+            Some(wal) => wal.tail_commits(from_seq).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Register a standby for quorum accounting; returns its token.
+    pub fn register_standby(&self) -> u64 {
+        let mut repl = self.inner.repl.lock().unwrap();
+        let token = repl.next_token;
+        repl.next_token += 1;
+        repl.standbys.insert(token, 0);
+        token
+    }
+
+    /// Record that the standby behind `token` has durably appended every
+    /// record up to and including `seq`, waking quorum waiters.
+    pub fn standby_ack(&self, token: u64, seq: u64) {
+        let mut repl = self.inner.repl.lock().unwrap();
+        if let Some(have) = repl.standbys.get_mut(&token) {
+            *have = (*have).max(seq);
+            self.inner.repl_cv.notify_all();
+        }
+    }
+
+    /// Deregister a standby (its connection died). Its acknowledgments no
+    /// longer count toward quorums.
+    pub fn standby_gone(&self, token: u64) {
+        let mut repl = self.inner.repl.lock().unwrap();
+        repl.standbys.remove(&token);
+        self.inner.repl_cv.notify_all();
+    }
+
+    /// Seal replication: no further acknowledgment can arrive (server
+    /// shutdown, primary demotion). Current and future quorum waiters
+    /// error instead of blocking forever — their commits are published
+    /// and locally durable, but replication is unknown, the same
+    /// post-publication indeterminacy as a failed fsync wait.
+    pub fn seal_replication(&self) {
+        let mut repl = self.inner.repl.lock().unwrap();
+        repl.sealed = true;
+        self.inner.repl_cv.notify_all();
+    }
+
+    /// Block until `seq` satisfies the [`ReplAck`] mode: immediately for
+    /// [`ReplAck::Async`], else until `n` standbys acknowledged `seq` (or
+    /// the seal errors the wait).
+    pub(crate) fn wait_replicated(&self, seq: u64) -> Result<()> {
+        let mut repl = self.inner.repl.lock().unwrap();
+        loop {
+            let need = match repl.mode {
+                ReplAck::Async => return Ok(()),
+                ReplAck::SyncQuorum(n) => n,
+            };
+            if repl.standbys.values().filter(|&&have| have >= seq).count() >= need {
+                return Ok(());
+            }
+            if repl.sealed {
+                return Err(MadError::txn_state(format!(
+                    "replication sealed before {need} standby(s) acknowledged sequence \
+                     {seq}; the commit is published and locally durable but its \
+                     replication is unknown"
+                )));
+            }
+            repl = self.inner.repl_cv.wait(repl).unwrap();
+        }
+    }
+
+    /// Install the next replicated commit's state — the standby
+    /// replayer's publication path, valid only on
+    /// [`DbHandle::new_read_only`] handles. `seq` must be exactly the
+    /// successor of the current sequence: replication replays the commit
+    /// history gap-free or not at all.
+    pub fn install_replicated(&self, db: Database, seq: u64) -> Result<()> {
+        if !self.inner.read_only {
+            return Err(MadError::txn_state(
+                "install_replicated is the standby path; this handle takes writes \
+                 through transactions",
+            ));
+        }
+        let mut st = self.inner.state.lock().unwrap();
+        if seq != st.seq + 1 {
+            return Err(MadError::txn_state(format!(
+                "replication gap: handle is at sequence {}, install asked for {seq}",
+                st.seq
+            )));
+        }
+        st.seq = seq;
+        let mut p = self.inner.published.write().unwrap();
+        p.db = Arc::new(db);
+        p.seq = seq;
+        Ok(())
+    }
+
+    /// Install a **full replicated snapshot** at `seq` — the standby's
+    /// resynchronization path, used when the primary's log no longer
+    /// holds the records after the standby's cursor (a checkpoint folded
+    /// them away) and replication restarts from a bootstrap image.
+    /// Unlike [`DbHandle::install_replicated`] this may jump forward over
+    /// a gap — the snapshot *is* the missing history — but never
+    /// backwards. Valid only on [`DbHandle::new_read_only`] handles.
+    pub fn install_snapshot(&self, db: Database, seq: u64) -> Result<()> {
+        if !self.inner.read_only {
+            return Err(MadError::txn_state(
+                "install_snapshot is the standby path; this handle takes writes \
+                 through transactions",
+            ));
+        }
+        let mut st = self.inner.state.lock().unwrap();
+        if seq < st.seq {
+            return Err(MadError::txn_state(format!(
+                "replication regression: handle is at sequence {}, snapshot install \
+                 asked for {seq}",
+                st.seq
+            )));
+        }
+        st.seq = seq;
+        let mut p = self.inner.published.write().unwrap();
+        p.db = Arc::new(db);
+        p.seq = seq;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // auto-checkpoint
+    // ------------------------------------------------------------------
+
+    /// Arm (or, with an empty policy, disarm) automatic checkpointing.
+    /// Commits that push the log over a trigger fold it down inline —
+    /// one committer at a time — so log size stays bounded without a
+    /// manual `CHECKPOINT`. No effect on non-durable handles.
+    pub fn set_checkpoint_policy(&self, policy: CheckpointPolicy) {
+        *self.inner.ckpt_policy.lock().unwrap() = policy;
+        self.inner
+            .ckpt_armed
+            .store(policy.is_enabled() && self.is_durable(), Ordering::SeqCst);
+    }
+
+    /// The current auto-checkpoint policy.
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        *self.inner.ckpt_policy.lock().unwrap()
+    }
+
+    /// Auto-checkpoints completed since open.
+    pub fn auto_checkpoint_count(&self) -> u64 {
+        self.inner.auto_ckpts.load(Ordering::Relaxed)
+    }
+
+    /// Post-commit trigger check: fold the log if the armed policy says
+    /// so. At most one committer runs the rewrite; the rest skip. An
+    /// auto-checkpoint failure is **not** the commit's failure (the
+    /// commit is already durable) — a genuinely sick log poisons itself
+    /// and surfaces on the next commit.
+    pub(crate) fn maybe_auto_checkpoint(&self) {
+        if !self.inner.ckpt_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let policy = self.checkpoint_policy();
+        let over_bytes = policy
+            .max_bytes
+            .is_some_and(|m| self.wal_len_bytes().unwrap_or(0) > m);
+        let over_commits = policy
+            .max_commits
+            .is_some_and(|m| self.inner.commits_since_ckpt.load(Ordering::Relaxed) >= m);
+        if !(over_bytes || over_commits) {
+            return;
+        }
+        if self.inner.ckpt_claimed.swap(true, Ordering::SeqCst) {
+            return; // another committer is already rewriting
+        }
+        if self.checkpoint().is_ok() {
+            self.inner.auto_ckpts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.ckpt_claimed.store(false, Ordering::SeqCst);
+    }
+
+    /// Arm (or, with `None`, clear) deterministic WAL fault injection —
+    /// the crash/failover scenarios' hook (see [`FaultPlan`]). Returns
+    /// whether a log was armed (`false` on non-durable handles).
+    pub fn set_wal_fault_plan(&self, plan: Option<FaultPlan>) -> bool {
+        match &self.inner.wal {
+            Some(wal) => {
+                wal.set_fault_plan(plan);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Is every commit written ahead to a log?
@@ -224,7 +559,9 @@ impl DbHandle {
             let p = self.inner.published.read().unwrap();
             (Arc::clone(&p.db), p.seq)
         };
-        wal.checkpoint(&db, seq)
+        let stats = wal.checkpoint(&db, seq)?;
+        self.inner.commits_since_ckpt.store(0, Ordering::Relaxed);
+        Ok(stats)
     }
 
     /// The current committed image. The returned `Arc` is a consistent
@@ -350,6 +687,13 @@ impl DbHandle {
         candidate: Database,
         wal_ops: Option<&[WalOp]>,
     ) -> Result<PublishOutcome> {
+        if self.inner.read_only {
+            // the hard guarantee under the Session-level nicety: nothing
+            // publishes through a standby's serving handle
+            return Err(MadError::txn_state(
+                "this handle serves a read-only standby; writes must go to the primary",
+            ));
+        }
         let mut st = self.inner.state.lock().unwrap();
         // first-committer-wins: any committed write since our begin that
         // overlaps our write-set aborts us — one hash probe per key of OUR
@@ -396,6 +740,21 @@ impl DbHandle {
             p.db = Arc::new(candidate);
             p.seq = seq;
         }
+        // feed replication subscribers under the same lock that ordered
+        // the publication, so the stream is the commit order, gap-free;
+        // only durable commits carry the resolved ops the stream needs
+        if !st.feeds.is_empty() {
+            if let Some(ops) = wal_ops {
+                st.feeds.retain(|tx| {
+                    tx.send(FeedCommit {
+                        seq,
+                        ops: ops.to_vec(),
+                    })
+                    .is_ok()
+                });
+            }
+        }
+        self.inner.commits_since_ckpt.fetch_add(1, Ordering::Relaxed);
         Ok(PublishOutcome::Published { seq, lsn })
     }
 

@@ -116,8 +116,10 @@
 mod handle;
 mod txn;
 
-pub use handle::{CommitRecord, DbHandle, Durability};
+pub use handle::{
+    CheckpointPolicy, CommitRecord, DbHandle, Durability, FeedCommit, ReplAck,
+};
 pub use txn::{CommitInfo, Transaction, WriteKey};
 
 // the durability knob's vocabulary, so sessions need no direct wal dep
-pub use mad_wal::{CheckpointStats, FsyncPolicy, RecoveryInfo};
+pub use mad_wal::{CheckpointStats, FaultPlan, FsyncPolicy, RecoveryInfo, TailRead, WalOp};

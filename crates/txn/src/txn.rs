@@ -276,7 +276,11 @@ impl Transaction {
     /// **Durability caveat**: on a durable handle, a [`MadError::Wal`]
     /// error from the post-publication fsync wait means the commit **was
     /// published** (all sessions see it) but its durability is unknown —
-    /// it is not a failed transaction and must not be retried. The
+    /// it is not a failed transaction and must not be retried. The same
+    /// indeterminacy applies to a [`MadError::TxnState`] error from the
+    /// replication wait under [`crate::ReplAck::SyncQuorum`] (replication
+    /// sealed mid-wait): published and locally durable, replication
+    /// unknown. The
     /// handle's log is poisoned: further durable commits fail until a
     /// successful `checkpoint()` rebuilds the log or the database is
     /// reopened. Errors *before* publication (validation conflicts,
@@ -318,8 +322,14 @@ impl Transaction {
                     self.finish();
                     // the commit is acknowledged only once its record is
                     // durable per the handle's fsync policy (group commit
-                    // batches this wait with concurrent committers)
+                    // batches this wait with concurrent committers)...
                     handle.wait_durable(lsn)?;
+                    // ...and, under ReplAck::SyncQuorum, once enough
+                    // standbys confirmed it durable on their side too
+                    handle.wait_replicated(seq)?;
+                    // the log may now be over its auto-checkpoint
+                    // threshold; fold it before acknowledging
+                    handle.maybe_auto_checkpoint();
                     // identity mappings (the replayed insert landed on its
                     // provisional slot anyway) are not remappings the
                     // caller needs to see

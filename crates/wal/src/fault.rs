@@ -1,0 +1,54 @@
+//! Deterministic storage-level fault injection for the write-ahead log.
+//!
+//! A [`FaultPlan`] armed on a [`crate::Wal`] makes the *n*-th append or the
+//! *n*-th fsync after arming fail exactly the way a real I/O failure
+//! would, driving the same code paths a sick disk does:
+//!
+//! * a failed **append** leaves a torn partial frame behind and exercises
+//!   the rollback-or-poison path of [`crate::Wal::append_commit`];
+//! * a failed **fsync** poisons the log ("fsyncgate": the kernel may have
+//!   dropped the dirty pages, so no later fsync can retroactively prove
+//!   the record durable) and exercises the acknowledgement-refusal path
+//!   of [`crate::Wal::wait_durable`].
+//!
+//! Counters are ordinal and deterministic — no clocks, no randomness —
+//! so a failing scenario replays byte-for-byte. The plan is disarmed by
+//! [`crate::Wal::set_fault_plan`]`(None)`; a plan whose trigger has fired
+//! stays inert until re-armed. Fault injection exists for the failover
+//! and crash scenarios; production code never arms a plan.
+
+/// Which upcoming log operations fail. Ordinals are 1-based and counted
+/// from the moment the plan is armed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultPlan {
+    /// Fail the n-th [`crate::Wal::append_commit`] after arming, leaving
+    /// a torn partial frame for the rollback path to clean up.
+    pub fail_append_at: Option<u64>,
+    /// Fail the n-th fsync after arming, poisoning the log.
+    pub fail_fsync_at: Option<u64>,
+}
+
+/// The armed plan plus its ordinal counters (interior state of a
+/// [`crate::Wal`]).
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    pub(crate) plan: Option<FaultPlan>,
+    pub(crate) appends_seen: u64,
+    pub(crate) fsyncs_seen: u64,
+}
+
+impl FaultState {
+    /// Count one append; `true` if the plan says this one fails.
+    pub(crate) fn trip_append(&mut self) -> bool {
+        let Some(plan) = &self.plan else { return false };
+        self.appends_seen += 1;
+        plan.fail_append_at == Some(self.appends_seen)
+    }
+
+    /// Count one fsync; `true` if the plan says this one fails.
+    pub(crate) fn trip_fsync(&mut self) -> bool {
+        let Some(plan) = &self.plan else { return false };
+        self.fsyncs_seen += 1;
+        plan.fail_fsync_at == Some(self.fsyncs_seen)
+    }
+}

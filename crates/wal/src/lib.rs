@@ -29,6 +29,10 @@
 //! * [`Wal::checkpoint`] — fold the log into a fresh bootstrap image
 //!   (write-to-temp + atomic rename), bounding both log size and recovery
 //!   time.
+//! * [`Wal::tail_commits`] — read committed records newer than a cursor
+//!   back out of the log, the source of the replication stream (PR 6);
+//!   [`FaultPlan`] ([`fault`]) — deterministic append/fsync fault
+//!   injection for the crash and failover scenarios.
 //!
 //! ## Recovery invariants
 //!
@@ -54,8 +58,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod log;
 pub mod record;
 
-pub use log::{CheckpointStats, FsyncPolicy, Lsn, RecoveryInfo, Wal};
+pub use fault::FaultPlan;
+pub use log::{CheckpointStats, FsyncPolicy, Lsn, RecoveryInfo, TailRead, Wal};
 pub use record::{apply_op, crc32, frame_boundaries, WalOp, WalRecord};

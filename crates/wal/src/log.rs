@@ -1,6 +1,7 @@
 //! The append-only log file: create/recover, group-commit fsync,
 //! checkpoint-and-truncate.
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::record::{
     apply_op, frame, read_frame, FrameRead, WalRecord, MAGIC,
 };
@@ -67,6 +68,20 @@ pub struct RecoveryInfo {
     pub truncated_bytes: u64,
 }
 
+/// What [`Wal::tail_commits`] found.
+#[derive(Clone, Debug)]
+pub enum TailRead {
+    /// Every complete commit record newer than the requested cursor, in
+    /// sequence order: `(seq, resolved op log)` pairs.
+    Commits(Vec<(u64, Vec<WalOp>)>),
+    /// A checkpoint folded the requested records into the bootstrap
+    /// image; the subscriber needs a full snapshot to resynchronize.
+    SnapshotNeeded {
+        /// Commit sequence of the log's current bootstrap image.
+        base_seq: u64,
+    },
+}
+
 /// Result of a [`Wal::checkpoint`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CheckpointStats {
@@ -100,6 +115,9 @@ pub struct Wal {
     /// appends and durability waits fail, so no commit is acknowledged
     /// against a log that recovery could silently truncate.
     poisoned: AtomicBool,
+    /// Armed fault-injection plan (tests and failure scenarios only; see
+    /// [`crate::fault`]).
+    fault: Mutex<FaultState>,
 }
 
 impl std::fmt::Debug for Files {
@@ -127,7 +145,13 @@ impl Wal {
         Self::create_at_seq(path, db, 0, policy)
     }
 
-    fn create_at_seq(
+    /// Create a fresh log at `path` whose bootstrap image of `db` is
+    /// stamped at commit sequence `base_seq` — the replication-bootstrap
+    /// path: a standby that received a snapshot taken at `base_seq` turns
+    /// it into a local log whose next appended commit is `base_seq + 1`,
+    /// so recovery and promotion continue the primary's numbering
+    /// seamlessly. Fails if the file already exists.
+    pub fn create_at_seq(
         path: impl AsRef<Path>,
         db: &Database,
         base_seq: u64,
@@ -156,6 +180,7 @@ impl Wal {
             synced: Condvar::new(),
             fsyncs: AtomicU64::new(1),
             poisoned: AtomicBool::new(false),
+            fault: Mutex::new(FaultState::default()),
         })
     }
 
@@ -253,6 +278,7 @@ impl Wal {
             synced: Condvar::new(),
             fsyncs: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
+            fault: Mutex::new(FaultState::default()),
         };
         let info = RecoveryInfo {
             commits_replayed: commits,
@@ -299,7 +325,16 @@ impl Wal {
             ops: ops.to_vec(),
         })?;
         let mut files = self.files.lock().unwrap();
-        if let Err(e) = files.file.write_all(&framed) {
+        let written = if self.fault.lock().unwrap().trip_append() {
+            // injected fault: leave a torn partial frame behind, exactly
+            // like a disk dying mid-write, then fail the append
+            let cut = framed.len() / 2;
+            let _ = files.file.write_all(&framed[..cut]);
+            Err(std::io::Error::other("injected append fault"))
+        } else {
+            files.file.write_all(&framed)
+        };
+        if let Err(e) = written {
             // a partial frame may be on disk; cut back to the last good
             // byte so an acknowledged later commit is never stranded
             // behind a torn interior record
@@ -409,6 +444,15 @@ impl Wal {
     /// One fsync of the current log file. Uses a duplicated handle so the
     /// append path is never blocked behind the flush.
     fn fsync_log(&self) -> Result<()> {
+        if self.fault.lock().unwrap().trip_fsync() {
+            // injected fault: indistinguishable from a real failed fsync
+            // — the log poisons and no covered commit is acknowledged
+            self.poisoned.store(true, Ordering::SeqCst);
+            return Err(io_err(
+                "fsync log",
+                std::io::Error::other("injected fsync fault"),
+            ));
+        }
         let dup = self
             .files
             .lock()
@@ -422,6 +466,59 @@ impl Wal {
         }
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Arm (or with `None` disarm) a deterministic [`FaultPlan`]; ordinal
+    /// counters restart from zero at every call. See [`crate::fault`].
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        *self.fault.lock().unwrap() = FaultState {
+            plan,
+            ..FaultState::default()
+        };
+    }
+
+    /// Read every complete commit record with `seq > from_seq` back out of
+    /// the log — the replication-stream source. Returns
+    /// [`TailRead::SnapshotNeeded`] when a checkpoint has folded the
+    /// requested records into the bootstrap image (the subscriber is
+    /// behind the checkpoint horizon and needs a full snapshot instead).
+    ///
+    /// The scan goes through the file *path*, not the shared append
+    /// handle, so tailing never contends with committers: appends are
+    /// strictly ordered, a checkpoint swaps files atomically (either
+    /// image is a valid log), and a final frame torn by an in-flight
+    /// append ends the scan exactly like recovery's torn-tail rule —
+    /// the caller picks such records up from the live commit feed.
+    pub fn tail_commits(&self, from_seq: u64) -> Result<TailRead> {
+        let buf = std::fs::read(&self.path).map_err(|e| io_err("read log for tailing", e))?;
+        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+            return Err(MadError::wal("tail of a non-WAL file (bad magic)"));
+        }
+        let mut offset = MAGIC.len();
+        let mut first = true;
+        let mut commits = Vec::new();
+        while let FrameRead::Ok(rec, end) = read_frame(&buf, offset) {
+            match (first, rec) {
+                (true, WalRecord::Bootstrap { base_seq, .. }) => {
+                    if base_seq > from_seq {
+                        return Ok(TailRead::SnapshotNeeded { base_seq });
+                    }
+                }
+                (true, WalRecord::Commit { .. }) => {
+                    return Err(MadError::wal("log does not start with a bootstrap record"))
+                }
+                (false, WalRecord::Commit { seq, ops }) if seq > from_seq => {
+                    commits.push((seq, ops));
+                }
+                (false, WalRecord::Commit { .. }) => {}
+                (false, WalRecord::Bootstrap { .. }) => {
+                    return Err(MadError::wal("unexpected bootstrap record mid-log"))
+                }
+            }
+            first = false;
+            offset = end;
+        }
+        Ok(TailRead::Commits(commits))
     }
 
     /// Replace the log with a fresh bootstrap image of `db` (taken at

@@ -3,6 +3,8 @@
 //! ```text
 //! madd [--addr ADDR] [--wal PATH] [--fsync per-commit|group|never]
 //!      [--bootstrap mixed|brazil]
+//!      [--repl-addr ADDR] [--sync-quorum N]
+//!      [--standby PRIMARY_REPL_ADDR]
 //! ```
 //!
 //! Serves one shared database over TCP (default `127.0.0.1:7878`): one
@@ -12,9 +14,25 @@
 //! included) and restarting it with the same `--wal` resumes from the
 //! last acknowledged commit. Without `--wal` the state dies with the
 //! process.
+//!
+//! ## Replication roles
+//!
+//! * `--repl-addr ADDR` (requires `--wal`) additionally listens for
+//!   standbys and streams every resolved commit record to them;
+//!   `--sync-quorum N` makes COMMIT acknowledge only once `N` standbys
+//!   hold the record durably.
+//! * `--standby PRIMARY_REPL_ADDR` (requires `--wal`) runs this daemon
+//!   as a warm standby instead: it bootstraps/catches up from the
+//!   primary's replication port, replays continuously through the full
+//!   recovery path, and serves **read-only** snapshot queries on
+//!   `--addr`. Writes are refused with a pointer to the primary.
+//!   Restarting the dead primary's role elsewhere is a separate
+//!   `promote` step (see `mad_repl::Standby::promote`); `madd` keeps the
+//!   standby warm until then.
 
 use mad_net::Server;
-use mad_txn::{DbHandle, Durability, FsyncPolicy};
+use mad_repl::{ReplPrimary, Standby, StandbyConfig};
+use mad_txn::{DbHandle, Durability, FsyncPolicy, ReplAck};
 use mad_workload::{brazil_database, mixed_database};
 
 fn main() {
@@ -29,6 +47,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut wal: Option<std::path::PathBuf> = None;
     let mut fsync = FsyncPolicy::Group;
     let mut bootstrap = "mixed".to_owned();
+    let mut repl_addr: Option<String> = None;
+    let mut sync_quorum: Option<usize> = None;
+    let mut standby: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -47,10 +68,19 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 }
             }
             "--bootstrap" => bootstrap = value("--bootstrap")?,
+            "--repl-addr" => repl_addr = Some(value("--repl-addr")?),
+            "--sync-quorum" => {
+                sync_quorum = Some(value("--sync-quorum")?.parse().map_err(|e| {
+                    format!("--sync-quorum needs a standby count: {e}")
+                })?)
+            }
+            "--standby" => standby = Some(value("--standby")?),
             "-h" | "--help" => {
                 println!(
                     "usage: madd [--addr ADDR] [--wal PATH] \
-                     [--fsync per-commit|group|never] [--bootstrap mixed|brazil]"
+                     [--fsync per-commit|group|never] [--bootstrap mixed|brazil] \
+                     [--repl-addr ADDR] [--sync-quorum N] \
+                     [--standby PRIMARY_REPL_ADDR]"
                 );
                 return Ok(());
             }
@@ -58,6 +88,34 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // ---------------------------------------------------------------
+    // standby role: follow a primary, serve read-only snapshots
+    if let Some(primary) = standby {
+        let Some(path) = wal else {
+            return Err("--standby needs --wal (the standby's own log)".into());
+        };
+        if repl_addr.is_some() || sync_quorum.is_some() {
+            return Err("--standby excludes --repl-addr/--sync-quorum".into());
+        }
+        let standby = Standby::start(StandbyConfig::new(primary.clone(), path, fsync))?;
+        let server = Server::serve(standby.handle(), addr.as_str())?;
+        eprintln!(
+            "madd: standby of {} serving read-only snapshots on {} \
+             (replicated through sequence {})",
+            primary,
+            server.local_addr(),
+            standby.replicated_seq(),
+        );
+        loop {
+            std::thread::park_timeout(std::time::Duration::from_secs(5));
+            if let Some(reason) = standby.halt_reason() {
+                return Err(format!("standby halted: {reason}").into());
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // primary role (replicating when --repl-addr is given)
     let db = match bootstrap.as_str() {
         "mixed" => mixed_database()?,
         "brazil" => brazil_database()?.0,
@@ -74,6 +132,29 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             info.commits_replayed, info.truncated_bytes
         );
     }
+    let _repl = match repl_addr {
+        Some(raddr) => {
+            let repl = ReplPrimary::start(handle.clone(), raddr.as_str())?;
+            if let Some(n) = sync_quorum {
+                handle.set_repl_ack(ReplAck::SyncQuorum(n));
+            }
+            eprintln!(
+                "madd: streaming commits to standbys on {} (ack mode: {})",
+                repl.local_addr(),
+                match sync_quorum {
+                    Some(n) => format!("sync quorum of {n}"),
+                    None => "async".to_owned(),
+                },
+            );
+            Some(repl)
+        }
+        None => {
+            if sync_quorum.is_some() {
+                return Err("--sync-quorum needs --repl-addr".into());
+            }
+            None
+        }
+    };
     let durable = handle.is_durable();
     let server = Server::serve(handle, addr.as_str())?;
     eprintln!(

@@ -1,0 +1,495 @@
+//! Failover scenario: kill the primary mid-traffic **under fault
+//! injection**, promote a standby, verify that every client-acknowledged
+//! commit survived as an exact gap-free prefix, and keep committing on
+//! the promoted node.
+//!
+//! This composes the whole PR-6 stack end to end:
+//!
+//! * real TCP writers drive `BEGIN … COMMIT` groups (with
+//!   `is_conflict()` retries) against a durable primary served by
+//!   [`mad_net::Server`];
+//! * [`mad_repl::ReplPrimary`] streams the resolved commit records to
+//!   warm [`mad_repl::Standby`]s, under
+//!   [`mad_txn::ReplAck::SyncQuorum`] — a client's COMMIT acknowledges
+//!   only once every healthy standby holds the record durably, which is
+//!   exactly what makes the promoted-prefix invariant *provable* here;
+//! * reader connections are served by a **standby's** read-only handle
+//!   through an ordinary [`mad_net::Server`] — replication lag is the
+//!   only difference a reader can observe, never a torn group;
+//! * the promotion candidate replicates through a
+//!   [`mad_repl::FaultProxy`] injecting a planned network fault
+//!   (duplicated / reordered / torn / delayed / corrupted frames,
+//!   mid-record disconnects), and an optional extra standby runs with a
+//!   [`mad_wal::FaultPlan`] tripping its own log — it must **halt
+//!   cleanly**, not diverge;
+//! * the kill: replication is sealed and the primary's server torn down
+//!   abruptly; in-flight COMMITs die indeterminate (sealed-quorum
+//!   errors and transport errors are *not* counted as acked);
+//! * promotion reopens the standby's log through full crash recovery
+//!   (CRC scan, torn-tail truncation, integrity-checked replay), and
+//!   the recovered state must contain every acked group — whole, in
+//!   order, phantom-free; a fresh server over the promoted handle then
+//!   takes new commits, continuing the sequence numbering.
+
+use crate::mixed::mixed_database;
+use crate::net::{commit_group_over_wire, is_transport, verify_prefix};
+use mad_model::{MadError, Result};
+use mad_net::{Client, Server};
+use mad_repl::{FaultProxy, NetFaultPlan, ReplPrimary, Standby, StandbyConfig};
+use mad_txn::{DbHandle, FaultPlan, FsyncPolicy, ReplAck};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Parameters of the failover scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverParams {
+    /// Writer connections against the primary.
+    pub writers: usize,
+    /// Reader connections against the standby-backed server.
+    pub readers: usize,
+    /// Transaction groups each writer tries to commit.
+    pub txns_per_writer: usize,
+    /// Areas connected to each inserted state (the atomic group size).
+    pub areas_per_state: usize,
+    /// Fsync policy of the primary and every standby.
+    pub fsync: FsyncPolicy,
+    /// Healthy standbys (≥ 1). The commit quorum is exactly this count,
+    /// so every acked commit is durable on **all** of them and promotion
+    /// of any one provably preserves the acked prefix.
+    pub standbys: usize,
+    /// Network fault injected (via proxy) into the promotion
+    /// candidate's replication stream.
+    pub net_fault: Option<NetFaultPlan>,
+    /// Run one *extra* standby (outside the quorum) with this WAL fault
+    /// plan armed; it must halt cleanly with a recorded reason.
+    pub wal_fault: Option<FaultPlan>,
+    /// Kill the primary once this many commits were acknowledged.
+    pub kill_after_acks: usize,
+}
+
+impl Default for FailoverParams {
+    fn default() -> Self {
+        FailoverParams {
+            writers: 3,
+            readers: 2,
+            txns_per_writer: 8,
+            areas_per_state: 3,
+            fsync: FsyncPolicy::Group,
+            standbys: 2,
+            net_fault: None,
+            wal_fault: None,
+            kill_after_acks: 10,
+        }
+    }
+}
+
+/// Outcome of one [`run_failover`] execution.
+#[derive(Clone, Debug, Default)]
+pub struct FailoverStats {
+    /// Commits acknowledged to a client before the kill.
+    pub acked: usize,
+    /// Highest acknowledged commit sequence.
+    pub max_acked_seq: u64,
+    /// First-committer-wins conflicts retried over the wire.
+    pub conflicts: usize,
+    /// SELECT round-trips served by the standby-backed reader server.
+    pub standby_reads: usize,
+    /// Times the injected network fault fired.
+    pub net_fault_fires: usize,
+    /// Reconnects the promotion candidate needed (fault recovery).
+    pub standby_reconnects: u64,
+    /// Did the WAL-faulted extra standby halt cleanly (when configured)?
+    pub faulted_standby_halted: bool,
+    /// Commit sequence the promoted node recovered to.
+    pub promoted_seq: u64,
+    /// Torn-tail bytes promotion recovery truncated.
+    pub truncated_bytes: u64,
+    /// Commits published on the promoted node after failover.
+    pub post_failover_commits: usize,
+    /// Invariant violations (must be 0).
+    pub violations: usize,
+}
+
+/// A commit wait errored because replication was sealed underneath it —
+/// the kill reached the server mid-COMMIT; the outcome is indeterminate
+/// and the group is deliberately **not** counted as acked.
+fn is_sealed_wait(e: &MadError) -> bool {
+    matches!(e, MadError::TxnState { .. }) && e.to_string().contains("sealed")
+}
+
+/// Run the scenario in `dir` (fresh log files are created inside).
+pub fn run_failover(dir: &Path, params: &FailoverParams) -> Result<FailoverStats> {
+    let k = params.areas_per_state;
+    let healthy = params.standbys.max(1);
+
+    // ---------------------------------------------------------------
+    // phase 1: primary + replication fabric
+    let primary = DbHandle::create_durable(
+        mixed_database()?,
+        dir.join("primary.wal"),
+        params.fsync,
+    )?;
+    let mut repl = ReplPrimary::start(primary.clone(), "127.0.0.1:0")?;
+    let repl_addr = repl.local_addr().to_string();
+
+    // the promotion candidate replicates through the fault proxy when a
+    // network fault is planned, directly otherwise
+    let mut proxy = match params.net_fault {
+        Some(plan) => Some(FaultProxy::start("127.0.0.1:0", repl_addr.clone(), plan)?),
+        None => None,
+    };
+    let candidate_upstream = proxy
+        .as_ref()
+        .map(|p| p.local_addr().to_string())
+        .unwrap_or_else(|| repl_addr.clone());
+
+    let mut standbys = Vec::with_capacity(healthy);
+    for i in 0..healthy {
+        let upstream = if i == 0 { &candidate_upstream } else { &repl_addr };
+        // a planned fault can kill the very handshake; bounded retries
+        // ride it out (each attempt burns fault-budget fires)
+        let mut attempt = 0;
+        let standby = loop {
+            match Standby::start(StandbyConfig::new(
+                upstream.clone(),
+                dir.join(format!("standby{i}.wal")),
+                params.fsync,
+            )) {
+                Ok(s) => break s,
+                Err(e) if attempt < 10 => {
+                    attempt += 1;
+                    let _ = e;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        standbys.push(standby);
+    }
+    // the extra, deliberately storage-faulted standby (outside the quorum)
+    let faulted = match params.wal_fault {
+        Some(plan) => {
+            let mut config = StandbyConfig::new(
+                repl_addr.clone(),
+                dir.join("standby-faulted.wal"),
+                params.fsync,
+            );
+            config.fault = Some(plan);
+            Some(Standby::start(config)?)
+        }
+        None => None,
+    };
+
+    // every acked commit must be durable on ALL healthy standbys before
+    // the client hears about it — that is what promotion relies on
+    primary.set_repl_ack(ReplAck::SyncQuorum(healthy));
+
+    let server = Server::serve(primary.clone(), "127.0.0.1:0")?;
+    let addr = server.local_addr();
+    // readers are served by the promotion candidate's read-only handle
+    let standby_server = Server::serve(standbys[0].handle(), "127.0.0.1:0")?;
+    let standby_addr = standby_server.local_addr();
+
+    // ---------------------------------------------------------------
+    // phase 2: traffic, then the kill
+    let stop = AtomicBool::new(false);
+    let acked: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let max_acked_seq = AtomicU64::new(0);
+    let conflicts = AtomicUsize::new(0);
+    let reads = AtomicUsize::new(0);
+    let violations = AtomicUsize::new(0);
+    let writers_left = AtomicUsize::new(params.writers);
+
+    struct WriterExit<'a>(&'a AtomicUsize);
+    impl Drop for WriterExit<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for w in 0..params.writers {
+            let (stop, acked, max_acked_seq, conflicts, violations, writers_left) =
+                (&stop, &acked, &max_acked_seq, &conflicts, &violations, &writers_left);
+            scope.spawn(move || {
+                let _exit = WriterExit(writers_left);
+                let Ok(mut client) = Client::connect(addr) else {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                'groups: for i in 0..params.txns_per_writer {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let name = format!("w{w}-{i}");
+                    let aid_base = ((w * params.txns_per_writer + i) * k) as i64;
+                    loop {
+                        match commit_group_over_wire(&mut client, &name, aid_base, k) {
+                            Ok(seq) => {
+                                max_acked_seq.fetch_max(seq, Ordering::AcqRel);
+                                acked.lock().unwrap().push(name);
+                                break;
+                            }
+                            Err(e) if e.is_conflict() => {
+                                conflicts.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) if is_transport(&e) || is_sealed_wait(&e) => {
+                                break 'groups; // the kill (or its seal)
+                            }
+                            Err(_) => {
+                                violations.fetch_add(1, Ordering::Relaxed);
+                                break 'groups;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        for _ in 0..params.readers {
+            let (stop, reads, violations) = (&stop, &reads, &violations);
+            scope.spawn(move || {
+                let Ok(mut client) = Client::connect(standby_addr) else {
+                    violations.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                while !stop.load(Ordering::Acquire) {
+                    match client.execute("SELECT ALL FROM state-area") {
+                        Ok(text) => {
+                            reads.fetch_add(1, Ordering::Relaxed);
+                            if !text.contains("molecule(s)") {
+                                violations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) if is_transport(&e) => break,
+                        Err(_) => {
+                            violations.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        // the killer: once enough commits are acked, pull the plug —
+        // seal replication first (in-flight quorum waits error as
+        // indeterminate), then tear the client server down
+        let quota = params.writers * params.txns_per_writer;
+        let target = params.kill_after_acks.min(quota);
+        while acked.lock().unwrap().len() < target && writers_left.load(Ordering::Acquire) > 0
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Release);
+        repl.shutdown();
+        server.shutdown();
+    });
+
+    let acked = acked.into_inner().unwrap();
+    let max_seq = max_acked_seq.into_inner();
+    let mut violation_count = violations.into_inner();
+
+    // ---------------------------------------------------------------
+    // phase 3: the primary is dead; promote the candidate
+    drop(primary);
+    if let Some(p) = proxy.as_mut() {
+        p.shutdown();
+    }
+    let candidate = standbys.remove(0);
+    // SyncQuorum(healthy) ⇒ the candidate already holds every acked
+    // commit durably; its published seq may still trail by the records
+    // it received but has not applied — give the ingest loop a moment
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while candidate.replicated_seq() < max_seq && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let net_fault_fires = proxy.as_ref().map(|p| p.fires()).unwrap_or(0);
+    let standby_reconnects = candidate.reconnects();
+    let (promoted, report) = candidate.promote()?;
+    if report.last_seq < max_seq {
+        violation_count += 1; // an acked commit did not survive failover
+    }
+    if promoted.is_read_only() || promoted.commit_seq() != report.last_seq {
+        violation_count += 1;
+    }
+    // the gap-free-prefix check: whole groups only, every acked group
+    // present, no phantoms, integrity audit clean
+    violation_count += verify_prefix(&promoted, report.last_seq, &acked, k);
+
+    // the other standbys (still wired to a dead primary) just serve
+    // their last state; the storage-faulted one must have halted cleanly
+    let faulted_standby_halted = match &faulted {
+        Some(s) => {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                if let Some(_reason) = s.halt_reason() {
+                    break true;
+                }
+                if Instant::now() >= deadline {
+                    break false;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        None => false,
+    };
+    if params.wal_fault.is_some() && !faulted_standby_halted {
+        violation_count += 1; // the fault must end in a reported halt
+    }
+
+    // ---------------------------------------------------------------
+    // phase 4: the promoted node is the new primary — keep committing
+    standby_server.shutdown();
+    let server = Server::serve(promoted.clone(), "127.0.0.1:0")?;
+    let mut client = Client::connect(server.local_addr())?;
+    if !client.server_info().durable {
+        violation_count += 1;
+    }
+    let seq = commit_group_over_wire(&mut client, "post-failover", 2_000_000, k)?;
+    if seq != report.last_seq + 1 {
+        violation_count += 1; // numbering must continue seamlessly
+    }
+    let mut other = Client::connect(server.local_addr())?;
+    let text =
+        other.execute("SELECT ALL FROM state-area WHERE state.sname = 'post-failover'")?;
+    if !text.contains("1 molecule(s)") {
+        violation_count += 1;
+    }
+    drop(client);
+    drop(other);
+    server.shutdown();
+
+    Ok(FailoverStats {
+        acked: acked.len(),
+        max_acked_seq: max_seq,
+        conflicts: conflicts.into_inner(),
+        standby_reads: reads.into_inner(),
+        net_fault_fires,
+        standby_reconnects,
+        faulted_standby_halted,
+        promoted_seq: report.last_seq,
+        truncated_bytes: report.truncated_bytes,
+        post_failover_commits: 1,
+        violations: violation_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_repl::NetFault;
+
+    fn run(name: &str, params: &FailoverParams) -> FailoverStats {
+        let dir = std::env::temp_dir().join(format!(
+            "mad-failover-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let stats = run_failover(&dir, params).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        stats
+    }
+
+    #[test]
+    fn clean_failover_preserves_every_acked_commit() {
+        let stats = run(
+            "clean",
+            &FailoverParams {
+                writers: 2,
+                readers: 1,
+                txns_per_writer: 5,
+                kill_after_acks: 6,
+                areas_per_state: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.violations, 0, "{stats:?}");
+        assert!(stats.acked >= 6, "{stats:?}");
+        assert!(stats.promoted_seq >= stats.max_acked_seq, "{stats:?}");
+        assert_eq!(stats.post_failover_commits, 1);
+    }
+
+    #[test]
+    fn failover_survives_a_torn_replication_frame() {
+        let stats = run(
+            "torn",
+            &FailoverParams {
+                writers: 2,
+                readers: 1,
+                txns_per_writer: 5,
+                kill_after_acks: 6,
+                areas_per_state: 2,
+                net_fault: Some(NetFaultPlan {
+                    kind: NetFault::TornFrame,
+                    at_frame: 4,
+                    max_fires: 2,
+                }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.violations, 0, "{stats:?}");
+        assert!(stats.net_fault_fires >= 1, "fault never fired: {stats:?}");
+    }
+
+    /// The full injector matrix: under **every** network fault class the
+    /// scenario must converge — the candidate reconnects/resyncs, every
+    /// acked commit survives promotion, and the post-failover commit
+    /// lands. (The storage-fault class, which must *halt* instead, is
+    /// exercised separately below.)
+    #[test]
+    fn fault_matrix_every_network_injector_converges() {
+        let kinds = [
+            ("dup", NetFault::DuplicateFrame),
+            ("reorder", NetFault::ReorderAdjacent),
+            ("torn2", NetFault::TornFrame),
+            ("closemid", NetFault::CloseMidFrame),
+            ("delay", NetFault::DelayFrame { millis: 40 }),
+            ("corrupt", NetFault::CorruptPayload),
+        ];
+        for (name, kind) in kinds {
+            let stats = run(
+                name,
+                &FailoverParams {
+                    writers: 2,
+                    readers: 0,
+                    txns_per_writer: 4,
+                    kill_after_acks: 5,
+                    areas_per_state: 2,
+                    net_fault: Some(NetFaultPlan {
+                        kind,
+                        at_frame: 3,
+                        max_fires: 1,
+                    }),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(stats.violations, 0, "{name}: {stats:?}");
+            assert!(stats.acked >= 5, "{name}: {stats:?}");
+            assert_eq!(stats.post_failover_commits, 1, "{name}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn a_storage_faulted_standby_halts_cleanly_and_failover_proceeds() {
+        let stats = run(
+            "walfault",
+            &FailoverParams {
+                writers: 2,
+                readers: 1,
+                txns_per_writer: 5,
+                kill_after_acks: 6,
+                areas_per_state: 2,
+                wal_fault: Some(FaultPlan {
+                    fail_fsync_at: Some(3),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.violations, 0, "{stats:?}");
+        assert!(stats.faulted_standby_halted, "{stats:?}");
+    }
+}

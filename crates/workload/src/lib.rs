@@ -18,10 +18,15 @@
 //!   *durable* handle, a simulated kill at a random WAL record boundary,
 //!   then recovery with prefix-consistency verification (benchmark B9's
 //!   correctness twin).
+//! * [`failover`] — the replication failover scenario: the network
+//!   workload against a primary streaming to sync-quorum standbys under
+//!   fault injection, a mid-traffic kill, standby promotion, and
+//!   acked-prefix verification on the promoted node.
 
 pub mod bom;
 pub mod brazil;
 pub mod crash;
+pub mod failover;
 pub mod geo;
 pub mod mixed;
 pub mod net;
@@ -31,6 +36,7 @@ pub mod vlsi;
 pub use bom::{generate_bom, BomParams};
 pub use brazil::{brazil_database, BrazilHandles};
 pub use crash::{run_crash_recovery, CrashParams, CrashStats};
+pub use failover::{run_failover, FailoverParams, FailoverStats};
 pub use geo::{generate_geo, GeoParams};
 pub use mixed::{mixed_database, run_mixed, MixedParams, MixedStats};
 pub use net::{run_net_crash, NetCrashParams, NetCrashStats};

@@ -94,13 +94,13 @@ pub struct NetCrashStats {
 
 /// Is this error a transport failure (the server died underneath the
 /// client) rather than a statement failure?
-fn is_transport(e: &MadError) -> bool {
+pub(crate) fn is_transport(e: &MadError) -> bool {
     matches!(e, MadError::Io { .. } | MadError::Protocol { .. })
 }
 
 /// Parse the commit sequence out of a rendered COMMIT acknowledgment
 /// (`"committed N operation(s) at sequence S…"`).
-fn parse_commit_seq(text: &str) -> Option<u64> {
+pub(crate) fn parse_commit_seq(text: &str) -> Option<u64> {
     let rest = text.split("at sequence ").nth(1)?;
     let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
     digits.parse().ok()
@@ -109,7 +109,7 @@ fn parse_commit_seq(text: &str) -> Option<u64> {
 /// One writer group over the wire: BEGIN, the inserts and connects of one
 /// atomic group, a contended update (forcing first-committer-wins races
 /// between writers), COMMIT. Returns the acknowledged commit sequence.
-fn commit_group_over_wire(
+pub(crate) fn commit_group_over_wire(
     client: &mut Client,
     name: &str,
     aid_base: i64,
@@ -329,7 +329,7 @@ pub fn run_net_crash(wal_path: &Path, params: &NetCrashParams) -> Result<NetCras
 /// Check the recovered state: exactly `k_commits` whole groups, every
 /// acked group present, no phantom groups, referential integrity clean.
 /// Returns the number of violated invariants.
-fn verify_prefix(
+pub(crate) fn verify_prefix(
     handle: &DbHandle,
     k_commits: u64,
     acked: &[String],

@@ -1,0 +1,141 @@
+//! Streaming replication and failover end to end: a primary streaming
+//! resolved WAL commit records to sync-quorum standbys, fault injection
+//! on the replication stream, a mid-traffic kill of the primary, standby
+//! promotion, and acked-prefix verification on the promoted node.
+//!
+//! 1. A small topology by hand: primary + standby over loopback, watch
+//!    the standby bootstrap, follow live commits, and serve read-only
+//!    snapshot queries of its own.
+//! 2. The failover scenario: TCP writers/readers against a replicated
+//!    primary whose stream to the promotion candidate runs through a
+//!    fault-injecting proxy (a torn frame mid-stream), plus one extra
+//!    standby whose *own log* is rigged to fail fsync — it must halt
+//!    cleanly. Kill the primary mid-traffic, promote the candidate, and
+//!    verify every client-acknowledged commit survived whole and in
+//!    order; then keep committing on the promoted node.
+//!
+//! ```text
+//! cargo run --release --example failover
+//! ```
+
+use mad::net::{Client, Server};
+use mad::repl::{NetFault, NetFaultPlan, ReplPrimary, Standby, StandbyConfig};
+use mad::txn::{DbHandle, FaultPlan, FsyncPolicy, ReplAck};
+use mad::workload::{mixed_database, run_failover, FailoverParams};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("mad-failover-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+
+    // ------------------------------------------------------------------
+    println!("== 1. a replicated pair by hand\n");
+    let primary = DbHandle::create_durable(
+        mixed_database()?,
+        dir.join("pair-primary.wal"),
+        FsyncPolicy::Group,
+    )?;
+    let mut repl = ReplPrimary::start(primary.clone(), "127.0.0.1:0")?;
+    println!("primary streaming commits on {}", repl.local_addr());
+
+    let standby = Standby::start(StandbyConfig::new(
+        repl.local_addr().to_string(),
+        dir.join("pair-standby.wal"),
+        FsyncPolicy::Group,
+    ))?;
+    println!("standby bootstrapped at sequence {}", standby.replicated_seq());
+
+    // sync-quorum: COMMIT acks only once the standby holds it durably
+    primary.set_repl_ack(ReplAck::SyncQuorum(1));
+    let server = Server::serve(primary.clone(), "127.0.0.1:0")?;
+    let mut client = Client::connect(server.local_addr())?;
+    client.execute("BEGIN")?;
+    client.execute("INSERT ATOM state (sname = 'replicated', hectare = 1.0)")?;
+    let ack = client.execute("COMMIT")?;
+    print!("client: {ack}");
+    println!(
+        "standby after the ack: sequence {} ({} record(s) applied) — \
+         quorum means the ack already implies this",
+        standby.replicated_seq(),
+        standby.records_applied(),
+    );
+
+    // the standby's handle serves ordinary read-only sessions
+    let ro = Server::serve(standby.handle(), "127.0.0.1:0")?;
+    let mut reader = Client::connect(ro.local_addr())?;
+    let text = reader.execute("SELECT ALL FROM state WHERE state.sname = 'replicated'")?;
+    println!("read from the standby: {}", text.lines().next().unwrap_or(""));
+    let refused = reader.execute("INSERT ATOM area (aid = 99)");
+    println!(
+        "write to the standby is refused: {}",
+        refused.expect_err("standbys are read-only")
+    );
+    drop(client);
+    drop(reader);
+    ro.shutdown();
+    server.shutdown();
+    repl.shutdown();
+
+    // promotion turns the standby into a writable primary
+    let (promoted, report) = standby.promote()?;
+    println!(
+        "promoted at sequence {} ({} commit(s) replayed, {} torn byte(s) truncated); \
+         read-only: {}\n",
+        report.last_seq,
+        report.commits_replayed,
+        report.truncated_bytes,
+        promoted.is_read_only(),
+    );
+    drop(promoted);
+
+    // ------------------------------------------------------------------
+    println!("== 2. failover under fault injection (kill → promote → verify)\n");
+    let params = FailoverParams {
+        net_fault: Some(NetFaultPlan {
+            kind: NetFault::TornFrame,
+            at_frame: 4,
+            max_fires: 2,
+        }),
+        wal_fault: Some(FaultPlan {
+            fail_fsync_at: Some(4),
+            ..Default::default()
+        }),
+        ..Default::default()
+    };
+    println!(
+        "{} writers × {} groups + {} readers; quorum of {} standbys; \
+         torn frame injected into the candidate's stream; one extra \
+         standby with a rigged fsync; kill after {} acks…",
+        params.writers, params.txns_per_writer, params.readers, params.standbys,
+        params.kill_after_acks,
+    );
+    let t0 = Instant::now();
+    let stats = run_failover(&dir, &params)?;
+    println!(
+        "acked {} commit(s) through sequence {} ({} conflict retries, {} standby reads) \
+         in {:?}",
+        stats.acked,
+        stats.max_acked_seq,
+        stats.conflicts,
+        stats.standby_reads,
+        t0.elapsed(),
+    );
+    println!(
+        "net fault fired {} time(s); candidate reconnected {} time(s); \
+         storage-faulted standby halted cleanly: {}",
+        stats.net_fault_fires, stats.standby_reconnects, stats.faulted_standby_halted,
+    );
+    println!(
+        "promoted at sequence {} ({} torn byte(s) truncated); {} post-failover \
+         commit(s); violations: {}",
+        stats.promoted_seq, stats.truncated_bytes, stats.post_failover_commits,
+        stats.violations,
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    if stats.violations != 0 {
+        return Err(format!("failover scenario violated invariants: {stats:?}").into());
+    }
+    println!("\nevery acknowledged commit survived promotion as an exact gap-free prefix ✓");
+    Ok(())
+}

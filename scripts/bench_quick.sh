@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Perf-trajectory snapshot: run the derivation, concurrency (B8), WAL
-# durability (B9) and network (B10) benches with --quick and merge their
-# results into BENCH_derive.json.
+# durability (B9), network (B10) and replication (B11) benches with
+# --quick and merge their results into BENCH_derive.json.
 # Cargo runs bench binaries with the package dir as cwd, so the report
 # lands in crates/bench/.
 #
@@ -28,6 +28,7 @@ cargo bench -p mad-bench --bench restriction_pushdown -- --quick
 cargo bench -p mad-bench --bench concurrent_sessions -- --quick
 cargo bench -p mad-bench --bench wal_commit -- --quick
 cargo bench -p mad-bench --bench net_throughput -- --quick
+cargo bench -p mad-bench --bench repl_lag -- --quick
 echo "merged results into $(pwd)/$REPORT"
 
 if [ "$have_baseline" = 1 ]; then

@@ -11,7 +11,11 @@
 #      prefix-consistency verification (examples/durability.rs),
 #   6. the networked crash scenario on loopback: TCP clients against a
 #      durable server, kill mid-traffic, restart, acked-prefix
-#      verification (examples/network.rs).
+#      verification (examples/network.rs),
+#   7. the replication failover scenario on loopback: sync-quorum
+#      standbys under fault injection, kill the primary mid-traffic,
+#      promote a standby, acked-prefix verification on the promoted
+#      node (examples/failover.rs).
 #
 # Any step failing fails the script.
 set -euo pipefail
@@ -34,5 +38,8 @@ cargo run --release --quiet --example durability
 
 echo "== networked crash scenario on loopback (examples/network.rs)"
 cargo run --release --quiet --example network
+
+echo "== replication failover scenario under fault injection (examples/failover.rs)"
+cargo run --release --quiet --example failover
 
 echo "ci.sh: all green"

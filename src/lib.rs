@@ -11,6 +11,9 @@
 //! * [`mql`] — the molecule query language of §4,
 //! * [`net`] — the TCP server front-end and blocking client (MQL over
 //!   checksummed frames; one shared session per connection),
+//! * [`repl`] — streaming WAL replication: primary, warm standbys with
+//!   continuous integrity-checked replay, sync-quorum commit
+//!   acknowledgment, standby promotion, network fault injection,
 //! * [`relational`] — the relational substrate/baseline,
 //! * [`nf2`] — the NF² substrate/baseline,
 //! * [`workload`] — fixtures and generators (the Brazil database of
@@ -30,6 +33,7 @@ pub use mad_mql as mql;
 pub use mad_net as net;
 pub use mad_nf2 as nf2;
 pub use mad_relational as relational;
+pub use mad_repl as repl;
 pub use mad_storage as storage;
 pub use mad_txn as txn;
 pub use mad_wal as wal;

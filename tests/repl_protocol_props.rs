@@ -1,0 +1,115 @@
+//! Property tests for the replication stream codec: `decode ∘ encode = id`
+//! (checked as byte equality — the stream transports `WalRecord`s, which
+//! have no structural equality) for every message kind including full
+//! bootstrap snapshots, and decoding never panics on arbitrary or
+//! truncated bytes (a standby feeds it whatever the wire delivers,
+//! including the fault injector's mutilations).
+
+use mad::model::{AtomId, AtomTypeId, AttrType, SchemaBuilder, Value};
+use mad::repl::proto::{decode_msg, encode_msg, ReplMsg};
+use mad::storage::{Database, DatabaseSnapshot};
+use mad::wal::{WalOp, WalRecord};
+use proptest::prelude::*;
+
+fn id_strategy() -> impl Strategy<Value = AtomId> {
+    (0u32..6, 0u32..1 << 16).prop_map(|(ty, slot)| AtomId::new(AtomTypeId(ty), slot))
+}
+
+fn op_strategy() -> impl Strategy<Value = WalOp> {
+    prop_oneof![
+        (0u32..6, any::<i64>(), id_strategy()).prop_map(|(ty, n, id)| WalOp::Insert {
+            ty: AtomTypeId(ty),
+            tuple: vec![Value::Int(n), Value::Text(format!("t{n}"))],
+            id,
+        }),
+        id_strategy().prop_map(|id| WalOp::Delete { id }),
+        (id_strategy(), 0u32..6, any::<i64>()).prop_map(|(id, attr, n)| WalOp::UpdateAttr {
+            id,
+            attr,
+            value: Value::Int(n),
+        }),
+        (0u32..6, id_strategy(), id_strategy()).prop_map(|(lt, side0, side1)| WalOp::Connect {
+            lt: mad::model::LinkTypeId(lt),
+            side0,
+            side1,
+        }),
+    ]
+}
+
+/// A real snapshot of a small database with `atoms` committed atoms —
+/// the bootstrap payload a fresh standby receives.
+fn snapshot_with(atoms: usize) -> DatabaseSnapshot {
+    let schema = SchemaBuilder::new()
+        .atom_type("item", &[("label", AttrType::Text), ("rank", AttrType::Int)])
+        .build()
+        .expect("static schema");
+    let mut db = Database::new(schema);
+    let item = db.schema().atom_type_id("item").expect("item type");
+    for i in 0..atoms {
+        db.insert_atom(item, vec![Value::from(format!("i{i}")), Value::Int(i as i64)])
+            .expect("insert");
+    }
+    DatabaseSnapshot::capture(&db)
+}
+
+fn msg_strategy() -> impl Strategy<Value = ReplMsg> {
+    prop_oneof![
+        (0u32..9, 0u64..2, 0u64..1 << 40).prop_map(|(protocol, flag, cursor)| {
+            ReplMsg::StandbyHello {
+                protocol,
+                have: (flag == 1).then_some(cursor),
+            }
+        }),
+        (0u32..9, 0u64..1 << 40)
+            .prop_map(|(protocol, last_seq)| ReplMsg::PrimaryHello { protocol, last_seq }),
+        any::<u64>().prop_map(|seq| ReplMsg::Ack { seq }),
+        (1u64..1 << 40, proptest::collection::vec(op_strategy(), 0..6))
+            .prop_map(|(seq, ops)| ReplMsg::Record(WalRecord::Commit { seq, ops })),
+        (0u64..1 << 40, 0usize..4).prop_map(|(base_seq, atoms)| {
+            ReplMsg::Record(WalRecord::Bootstrap {
+                base_seq,
+                snapshot: Box::new(snapshot_with(atoms)),
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_is_identity_on_the_bytes(msg in msg_strategy()) {
+        let bytes = encode_msg(&msg);
+        let back = decode_msg(&bytes).expect("own encoding must decode");
+        // `WalRecord` carries a full snapshot and has no `PartialEq`;
+        // byte equality of the re-encoding is the stronger statement
+        prop_assert_eq!(encode_msg(&back), bytes);
+    }
+
+    #[test]
+    fn decoding_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..300)
+    ) {
+        // Ok or Err are both acceptable; a panic is not
+        let _ = decode_msg(&bytes);
+    }
+
+    #[test]
+    fn truncated_messages_error_not_panic(
+        msg in msg_strategy(), cut_permille in 0usize..1000
+    ) {
+        let bytes = encode_msg(&msg);
+        let cut = cut_permille * bytes.len() / 1000;
+        if cut < bytes.len() {
+            // every strict prefix must fail cleanly — the CRC framing
+            // below this layer makes truncation unlikely to arrive here,
+            // but the decoder must not rely on that
+            prop_assert!(decode_msg(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(msg in msg_strategy(), extra in 1usize..5) {
+        let mut bytes = encode_msg(&msg);
+        bytes.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert!(decode_msg(&bytes).is_err());
+    }
+}
