@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Print the quantitative claim tables B1–B7 (see `mad_bench::tables`).
 fn main() {
     mad_bench::tables::run_all();

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # mad-bench — benchmark & figure-regeneration harness
 //!
 //! Everything the experiment index of `DESIGN.md` needs:

@@ -1,0 +1,128 @@
+//! Narrowing-cast lint for the wire-codec files.
+//!
+//! A bare `as u32` / `as u64` / `as usize` on a length or offset is how
+//! a 32-bit peer, a corrupt frame, or a hostile length prefix turns
+//! into silent truncation. In the codec files every such cast must be a
+//! checked conversion (`try_into`/`try_from` surfacing
+//! `MadError::Protocol`/`Codec`) or carry a
+//! `// check: allow(cast, "…")` annotation proving the value is
+//! bounded. Other files are out of scope — arithmetic casts far from
+//! the wire are clippy's business, not ours.
+
+use crate::tree::{scan_items, Node};
+use crate::{Config, Diagnostic, ParsedFile};
+
+const NARROW_TARGETS: &[&str] = &["u32", "u64", "usize"];
+
+/// Run the lint.
+pub fn check(files: &[ParsedFile], cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    for f in files {
+        if f.assume_test || !cfg.codec_files.contains(&f.rel_path) {
+            continue;
+        }
+        let items = scan_items(&f.tree);
+        for func in items.fns.iter().filter(|x| !x.is_test) {
+            let Some(body) = func.body else { continue };
+            scan(body, f, diags);
+        }
+    }
+}
+
+fn scan(nodes: &[Node], f: &ParsedFile, diags: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < nodes.len() {
+        match &nodes[i] {
+            Node::Group { children, .. } => scan(children, f, diags),
+            n => {
+                if n.ident() == Some("as") {
+                    if let Some(target) = nodes.get(i + 1).and_then(Node::ident) {
+                        if NARROW_TARGETS.contains(&target) && !f.allowed("cast", n.line()) {
+                            diags.push(Diagnostic {
+                                file: f.rel_path.clone(),
+                                line: n.line(),
+                                lint: "cast",
+                                message: format!(
+                                    "unchecked narrowing cast `as {target}` in a wire-codec \
+                                     file — use a checked conversion surfacing \
+                                     MadError::Protocol/Codec, or annotate with \
+                                     `check: allow(cast, \"…\")`"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_file, SrcFile};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let f = parse_file(
+            &SrcFile {
+                crate_name: "mad-net".into(),
+                rel_path: "crates/net/src/frame.rs".into(),
+                is_crate_root: false,
+                assume_test: false,
+                text: src.into(),
+            },
+            &mut diags,
+        );
+        check(&[f], &Config::default(), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn bare_narrowing_cast_is_flagged() {
+        let d = run("fn put(len: u64) { out.push(len as u32); }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "cast");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn try_into_is_clean() {
+        let d = run("fn put(len: u64) -> Result<u32> { u32::try_from(len).map_err(|_| e()) }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn annotated_cast_is_clean() {
+        let d = run(
+            "fn idx(i: usize) -> u32 {\n\
+             i as u32 // check: allow(cast, \"i < 256 by loop bound\")\n}",
+        );
+        // the cast is on line 2, annotated there
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn non_codec_files_are_out_of_scope() {
+        let mut diags = Vec::new();
+        let f = parse_file(
+            &SrcFile {
+                crate_name: "mad-core".into(),
+                rel_path: "crates/core/src/derive.rs".into(),
+                is_crate_root: false,
+                assume_test: false,
+                text: "fn f(n: u64) -> usize { n as usize }".into(),
+            },
+            &mut diags,
+        );
+        check(&[f], &Config::default(), &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn widening_to_unlisted_types_is_clean() {
+        let d = run("fn f(b: u8) -> u128 { b as u128 }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

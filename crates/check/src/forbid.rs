@@ -1,0 +1,112 @@
+//! Structural check: every crate root (lib root and every `[[bin]]`
+//! root, vendor shims included) carries `#![forbid(unsafe_code)]`.
+//! The tree is unsafe-free today; this locks the property in at the
+//! compiler level and the lint keeps the attribute from quietly
+//! disappearing in a refactor.
+
+use crate::tree::{flatten, Node};
+use crate::workspace::CrateInfo;
+use crate::{Diagnostic, ParsedFile};
+
+/// Run the check.
+pub fn check(files: &[ParsedFile], crates: &[CrateInfo], diags: &mut Vec<Diagnostic>) {
+    for info in crates {
+        for root in &info.roots {
+            let Some(f) = files.iter().find(|f| &f.rel_path == root) else {
+                diags.push(Diagnostic {
+                    file: root.clone(),
+                    line: 0,
+                    lint: "forbid-unsafe",
+                    message: format!("crate root of `{}` not found on disk", info.name),
+                });
+                continue;
+            };
+            if !has_forbid(&f.tree) {
+                diags.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line: 1,
+                    lint: "forbid-unsafe",
+                    message: format!(
+                        "crate root of `{}` is missing `#![forbid(unsafe_code)]`",
+                        info.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Does the file carry an inner `#![forbid(unsafe_code)]` attribute at
+/// its top level?
+fn has_forbid(tree: &[Node]) -> bool {
+    let mut i = 0usize;
+    while i + 2 < tree.len() {
+        if tree[i].is_punct('#') && tree[i + 1].is_punct('!') {
+            if let Node::Group { delim: '[', children, .. } = &tree[i + 2] {
+                let text = flatten(children);
+                if text.replace(' ', "") == "forbid(unsafe_code)" {
+                    return true;
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_file, SrcFile};
+
+    fn info(root: &str) -> CrateInfo {
+        CrateInfo {
+            name: "mad-model".into(),
+            dir: "crates/model".into(),
+            manifest: "crates/model/Cargo.toml".into(),
+            deps: vec![],
+            roots: vec![root.into()],
+            is_vendor: false,
+        }
+    }
+
+    fn parsed(src: &str) -> ParsedFile {
+        let mut sink = Vec::new();
+        parse_file(
+            &SrcFile {
+                crate_name: "mad-model".into(),
+                rel_path: "crates/model/src/lib.rs".into(),
+                is_crate_root: true,
+                assume_test: false,
+                text: src.into(),
+            },
+            &mut sink,
+        )
+    }
+
+    #[test]
+    fn present_attribute_is_clean() {
+        let f = parsed("#![forbid(unsafe_code)]\n//! docs\npub mod error;\n");
+        let mut d = Vec::new();
+        check(&[f], &[info("crates/model/src/lib.rs")], &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_attribute_is_flagged() {
+        let f = parsed("pub mod error;\n");
+        let mut d = Vec::new();
+        check(&[f], &[info("crates/model/src/lib.rs")], &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "forbid-unsafe");
+        assert!(d[0].message.contains("missing `#![forbid(unsafe_code)]`"));
+    }
+
+    #[test]
+    fn outer_attribute_does_not_satisfy() {
+        let f = parsed("#[forbid(unsafe_code)]\npub mod error;\n");
+        let mut d = Vec::new();
+        check(&[f], &[info("crates/model/src/lib.rs")], &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+}

@@ -1,0 +1,237 @@
+//! Crate-layering lint: the dependency DAG may only point downward.
+//!
+//! Two sources of edges are checked against the normative layering
+//! table in ARCHITECTURE.md:
+//!
+//! * `[dependencies]` entries in each member's `Cargo.toml`
+//!   (dev-dependencies are test-only and exempt), and
+//! * `mad_*` crate references in non-test source code — so a
+//!   `use mad_repl::…` smuggled into `mad_txn` is flagged even before
+//!   the manifest edge that would make it compile.
+//!
+//! Every `mad*` crate must appear in the table; an unknown crate is
+//! itself a violation, which forces the table to stay current.
+
+use crate::spec::Spec;
+use crate::tree::Node;
+use crate::workspace::CrateInfo;
+use crate::{Diagnostic, ParsedFile};
+
+/// Run the lint.
+pub fn check(
+    files: &[ParsedFile],
+    crates: &[CrateInfo],
+    spec: &Spec,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // manifest edges
+    for info in crates.iter().filter(|c| !c.is_vendor) {
+        let Some(own) = spec.layer(&info.name) else {
+            diags.push(Diagnostic {
+                file: info.manifest.clone(),
+                line: 1,
+                lint: "layering",
+                message: format!(
+                    "crate `{}` is not in the ARCHITECTURE.md layering table",
+                    info.name
+                ),
+            });
+            continue;
+        };
+        for (dep, line) in &info.deps {
+            if !dep.starts_with("mad") {
+                continue;
+            }
+            match spec.layer(dep) {
+                None => diags.push(Diagnostic {
+                    file: info.manifest.clone(),
+                    line: *line,
+                    lint: "layering",
+                    message: format!(
+                        "dependency `{dep}` is not in the ARCHITECTURE.md layering table"
+                    ),
+                }),
+                Some(dl) if dl >= own => diags.push(Diagnostic {
+                    file: info.manifest.clone(),
+                    line: *line,
+                    lint: "layering",
+                    message: format!(
+                        "upward dependency edge: `{}` (layer {own}) depends on `{dep}` \
+                         (layer {dl}); edges must point strictly downward",
+                        info.name
+                    ),
+                }),
+                Some(_) => {}
+            }
+        }
+    }
+    // source-level `mad_*` references
+    for f in files.iter().filter(|f| !f.assume_test) {
+        let Some(own) = spec.layer(&f.crate_name) else { continue };
+        scan_refs(&f.tree, f, own, spec, diags, &mut false);
+    }
+}
+
+/// Recursively scan for `mad_*` idents, skipping test-attributed
+/// subtrees (`pending_test` carries a seen `#[cfg(test)]`/`#[test]`
+/// forward to the brace group it governs).
+fn scan_refs(
+    nodes: &[Node],
+    f: &ParsedFile,
+    own: u32,
+    spec: &Spec,
+    diags: &mut Vec<Diagnostic>,
+    pending_test: &mut bool,
+) {
+    let mut i = 0usize;
+    while i < nodes.len() {
+        // `#[cfg(test)]` / `#[test]` marks the next brace group as test
+        if nodes[i].is_punct('#') {
+            let mut j = i + 1;
+            if nodes.get(j).map(|n| n.is_punct('!')) == Some(true) {
+                j += 1;
+            }
+            if let Some(Node::Group { delim: '[', children, .. }) = nodes.get(j) {
+                let text = crate::tree::flatten(children);
+                if text == "test" || (text.starts_with("cfg") && text.contains("test")) {
+                    *pending_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        match &nodes[i] {
+            Node::Group { delim: '{', children, .. } => {
+                if *pending_test {
+                    *pending_test = false; // skip the test subtree
+                } else {
+                    scan_refs(children, f, own, spec, diags, pending_test);
+                }
+            }
+            Node::Group { children, .. } => {
+                scan_refs(children, f, own, spec, diags, pending_test)
+            }
+            n => {
+                if let Some(id) = n.ident() {
+                    if let Some(rest) = id.strip_prefix("mad_") {
+                        let dep = format!("mad-{}", rest.replace('_', "-"));
+                        if dep != f.crate_name {
+                            match spec.layer(&dep) {
+                                None => diags.push(Diagnostic {
+                                    file: f.rel_path.clone(),
+                                    line: n.line(),
+                                    lint: "layering",
+                                    message: format!(
+                                        "reference to `{id}` — crate `{dep}` is not in \
+                                         the ARCHITECTURE.md layering table"
+                                    ),
+                                }),
+                                Some(dl) if dl >= own => diags.push(Diagnostic {
+                                    file: f.rel_path.clone(),
+                                    line: n.line(),
+                                    lint: "layering",
+                                    message: format!(
+                                        "upward reference: `{}` (layer {own}) uses `{id}` \
+                                         (layer {dl}); edges must point strictly downward",
+                                        f.crate_name
+                                    ),
+                                }),
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_file, SrcFile};
+
+    fn spec() -> Spec {
+        Spec {
+            lock_ranks: vec![],
+            layers: vec![
+                ("mad-model".into(), 0),
+                ("mad-txn".into(), 3),
+                ("mad-repl".into(), 6),
+            ],
+        }
+    }
+
+    fn file(krate: &str, src: &str) -> ParsedFile {
+        let mut sink = Vec::new();
+        parse_file(
+            &SrcFile {
+                crate_name: krate.into(),
+                rel_path: "crates/x/src/lib.rs".to_string(),
+                is_crate_root: true,
+                assume_test: false,
+                text: src.into(),
+            },
+            &mut sink,
+        )
+    }
+
+    #[test]
+    fn downward_use_is_clean() {
+        let mut d = Vec::new();
+        check(&[file("mad-txn", "use mad_model::MadError;\n")], &[], &spec(), &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn upward_use_is_flagged() {
+        let mut d = Vec::new();
+        check(&[file("mad-txn", "fn f() { mad_repl::promote(); }\n")], &[], &spec(), &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("upward reference"));
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn test_modules_may_use_anything() {
+        let mut d = Vec::new();
+        let src = "#[cfg(test)]\nmod tests { use mad_repl::ReplPrimary; }\n";
+        check(&[file("mad-txn", src)], &[], &spec(), &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn manifest_upward_edge_is_flagged() {
+        let info = CrateInfo {
+            name: "mad-txn".into(),
+            dir: "crates/txn".into(),
+            manifest: "crates/txn/Cargo.toml".into(),
+            deps: vec![("mad-model".into(), 8), ("mad-repl".into(), 9)],
+            roots: vec![],
+            is_vendor: false,
+        };
+        let mut d = Vec::new();
+        check(&[], &[info], &spec(), &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "crates/txn/Cargo.toml");
+        assert_eq!(d[0].line, 9);
+        assert!(d[0].message.contains("upward dependency edge"));
+    }
+
+    #[test]
+    fn unknown_crate_is_flagged() {
+        let info = CrateInfo {
+            name: "mad-gridfile".into(),
+            dir: "crates/gridfile".into(),
+            manifest: "crates/gridfile/Cargo.toml".into(),
+            deps: vec![],
+            roots: vec![],
+            is_vendor: false,
+        };
+        let mut d = Vec::new();
+        check(&[], &[info], &spec(), &mut d);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not in the ARCHITECTURE.md layering table"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The panic ratchet: a committed per-crate budget of unannotated
+//! panic sites that may only move downward.
+//!
+//! `check_ratchet.toml` is the flag-day escape hatch: the existing
+//! sites become a monotone budget instead of a thousand diagnostics.
+//! The enforcement is exact-match in both directions — a count *above*
+//! budget is a regression, and a count *below* budget is a stale file
+//! (run `mad-check --ratchet-update` to bank the improvement so it can
+//! never be spent again).
+
+use std::collections::BTreeMap;
+
+use crate::Diagnostic;
+
+/// The committed ratchet file name, relative to the workspace root.
+pub const RATCHET_FILE: &str = "check_ratchet.toml";
+
+/// Parse the ratchet file: a `[panics]` table of `"crate" = count`
+/// entries. Returns crate → (budget, line).
+pub fn parse(text: &str) -> Result<BTreeMap<String, (usize, u32)>, String> {
+    let mut out = BTreeMap::new();
+    let mut in_panics = false;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if t.starts_with('[') {
+            in_panics = t == "[panics]";
+            continue;
+        }
+        if !in_panics {
+            continue;
+        }
+        let Some((key, val)) = t.split_once('=') else {
+            return Err(format!("{RATCHET_FILE}:{lineno}: expected `\"crate\" = count`"));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let count: usize = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("{RATCHET_FILE}:{lineno}: `{}` is not a count", val.trim()))?;
+        if out.insert(key.clone(), (count, lineno)).is_some() {
+            return Err(format!("{RATCHET_FILE}:{lineno}: duplicate entry for `{key}`"));
+        }
+    }
+    Ok(out)
+}
+
+/// Compare measured counts against the committed budget.
+pub fn compare(
+    budget: &BTreeMap<String, (usize, u32)>,
+    counts: &BTreeMap<String, usize>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (krate, &n) in counts {
+        match budget.get(krate) {
+            None => diags.push(Diagnostic {
+                file: RATCHET_FILE.to_string(),
+                line: 0,
+                lint: "panic-ratchet",
+                message: format!(
+                    "no budget entry for `{krate}` ({n} unannotated panic site(s)) — \
+                     run `mad-check --ratchet-update`"
+                ),
+            }),
+            Some(&(b, line)) if n > b => diags.push(Diagnostic {
+                file: RATCHET_FILE.to_string(),
+                line,
+                lint: "panic-ratchet",
+                message: format!(
+                    "`{krate}` has {n} unannotated panic site(s), budget is {b} — the \
+                     ratchet only goes down; remove the new unwrap/expect/panic/index \
+                     or annotate it with `check: allow(panic, \"…\")`"
+                ),
+            }),
+            Some(&(b, line)) if n < b => diags.push(Diagnostic {
+                file: RATCHET_FILE.to_string(),
+                line,
+                lint: "panic-ratchet",
+                message: format!(
+                    "`{krate}` has {n} unannotated panic site(s), budget is {b} — \
+                     bank the improvement: run `mad-check --ratchet-update`"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (krate, &(b, line)) in budget {
+        if !counts.contains_key(krate) {
+            diags.push(Diagnostic {
+                file: RATCHET_FILE.to_string(),
+                line,
+                lint: "panic-ratchet",
+                message: format!(
+                    "stale budget entry for `{krate}` (budget {b}, crate not found) — \
+                     run `mad-check --ratchet-update`"
+                ),
+            });
+        }
+    }
+}
+
+/// Render a fresh ratchet file from measured counts.
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let mut s = String::from(
+        "# Panic ratchet for the MAD workspace, maintained by `mad-check`.\n\
+         #\n\
+         # Each entry is the number of unannotated panic sites (unwrap/expect/\n\
+         # panic!/unreachable!/slice-index in non-test code) the crate is allowed.\n\
+         # The counts may ONLY DECREASE: mad-check fails CI if a crate exceeds its\n\
+         # budget, and also fails if a crate is below budget until the improvement\n\
+         # is banked here with `mad-check --ratchet-update` — so a freed-up budget\n\
+         # can never be silently spent on a new panic path.\n\n\
+         [panics]\n",
+    );
+    for (krate, n) in counts {
+        s.push_str(&format!("\"{krate}\" = {n}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = counts(&[("mad-model", 12), ("mad-txn", 3)]);
+        let budget = parse(&render(&c)).unwrap();
+        assert_eq!(budget["mad-model"].0, 12);
+        assert_eq!(budget["mad-txn"].0, 3);
+        let mut d = Vec::new();
+        compare(&budget, &c, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn over_budget_is_a_regression() {
+        let budget = parse("[panics]\n\"mad-txn\" = 2\n").unwrap();
+        let mut d = Vec::new();
+        compare(&budget, &counts(&[("mad-txn", 3)]), &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "panic-ratchet");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("budget is 2"));
+    }
+
+    #[test]
+    fn under_budget_demands_an_update() {
+        let budget = parse("[panics]\n\"mad-txn\" = 5\n").unwrap();
+        let mut d = Vec::new();
+        compare(&budget, &counts(&[("mad-txn", 3)]), &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("bank the improvement"));
+    }
+
+    #[test]
+    fn missing_and_stale_entries_are_flagged() {
+        let budget = parse("[panics]\n\"mad-old\" = 1\n").unwrap();
+        let mut d = Vec::new();
+        compare(&budget, &counts(&[("mad-new", 0)]), &mut d);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|x| x.message.contains("no budget entry for `mad-new`")));
+        assert!(d.iter().any(|x| x.message.contains("stale budget entry for `mad-old`")));
+    }
+
+    #[test]
+    fn malformed_file_is_an_error() {
+        assert!(parse("[panics]\nmad-txn\n").is_err());
+        assert!(parse("[panics]\n\"a\" = x\n").is_err());
+        assert!(parse("[panics]\n\"a\" = 1\n\"a\" = 2\n").is_err());
+    }
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # mad-core — the molecule algebra
 //!
 //! The primary contribution of Mitschang, *Extending the Relational Algebra

@@ -126,7 +126,7 @@ impl<'a> Reader<'a> {
 
     /// Read a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<String> {
-        let len = self.u32()? as usize;
+        let len = usize_of_u32(self.u32()?);
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).map_err(|e| MadError::Codec {
             detail: format!("invalid UTF-8 in string: {e}"),
@@ -136,7 +136,7 @@ impl<'a> Reader<'a> {
     /// Read a sequence length, sanity-capped against the remaining input so
     /// corrupt lengths cannot trigger huge allocations.
     pub fn seq_len(&mut self) -> Result<usize> {
-        let n = self.u32()? as usize;
+        let n = usize_of_u32(self.u32()?);
         // every element occupies at least one byte in all our encodings
         if n > self.remaining() {
             return Err(MadError::Codec {
@@ -148,6 +148,37 @@ impl<'a> Reader<'a> {
         }
         Ok(n)
     }
+}
+
+/// The `u32` length prefix for an in-memory length. A value this process
+/// holds in memory but cannot express on the wire is a logic error
+/// upstream; a silently wrapped prefix would corrupt every later byte of
+/// the stream, so this fails loudly instead.
+pub fn len_u32(n: usize) -> u32 {
+    // check: allow(panic, "a >= 4 GiB in-memory value cannot round-trip; wrapping the length prefix would corrupt the stream, so fail loudly")
+    u32::try_from(n).expect("value length exceeds the u32 wire prefix")
+}
+
+/// Widen a wire `u32` to an in-memory `usize`. Lossless on every target
+/// with at least 32-bit pointers; on a (hypothetical) smaller target the
+/// saturated value fails the reader's bounds checks instead of wrapping.
+pub fn usize_of_u32(v: u32) -> usize {
+    usize::try_from(v).unwrap_or(usize::MAX)
+}
+
+/// Widen an in-memory count to the wire's `u64`. Lossless on every
+/// supported target (`usize` is at most 64 bits).
+pub fn u64_of_usize(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Narrow a wire `u64` count to an in-memory `usize`, surfacing
+/// [`MadError::Codec`] when the value does not fit this target instead of
+/// silently truncating.
+pub fn usize_of_u64(v: u64) -> Result<usize> {
+    usize::try_from(v).map_err(|_| MadError::Codec {
+        detail: format!("count {v} overflows usize on this target"),
+    })
 }
 
 /// Append a little-endian `u32`.
@@ -162,7 +193,7 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 /// Append a length-prefixed UTF-8 string.
 pub fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+    put_u32(out, len_u32(s.len()));
     out.extend_from_slice(s.as_bytes());
 }
 
@@ -180,7 +211,7 @@ impl BinDecode for String {
 
 impl<T: BinEncode> BinEncode for Vec<T> {
     fn encode(&self, out: &mut Vec<u8>) {
-        put_u32(out, self.len() as u32);
+        put_u32(out, len_u32(self.len()));
         for item in self {
             item.encode(out);
         }
@@ -451,11 +482,11 @@ impl BinDecode for LinkTypeDef {
 impl BinEncode for Schema {
     fn encode(&self, out: &mut Vec<u8>) {
         // only the two type lists travel; the lookup maps are derived state
-        put_u32(out, self.atom_type_count() as u32);
+        put_u32(out, len_u32(self.atom_type_count()));
         for (_, at) in self.atom_types() {
             at.encode(out);
         }
-        put_u32(out, self.link_type_count() as u32);
+        put_u32(out, len_u32(self.link_type_count()));
         for (_, lt) in self.link_types() {
             lt.encode(out);
         }
@@ -564,5 +595,34 @@ mod tests {
     fn unknown_tags_rejected() {
         assert!(Value::from_bytes(&[9]).is_err());
         assert!(AttrType::from_bytes(&[200]).is_err());
+    }
+
+    #[test]
+    fn oversized_declared_lengths_rejected_before_allocation() {
+        // a string prefix claiming u32::MAX bytes over a 2-byte body must
+        // fail in the bounds check, not allocate 4 GiB
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"hi");
+        assert!(matches!(
+            String::from_bytes(&bytes),
+            Err(MadError::Codec { .. })
+        ));
+        // same for a sequence count (seq_len's plausibility cap)
+        let bytes = 0x1000_0000u32.to_le_bytes().to_vec();
+        assert!(matches!(
+            Vec::<Value>::from_bytes(&bytes),
+            Err(MadError::Codec { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_width_helpers() {
+        assert_eq!(len_u32(0), 0);
+        assert_eq!(len_u32(4096), 4096);
+        assert_eq!(usize_of_u32(u32::MAX), u32::MAX as usize);
+        assert_eq!(u64_of_usize(17), 17);
+        assert_eq!(usize_of_u64(42).unwrap(), 42);
+        #[cfg(target_pointer_width = "64")]
+        assert_eq!(usize_of_u64(u64::MAX).unwrap(), u64::MAX as usize);
     }
 }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # mad-model — the MAD data model kernel
 //!
 //! This crate defines the *static* side of the molecule-atom data model (MAD)

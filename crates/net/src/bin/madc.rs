@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `madc` — the MAD client REPL.
 //!
 //! ```text

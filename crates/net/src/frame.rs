@@ -25,7 +25,7 @@
 //! connection is closed with [`MadError::Protocol`], the shared handle is
 //! never touched.
 
-use mad_model::bin::{put_str, put_u32, put_u64, Reader};
+use mad_model::bin::{len_u32, put_str, put_u32, put_u64, u64_of_usize, usize_of_u32, usize_of_u64, Reader};
 use mad_model::{MadError, Result};
 use mad_wal::crc32;
 use std::io::{Read, Write};
@@ -126,7 +126,8 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
         )));
     }
     let mut header = [0u8; FRAME_HEADER];
-    header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    // the MAX_FRAME_LEN guard above keeps the length well inside u32
+    header[0..4].copy_from_slice(&len_u32(payload.len()).to_le_bytes());
     header[4..8].copy_from_slice(&crc32(payload).to_le_bytes());
     w.write_all(&header)
         .and_then(|()| w.write_all(payload))
@@ -145,7 +146,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<FrameIn> {
         ReadOutcome::Eof => return Ok(FrameIn::Closed),
         ReadOutcome::Full => {}
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let len = usize_of_u32(u32::from_le_bytes(header[0..4].try_into().unwrap()));
     let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
     if len > MAX_FRAME_LEN {
         return Err(MadError::protocol(format!(
@@ -350,8 +351,8 @@ fn put_error(out: &mut Vec<u8>, e: &MadError) {
         } => {
             out.push(3);
             put_str(out, context);
-            put_u64(out, *expected as u64);
-            put_u64(out, *found as u64);
+            put_u64(out, u64_of_usize(*expected));
+            put_u64(out, u64_of_usize(*found));
         }
         MadError::IntegrityViolation { detail } => {
             out.push(4);
@@ -377,7 +378,7 @@ fn put_error(out: &mut Vec<u8>, e: &MadError) {
         }
         MadError::Parse { offset, detail } => {
             out.push(9);
-            put_u64(out, *offset as u64);
+            put_u64(out, u64_of_usize(*offset));
             put_str(out, detail);
         }
         MadError::Analysis { detail } => {
@@ -414,7 +415,7 @@ fn put_error(out: &mut Vec<u8>, e: &MadError) {
             source,
         } => {
             out.push(17);
-            put_u64(out, *index as u64);
+            put_u64(out, u64_of_usize(*index));
             put_str(out, statement);
             put_error(out, source);
         }
@@ -449,8 +450,8 @@ fn read_error(r: &mut Reader<'_>, depth: u8) -> Result<MadError> {
         },
         3 => MadError::ArityMismatch {
             context: r.str().map_err(bad_payload)?,
-            expected: r.u64().map_err(bad_payload)? as usize,
-            found: r.u64().map_err(bad_payload)? as usize,
+            expected: usize_of_u64(r.u64().map_err(bad_payload)?).map_err(bad_payload)?,
+            found: usize_of_u64(r.u64().map_err(bad_payload)?).map_err(bad_payload)?,
         },
         4 => MadError::IntegrityViolation {
             detail: r.str().map_err(bad_payload)?,
@@ -470,7 +471,7 @@ fn read_error(r: &mut Reader<'_>, depth: u8) -> Result<MadError> {
             detail: r.str().map_err(bad_payload)?,
         },
         9 => MadError::Parse {
-            offset: r.u64().map_err(bad_payload)? as usize,
+            offset: usize_of_u64(r.u64().map_err(bad_payload)?).map_err(bad_payload)?,
             detail: r.str().map_err(bad_payload)?,
         },
         10 => MadError::Analysis {
@@ -495,7 +496,7 @@ fn read_error(r: &mut Reader<'_>, depth: u8) -> Result<MadError> {
             detail: r.str().map_err(bad_payload)?,
         },
         17 => MadError::Script {
-            index: r.u64().map_err(bad_payload)? as usize,
+            index: usize_of_u64(r.u64().map_err(bad_payload)?).map_err(bad_payload)?,
             statement: r.str().map_err(bad_payload)?,
             source: Box::new(read_error(r, depth + 1)?),
         },

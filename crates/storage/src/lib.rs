@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # mad-storage — the atom-network storage engine
 //!
 //! This crate is the *occurrence* side of the MAD model: it stores atom-type

@@ -19,7 +19,7 @@
 //! happened at commit publication, so replay is deterministic — inserts
 //! re-land on exactly the recorded slots, which recovery verifies.
 
-use mad_model::bin::{put_u32, put_u64, BinDecode, BinEncode, Reader};
+use mad_model::bin::{put_u32, put_u64, usize_of_u32, BinDecode, BinEncode, Reader};
 use mad_model::{AtomId, AtomTypeId, LinkTypeId, MadError, Result, Value};
 use mad_storage::{Database, DatabaseSnapshot};
 
@@ -192,7 +192,7 @@ pub fn apply_op(db: &mut Database, op: &WalOp) -> Result<()> {
             db.delete_atom(*id)?;
         }
         WalOp::UpdateAttr { id, attr, value } => {
-            db.update_attr(*id, *attr as usize, value.clone())?;
+            db.update_attr(*id, usize_of_u32(*attr), value.clone())?;
         }
         WalOp::Connect { lt, side0, side1 } => {
             db.connect(*lt, *side0, *side1)?;
@@ -264,15 +264,15 @@ impl BinDecode for WalRecord {
 /// wrapped length would render the whole log unrecoverable.
 pub fn frame(record: &WalRecord) -> Result<Vec<u8>> {
     let payload = record.to_bytes();
-    if payload.len() > u32::MAX as usize {
+    let Ok(len) = u32::try_from(payload.len()) else {
         return Err(MadError::wal(format!(
             "record payload of {} bytes exceeds the 4 GiB frame limit \
              (checkpoint the database in smaller units)",
             payload.len()
         )));
-    }
+    };
     let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
-    put_u32(&mut out, payload.len() as u32);
+    put_u32(&mut out, len);
     put_u32(&mut out, crc32(&payload));
     out.extend_from_slice(&payload);
     Ok(out)
@@ -300,7 +300,7 @@ pub fn read_frame(buf: &[u8], offset: usize) -> FrameRead {
     if rest.len() < FRAME_HEADER {
         return FrameRead::Torn;
     }
-    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    let len = usize_of_u32(u32::from_le_bytes(rest[0..4].try_into().unwrap()));
     let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
     let Some(payload) = rest.get(FRAME_HEADER..FRAME_HEADER + len) else {
         return FrameRead::Torn;
@@ -337,7 +337,8 @@ pub fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = crc32_table();
     let mut crc = !0u32;
     for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xff) as usize];
+        let idx = ((crc ^ u32::from(b)) & 0xff) as usize; // check: allow(cast, "masked to 0..=255, fits any usize")
+        crc = (crc >> 8) ^ TABLE[idx];
     }
     !crc
 }
@@ -346,7 +347,7 @@ const fn crc32_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
-        let mut c = i as u32;
+        let mut c = i as u32; // check: allow(cast, "const-fn loop index bounded to 0..256; u32::try_from is not const")
         let mut k = 0;
         while k < 8 {
             c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
@@ -368,6 +369,16 @@ mod tests {
         // the classic check value of CRC-32/IEEE
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn oversized_declared_frame_is_torn_not_allocated() {
+        // a header claiming a u32::MAX-byte payload over a short buffer
+        // must classify as torn via the bounds check, not allocate
+        let mut buf = u32::MAX.to_le_bytes().to_vec();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(b"short");
+        assert!(matches!(read_frame(&buf, 0), FrameRead::Torn));
     }
 
     fn sample_ops() -> Vec<WalOp> {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! `madd` — the MAD server daemon.
 //!
 //! ```text

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # mad-workload — fixtures and workload generators
 //!
 //! * [`brazil`] — the hand-built geographic database of Fig. 1/2/4: Brazil's

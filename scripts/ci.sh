@@ -5,14 +5,18 @@
 #   2. full test suite,
 #   3. clippy over the whole workspace with warnings promoted to errors
 #      (vendored shim crates included — they are workspace members),
-#   4. rustdoc, warning-free (every crate carries `//!` module docs),
-#   5. the crash-recovery scenario end to end: mixed workload over a
+#   4. mad-check, the workspace's own static analyzer: lock-hierarchy
+#      order against the normative ARCHITECTURE.md table, crate layering,
+#      the panic/cast ratchets, `#![forbid(unsafe_code)]` coverage and
+#      wire-tag exhaustiveness (see crates/check),
+#   5. rustdoc, warning-free (every crate carries `//!` module docs),
+#   6. the crash-recovery scenario end to end: mixed workload over a
 #      durable handle, kill at a random WAL record boundary, recovery,
 #      prefix-consistency verification (examples/durability.rs),
-#   6. the networked crash scenario on loopback: TCP clients against a
+#   7. the networked crash scenario on loopback: TCP clients against a
 #      durable server, kill mid-traffic, restart, acked-prefix
 #      verification (examples/network.rs),
-#   7. the replication failover scenario on loopback: sync-quorum
+#   8. the replication failover scenario on loopback: sync-quorum
 #      standbys under fault injection, kill the primary mid-traffic,
 #      promote a standby, acked-prefix verification on the promoted
 #      node (examples/failover.rs).
@@ -29,6 +33,9 @@ cargo test --workspace -q
 
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== mad-check (lock order, layering, panic/cast ratchets, wire tags)"
+cargo run --release --quiet -p mad-check
 
 echo "== cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # mad — facade crate
 //!
 //! Re-exports the whole MAD-model workspace under one roof, so that examples,

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! A minimal, dependency-free subset of the `criterion` API.
 //!
 //! The build environment has no network access, so the real crate cannot be
