@@ -98,13 +98,9 @@ fn burst(
     (all, wall)
 }
 
-fn percentile(sorted: &[u64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx] as f64
-}
+// nearest-rank percentile over exact samples, shared with the
+// observability layer (whose histograms bucket the same statistic)
+use mad_obs::percentile_sorted as percentile;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -298,6 +298,19 @@ impl Engine {
         }
     }
 
+    /// A [`Stage::Derivation`] describing how the last derivation over
+    /// the engine's database evaluated: strategy, snapshot reuse vs CSR
+    /// re-freeze, and how many root slots it visited.
+    fn derivation_stage(&self, opts: &DeriveOptions, derived: usize) -> Stage {
+        let (csr_rebuilt, csr_pairs) = self.db.csr_rebuild_stats().unwrap_or((0, 0));
+        Stage::Derivation {
+            strategy: format!("{:?}", opts.strategy),
+            csr_rebuilt,
+            csr_pairs,
+            roots: opts.roots.as_ref().map_or(derived, Vec::len),
+        }
+    }
+
     // ------------------------------------------------------------------
     // α — molecule-type definition (Def. 8)
     // ------------------------------------------------------------------
@@ -318,6 +331,7 @@ impl Engine {
     ) -> Result<MoleculeType> {
         let molecules = derive_molecules(&self.db, &md, opts)?;
         let mut trace = OpTrace::new("α");
+        trace.push(self.derivation_stage(opts, molecules.len()));
         trace.push(Stage::Alpha {
             name: name.to_owned(),
             molecules: molecules.len(),
@@ -383,6 +397,13 @@ impl Engine {
             .filter(|m| qual.qualifies(&self.db, m))
             .collect();
         let mut trace = OpTrace::new("Σ∘α (pushdown)");
+        let (csr_rebuilt, csr_pairs) = self.db.csr_rebuild_stats().unwrap_or((0, 0));
+        trace.push(Stage::Derivation {
+            strategy: format!("{strategy:?}"),
+            csr_rebuilt,
+            csr_pairs,
+            roots: total,
+        });
         trace.push(Stage::OpSpecific(format!(
             "root preselection + qual: {} candidates → {} molecules",
             total,
@@ -1662,10 +1683,14 @@ mod tests {
         let q = QualExpr::cmp_const(0, 0, CmpOp::Eq, "SP");
         let _ = e.define_restricted("t", md, &q, Strategy::PerRoot).unwrap();
         let t = e.trace_log().last().unwrap();
-        assert_eq!(t.stages.len(), 3, "op-specific, prop, alpha");
-        assert!(matches!(t.stages[0], crate::trace::Stage::OpSpecific(_)));
-        assert!(matches!(t.stages[1], crate::trace::Stage::Propagation { .. }));
-        assert!(matches!(t.stages[2], crate::trace::Stage::Alpha { .. }));
+        assert_eq!(t.stages.len(), 4, "derivation, op-specific, prop, alpha");
+        assert!(matches!(
+            t.stages[0],
+            crate::trace::Stage::Derivation { ref strategy, .. } if strategy == "PerRoot"
+        ));
+        assert!(matches!(t.stages[1], crate::trace::Stage::OpSpecific(_)));
+        assert!(matches!(t.stages[2], crate::trace::Stage::Propagation { .. }));
+        assert!(matches!(t.stages[3], crate::trace::Stage::Alpha { .. }));
     }
 
     #[test]

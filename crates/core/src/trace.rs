@@ -31,6 +31,21 @@ pub enum Stage {
         /// Number of molecules in the result occurrence.
         molecules: usize,
     },
+    /// How a derivation evaluated: the strategy chosen and whether the
+    /// CSR adjacency snapshot was reused or re-frozen for it (the
+    /// observability layer renders this in `EXPLAIN ANALYZE`).
+    Derivation {
+        /// The [`crate::Strategy`] the derivation ran under.
+        strategy: String,
+        /// CSR link-type pairs re-frozen for this derivation (0 = full
+        /// snapshot reuse).
+        csr_rebuilt: usize,
+        /// Total CSR link-type pairs in the snapshot.
+        csr_pairs: usize,
+        /// Root slots visited (pre-selected roots under pushdown, the
+        /// whole root type otherwise).
+        roots: usize,
+    },
 }
 
 /// The trace of one operator application.
@@ -81,6 +96,18 @@ impl fmt::Display for OpTrace {
                     f,
                     "  {}. α[{name}] over DB' → {molecules} molecule(s)",
                     i + 1
+                )?,
+                Stage::Derivation {
+                    strategy,
+                    csr_rebuilt,
+                    csr_pairs,
+                    roots,
+                } => writeln!(
+                    f,
+                    "  {}. derivation: strategy {strategy}, CSR {} ({csr_rebuilt}/{csr_pairs} \
+                     pairs re-frozen), {roots} root slot(s)",
+                    i + 1,
+                    if *csr_rebuilt == 0 { "reused" } else { "re-frozen" },
                 )?,
             }
         }

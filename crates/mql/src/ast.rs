@@ -66,6 +66,19 @@ pub enum Statement {
     /// `CHECKPOINT` — fold the write-ahead log into a fresh bootstrap
     /// image of the committed state (durable shared sessions only).
     Checkpoint,
+    /// `SHOW STATS [subsystem] [AS JSON]` — render the deployment's
+    /// metrics registry (optionally one subsystem: `txn`, `wal`, `repl`,
+    /// `mql`, `net`…; `AS JSON` for the machine-readable variant).
+    ShowStats {
+        /// Subsystem prefix filter, when given.
+        subsystem: Option<String>,
+        /// Render as one JSON object instead of the text table.
+        json: bool,
+    },
+    /// `EXPLAIN ANALYZE <stmt>` — **execute** the statement (DML
+    /// included) and render its per-stage timing trace alongside the
+    /// result.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// `SELECT projection FROM from [WHERE expr]`.

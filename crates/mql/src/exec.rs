@@ -10,6 +10,8 @@ use mad_core::qual::QualExpr;
 use mad_core::recursive::{derive_recursive, RecursiveMolecule, RecursiveSpec};
 use mad_core::structure::MoleculeStructure;
 use mad_model::{AtomId, FxHashMap, MadError, Result, Value};
+use mad_obs::trace::{StageKind, StageTimer};
+use mad_obs::StmtTrace;
 use mad_storage::database::Direction;
 use mad_storage::Database;
 use mad_txn::Transaction;
@@ -65,6 +67,18 @@ pub enum StatementResult {
     Aborted,
     /// CHECKPOINT folded the write-ahead log into a fresh bootstrap image.
     Checkpointed(mad_txn::CheckpointStats),
+    /// SHOW STATS rendered the metrics registry (the session pre-renders
+    /// it, since only the session knows which registry the deployment
+    /// shares).
+    Stats(String),
+    /// EXPLAIN ANALYZE executed the inner statement and captured its
+    /// per-stage timing trace.
+    Analyzed {
+        /// The inner statement's own result.
+        inner: Box<StatementResult>,
+        /// The recorded per-stage timings.
+        trace: StmtTrace,
+    },
 }
 
 /// The write side of DML execution: either a [`Database`] mutated directly
@@ -269,6 +283,9 @@ pub fn execute(
                 "transaction control statements are handled by the session",
             ))
         }
+        Statement::ShowStats { .. } | Statement::ExplainAnalyze(_) => Err(MadError::txn_state(
+            "observability statements are handled by the session",
+        )),
     }
 }
 
@@ -391,6 +408,7 @@ fn execute_select(
     // The engine picks the strategy: bitset derivation over the CSR
     // snapshot by default, overridable per session.
     let strategy = engine.preferred_strategy();
+    let dt = StageTimer::start(StageKind::Derive);
     let mt = match &sel.where_clause {
         Some(w) => {
             let qual = analyze_expr(engine.db().schema(), &md, w)?;
@@ -398,6 +416,19 @@ fn execute_select(
         }
         None => engine.define_with(&name, md, &DeriveOptions::with_strategy(strategy))?,
     };
+    if dt.is_timing() {
+        let (csr_rebuilt, csr_pairs) = engine.db().csr_rebuild_stats().unwrap_or((0, 0));
+        dt.finish_with(
+            Some(format!("{strategy:?}")),
+            &[
+                ("csr_rebuilt", mad_model::bin::u64_of_usize(csr_rebuilt)),
+                ("csr_pairs", mad_model::bin::u64_of_usize(csr_pairs)),
+                ("molecules", mad_model::bin::u64_of_usize(mt.len())),
+            ],
+        );
+    } else {
+        dt.finish();
+    }
     // SELECT list → Π
     let mt = apply_projection(engine, mt, &sel.projection)?;
     Ok(StatementResult::Molecules(mt))

@@ -1,7 +1,10 @@
 //! Rendering of MQL statement results for terminal output.
 
 use crate::exec::StatementResult;
+use mad_model::json::Json;
+use mad_obs::MetricValue;
 use mad_storage::Database;
+use std::fmt::Write as _;
 
 /// Render a statement result as human-readable text (molecule sets come
 /// out as indented trees, Fig.-2 style).
@@ -62,7 +65,65 @@ pub fn render_result(db: &Database, result: &StatementResult) -> String {
             "checkpointed: write-ahead log {} -> {} bytes (image at commit {})\n",
             stats.bytes_before, stats.bytes_after, stats.base_seq
         ),
+        StatementResult::Stats(text) => text.clone(),
+        StatementResult::Analyzed { inner, trace } => {
+            let mut out = render_result(db, inner);
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str(&trace.render());
+            out
+        }
     }
+}
+
+/// Render a registry snapshot as an aligned name/value table (the
+/// `SHOW STATS` default).
+pub fn stats_table(snap: &[(String, MetricValue)]) -> String {
+    if snap.is_empty() {
+        return "no metrics recorded\n".to_owned();
+    }
+    let width = snap.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in snap {
+        let _ = match value {
+            MetricValue::Counter(n) | MetricValue::Gauge(n) => {
+                writeln!(out, "{name:<width$}  {n}")
+            }
+            MetricValue::Text(s) => writeln!(out, "{name:<width$}  {s}"),
+            MetricValue::Hist(h) => writeln!(out, "{name:<width$}  {h}"),
+        };
+    }
+    out
+}
+
+/// Render a registry snapshot as one JSON object (`SHOW STATS … AS JSON`):
+/// counters and gauges become integers, text metrics strings, histograms
+/// objects carrying count/sum/max and the estimated percentiles.
+pub fn stats_json(snap: &[(String, MetricValue)]) -> String {
+    let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
+    let members = snap
+        .iter()
+        .map(|(name, value)| {
+            let v = match value {
+                MetricValue::Counter(n) | MetricValue::Gauge(n) => int(*n),
+                MetricValue::Text(s) => Json::Str(s.clone()),
+                MetricValue::Hist(h) => Json::Obj(vec![
+                    ("count".to_owned(), int(h.count)),
+                    ("sum".to_owned(), int(h.sum)),
+                    ("mean".to_owned(), int(h.mean())),
+                    ("p50".to_owned(), int(h.p50())),
+                    ("p90".to_owned(), int(h.p90())),
+                    ("p99".to_owned(), int(h.p99())),
+                    ("max".to_owned(), int(h.max)),
+                ]),
+            };
+            (name.clone(), v)
+        })
+        .collect();
+    let mut text = Json::Obj(members).render_pretty();
+    text.push('\n');
+    text
 }
 
 #[cfg(test)]

@@ -39,6 +39,10 @@ pub enum Kw {
     Update,
     Set,
     Explain,
+    Analyze,
+    Show,
+    Stats,
+    Json,
     Recursive,
     Down,
     Up,
@@ -84,6 +88,10 @@ fn keyword(s: &str) -> Option<Kw> {
         "UPDATE" => Kw::Update,
         "SET" => Kw::Set,
         "EXPLAIN" => Kw::Explain,
+        "ANALYZE" => Kw::Analyze,
+        "SHOW" => Kw::Show,
+        "STATS" => Kw::Stats,
+        "JSON" => Kw::Json,
         "RECURSIVE" => Kw::Recursive,
         "DOWN" => Kw::Down,
         "UP" => Kw::Up,

@@ -95,11 +95,41 @@ impl<'a> Parser<'a> {
     /// Parse one complete statement (an optional trailing `;` is consumed;
     /// leftover tokens are an error).
     pub fn parse_statement(&mut self) -> Result<Statement> {
+        let stmt = self.statement_body()?;
+        self.eat(&Tok::Semi);
+        if self.pos != self.tokens.len() {
+            return Err(self.err("unexpected trailing tokens"));
+        }
+        Ok(stmt)
+    }
+
+    /// The statement dispatch proper, without the trailing-token check —
+    /// `EXPLAIN ANALYZE` recurses into this for its inner statement.
+    fn statement_body(&mut self) -> Result<Statement> {
         let stmt = match self.peek() {
             Some(Tok::Kw(Kw::Select)) => Statement::Select(self.select()?),
             Some(Tok::Kw(Kw::Explain)) => {
                 self.pos += 1;
-                Statement::Explain(self.select()?)
+                if self.eat_kw(Kw::Analyze) {
+                    Statement::ExplainAnalyze(Box::new(self.statement_body()?))
+                } else {
+                    Statement::Explain(self.select()?)
+                }
+            }
+            Some(Tok::Kw(Kw::Show)) => {
+                self.pos += 1;
+                self.expect_kw(Kw::Stats, "STATS")?;
+                let subsystem = match self.peek() {
+                    Some(Tok::Ident(_)) => Some(self.ident("subsystem name")?),
+                    _ => None,
+                };
+                let json = if self.eat_kw(Kw::As) {
+                    self.expect_kw(Kw::Json, "JSON")?;
+                    true
+                } else {
+                    false
+                };
+                Statement::ShowStats { subsystem, json }
             }
             Some(Tok::Kw(Kw::Define)) => self.define()?,
             Some(Tok::Kw(Kw::Insert)) => self.insert()?,
@@ -126,10 +156,6 @@ impl<'a> Parser<'a> {
             }
             _ => return Err(self.err("expected a statement keyword")),
         };
-        self.eat(&Tok::Semi);
-        if self.pos != self.tokens.len() {
-            return Err(self.err("unexpected trailing tokens"));
-        }
         Ok(stmt)
     }
 

@@ -27,9 +27,14 @@ use crate::exec::{execute, execute_dml, is_dml, StatementResult};
 use mad_core::derive::Strategy;
 use mad_core::ops::Engine;
 use mad_core::structure::MoleculeStructure;
+use mad_model::bin::u64_of_usize;
 use mad_model::{FxHashMap, MadError, Result};
+use mad_obs::trace::{self, StageKind, StageTimer};
+use mad_obs::{Counter, Histogram, Registry, StmtTrace};
 use mad_storage::Database;
 use mad_txn::{CommitInfo, DbHandle, Transaction};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// The open transaction of a session: the overlay plus a query engine over
 /// a fork of the overlay view (kept so consecutive in-transaction SELECTs
@@ -38,6 +43,28 @@ struct ActiveTxn {
     handle: DbHandle,
     txn: Transaction,
     qe: Engine,
+}
+
+/// The session's MQL-layer metrics, registered in the deployment's
+/// [`Registry`] (handles are cached so the per-statement hot path never
+/// touches the registry's map lock).
+struct MqlMetrics {
+    /// `mql.stmt_ns` — wall time per executed statement.
+    stmt_ns: Arc<Histogram>,
+    /// `mql.statements` — statements executed (errors included).
+    statements: Counter,
+    /// `mql.errors` — statements that returned an error.
+    errors: Counter,
+}
+
+impl MqlMetrics {
+    fn new(obs: &Registry) -> Self {
+        MqlMetrics {
+            stmt_ns: obs.histogram("mql.stmt_ns"),
+            statements: obs.counter("mql.statements"),
+            errors: obs.counter("mql.errors"),
+        }
+    }
 }
 
 /// An MQL session.
@@ -51,29 +78,42 @@ pub struct Session {
     base_seq: u64,
     /// The open explicit transaction, if any.
     txn: Option<ActiveTxn>,
+    /// The metrics registry this session reports into: the shared handle's
+    /// deployment registry, or a private one in single-owner mode.
+    obs: Registry,
+    /// Cached metric handles (no registry lock on the statement path).
+    metrics: MqlMetrics,
 }
 
 impl Session {
     /// Open a single-owner session over a database.
     pub fn new(db: Database) -> Self {
+        let obs = Registry::new();
+        let metrics = MqlMetrics::new(&obs);
         Session {
             engine: Engine::new(db),
             catalog: FxHashMap::default(),
             shared: None,
             base_seq: 0,
             txn: None,
+            obs,
+            metrics,
         }
     }
 
     /// Open a single-owner session over an existing engine (keeps its
     /// provenance/trace).
     pub fn with_engine(engine: Engine) -> Self {
+        let obs = Registry::new();
+        let metrics = MqlMetrics::new(&obs);
         Session {
             engine,
             catalog: FxHashMap::default(),
             shared: None,
             base_seq: 0,
             txn: None,
+            obs,
+            metrics,
         }
     }
 
@@ -82,13 +122,24 @@ impl Session {
     /// consistent committed snapshots and commits through `mad_txn`.
     pub fn shared(handle: DbHandle) -> Self {
         let (db, base_seq) = handle.fork();
+        let obs = handle.obs().clone();
+        let metrics = MqlMetrics::new(&obs);
         Session {
             engine: Engine::new(db),
             catalog: FxHashMap::default(),
             shared: Some(handle),
             base_seq,
             txn: None,
+            obs,
+            metrics,
         }
+    }
+
+    /// The metrics registry this session reports into — the shared
+    /// deployment's registry ([`DbHandle::obs`]) in shared mode, a private
+    /// per-session one otherwise. `SHOW STATS` renders exactly this.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// The shared handle this session serves, if it is in shared mode.
@@ -167,7 +218,27 @@ impl Session {
 
     /// Parse and execute one MQL statement.
     pub fn execute(&mut self, mql: &str) -> Result<StatementResult> {
-        let stmt = crate::parse(mql)?;
+        let started = Instant::now();
+        let result = self.lex_parse_execute(mql);
+        self.metrics
+            .stmt_ns
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        self.metrics.statements.inc();
+        if result.is_err() {
+            self.metrics.errors.inc();
+        }
+        result
+    }
+
+    /// Lex, parse, execute — each front phase under its own trace stage
+    /// (free when no statement trace is active).
+    fn lex_parse_execute(&mut self, mql: &str) -> Result<StatementResult> {
+        let lt = StageTimer::start(StageKind::Lex);
+        let tokens = crate::lexer::lex(mql)?;
+        lt.finish_info(&[("tokens", u64_of_usize(tokens.len()))]);
+        let pt = StageTimer::start(StageKind::Parse);
+        let stmt = crate::parser::Parser::new(&tokens).parse_statement()?;
+        pt.finish();
         self.execute_statement(&stmt)
     }
 
@@ -182,6 +253,10 @@ impl Session {
             }),
             Statement::Abort => self.abort().map(|_| StatementResult::Aborted),
             Statement::Checkpoint => self.checkpoint().map(StatementResult::Checkpointed),
+            Statement::ShowStats { subsystem, json } => {
+                self.show_stats(subsystem.as_deref(), *json)
+            }
+            Statement::ExplainAnalyze(inner) => self.explain_analyze(inner),
             _ if self.txn.is_some() => self.execute_in_txn(stmt),
             _ if self.shared.is_some() && is_dml(stmt) => self.execute_autocommit_dml(stmt),
             _ => {
@@ -189,6 +264,50 @@ impl Session {
                 execute(&mut self.engine, &mut self.catalog, stmt)
             }
         }
+    }
+
+    /// `SHOW STATS [subsystem] [AS JSON]`: snapshot the registry (polling
+    /// every live gauge) and render it.
+    fn show_stats(&self, subsystem: Option<&str>, json: bool) -> Result<StatementResult> {
+        let snap = self.obs.snapshot(subsystem);
+        if snap.is_empty() {
+            if let Some(s) = subsystem {
+                return Err(MadError::unknown("stats subsystem", s));
+            }
+        }
+        let text = if json {
+            crate::format::stats_json(&snap)
+        } else {
+            crate::format::stats_table(&snap)
+        };
+        Ok(StatementResult::Stats(text))
+    }
+
+    /// `EXPLAIN ANALYZE <stmt>`: execute the inner statement under a
+    /// statement trace and return its result together with the recorded
+    /// stage timings. If an enclosing trace is already active (a network
+    /// front-end traces every statement), the analysis piggybacks on it —
+    /// the snapshot is taken without deactivating, so the outer trace still
+    /// reaches the server's histograms and slow-query log.
+    fn explain_analyze(&mut self, inner: &Statement) -> Result<StatementResult> {
+        if matches!(inner, Statement::ExplainAnalyze(_)) {
+            return Err(MadError::Analysis {
+                detail: "EXPLAIN ANALYZE does not nest".into(),
+            });
+        }
+        let owned = !trace::is_active();
+        if owned {
+            trace::begin();
+        }
+        let result = self.execute_statement(inner);
+        let trace = trace::snapshot().unwrap_or_default();
+        if owned {
+            trace::take();
+        }
+        Ok(StatementResult::Analyzed {
+            inner: Box::new(result?),
+            trace,
+        })
     }
 
     /// Parse and execute one MQL statement, returning the result rendered
@@ -199,6 +318,20 @@ impl Session {
     pub fn execute_rendered(&mut self, mql: &str) -> Result<String> {
         let result = self.execute(mql)?;
         Ok(crate::format::render_result(self.db(), &result))
+    }
+
+    /// [`Session::execute_rendered`] under a per-statement trace: begins a
+    /// statement trace, executes, and returns the rendered result together
+    /// with the taken trace (text and total filled in). Network front-ends
+    /// use this to feed latency histograms and the slow-query log; the
+    /// trace is returned even when the statement failed.
+    pub fn execute_rendered_traced(&mut self, mql: &str) -> (Result<String>, StmtTrace) {
+        trace::begin();
+        let result = self.execute(mql);
+        let rendered = result.map(|r| crate::format::render_result(self.db(), &r));
+        let mut t = trace::take().unwrap_or_default();
+        t.text = mql.trim().to_owned();
+        (rendered, t)
     }
 
     /// Execute a script of `;`-separated statements, returning every result.
@@ -1004,6 +1137,98 @@ mod tests {
         assert!(text.contains("ghost"), "got: {text}");
         // statement 0 did execute, statement 2 did not
         assert_eq!(s.db().atom_count(s.db().schema().atom_type_id("state").unwrap()), 3);
+    }
+
+    #[test]
+    fn show_stats_renders_table_and_json() {
+        let mut s = session();
+        s.execute("SELECT ALL FROM state-area").unwrap();
+        // table form: the mql subsystem has recorded the statement
+        let r = s.execute("SHOW STATS").unwrap();
+        let StatementResult::Stats(text) = r else {
+            panic!("expected Stats, got {r:?}")
+        };
+        assert!(text.contains("mql.statements"), "got: {text}");
+        assert!(text.contains("mql.stmt_ns"), "got: {text}");
+        // subsystem filter narrows to the prefix
+        let StatementResult::Stats(text) = s.execute("SHOW STATS mql").unwrap() else {
+            panic!()
+        };
+        assert!(text.lines().all(|l| l.starts_with("mql.")), "got: {text}");
+        // machine-readable variant round-trips through the JSON parser
+        let StatementResult::Stats(text) = s.execute("SHOW STATS AS JSON").unwrap() else {
+            panic!()
+        };
+        let json = mad_model::json::Json::parse(&text).unwrap();
+        let hist = json.get("mql.stmt_ns").unwrap();
+        assert!(matches!(hist.get("count").unwrap(), mad_model::json::Json::Int(n) if *n >= 1));
+        // unknown subsystem errors cleanly
+        assert!(s.execute("SHOW STATS ghost").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_times_stages() {
+        let mut s = session();
+        let r = s
+            .execute("EXPLAIN ANALYZE SELECT ALL FROM state-area-edge WHERE state.sname = 'SP'")
+            .unwrap();
+        let StatementResult::Analyzed { inner, trace } = r else {
+            panic!("expected Analyzed, got {r:?}")
+        };
+        let StatementResult::Molecules(mt) = *inner else {
+            panic!("inner result must be the executed SELECT")
+        };
+        assert_eq!(mt.len(), 1);
+        assert_eq!(trace.stage_count(trace::StageKind::Derive), 1);
+        assert!(trace.stage_ns(trace::StageKind::Derive) > 0);
+        let text = trace.render();
+        assert!(text.contains("derive"), "got: {text}");
+        assert!(text.contains("molecules="), "got: {text}");
+        // DML is executed too (ANALYZE is not a dry run)
+        let r = s
+            .execute("EXPLAIN ANALYZE INSERT ATOM state (sname = 'RJ', hectare = 1.0)")
+            .unwrap();
+        assert!(matches!(r, StatementResult::Analyzed { .. }));
+        let mt = molecules(s.execute("SELECT ALL FROM state WHERE state.sname = 'RJ'").unwrap());
+        assert_eq!(mt.len(), 1, "the analyzed INSERT committed");
+        // nesting is rejected
+        assert!(s.execute("EXPLAIN ANALYZE EXPLAIN ANALYZE SELECT ALL FROM state").is_err());
+    }
+
+    #[test]
+    fn explain_analyze_times_commit_stages_in_shared_mode() {
+        let handle = DbHandle::new(mini_geo());
+        let mut s = Session::shared(handle);
+        let r = s
+            .execute("EXPLAIN ANALYZE UPDATE state[sname='SP'] SET hectare = 2.0")
+            .unwrap();
+        let StatementResult::Analyzed { trace, .. } = r else {
+            panic!()
+        };
+        assert_eq!(
+            trace.stage_count(trace::StageKind::Validate),
+            1,
+            "autocommit DML validates once: {}",
+            trace.render()
+        );
+        // the shared registry accumulates commit counters
+        let StatementResult::Stats(text) = s.execute("SHOW STATS txn").unwrap() else {
+            panic!()
+        };
+        assert!(text.contains("txn.commits"), "got: {text}");
+    }
+
+    #[test]
+    fn rendered_traced_returns_trace_even_on_error() {
+        let mut s = session();
+        let (ok, t) = s.execute_rendered_traced("SELECT ALL FROM state-area");
+        assert!(ok.unwrap().contains("state"));
+        assert_eq!(t.text, "SELECT ALL FROM state-area");
+        assert!(t.total_ns > 0);
+        assert!(t.stage_count(trace::StageKind::Lex) == 1 && t.stage_count(trace::StageKind::Parse) == 1);
+        let (err, t) = s.execute_rendered_traced("SELECT ALL FROM ghost");
+        assert!(err.is_err());
+        assert!(t.total_ns > 0, "failed statements are traced too");
     }
 
     #[test]

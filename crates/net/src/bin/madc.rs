@@ -8,7 +8,9 @@
 //! ```
 //!
 //! Statements end with `;` and may span lines; `--` starts a line
-//! comment. REPL commands: `\q` quits, `\ping` probes the server. Each
+//! comment. REPL commands: `\q` quits, `\ping` probes the server,
+//! `\stats [SUBSYSTEM]` renders the server's metrics registry (shorthand
+//! for `SHOW STATS …;`). Each
 //! `madc` process is one server-side session, so `BEGIN; … COMMIT;`
 //! behaves transactionally across inputs — and like
 //! `Session::execute_script`, a failing statement stops the rest of its
@@ -57,7 +59,7 @@ fn main() {
         info.commit_seq,
         if info.durable { "durable" } else { "in-memory" }
     );
-    println!("statements end with `;`   \\ping probes   \\q quits");
+    println!("statements end with `;`   \\ping probes   \\stats shows metrics   \\q quits");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
@@ -76,6 +78,19 @@ fn main() {
             "\\ping" => {
                 match client.ping() {
                     Ok(()) => println!("pong"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+                continue;
+            }
+            cmd if cmd.starts_with("\\stats") => {
+                let subsystem = cmd.trim_start_matches("\\stats").trim();
+                let stmt = if subsystem.is_empty() {
+                    "SHOW STATS".to_owned()
+                } else {
+                    format!("SHOW STATS {subsystem}")
+                };
+                match client.execute(&stmt) {
+                    Ok(text) => print!("{text}"),
                     Err(e) => eprintln!("error: {e}"),
                 }
                 continue;

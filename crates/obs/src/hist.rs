@@ -1,0 +1,341 @@
+//! Fixed-bucket log-scale histograms with percentile readout.
+//!
+//! A [`Histogram`] has 65 power-of-two buckets: bucket 0 holds the value
+//! 0, bucket `i ≥ 1` holds values whose bit length is `i`, i.e. the range
+//! `[2^(i-1), 2^i)`. Recording is one atomic add per sample (plus
+//! count/sum/max bookkeeping) — no locks, no allocation — so histograms
+//! can stay enabled on the hottest paths. Percentiles read out of a
+//! [`HistSnapshot`] are bucket-resolution estimates: the reported value
+//! is the inclusive upper bound of the bucket containing the requested
+//! rank, clamped to the exact recorded maximum, so the estimate `e` of a
+//! true quantile `q` satisfies `q ≤ e < 2q`.
+//!
+//! [`percentile_sorted`] is the exact nearest-rank percentile over a
+//! sorted sample set, promoted from the B10 network bench so benches and
+//! live metrics share one definition.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// Exact nearest-rank percentile of an already-sorted slice.
+///
+/// `p` is a fraction in `[0, 1]`; an empty slice reads as `0.0`. This is
+/// the definition the network bench has always used for its reported
+/// `p50_ns`/`p99_ns` figures.
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted.get(idx).copied().unwrap_or(0) as f64
+}
+
+/// Bucket index for a value: 0 for 0, else the value's bit length.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the largest value it can hold).
+fn bucket_ceil(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrently-recordable log-scale histogram.
+///
+/// All methods take `&self`; recording uses only relaxed atomics. The
+/// sum wraps on overflow (2^64 ns ≈ 584 years of accumulated latency)
+/// rather than panicking.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        if let Some(b) = self.buckets.get(bucket_of(v)) {
+            b.fetch_add(1, Relaxed);
+        }
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// A point-in-time copy of the counts.
+    ///
+    /// Concurrent recording makes the snapshot *per-field* consistent,
+    /// not globally atomic — good enough for monitoring readout.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
+        }
+    }
+
+    /// Reset every bucket and the count/sum/max to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], with percentile readout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket sample counts (see the module docs for the bucketing).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Exact largest sample.
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot { buckets: [0; BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistSnapshot {
+    /// Nearest-rank quantile estimate at bucket resolution.
+    ///
+    /// Returns the inclusive upper bound of the bucket holding the
+    /// requested rank, clamped to the exact recorded max; `0` when
+    /// empty. Uses the same nearest-rank rule as [`percentile_sorted`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen > rank {
+                return bucket_ceil(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded samples (`0` when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Fold another snapshot into this one.
+    ///
+    /// Merging snapshots of two histograms yields exactly the snapshot
+    /// of a histogram that recorded the concatenation of both sample
+    /// sets (the property test in this module pins that law).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst = dst.wrapping_add(*src);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Display for HistSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "count={} mean={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // ceil(i) is the largest value bucket i holds, and ceil(i)+1 the
+        // smallest value of bucket i+1
+        for i in 0..64 {
+            assert_eq!(bucket_of(bucket_ceil(i)), i, "ceil({i}) stays in bucket");
+            assert_eq!(bucket_of(bucket_ceil(i) + 1), i + 1);
+        }
+        assert_eq!(bucket_of(bucket_ceil(64)), 64);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        // 100 samples: 1..=100 µs in nanoseconds
+        let h = Histogram::new();
+        let mut exact: Vec<u64> = (1..=100u64).map(|v| v * 1_000).collect();
+        for &v in &exact {
+            h.record(v);
+        }
+        exact.sort_unstable();
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100_000);
+        assert_eq!(s.mean(), exact.iter().sum::<u64>() / 100);
+        // log-scale buckets bound the estimate to [q, 2q)
+        for (q, p) in [(0.50, s.p50()), (0.90, s.p90()), (0.99, s.p99())] {
+            let truth = percentile_sorted(&exact, q) as u64;
+            assert!(p >= truth, "q{q}: estimate {p} below exact {truth}");
+            assert!(p < truth * 2, "q{q}: estimate {p} ≥ 2× exact {truth}");
+        }
+        // p100 is exact by the max clamp
+        assert_eq!(s.quantile(1.0), 100_000);
+    }
+
+    #[test]
+    fn single_value_distribution_reads_exactly() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(46_000);
+        }
+        let s = h.snapshot();
+        // every quantile clamps to the exact max
+        assert_eq!(s.p50(), 46_000);
+        assert_eq!(s.p99(), 46_000);
+        assert_eq!(s.mean(), 46_000);
+    }
+
+    #[test]
+    fn percentile_sorted_matches_bench_semantics() {
+        assert_eq!(percentile_sorted(&[], 0.5), 0.0);
+        assert_eq!(percentile_sorted(&[7], 0.99), 7.0);
+        let v: Vec<u64> = (0..=100).collect();
+        assert_eq!(percentile_sorted(&v, 0.0), 0.0);
+        assert_eq!(percentile_sorted(&v, 0.5), 50.0);
+        assert_eq!(percentile_sorted(&v, 1.0), 100.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.snapshot(), HistSnapshot::default());
+    }
+
+    proptest! {
+        #[test]
+        fn recording_never_panics_and_is_counted(vs in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let h = Histogram::new();
+            for &v in &vs {
+                h.record(v);
+            }
+            let s = h.snapshot();
+            prop_assert_eq!(s.count, vs.len() as u64);
+            prop_assert_eq!(s.max, vs.iter().copied().max().unwrap_or(0));
+            prop_assert_eq!(s.buckets.iter().sum::<u64>(), vs.len() as u64);
+            // quantile readout is defined on every input
+            for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+                let e = s.quantile(q);
+                prop_assert!(e <= s.max);
+            }
+        }
+
+        #[test]
+        fn merge_equals_histogram_of_concatenation(
+            a in proptest::collection::vec(0u64..1_000_000, 0..100),
+            b in proptest::collection::vec(0u64..1_000_000, 0..100),
+        ) {
+            let ha = Histogram::new();
+            let hb = Histogram::new();
+            let hc = Histogram::new();
+            for &v in &a {
+                ha.record(v);
+                hc.record(v);
+            }
+            for &v in &b {
+                hb.record(v);
+                hc.record(v);
+            }
+            let mut merged = ha.snapshot();
+            merged.merge(&hb.snapshot());
+            prop_assert_eq!(merged, hc.snapshot());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! A bounded ring buffer of slow-statement traces.
+//!
+//! The network server owns one [`SlowLog`] per listener: while a
+//! threshold is configured every statement is traced, and traces whose
+//! total time crosses it are pushed into the ring (oldest entries
+//! evicted — memory use is bounded no matter how hot the server runs).
+//! With no threshold the server skips stage tracing entirely, so an
+//! unobserved server pays nothing for the machinery. `SHOW STATS net`
+//! renders the current contents; `madd --slow-query-ms` sets the
+//! threshold at startup.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::trace::{fmt_ns, StmtTrace};
+
+/// One slow statement: which connection ran it, and its full trace.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Server connection id.
+    pub conn: u64,
+    /// The statement's stage trace (text filled in).
+    pub trace: StmtTrace,
+}
+
+/// Threshold-gated ring buffer of [`SlowEntry`]s.
+#[derive(Debug)]
+pub struct SlowLog {
+    cap: usize,
+    threshold_ns: AtomicU64,
+    recorded: AtomicU64,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A log keeping at most `cap` entries, recording statements at or
+    /// above `threshold` (`None` disables recording).
+    pub fn new(cap: usize, threshold: Option<Duration>) -> Self {
+        SlowLog {
+            cap: cap.max(1),
+            threshold_ns: AtomicU64::new(threshold_ns_of(threshold)),
+            recorded: AtomicU64::new(0),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Current threshold (`None` when disabled).
+    pub fn threshold(&self) -> Option<Duration> {
+        match self.threshold_ns.load(Relaxed) {
+            u64::MAX => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Change the threshold at runtime.
+    pub fn set_threshold(&self, threshold: Option<Duration>) {
+        self.threshold_ns.store(threshold_ns_of(threshold), Relaxed);
+    }
+
+    /// Record `trace` if it crosses the threshold; returns whether it
+    /// was kept. The cheap early-out (one atomic load and a compare)
+    /// is the per-statement cost on a fast server.
+    pub fn offer(&self, conn: u64, trace: &StmtTrace) -> bool {
+        let threshold = self.threshold_ns.load(Relaxed);
+        if threshold == u64::MAX || trace.total_ns < threshold {
+            return false;
+        }
+        self.recorded.fetch_add(1, Relaxed);
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        while entries.len() >= self.cap {
+            entries.pop_front();
+        }
+        entries.push_back(SlowEntry { conn, trace: clone_for_log(trace) });
+        true
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of entries currently held (≤ the cap).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner).len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total statements ever recorded (monotonic; not capped).
+    pub fn total_recorded(&self) -> u64 {
+        self.recorded.load(Relaxed)
+    }
+
+    /// Compact one-line-per-entry rendering for `SHOW STATS`.
+    pub fn render(&self) -> String {
+        let entries = self.entries();
+        if entries.is_empty() {
+            return "(empty)".to_owned();
+        }
+        let mut out = String::new();
+        for e in &entries {
+            let mut text: String = e.trace.text.split_whitespace().collect::<Vec<_>>().join(" ");
+            if text.len() > 80 {
+                text.truncate(77);
+                text.push_str("...");
+            }
+            let stages: Vec<String> = e
+                .trace
+                .stages
+                .iter()
+                .map(|s| format!("{}={}", s.kind.as_str(), fmt_ns(s.nanos)))
+                .collect();
+            out.push_str(&format!(
+                "conn {} {} [{}] {}\n",
+                e.conn,
+                fmt_ns(e.trace.total_ns),
+                stages.join(" "),
+                text,
+            ));
+        }
+        out
+    }
+}
+
+fn threshold_ns_of(threshold: Option<Duration>) -> u64 {
+    match threshold {
+        // saturate: a threshold of centuries means "disabled" anyway
+        Some(d) => u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+        None => u64::MAX,
+    }
+}
+
+fn clone_for_log(trace: &StmtTrace) -> StmtTrace {
+    let mut t = trace.clone();
+    // bound per-entry memory even for pathological statements
+    if t.text.len() > 1024 {
+        let mut cut = 1024;
+        while !t.text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        t.text.truncate(cut);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{StageKind, StageRec};
+
+    fn trace(total_ns: u64, text: &str) -> StmtTrace {
+        StmtTrace {
+            text: text.to_owned(),
+            total_ns,
+            stages: vec![StageRec {
+                kind: StageKind::Parse,
+                nanos: total_ns / 2,
+                note: None,
+                info: vec![],
+            }],
+        }
+    }
+
+    #[test]
+    fn threshold_gates_recording() {
+        let log = SlowLog::new(8, Some(Duration::from_millis(1)));
+        assert!(!log.offer(1, &trace(999_999, "fast")));
+        assert!(log.offer(1, &trace(1_000_000, "slow")));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.total_recorded(), 1);
+        assert!(log.render().contains("slow"));
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = SlowLog::new(8, None);
+        assert!(log.threshold().is_none());
+        assert!(!log.offer(1, &trace(u64::MAX, "glacial")));
+        assert!(log.is_empty());
+        log.set_threshold(Some(Duration::ZERO));
+        assert!(log.offer(1, &trace(0, "anything")));
+    }
+
+    #[test]
+    fn ring_caps_and_evicts_oldest() {
+        let log = SlowLog::new(3, Some(Duration::ZERO));
+        for i in 0..10u64 {
+            log.offer(i, &trace(100, &format!("stmt {i}")));
+        }
+        assert_eq!(log.len(), 3, "bounded despite 10 offers");
+        assert_eq!(log.total_recorded(), 10);
+        let conns: Vec<u64> = log.entries().iter().map(|e| e.conn).collect();
+        assert_eq!(conns, [7, 8, 9], "oldest evicted first");
+    }
+
+    #[test]
+    fn giant_statement_text_is_truncated() {
+        let log = SlowLog::new(2, Some(Duration::ZERO));
+        log.offer(1, &trace(100, &"x".repeat(10_000)));
+        let kept = log.entries().remove(0);
+        assert!(kept.trace.text.len() <= 1024);
+    }
+}

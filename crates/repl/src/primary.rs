@@ -10,9 +10,29 @@ use std::collections::HashMap;
 use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Register the primary's `repl.primary.*` poll-gauges in the served
+/// handle's registry. Only a [`Weak`] of the shared state is captured, so
+/// a shut-down primary's rows disappear at the next snapshot.
+fn register_primary_gauges(shared: &Arc<Shared>) {
+    let obs = shared.handle.obs().clone();
+    {
+        let w: Weak<Shared> = Arc::downgrade(shared);
+        obs.gauge("repl.primary.attached", move || {
+            w.upgrade()
+                .map(|s| mad_model::bin::u64_of_usize(s.attached.load(Ordering::SeqCst)))
+        });
+    }
+    {
+        let w: Weak<Shared> = Arc::downgrade(shared);
+        obs.gauge("repl.primary.streamed", move || {
+            w.upgrade().map(|s| s.streamed.load(Ordering::SeqCst))
+        });
+    }
+}
 
 /// How long the live-stream sender waits on the commit feed before
 /// re-checking the stop flag.
@@ -79,6 +99,7 @@ impl ReplPrimary {
             attached: AtomicUsize::new(0),
             streamed: AtomicU64::new(0),
         });
+        register_primary_gauges(&shared);
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let shared = Arc::clone(&shared);

@@ -55,6 +55,11 @@ struct Shared {
     conn: Mutex<Option<TcpStream>>,
     records_applied: AtomicU64,
     reconnects: AtomicU64,
+    /// The commit sequence last published for reading (mirrors the
+    /// serving handle's cursor; kept here so the `repl.standby.*` gauges
+    /// need only a weak reference to this state, never to the handle —
+    /// the handle owns the registry the gauges live in).
+    replicated_seq: AtomicU64,
     /// A clean halt: the replayer refused to continue (local WAL fault,
     /// replay divergence) and recorded why, rather than serving state it
     /// cannot vouch for.
@@ -154,6 +159,8 @@ impl Standby {
         ingest.wal.set_fault_plan(ingest.fault);
 
         let handle = DbHandle::new_read_only(ingest.db.clone(), ingest.have);
+        shared.replicated_seq.store(ingest.have, Ordering::SeqCst);
+        register_standby_gauges(&handle, &shared);
         let thread = {
             let handle = handle.clone();
             let stop = Arc::clone(&stop);
@@ -253,6 +260,45 @@ impl Standby {
 impl Drop for Standby {
     fn drop(&mut self) {
         self.stop_ingest();
+    }
+}
+
+/// Register the standby's `repl.standby.*` poll-gauges in its serving
+/// handle's registry, so sessions over the read-only handle can
+/// `SHOW STATS repl` the replication cursor, apply counters, and — as a
+/// text row — any clean-halt diagnosis. The gauges capture only a
+/// [`std::sync::Weak`] of the ingest state; they vanish from snapshots
+/// once the standby is dropped.
+fn register_standby_gauges(handle: &DbHandle, shared: &Arc<Shared>) {
+    let obs = handle.obs().clone();
+    {
+        let w = Arc::downgrade(shared);
+        obs.gauge("repl.standby.replicated_seq", move || {
+            w.upgrade().map(|s| s.replicated_seq.load(Ordering::SeqCst))
+        });
+    }
+    {
+        let w = Arc::downgrade(shared);
+        obs.gauge("repl.standby.records_applied", move || {
+            w.upgrade().map(|s| s.records_applied.load(Ordering::SeqCst))
+        });
+    }
+    {
+        let w = Arc::downgrade(shared);
+        obs.gauge("repl.standby.reconnects", move || {
+            w.upgrade().map(|s| s.reconnects.load(Ordering::SeqCst))
+        });
+    }
+    {
+        let w = Arc::downgrade(shared);
+        obs.text("repl.standby.halt_reason", move || {
+            w.upgrade().map(|s| {
+                s.halted
+                    .lock()
+                    .map(|g| g.clone().unwrap_or_else(|| "none (live)".to_owned()))
+                    .unwrap_or_else(|_| "unknown (poisoned)".to_owned())
+            })
+        });
     }
 }
 
@@ -424,6 +470,7 @@ fn receive_stream(
                     }
                 }
                 shared.records_applied.fetch_add(1, Ordering::SeqCst);
+                shared.replicated_seq.store(seq, Ordering::SeqCst);
                 if conn.ack(seq).is_err() {
                     return StreamEnd::Reconnect;
                 }
@@ -441,6 +488,7 @@ fn receive_stream(
                 })();
                 match outcome {
                     Ok(()) => {
+                        shared.replicated_seq.store(base_seq, Ordering::SeqCst);
                         if conn.ack(base_seq).is_err() {
                             return StreamEnd::Reconnect;
                         }

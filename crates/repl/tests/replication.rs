@@ -76,6 +76,85 @@ fn fresh_standby_bootstraps_and_follows_live_commits() {
 }
 
 #[test]
+fn replication_metrics_report_cursor_lag_and_halt_state() {
+    let dir = tmpdir("obs");
+    let primary =
+        DbHandle::create_durable(small_db(), dir.join("primary.wal"), FsyncPolicy::Group).unwrap();
+    commit_item(&primary, "a", 1);
+    let mut repl = ReplPrimary::start(primary.clone(), "127.0.0.1:0").unwrap();
+    let standby = Standby::start(StandbyConfig::new(
+        repl.local_addr().to_string(),
+        dir.join("standby.wal"),
+        FsyncPolicy::Group,
+    ))
+    .unwrap();
+    commit_item(&primary, "b", 2);
+    await_seq(&standby, 2);
+
+    // primary side: attachment, stream volume, and the per-standby
+    // cursor/lag rows of the deployment registry
+    let find = |snap: &[(String, mad_obs::MetricValue)], name: &str| {
+        snap.iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} missing from {snap:?}"))
+            .1
+            .as_u64()
+            .unwrap()
+    };
+    let snap = primary.obs().snapshot(Some("repl"));
+    assert_eq!(find(&snap, "repl.primary.attached"), 1);
+    assert!(find(&snap, "repl.primary.streamed") >= 2);
+    assert_eq!(find(&snap, "repl.standbys"), 1);
+    let acked: Vec<&String> = snap
+        .iter()
+        .map(|(n, _)| n)
+        .filter(|n| n.starts_with("repl.standby.") && n.ends_with(".acked_seq"))
+        .collect();
+    assert_eq!(acked.len(), 1, "one cursor row per standby: {snap:?}");
+    // the standby acknowledged everything: its lag row reads zero. (The
+    // ack is sent after publish, so poll briefly.)
+    let lag_name = acked[0].replace(".acked_seq", ".lag");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = primary.obs().snapshot(Some("repl"));
+        if find(&snap, &lag_name) == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "lag never drained: {snap:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // standby side: its serving handle's registry reports the replication
+    // cursor, apply counters, and a live halt_reason text row
+    let snap = standby.handle().obs().snapshot(Some("repl.standby"));
+    assert_eq!(find(&snap, "repl.standby.replicated_seq"), 2);
+    assert_eq!(find(&snap, "repl.standby.records_applied"), 1, "bootstrap + 1 live");
+    assert_eq!(find(&snap, "repl.standby.reconnects"), 0);
+    let halt = snap
+        .iter()
+        .find(|(n, _)| n == "repl.standby.halt_reason")
+        .expect("halt_reason registered");
+    assert!(
+        matches!(&halt.1, mad_obs::MetricValue::Text(t) if t.contains("live")),
+        "got {halt:?}"
+    );
+
+    // a detached standby disappears from the primary's rows, and its own
+    // gauges go with it once it is dropped
+    drop(standby);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = primary.obs().snapshot(Some("repl"));
+        if find(&snap, "repl.primary.attached") == 0 && find(&snap, "repl.standbys") == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "standby rows never cleared: {snap:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    repl.shutdown();
+}
+
+#[test]
 fn standby_with_a_log_catches_up_from_its_cursor() {
     let dir = tmpdir("catchup");
     let primary =

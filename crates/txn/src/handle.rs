@@ -2,7 +2,10 @@
 //! durability.
 
 use crate::txn::WriteKey;
+use mad_model::bin::u64_of_usize;
 use mad_model::{FxHashMap, FxHashSet, MadError, Result};
+use mad_obs::trace::{StageKind, StageTimer};
+use mad_obs::{Counter, Registry};
 use mad_storage::Database;
 use mad_wal::{CheckpointStats, FaultPlan, FsyncPolicy, Lsn, RecoveryInfo, TailRead, Wal, WalOp};
 use std::collections::BTreeMap;
@@ -175,6 +178,24 @@ struct Inner {
     ckpt_claimed: AtomicBool,
     /// Auto-checkpoints completed (monitoring/tests).
     auto_ckpts: AtomicU64,
+    /// The deployment-wide metrics registry (see [`mad_obs`]): the WAL,
+    /// replication endpoints, sessions and servers over this handle all
+    /// register here; `SHOW STATS` renders a snapshot.
+    obs: Registry,
+    /// Hot-path commit counters (handles into `obs` — increments never
+    /// touch the registry map).
+    metrics: TxnMetrics,
+}
+
+/// Counter handles the commit protocol bumps inline.
+#[derive(Debug)]
+struct TxnMetrics {
+    /// Commits published (`txn.commits`).
+    commits: Counter,
+    /// First-committer-wins validation failures (`txn.conflicts`).
+    conflicts: Counter,
+    /// Op-log replays after a stale publication attempt (`txn.replays`).
+    replays: Counter,
 }
 
 /// A cloneable, thread-safe handle to one shared MAD database.
@@ -269,7 +290,13 @@ impl DbHandle {
         recovery: Option<RecoveryInfo>,
         read_only: bool,
     ) -> Self {
-        DbHandle {
+        let obs = Registry::new();
+        let metrics = TxnMetrics {
+            commits: obs.counter("txn.commits"),
+            conflicts: obs.counter("txn.conflicts"),
+            replays: obs.counter("txn.replays"),
+        };
+        let handle = DbHandle {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
                     seq,
@@ -293,8 +320,173 @@ impl DbHandle {
                 commits_since_ckpt: AtomicU64::new(0),
                 ckpt_claimed: AtomicBool::new(false),
                 auto_ckpts: AtomicU64::new(0),
+                obs,
+                metrics,
             }),
+        };
+        handle.register_gauges();
+        handle
+    }
+
+    /// Register the handle's poll-gauges: the one surface `SHOW STATS`
+    /// reads, folding what used to be ad-hoc accessors
+    /// ([`DbHandle::commit_log_len`], [`DbHandle::conflict_index_len`],
+    /// the WAL stats accessors…) into the registry. Closures capture a
+    /// `Weak` so a handle (and its WAL file handles) can still drop
+    /// while a server-side registry clone outlives it; each closure
+    /// takes at most one ranked lock and nests nothing inside it.
+    fn register_gauges(&self) {
+        let obs = &self.inner.obs;
+        let weak = {
+            let w = Arc::downgrade(&self.inner);
+            move || w.clone()
+        };
+        {
+            let w = weak();
+            obs.gauge("txn.seq", move || {
+                w.upgrade().and_then(|i| i.published.read().ok().map(|p| p.seq))
+            });
         }
+        {
+            let w = weak();
+            obs.gauge("txn.commit_log", move || {
+                w.upgrade()
+                    .and_then(|i| i.state.lock().ok().map(|st| u64_of_usize(st.log.len())))
+            });
+        }
+        {
+            let w = weak();
+            obs.gauge("txn.conflict_index", move || {
+                w.upgrade()
+                    .and_then(|i| i.state.lock().ok().map(|st| u64_of_usize(st.last_write.len())))
+            });
+        }
+        {
+            let w = weak();
+            obs.gauge("txn.active", move || {
+                w.upgrade().and_then(|i| {
+                    i.state
+                        .lock()
+                        .ok()
+                        .map(|st| u64_of_usize(st.active.values().sum::<usize>()))
+                })
+            });
+        }
+        {
+            let w = weak();
+            obs.gauge("txn.auto_checkpoints", move || {
+                w.upgrade().map(|i| i.auto_ckpts.load(Ordering::Relaxed))
+            });
+        }
+        {
+            // pairs re-frozen by the published image's last CSR rebuild
+            // (the registry face of `Database::csr_rebuild_stats`).
+            // `None` would reap the gauge, so "no rebuild yet" reads 0.
+            let w = weak();
+            obs.gauge("storage.csr_rebuilt_pairs", move || {
+                w.upgrade().and_then(|i| {
+                    let p = i.published.read().ok()?;
+                    let (rebuilt, _) = p.db.csr_rebuild_stats().unwrap_or((0, 0));
+                    Some(u64_of_usize(rebuilt))
+                })
+            });
+        }
+        {
+            let w = weak();
+            obs.gauge("storage.csr_pairs", move || {
+                w.upgrade().and_then(|i| {
+                    let p = i.published.read().ok()?;
+                    let (_, total) = p.db.csr_rebuild_stats().unwrap_or((0, 0));
+                    Some(u64_of_usize(total))
+                })
+            });
+        }
+        if self.is_durable() {
+            {
+                let w = weak();
+                obs.gauge("wal.len_bytes", move || {
+                    w.upgrade().and_then(|i| i.wal.as_ref().map(Wal::len_bytes))
+                });
+            }
+            {
+                let w = weak();
+                obs.gauge("wal.fsyncs", move || {
+                    w.upgrade().and_then(|i| i.wal.as_ref().map(Wal::fsync_count))
+                });
+            }
+            {
+                let w = weak();
+                obs.gauge("wal.group_batches", move || {
+                    w.upgrade()
+                        .and_then(|i| i.wal.as_ref().map(|wal| wal.group_commit_stats().0))
+                });
+            }
+            {
+                let w = weak();
+                obs.gauge("wal.group_records", move || {
+                    w.upgrade()
+                        .and_then(|i| i.wal.as_ref().map(|wal| wal.group_commit_stats().1))
+                });
+            }
+        }
+        {
+            let w = weak();
+            obs.text("repl.mode", move || {
+                w.upgrade().and_then(|i| {
+                    i.repl.lock().ok().map(|r| match r.mode {
+                        ReplAck::Async => "async".to_owned(),
+                        ReplAck::SyncQuorum(n) => format!("sync_quorum({n})"),
+                    })
+                })
+            });
+        }
+        {
+            let w = weak();
+            obs.gauge("repl.sealed", move || {
+                w.upgrade().and_then(|i| i.repl.lock().ok().map(|r| u64::from(r.sealed)))
+            });
+        }
+        {
+            let w = weak();
+            obs.gauge("repl.standbys", move || {
+                w.upgrade()
+                    .and_then(|i| i.repl.lock().ok().map(|r| u64_of_usize(r.standbys.len())))
+            });
+        }
+        {
+            // per-standby replication cursor and lag-in-records — one
+            // `repl.standby.<token>.{acked_seq,lag}` row pair per
+            // attached standby. The committed seq is read first and the
+            // repl lock taken after (sequentially, never nested).
+            let w = weak();
+            obs.multi("repl.standby", move || {
+                w.upgrade().and_then(|i| {
+                    let seq = i.published.read().ok().map(|p| p.seq)?;
+                    let r = i.repl.lock().ok()?;
+                    let mut rows = Vec::with_capacity(r.standbys.len() * 2);
+                    for (token, &acked) in &r.standbys {
+                        rows.push((format!("{token}.acked_seq"), acked));
+                        rows.push((format!("{token}.lag"), seq.saturating_sub(acked)));
+                    }
+                    Some(rows)
+                })
+            });
+        }
+    }
+
+    /// The deployment-wide metrics registry. Sessions, servers and
+    /// replication endpoints over this handle register their metrics
+    /// here; `SHOW STATS` renders a [`Registry::snapshot`]. Snapshots
+    /// poll gauges that take the handle's ranked locks, so never call
+    /// [`Registry::snapshot`] while holding one.
+    pub fn obs(&self) -> &Registry {
+        &self.inner.obs
+    }
+
+    /// Bump the op-log-replay counter (`txn.replays`) — called by the
+    /// contended commit path in [`crate::Transaction`].
+    pub(crate) fn count_replay(&self) {
+        self.inner.metrics.replays.inc();
     }
 
     /// How this handle persists commits.
@@ -727,6 +919,8 @@ impl DbHandle {
         // first-committer-wins: any committed write since our begin that
         // overlaps our write-set aborts us — one hash probe per key of OUR
         // write-set, independent of how many keys other commits logged
+        let vt = StageTimer::start(StageKind::Validate);
+        let probes = u64_of_usize(keys.len());
         let conflict = keys.iter().find_map(|key| {
             st.last_write
                 .get(key)
@@ -735,13 +929,17 @@ impl DbHandle {
                 .map(|seq| (key, seq))
         });
         if let Some((key, seq)) = conflict {
+            self.inner.metrics.conflicts.inc();
+            vt.finish_info(&[("probes", probes), ("conflict", 1)]);
             return Err(MadError::txn_conflict(format!(
                 "write-write conflict on {key} with the transaction committed at sequence {seq}"
             )));
         }
         if !Arc::ptr_eq(&self.inner.published.read().map_err(poisoned)?.db, expected) {
+            vt.finish_info(&[("probes", probes), ("stale", 1)]);
             return Ok(PublishOutcome::Stale(self.committed()));
         }
+        vt.finish_info(&[("probes", probes)]);
         let seq = st.seq + 1;
         // write-ahead: the record must be in the log (buffered) before the
         // state becomes visible; an append failure publishes nothing
@@ -784,6 +982,7 @@ impl DbHandle {
             }
         }
         self.inner.commits_since_ckpt.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.commits.inc();
         Ok(PublishOutcome::Published { seq, lsn })
     }
 

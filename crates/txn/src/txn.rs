@@ -2,6 +2,7 @@
 
 use crate::handle::{DbHandle, PublishOutcome};
 use mad_model::{AtomId, AtomTypeId, FxHashMap, FxHashSet, LinkTypeId, MadError, Result, Value};
+use mad_obs::trace::{StageKind, StageTimer};
 use mad_storage::Database;
 use mad_wal::WalOp;
 use std::fmt;
@@ -326,7 +327,9 @@ impl Transaction {
                     handle.wait_durable(lsn)?;
                     // ...and, under ReplAck::SyncQuorum, once enough
                     // standbys confirmed it durable on their side too
+                    let rt = StageTimer::start(StageKind::ReplWait);
                     handle.wait_replicated(seq)?;
+                    rt.finish();
                     // the log may now be over its auto-checkpoint
                     // threshold; fold it before acknowledging
                     handle.maybe_auto_checkpoint();
@@ -345,8 +348,11 @@ impl Transaction {
                     // it (outside the handle lock), dropping any mapping
                     // from the discarded attempt
                     remap.clear();
+                    handle.count_replay();
+                    let rt = StageTimer::start(StageKind::Replay);
                     let mut fresh = (*current).clone();
                     replay(&mut fresh, &ops, &base_slots, &mut remap)?;
+                    rt.finish_info(&[("ops", mad_model::bin::u64_of_usize(ops.len()))]);
                     observed = current;
                     candidate = fresh;
                 }

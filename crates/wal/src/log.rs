@@ -7,6 +7,7 @@ use crate::record::{
 };
 use crate::WalOp;
 use mad_model::{MadError, Result};
+use mad_obs::trace::{StageKind, StageTimer};
 use mad_storage::{Database, DatabaseSnapshot};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -109,6 +110,11 @@ pub struct Wal {
     sync: Mutex<SyncState>,
     synced: Condvar,
     fsyncs: AtomicU64,
+    /// Group-commit fsync batches performed (`wal.group_batches`).
+    batches: AtomicU64,
+    /// Records those batches covered (`wal.group_records`): the
+    /// amortization factor is `batched / batches`.
+    batched: AtomicU64,
     /// Set when the on-disk log can no longer be trusted: a partial
     /// append that could not be rolled back, or a failed fsync (the
     /// kernel may have dropped dirty pages — "fsyncgate"). All further
@@ -179,6 +185,8 @@ impl Wal {
             }),
             synced: Condvar::new(),
             fsyncs: AtomicU64::new(1),
+            batches: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             fault: Mutex::new(FaultState::default()),
         })
@@ -277,6 +285,8 @@ impl Wal {
             }),
             synced: Condvar::new(),
             fsyncs: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             fault: Mutex::new(FaultState::default()),
         };
@@ -309,6 +319,16 @@ impl Wal {
         self.fsyncs.load(Ordering::Relaxed)
     }
 
+    /// `(batches, records_covered)` of group-commit fsyncs since open —
+    /// `records_covered / batches` is the amortization factor commits
+    /// are currently enjoying. Both zero under other fsync policies.
+    pub fn group_commit_stats(&self) -> (u64, u64) {
+        (
+            self.batches.load(Ordering::Relaxed),
+            self.batched.load(Ordering::Relaxed),
+        )
+    }
+
     /// Append one committed transaction's record (buffered OS write, no
     /// fsync) and return its [`Lsn`]. Callers must append in commit-seq
     /// order — the publisher's commit path does this under its publication
@@ -320,6 +340,7 @@ impl Wal {
     /// errors.
     pub fn append_commit(&self, seq: u64, ops: &[WalOp]) -> Result<Lsn> {
         self.check_poisoned()?;
+        let at = StageTimer::start(StageKind::WalAppend);
         let framed = frame(&WalRecord::Commit {
             seq,
             ops: ops.to_vec(),
@@ -351,6 +372,7 @@ impl Wal {
         files.bytes += framed.len() as u64;
         let lsn = files.next_lsn;
         files.next_lsn += 1;
+        at.finish_info(&[("bytes", mad_model::bin::u64_of_usize(framed.len()))]);
         Ok(lsn)
     }
 
@@ -375,6 +397,7 @@ impl Wal {
         match self.policy {
             FsyncPolicy::Never => Ok(()),
             FsyncPolicy::PerCommit => {
+                let ft = StageTimer::start(StageKind::FsyncWait);
                 // baseline: one fsync per commit, no batching, serialized
                 // through the sync lock
                 let st = self.sync.lock().unwrap();
@@ -382,21 +405,32 @@ impl Wal {
                 self.fsync_log()?;
                 let mut st = st;
                 st.durable_lsn = st.durable_lsn.max(high);
+                ft.finish_info(&[("batch", 1)]);
                 Ok(())
             }
-            FsyncPolicy::Group => self.wait_durable_grouped(lsn),
+            FsyncPolicy::Group => {
+                let ft = StageTimer::start(StageKind::FsyncWait);
+                let batch = self.wait_durable_grouped(lsn)?;
+                // `batch` > 0 only when this thread was the elected
+                // group-commit syncer; a pure waiter rode along
+                ft.finish_info(&[("batch", batch)]);
+                Ok(())
+            }
         }
     }
 
-    fn wait_durable_grouped(&self, lsn: Lsn) -> Result<()> {
+    /// Returns the number of records this thread's own fsync batches
+    /// covered (0 when the wait was satisfied by another thread's sync).
+    fn wait_durable_grouped(&self, lsn: Lsn) -> Result<u64> {
+        let mut covered = 0u64;
         let mut st = self.sync.lock().unwrap();
         loop {
             if st.durable_lsn > lsn {
-                return Ok(());
+                return Ok(covered);
             }
             if self.poisoned.load(Ordering::SeqCst) {
                 drop(st);
-                return self.check_poisoned();
+                return self.check_poisoned().map(|()| covered);
             }
             if st.syncing {
                 // an fsync is in flight; by the time it finishes it may or
@@ -411,6 +445,7 @@ impl Wal {
             // PostgreSQL sense, but adaptive: a lone writer quiesces after
             // one yield and pays essentially nothing).
             st.syncing = true;
+            let durable_before = st.durable_lsn;
             drop(st);
             let mut high = self.files.lock().unwrap().next_lsn;
             let batch_deadline =
@@ -433,6 +468,10 @@ impl Wal {
             st.syncing = false;
             if res.is_ok() {
                 st.durable_lsn = st.durable_lsn.max(high);
+                let records = high.saturating_sub(durable_before);
+                covered += records;
+                self.batches.fetch_add(1, Ordering::Relaxed);
+                self.batched.fetch_add(records, Ordering::Relaxed);
             }
             // notify while holding the mutex: futex wait-morphing requeues
             // the waiters instead of stampeding them awake

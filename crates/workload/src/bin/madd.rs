@@ -7,6 +7,7 @@
 //!      [--bootstrap mixed|brazil]
 //!      [--repl-addr ADDR] [--sync-quorum N]
 //!      [--standby PRIMARY_REPL_ADDR]
+//!      [--slow-query-ms N]
 //! ```
 //!
 //! Serves one shared database over TCP (default `127.0.0.1:7878`): one
@@ -31,8 +32,16 @@
 //!   Restarting the dead primary's role elsewhere is a separate
 //!   `promote` step (see `mad_repl::Standby::promote`); `madd` keeps the
 //!   standby warm until then.
+//!
+//! ## Observability
+//!
+//! `--slow-query-ms N` records every statement slower than `N`
+//! milliseconds (0 = all) in the server's slow-query ring buffer, with
+//! its per-stage trace. Inspect over any connection with `SHOW STATS net`
+//! (or `\stats net` in `madc`); `EXPLAIN ANALYZE <stmt>` and
+//! `SHOW STATS` work regardless of the flag.
 
-use mad_net::Server;
+use mad_net::{Server, ServerConfig};
 use mad_repl::{ReplPrimary, Standby, StandbyConfig};
 use mad_txn::{DbHandle, Durability, FsyncPolicy, ReplAck};
 use mad_workload::{brazil_database, mixed_database};
@@ -52,6 +61,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut repl_addr: Option<String> = None;
     let mut sync_quorum: Option<usize> = None;
     let mut standby: Option<String> = None;
+    let mut slow_query: Option<std::time::Duration> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut value = |flag: &str| {
@@ -77,12 +87,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 })?)
             }
             "--standby" => standby = Some(value("--standby")?),
+            "--slow-query-ms" => {
+                let ms: u64 = value("--slow-query-ms")?.parse().map_err(|e| {
+                    format!("--slow-query-ms needs a millisecond threshold: {e}")
+                })?;
+                slow_query = Some(std::time::Duration::from_millis(ms));
+            }
             "-h" | "--help" => {
                 println!(
                     "usage: madd [--addr ADDR] [--wal PATH] \
                      [--fsync per-commit|group|never] [--bootstrap mixed|brazil] \
                      [--repl-addr ADDR] [--sync-quorum N] \
-                     [--standby PRIMARY_REPL_ADDR]"
+                     [--standby PRIMARY_REPL_ADDR] [--slow-query-ms N]"
                 );
                 return Ok(());
             }
@@ -100,7 +116,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             return Err("--standby excludes --repl-addr/--sync-quorum".into());
         }
         let standby = Standby::start(StandbyConfig::new(primary.clone(), path, fsync))?;
-        let server = Server::serve(standby.handle(), addr.as_str())?;
+        let config = ServerConfig {
+            slow_query,
+            ..ServerConfig::default()
+        };
+        let server = Server::serve_with(standby.handle(), addr.as_str(), config)?;
         eprintln!(
             "madd: standby of {} serving read-only snapshots on {} \
              (replicated through sequence {})",
@@ -158,7 +178,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
     };
     let durable = handle.is_durable();
-    let server = Server::serve(handle, addr.as_str())?;
+    let config = ServerConfig {
+        slow_query,
+        ..ServerConfig::default()
+    };
+    let server = Server::serve_with(handle, addr.as_str(), config)?;
     eprintln!(
         "madd: serving {} database on {} (one session per connection; connect with \
          `madc {}`)",

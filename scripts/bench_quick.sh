@@ -10,6 +10,13 @@
 # its own perf regressions. The exit code is nonzero ONLY when a bench
 # present in the baseline is missing from the fresh run (a silently
 # dropped bench is a coverage bug; timing noise is not).
+#
+# The B10 read-throughput rows double as the observability overhead
+# check: the network path is fully instrumented (per-statement trace,
+# two histograms, the slow-query offer), so a sustained drop in
+# B10_net/read_stmts_per_sec beyond the 3% noise band means the
+# instrumentation got too expensive. The verdict is printed every run;
+# BENCH_STRICT=1 promotes an overhead breach to a failing exit.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,11 +39,12 @@ cargo bench -p mad-bench --bench repl_lag -- --quick
 echo "merged results into $(pwd)/$REPORT"
 
 if [ "$have_baseline" = 1 ]; then
-  python3 - "$BASELINE" "$REPORT" <<'EOF'
+  python3 - "$BASELINE" "$REPORT" "${BENCH_STRICT:-0}" <<'EOF'
 import json, sys
 
 base = json.load(open(sys.argv[1]))
 fresh = json.load(open(sys.argv[2]))
+strict = sys.argv[3] == "1"
 
 missing = sorted(k for k in base if k not in fresh)
 width = max((len(k) for k in base), default=0)
@@ -49,6 +57,26 @@ for k in sorted(base):
     print(f"{k:<{width}}  {b:>12.1f}  {f:>12.1f}  {delta:>+7.1f}%")
 for k in sorted(k for k in fresh if k not in base):
     print(f"{k:<{width}}  {'-':>12}  {fresh[k]:>12.1f}      new")
+
+# observability overhead gate: instrumented read throughput on the
+# network path must stay within 3% of the committed baseline
+obs_keys = [k for k in base if k.startswith("B10_net/read_stmts_per_sec/") and k in fresh]
+breaches = []
+for k in obs_keys:
+    drop = (base[k] - fresh[k]) / base[k] * 100 if base[k] else 0.0
+    if drop > 3.0:
+        breaches.append((k, drop))
+if obs_keys:
+    if breaches:
+        print("\ninstrumentation overhead check: FAIL (>3% read-throughput drop)")
+        for k, drop in breaches:
+            print(f"  {k}: -{drop:.1f}%")
+        if strict:
+            sys.exit(1)
+        print("  (advisory: rerun to rule out noise, or set BENCH_STRICT=1 to enforce)")
+    else:
+        print("\ninstrumentation overhead check: OK (B10 read throughput within 3% of baseline)")
+
 if missing:
     print("\nMISSING from fresh run (baseline benches that no longer report):")
     for k in missing:

@@ -19,14 +19,21 @@
 #   8. the replication failover scenario on loopback: sync-quorum
 #      standbys under fault injection, kill the primary mid-traffic,
 #      promote a standby, acked-prefix verification on the promoted
-#      node (examples/failover.rs).
+#      node (examples/failover.rs),
+#   9. the observability smoke: a real `madd --slow-query-ms 0` daemon
+#      driven over TCP by `madc`, asserting EXPLAIN ANALYZE renders a
+#      staged trace, SHOW STATS serves table + JSON forms, and the
+#      slow-query ring buffer recorded the traffic.
 #
 # Any step failing fails the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release"
-cargo build --release
+# --workspace matters: the root manifest is both the workspace and the
+# `mad` facade package, so a bare `cargo build` here builds only the
+# facade — not the `madd`/`madc` binaries the scenario steps run.
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
@@ -48,5 +55,30 @@ cargo run --release --quiet --example network
 
 echo "== replication failover scenario under fault injection (examples/failover.rs)"
 cargo run --release --quiet --example failover
+
+echo "== observability smoke over TCP (madd --slow-query-ms 0 + madc)"
+OBS_PORT=7879
+./target/release/madd --addr "127.0.0.1:$OBS_PORT" --slow-query-ms 0 &
+MADD_PID=$!
+trap 'kill "$MADD_PID" 2>/dev/null; wait "$MADD_PID" 2>/dev/null; true' EXIT
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/$OBS_PORT") 2>/dev/null; then break; fi
+  sleep 0.1
+done
+SMOKE="$(./target/release/madc "127.0.0.1:$OBS_PORT" -e "
+  SELECT ALL FROM state-area;
+  EXPLAIN ANALYZE SELECT ALL FROM state-area;
+  SHOW STATS net;
+  SHOW STATS mql AS JSON;")"
+kill "$MADD_PID" 2>/dev/null
+wait "$MADD_PID" 2>/dev/null || true
+trap - EXIT
+fail() { echo "observability smoke: $1"; printf '%s\n' "$SMOKE"; exit 1; }
+grep -q '^  derive' <<<"$SMOKE" || fail "EXPLAIN ANALYZE trace has no derive stage"
+grep -q '^  total' <<<"$SMOKE" || fail "EXPLAIN ANALYZE trace has no total line"
+grep -q 'net\.stmt_ns' <<<"$SMOKE" || fail "SHOW STATS net lost the statement histogram"
+grep -q '"mql.statements"' <<<"$SMOKE" || fail "SHOW STATS mql AS JSON lost the statement counter"
+# --slow-query-ms 0 records every statement: the ring buffer must be non-empty
+grep -Eq 'net\.slow\.recorded +[1-9]' <<<"$SMOKE" || fail "slow-query log recorded nothing at threshold 0"
 
 echo "ci.sh: all green"
