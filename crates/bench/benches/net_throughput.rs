@@ -1,5 +1,5 @@
 //! B10 — the network front-end: statement throughput and latency
-//! percentiles at 1/4/16 concurrent connections.
+//! percentiles at 1/4/16/64/256 concurrent connections.
 //!
 //! Unlike the criterion benches, this harness needs *per-statement*
 //! latency distributions (p50/p99), so it measures directly: `N` client
@@ -12,10 +12,17 @@
 //! * `B10_net/<kind>_p50_ns/cN`, `B10_net/<kind>_p99_ns/cN` — round-trip
 //!   latency percentiles in nanoseconds,
 //!
-//! for `kind = read` (a pushdown SELECT) and `kind = update` (autocommit
-//! DML, one implicit transaction per statement, conflict-free across
+//! for `kind = read` (a pushdown SELECT), `kind = prepared` (the same
+//! SELECT as a server-side prepared statement: `PREPARE` once per
+//! connection, then `EXECUTE` — prices the parse/plan cache against the
+//! re-parsing `read` row) and `kind = update` (autocommit DML, one
+//! implicit transaction per statement, conflict-free across
 //! connections). The handle is non-durable: B10 prices the protocol +
 //! session + commit path, B9 already prices fsync schedules.
+//!
+//! The per-connection quota shrinks above 16 connections so the total
+//! statement volume stays bounded; throughput is still per-second over
+//! the whole burst.
 //!
 //! `-- --quick` shrinks the quota and merges the results into
 //! `BENCH_derive.json` (same contract as the criterion shim).
@@ -28,10 +35,12 @@ use std::collections::BTreeMap;
 use std::sync::Barrier;
 use std::time::Instant;
 
-const CONNECTIONS: [usize; 3] = [1, 4, 16];
+const CONNECTIONS: [usize; 5] = [1, 4, 16, 64, 256];
 
 /// Statement generator of one bench kind: `(connection, iteration) → MQL`.
 type StmtGen = Box<dyn Fn(usize, usize) -> String + Sync>;
+/// Optional once-per-connection setup statement: `connection → MQL`.
+type SetupGen<'a> = Option<&'a (dyn Fn(usize) -> String + Sync)>;
 
 fn populated_handle(conns: usize) -> DbHandle {
     let mut db = mixed_database().unwrap();
@@ -66,6 +75,7 @@ fn burst(
     addr: std::net::SocketAddr,
     conns: usize,
     quota: usize,
+    setup: SetupGen<'_>,
     stmt: impl Fn(usize, usize) -> String + Sync,
 ) -> (Vec<u64>, f64) {
     let barrier = Barrier::new(conns + 1);
@@ -76,6 +86,9 @@ fn burst(
             let (barrier, stmt) = (&barrier, &stmt);
             joins.push(scope.spawn(move || {
                 let mut client = Client::connect(addr).expect("connect to bench server");
+                if let Some(setup) = setup {
+                    client.execute(&setup(c)).expect("per-connection setup statement");
+                }
                 // warm the connection and the session's fork
                 client.execute(&stmt(c, 0)).expect("warm-up statement");
                 let mut lat = Vec::with_capacity(quota);
@@ -114,22 +127,38 @@ fn main() {
 
     let mut results: BTreeMap<String, f64> = BTreeMap::new();
     for conns in CONNECTIONS {
+        // keep the total statement volume bounded at high connection
+        // counts; throughput stays a per-second rate over the burst
+        let per_conn = if conns > 16 { (quota * 16 / conns).max(12) } else { quota };
         let server = Server::serve(populated_handle(conns), "127.0.0.1:0").unwrap();
         let addr = server.local_addr();
-        let kinds: [(&str, StmtGen); 2] = [
+        // zero-parameter form: the session caches the plan keyed by the
+        // base snapshot, so EXECUTE skips both parse and plan until a
+        // commit invalidates it (a parameterized EXECUTE still replans)
+        let prepare: &(dyn Fn(usize) -> String + Sync) = &|_| {
+            "PREPARE q AS SELECT ALL FROM state-area WHERE state.sname = 'g7'".to_owned()
+        };
+        let kinds: [(&str, SetupGen, StmtGen); 3] = [
             (
                 "read",
+                None,
                 Box::new(|_, _| {
                     "SELECT ALL FROM state-area WHERE state.sname = 'g7'".to_owned()
                 }),
             ),
             (
+                "prepared",
+                Some(prepare),
+                Box::new(|_, _| "EXECUTE q".to_owned()),
+            ),
+            (
                 "update",
+                None,
                 Box::new(|c, i| format!("UPDATE state[sname='w{c}'] SET hectare = {i}.0")),
             ),
         ];
-        for (kind, stmt) in kinds {
-            let (mut lat, wall) = burst(addr, conns, quota, stmt);
+        for (kind, setup, stmt) in kinds {
+            let (mut lat, wall) = burst(addr, conns, per_conn, setup, stmt);
             lat.sort_unstable();
             let total = lat.len() as f64;
             results.insert(

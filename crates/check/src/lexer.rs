@@ -485,7 +485,9 @@ fn scan_annotation(comment: &str, line: u32, line_has_code: bool, out: &mut Lexe
         let rest = rest.strip_prefix('(')?;
         let (kind, rest) = rest.split_once(',')?;
         let kind = kind.trim();
-        if kind.is_empty() || !kind.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        if kind.is_empty()
+            || !kind.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
             return None;
         }
         let rest = rest.trim();

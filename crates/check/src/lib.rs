@@ -114,7 +114,7 @@ impl ParsedFile {
 }
 
 /// The annotation kinds the lints understand.
-pub const ALLOW_KINDS: &[&str] = &["panic", "cast", "lock"];
+pub const ALLOW_KINDS: &[&str] = &["panic", "cast", "lock", "reg-block"];
 
 /// Parse one source file; lexer/tree problems become diagnostics.
 pub fn parse_file(src: &SrcFile, diags: &mut Vec<Diagnostic>) -> ParsedFile {
@@ -184,6 +184,10 @@ pub struct WireEnum {
 pub struct Config {
     /// Crates whose guard scopes the lock lint walks.
     pub lock_crates: Vec<String>,
+    /// Readiness-registration locks: while one of these is held, no
+    /// blocking call may run (the event loop would stall every
+    /// connection). Checked by name within `lock_crates`.
+    pub registration_locks: Vec<String>,
     /// Wire-codec files (workspace-relative) for the cast lint.
     pub codec_files: Vec<String>,
     /// Enums whose wire codecs must stay exhaustive.
@@ -194,10 +198,11 @@ impl Default for Config {
     fn default() -> Self {
         use ScopeSpec::{Fn, Impl};
         Config {
-            lock_crates: ["mad-txn", "mad-wal", "mad-repl"]
+            lock_crates: ["mad-txn", "mad-wal", "mad-repl", "mad-net"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            registration_locks: vec!["reg".to_string()],
             codec_files: [
                 "crates/net/src/frame.rs",
                 "crates/wal/src/record.rs",

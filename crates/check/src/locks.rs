@@ -1,9 +1,10 @@
-//! Lock-hierarchy lint: a static deadlock detector for the commit path.
+//! Lock-hierarchy lint: a static deadlock detector for the commit path,
+//! plus the registration-lock blocking lint for the event loop.
 //!
 //! The normative table in ARCHITECTURE.md assigns each governed lock a
 //! rank; a thread may only acquire locks in strictly increasing rank.
 //! This lint walks every non-test `fn` body in the configured crates
-//! (`mad-txn`, `mad-wal`, `mad-repl`) modelling guard scopes:
+//! (`mad-txn`, `mad-wal`, `mad-repl`, `mad-net`) modelling guard scopes:
 //!
 //! * a `let`-bound guard lives to the end of its enclosing block;
 //! * a temporary guard lives to the end of its statement — except in a
@@ -20,6 +21,20 @@
 //! guard is checked against the callee's set. The name-keyed union is
 //! a deliberate over-approximation; false positives are silenced with
 //! `// check: allow(lock, "…")` and a justification.
+//!
+//! Acquisitions are recognized in both the method form
+//! (`m.lock()`/`.read()`/`.write()` with empty parens) and `mad-net`'s
+//! poison-ignoring free-function form (`lock(&self.reg)`), whose lock
+//! name is the last path segment of the argument.
+//!
+//! The **registration-lock blocking lint** (`reg-block`) enforces the
+//! event loop's liveness contract: while a readiness-registration guard
+//! (`Config::registration_locks`, by name) is held, no blocking call may
+//! run — a worker parked on a condvar or a socket while holding `reg`
+//! would stall connection accept/retire for every client. Flagged calls:
+//! `wait`, `wait_timeout`, `recv`, `recv_timeout`, `join`, `sleep`,
+//! `connect`, `accept`, `read_frame`, `write_frame`. Exceptions carry
+//! `// check: allow(reg-block, "…")`.
 
 use std::collections::BTreeMap;
 
@@ -52,6 +67,21 @@ enum StmtKind {
     Item,
 }
 
+/// Calls that can block the calling thread; never allowed while a
+/// readiness-registration guard is held.
+const BLOCKING_CALLS: [&str; 10] = [
+    "wait",
+    "wait_timeout",
+    "recv",
+    "recv_timeout",
+    "join",
+    "sleep",
+    "connect",
+    "accept",
+    "read_frame",
+    "write_frame",
+];
+
 /// Run the lint.
 pub fn check(files: &[ParsedFile], spec: &Spec, cfg: &Config, diags: &mut Vec<Diagnostic>) {
     let relevant: Vec<&ParsedFile> = files
@@ -76,7 +106,8 @@ pub fn check(files: &[ParsedFile], spec: &Spec, cfg: &Config, diags: &mut Vec<Di
         let items = scan_items(&f.tree);
         for func in items.fns.iter().filter(|f| !f.is_test) {
             let Some(body) = func.body else { continue };
-            let mut w = Walker { file: f, spec, call_map: &call_map, diags, next_id: 0 };
+            let mut w =
+                Walker { file: f, spec, cfg, call_map: &call_map, diags, next_id: 0 };
             let mut held = Vec::new();
             w.block(body, &mut held);
         }
@@ -92,11 +123,11 @@ fn collect_direct(nodes: &[Node], spec: &Spec, out: &mut BTreeMap<String, u32>) 
             i = skip;
             continue;
         }
-        if let Some((name, _)) = acquisition_at(nodes, i) {
+        if let Some((name, _, consumed)) = acquisition_at(nodes, i) {
             if let Some(rank) = spec.lock_rank(&name) {
                 out.insert(name, rank);
             }
-            i += 4;
+            i += consumed;
             continue;
         }
         if let Node::Group { children, .. } = &nodes[i] {
@@ -106,10 +137,26 @@ fn collect_direct(nodes: &[Node], spec: &Spec, out: &mut BTreeMap<String, u32>) 
     }
 }
 
-/// If `nodes[i]` starts an acquisition `NAME.lock()` / `.read()` /
-/// `.write()` with *empty* parens, return the lock name and line.
-fn acquisition_at(nodes: &[Node], i: usize) -> Option<(String, u32)> {
-    let name = nodes[i].ident()?;
+/// If `nodes[i]` starts an acquisition, return the lock name, line, and
+/// the number of nodes the acquisition expression spans. Two forms:
+///
+/// * `NAME.lock()` / `.read()` / `.write()` with *empty* parens
+///   (4 nodes),
+/// * the free function `lock(&path.to.NAME)` — `mad-net`'s
+///   poison-ignoring helper — whose lock name is the last path segment
+///   of the argument (2 nodes).
+fn acquisition_at(nodes: &[Node], i: usize) -> Option<(String, u32, usize)> {
+    let head = nodes.get(i)?;
+    let name = head.ident()?;
+    // free-function form: `lock(&self.reg)`
+    if name == "lock" {
+        if let Some(Node::Group { delim: '(', children, .. }) = nodes.get(i + 1) {
+            if !children.is_empty() {
+                let arg = children.iter().rev().find_map(Node::ident)?;
+                return Some((arg.to_string(), head.line(), 2));
+            }
+        }
+    }
     if !nodes.get(i + 1)?.is_punct('.') {
         return None;
     }
@@ -119,7 +166,7 @@ fn acquisition_at(nodes: &[Node], i: usize) -> Option<(String, u32)> {
     }
     match nodes.get(i + 3)? {
         Node::Group { delim: '(', children, .. } if children.is_empty() => {
-            Some((name.to_string(), nodes[i].line()))
+            Some((name.to_string(), head.line(), 4))
         }
         _ => None,
     }
@@ -162,6 +209,7 @@ fn closure_extent(nodes: &[Node], i: usize) -> Option<usize> {
 struct Walker<'a> {
     file: &'a ParsedFile,
     spec: &'a Spec,
+    cfg: &'a Config,
     call_map: &'a BTreeMap<String, BTreeMap<String, u32>>,
     diags: &'a mut Vec<Diagnostic>,
     next_id: u32,
@@ -251,7 +299,7 @@ impl Walker<'_> {
                 i = end;
                 continue;
             }
-            if let Some((name, line)) = acquisition_at(nodes, i) {
+            if let Some((name, line, consumed)) = acquisition_at(nodes, i) {
                 let rank = self.spec.lock_rank(&name);
                 self.check_order(held, &name, rank, line);
                 let id = self.next_id;
@@ -263,11 +311,11 @@ impl Walker<'_> {
                 // operator (`.lock().unwrap().next_lsn;`) copies a
                 // value out and the guard is a dropped temporary.
                 let let_bound =
-                    top && kind == StmtKind::Let && binds_guard(&nodes[i + 4..]);
+                    top && kind == StmtKind::Let && binds_guard(&nodes[i + consumed..]);
                 if !let_bound {
                     temps.push(id);
                 }
-                i += 4;
+                i += consumed;
                 continue;
             }
             // drop(name) releases the named guard
@@ -286,13 +334,19 @@ impl Walker<'_> {
             if top && kind == StmtKind::Cond && nodes[i].ident() == Some("if") {
                 *seen_block = false;
             }
-            // interprocedural: a call while holding ranked guards
-            if let (Some(name), Some(Node::Group { delim: '(', .. })) =
-                (nodes[i].ident(), nodes.get(i + 1))
+            // interprocedural: a call while holding ranked guards; and
+            // the registration-lock blocking check
+            if let (Some(node), Some(Node::Group { delim: '(', .. })) =
+                (nodes.get(i), nodes.get(i + 1))
             {
-                if !matches!(name, "lock" | "read" | "write" | "drop") {
-                    if let Some(callee_locks) = self.call_map.get(name) {
-                        self.check_call(held, name, callee_locks, nodes[i].line());
+                if let Some(name) = node.ident() {
+                    if !matches!(name, "lock" | "read" | "write" | "drop") {
+                        if let Some(callee_locks) = self.call_map.get(name) {
+                            self.check_call(held, name, callee_locks, node.line());
+                        }
+                    }
+                    if BLOCKING_CALLS.contains(&name) {
+                        self.check_blocking(held, name, node.line());
                     }
                 }
             }
@@ -344,6 +398,30 @@ impl Walker<'_> {
                         "re-acquired `{name}` (rank {new_rank}) already held since line \
                          {} — self-deadlock on a non-reentrant lock",
                         h.line
+                    ),
+                });
+            }
+        }
+    }
+
+    /// The registration-lock blocking lint: a blocking call while a
+    /// readiness-registration guard is held stalls the event loop for
+    /// every connection.
+    fn check_blocking(&mut self, held: &[Held], call: &str, line: u32) {
+        if self.file.allowed("reg-block", line) {
+            return;
+        }
+        for h in held {
+            if self.cfg.registration_locks.contains(&h.lock) {
+                self.diags.push(Diagnostic {
+                    file: self.file.rel_path.clone(),
+                    line,
+                    lint: "reg-block",
+                    message: format!(
+                        "blocking call `{call}` while holding the readiness-registration \
+                         lock `{}` (acquired line {}); the event loop stalls every \
+                         connection until it returns",
+                        h.lock, h.line
                     ),
                 });
             }
@@ -620,6 +698,86 @@ mod tests {
             "#[cfg(test)] mod t { fn bad(&self) {\n\
              let pb = self.published.write().unwrap();\n\
              let st = self.state.lock().unwrap();\n} }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    /// Fixture runner for the `mad-net` shapes: the free-function
+    /// `lock(&…)` acquisition form and the registration-lock rank 8.
+    fn run_net(src: &str) -> Vec<Diagnostic> {
+        let file = SrcFile {
+            crate_name: "mad-net".into(),
+            rel_path: "crates/net/src/x.rs".into(),
+            is_crate_root: false,
+            assume_test: false,
+            text: src.into(),
+        };
+        let mut diags = Vec::new();
+        let parsed = parse_file(&file, &mut diags);
+        let mut spec = spec();
+        spec.lock_ranks.push(("reg".into(), 8));
+        let cfg = Config::default();
+        check(&[parsed], &spec, &cfg, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn free_fn_lock_is_an_acquisition() {
+        // rank 8 held, then rank 1 — out of order through the free form
+        let d = run_net(
+            "fn bad(&self) {\n\
+             let g = lock(&self.reg);\n\
+             let st = self.state.lock().unwrap();\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].lint, "lock-order");
+        assert!(d[0].message.contains("while holding `reg` (rank 8"));
+    }
+
+    #[test]
+    fn blocking_call_while_holding_reg_is_flagged() {
+        let d = run_net(
+            "fn bad(&self) {\n\
+             let g = lock(&shared.reg);\n\
+             thread::sleep(step);\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[0].lint, "reg-block");
+        assert!(d[0].message.contains("blocking call `sleep`"));
+    }
+
+    #[test]
+    fn reg_temporary_dies_at_the_semicolon() {
+        // `lock(&…).insert(…);` is a statement temporary — the guard is
+        // gone before the blocking call on the next line
+        let d = run_net(
+            "fn ok(&self) {\n\
+             lock(&shared.reg).insert(id, stream);\n\
+             thread::sleep(step);\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn blocking_on_an_unranked_connection_lock_is_fine() {
+        // only registration locks stall the event loop for everyone;
+        // per-connection mutexes may block their own connection
+        let d = run_net(
+            "fn ok(&self) {\n\
+             let work = lock(&conn.work);\n\
+             let item = rx.recv();\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn allow_reg_block_silences_with_reason() {
+        let d = run_net(
+            "fn ok(&self) {\n\
+             let g = lock(&shared.reg);\n\
+             // check: allow(reg-block, \"bounded: startup only, no peers yet\")\n\
+             thread::sleep(step);\n}",
         );
         assert!(d.is_empty(), "{d:?}");
     }

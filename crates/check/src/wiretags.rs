@@ -225,6 +225,7 @@ mod tests {
     fn cfg_one() -> Config {
         Config {
             lock_crates: vec![],
+            registration_locks: vec![],
             codec_files: vec![],
             wire_enums: vec![WireEnum {
                 enum_name: "Msg",
@@ -329,6 +330,7 @@ fn read_msg(r: &mut Reader) -> Result<Msg> {
     fn impl_scopes_match_trait_impls() {
         let cfg = Config {
             lock_crates: vec![],
+            registration_locks: vec![],
             codec_files: vec![],
             wire_enums: vec![WireEnum {
                 enum_name: "Msg",

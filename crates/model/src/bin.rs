@@ -133,6 +133,12 @@ impl<'a> Reader<'a> {
         })
     }
 
+    /// Read a length-prefixed byte blob (the counterpart of [`put_blob`]).
+    pub fn blob(&mut self) -> Result<Vec<u8>> {
+        let len = usize_of_u32(self.u32()?);
+        Ok(self.take(len)?.to_vec())
+    }
+
     /// Read a sequence length, sanity-capped against the remaining input so
     /// corrupt lengths cannot trigger huge allocations.
     pub fn seq_len(&mut self) -> Result<usize> {
@@ -195,6 +201,12 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, len_u32(s.len()));
     out.extend_from_slice(s.as_bytes());
+}
+
+/// Append a length-prefixed byte blob (opaque nested payloads).
+pub fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, len_u32(b.len()));
+    out.extend_from_slice(b);
 }
 
 impl BinEncode for String {
@@ -508,6 +520,155 @@ impl BinDecode for Schema {
     }
 }
 
+// ---------------------------------------------------------------------
+// Binary statement results (the network wire's `BinResult` frame payload)
+// ---------------------------------------------------------------------
+
+/// One node of a binary-encoded result structure: alias, atom-type name
+/// and the attribute schema its tuples decode against. Self-describing —
+/// a client needs no schema handshake to interpret the tuples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinNode {
+    /// The node's alias in the defining structure.
+    pub alias: String,
+    /// The underlying atom-type name.
+    pub atom_type: String,
+    /// Attribute definitions, in tuple order.
+    pub attrs: Vec<AttrDef>,
+}
+
+impl BinEncode for BinNode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_str(out, &self.alias);
+        put_str(out, &self.atom_type);
+        self.attrs.encode(out);
+    }
+}
+
+impl BinDecode for BinNode {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(BinNode {
+            alias: r.str()?,
+            atom_type: r.str()?,
+            attrs: Vec::decode(r)?,
+        })
+    }
+}
+
+/// One atom occurrence inside a binary-encoded molecule: which structure
+/// node it instantiates, its id, and its attribute tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinAtom {
+    /// Index into [`BinMolecules::nodes`].
+    pub node: u32,
+    /// The atom's id.
+    pub id: AtomId,
+    /// The attribute values, in [`BinNode::attrs`] order.
+    pub tuple: Vec<Value>,
+}
+
+impl BinEncode for BinAtom {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.node);
+        self.id.encode(out);
+        self.tuple.encode(out);
+    }
+}
+
+impl BinDecode for BinAtom {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(BinAtom {
+            node: r.u32()?,
+            id: AtomId::decode(r)?,
+            tuple: Vec::decode(r)?,
+        })
+    }
+}
+
+/// A molecule set in wire form: the derived type's name, its structure
+/// nodes, and each molecule as a pre-order list of atoms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinMolecules {
+    /// The molecule-type name.
+    pub name: String,
+    /// The structure's nodes.
+    pub nodes: Vec<BinNode>,
+    /// Each molecule: atoms in structure pre-order.
+    pub molecules: Vec<Vec<BinAtom>>,
+}
+
+impl BinEncode for BinMolecules {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_str(out, &self.name);
+        self.nodes.encode(out);
+        self.molecules.encode(out);
+    }
+}
+
+impl BinDecode for BinMolecules {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let v = BinMolecules {
+            name: r.str()?,
+            nodes: Vec::decode(r)?,
+            molecules: Vec::decode(r)?,
+        };
+        let node_count = len_u32(v.nodes.len());
+        for m in &v.molecules {
+            for a in m {
+                if a.node >= node_count {
+                    return Err(MadError::Codec {
+                        detail: format!(
+                            "atom references node {} of {} in binary molecule set",
+                            a.node, node_count
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(v)
+    }
+}
+
+/// A statement result in wire form. Molecule sets travel structurally
+/// (tag 1); every other result kind is forwarded as its rendered text
+/// (tag 0) — new tags may be appended, never renumbered.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BinResult {
+    /// A pre-rendered text result.
+    Text(String),
+    /// A structurally-encoded molecule set.
+    Molecules(BinMolecules),
+}
+
+impl BinEncode for BinResult {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            BinResult::Text(s) => {
+                out.push(0);
+                put_str(out, s);
+            }
+            BinResult::Molecules(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+        }
+    }
+}
+
+impl BinDecode for BinResult {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        Ok(match r.u8()? {
+            0 => BinResult::Text(r.str()?),
+            1 => BinResult::Molecules(BinMolecules::decode(r)?),
+            t => {
+                return Err(MadError::Codec {
+                    detail: format!("unknown BinResult tag {t}"),
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -611,6 +772,44 @@ mod tests {
         let bytes = 0x1000_0000u32.to_le_bytes().to_vec();
         assert!(matches!(
             Vec::<Value>::from_bytes(&bytes),
+            Err(MadError::Codec { .. })
+        ));
+    }
+
+    #[test]
+    fn bin_result_roundtrip() {
+        roundtrip(BinResult::Text("updated 1 atom(s)\n".to_owned()));
+        roundtrip(BinResult::Molecules(BinMolecules {
+            name: "result".to_owned(),
+            nodes: vec![BinNode {
+                alias: "state".to_owned(),
+                atom_type: "state".to_owned(),
+                attrs: vec![AttrDef {
+                    name: "sname".to_owned(),
+                    ty: AttrType::Text,
+                }],
+            }],
+            molecules: vec![vec![BinAtom {
+                node: 0,
+                id: AtomId::new(AtomTypeId(0), 3),
+                tuple: vec![Value::Text("SP".to_owned())],
+            }]],
+        }));
+    }
+
+    #[test]
+    fn bin_result_rejects_out_of_range_node_index() {
+        let bad = BinResult::Molecules(BinMolecules {
+            name: "r".to_owned(),
+            nodes: vec![],
+            molecules: vec![vec![BinAtom {
+                node: 7,
+                id: AtomId::new(AtomTypeId(0), 0),
+                tuple: vec![],
+            }]],
+        });
+        assert!(matches!(
+            BinResult::from_bytes(&bad.to_bytes()),
             Err(MadError::Codec { .. })
         ));
     }

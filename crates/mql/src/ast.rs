@@ -5,6 +5,7 @@
 //! and an [`ExprAst`] into a typed `mad_core::QualExpr`.
 
 use mad_core::qual::{AggFn, CmpOp};
+use mad_model::{MadError, Result};
 
 /// One parsed MQL statement.
 #[derive(Clone, Debug, PartialEq)]
@@ -79,6 +80,172 @@ pub enum Statement {
     /// included) and render its per-stage timing trace alongside the
     /// result.
     ExplainAnalyze(Box<Statement>),
+    /// `PREPARE name AS <stmt>` — parse (and for parameter-free SELECTs,
+    /// plan) once, cache in the session under `name`. The body may use
+    /// `$1`-style placeholders in literal positions.
+    Prepare {
+        /// The prepared-statement name.
+        name: String,
+        /// The prepared body.
+        body: Box<Statement>,
+    },
+    /// `EXECUTE name [(lit, …)]` — run a prepared statement, binding the
+    /// positional arguments to its `$n` placeholders.
+    ExecutePrepared {
+        /// The prepared-statement name.
+        name: String,
+        /// Positional arguments for `$1`, `$2`, ….
+        args: Vec<Lit>,
+    },
+    /// `DEALLOCATE name` / `DEALLOCATE ALL` — drop one (or every)
+    /// prepared statement from the session cache.
+    Deallocate {
+        /// The name to drop; `None` means `ALL`.
+        name: Option<String>,
+    },
+}
+
+impl Statement {
+    /// The highest `$n` placeholder referenced anywhere in the statement
+    /// (0 when the statement is parameter-free).
+    pub fn max_param(&self) -> u32 {
+        let mut max = 0u32;
+        // The mapper is total when every param is "bindable"; abuse it as
+        // a visitor by substituting each placeholder with Null.
+        let _ = self.map_lits(&mut |lit| {
+            if let Lit::Param(n) = lit {
+                max = max.max(*n);
+            }
+            Ok(lit.clone())
+        });
+        max
+    }
+
+    /// Substitute `$n` placeholders with the positional `args` (1-based),
+    /// returning the bound statement. Errors when a placeholder has no
+    /// matching argument.
+    pub fn bind_params(&self, args: &[Lit]) -> Result<Statement> {
+        self.map_lits(&mut |lit| match lit {
+            Lit::Param(n) => args.get(*n as usize - 1).cloned().ok_or_else(|| {
+                MadError::Analysis {
+                    detail: format!(
+                        "no value bound for parameter ${n} ({} supplied)",
+                        args.len()
+                    ),
+                }
+            }),
+            other => Ok(other.clone()),
+        })
+    }
+
+    /// Rebuild the statement with `f` applied to every literal position.
+    fn map_lits(&self, f: &mut impl FnMut(&Lit) -> Result<Lit>) -> Result<Statement> {
+        let map_sets = |sets: &[(String, Lit)],
+                        f: &mut dyn FnMut(&Lit) -> Result<Lit>|
+         -> Result<Vec<(String, Lit)>> {
+            sets.iter()
+                .map(|(k, v)| Ok((k.clone(), f(v)?)))
+                .collect()
+        };
+        let map_sel =
+            |sel: &AtomSelector, f: &mut dyn FnMut(&Lit) -> Result<Lit>| -> Result<AtomSelector> {
+                Ok(AtomSelector {
+                    atom_type: sel.atom_type.clone(),
+                    attr: sel.attr.clone(),
+                    value: f(&sel.value)?,
+                })
+            };
+        Ok(match self {
+            Statement::Select(sel) => Statement::Select(map_select(sel, f)?),
+            Statement::Explain(sel) => Statement::Explain(map_select(sel, f)?),
+            Statement::InsertAtom { atom_type, values } => Statement::InsertAtom {
+                atom_type: atom_type.clone(),
+                values: map_sets(values, f)?,
+            },
+            Statement::Connect { from, to, link } => Statement::Connect {
+                from: map_sel(from, f)?,
+                to: map_sel(to, f)?,
+                link: link.clone(),
+            },
+            Statement::Disconnect { from, to, link } => Statement::Disconnect {
+                from: map_sel(from, f)?,
+                to: map_sel(to, f)?,
+                link: link.clone(),
+            },
+            Statement::DeleteAtom { selector } => Statement::DeleteAtom {
+                selector: map_sel(selector, f)?,
+            },
+            Statement::Update { selector, sets } => Statement::Update {
+                selector: map_sel(selector, f)?,
+                sets: map_sets(sets, f)?,
+            },
+            Statement::ExplainAnalyze(inner) => {
+                Statement::ExplainAnalyze(Box::new(inner.map_lits(f)?))
+            }
+            Statement::Prepare { name, body } => Statement::Prepare {
+                name: name.clone(),
+                body: Box::new(body.map_lits(f)?),
+            },
+            Statement::ExecutePrepared { name, args } => Statement::ExecutePrepared {
+                name: name.clone(),
+                args: args.iter().map(&mut *f).collect::<Result<Vec<_>>>()?,
+            },
+            other => other.clone(),
+        })
+    }
+}
+
+fn map_select(sel: &SelectStmt, f: &mut impl FnMut(&Lit) -> Result<Lit>) -> Result<SelectStmt> {
+    Ok(SelectStmt {
+        projection: sel.projection.clone(),
+        from: sel.from.clone(),
+        where_clause: match &sel.where_clause {
+            Some(w) => Some(map_expr(w, f)?),
+            None => None,
+        },
+    })
+}
+
+fn map_expr(e: &ExprAst, f: &mut impl FnMut(&Lit) -> Result<Lit>) -> Result<ExprAst> {
+    Ok(match e {
+        ExprAst::Or(a, b) => ExprAst::Or(Box::new(map_expr(a, f)?), Box::new(map_expr(b, f)?)),
+        ExprAst::And(a, b) => ExprAst::And(Box::new(map_expr(a, f)?), Box::new(map_expr(b, f)?)),
+        ExprAst::Not(a) => ExprAst::Not(Box::new(map_expr(a, f)?)),
+        ExprAst::Cmp { left, op, right } => ExprAst::Cmp {
+            left: map_operand(left, f)?,
+            op: *op,
+            right: map_operand(right, f)?,
+        },
+        ExprAst::Exists { node, expr } => ExprAst::Exists {
+            node: node.clone(),
+            expr: Box::new(map_expr(expr, f)?),
+        },
+        ExprAst::Forall { node, expr } => ExprAst::Forall {
+            node: node.clone(),
+            expr: Box::new(map_expr(expr, f)?),
+        },
+        ExprAst::CountCmp { .. } => e.clone(),
+        ExprAst::AggCmp {
+            agg,
+            node,
+            attr,
+            op,
+            value,
+        } => ExprAst::AggCmp {
+            agg: *agg,
+            node: node.clone(),
+            attr: attr.clone(),
+            op: *op,
+            value: f(value)?,
+        },
+    })
+}
+
+fn map_operand(o: &OperandAst, f: &mut impl FnMut(&Lit) -> Result<Lit>) -> Result<OperandAst> {
+    Ok(match o {
+        OperandAst::Attr { .. } => o.clone(),
+        OperandAst::Lit(l) => OperandAst::Lit(f(l)?),
+    })
 }
 
 /// `SELECT projection FROM from [WHERE expr]`.
@@ -285,17 +452,23 @@ pub enum Lit {
     Bool(bool),
     /// NULL.
     Null,
+    /// A `$n` placeholder (1-based); only valid inside a `PREPARE` body
+    /// and substituted away by [`Statement::bind_params`] before
+    /// execution.
+    Param(u32),
 }
 
 impl Lit {
-    /// Convert into a storage value.
+    /// Convert into a storage value. Unbound placeholders are rejected
+    /// before execution ever reaches a literal position, so `Param`
+    /// degrades to NULL rather than panicking.
     pub fn to_value(&self) -> mad_model::Value {
         match self {
             Lit::Int(i) => mad_model::Value::Int(*i),
             Lit::Float(x) => mad_model::Value::Float(*x),
             Lit::Str(s) => mad_model::Value::Text(s.clone()),
             Lit::Bool(b) => mad_model::Value::Bool(*b),
-            Lit::Null => mad_model::Value::Null,
+            Lit::Null | Lit::Param(_) => mad_model::Value::Null,
         }
     }
 }

@@ -79,6 +79,15 @@ pub enum StatementResult {
         /// The recorded per-stage timings.
         trace: StmtTrace,
     },
+    /// PREPARE cached a statement under a name.
+    Prepared(String),
+    /// DEALLOCATE dropped prepared statements from the session cache.
+    Deallocated {
+        /// The dropped name (`None` for `DEALLOCATE ALL`).
+        name: Option<String>,
+        /// How many cache entries were dropped.
+        count: usize,
+    },
 }
 
 /// The write side of DML execution: either a [`Database`] mutated directly
@@ -286,6 +295,11 @@ pub fn execute(
         Statement::ShowStats { .. } | Statement::ExplainAnalyze(_) => Err(MadError::txn_state(
             "observability statements are handled by the session",
         )),
+        Statement::Prepare { .. }
+        | Statement::ExecutePrepared { .. }
+        | Statement::Deallocate { .. } => Err(MadError::txn_state(
+            "prepared-statement control is handled by the session",
+        )),
     }
 }
 
@@ -365,20 +379,32 @@ fn execute_explain(
     )))
 }
 
-fn execute_select(
-    engine: &mut Engine,
+/// An analyzed, parameter-free SELECT: name resolution, structure
+/// validation and WHERE typing already done, ready for repeated
+/// derivation without re-lexing/-parsing/-analyzing. This is what a
+/// session caches per prepared statement.
+#[derive(Clone, Debug)]
+pub struct PreparedPlan {
+    /// The molecule-type name the derivation registers under.
+    pub name: String,
+    /// The validated structure.
+    pub md: MoleculeStructure,
+    /// The typed WHERE qualification, when present.
+    pub qual: Option<QualExpr>,
+    /// The SELECT-list projection.
+    pub projection: Projection,
+}
+
+/// Analyze `sel` into a reusable [`PreparedPlan`]. Returns `None` for
+/// recursive FROM clauses, which bypass the molecule-algebra pipeline
+/// and are not plan-cacheable.
+pub fn plan_select(
+    engine: &Engine,
     catalog: &mut FxHashMap<String, MoleculeStructure>,
     sel: &SelectStmt,
-) -> Result<StatementResult> {
-    // recursive FROM is its own path
-    if let FromClause::Recursive {
-        atom_type,
-        link,
-        dir,
-        depth,
-    } = &sel.from
-    {
-        return execute_recursive(engine, sel, atom_type, link, *dir, *depth);
+) -> Result<Option<PreparedPlan>> {
+    if matches!(sel.from, FromClause::Recursive { .. }) {
+        return Ok(None);
     }
     let (name, md) = match &sel.from {
         FromClause::Named(n) => match catalog.get(n) {
@@ -402,19 +428,36 @@ fn execute_select(
             }
             (n, md)
         }
-        FromClause::Recursive { .. } => unreachable!(),
+        FromClause::Recursive { .. } => return Ok(None),
     };
+    let qual = match &sel.where_clause {
+        Some(w) => Some(analyze_expr(engine.db().schema(), &md, w)?),
+        None => None,
+    };
+    Ok(Some(PreparedPlan {
+        name,
+        md,
+        qual,
+        projection: sel.projection.clone(),
+    }))
+}
+
+/// Derive and project a previously planned SELECT. The derivation runs
+/// against the engine's **current** snapshot — a plan is analysis only,
+/// so re-executing it always sees fresh data.
+pub fn execute_planned(engine: &mut Engine, plan: &PreparedPlan) -> Result<StatementResult> {
     // WHERE → Σ (pushed into the definition, Def. 10 composed with Def. 8).
     // The engine picks the strategy: bitset derivation over the CSR
     // snapshot by default, overridable per session.
     let strategy = engine.preferred_strategy();
     let dt = StageTimer::start(StageKind::Derive);
-    let mt = match &sel.where_clause {
-        Some(w) => {
-            let qual = analyze_expr(engine.db().schema(), &md, w)?;
-            engine.define_restricted(&name, md, &qual, strategy)?
-        }
-        None => engine.define_with(&name, md, &DeriveOptions::with_strategy(strategy))?,
+    let mt = match &plan.qual {
+        Some(qual) => engine.define_restricted(&plan.name, plan.md.clone(), qual, strategy)?,
+        None => engine.define_with(
+            &plan.name,
+            plan.md.clone(),
+            &DeriveOptions::with_strategy(strategy),
+        )?,
     };
     if dt.is_timing() {
         let (csr_rebuilt, csr_pairs) = engine.db().csr_rebuild_stats().unwrap_or((0, 0));
@@ -430,8 +473,31 @@ fn execute_select(
         dt.finish();
     }
     // SELECT list → Π
-    let mt = apply_projection(engine, mt, &sel.projection)?;
+    let mt = apply_projection(engine, mt, &plan.projection)?;
     Ok(StatementResult::Molecules(mt))
+}
+
+fn execute_select(
+    engine: &mut Engine,
+    catalog: &mut FxHashMap<String, MoleculeStructure>,
+    sel: &SelectStmt,
+) -> Result<StatementResult> {
+    // recursive FROM is its own path
+    if let FromClause::Recursive {
+        atom_type,
+        link,
+        dir,
+        depth,
+    } = &sel.from
+    {
+        return execute_recursive(engine, sel, atom_type, link, *dir, *depth);
+    }
+    match plan_select(engine, catalog, sel)? {
+        Some(plan) => execute_planned(engine, &plan),
+        None => Err(MadError::Analysis {
+            detail: "recursive FROM clauses are not plannable".into(),
+        }),
+    }
 }
 
 fn apply_projection(

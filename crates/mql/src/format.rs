@@ -1,6 +1,7 @@
 //! Rendering of MQL statement results for terminal output.
 
 use crate::exec::StatementResult;
+use mad_model::bin::{len_u32, usize_of_u32, BinAtom, BinMolecules, BinNode, BinResult};
 use mad_model::json::Json;
 use mad_obs::MetricValue;
 use mad_storage::Database;
@@ -66,12 +67,108 @@ pub fn render_result(db: &Database, result: &StatementResult) -> String {
             stats.bytes_before, stats.bytes_after, stats.base_seq
         ),
         StatementResult::Stats(text) => text.clone(),
+        StatementResult::Prepared(name) => format!("prepared statement `{name}`\n"),
+        StatementResult::Deallocated {
+            name: Some(name), ..
+        } => format!("deallocated prepared statement `{name}`\n"),
+        StatementResult::Deallocated { name: None, count } => {
+            format!("deallocated {count} prepared statement(s)\n")
+        }
         StatementResult::Analyzed { inner, trace } => {
             let mut out = render_result(db, inner);
             if !out.ends_with('\n') {
                 out.push('\n');
             }
             out.push_str(&trace.render());
+            out
+        }
+    }
+}
+
+/// Encode a statement result for the binary wire encoding: molecule sets
+/// travel structurally (schema-described tuples, no text rendering),
+/// every other result kind is forwarded as its rendered text.
+pub fn bin_result(db: &Database, result: &StatementResult) -> BinResult {
+    match result {
+        StatementResult::Molecules(mt) => {
+            let schema = db.schema();
+            let nodes = mt
+                .structure
+                .nodes()
+                .iter()
+                .map(|n| {
+                    let def = schema.atom_type(n.ty);
+                    BinNode {
+                        alias: n.alias.clone(),
+                        atom_type: def.name.clone(),
+                        attrs: def.attrs.clone(),
+                    }
+                })
+                .collect();
+            let molecules = mt
+                .molecules
+                .iter()
+                .map(|m| {
+                    let mut atoms = Vec::with_capacity(m.atom_occurrences());
+                    for node in 0..mt.structure.node_count() {
+                        for &id in m.atoms_at(node) {
+                            atoms.push(BinAtom {
+                                node: len_u32(node),
+                                id,
+                                // a dead atom (deleted since derivation)
+                                // travels as an empty tuple, mirroring the
+                                // text renderer's `<dead>` marker
+                                tuple: db.atom(id).map(<[_]>::to_vec).unwrap_or_default(),
+                            });
+                        }
+                    }
+                    atoms
+                })
+                .collect();
+            BinResult::Molecules(BinMolecules {
+                name: mt.name.clone(),
+                nodes,
+                molecules,
+            })
+        }
+        other => BinResult::Text(render_result(db, other)),
+    }
+}
+
+/// Render a decoded binary result client-side. The encoding is
+/// self-describing, so no schema round-trip is needed; molecule sets come
+/// out as per-node atom listings (the structural link information is in
+/// the server-side tree rendering only).
+pub fn render_bin_result(result: &BinResult) -> String {
+    match result {
+        BinResult::Text(s) => s.clone(),
+        BinResult::Molecules(bm) => {
+            let mut out = format!(
+                "molecule type `{}`: {} molecule(s) (binary)\n",
+                bm.name,
+                bm.molecules.len()
+            );
+            let _ = writeln!(
+                out,
+                "nodes: {}",
+                bm.nodes
+                    .iter()
+                    .map(|n| n.alias.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            for m in &bm.molecules {
+                out.push_str("molecule:\n");
+                for a in m {
+                    let alias = bm
+                        .nodes
+                        .get(usize_of_u32(a.node))
+                        .map(|n| n.alias.as_str())
+                        .unwrap_or("?");
+                    let vals: Vec<String> = a.tuple.iter().map(|v| v.to_string()).collect();
+                    let _ = writeln!(out, "  {alias} {} <{}>", a.id, vals.join(", "));
+                }
+            }
             out
         }
     }

@@ -57,6 +57,9 @@ pub enum Kw {
     Abort,
     Rollback,
     Checkpoint,
+    Prepare,
+    Execute,
+    Deallocate,
 }
 
 fn keyword(s: &str) -> Option<Kw> {
@@ -106,6 +109,9 @@ fn keyword(s: &str) -> Option<Kw> {
         "ABORT" => Kw::Abort,
         "ROLLBACK" => Kw::Rollback,
         "CHECKPOINT" => Kw::Checkpoint,
+        "PREPARE" => Kw::Prepare,
+        "EXECUTE" => Kw::Execute,
+        "DEALLOCATE" => Kw::Deallocate,
         _ => return None,
     })
 }
@@ -136,6 +142,8 @@ pub enum Tok {
     Ge,
     Tilde,
     Star,
+    /// A prepared-statement parameter placeholder `$1`, `$2`, … (1-based).
+    Param(u32),
 }
 
 /// A token with its source offset.
@@ -286,6 +294,29 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     });
                     i += 1;
                 }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while bytes.get(j).is_some_and(|b| b.is_ascii_digit()) {
+                    j += 1;
+                }
+                let text = input.get(start..j).unwrap_or("");
+                let n: u32 = text.parse().map_err(|_| MadError::Parse {
+                    offset,
+                    detail: "expected a parameter number after `$`".into(),
+                })?;
+                if n == 0 {
+                    return Err(MadError::Parse {
+                        offset,
+                        detail: "parameter numbers start at $1".into(),
+                    });
+                }
+                out.push(Token {
+                    tok: Tok::Param(n),
+                    offset,
+                });
+                i = j;
             }
             '\'' => {
                 let mut s = String::new();
@@ -468,6 +499,26 @@ mod tests {
     fn rejects_unknown_character() {
         let err = lex("SELECT ?").unwrap_err();
         assert!(matches!(err, MadError::Parse { offset: 7, .. }));
+    }
+
+    #[test]
+    fn parameter_placeholders() {
+        assert_eq!(kinds("$1")[0], Tok::Param(1));
+        assert_eq!(kinds("$12")[0], Tok::Param(12));
+        assert_eq!(
+            kinds("sname = $2"),
+            vec![Tok::Ident("sname".into()), Tok::Eq, Tok::Param(2)]
+        );
+        assert!(lex("$").is_err());
+        assert!(lex("$0").is_err());
+        assert!(lex("$x").is_err());
+    }
+
+    #[test]
+    fn prepared_statement_keywords() {
+        assert_eq!(kinds("prepare")[0], Tok::Kw(Kw::Prepare));
+        assert_eq!(kinds("EXECUTE")[0], Tok::Kw(Kw::Execute));
+        assert_eq!(kinds("Deallocate")[0], Tok::Kw(Kw::Deallocate));
     }
 
     #[test]

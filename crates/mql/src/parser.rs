@@ -154,6 +154,17 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 Statement::Checkpoint
             }
+            Some(Tok::Kw(Kw::Prepare)) => self.prepare()?,
+            Some(Tok::Kw(Kw::Execute)) => self.execute_prepared()?,
+            Some(Tok::Kw(Kw::Deallocate)) => {
+                self.pos += 1;
+                let name = if self.eat_kw(Kw::All) {
+                    None
+                } else {
+                    Some(self.ident("prepared-statement name (or ALL)")?)
+                };
+                Statement::Deallocate { name }
+            }
             _ => return Err(self.err("expected a statement keyword")),
         };
         Ok(stmt)
@@ -486,11 +497,74 @@ impl<'a> Parser<'a> {
             Some(Tok::Kw(Kw::True)) if !neg => Ok(Lit::Bool(true)),
             Some(Tok::Kw(Kw::False)) if !neg => Ok(Lit::Bool(false)),
             Some(Tok::Kw(Kw::Null)) if !neg => Ok(Lit::Null),
+            Some(Tok::Param(n)) if !neg => Ok(Lit::Param(n)),
             _ => {
                 self.pos = self.pos.saturating_sub(1);
                 Err(self.err("expected a literal"))
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Prepared statements
+    // ------------------------------------------------------------------
+
+    fn prepare(&mut self) -> Result<Statement> {
+        self.expect_kw(Kw::Prepare, "PREPARE")?;
+        let name = self.ident("prepared-statement name")?;
+        self.expect_kw(Kw::As, "AS")?;
+        let at = self.offset();
+        let body = self.statement_body()?;
+        match body {
+            Statement::Select(_)
+            | Statement::Explain(_)
+            | Statement::Define { .. }
+            | Statement::InsertAtom { .. }
+            | Statement::Connect { .. }
+            | Statement::Disconnect { .. }
+            | Statement::DeleteAtom { .. }
+            | Statement::Update { .. } => {}
+            _ => {
+                return Err(MadError::Parse {
+                    offset: at,
+                    detail: "this statement kind cannot be PREPAREd \
+                             (queries, EXPLAIN, DEFINE and DML only)"
+                        .into(),
+                })
+            }
+        }
+        Ok(Statement::Prepare {
+            name,
+            body: Box::new(body),
+        })
+    }
+
+    fn execute_prepared(&mut self) -> Result<Statement> {
+        self.expect_kw(Kw::Execute, "EXECUTE")?;
+        let name = self.ident("prepared-statement name")?;
+        let mut args = Vec::new();
+        if self.eat(&Tok::LParen) {
+            if self.peek() != Some(&Tok::RParen) {
+                loop {
+                    let at = self.offset();
+                    let lit = self.literal()?;
+                    if matches!(lit, Lit::Param(_)) {
+                        return Err(MadError::Parse {
+                            offset: at,
+                            detail: "EXECUTE arguments must be plain literals, not `$n` \
+                                     placeholders"
+                                .into(),
+                        });
+                    }
+                    args.push(lit);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RParen, "`)`")?;
+        }
+        Ok(Statement::ExecutePrepared { name, args })
     }
 
     // ------------------------------------------------------------------
@@ -823,5 +897,69 @@ mod tests {
     fn trailing_semicolon_optional() {
         assert!(parse("SELECT ALL FROM state-area").is_ok());
         assert!(parse("SELECT ALL FROM state-area;").is_ok());
+    }
+
+    #[test]
+    fn prepare_execute_deallocate() {
+        let stmt = parse_ok("PREPARE q1 AS SELECT ALL FROM state-area WHERE state.sname = $1");
+        match &stmt {
+            Statement::Prepare { name, body } => {
+                assert_eq!(name, "q1");
+                assert!(matches!(**body, Statement::Select(_)));
+                assert_eq!(body.max_param(), 1);
+            }
+            other => panic!("expected Prepare, got {other:?}"),
+        }
+        assert_eq!(
+            parse_ok("EXECUTE q1 ('SP')"),
+            Statement::ExecutePrepared {
+                name: "q1".into(),
+                args: vec![Lit::Str("SP".into())],
+            }
+        );
+        assert_eq!(
+            parse_ok("EXECUTE q1"),
+            Statement::ExecutePrepared {
+                name: "q1".into(),
+                args: vec![],
+            }
+        );
+        assert_eq!(
+            parse_ok("DEALLOCATE q1"),
+            Statement::Deallocate {
+                name: Some("q1".into())
+            }
+        );
+        assert_eq!(parse_ok("DEALLOCATE ALL"), Statement::Deallocate { name: None });
+    }
+
+    #[test]
+    fn prepare_rejects_unpreparable_bodies() {
+        assert!(parse("PREPARE t AS BEGIN").is_err());
+        assert!(parse("PREPARE t AS COMMIT").is_err());
+        assert!(parse("PREPARE t AS CHECKPOINT").is_err());
+        assert!(parse("PREPARE t AS SHOW STATS").is_err());
+        assert!(parse("PREPARE t AS PREPARE u AS SELECT ALL FROM state-area").is_err());
+        assert!(parse("PREPARE t AS EXECUTE u").is_err());
+        assert!(parse("PREPARE t AS EXPLAIN ANALYZE SELECT ALL FROM state-area").is_err());
+    }
+
+    #[test]
+    fn execute_rejects_placeholder_arguments() {
+        assert!(parse("EXECUTE q1 ($1)").is_err());
+    }
+
+    #[test]
+    fn params_bind_in_dml_positions() {
+        let stmt = parse_ok("PREPARE u AS UPDATE state[sname=$1] SET hectare = $2");
+        let Statement::Prepare { body, .. } = stmt else {
+            panic!("expected Prepare");
+        };
+        assert_eq!(body.max_param(), 2);
+        let bound = body
+            .bind_params(&[Lit::Str("SP".into()), Lit::Float(9.0)])
+            .unwrap();
+        assert_eq!(bound.max_param(), 0);
+        assert!(body.bind_params(&[Lit::Str("SP".into())]).is_err());
     }
 }

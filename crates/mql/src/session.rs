@@ -22,8 +22,10 @@
 //!   statements into one atomic, snapshot-isolated unit whose SELECTs read
 //!   through the transaction's own write overlay.
 
-use crate::ast::Statement;
-use crate::exec::{execute, execute_dml, is_dml, StatementResult};
+use crate::ast::{FromClause, Lit, Statement};
+use crate::exec::{
+    execute, execute_dml, execute_planned, is_dml, plan_select, PreparedPlan, StatementResult,
+};
 use mad_core::derive::Strategy;
 use mad_core::ops::Engine;
 use mad_core::structure::MoleculeStructure;
@@ -55,6 +57,10 @@ struct MqlMetrics {
     statements: Counter,
     /// `mql.errors` — statements that returned an error.
     errors: Counter,
+    /// `mql.prepared.hits` — EXECUTEs served from a cached SELECT plan.
+    prepared_hits: Counter,
+    /// `mql.prepared.misses` — EXECUTEs that had to (re-)analyze.
+    prepared_misses: Counter,
 }
 
 impl MqlMetrics {
@@ -63,8 +69,25 @@ impl MqlMetrics {
             stmt_ns: obs.histogram("mql.stmt_ns"),
             statements: obs.counter("mql.statements"),
             errors: obs.counter("mql.errors"),
+            prepared_hits: obs.counter("mql.prepared.hits"),
+            prepared_misses: obs.counter("mql.prepared.misses"),
         }
     }
+}
+
+/// One entry of the session's prepared-statement cache (`PREPARE name AS
+/// …`): the parsed body, ready to be parameter-bound and executed without
+/// re-lexing/-parsing.
+struct PreparedStmt {
+    /// The parsed body, placeholders unbound.
+    body: Statement,
+    /// Highest `$n` placeholder in the body (0 = parameter-free).
+    max_param: u32,
+    /// Cached analyzed plan for a parameter-free SELECT body, tagged with
+    /// the commit sequence it was analyzed at. A plan whose tag no longer
+    /// matches the session's `base_seq` is re-analyzed, never served —
+    /// concurrent committers can't leave a stale plan behind.
+    plan: Option<(u64, PreparedPlan)>,
 }
 
 /// An MQL session.
@@ -83,6 +106,9 @@ pub struct Session {
     obs: Registry,
     /// Cached metric handles (no registry lock on the statement path).
     metrics: MqlMetrics,
+    /// The prepared-statement cache (`PREPARE` / `EXECUTE` / `DEALLOCATE`).
+    /// Session-scoped, like the catalog: not transactional.
+    prepared: FxHashMap<String, PreparedStmt>,
 }
 
 impl Session {
@@ -98,6 +124,7 @@ impl Session {
             txn: None,
             obs,
             metrics,
+            prepared: FxHashMap::default(),
         }
     }
 
@@ -114,6 +141,7 @@ impl Session {
             txn: None,
             obs,
             metrics,
+            prepared: FxHashMap::default(),
         }
     }
 
@@ -132,6 +160,7 @@ impl Session {
             txn: None,
             obs,
             metrics,
+            prepared: FxHashMap::default(),
         }
     }
 
@@ -244,6 +273,32 @@ impl Session {
 
     /// Execute an already-parsed statement.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        // `$n` placeholders are only meaningful inside a PREPARE body;
+        // anywhere else they must fail loudly before touching data.
+        if !matches!(stmt, Statement::Prepare { .. }) {
+            let max = stmt.max_param();
+            if max > 0 {
+                return Err(MadError::Analysis {
+                    detail: format!(
+                        "unbound parameter ${max}: `$n` placeholders are only valid \
+                         inside a PREPARE body"
+                    ),
+                });
+            }
+        }
+        let result = self.dispatch_statement(stmt);
+        // A successful catalog mutation (DEFINE, or a named inline FROM
+        // registering its structure) can change what a cached plan's name
+        // resolution would see — drop every cached plan, keep the bodies.
+        if result.is_ok() && self.invalidates_plans(stmt) {
+            for p in self.prepared.values_mut() {
+                p.plan = None;
+            }
+        }
+        result
+    }
+
+    fn dispatch_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
         match stmt {
             Statement::Begin => self.begin().map(|_| StatementResult::Began),
             Statement::Commit => self.commit().map(|info| StatementResult::Committed {
@@ -257,6 +312,9 @@ impl Session {
                 self.show_stats(subsystem.as_deref(), *json)
             }
             Statement::ExplainAnalyze(inner) => self.explain_analyze(inner),
+            Statement::Prepare { name, body } => self.prepare(name, body),
+            Statement::ExecutePrepared { name, args } => self.execute_prepared(name, args),
+            Statement::Deallocate { name } => self.deallocate(name.as_deref()),
             _ if self.txn.is_some() => self.execute_in_txn(stmt),
             _ if self.shared.is_some() && is_dml(stmt) => self.execute_autocommit_dml(stmt),
             _ => {
@@ -264,6 +322,162 @@ impl Session {
                 execute(&mut self.engine, &mut self.catalog, stmt)
             }
         }
+    }
+
+    /// Can a successful execution of `stmt` change molecule-type name
+    /// resolution (and thereby stale a cached [`PreparedPlan`])?
+    fn invalidates_plans(&self, stmt: &Statement) -> bool {
+        match stmt {
+            Statement::Define { .. } => true,
+            Statement::Select(s) | Statement::Explain(s) => {
+                matches!(&s.from, FromClause::Inline { name: Some(_), .. })
+            }
+            Statement::ExplainAnalyze(inner) => self.invalidates_plans(inner),
+            Statement::ExecutePrepared { name, .. } => self
+                .prepared
+                .get(name)
+                .is_some_and(|p| self.invalidates_plans(&p.body)),
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Prepared statements
+    // ------------------------------------------------------------------
+
+    /// `PREPARE name AS <stmt>`: cache the parsed body under `name`
+    /// (re-preparing an existing name replaces it). Parameter-free SELECT
+    /// bodies are eagerly analyzed so the first `EXECUTE` already skips
+    /// analysis; parameterized bodies are analyzed at bind time.
+    fn prepare(&mut self, name: &str, body: &Statement) -> Result<StatementResult> {
+        // The parser enforces this too; re-check for programmatic ASTs so
+        // a prepared body can never recurse into prepared-statement
+        // control or session-only statements.
+        match body {
+            Statement::Select(_)
+            | Statement::Explain(_)
+            | Statement::Define { .. }
+            | Statement::InsertAtom { .. }
+            | Statement::Connect { .. }
+            | Statement::Disconnect { .. }
+            | Statement::DeleteAtom { .. }
+            | Statement::Update { .. } => {}
+            _ => {
+                return Err(MadError::Analysis {
+                    detail: "this statement kind cannot be PREPAREd \
+                             (queries, EXPLAIN, DEFINE and DML only)"
+                        .into(),
+                })
+            }
+        }
+        let max_param = body.max_param();
+        let mut plan = None;
+        if max_param == 0 && self.txn.is_none() {
+            if let Statement::Select(sel) = body {
+                if !matches!(sel.from, FromClause::Recursive { .. }) {
+                    self.refresh_if_stale();
+                    plan = plan_select(&self.engine, &mut self.catalog, sel)?
+                        .map(|p| (self.base_seq, p));
+                }
+            }
+        }
+        self.prepared.insert(
+            name.to_owned(),
+            PreparedStmt {
+                body: body.clone(),
+                max_param,
+                plan,
+            },
+        );
+        Ok(StatementResult::Prepared(name.to_owned()))
+    }
+
+    /// `EXECUTE name [(args)]`: bind and run a prepared statement. A
+    /// parameter-free SELECT outside a transaction runs through the cached
+    /// plan when its commit-sequence tag still matches (skipping lex,
+    /// parse *and* analysis); everything else re-binds the cached AST
+    /// (still skipping lex/parse).
+    fn execute_prepared(&mut self, name: &str, args: &[Lit]) -> Result<StatementResult> {
+        let expected = match self.prepared.get(name) {
+            Some(entry) => entry.max_param as usize,
+            None => return Err(MadError::unknown("prepared statement", name)),
+        };
+        if args.len() != expected {
+            return Err(MadError::Analysis {
+                detail: format!(
+                    "prepared statement `{name}` expects {expected} parameter(s), \
+                     {} given",
+                    args.len()
+                ),
+            });
+        }
+        // Plan-cache fast path: parameter-free SELECT, no open transaction.
+        if expected == 0 && self.txn.is_none() {
+            self.refresh_if_stale();
+            let base_seq = self.base_seq;
+            // Disjoint field borrows: the cached plan lives in `prepared`,
+            // execution needs `engine`/`catalog`.
+            let Session {
+                engine,
+                catalog,
+                prepared,
+                metrics,
+                ..
+            } = self;
+            if let Some(entry) = prepared.get_mut(name) {
+                if let Statement::Select(sel) = &entry.body {
+                    if let Some((seq, plan)) = &entry.plan {
+                        if *seq == base_seq {
+                            metrics.prepared_hits.inc();
+                            return execute_planned(engine, plan);
+                        }
+                    }
+                    if !matches!(sel.from, FromClause::Recursive { .. }) {
+                        metrics.prepared_misses.inc();
+                        if let Some(plan) = plan_select(engine, catalog, sel)? {
+                            let result = execute_planned(engine, &plan);
+                            entry.plan = Some((base_seq, plan));
+                            return result;
+                        }
+                    }
+                }
+            }
+        }
+        // General path: clone the body out of the cache (releasing the
+        // map borrow), bind arguments, and dispatch like any statement.
+        let bound = match self.prepared.get(name) {
+            Some(entry) if expected == 0 => entry.body.clone(),
+            Some(entry) => entry.body.bind_params(args)?,
+            None => return Err(MadError::unknown("prepared statement", name)),
+        };
+        self.execute_statement(&bound)
+    }
+
+    /// `DEALLOCATE name` / `DEALLOCATE ALL`.
+    fn deallocate(&mut self, name: Option<&str>) -> Result<StatementResult> {
+        match name {
+            Some(n) => {
+                if self.prepared.remove(n).is_none() {
+                    return Err(MadError::unknown("prepared statement", n));
+                }
+                Ok(StatementResult::Deallocated {
+                    name: Some(n.to_owned()),
+                    count: 1,
+                })
+            }
+            None => {
+                let count = self.prepared.len();
+                self.prepared.clear();
+                Ok(StatementResult::Deallocated { name: None, count })
+            }
+        }
+    }
+
+    /// Names in the prepared-statement cache (sorted; for shells).
+    pub fn prepared_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.prepared.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
     }
 
     /// `SHOW STATS [subsystem] [AS JSON]`: snapshot the registry (polling
@@ -332,6 +546,29 @@ impl Session {
         let mut t = trace::take().unwrap_or_default();
         t.text = mql.trim().to_owned();
         (rendered, t)
+    }
+
+    /// Parse and execute one MQL statement, returning the result in the
+    /// binary wire encoding ([`crate::format::bin_result`]): molecule
+    /// sets travel structurally, everything else as rendered text. The
+    /// binary-mode sibling of [`Session::execute_rendered`].
+    pub fn execute_bin(&mut self, mql: &str) -> Result<mad_model::bin::BinResult> {
+        let result = self.execute(mql)?;
+        Ok(crate::format::bin_result(self.db(), &result))
+    }
+
+    /// [`Session::execute_bin`] under a per-statement trace — the
+    /// binary-mode sibling of [`Session::execute_rendered_traced`].
+    pub fn execute_bin_traced(
+        &mut self,
+        mql: &str,
+    ) -> (Result<mad_model::bin::BinResult>, StmtTrace) {
+        trace::begin();
+        let result = self.execute(mql);
+        let encoded = result.map(|r| crate::format::bin_result(self.db(), &r));
+        let mut t = trace::take().unwrap_or_default();
+        t.text = mql.trim().to_owned();
+        (encoded, t)
     }
 
     /// Execute a script of `;`-separated statements, returning every result.
@@ -1250,5 +1487,119 @@ mod tests {
         assert_eq!(mt.len(), 1, "in-transaction SELECT observed the insert");
         let after = mad_storage::DatabaseSnapshot::capture(s.db()).to_json_string();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn prepare_execute_roundtrip() {
+        let mut s = session();
+        let r = s
+            .execute("PREPARE q AS SELECT ALL FROM state-area WHERE state.sname = 'SP'")
+            .unwrap();
+        assert!(matches!(r, StatementResult::Prepared(ref n) if n == "q"));
+        for _ in 0..3 {
+            let StatementResult::Molecules(mt) = s.execute("EXECUTE q").unwrap() else {
+                panic!("expected molecules");
+            };
+            assert_eq!(mt.len(), 1);
+        }
+        // the parameter-free SELECT plan is cached after the eager prepare
+        assert!(s.obs().counter("mql.prepared.hits").get() >= 2);
+        let r = s.execute("DEALLOCATE q").unwrap();
+        assert!(matches!(r, StatementResult::Deallocated { count: 1, .. }));
+        let err = s.execute("EXECUTE q").unwrap_err();
+        assert!(matches!(err, MadError::UnknownName { .. }), "{err}");
+    }
+
+    #[test]
+    fn prepared_parameters_bind_per_execute() {
+        let mut s = session();
+        s.execute("PREPARE by_name AS SELECT ALL FROM state WHERE state.sname = $1")
+            .unwrap();
+        let StatementResult::Molecules(mt) = s.execute("EXECUTE by_name ('SP')").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(mt.len(), 1);
+        let StatementResult::Molecules(mt) = s.execute("EXECUTE by_name ('nope')").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(mt.len(), 0);
+        // wrong arity errors cleanly
+        assert!(s.execute("EXECUTE by_name").is_err());
+        assert!(s.execute("EXECUTE by_name ('a', 'b')").is_err());
+        // parameterized DML binds too
+        s.execute("PREPARE upd AS UPDATE state[sname=$1] SET hectare = $2")
+            .unwrap();
+        let r = s.execute("EXECUTE upd ('SP', 123.0)").unwrap();
+        assert!(matches!(r, StatementResult::Updated { atoms: 1 }));
+    }
+
+    #[test]
+    fn unbound_parameters_outside_prepare_error() {
+        let mut s = session();
+        let err = s
+            .execute("SELECT ALL FROM state WHERE state.sname = $1")
+            .unwrap_err();
+        assert!(matches!(err, MadError::Analysis { .. }), "{err}");
+        let err = s
+            .execute("UPDATE state[sname=$1] SET hectare = 1.0")
+            .unwrap_err();
+        assert!(matches!(err, MadError::Analysis { .. }), "{err}");
+    }
+
+    #[test]
+    fn prepared_plan_cache_invalidated_by_concurrent_commit() {
+        let handle = DbHandle::new(mini_geo());
+        let mut a = Session::shared(handle.clone());
+        let mut b = Session::shared(handle.clone());
+        a.execute("PREPARE q AS SELECT ALL FROM state").unwrap();
+        let StatementResult::Molecules(mt) = a.execute("EXECUTE q").unwrap() else {
+            panic!()
+        };
+        assert_eq!(mt.len(), 2);
+        // another session commits a new state atom; the cached plan's
+        // commit-seq tag no longer matches, so the next EXECUTE re-plans
+        // against the refreshed fork and sees three states
+        b.execute("INSERT ATOM state (sname = 'RJ', hectare = 1.0)")
+            .unwrap();
+        let StatementResult::Molecules(mt) = a.execute("EXECUTE q").unwrap() else {
+            panic!()
+        };
+        assert_eq!(mt.len(), 3, "stale plan must never serve stale data");
+        assert!(a.obs().counter("mql.prepared.misses").get() >= 1);
+    }
+
+    #[test]
+    fn prepared_plan_invalidated_by_define() {
+        let mut s = session();
+        s.execute("DEFINE MOLECULE v AS state-area").unwrap();
+        s.execute("PREPARE q AS SELECT ALL FROM v").unwrap();
+        let StatementResult::Molecules(mt) = s.execute("EXECUTE q").unwrap() else {
+            panic!()
+        };
+        assert_eq!(mt.structure.node_count(), 2);
+        // redefine `v` to a different structure: the cached plan must drop
+        s.execute("DEFINE MOLECULE v AS state").unwrap();
+        let StatementResult::Molecules(mt) = s.execute("EXECUTE q").unwrap() else {
+            panic!()
+        };
+        assert_eq!(mt.structure.node_count(), 1);
+    }
+
+    #[test]
+    fn prepare_works_inside_transactions() {
+        let mut s = Session::shared(DbHandle::new(mini_geo()));
+        s.execute("PREPARE ins AS INSERT ATOM state (sname = $1, hectare = $2)")
+            .unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("EXECUTE ins ('RJ', 1.0)").unwrap();
+        s.execute("EXECUTE ins ('ES', 2.0)").unwrap();
+        s.execute("COMMIT").unwrap();
+        let StatementResult::Molecules(mt) = s.execute("SELECT ALL FROM state").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(mt.len(), 4);
     }
 }

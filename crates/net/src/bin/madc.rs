@@ -10,7 +10,8 @@
 //! Statements end with `;` and may span lines; `--` starts a line
 //! comment. REPL commands: `\q` quits, `\ping` probes the server,
 //! `\stats [SUBSYSTEM]` renders the server's metrics registry (shorthand
-//! for `SHOW STATS …;`). Each
+//! for `SHOW STATS …;`), `\bin` toggles the binary result encoding
+//! (results arrive structurally and are rendered client-side). Each
 //! `madc` process is one server-side session, so `BEGIN; … COMMIT;`
 //! behaves transactionally across inputs — and like
 //! `Session::execute_script`, a failing statement stops the rest of its
@@ -18,7 +19,7 @@
 //! `COMMIT` publish a half-built transaction.
 
 use mad_mql::split_statements;
-use mad_net::Client;
+use mad_net::{Client, ENCODING_BINARY, ENCODING_TEXT};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -59,9 +60,12 @@ fn main() {
         info.commit_seq,
         if info.durable { "durable" } else { "in-memory" }
     );
-    println!("statements end with `;`   \\ping probes   \\stats shows metrics   \\q quits");
+    println!(
+        "statements end with `;`   \\ping probes   \\stats shows metrics   \\bin toggles binary results   \\q quits"
+    );
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    let mut binary = false;
     loop {
         prompt(if buffer.trim().is_empty() { "mql> " } else { "  -> " });
         let mut line = String::new();
@@ -78,6 +82,20 @@ fn main() {
             "\\ping" => {
                 match client.ping() {
                     Ok(()) => println!("pong"),
+                    Err(e) => eprintln!("error: {e}"),
+                }
+                continue;
+            }
+            "\\bin" => {
+                let want = if binary { ENCODING_TEXT } else { ENCODING_BINARY };
+                match client.set_encoding(want) {
+                    Ok(()) => {
+                        binary = !binary;
+                        println!(
+                            "result encoding: {}",
+                            if binary { "binary" } else { "text" }
+                        );
+                    }
                     Err(e) => eprintln!("error: {e}"),
                 }
                 continue;

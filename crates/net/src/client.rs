@@ -7,6 +7,7 @@ use crate::frame::{
     decode_response, encode_request, read_frame, write_frame, FrameIn, Request, Response, MAGIC,
     PROTOCOL_VERSION,
 };
+use mad_model::bin::{BinDecode, BinResult, Reader};
 use mad_model::{MadError, Result};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -21,6 +22,9 @@ pub struct ServerInfo {
     pub commit_seq: u64,
     /// Does the server write-ahead-log its commits?
     pub durable: bool,
+    /// Bitmask of result encodings the server supports (bit 0 text,
+    /// bit 1 binary) — see [`Client::set_encoding`].
+    pub encodings: u8,
 }
 
 /// Per-connection knobs: socket deadlines for each read and write, so a
@@ -144,10 +148,12 @@ impl Client {
                 protocol,
                 commit_seq,
                 durable,
+                encodings,
             } => ServerInfo {
                 protocol,
                 commit_seq,
                 durable,
+                encodings,
             },
             other => {
                 return Err(MadError::protocol(format!(
@@ -209,15 +215,11 @@ impl Client {
     /// transport failures surface as [`MadError::Io`] /
     /// [`MadError::Protocol`], with an expired deadline classified per
     /// [`crate::frame::is_timeout_error`].
+    /// After [`Client::set_encoding`] selected the binary encoding,
+    /// results arrive structurally and are rendered client-side.
     pub fn execute(&mut self, statement: &str) -> Result<String> {
         self.round_trip(&Request::Statement(statement.to_owned()))
-            .and_then(|resp| match resp {
-                Response::Result(text) => Ok(text),
-                Response::Error(e) => Err(e),
-                other => Err(MadError::protocol(format!(
-                    "expected a statement response, got {other:?}"
-                )))
-            })
+            .and_then(statement_text)
     }
 
     /// [`Client::execute`] under a [`RetryPolicy`], retrying only
@@ -242,10 +244,101 @@ impl Client {
         }
     }
 
+    /// Switch the connection's result encoding:
+    /// [`crate::frame::ENCODING_TEXT`] (the default — the server
+    /// renders) or [`crate::frame::ENCODING_BINARY`] (results
+    /// travel structurally; [`Client::execute`] renders them locally,
+    /// [`Client::execute_bin`] hands them over undecoded-into-text).
+    /// Takes effect for every statement after the acknowledgment.
+    pub fn set_encoding(&mut self, encoding: u8) -> Result<()> {
+        match self.round_trip(&Request::SetEncoding(encoding))? {
+            Response::EncodingAck(_) => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(MadError::protocol(format!(
+                "expected an encoding ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute one statement and return the structural result. Under the
+    /// binary encoding, molecule sets come back as decoded
+    /// [`BinResult::Molecules`]; under the text encoding (or for
+    /// non-molecule results) this degrades to [`BinResult::Text`].
+    pub fn execute_bin(&mut self, statement: &str) -> Result<BinResult> {
+        match self.round_trip(&Request::Statement(statement.to_owned()))? {
+            Response::Result(text) => Ok(BinResult::Text(text)),
+            Response::BinResult(bytes) => decode_bin(&bytes),
+            Response::Error(e) => Err(e),
+            other => Err(MadError::protocol(format!(
+                "expected a statement response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Queue one statement **without waiting for its response** — the
+    /// pipelining primitive. The server answers every request in order;
+    /// collect each response with [`Client::recv_result`]. `BEGIN` …
+    /// `COMMIT` may span a pipelined burst exactly as it spans
+    /// round-trips.
+    pub fn send_statement(&mut self, statement: &str) -> Result<()> {
+        write_frame(
+            &mut self.writer,
+            &encode_request(&Request::Statement(statement.to_owned())),
+        )
+    }
+
+    /// Receive the next in-order response for a statement queued with
+    /// [`Client::send_statement`].
+    pub fn recv_result(&mut self) -> Result<String> {
+        read_response(&mut self.reader).and_then(statement_text)
+    }
+
+    /// Pipeline a burst: write every statement, then collect every
+    /// response, in order. Per-statement failures (a conflict, an
+    /// unknown name) land in the inner results; only a transport failure
+    /// aborts the burst itself.
+    pub fn execute_pipelined(&mut self, statements: &[&str]) -> Result<Vec<Result<String>>> {
+        for statement in statements {
+            self.send_statement(statement)?;
+        }
+        let mut results = Vec::with_capacity(statements.len());
+        for _ in statements {
+            results.push(match read_response(&mut self.reader) {
+                Ok(resp) => statement_text(resp),
+                Err(e) => return Err(e),
+            });
+        }
+        Ok(results)
+    }
+
     fn round_trip(&mut self, req: &Request) -> Result<Response> {
         write_frame(&mut self.writer, &encode_request(req))?;
         read_response(&mut self.reader)
     }
+}
+
+/// Interpret a response to a statement as rendered text, rendering
+/// binary results client-side.
+fn statement_text(resp: Response) -> Result<String> {
+    match resp {
+        Response::Result(text) => Ok(text),
+        Response::BinResult(bytes) => {
+            decode_bin(&bytes).map(|bin| mad_mql::format::render_bin_result(&bin))
+        }
+        Response::Error(e) => Err(e),
+        other => Err(MadError::protocol(format!(
+            "expected a statement response, got {other:?}"
+        ))),
+    }
+}
+
+fn decode_bin(bytes: &[u8]) -> Result<BinResult> {
+    let mut r = Reader::new(bytes);
+    let bin = BinResult::decode(&mut r)
+        .map_err(|e| MadError::protocol(format!("malformed binary result: {e}")))?;
+    r.expect_end()
+        .map_err(|e| MadError::protocol(format!("malformed binary result: {e}")))?;
+    Ok(bin)
 }
 
 fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Response> {

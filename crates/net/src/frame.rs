@@ -9,13 +9,26 @@
 //! frame  := len:u32le crc:u32le payload[len]        (crc = CRC-32/IEEE of payload)
 //! request  := 0x00 statement:str                    (one MQL statement)
 //!           | 0x01                                  (ping)
+//!           | 0x02 encoding:u8                      (set result encoding: 0 text, 1 binary)
 //! response := 0x00 rendered:str                     (statement result text)
 //!           | 0x01 error                            (statement/protocol error)
 //!           | 0x02                                  (pong)
-//!           | 0x03 proto:u32le seq:u64le durable:u8 (server hello)
+//!           | 0x03 proto:u32le seq:u64le durable:u8 encodings:u8
+//!                                                   (server hello; encodings is a bitmask:
+//!                                                    bit 0 text, bit 1 binary)
+//!           | 0x04 bytes:blob                       (statement result, binary encoding —
+//!                                                    a `mad_model::bin::BinResult` payload)
+//!           | 0x05 encoding:u8                      (ack of a SetEncoding request)
 //! str    := len:u32le utf8[len]
+//! blob   := len:u32le bytes[len]
 //! error  := tag:u8 fields…                          (structural MadError encoding)
 //! ```
+//!
+//! Requests may be **pipelined**: a client can write any number of request
+//! frames without waiting for responses, and the server answers each one
+//! with exactly one response frame, in request order. A `BEGIN … COMMIT`
+//! span may extend across pipelined frames; a disconnect with a
+//! transaction open aborts it.
 //!
 //! The framing discipline mirrors the `mad_wal` log (`len` + CRC + payload)
 //! and is hardened the same way: a declared length beyond
@@ -25,7 +38,9 @@
 //! connection is closed with [`MadError::Protocol`], the shared handle is
 //! never touched.
 
-use mad_model::bin::{len_u32, put_str, put_u32, put_u64, u64_of_usize, usize_of_u32, usize_of_u64, Reader};
+use mad_model::bin::{
+    len_u32, put_blob, put_str, put_u32, put_u64, u64_of_usize, usize_of_u32, usize_of_u64, Reader,
+};
 use mad_model::{MadError, Result};
 use mad_wal::crc32;
 use std::io::{Read, Write};
@@ -35,8 +50,22 @@ use std::io::{Read, Write};
 pub const MAGIC: &[u8; 8] = b"MADNET1\n";
 
 /// Protocol version carried in the server hello; bumped on any
-/// incompatible change to the frame or payload format.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// incompatible change to the frame or payload format. Version 2 added
+/// pipelining, the result-encoding negotiation
+/// ([`Request::SetEncoding`] / [`Response::EncodingAck`]) and the binary
+/// result payload ([`Response::BinResult`]).
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Result-encoding selector: rendered text (the default).
+pub const ENCODING_TEXT: u8 = 0;
+
+/// Result-encoding selector: structural binary
+/// (`mad_model::bin::BinResult` payloads in [`Response::BinResult`]).
+pub const ENCODING_BINARY: u8 = 1;
+
+/// Bitmask of encodings this server supports, advertised in the hello
+/// (bit 0 = text, bit 1 = binary).
+pub const SUPPORTED_ENCODINGS: u8 = 0b11;
 
 /// Size of a frame header (`len` + `crc`).
 pub const FRAME_HEADER: usize = 8;
@@ -77,6 +106,11 @@ pub enum Request {
     Statement(String),
     /// Liveness probe; the server answers [`Response::Pong`].
     Ping,
+    /// Switch the connection's result encoding ([`ENCODING_TEXT`] or
+    /// [`ENCODING_BINARY`]); the server answers
+    /// [`Response::EncodingAck`]. Takes effect for statements *after*
+    /// this request in the pipeline.
+    SetEncoding(u8),
 }
 
 /// One server response.
@@ -99,7 +133,17 @@ pub enum Response {
         commit_seq: u64,
         /// Does the served handle write-ahead-log its commits?
         durable: bool,
+        /// Bitmask of result encodings the server supports (bit 0 text,
+        /// bit 1 binary); see [`SUPPORTED_ENCODINGS`].
+        encodings: u8,
     },
+    /// The statement succeeded; the result in the binary encoding — an
+    /// encoded `mad_model::bin::BinResult`. Sent only after the client
+    /// selected [`ENCODING_BINARY`].
+    BinResult(Vec<u8>),
+    /// Answer to [`Request::SetEncoding`], echoing the encoding now in
+    /// effect.
+    EncodingAck(u8),
 }
 
 // ---------------------------------------------------------------------
@@ -169,6 +213,38 @@ pub fn read_frame(r: &mut impl Read) -> Result<FrameIn> {
     Ok(FrameIn::Payload(payload))
 }
 
+/// Try to extract one complete frame from the front of `buf` — the
+/// accumulation buffer of a readiness-driven reader, which sees bytes in
+/// whatever chunks the socket delivers (partial frames, several coalesced
+/// frames, or a frame split across sweeps). Returns `Ok(None)` while the
+/// buffer holds only a partial frame; on success the frame's bytes are
+/// consumed from `buf` and the verified payload is returned. The same
+/// hardening as [`read_frame`] applies: an oversized declared length is
+/// rejected before any allocation, a checksum mismatch is a
+/// [`MadError::Protocol`].
+pub fn extract_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>> {
+    if buf.len() < FRAME_HEADER {
+        return Ok(None);
+    }
+    let mut header = Reader::new(&buf[..FRAME_HEADER]);
+    let len = usize_of_u32(header.u32().map_err(bad_payload)?);
+    let crc = header.u32().map_err(bad_payload)?;
+    if len > MAX_FRAME_LEN {
+        return Err(MadError::protocol(format!(
+            "peer declared a {len} byte frame (limit {MAX_FRAME_LEN}); refusing to allocate"
+        )));
+    }
+    let Some(body) = buf.get(FRAME_HEADER..FRAME_HEADER + len) else {
+        return Ok(None);
+    };
+    if crc32(body) != crc {
+        return Err(MadError::protocol("frame checksum mismatch"));
+    }
+    let payload = body.to_vec();
+    buf.drain(..FRAME_HEADER + len);
+    Ok(Some(payload))
+}
+
 enum ReadOutcome {
     Full,
     Eof,
@@ -209,6 +285,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_str(&mut out, text);
         }
         Request::Ping => out.push(1),
+        Request::SetEncoding(enc) => {
+            out.push(2);
+            out.push(*enc);
+        }
     }
     out
 }
@@ -220,6 +300,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
     let req = match r.u8().map_err(bad_payload)? {
         0 => Request::Statement(r.str().map_err(bad_payload)?),
         1 => Request::Ping,
+        2 => Request::SetEncoding(r.u8().map_err(bad_payload)?),
         t => return Err(MadError::protocol(format!("unknown request tag {t}"))),
     };
     r.expect_end().map_err(bad_payload)?;
@@ -243,11 +324,21 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             protocol,
             commit_seq,
             durable,
+            encodings,
         } => {
             out.push(3);
             put_u32(&mut out, *protocol);
             put_u64(&mut out, *commit_seq);
             out.push(u8::from(*durable));
+            out.push(*encodings);
+        }
+        Response::BinResult(bytes) => {
+            out.push(4);
+            put_blob(&mut out, bytes);
+        }
+        Response::EncodingAck(enc) => {
+            out.push(5);
+            out.push(*enc);
         }
     }
     out
@@ -265,7 +356,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             protocol: r.u32().map_err(bad_payload)?,
             commit_seq: r.u64().map_err(bad_payload)?,
             durable: r.u8().map_err(bad_payload)? != 0,
+            encodings: r.u8().map_err(bad_payload)?,
         },
+        4 => Response::BinResult(r.blob().map_err(bad_payload)?),
+        5 => Response::EncodingAck(r.u8().map_err(bad_payload)?),
         t => return Err(MadError::protocol(format!("unknown response tag {t}"))),
     };
     r.expect_end().map_err(bad_payload)?;
@@ -521,7 +615,11 @@ mod tests {
 
     #[test]
     fn request_and_response_roundtrip() {
-        for req in [Request::Statement("SELECT ALL FROM state;".into()), Request::Ping] {
+        for req in [
+            Request::Statement("SELECT ALL FROM state;".into()),
+            Request::Ping,
+            Request::SetEncoding(ENCODING_BINARY),
+        ] {
             assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
         }
         for resp in [
@@ -531,11 +629,24 @@ mod tests {
                 protocol: PROTOCOL_VERSION,
                 commit_seq: 42,
                 durable: true,
+                encodings: SUPPORTED_ENCODINGS,
             },
             Response::Error(MadError::txn_conflict("write-write conflict on atom a0s0")),
+            Response::BinResult(vec![0, 1, 2, 0xff]),
+            Response::EncodingAck(ENCODING_TEXT),
         ] {
             assert_eq!(roundtrip_response(&resp), resp);
         }
+    }
+
+    #[test]
+    fn truncated_bin_result_blob_is_a_protocol_error() {
+        let mut payload = encode_response(&Response::BinResult(vec![7; 16]));
+        payload.truncate(payload.len() - 4);
+        assert!(matches!(
+            decode_response(&payload),
+            Err(MadError::Protocol { .. })
+        ));
     }
 
     #[test]
@@ -605,6 +716,35 @@ mod tests {
             };
             assert!(matches!(err, MadError::Protocol { .. }), "cut {cut}: {err}");
         }
+    }
+
+    #[test]
+    fn extract_frame_handles_partial_and_coalesced_input() {
+        let a = encode_request(&Request::Ping);
+        let b = encode_request(&Request::Statement("SELECT ALL FROM state".into()));
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        // feed the coalesced byte stream one byte at a time: a partial
+        // frame yields None, each completed frame pops exactly once
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        for byte in wire {
+            buf.push(byte);
+            while let Some(p) = extract_frame(&mut buf).unwrap() {
+                got.push(p);
+            }
+        }
+        assert!(buf.is_empty());
+        assert_eq!(got, vec![a, b]);
+        // oversized length and corrupt checksum are rejected, as in read_frame
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            extract_frame(&mut huge),
+            Err(MadError::Protocol { .. })
+        ));
     }
 
     #[test]

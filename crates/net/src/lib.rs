@@ -7,15 +7,23 @@
 //! (molecule derivation, transactions, the write-ahead log) stays on the
 //! server. This crate turns the workspace into that multi-user service:
 //!
-//! * [`Server`] — a TCP listener serving one shared, optionally durable
-//!   [`mad_txn::DbHandle`] to many concurrent clients: one OS thread and
-//!   one [`mad_mql::Session::shared`] per connection, so `BEGIN … COMMIT`
-//!   spans as many round-trips as the client likes while other
-//!   connections keep reading committed snapshots.
+//! * [`Server`] — a readiness-based event loop serving one shared,
+//!   optionally durable [`mad_txn::DbHandle`] to many concurrent
+//!   clients: one poller thread owns every socket (see [`poller`]), a
+//!   fixed worker pool executes statements against one
+//!   [`mad_mql::Session::shared`] per connection. Clients may
+//!   **pipeline** any number of requests; responses come back in
+//!   request order, and `BEGIN … COMMIT` spans as many round-trips (or
+//!   pipelined frames) as the client likes while other connections keep
+//!   reading committed snapshots.
 //! * [`Client`] — a small blocking client: connect, send MQL statement
 //!   text, get the rendered result (or the server's error, with
 //!   [`mad_model::MadError::is_conflict`] preserved across the wire so
-//!   retry loops work remotely exactly like they do in-process).
+//!   retry loops work remotely exactly like they do in-process). The
+//!   binary result encoding ([`Client::set_encoding`]) ships molecule
+//!   sets structurally instead of as server-rendered text;
+//!   [`Client::send_statement`] / [`Client::recv_result`] expose the
+//!   pipeline directly.
 //! * [`frame`] — the wire format: length-prefixed, CRC-32-checksummed
 //!   frames (the same framing discipline as the `mad_wal` log), hardened
 //!   against oversized and truncated input. The normative spec lives in
@@ -34,10 +42,14 @@
 
 pub mod client;
 pub mod frame;
+pub mod poller;
 pub mod server;
 
 pub use client::{Client, ClientConfig, RetryPolicy, ServerInfo};
-pub use frame::{is_timeout_error, Request, Response, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use frame::{
+    is_timeout_error, Request, Response, ENCODING_BINARY, ENCODING_TEXT, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
 pub use server::{Server, ServerConfig};
 
 pub use mad_txn::DbHandle;

@@ -20,6 +20,13 @@
 //!   *durable* handle, a simulated kill at a random WAL record boundary,
 //!   then recovery with prefix-consistency verification (benchmark B9's
 //!   correctness twin).
+//! * [`net`] — the networked crash scenario: TCP clients against a
+//!   durable [`mad_net::Server`], a kill mid-traffic, a WAL cut, restart,
+//!   and acked-prefix verification over the wire.
+//! * [`pipeline`] — the pipelining stress scenario: connections keeping
+//!   whole transaction groups in flight, a deterministic forced conflict
+//!   answered in pipeline order, an abrupt mid-burst server kill, and
+//!   the same acked-prefix verification.
 //! * [`failover`] — the replication failover scenario: the network
 //!   workload against a primary streaming to sync-quorum standbys under
 //!   fault injection, a mid-traffic kill, standby promotion, and
@@ -32,6 +39,7 @@ pub mod failover;
 pub mod geo;
 pub mod mixed;
 pub mod net;
+pub mod pipeline;
 pub mod rng;
 pub mod vlsi;
 
@@ -42,4 +50,5 @@ pub use failover::{run_failover, FailoverParams, FailoverStats};
 pub use geo::{generate_geo, GeoParams};
 pub use mixed::{mixed_database, run_mixed, MixedParams, MixedStats};
 pub use net::{run_net_crash, NetCrashParams, NetCrashStats};
+pub use pipeline::{run_net_pipeline, NetPipelineParams, NetPipelineStats};
 pub use vlsi::{generate_vlsi, VlsiParams};

@@ -16,11 +16,15 @@
 #   7. the networked crash scenario on loopback: TCP clients against a
 #      durable server, kill mid-traffic, restart, acked-prefix
 #      verification (examples/network.rs),
-#   8. the replication failover scenario on loopback: sync-quorum
+#   8. the pipelining stress scenario on loopback: N connections with
+#      whole transaction groups in flight, a deterministic forced
+#      conflict answered in pipeline order, an abrupt mid-burst server
+#      kill, acked-prefix verification (examples/pipelining.rs),
+#   9. the replication failover scenario on loopback: sync-quorum
 #      standbys under fault injection, kill the primary mid-traffic,
 #      promote a standby, acked-prefix verification on the promoted
 #      node (examples/failover.rs),
-#   9. the observability smoke: a real `madd --slow-query-ms 0` daemon
+#  10. the observability smoke: a real `madd --slow-query-ms 0` daemon
 #      driven over TCP by `madc`, asserting EXPLAIN ANALYZE renders a
 #      staged trace, SHOW STATS serves table + JSON forms, and the
 #      slow-query ring buffer recorded the traffic.
@@ -52,6 +56,9 @@ cargo run --release --quiet --example durability
 
 echo "== networked crash scenario on loopback (examples/network.rs)"
 cargo run --release --quiet --example network
+
+echo "== pipelining stress with mid-burst kill (examples/pipelining.rs)"
+cargo run --release --quiet --example pipelining
 
 echo "== replication failover scenario under fault injection (examples/failover.rs)"
 cargo run --release --quiet --example failover

@@ -11,6 +11,8 @@
 //! * [`algebra`] — the atom-type algebra and the molecule algebra
 //!   (Def. 4–10, Theorems 1–3), molecule derivation, recursion,
 //! * [`mql`] — the molecule query language of §4,
+//! * [`obs`] — the metrics registry, per-statement tracing and the
+//!   slow-query log,
 //! * [`net`] — the TCP server front-end and blocking client (MQL over
 //!   checksummed frames; one shared session per connection),
 //! * [`repl`] — streaming WAL replication: primary, warm standbys with
@@ -34,6 +36,7 @@ pub use mad_model as model;
 pub use mad_mql as mql;
 pub use mad_net as net;
 pub use mad_nf2 as nf2;
+pub use mad_obs as obs;
 pub use mad_relational as relational;
 pub use mad_repl as repl;
 pub use mad_storage as storage;

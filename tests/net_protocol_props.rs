@@ -73,13 +73,16 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         text_strategy().prop_map(Response::Result),
         error_strategy().prop_map(Response::Error),
         Just(Response::Pong),
-        (0u32..9, 0u64..1 << 40, 0u64..2).prop_map(|(protocol, commit_seq, d)| {
-            Response::Hello {
+        (0u32..9, 0u64..1 << 40, 0u64..2, any::<u8>()).prop_map(
+            |(protocol, commit_seq, d, encodings)| Response::Hello {
                 protocol,
                 commit_seq,
                 durable: d == 1,
+                encodings,
             }
-        }),
+        ),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(Response::BinResult),
+        any::<u8>().prop_map(Response::EncodingAck),
     ]
 }
 
@@ -87,6 +90,7 @@ fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
         text_strategy().prop_map(Request::Statement),
         Just(Request::Ping),
+        any::<u8>().prop_map(Request::SetEncoding),
     ]
 }
 
