@@ -1,0 +1,244 @@
+//! Shard-confinement lint: keep the sharded-lock discipline auditable
+//! in one place.
+//!
+//! The commit pipeline's correctness rests on a single rule — shard
+//! locks are only ever taken **one at a time or in ascending index
+//! order** (ARCHITECTURE.md, "The commit pipeline"). That rule is only
+//! checkable if every indexed acquisition (`shards[i].lock()`) lives in
+//! the blessed shard modules (`Config::shard_modules`), where the
+//! access patterns are few and hand-audited. Two diagnostics enforce
+//! the confinement, both under allow kind `shard`:
+//!
+//! * **outside a shard module** — any indexed `NAME[…].lock()` /
+//!   `.read()` / `.write()` in a lock-lint crate is flagged: callers
+//!   must go through the shard module's guard accessors instead of
+//!   reaching into the shard vector;
+//! * **inside a shard module** — any blocking call (the
+//!   [`locks`](crate::locks) `reg-block` list: `wait`, `recv`, `join`,
+//!   `sleep`, …) is flagged: shard guards sit on the hot commit path
+//!   and must never park the thread, so the module that takes them may
+//!   not contain parking primitives at all.
+//!
+//! Closure bodies are *not* exempt here, unlike in the lock-order walk:
+//! an indexed acquisition is a confinement violation no matter which
+//! thread runs it, and a blocking call in a shard-module closure still
+//! executes inside shard-discipline code.
+
+use crate::tree::{scan_items, Node};
+use crate::{Config, Diagnostic, ParsedFile};
+
+/// Run the lint.
+pub fn check(files: &[ParsedFile], cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    for f in files {
+        if !cfg.lock_crates.contains(&f.crate_name) || f.assume_test {
+            continue;
+        }
+        let is_shard_module = cfg.shard_modules.contains(&f.rel_path);
+        let items = scan_items(&f.tree);
+        for func in items.fns.iter().filter(|x| !x.is_test) {
+            let Some(body) = func.body else { continue };
+            if is_shard_module {
+                flag_blocking(body, f, diags);
+            } else {
+                flag_indexed(body, f, cfg, diags);
+            }
+        }
+    }
+}
+
+/// Flag every indexed lock acquisition in a non-shard-module body.
+fn flag_indexed(nodes: &[Node], f: &ParsedFile, cfg: &Config, diags: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < nodes.len() {
+        if let Some((name, method, line)) = indexed_acquisition_at(nodes, i) {
+            if !f.allowed("shard", line) {
+                diags.push(Diagnostic {
+                    file: f.rel_path.clone(),
+                    line,
+                    lint: "shard",
+                    message: format!(
+                        "indexed shard-lock acquisition `{name}[…].{method}()` outside \
+                         the shard module(s) ({}); the ascending-order discipline is \
+                         only auditable there — go through the module's guard accessors",
+                        cfg.shard_modules.join(", ")
+                    ),
+                });
+            }
+            i += 5;
+            continue;
+        }
+        if let Node::Group { children, .. } = &nodes[i] { // check: allow(panic, "loop condition bounds i")
+            flag_indexed(children, f, cfg, diags);
+        }
+        i += 1;
+    }
+}
+
+/// Flag every blocking call in a shard-module body.
+fn flag_blocking(nodes: &[Node], f: &ParsedFile, diags: &mut Vec<Diagnostic>) {
+    let mut i = 0usize;
+    while i < nodes.len() {
+        if let (Some(node), Some(Node::Group { delim: '(', .. })) =
+            (nodes.get(i), nodes.get(i + 1))
+        {
+            if let Some(name) = node.ident() {
+                if crate::locks::BLOCKING_CALLS.contains(&name)
+                    && !f.allowed("shard", node.line())
+                {
+                    diags.push(Diagnostic {
+                        file: f.rel_path.clone(),
+                        line: node.line(),
+                        lint: "shard",
+                        message: format!(
+                            "blocking call `{name}` inside shard module `{}`; shard \
+                             guards sit on the hot commit path and must never park \
+                             the thread",
+                            f.rel_path
+                        ),
+                    });
+                }
+            }
+        }
+        if let Node::Group { children, .. } = &nodes[i] { // check: allow(panic, "loop condition bounds i")
+            flag_blocking(children, f, diags);
+        }
+        i += 1;
+    }
+}
+
+/// If `nodes[i]` starts an indexed acquisition
+/// `NAME[expr].lock()/.read()/.write()` (empty parens), return the
+/// vector name, method, and line. The shape spans 5 nodes.
+fn indexed_acquisition_at(nodes: &[Node], i: usize) -> Option<(String, &'static str, u32)> {
+    let head = nodes.get(i)?;
+    let name = head.ident()?;
+    let Some(Node::Group { delim: '[', .. }) = nodes.get(i + 1) else {
+        return None;
+    };
+    if !nodes.get(i + 2)?.is_punct('.') {
+        return None;
+    }
+    let method = match nodes.get(i + 3)?.ident()? {
+        "lock" => "lock",
+        "read" => "read",
+        "write" => "write",
+        _ => return None,
+    };
+    match nodes.get(i + 4)? {
+        Node::Group { delim: '(', children, .. } if children.is_empty() => {
+            Some((name.to_string(), method, head.line()))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_file, SrcFile};
+
+    fn run_at(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+        let file = SrcFile {
+            crate_name: "mad-txn".into(),
+            rel_path: rel_path.into(),
+            is_crate_root: false,
+            assume_test: false,
+            text: src.into(),
+        };
+        let mut diags = Vec::new();
+        let parsed = parse_file(&file, &mut diags);
+        check(&[parsed], &Config::default(), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn indexed_acquisition_outside_the_shard_module_is_flagged() {
+        let d = run_at(
+            "crates/txn/src/handle.rs",
+            "fn bad(&self) {\n\
+             let g = self.cshard[i].lock().unwrap();\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[0].lint, "shard");
+        assert!(d[0].message.contains("`cshard[…].lock()`"), "{d:?}");
+        assert!(d[0].message.contains("crates/txn/src/shard.rs"), "{d:?}");
+    }
+
+    #[test]
+    fn indexed_acquisition_inside_a_closure_is_still_flagged() {
+        let d = run_at(
+            "crates/txn/src/handle.rs",
+            "fn bad(&self) {\n\
+             order.iter().map(|i| self.rshard[i].read().unwrap()).count();\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`rshard[…].read()`"), "{d:?}");
+    }
+
+    #[test]
+    fn the_shard_module_itself_may_index_its_shards() {
+        let d = run_at(
+            "crates/txn/src/shard.rs",
+            "fn ok(&self) {\n\
+             let g = self.cshard[i].lock().unwrap();\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn plain_indexing_without_a_lock_method_is_fine() {
+        let d = run_at(
+            "crates/txn/src/handle.rs",
+            "fn ok(&self) {\n\
+             let v = self.feeds[i].clone();\n\
+             let n = self.counts[i].load(Ordering::Acquire);\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn blocking_calls_inside_the_shard_module_are_flagged() {
+        let d = run_at(
+            "crates/txn/src/shard.rs",
+            "fn bad(&self) {\n\
+             let g = self.cshard[i].lock().unwrap();\n\
+             thread::sleep(backoff);\n}",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("blocking call `sleep`"), "{d:?}");
+    }
+
+    #[test]
+    fn allow_shard_excuses_with_reason() {
+        let d = run_at(
+            "crates/txn/src/handle.rs",
+            "fn ok(&self) {\n\
+             // check: allow(shard, \"single-shard fast path, audited\")\n\
+             let g = self.cshard[i].lock().unwrap();\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn other_crates_and_test_code_are_exempt(){
+        let file = SrcFile {
+            crate_name: "mad-model".into(),
+            rel_path: "crates/model/src/x.rs".into(),
+            is_crate_root: false,
+            assume_test: false,
+            text: "fn f(&self) { let g = self.tab[i].lock().unwrap(); }".into(),
+        };
+        let mut diags = Vec::new();
+        let parsed = parse_file(&file, &mut diags);
+        check(&[parsed], &Config::default(), &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+
+        let d = run_at(
+            "crates/txn/src/handle.rs",
+            "#[cfg(test)] mod t { fn f(&self) { let g = self.cshard[i].lock().unwrap(); } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -33,8 +33,8 @@ pub enum StageKind {
     Derive,
     /// DML application to the write overlay.
     Apply,
-    /// Commit validation under the publication mutex (hash probes,
-    /// retry count in the info).
+    /// Commit validation against the sharded conflict index (hash
+    /// probes, retry count in the info).
     Validate,
     /// Op-log replay after a conflict (the contended commit path).
     Replay,
@@ -45,6 +45,9 @@ pub enum StageKind {
     FsyncWait,
     /// Waiting for the replication ack quorum.
     ReplWait,
+    /// Publication under the commit ticket: epoch-cell swap + feed push
+    /// (conflict-shard updates in the info).
+    Publish,
 }
 
 impl StageKind {
@@ -61,6 +64,7 @@ impl StageKind {
             StageKind::WalAppend => "wal_append",
             StageKind::FsyncWait => "fsync_wait",
             StageKind::ReplWait => "repl_wait",
+            StageKind::Publish => "publish",
         }
     }
 }

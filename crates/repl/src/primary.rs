@@ -277,6 +277,24 @@ fn stream_to_standby(
                 if commit.seq <= last_sent {
                     continue; // already covered by catch-up
                 }
+                // the publisher pushes the feed under its commit ticket, in
+                // publication order — so past the catch-up seam every commit
+                // is the exact successor. A gap here means the pipeline
+                // published out of order; streaming it would hand the
+                // standby a hole it can never fill, so fail the connection
+                // loudly instead.
+                if commit.seq != last_sent + 1 {
+                    debug_assert_eq!(
+                        commit.seq,
+                        last_sent + 1,
+                        "commit feed must be gap-free in publication order"
+                    );
+                    return Err(MadError::wal(format!(
+                        "commit feed gap on the live stream: expected sequence {}, got {}",
+                        last_sent + 1,
+                        commit.seq
+                    )));
+                }
                 send_msg(
                     writer,
                     &ReplMsg::Record(WalRecord::Commit {

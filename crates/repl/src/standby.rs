@@ -527,20 +527,15 @@ fn apply_commit(ingest: &mut Ingest, handle: &DbHandle, seq: u64, ops: &[WalOp])
 fn replace_local_log(ingest: &mut Ingest, db: Database, base_seq: u64) -> Result<()> {
     let path = ingest.wal.path().to_path_buf();
     let policy = ingest.wal.policy();
-    // the old Wal owns an open handle to `path`; build the replacement
-    // beside it and swap via rename so a crash leaves a valid log
-    let tmp = path.with_extension("resync");
-    let _ = std::fs::remove_file(&tmp);
-    let new_wal = Wal::create_at_seq(&tmp, &db, base_seq, policy)?;
-    drop(new_wal);
-    std::fs::rename(&tmp, &path)
-        .map_err(|e| MadError::io(format!("swap resynced log into place: {e}")))?;
-    let (wal, recovered, info) = Wal::recover(&path, policy)?;
-    debug_assert_eq!(info.last_seq, base_seq);
-    ingest.wal = wal;
+    // the old Wal still owns a handle to its active segment; the
+    // reinitialize writes the new bootstrap into the next segment number
+    // and the manifest swap is the atomic commit point, so a crash
+    // mid-resync leaves either log intact. `db` came through
+    // `DatabaseSnapshot::restore`, which already ran the full integrity
+    // checks recovery would.
+    ingest.wal = Wal::reinitialize(&path, &db, base_seq, policy)?;
     ingest.wal.set_fault_plan(ingest.fault);
-    // prefer the recovered image: it passed the restore integrity checks
-    ingest.db = recovered;
+    ingest.db = db;
     ingest.have = base_seq;
     Ok(())
 }

@@ -1,17 +1,47 @@
 //! The shared database handle: committed state, publication, commit log,
 //! durability.
+//!
+//! # The commit pipeline
+//!
+//! Publication used to be one mutex-guarded critical section (validation,
+//! WAL append, published-cell swap, feed push, log pruning — all under one
+//! lock). It is now a staged pipeline (normative description in
+//! ARCHITECTURE.md, "The commit pipeline"):
+//!
+//! * **Validate** — first-committer-wins probes run against the
+//!   [`crate::shard::ConflictIndex`], 16 independently locked shards
+//!   visited in ascending index order, so disjoint write-sets validate
+//!   concurrently with each other *and* with the fsync of earlier commits.
+//! * **Publish** — the short commit **ticket** assigns the commit
+//!   sequence, appends the WAL record (buffered — no fsync), updates the
+//!   conflict shards and commit log, swaps the
+//!   [`mad_storage::EpochCell`]-published image and pushes the
+//!   replication feed. Feed order therefore *is* commit order.
+//! * **Fsync / replication wait** — outside every lock. While commit `k`
+//!   sits in the group-commit fsync window, commit `k+1` validates and
+//!   publishes: the WAL stays seq-ordered (appends happen under the
+//!   ticket) and acknowledgment still waits for durability.
+//!
+//! Readers never queue behind any of it: [`DbHandle::committed`] /
+//! [`DbHandle::fork`] read the epoch cell, which is wait-free against
+//! writers. Commit-log pruning runs off the commit path entirely
+//! (amortized into transaction finish, see [`DbHandle::prune_commit_log`]).
+//!
+//! The pre-pipeline behavior — every attempt serialized start to finish —
+//! is preserved behind [`CommitMode::SingleLock`] as an A/B arm and as the
+//! oracle for the pipeline's equivalence proptests.
 
+use crate::shard::{ActiveRegistry, ConflictIndex};
 use crate::txn::WriteKey;
 use mad_model::bin::u64_of_usize;
 use mad_model::{FxHashMap, FxHashSet, MadError, Result};
 use mad_obs::trace::{StageKind, StageTimer};
 use mad_obs::{Counter, Registry};
-use mad_storage::Database;
+use mad_storage::{Database, EpochCell};
 use mad_wal::{CheckpointStats, FaultPlan, FsyncPolicy, Lsn, RecoveryInfo, TailRead, Wal, WalOp};
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 /// A poisoned handle lock means a panic escaped another thread while the
 /// shared commit state was mid-update. `Result`-returning paths surface
@@ -43,13 +73,29 @@ pub enum Durability {
     #[default]
     None,
     /// Write-ahead logging: every commit appends its resolved op log to
-    /// the file at `path` before acknowledging, per `fsync`.
+    /// the log at `path` before acknowledging, per `fsync`.
     Wal {
         /// The log file.
         path: PathBuf,
         /// When commits wait for stable storage.
         fsync: FsyncPolicy,
     },
+}
+
+/// Which commit protocol the handle runs — the A/B knob for the staged
+/// pipeline (see the module docs). Both modes publish identical images,
+/// abort identical transaction sets and write identical WAL bytes; only
+/// the concurrency of the path differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CommitMode {
+    /// The staged pipeline (the default): sharded validation, short
+    /// publication ticket, fsync outside all locks.
+    #[default]
+    Pipelined,
+    /// The legacy protocol: every publication attempt serialized start to
+    /// finish under one gate. Kept as the benchmark A/B arm and as the
+    /// proptest oracle.
+    SingleLock,
 }
 
 /// When does a commit acknowledge with respect to **replication** — the
@@ -111,38 +157,25 @@ struct ReplState {
     sealed: bool,
 }
 
-/// The publication state: everything commit validation needs, guarded by
-/// one mutex. The commit path never holds it across an fsync or an
-/// op-log replay; [`DbHandle::checkpoint`] is the one deliberate
-/// exception — it holds the mutex for the whole log rewrite to fence out
-/// concurrent appends (blocking writers, never snapshot readers).
+/// The commit **ticket**: the one short critical section of the pipeline.
+/// Holding it assigns the next commit sequence, orders the WAL append,
+/// swaps the epoch cell and pushes the feed — nothing else. It is never
+/// held across an fsync, a replay, validation probes or pruning.
 #[derive(Debug)]
-struct State {
+struct TicketState {
     /// Monotone commit sequence number (0 = the initial load).
     seq: u64,
-    /// Commit records newer than the oldest active transaction's begin
-    /// (ordered by `seq`, since publication pushes monotonically).
-    log: Vec<CommitRecord>,
-    /// begin_seq → number of active transactions that began there.
-    active: BTreeMap<u64, usize>,
-    /// Write key → the sequence of the *last* commit that published it,
-    /// covering exactly the keys of the retained `log` records. Conflict
-    /// validation is one hash probe per key of the committing write-set —
-    /// O(|write-set|) — instead of a scan over every logged record's key
-    /// vector; commits therefore contend only on true overlaps.
-    last_write: FxHashMap<WriteKey, u64>,
     /// Live replication subscribers. Commits are pushed here under the
-    /// publication lock, so feed order **is** commit order; a subscriber
-    /// whose receiver is gone is dropped on the next push.
+    /// ticket, so feed order **is** commit order; a subscriber whose
+    /// receiver is gone is dropped on the next push.
     feeds: Vec<mpsc::Sender<FeedCommit>>,
 }
 
-/// The committed image plus the sequence it was published at, behind its
-/// own reader-writer lock so snapshot reads are a lock-clone-unlock pair
-/// that never contends with commit validation or WAL fsync stalls (the
-/// write half is held only for the pointer swap inside publication).
-#[derive(Debug)]
-struct Published {
+/// The committed image plus the sequence it was published at — the value
+/// inside the epoch cell. Cloned out atomically on every read, so the
+/// `(db, seq)` pair is always consistent.
+#[derive(Clone, Debug)]
+struct PublishedImage {
     /// The committed image. Immutable once published; replaced wholesale.
     db: Arc<Database>,
     /// The sequence number `db` was published at.
@@ -151,8 +184,30 @@ struct Published {
 
 #[derive(Debug)]
 struct Inner {
-    state: Mutex<State>,
-    published: RwLock<Published>,
+    /// The [`CommitMode::SingleLock`] gate: wraps a whole publication
+    /// attempt, restoring the pre-pipeline one-at-a-time protocol. Under
+    /// [`CommitMode::Pipelined`] it doubles as the straggler contention
+    /// gate (see [`DbHandle::contention_gate`]).
+    legacy_gate: Mutex<()>,
+    /// The commit ticket (see [`TicketState`]).
+    ticket: Mutex<TicketState>,
+    /// The published image: readers are wait-free against publications.
+    published: EpochCell<PublishedImage>,
+    /// Active-transaction registry, sharded (see [`ActiveRegistry`]).
+    registry: ActiveRegistry,
+    /// First-committer-wins conflict index, sharded (see
+    /// [`ConflictIndex`]).
+    conflict: ConflictIndex,
+    /// Commit records newer than the oldest active transaction's begin
+    /// (ordered by `seq`, since publication pushes under the ticket).
+    /// Pruned off the commit path — see [`DbHandle::prune_commit_log`].
+    commit_log: Mutex<Vec<CommitRecord>>,
+    /// Mirror of `commit_log.len()` (maintained under the `commit_log`
+    /// lock) so finish-path pruning can skip an empty log without
+    /// locking it.
+    log_records: AtomicUsize,
+    /// True when the handle runs [`CommitMode::SingleLock`].
+    single_lock: AtomicBool,
     /// The write-ahead log, when the handle is durable.
     wal: Option<Wal>,
     durability: Durability,
@@ -196,6 +251,9 @@ struct TxnMetrics {
     conflicts: Counter,
     /// Op-log replays after a stale publication attempt (`txn.replays`).
     replays: Counter,
+    /// Commits that lost the publication race repeatedly and escalated to
+    /// the contention gate (`txn.escalations`).
+    escalations: Counter,
 }
 
 /// A cloneable, thread-safe handle to one shared MAD database.
@@ -203,9 +261,10 @@ struct TxnMetrics {
 /// All sessions of a deployment hold clones of one `DbHandle`. Readers take
 /// a consistent frozen image with [`DbHandle::committed`]; writers go
 /// through [`crate::Transaction`]. Publication is atomic: the committed
-/// `Arc<Database>` is swapped under a dedicated read-write lock, in-flight
-/// readers keep whatever image they already cloned, and new readers are
-/// never blocked behind commit validation or a WAL fsync.
+/// `Arc<Database>` is swapped through an [`EpochCell`], in-flight readers
+/// keep whatever image they already cloned, and new readers are never
+/// blocked behind commit validation or a WAL fsync — not even behind the
+/// publication ticket itself.
 ///
 /// A durable handle ([`DbHandle::create_durable`] /
 /// [`DbHandle::open_durable`] / [`DbHandle::with_durability`]) additionally
@@ -236,7 +295,7 @@ impl DbHandle {
     }
 
     /// Wrap `db` as the bootstrap image of a **new** write-ahead log at
-    /// `path` (error if the file already exists — recover with
+    /// `path` (error if the log already exists — recover with
     /// [`DbHandle::open_durable`] instead).
     pub fn create_durable(
         db: Database,
@@ -295,20 +354,18 @@ impl DbHandle {
             commits: obs.counter("txn.commits"),
             conflicts: obs.counter("txn.conflicts"),
             replays: obs.counter("txn.replays"),
+            escalations: obs.counter("txn.escalations"),
         };
         let handle = DbHandle {
             inner: Arc::new(Inner {
-                state: Mutex::new(State {
-                    seq,
-                    log: Vec::new(),
-                    active: BTreeMap::new(),
-                    last_write: FxHashMap::default(),
-                    feeds: Vec::new(),
-                }),
-                published: RwLock::new(Published {
-                    db: Arc::new(db),
-                    seq,
-                }),
+                legacy_gate: Mutex::new(()),
+                ticket: Mutex::new(TicketState { seq, feeds: Vec::new() }),
+                published: EpochCell::new(PublishedImage { db: Arc::new(db), seq }),
+                registry: ActiveRegistry::new(),
+                conflict: ConflictIndex::new(),
+                commit_log: Mutex::new(Vec::new()),
+                log_records: AtomicUsize::new(0),
+                single_lock: AtomicBool::new(false),
                 wal,
                 durability,
                 recovery,
@@ -334,7 +391,9 @@ impl DbHandle {
     /// the WAL stats accessors…) into the registry. Closures capture a
     /// `Weak` so a handle (and its WAL file handles) can still drop
     /// while a server-side registry clone outlives it; each closure
-    /// takes at most one ranked lock and nests nothing inside it.
+    /// takes at most one ranked lock at a time and nests nothing inside
+    /// it (shard sums lock one shard at a time; epoch-cell reads take no
+    /// ranked lock at all).
     fn register_gauges(&self) {
         let obs = &self.inner.obs;
         let weak = {
@@ -343,33 +402,24 @@ impl DbHandle {
         };
         {
             let w = weak();
-            obs.gauge("txn.seq", move || {
-                w.upgrade().and_then(|i| i.published.read().ok().map(|p| p.seq))
-            });
+            obs.gauge("txn.seq", move || w.upgrade().map(|i| i.published.read().seq));
         }
         {
             let w = weak();
             obs.gauge("txn.commit_log", move || {
-                w.upgrade()
-                    .and_then(|i| i.state.lock().ok().map(|st| u64_of_usize(st.log.len())))
+                w.upgrade().map(|i| u64_of_usize(i.log_records.load(Ordering::Relaxed)))
             });
         }
         {
             let w = weak();
             obs.gauge("txn.conflict_index", move || {
-                w.upgrade()
-                    .and_then(|i| i.state.lock().ok().map(|st| u64_of_usize(st.last_write.len())))
+                w.upgrade().map(|i| u64_of_usize(i.conflict.len_total()))
             });
         }
         {
             let w = weak();
             obs.gauge("txn.active", move || {
-                w.upgrade().and_then(|i| {
-                    i.state
-                        .lock()
-                        .ok()
-                        .map(|st| u64_of_usize(st.active.values().sum::<usize>()))
-                })
+                w.upgrade().map(|i| u64_of_usize(i.registry.active_total()))
             });
         }
         {
@@ -384,20 +434,20 @@ impl DbHandle {
             // `None` would reap the gauge, so "no rebuild yet" reads 0.
             let w = weak();
             obs.gauge("storage.csr_rebuilt_pairs", move || {
-                w.upgrade().and_then(|i| {
-                    let p = i.published.read().ok()?;
-                    let (rebuilt, _) = p.db.csr_rebuild_stats().unwrap_or((0, 0));
-                    Some(u64_of_usize(rebuilt))
+                w.upgrade().map(|i| {
+                    let img = i.published.read();
+                    let (rebuilt, _) = img.db.csr_rebuild_stats().unwrap_or((0, 0));
+                    u64_of_usize(rebuilt)
                 })
             });
         }
         {
             let w = weak();
             obs.gauge("storage.csr_pairs", move || {
-                w.upgrade().and_then(|i| {
-                    let p = i.published.read().ok()?;
-                    let (_, total) = p.db.csr_rebuild_stats().unwrap_or((0, 0));
-                    Some(u64_of_usize(total))
+                w.upgrade().map(|i| {
+                    let img = i.published.read();
+                    let (_, total) = img.db.csr_rebuild_stats().unwrap_or((0, 0));
+                    u64_of_usize(total)
                 })
             });
         }
@@ -456,12 +506,12 @@ impl DbHandle {
         {
             // per-standby replication cursor and lag-in-records — one
             // `repl.standby.<token>.{acked_seq,lag}` row pair per
-            // attached standby. The committed seq is read first and the
-            // repl lock taken after (sequentially, never nested).
+            // attached standby. The committed seq is read first (epoch
+            // cell, no lock) and the repl lock taken after.
             let w = weak();
             obs.multi("repl.standby", move || {
                 w.upgrade().and_then(|i| {
-                    let seq = i.published.read().ok().map(|p| p.seq)?;
+                    let seq = i.published.read().seq;
                     let r = i.repl.lock().ok()?;
                     let mut rows = Vec::with_capacity(r.standbys.len() * 2);
                     for (token, &acked) in &r.standbys {
@@ -489,6 +539,25 @@ impl DbHandle {
         self.inner.metrics.replays.inc();
     }
 
+    /// The contention gate for straggler commits (ARCHITECTURE.md, "The
+    /// commit pipeline"): a pipelined committer that keeps losing the
+    /// publication race takes this gate and holds it across its remaining
+    /// replay attempts, so stragglers rebuild one at a time instead of
+    /// racing each other into O(writers) wasted replays apiece. The mutex
+    /// is the [`CommitMode::SingleLock`] whole-pipeline gate; under that
+    /// mode [`DbHandle::publish_if`] acquires it itself, so this returns
+    /// `None` to keep the non-reentrant lock single-entry (the gate's
+    /// serialization already applies to every attempt there). Callers
+    /// that got `Some` must pass `gate_held = true` to `publish_if` and
+    /// drop the guard *before* any durability or replication wait.
+    pub(crate) fn contention_gate(&self) -> Result<Option<MutexGuard<'_, ()>>> {
+        if self.inner.single_lock.load(Ordering::Relaxed) {
+            return Ok(None);
+        }
+        self.inner.metrics.escalations.inc();
+        self.inner.legacy_gate.lock().map(Some).map_err(poisoned)
+    }
+
     /// How this handle persists commits.
     pub fn durability(&self) -> &Durability {
         &self.inner.durability
@@ -497,6 +566,27 @@ impl DbHandle {
     /// Does this handle refuse writes (a standby's serving handle)?
     pub fn is_read_only(&self) -> bool {
         self.inner.read_only
+    }
+
+    /// Switch the commit protocol (see [`CommitMode`]). Takes effect for
+    /// publication attempts that start afterwards; attempts already in
+    /// flight finish under the mode they started with. Both modes are
+    /// always safe to mix — the pipeline's ticket and shard locks are
+    /// acquired in [`CommitMode::SingleLock`] too, the gate merely
+    /// serializes whole attempts on top.
+    pub fn set_commit_mode(&self, mode: CommitMode) {
+        self.inner
+            .single_lock
+            .store(mode == CommitMode::SingleLock, Ordering::Relaxed);
+    }
+
+    /// The commit protocol currently in effect.
+    pub fn commit_mode(&self) -> CommitMode {
+        if self.inner.single_lock.load(Ordering::Relaxed) {
+            CommitMode::SingleLock
+        } else {
+            CommitMode::Pipelined
+        }
     }
 
     // ------------------------------------------------------------------
@@ -521,14 +611,15 @@ impl DbHandle {
 
     /// Subscribe to the commit feed: every commit published from now on
     /// is delivered as a [`FeedCommit`], in exact commit order (the push
-    /// happens under the publication lock). Only durable handles feed
-    /// subscribers — the stream *is* the WAL record stream — so a
-    /// subscription on a non-durable handle never receives anything.
-    /// Dropping the receiver unsubscribes on the next push.
+    /// happens under the commit ticket, which is what orders
+    /// publication). Only durable handles feed subscribers — the stream
+    /// *is* the WAL record stream — so a subscription on a non-durable
+    /// handle never receives anything. Dropping the receiver
+    /// unsubscribes on the next push.
     pub fn subscribe_commits(&self) -> mpsc::Receiver<FeedCommit> {
         let (tx, rx) = mpsc::channel();
         // check: allow(panic, "infallible signature; poison means a panic already escaped mid-update and propagating it is the honest outcome")
-        self.inner.state.lock().unwrap().feeds.push(tx);
+        self.inner.ticket.lock().unwrap().feeds.push(tx);
         rx
     }
 
@@ -621,17 +712,15 @@ impl DbHandle {
                  through transactions",
             ));
         }
-        let mut st = self.inner.state.lock().map_err(poisoned)?;
-        if seq != st.seq + 1 {
+        let mut t = self.inner.ticket.lock().map_err(poisoned)?;
+        if seq != t.seq + 1 {
             return Err(MadError::txn_state(format!(
                 "replication gap: handle is at sequence {}, install asked for {seq}",
-                st.seq
+                t.seq
             )));
         }
-        st.seq = seq;
-        let mut p = self.inner.published.write().map_err(poisoned)?;
-        p.db = Arc::new(db);
-        p.seq = seq;
+        t.seq = seq;
+        self.inner.published.publish(PublishedImage { db: Arc::new(db), seq });
         Ok(())
     }
 
@@ -649,18 +738,16 @@ impl DbHandle {
                  through transactions",
             ));
         }
-        let mut st = self.inner.state.lock().map_err(poisoned)?;
-        if seq < st.seq {
+        let mut t = self.inner.ticket.lock().map_err(poisoned)?;
+        if seq < t.seq {
             return Err(MadError::txn_state(format!(
                 "replication regression: handle is at sequence {}, snapshot install \
                  asked for {seq}",
-                st.seq
+                t.seq
             )));
         }
-        st.seq = seq;
-        let mut p = self.inner.published.write().map_err(poisoned)?;
-        p.db = Arc::new(db);
-        p.seq = seq;
+        t.seq = seq;
+        self.inner.published.publish(PublishedImage { db: Arc::new(db), seq });
         Ok(())
     }
 
@@ -743,7 +830,8 @@ impl DbHandle {
         self.inner.recovery
     }
 
-    /// Current write-ahead-log size in bytes (`None` when not durable).
+    /// Current write-ahead-log size in bytes, summed over its segments
+    /// (`None` when not durable).
     pub fn wal_len_bytes(&self) -> Option<u64> {
         self.inner.wal.as_ref().map(Wal::len_bytes)
     }
@@ -756,23 +844,21 @@ impl DbHandle {
 
     /// Fold the log into a fresh bootstrap image of the current committed
     /// state and drop every commit record, bounding log size and recovery
-    /// time. Writers — commits *and* new transaction begins — are held
-    /// off for the whole rewrite (snapshot capture, write, fsync, atomic
-    /// rename); snapshot readers are not. Errors on a non-durable handle.
+    /// time. Commits (and replicated installs) are held off for the whole
+    /// rewrite by the commit ticket; snapshot readers and transaction
+    /// begins are not. Errors on a non-durable handle.
     pub fn checkpoint(&self) -> Result<CheckpointStats> {
         let Some(wal) = &self.inner.wal else {
             return Err(MadError::wal(
                 "CHECKPOINT requires a durable handle (no write-ahead log attached)",
             ));
         };
-        // hold the publication mutex so no commit appends mid-rewrite
-        let _st = self.inner.state.lock().map_err(poisoned)?;
-        let (db, seq) = {
-            let p = self.inner.published.read().map_err(poisoned)?;
-            (Arc::clone(&p.db), p.seq)
-        };
-        // check: allow(lock, "resolves to Wal::checkpoint (sync/files, ranks 5-6), not DbHandle::checkpoint; the name-keyed call graph conflates them")
-        let stats = wal.checkpoint(&db, seq)?;
+        // hold the commit ticket so no commit appends mid-rewrite; the
+        // epoch cell is read under it, so (db, seq) is the final word
+        let _t = self.inner.ticket.lock().map_err(poisoned)?;
+        let img = self.inner.published.read();
+        // check: allow(lock, "resolves to Wal::checkpoint (sync/files), not DbHandle::checkpoint; the name-keyed call graph conflates them")
+        let stats = wal.checkpoint(&img.db, img.seq)?;
         self.inner.commits_since_ckpt.store(0, Ordering::Relaxed);
         Ok(stats)
     }
@@ -780,29 +866,26 @@ impl DbHandle {
     /// The current committed image. The returned `Arc` is a consistent
     /// snapshot: it never changes, no matter what commits afterwards.
     ///
-    /// This is an atomic load off the publication fast path: it touches
-    /// only the published cell, so a reader is never blocked behind
-    /// commit validation, op-log replay or a WAL fsync.
+    /// This is an epoch-cell read off the publication fast path: it holds
+    /// no ranked lock at all, so a reader is never blocked behind commit
+    /// validation, the publication ticket, op-log replay or a WAL fsync.
     pub fn committed(&self) -> Arc<Database> {
-        // check: allow(panic, "infallible read fast path; poison means a publication panicked and every snapshot is suspect")
-        Arc::clone(&self.inner.published.read().unwrap().db)
+        self.inner.published.read().db
     }
 
     /// The current commit sequence number (how many commits have been
     /// published). Sessions use it to detect that their cached fork of the
     /// committed state is stale.
     pub fn commit_seq(&self) -> u64 {
-        // check: allow(panic, "infallible read fast path; poison means a publication panicked and every snapshot is suspect")
-        self.inner.published.read().unwrap().seq
+        self.inner.published.read().seq
     }
 
     /// A copy-on-write fork of the committed image plus the sequence number
     /// it was taken at — the cheap way for a session to get a *mutable*
     /// working copy (e.g. for autocommit query scratch space).
     pub fn fork(&self) -> (Database, u64) {
-        // check: allow(panic, "infallible read fast path; poison means a publication panicked and every snapshot is suspect")
-        let p = self.inner.published.read().unwrap();
-        ((*p.db).clone(), p.seq)
+        let img = self.inner.published.read();
+        ((*img.db).clone(), img.seq)
     }
 
     /// How many commit records the first-committer-wins log currently
@@ -810,30 +893,26 @@ impl DbHandle {
     /// monitoring).
     pub fn commit_log_len(&self) -> usize {
         // check: allow(panic, "monitoring accessor; poison means a panic already escaped mid-update and propagating it is the honest outcome")
-        self.inner.state.lock().unwrap().log.len()
+        self.inner.commit_log.lock().unwrap().len()
     }
 
     /// How many distinct write keys the commit-validation hash index
     /// currently covers (pruned together with the commit log; exposed for
     /// tests and monitoring).
     pub fn conflict_index_len(&self) -> usize {
-        // check: allow(panic, "monitoring accessor; poison means a panic already escaped mid-update and propagating it is the honest outcome")
-        self.inner.state.lock().unwrap().last_write.len()
+        self.inner.conflict.len_total()
     }
 
-    /// Begin bookkeeping: returns `(committed image, begin_seq)` and
-    /// registers the transaction as active at that sequence.
-    pub(crate) fn begin_txn(&self) -> (Arc<Database>, u64) {
-        // check: allow(panic, "infallible signature; poison means a panic already escaped mid-update and propagating it is the honest outcome")
-        let mut st = self.inner.state.lock().unwrap();
-        let (db, seq) = {
-            // check: allow(panic, "infallible signature; poison means a panic already escaped mid-update and propagating it is the honest outcome")
-            let p = self.inner.published.read().unwrap();
-            (Arc::clone(&p.db), p.seq)
-        };
-        debug_assert_eq!(seq, st.seq);
-        *st.active.entry(seq).or_insert(0) += 1;
-        (db, seq)
+    /// Begin bookkeeping: returns `(committed image, begin_seq, registry
+    /// shard)` — the transaction registers as active in one registry
+    /// shard and the image is read inside that shard's critical section
+    /// (what makes pruning's cutoff sound; see
+    /// [`ActiveRegistry::register_begin`]).
+    pub(crate) fn begin_txn(&self) -> (Arc<Database>, u64, usize) {
+        self.inner.registry.register_begin(|| {
+            let img = self.inner.published.read();
+            (img.db, img.seq)
+        })
     }
 
     /// Drop an active transaction's registration (abort, or the cleanup
@@ -842,50 +921,60 @@ impl DbHandle {
     /// once (its `finish` is called on commit, abort **and** plain drop —
     /// early return, panic, a disconnected client), so a leaked
     /// registration can never pin the log forever.
-    pub(crate) fn finish_txn(&self, begin_seq: u64) {
-        // check: allow(panic, "drop-path cleanup must not return an error; poison means a panic already escaped mid-update")
-        let mut st = self.inner.state.lock().unwrap();
-        Self::unregister(&mut st, begin_seq);
+    pub(crate) fn finish_txn(&self, begin_seq: u64, reg_shard: usize) {
+        self.inner.registry.unregister_begin(reg_shard, begin_seq);
+        self.prune();
     }
 
-    fn unregister(st: &mut State, begin_seq: u64) {
-        if let Some(n) = st.active.get_mut(&begin_seq) {
-            *n -= 1;
-            if *n == 0 {
-                st.active.remove(&begin_seq);
-            }
-        }
-        // every surviving active transaction with begin b validates against
-        // records with seq > b, so records at or below the oldest begin are
-        // dead; with no active transactions the whole log is.
-        let cutoff = st.active.keys().next().copied().unwrap_or(u64::MAX);
-        // the log is seq-ordered: drain the dead prefix, dropping each dead
-        // record's keys from the hash index unless a newer retained record
-        // re-published the key (then the index points at that newer seq and
-        // the key is removed when *that* record dies)
-        let keep_from = st.log.partition_point(|r| r.seq <= cutoff);
-        if keep_from == 0 {
+    /// Prune dead commit records and their conflict-index entries — the
+    /// amortized cleanup the commit critical path no longer carries. Runs
+    /// automatically on every transaction finish; public so operators and
+    /// tests can force it. Touches the registry shards, the commit log
+    /// and the conflict shards, but **never** the commit ticket: a pinned
+    /// 10k-record log costs committers nothing beyond their own probes.
+    pub fn prune_commit_log(&self) {
+        self.prune();
+    }
+
+    fn prune(&self) {
+        if self.inner.log_records.load(Ordering::Relaxed) == 0 {
             return;
         }
-        let log = std::mem::take(&mut st.log);
-        let mut dead = log;
-        let live = dead.split_off(keep_from);
-        for rec in &dead {
-            for key in &rec.keys {
-                if st.last_write.get(key) == Some(&rec.seq) {
-                    st.last_write.remove(key);
-                }
+        // every active transaction with begin b validates against records
+        // with seq > b, so records at or below the oldest begin are dead;
+        // with no active transactions everything up to the current
+        // sequence is (see `ActiveRegistry::oldest_begin` for why no
+        // concurrent begin can observe a sequence below the cutoff)
+        let cutoff = self.inner.registry.oldest_begin(|| self.inner.published.read().seq);
+        let dead = {
+            // check: allow(panic, "infallible cleanup; poison means a panic already escaped mid-update and propagating it is the honest outcome")
+            let mut log = self.inner.commit_log.lock().unwrap();
+            // the log is seq-ordered (pushes happen under the ticket):
+            // split off the dead prefix — O(log n) and no allocation when
+            // a pinned transaction keeps everything alive
+            let keep_from = log.partition_point(|r| r.seq <= cutoff);
+            if keep_from == 0 {
+                return;
             }
-        }
-        st.log = live;
+            let mut dead = std::mem::take(&mut *log);
+            let live = dead.split_off(keep_from);
+            *log = live;
+            self.inner.log_records.store(log.len(), Ordering::Relaxed);
+            dead
+        };
+        // index entries die outside the log lock; per-(key, seq) checks
+        // keep this safe against concurrent publications of the same key
+        self.inner.conflict.remove_dead(&dead);
     }
 
-    /// One optimistic publication attempt, entirely under the publication
-    /// mutex but doing **no heavy work there** (per-key hash-index
-    /// validation, an `Arc` pointer comparison and — on a durable handle —
-    /// the buffered WAL append; fsync waiting and op-log replay happen
-    /// outside, so readers and other committers are never blocked behind
-    /// them).
+    /// One optimistic publication attempt — the **Validate** and
+    /// **Publish** stages of the pipeline (module docs). Validation
+    /// probes the sharded conflict index without any global lock; the
+    /// ticket is then held only for sequence assignment, the buffered WAL
+    /// append, the index/log updates and the epoch-cell swap. Fsync
+    /// waiting and op-log replay happen in the caller, outside
+    /// everything, which is what lets commit `k+1` validate while commit
+    /// `k` fsyncs.
     ///
     /// The transaction's registration is **not** touched here: on every
     /// outcome the caller still owns it and releases it through
@@ -900,6 +989,14 @@ impl DbHandle {
     ///   fsync policy before acknowledging.
     /// * `Ok(Stale(current))` — another commit landed since `expected` was
     ///   observed; the caller must replay against `current` and try again.
+    ///   (A conflicting commit that lands between our shard probes and the
+    ///   ticket also lands here: it necessarily swapped the published
+    ///   image, so the retry re-validates against its index entries.)
+    ///
+    /// `gate_held` — the caller already holds the contention gate (see
+    /// [`DbHandle::contention_gate`]); skip acquiring it here even if the
+    /// handle switched to [`CommitMode::SingleLock`] mid-commit, since the
+    /// gate and the single-lock gate are the same (non-reentrant) mutex.
     pub(crate) fn publish_if(
         &self,
         begin_seq: u64,
@@ -907,6 +1004,7 @@ impl DbHandle {
         keys: &FxHashSet<WriteKey>,
         candidate: Database,
         wal_ops: Option<&[WalOp]>,
+        gate_held: bool,
     ) -> Result<PublishOutcome> {
         if self.inner.read_only {
             // the hard guarantee under the Session-level nicety: nothing
@@ -915,64 +1013,63 @@ impl DbHandle {
                 "this handle serves a read-only standby; writes must go to the primary",
             ));
         }
-        let mut st = self.inner.state.lock().map_err(poisoned)?;
-        // first-committer-wins: any committed write since our begin that
-        // overlaps our write-set aborts us — one hash probe per key of OUR
-        // write-set, independent of how many keys other commits logged
+        if self.inner.wal.is_some() && wal_ops.is_none() {
+            // a durable handle was handed no ops — a caller bug, and
+            // publishing would silently lose the commit on restart
+            return Err(MadError::wal(
+                "durable publication without a serialized op log",
+            ));
+        }
+        let _legacy = if self.inner.single_lock.load(Ordering::Relaxed) && !gate_held {
+            Some(self.inner.legacy_gate.lock().map_err(poisoned)?)
+        } else {
+            None
+        };
+        // Validate: first-committer-wins — any committed write since our
+        // begin that overlaps our write-set aborts us. One hash probe per
+        // key of OUR write-set against its conflict shard; disjoint
+        // write-sets never serialize here.
         let vt = StageTimer::start(StageKind::Validate);
         let probes = u64_of_usize(keys.len());
-        let conflict = keys.iter().find_map(|key| {
-            st.last_write
-                .get(key)
-                .copied()
-                .filter(|&seq| seq > begin_seq)
-                .map(|seq| (key, seq))
-        });
-        if let Some((key, seq)) = conflict {
+        if let Some((key, seq)) = self.inner.conflict.find_conflict(keys.iter(), begin_seq) {
             self.inner.metrics.conflicts.inc();
             vt.finish_info(&[("probes", probes), ("conflict", 1)]);
             return Err(MadError::txn_conflict(format!(
                 "write-write conflict on {key} with the transaction committed at sequence {seq}"
             )));
         }
-        if !Arc::ptr_eq(&self.inner.published.read().map_err(poisoned)?.db, expected) {
-            vt.finish_info(&[("probes", probes), ("stale", 1)]);
-            return Ok(PublishOutcome::Stale(self.committed()));
-        }
         vt.finish_info(&[("probes", probes)]);
-        let seq = st.seq + 1;
+        // Publish: the short ticket. Publication is ordered here, so the
+        // staleness check under it is the final word on `expected`.
+        let mut t = self.inner.ticket.lock().map_err(poisoned)?;
+        let current = self.inner.published.read();
+        if !Arc::ptr_eq(&current.db, expected) {
+            return Ok(PublishOutcome::Stale(current.db));
+        }
+        let seq = t.seq + 1;
         // write-ahead: the record must be in the log (buffered) before the
-        // state becomes visible; an append failure publishes nothing
+        // state becomes visible; an append failure publishes nothing —
+        // the conflict index and commit log are untouched at this point
         let lsn = match (&self.inner.wal, wal_ops) {
             (Some(wal), Some(ops)) => Some(wal.append_commit(seq, ops)?),
-            (None, _) => None,
-            (Some(_), None) => {
-                // a durable handle was handed no ops — a caller bug, and
-                // publishing would silently lose the commit on restart
-                return Err(MadError::wal(
-                    "durable publication without a serialized op log",
-                ));
-            }
+            _ => None,
         };
-        st.seq = seq;
-        st.log.push(CommitRecord {
-            seq,
-            keys: keys.iter().cloned().collect(),
-        });
-        for key in keys {
-            st.last_write.insert(key.clone(), seq);
-        }
+        let pt = StageTimer::start(StageKind::Publish);
+        self.inner.conflict.publish_keys(keys.iter(), seq);
         {
-            let mut p = self.inner.published.write().map_err(poisoned)?;
-            p.db = Arc::new(candidate);
-            p.seq = seq;
+            // check: allow(panic, "infallible once the record is appended; poison means a panic already escaped mid-update and propagating it is the honest outcome")
+            let mut log = self.inner.commit_log.lock().unwrap();
+            log.push(CommitRecord { seq, keys: keys.iter().cloned().collect() });
+            self.inner.log_records.store(log.len(), Ordering::Relaxed);
         }
-        // feed replication subscribers under the same lock that ordered
+        t.seq = seq;
+        self.inner.published.publish(PublishedImage { db: Arc::new(candidate), seq });
+        // feed replication subscribers under the same ticket that ordered
         // the publication, so the stream is the commit order, gap-free;
         // only durable commits carry the resolved ops the stream needs
-        if !st.feeds.is_empty() {
+        if !t.feeds.is_empty() {
             if let Some(ops) = wal_ops {
-                st.feeds.retain(|tx| {
+                t.feeds.retain(|tx| {
                     tx.send(FeedCommit {
                         seq,
                         ops: ops.to_vec(),
@@ -981,6 +1078,8 @@ impl DbHandle {
                 });
             }
         }
+        pt.finish_info(&[("keys", probes)]);
+        drop(t);
         self.inner.commits_since_ckpt.fetch_add(1, Ordering::Relaxed);
         self.inner.metrics.commits.inc();
         Ok(PublishOutcome::Published { seq, lsn })
@@ -995,11 +1094,11 @@ impl DbHandle {
         }
     }
 
-    /// Test hook: hold the publication mutex, proving reads stay
-    /// unblocked while a commit (or fsync stall) owns it.
+    /// Test hook: hold the commit ticket, proving reads stay unblocked
+    /// while a commit (or fsync stall) owns the publication path.
     #[cfg(test)]
     pub(crate) fn lock_publication_for_test(&self) -> std::sync::MutexGuard<'_, impl Sized> {
-        self.inner.state.lock().unwrap()
+        self.inner.ticket.lock().unwrap()
     }
 }
 
@@ -1022,8 +1121,8 @@ pub(crate) enum PublishOutcome {
 mod tests {
     use super::*;
 
-    /// Poison the publication mutex by panicking a thread that holds it,
-    /// then check the fallible standby paths surface the poison as a
+    /// Poison the commit ticket by panicking a thread that holds it, then
+    /// check the fallible standby paths surface the poison as a
     /// transaction-state error instead of cascading the panic.
     #[test]
     fn poisoned_handle_errors_on_fallible_paths() {
@@ -1032,7 +1131,7 @@ mod tests {
             let handle = handle.clone();
             std::thread::spawn(move || {
                 let _guard = handle.lock_publication_for_test();
-                panic!("poisoning the publication mutex");
+                panic!("poisoning the commit ticket");
             })
         };
         assert!(poisoner.join().is_err());
@@ -1048,5 +1147,16 @@ mod tests {
             .install_snapshot(Database::empty(), 1)
             .expect_err("snapshot install through a poisoned handle must error");
         assert!(err.to_string().contains("handle poisoned"), "{err}");
+    }
+
+    /// The A/B knob: both modes publish, and the mode reads back.
+    #[test]
+    fn commit_mode_round_trips() {
+        let handle = DbHandle::new(Database::empty());
+        assert_eq!(handle.commit_mode(), CommitMode::Pipelined);
+        handle.set_commit_mode(CommitMode::SingleLock);
+        assert_eq!(handle.commit_mode(), CommitMode::SingleLock);
+        handle.set_commit_mode(CommitMode::Pipelined);
+        assert_eq!(handle.commit_mode(), CommitMode::Pipelined);
     }
 }

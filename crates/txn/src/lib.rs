@@ -7,11 +7,17 @@
 //! into a multi-session one:
 //!
 //! * [`DbHandle`] — the shared handle. The committed state is an immutable
-//!   `Arc<Database>` published atomically (arc-swap style: readers clone
-//!   the `Arc` under a short lock and then run lock-free against their
-//!   frozen image for as long as they hold it). Concurrent readers never
-//!   observe a partial write-set, and an in-flight derivation keeps its
-//!   snapshot even while commits publish new states.
+//!   `Arc<Database>` published atomically through an epoch cell (arc-swap
+//!   style: readers clone the `Arc` wait-free, without queueing behind
+//!   validation, the commit ticket or a WAL fsync, and then run lock-free
+//!   against their frozen image for as long as they hold it). Concurrent
+//!   readers never observe a partial write-set, and an in-flight
+//!   derivation keeps its snapshot even while commits publish new states.
+//!   Commits run a staged pipeline — sharded first-committer-wins
+//!   validation, a short publication ticket, fsync outside all locks —
+//!   with a [`CommitMode`] knob to fall back to the legacy single-lock
+//!   protocol (see `DbHandle`'s module docs and ARCHITECTURE.md, "The
+//!   commit pipeline").
 //! * [`Transaction`] — one writer's view. `begin` forks the committed
 //!   image; because `mad_storage::Database` is copy-on-write at store
 //!   granularity (every per-type atom/link store and index is
@@ -116,10 +122,11 @@
 #![warn(missing_docs)]
 
 mod handle;
+mod shard;
 mod txn;
 
 pub use handle::{
-    CheckpointPolicy, CommitRecord, DbHandle, Durability, FeedCommit, ReplAck,
+    CheckpointPolicy, CommitMode, CommitRecord, DbHandle, Durability, FeedCommit, ReplAck,
 };
 pub use txn::{CommitInfo, Transaction, WriteKey};
 

@@ -1,0 +1,294 @@
+//! The sharded halves of the commit pipeline: the first-committer-wins
+//! conflict index and the active-transaction registry.
+//!
+//! Both structures used to live inside one publication mutex; the commit
+//! pipeline splits them into `N` independently locked shards so validation
+//! of disjoint write-sets and begin/finish bookkeeping proceed
+//! concurrently. This module is the **one blessed home of indexed lock
+//! acquisitions** in the workspace (`shards[i].lock()` — see the
+//! `mad-check` shard lint): every acquisition here follows the two
+//! normative shard rules from ARCHITECTURE.md:
+//!
+//! 1. **Ascending order** — when more than one shard of a family is
+//!    locked without releasing the previous one, the indices are strictly
+//!    ascending (the only such site is [`ActiveRegistry::oldest_begin`],
+//!    which folds over all registry shards in index order).
+//! 2. **No blocking** — nothing blocking (condvars, channels, I/O, joins)
+//!    runs while a shard guard is held; shard critical sections are pure
+//!    map probes and inserts.
+//!
+//! Shard mutexes recover from poisoning (`PoisonError::into_inner`)
+//! instead of erroring: the protected values are plain maps whose methods
+//! keep them coherent even if a panic escapes mid-call, and the commit
+//! pipeline must be able to update the index *after* a WAL record is
+//! already appended, where refusing would desynchronize log and index.
+
+use crate::txn::WriteKey;
+use mad_model::fxhash::FxHasher;
+use mad_model::FxHashMap;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Conflict-index shard count. A power of two so the shard of a key is a
+/// mask of its hash; 16 shards keep the per-shard maps small and let up
+/// to 16 disjoint write-sets validate concurrently.
+pub(crate) const CONFLICT_SHARDS: usize = 16;
+
+/// Registry shard count. Begins/finishes are cheaper than validation, so
+/// fewer shards suffice to take them off any shared line.
+pub(crate) const REGISTRY_SHARDS: usize = 8;
+
+/// The sharded first-committer-wins conflict index: write key → sequence
+/// of the last commit that published it, covering exactly the keys of the
+/// retained commit-log records. Keys are distributed over
+/// [`CONFLICT_SHARDS`] independently locked maps by write-key hash.
+#[derive(Debug)]
+pub(crate) struct ConflictIndex {
+    cshard: Vec<Mutex<FxHashMap<WriteKey, u64>>>,
+}
+
+/// Which conflict shard owns `key`.
+fn conflict_shard_of(key: &WriteKey) -> usize {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() as usize) & (CONFLICT_SHARDS - 1)
+}
+
+/// `keys` annotated with their shard and sorted by it — the canonical
+/// ascending visit order shared by probing and publishing.
+fn by_shard<'a>(
+    keys: impl IntoIterator<Item = &'a WriteKey>,
+) -> Vec<(usize, &'a WriteKey)> {
+    let mut order: Vec<(usize, &WriteKey)> =
+        keys.into_iter().map(|k| (conflict_shard_of(k), k)).collect();
+    order.sort_unstable_by_key(|e| e.0);
+    order
+}
+
+impl ConflictIndex {
+    pub(crate) fn new() -> Self {
+        ConflictIndex {
+            cshard: (0..CONFLICT_SHARDS).map(|_| Mutex::new(FxHashMap::default())).collect(),
+        }
+    }
+
+    /// Lock one conflict shard (the module-audited indexed acquisition).
+    fn shard_guard(&self, idx: usize) -> MutexGuard<'_, FxHashMap<WriteKey, u64>> {
+        self.cshard[idx].lock().unwrap_or_else(PoisonError::into_inner) // check: allow(panic, "idx is a hash masked by CONFLICT_SHARDS - 1, always in range")
+    }
+
+    /// First-committer-wins probe: the first key of `keys` last published
+    /// at a sequence newer than `begin_seq`, if any. Shards are visited in
+    /// ascending order, **one guard at a time** — a publication that slips
+    /// between two probes also swaps the published image, which the commit
+    /// ticket's staleness check catches before anything is published.
+    pub(crate) fn find_conflict<'a>(
+        &self,
+        keys: impl IntoIterator<Item = &'a WriteKey>,
+        begin_seq: u64,
+    ) -> Option<(WriteKey, u64)> {
+        let order = by_shard(keys);
+        let mut it = order.iter().peekable();
+        while let Some(&&(idx, _)) = it.peek() {
+            let shard = self.shard_guard(idx);
+            while let Some(&&(i, key)) = it.peek() {
+                if i != idx {
+                    break;
+                }
+                it.next();
+                if let Some(&seq) = shard.get(key) {
+                    if seq > begin_seq {
+                        return Some((key.clone(), seq));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Record that the commit at `seq` published every key of `keys`.
+    /// Called under the commit ticket after the WAL append succeeded;
+    /// shards are updated in ascending order, one guard at a time.
+    pub(crate) fn publish_keys<'a>(
+        &self,
+        keys: impl IntoIterator<Item = &'a WriteKey>,
+        seq: u64,
+    ) {
+        let order = by_shard(keys);
+        let mut it = order.iter().peekable();
+        while let Some(&&(idx, _)) = it.peek() {
+            let mut shard = self.shard_guard(idx);
+            while let Some(&&(i, key)) = it.peek() {
+                if i != idx {
+                    break;
+                }
+                it.next();
+                shard.insert(key.clone(), seq);
+            }
+        }
+    }
+
+    /// Drop the index entries of pruned commit records — unless a newer
+    /// retained record re-published the key (then the index points at
+    /// that newer sequence and the key dies with *that* record). Runs off
+    /// the commit path; entries are checked per (key, seq) pair so
+    /// concurrent pruners and publishers never delete a live entry.
+    pub(crate) fn remove_dead(&self, dead: &[crate::handle::CommitRecord]) {
+        let pairs: Vec<(&WriteKey, u64)> =
+            dead.iter().flat_map(|r| r.keys.iter().map(move |k| (k, r.seq))).collect();
+        let mut order: Vec<(usize, (&WriteKey, u64))> =
+            pairs.into_iter().map(|p| (conflict_shard_of(p.0), p)).collect();
+        order.sort_unstable_by_key(|e| e.0);
+        let mut it = order.iter().peekable();
+        while let Some(&&(idx, _)) = it.peek() {
+            let mut shard = self.shard_guard(idx);
+            while let Some(&&(i, (key, seq))) = it.peek() {
+                if i != idx {
+                    break;
+                }
+                it.next();
+                if shard.get(key) == Some(&seq) {
+                    shard.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Total distinct keys indexed, summed shard by shard (ascending, one
+    /// guard at a time) — a monitoring figure, racy by design.
+    pub(crate) fn len_total(&self) -> usize {
+        (0..CONFLICT_SHARDS).map(|idx| self.shard_guard(idx).len()).sum()
+    }
+}
+
+/// The sharded active-transaction registry: begin sequence → count of
+/// active transactions that began there, spread over [`REGISTRY_SHARDS`]
+/// maps. A begin registers in one round-robin-picked shard and remembers
+/// which; the pruner computes the oldest begin while holding **all**
+/// shards (ascending), which is what makes its cutoff safe against
+/// concurrent begins (see [`ActiveRegistry::oldest_begin`]).
+#[derive(Debug)]
+pub(crate) struct ActiveRegistry {
+    rshard: Vec<Mutex<BTreeMap<u64, usize>>>,
+    next: AtomicUsize,
+}
+
+impl ActiveRegistry {
+    pub(crate) fn new() -> Self {
+        ActiveRegistry {
+            rshard: (0..REGISTRY_SHARDS).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Lock one registry shard (the module-audited indexed acquisition).
+    fn reg_guard(&self, idx: usize) -> MutexGuard<'_, BTreeMap<u64, usize>> {
+        self.rshard[idx].lock().unwrap_or_else(PoisonError::into_inner) // check: allow(panic, "idx is always reduced modulo REGISTRY_SHARDS")
+    }
+
+    /// Register a begin. `read` is called **inside** the shard's critical
+    /// section to observe the published image: because the pruner reads
+    /// the current sequence while holding every registry shard, a begin
+    /// that registers after the pruner released its shard necessarily
+    /// observes a sequence `>=` the pruner's cutoff — no begin can slip
+    /// under a prune. Returns `(value, begin_seq, shard index)`; the
+    /// caller passes the shard index back to
+    /// [`ActiveRegistry::unregister_begin`].
+    pub(crate) fn register_begin<T>(
+        &self,
+        read: impl FnOnce() -> (T, u64),
+    ) -> (T, u64, usize) {
+        let idx = self.next.fetch_add(1, Ordering::Relaxed) % REGISTRY_SHARDS;
+        let mut shard = self.reg_guard(idx);
+        let (value, seq) = read();
+        *shard.entry(seq).or_insert(0) += 1;
+        drop(shard);
+        (value, seq, idx)
+    }
+
+    /// Drop a begin's registration from the shard it registered in.
+    pub(crate) fn unregister_begin(&self, idx: usize, begin_seq: u64) {
+        let mut shard = self.reg_guard(idx);
+        if let Some(n) = shard.get_mut(&begin_seq) {
+            *n -= 1;
+            if *n == 0 {
+                shard.remove(&begin_seq);
+            }
+        }
+    }
+
+    /// The prune cutoff: the oldest active begin, or — when nothing is
+    /// active — the current commit sequence as read by `read_seq`. All
+    /// registry shards are held **simultaneously, acquired in ascending
+    /// index order** (the one multi-shard hold in the workspace), and
+    /// `read_seq` runs with them held: any begin not observed here will
+    /// register afterwards and read a sequence `>=` the one returned, so
+    /// commit records at or below the cutoff are invisible to it.
+    pub(crate) fn oldest_begin(&self, read_seq: impl FnOnce() -> u64) -> u64 {
+        let guards: Vec<MutexGuard<'_, BTreeMap<u64, usize>>> = self
+            .rshard
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        let seq = read_seq();
+        guards.iter().filter_map(|g| g.keys().next().copied()).min().unwrap_or(seq)
+    }
+
+    /// Active transactions across all shards (ascending, one guard at a
+    /// time) — a monitoring figure, racy by design.
+    pub(crate) fn active_total(&self) -> usize {
+        (0..REGISTRY_SHARDS).map(|idx| self.reg_guard(idx).values().sum::<usize>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mad_model::{AtomId, AtomTypeId};
+
+    fn key(n: u64) -> WriteKey {
+        WriteKey::Atom(AtomId::new(AtomTypeId(0), n as u32))
+    }
+
+    #[test]
+    fn conflict_probe_matches_publish() {
+        let idx = ConflictIndex::new();
+        let keys: Vec<WriteKey> = (0..100).map(key).collect();
+        idx.publish_keys(keys.iter(), 7);
+        assert_eq!(idx.len_total(), 100);
+        // an older begin conflicts, a newer one does not
+        let hit = idx.find_conflict(keys.iter().take(1), 3);
+        assert_eq!(hit, Some((key(0), 7)));
+        assert_eq!(idx.find_conflict(keys.iter(), 7), None);
+    }
+
+    #[test]
+    fn remove_dead_spares_republished_keys() {
+        let idx = ConflictIndex::new();
+        let keys: Vec<WriteKey> = (0..10).map(key).collect();
+        idx.publish_keys(keys.iter(), 1);
+        // key 3 re-published at seq 2: pruning the seq-1 record keeps it
+        idx.publish_keys(std::iter::once(&key(3)), 2);
+        let dead = vec![crate::handle::CommitRecord { seq: 1, keys: keys.clone() }];
+        idx.remove_dead(&dead);
+        assert_eq!(idx.len_total(), 1);
+        assert_eq!(idx.find_conflict(std::iter::once(&key(3)), 1), Some((key(3), 2)));
+    }
+
+    #[test]
+    fn registry_cutoff_is_oldest_begin_or_current_seq() {
+        let reg = ActiveRegistry::new();
+        assert_eq!(reg.oldest_begin(|| 42), 42);
+        let (_, seq_a, shard_a) = reg.register_begin(|| ((), 5));
+        let (_, seq_b, shard_b) = reg.register_begin(|| ((), 9));
+        assert_eq!(reg.active_total(), 2);
+        assert_eq!(reg.oldest_begin(|| 42), 5);
+        reg.unregister_begin(shard_a, seq_a);
+        assert_eq!(reg.oldest_begin(|| 42), 9);
+        reg.unregister_begin(shard_b, seq_b);
+        assert_eq!(reg.oldest_begin(|| 42), 42);
+        assert_eq!(reg.active_total(), 0);
+    }
+}

@@ -98,6 +98,9 @@ pub struct Transaction {
     handle: DbHandle,
     begin: Arc<Database>,
     begin_seq: u64,
+    /// The registry shard this transaction registered its begin in
+    /// (passed back on finish — see `ActiveRegistry`).
+    reg_shard: usize,
     /// Per atom type: the slot horizon at begin. Atoms at or beyond it are
     /// transaction-born (provisional ids, no conflict keys).
     base_slots: Vec<u32>,
@@ -110,7 +113,7 @@ pub struct Transaction {
 impl Transaction {
     /// Begin a transaction against the current committed state of `handle`.
     pub fn begin(handle: &DbHandle) -> Self {
-        let (begin, begin_seq) = handle.begin_txn();
+        let (begin, begin_seq, reg_shard) = handle.begin_txn();
         let base_slots = (0..begin.schema().atom_type_count())
             .map(|i| begin.atom_slot_count(AtomTypeId(i as u32)) as u32)
             .collect();
@@ -119,6 +122,7 @@ impl Transaction {
             handle: handle.clone(),
             begin,
             begin_seq,
+            reg_shard,
             base_slots,
             local,
             ops: Vec::new(),
@@ -232,9 +236,9 @@ impl Transaction {
                 def.name
             )));
         }
-        if a.ty == def.ends[0] && b.ty == def.ends[1] {
+        if a.ty == def.ends[0] && b.ty == def.ends[1] { // check: allow(panic, "ends is a fixed two-element array")
             self.connect(lt, a, b)
-        } else if a.ty == def.ends[1] && b.ty == def.ends[0] {
+        } else if a.ty == def.ends[1] && b.ty == def.ends[0] { // check: allow(panic, "ends is a fixed two-element array")
             self.connect(lt, b, a)
         } else {
             Err(MadError::integrity(format!(
@@ -305,6 +309,17 @@ impl Transaction {
         let mut observed = Arc::clone(&self.begin);
         let mut remap: FxHashMap<AtomId, AtomId> = FxHashMap::default();
         let durable = handle.is_durable();
+        // Straggler escalation: after this many stale publication
+        // attempts, take the contention gate and hold it across the
+        // remaining replay/publish attempts. Unbounded optimistic retry
+        // is quadratic under racing writers — every publication
+        // invalidates every in-flight candidate, so each commit rebuilds
+        // O(writers) times; the gate bounds the wasted rebuilds per
+        // commit to this constant (ARCHITECTURE.md, "The commit
+        // pipeline").
+        const ESCALATE_AFTER: usize = 2;
+        let mut stales = 0usize;
+        let mut gate = None;
         loop {
             // the WAL record carries the op log with every provisional id
             // resolved to where this candidate actually placed it, so
@@ -315,11 +330,21 @@ impl Transaction {
             // failure below, even a panic — releases the registration via
             // `finish` (the `?` drops `self`, whose Drop runs it), so a
             // failed commit can never pin the commit log
-            match handle.publish_if(begin_seq, &observed, &keys, candidate, wal_ops.as_deref())? {
+            match handle.publish_if(
+                begin_seq,
+                &observed,
+                &keys,
+                candidate,
+                wal_ops.as_deref(),
+                gate.is_some(),
+            )? {
                 PublishOutcome::Published { seq, lsn } => {
-                    // published: release the registration *before* the
+                    // published: drop the contention gate (if escalated)
+                    // and release the registration *before* the
                     // durability wait, so an fsync stall never pins the
-                    // commit log behind this transaction
+                    // commit log behind this transaction — or the gate
+                    // behind this fsync
+                    drop(gate.take());
                     self.finish();
                     // the commit is acknowledged only once its record is
                     // durable per the handle's fsync policy (group commit
@@ -345,8 +370,19 @@ impl Transaction {
                 }
                 PublishOutcome::Stale(current) => {
                     // another commit landed: rebuild the candidate against
-                    // it (outside the handle lock), dropping any mapping
-                    // from the discarded attempt
+                    // it (outside the pipeline's locks — unless this
+                    // commit has lost enough races to escalate, in which
+                    // case the gate serializes the rebuild against the
+                    // other stragglers), dropping any mapping from the
+                    // discarded attempt
+                    stales += 1;
+                    if stales >= ESCALATE_AFTER && gate.is_none() {
+                        gate = handle.contention_gate()?;
+                    }
+                    // the image from the failed attempt may be stale
+                    // again after the gate wait; rebuild against the
+                    // freshest one
+                    let current = if gate.is_some() { handle.committed() } else { current };
                     remap.clear();
                     handle.count_replay();
                     let rt = StageTimer::start(StageKind::Replay);
@@ -373,7 +409,7 @@ impl Transaction {
     fn finish(&mut self) {
         if !self.finished {
             self.finished = true;
-            self.handle.finish_txn(self.begin_seq);
+            self.handle.finish_txn(self.begin_seq, self.reg_shard);
         }
     }
 }

@@ -1,5 +1,35 @@
-//! The append-only log file: create/recover, group-commit fsync,
-//! checkpoint-and-truncate.
+//! The append-only log: create/recover, group-commit fsync, segment
+//! rotation, checkpoint-and-truncate.
+//!
+//! ## Segmented layout
+//!
+//! A log is a **manifest** file plus one or more **segment** files in the
+//! same directory. The manifest (at the path callers hand to
+//! [`Wal::create`] / [`Wal::recover`]) starts with its own magic and
+//! lists the live segment file names in order, one per line; each segment
+//! starts with the WAL magic and holds length-prefixed CRC frames. The
+//! first frame of the *first listed* segment is the bootstrap image;
+//! every later frame anywhere is one commit record. Appends go to the
+//! *last* listed segment; when it exceeds [`Wal::set_max_segment_bytes`]
+//! the log **rotates**: the closing segment is fsynced, a fresh segment
+//! is created, and the manifest is atomically rewritten (temp + rename +
+//! directory fsync). A checkpoint writes the bootstrap into a brand-new
+//! segment and shrinks the manifest to just that segment, so it no longer
+//! rewrites one ever-growing file.
+//!
+//! Segment numbers are monotone and never reused, so replication cursors
+//! and tailing survive any interleaving of rotation and checkpoint.
+//!
+//! **Torn-tail rule**: only the *last* segment may end in a torn frame
+//! (recovery truncates it, exactly as in the single-file format). A torn
+//! frame inside an interior segment is a hard error — interior segments
+//! were completed and fsynced before the manifest grew past them, so a
+//! tear there is corruption, not a crash artifact.
+//!
+//! Pre-segmentation logs (a single file starting with the WAL magic) are
+//! migrated in place on the first [`Wal::recover`]: the file is renamed
+//! to segment `0001` and a manifest is journaled into its place (the
+//! journal file makes the two renames crash-safe).
 
 use crate::fault::{FaultPlan, FaultState};
 use crate::record::{
@@ -34,6 +64,15 @@ pub enum FsyncPolicy {
     Never,
 }
 
+/// First bytes of a log **manifest** file (the segment list). Distinct
+/// from [`MAGIC`], which opens every segment (and pre-segmentation
+/// single-file logs).
+pub const MANIFEST_MAGIC: &[u8] = b"MADWALM1\n";
+
+/// Default rotation threshold: a segment past this size closes at the
+/// next append and a fresh one opens.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
 fn io_err(context: &str, e: std::io::Error) -> MadError {
     MadError::wal(format!("{context}: {e}"))
 }
@@ -43,11 +82,18 @@ fn io_err(context: &str, e: std::io::Error) -> MadError {
 pub type Lsn = u64;
 
 struct Files {
+    /// Open handle to the **active** (last listed) segment.
     file: File,
     /// LSN the next append gets.
     next_lsn: Lsn,
-    /// Current byte length of the log.
+    /// Total byte length of the log across all live segments.
     bytes: u64,
+    /// Byte length of the active segment (the rotation trigger).
+    seg_bytes: u64,
+    /// Live segment numbers, ascending; the last one is active.
+    segs: Vec<u64>,
+    /// Rotation threshold for the active segment.
+    max_seg_bytes: u64,
 }
 
 struct SyncState {
@@ -67,6 +113,9 @@ pub struct RecoveryInfo {
     pub last_seq: u64,
     /// Bytes of torn tail discarded (0 for a cleanly closed log).
     pub truncated_bytes: u64,
+    /// Log segments the recovery walked (1 for a freshly migrated
+    /// pre-segmentation log).
+    pub segments: u64,
 }
 
 /// What [`Wal::tail_commits`] found.
@@ -86,9 +135,9 @@ pub enum TailRead {
 /// Result of a [`Wal::checkpoint`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CheckpointStats {
-    /// Log size before the checkpoint, in bytes.
+    /// Log size before the checkpoint, in bytes (all segments).
     pub bytes_before: u64,
-    /// Log size after (one bootstrap record), in bytes.
+    /// Log size after (one bootstrap segment), in bytes.
     pub bytes_after: u64,
     /// The commit sequence number the new bootstrap image carries.
     pub base_seq: u64,
@@ -104,6 +153,7 @@ pub struct CheckpointStats {
 /// policy.
 #[derive(Debug)]
 pub struct Wal {
+    /// The **manifest** path (what callers know as "the log").
     path: PathBuf,
     policy: FsyncPolicy,
     files: Mutex<Files>,
@@ -131,6 +181,8 @@ impl std::fmt::Debug for Files {
         f.debug_struct("Files")
             .field("next_lsn", &self.next_lsn)
             .field("bytes", &self.bytes)
+            .field("seg_bytes", &self.seg_bytes)
+            .field("segs", &self.segs)
             .finish()
     }
 }
@@ -141,6 +193,105 @@ impl std::fmt::Debug for SyncState {
             .field("durable_lsn", &self.durable_lsn)
             .field("syncing", &self.syncing)
             .finish()
+    }
+}
+
+/// The file name of segment `n` of the log at `path` (lives beside the
+/// manifest): `{manifest_file_name}.{n:04}`.
+fn segment_name(path: &Path, n: u64) -> String {
+    let stem = path
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "wal".to_string());
+    format!("{stem}.{n:04}")
+}
+
+/// Full path of segment `n` of the log at `path`.
+fn segment_path(path: &Path, n: u64) -> PathBuf {
+    path.with_file_name(segment_name(path, n))
+}
+
+/// The segment number encoded in a manifest entry (its final dot-suffix).
+fn segment_number(name: &str) -> Result<u64> {
+    name.rsplit('.')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            MadError::wal(format!("malformed segment name `{name}` in log manifest"))
+        })
+}
+
+/// The manifest-journal path used to make manifest swaps crash-safe.
+fn manifest_journal(path: &Path) -> PathBuf {
+    path.with_extension("mtmp")
+}
+
+/// Parse a manifest body (already verified to start with
+/// [`MANIFEST_MAGIC`]) into its segment file names.
+fn parse_manifest(buf: &[u8]) -> Result<Vec<String>> {
+    let body = std::str::from_utf8(&buf[MANIFEST_MAGIC.len()..])
+        .map_err(|_| MadError::wal("log manifest is not valid UTF-8"))?;
+    let names: Vec<String> = body
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if names.is_empty() {
+        return Err(MadError::wal("log manifest lists no segments"));
+    }
+    for name in &names {
+        if name.contains('/') || name.contains('\\') {
+            return Err(MadError::wal(format!(
+                "segment name `{name}` escapes the log directory"
+            )));
+        }
+    }
+    Ok(names)
+}
+
+/// Atomically (re)write the manifest at `path`: journal file + fsync +
+/// rename + directory fsync.
+fn write_manifest(path: &Path, names: &[String]) -> Result<()> {
+    let tmp = manifest_journal(path);
+    let mut buf = Vec::from(MANIFEST_MAGIC);
+    for name in names {
+        buf.extend_from_slice(name.as_bytes());
+        buf.push(b'\n');
+    }
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)
+        .map_err(|e| io_err("create manifest journal", e))?;
+    file.write_all(&buf)
+        .map_err(|e| io_err("write log manifest", e))?;
+    file.sync_data()
+        .map_err(|e| io_err("fsync log manifest", e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| io_err("swap log manifest into place", e))?;
+    sync_parent_dir(path)
+}
+
+/// The segment file the log at `path` is currently appending to — what a
+/// crash scenario must cut to simulate a torn tail. Returns `path` itself
+/// for a pre-segmentation single-file log.
+pub fn active_segment_path(path: impl AsRef<Path>) -> Result<PathBuf> {
+    let path = path.as_ref();
+    let head = std::fs::read(path).map_err(|e| io_err("read log manifest", e))?;
+    if head.starts_with(MAGIC) {
+        return Ok(path.to_path_buf());
+    }
+    if !head.starts_with(MANIFEST_MAGIC) {
+        return Err(MadError::wal(format!(
+            "`{}` is not a MAD write-ahead log (bad magic)",
+            path.display()
+        )));
+    }
+    let names = parse_manifest(&head)?;
+    match names.last() {
+        Some(name) => Ok(path.with_file_name(name)),
+        None => Err(MadError::wal("log manifest lists no segments")),
     }
 }
 
@@ -164,20 +315,78 @@ impl Wal {
         policy: FsyncPolicy,
     ) -> Result<Wal> {
         let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            return Err(MadError::wal(format!(
+                "create log `{}`: file exists (recover it instead)",
+                path.display()
+            )));
+        }
+        let spath = segment_path(&path, 1);
         let mut file = OpenOptions::new()
             .write(true)
-            .create_new(true)
-            .open(&path)
-            .map_err(|e| io_err(&format!("create log `{}`", path.display()), e))?;
+            .create(true)
+            .truncate(true)
+            .open(&spath)
+            .map_err(|e| io_err(&format!("create log segment `{}`", spath.display()), e))?;
         let bytes = write_bootstrap(&mut file, db, base_seq)?;
-        sync_parent_dir(&path)?;
-        Ok(Wal {
+        write_manifest(&path, &[segment_name(&path, 1)])?;
+        Ok(Self::assemble(path, policy, file, bytes, vec![1]))
+    }
+
+    /// Replace whatever log lives at `path` (segmented, pre-segmentation,
+    /// or nothing) with a fresh one bootstrapped from `db` at `base_seq`,
+    /// atomically: the new bootstrap goes into the **next** segment
+    /// number and the manifest swap is the commit point, so a crash
+    /// leaves either the old or the new log. Old segment files are
+    /// deleted best-effort afterwards. This is the standby-resync
+    /// operation — the primary's checkpoint horizon passed our cursor and
+    /// a snapshot replaces local history.
+    pub fn reinitialize(
+        path: impl AsRef<Path>,
+        db: &Database,
+        base_seq: u64,
+        policy: FsyncPolicy,
+    ) -> Result<Wal> {
+        let path = path.as_ref().to_path_buf();
+        let mut old_names: Vec<String> = Vec::new();
+        let mut next = 1u64;
+        if let Ok(head) = std::fs::read(&path) {
+            if head.starts_with(MANIFEST_MAGIC) {
+                if let Ok(names) = parse_manifest(&head) {
+                    if let Some(last) = names.last() {
+                        next = segment_number(last).unwrap_or(0) + 1;
+                    }
+                    old_names = names;
+                }
+            }
+        }
+        let spath = segment_path(&path, next);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&spath)
+            .map_err(|e| io_err("create resync segment", e))?;
+        let bytes = write_bootstrap(&mut file, db, base_seq)?;
+        write_manifest(&path, &[segment_name(&path, next)])?;
+        for name in &old_names {
+            let _ = std::fs::remove_file(path.with_file_name(name));
+        }
+        Ok(Self::assemble(path, policy, file, bytes, vec![next]))
+    }
+
+    /// A freshly bootstrapped `Wal` over one just-written segment.
+    fn assemble(path: PathBuf, policy: FsyncPolicy, file: File, bytes: u64, segs: Vec<u64>) -> Wal {
+        Wal {
             path,
             policy,
             files: Mutex::new(Files {
                 file,
                 next_lsn: 1,
                 bytes,
+                seg_bytes: bytes,
+                segs,
+                max_seg_bytes: DEFAULT_SEGMENT_BYTES,
             }),
             sync: Mutex::new(SyncState {
                 durable_lsn: 1,
@@ -189,52 +398,122 @@ impl Wal {
             batched: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             fault: Mutex::new(FaultState::default()),
-        })
+        }
     }
 
-    /// Open an existing log: scan it, truncate any torn tail, replay the
+    /// Open an existing log: walk its segments in manifest order,
+    /// truncate any torn tail (last segment only — a torn frame in an
+    /// interior segment is corruption and a hard error), replay the
     /// bootstrap image plus every complete commit record, and return the
     /// log (positioned for appending) with the recovered database.
+    ///
+    /// A pre-segmentation single-file log is migrated in place first.
     pub fn recover(
         path: impl AsRef<Path>,
         policy: FsyncPolicy,
     ) -> Result<(Wal, Database, RecoveryInfo)> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .open(&path)
+        let journal = manifest_journal(&path);
+        if path.exists() {
+            // a journal beside a live manifest is a leftover from an
+            // interrupted swap that never reached its rename — stale
+            let _ = std::fs::remove_file(&journal);
+        } else if journal.exists() {
+            // the legacy migration crashed between its two renames: the
+            // file became segment 0001 but the journaled manifest never
+            // landed — finish the swap
+            let head = std::fs::read(&journal).map_err(|e| io_err("read manifest journal", e))?;
+            if head.starts_with(MANIFEST_MAGIC) {
+                std::fs::rename(&journal, &path)
+                    .map_err(|e| io_err("complete interrupted manifest swap", e))?;
+                sync_parent_dir(&path)?;
+            }
+        }
+        let head = std::fs::read(&path)
             .map_err(|e| io_err(&format!("open log `{}`", path.display()), e))?;
-        let mut buf = Vec::new();
-        file.read_to_end(&mut buf)
-            .map_err(|e| io_err("read log", e))?;
-        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        let names = if head.starts_with(MAGIC) {
+            migrate_legacy(&path)?
+        } else if head.starts_with(MANIFEST_MAGIC) {
+            parse_manifest(&head)?
+        } else {
             return Err(MadError::wal(format!(
                 "`{}` is not a MAD write-ahead log (bad magic)",
                 path.display()
             )));
+        };
+
+        let mut segs: Vec<u64> = Vec::with_capacity(names.len());
+        for name in &names {
+            let n = segment_number(name)?;
+            if segs.last().is_some_and(|&p| p >= n) {
+                return Err(MadError::wal(
+                    "log manifest segment numbers are not strictly ascending",
+                ));
+            }
+            segs.push(n);
         }
 
-        // scan: stop at the first incomplete/corrupt frame (the torn tail)
-        let mut offset = MAGIC.len();
+        // scan every segment; stop at the first incomplete/corrupt frame
+        // of the LAST segment (the torn tail); a torn interior is fatal
+        let last_i = names.len() - 1;
         let mut records = Vec::new();
-        while let FrameRead::Ok(rec, end) = read_frame(&buf, offset) {
-            records.push(rec);
-            offset = end;
+        let mut truncated = 0u64;
+        let mut total_bytes = 0u64;
+        let mut seg_bytes = 0u64;
+        let mut active: Option<File> = None;
+        for (i, name) in names.iter().enumerate() {
+            let spath = path.with_file_name(name);
+            let mut file = OpenOptions::new()
+                .read(true)
+                .write(i == last_i)
+                .open(&spath)
+                .map_err(|e| io_err(&format!("open log segment `{name}`"), e))?;
+            let mut buf = Vec::new();
+            file.read_to_end(&mut buf)
+                .map_err(|e| io_err("read log segment", e))?;
+            if !buf.starts_with(MAGIC) {
+                return Err(MadError::wal(format!(
+                    "log segment `{name}` does not start with the WAL magic"
+                )));
+            }
+            let mut offset = MAGIC.len();
+            while let FrameRead::Ok(rec, end) = read_frame(&buf, offset) {
+                records.push(rec);
+                offset = end;
+            }
+            let leftover = (buf.len() - offset) as u64;
+            if leftover > 0 {
+                if i != last_i {
+                    return Err(MadError::wal(format!(
+                        "torn record inside interior log segment `{name}` — \
+                         only the last segment may have a torn tail"
+                    )));
+                }
+                truncated = leftover;
+                file.set_len(offset as u64)
+                    .map_err(|e| io_err("truncate torn tail", e))?;
+                file.sync_data()
+                    .map_err(|e| io_err("fsync after truncate", e))?;
+            }
+            if i == last_i {
+                // the cursor sits at the old EOF after read_to_end;
+                // reposition it to the (possibly truncated) end so appends
+                // continue the segment instead of leaving a zero-filled
+                // hole past the torn tail
+                file.seek(SeekFrom::Start(offset as u64))
+                    .map_err(|e| io_err("seek to log end", e))?;
+                seg_bytes = offset as u64;
+                active = Some(file);
+            }
+            total_bytes += offset as u64;
         }
-        let truncated = (buf.len() - offset) as u64;
-        if truncated > 0 {
-            file.set_len(offset as u64)
-                .map_err(|e| io_err("truncate torn tail", e))?;
-            file.sync_data().map_err(|e| io_err("fsync after truncate", e))?;
-        }
-        // the cursor sits at the old EOF after read_to_end; reposition it
-        // to the (possibly truncated) end so appends continue the log
-        // instead of leaving a zero-filled hole past the torn tail
-        file.seek(SeekFrom::Start(offset as u64))
-            .map_err(|e| io_err("seek to log end", e))?;
+        let file = match active {
+            Some(f) => f,
+            None => return Err(MadError::wal("log manifest lists no segments")),
+        };
 
-        // replay: bootstrap image first, then commits in sequence
+        // replay: bootstrap image first, then commits in sequence —
+        // continuity holds across segment boundaries
         let mut iter = records.into_iter();
         let (base_seq, mut db) = match iter.next() {
             Some(WalRecord::Bootstrap { base_seq, snapshot }) => {
@@ -271,13 +550,17 @@ impl Wal {
         }
 
         let lsn = 1 + commits;
+        let segments = mad_model::bin::u64_of_usize(segs.len());
         let wal = Wal {
             path,
             policy,
             files: Mutex::new(Files {
                 file,
                 next_lsn: lsn,
-                bytes: offset as u64,
+                bytes: total_bytes,
+                seg_bytes,
+                segs,
+                max_seg_bytes: DEFAULT_SEGMENT_BYTES,
             }),
             sync: Mutex::new(SyncState {
                 durable_lsn: lsn,
@@ -294,6 +577,7 @@ impl Wal {
             commits_replayed: commits,
             last_seq,
             truncated_bytes: truncated,
+            segments,
         };
         Ok((wal, db, info))
     }
@@ -303,14 +587,28 @@ impl Wal {
         self.policy
     }
 
-    /// The log file path.
+    /// The log's manifest path (what callers hand to `create`/`recover`;
+    /// segment files live beside it).
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Current log length in bytes.
+    /// Current log length in bytes, summed across all live segments.
     pub fn len_bytes(&self) -> u64 {
         self.files.lock().unwrap().bytes
+    }
+
+    /// Number of live segments (1 after create or checkpoint; grows with
+    /// rotation).
+    pub fn segment_count(&self) -> usize {
+        self.files.lock().unwrap().segs.len() // check: allow(panic, "mutex poison propagates the original panic")
+    }
+
+    /// Set the rotation threshold: an append finding the active segment
+    /// at or past `bytes` rotates first. Tests use tiny values to force
+    /// many segments; production leaves [`DEFAULT_SEGMENT_BYTES`].
+    pub fn set_max_segment_bytes(&self, bytes: u64) {
+        self.files.lock().unwrap().max_seg_bytes = bytes.max(1); // check: allow(panic, "mutex poison propagates the original panic")
     }
 
     /// Total fsyncs performed since open (the group-commit amortization
@@ -332,7 +630,8 @@ impl Wal {
     /// Append one committed transaction's record (buffered OS write, no
     /// fsync) and return its [`Lsn`]. Callers must append in commit-seq
     /// order — the publisher's commit path does this under its publication
-    /// lock.
+    /// ticket. Rotates to a fresh segment first when the active one is
+    /// past the size threshold.
     ///
     /// A failed append is rolled back (truncate to the pre-append length)
     /// so later records never sit beyond garbage bytes; if even the
@@ -346,6 +645,13 @@ impl Wal {
             ops: ops.to_vec(),
         })?;
         let mut files = self.files.lock().unwrap();
+        if files.seg_bytes >= files.max_seg_bytes {
+            // rotate BEFORE the record goes anywhere: a rotation failure
+            // aborts this append cleanly, with the old segment still
+            // active and the log unpoisoned (unless the closing fsync
+            // itself failed)
+            self.rotate(&mut files)?;
+        }
         let written = if self.fault.lock().unwrap().trip_append() {
             // injected fault: leave a torn partial frame behind, exactly
             // like a disk dying mid-write, then fail the append
@@ -356,10 +662,10 @@ impl Wal {
             files.file.write_all(&framed)
         };
         if let Err(e) = written {
-            // a partial frame may be on disk; cut back to the last good
-            // byte so an acknowledged later commit is never stranded
-            // behind a torn interior record
-            let good = files.bytes;
+            // a partial frame may be on disk; cut the active segment back
+            // to the last good byte so an acknowledged later commit is
+            // never stranded behind a torn interior record
+            let good = files.seg_bytes;
             let restore = files
                 .file
                 .set_len(good)
@@ -370,10 +676,52 @@ impl Wal {
             return Err(io_err("append commit record", e));
         }
         files.bytes += framed.len() as u64;
+        files.seg_bytes += framed.len() as u64;
         let lsn = files.next_lsn;
         files.next_lsn += 1;
         at.finish_info(&[("bytes", mad_model::bin::u64_of_usize(framed.len()))]);
         Ok(lsn)
+    }
+
+    /// Close the active segment and open the next one (caller holds the
+    /// `files` lock). The closing segment is fsynced **before** the
+    /// manifest grows, so every record in a non-last segment is durable —
+    /// that is what lets [`Wal::wait_durable`] prove any LSN durable by
+    /// fsyncing only the active segment, and what makes a torn interior
+    /// segment a corruption signal rather than a crash artifact.
+    fn rotate(&self, files: &mut Files) -> Result<()> {
+        if let Err(e) = files.file.sync_data() {
+            // records in the closing segment may have been acknowledged
+            // as durable already; if its final fsync fails we can no
+            // longer trust the file — same rule as a failed group fsync
+            self.poisoned.store(true, Ordering::SeqCst);
+            return Err(io_err("fsync closing log segment", e));
+        }
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        let next = files.segs.last().copied().unwrap_or(0) + 1;
+        let spath = segment_path(&self.path, next);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&spath)
+            .map_err(|e| io_err("create next log segment", e))?;
+        file.write_all(MAGIC)
+            .map_err(|e| io_err("write segment magic", e))?;
+        file.sync_data()
+            .map_err(|e| io_err("fsync new log segment", e))?;
+        let mut names: Vec<String> = files
+            .segs
+            .iter()
+            .map(|&n| segment_name(&self.path, n))
+            .collect();
+        names.push(segment_name(&self.path, next));
+        write_manifest(&self.path, &names)?;
+        files.segs.push(next);
+        files.file = file;
+        files.bytes += MAGIC.len() as u64;
+        files.seg_bytes = MAGIC.len() as u64;
+        Ok(())
     }
 
     fn check_poisoned(&self) -> Result<()> {
@@ -480,8 +828,11 @@ impl Wal {
         }
     }
 
-    /// One fsync of the current log file. Uses a duplicated handle so the
-    /// append path is never blocked behind the flush.
+    /// One fsync of the **active** segment. Uses a duplicated handle so
+    /// the append path is never blocked behind the flush. Syncing only
+    /// the active segment is sufficient for any LSN: rotation fsyncs a
+    /// segment before the manifest grows past it, so every record in a
+    /// closed segment is already durable.
     fn fsync_log(&self) -> Result<()> {
         if self.fault.lock().unwrap().trip_fsync() {
             // injected fault: indistinguishable from a real failed fsync
@@ -522,55 +873,105 @@ impl Wal {
     /// requested records into the bootstrap image (the subscriber is
     /// behind the checkpoint horizon and needs a full snapshot instead).
     ///
-    /// The scan goes through the file *path*, not the shared append
-    /// handle, so tailing never contends with committers: appends are
-    /// strictly ordered, a checkpoint swaps files atomically (either
-    /// image is a valid log), and a final frame torn by an in-flight
-    /// append ends the scan exactly like recovery's torn-tail rule —
-    /// the caller picks such records up from the live commit feed.
+    /// The scan goes through the manifest and segment *paths*, not the
+    /// shared append handle, so tailing never contends with committers:
+    /// appends are strictly ordered, rotation and checkpoint swap the
+    /// manifest atomically (either image is a valid log), and a final
+    /// frame torn by an in-flight append ends the scan exactly like
+    /// recovery's torn-tail rule — the caller picks such records up from
+    /// the live commit feed. A checkpoint may delete a segment between
+    /// the manifest read and the segment read; the scan retries once
+    /// against the fresh manifest.
     pub fn tail_commits(&self, from_seq: u64) -> Result<TailRead> {
-        let buf = std::fs::read(&self.path).map_err(|e| io_err("read log for tailing", e))?;
-        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
-            return Err(MadError::wal("tail of a non-WAL file (bad magic)"));
+        for _ in 0..2 {
+            match self.tail_once(from_seq)? {
+                Some(tail) => return Ok(tail),
+                None => continue, // segment vanished under us — reread
+            }
         }
-        let mut offset = MAGIC.len();
-        let mut first = true;
-        let mut commits = Vec::new();
-        while let FrameRead::Ok(rec, end) = read_frame(&buf, offset) {
-            match (first, rec) {
-                (true, WalRecord::Bootstrap { base_seq, .. }) => {
-                    if base_seq > from_seq {
-                        return Ok(TailRead::SnapshotNeeded { base_seq });
-                    }
-                }
-                (true, WalRecord::Commit { .. }) => {
-                    return Err(MadError::wal("log does not start with a bootstrap record"))
-                }
-                (false, WalRecord::Commit { seq, ops }) if seq > from_seq => {
-                    commits.push((seq, ops));
-                }
-                (false, WalRecord::Commit { .. }) => {}
-                (false, WalRecord::Bootstrap { .. }) => {
-                    return Err(MadError::wal("unexpected bootstrap record mid-log"))
+        Err(MadError::wal(
+            "log segments kept vanishing while tailing (concurrent checkpoints)",
+        ))
+    }
+
+    /// One tailing attempt; `Ok(None)` means a listed segment disappeared
+    /// (checkpoint race) and the caller should reread the manifest.
+    fn tail_once(&self, from_seq: u64) -> Result<Option<TailRead>> {
+        let head =
+            std::fs::read(&self.path).map_err(|e| io_err("read log for tailing", e))?;
+        let bufs: Vec<Vec<u8>> = if head.starts_with(MAGIC) {
+            vec![head] // pre-segmentation log: one implicit segment
+        } else if head.starts_with(MANIFEST_MAGIC) {
+            let names = parse_manifest(&head)?;
+            let mut bufs = Vec::with_capacity(names.len());
+            for name in &names {
+                match std::fs::read(self.path.with_file_name(name)) {
+                    Ok(b) => bufs.push(b),
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+                    Err(e) => return Err(io_err("read log segment for tailing", e)),
                 }
             }
-            first = false;
-            offset = end;
+            bufs
+        } else {
+            return Err(MadError::wal("tail of a non-WAL file (bad magic)"));
+        };
+
+        let last_i = bufs.len() - 1;
+        let mut first = true;
+        let mut commits = Vec::new();
+        for (i, buf) in bufs.iter().enumerate() {
+            if !buf.starts_with(MAGIC) {
+                return Err(MadError::wal(
+                    "log segment does not start with the WAL magic",
+                ));
+            }
+            let mut offset = MAGIC.len();
+            while let FrameRead::Ok(rec, end) = read_frame(buf, offset) {
+                match (first, rec) {
+                    (true, WalRecord::Bootstrap { base_seq, .. }) => {
+                        if base_seq > from_seq {
+                            return Ok(Some(TailRead::SnapshotNeeded { base_seq }));
+                        }
+                    }
+                    (true, WalRecord::Commit { .. }) => {
+                        return Err(MadError::wal(
+                            "log does not start with a bootstrap record",
+                        ))
+                    }
+                    (false, WalRecord::Commit { seq, ops }) if seq > from_seq => {
+                        commits.push((seq, ops));
+                    }
+                    (false, WalRecord::Commit { .. }) => {}
+                    (false, WalRecord::Bootstrap { .. }) => {
+                        return Err(MadError::wal("unexpected bootstrap record mid-log"))
+                    }
+                }
+                first = false;
+                offset = end;
+            }
+            if offset < buf.len() && i != last_i {
+                return Err(MadError::wal(
+                    "torn record inside interior log segment while tailing",
+                ));
+            }
         }
-        Ok(TailRead::Commits(commits))
+        Ok(Some(TailRead::Commits(commits)))
     }
 
     /// Replace the log with a fresh bootstrap image of `db` (taken at
     /// commit sequence `base_seq`), dropping every commit record — the
-    /// checkpoint-and-truncate operation. Atomic: the new log is written
-    /// to a temporary file, fsynced, and renamed over the old one, so a
-    /// crash mid-checkpoint recovers from either the old or the new log,
-    /// never a mix.
+    /// checkpoint-and-truncate operation. The bootstrap is written into
+    /// the **next** segment number, fsynced, and the manifest is
+    /// atomically rewritten to list just that segment, so a crash
+    /// mid-checkpoint recovers from either the old or the new log, never
+    /// a mix; old segment files are deleted best-effort afterwards.
+    /// Because only the new segment is rewritten, checkpoint cost no
+    /// longer scales with the total bytes the log accumulated.
     ///
     /// The caller must guarantee no concurrent [`Wal::append_commit`]
-    /// (the publisher runs checkpoints under its publication lock).
+    /// (the publisher runs checkpoints under its commit ticket).
     pub fn checkpoint(&self, db: &Database, base_seq: u64) -> Result<CheckpointStats> {
-        // claim the syncer slot so no fsync races the file swap
+        // claim the syncer slot so no fsync races the segment swap
         let mut st = self.sync.lock().unwrap();
         while st.syncing {
             st = self.synced.wait(st).unwrap();
@@ -585,7 +986,7 @@ impl Wal {
         if result.is_ok() {
             // the fresh log is fully durable — and trustworthy again,
             // even if an earlier fsync failure had poisoned the old file
-            st.durable_lsn = self.files.lock().unwrap().next_lsn;
+            st.durable_lsn = self.files.lock().unwrap().next_lsn; // check: allow(panic, "mutex poison propagates the original panic")
             self.poisoned.store(false, Ordering::SeqCst);
         }
         self.synced.notify_all();
@@ -593,28 +994,72 @@ impl Wal {
     }
 
     fn checkpoint_inner(&self, db: &Database, base_seq: u64) -> Result<CheckpointStats> {
-        let tmp = self.path.with_extension("tmp");
+        let next = {
+            let files = self.files.lock().unwrap();
+            files.segs.last().copied().unwrap_or(0) + 1
+        };
+        let spath = segment_path(&self.path, next);
         let mut file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
-            .open(&tmp)
-            .map_err(|e| io_err("create checkpoint file", e))?;
+            .open(&spath)
+            .map_err(|e| io_err("create checkpoint segment", e))?;
         let bytes_after = write_bootstrap(&mut file, db, base_seq)?;
-        std::fs::rename(&tmp, &self.path).map_err(|e| io_err("swap checkpoint into place", e))?;
-        sync_parent_dir(&self.path)?;
+        write_manifest(&self.path, &[segment_name(&self.path, next)])?;
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
-        let mut files = self.files.lock().unwrap();
-        let bytes_before = files.bytes;
-        files.file = file;
-        files.bytes = bytes_after;
-        files.next_lsn += 1; // the bootstrap record occupies one LSN
+        let (bytes_before, old) = {
+            let mut files = self.files.lock().unwrap();
+            let bytes_before = files.bytes;
+            files.file = file;
+            files.bytes = bytes_after;
+            files.seg_bytes = bytes_after;
+            files.next_lsn += 1; // the bootstrap record occupies one LSN
+            (bytes_before, std::mem::replace(&mut files.segs, vec![next]))
+        };
+        // the manifest no longer references them; deletion is cleanup,
+        // not correctness, so failures are ignored
+        for n in old {
+            let _ = std::fs::remove_file(segment_path(&self.path, n));
+        }
         Ok(CheckpointStats {
             bytes_before,
             bytes_after,
             base_seq,
         })
     }
+}
+
+/// Migrate a pre-segmentation single-file log at `path` into the
+/// manifest + segment layout: journal the manifest beside it, rename the
+/// file to segment `0001`, then rename the journal into place. Crash
+/// windows: before the first rename the file is still a valid legacy log
+/// (migration simply reruns); between the renames, [`Wal::recover`]'s
+/// journal-repair step completes the swap.
+fn migrate_legacy(path: &Path) -> Result<Vec<String>> {
+    let name = segment_name(path, 1);
+    let journal = manifest_journal(path);
+    let mut buf = Vec::from(MANIFEST_MAGIC);
+    buf.extend_from_slice(name.as_bytes());
+    buf.push(b'\n');
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&journal)
+        .map_err(|e| io_err("create migration manifest journal", e))?;
+    file.write_all(&buf)
+        .map_err(|e| io_err("write migration manifest", e))?;
+    file.sync_data()
+        .map_err(|e| io_err("fsync migration manifest", e))?;
+    drop(file);
+    std::fs::rename(path, path.with_file_name(&name))
+        .map_err(|e| io_err("rename legacy log to segment 0001", e))?;
+    sync_parent_dir(path)?;
+    std::fs::rename(&journal, path)
+        .map_err(|e| io_err("swap migration manifest into place", e))?;
+    sync_parent_dir(path)?;
+    Ok(vec![name])
 }
 
 /// Write magic + bootstrap frame and fsync; returns the file length.
@@ -695,6 +1140,7 @@ mod tests {
         assert_eq!(info.commits_replayed, 2);
         assert_eq!(info.last_seq, 2);
         assert_eq!(info.truncated_bytes, 0);
+        assert_eq!(info.segments, 1);
         assert_eq!(
             DatabaseSnapshot::capture(&recovered).to_json_string(),
             DatabaseSnapshot::capture(&db).to_json_string()
@@ -745,9 +1191,10 @@ mod tests {
         }];
         wal.append_commit(1, &ops).unwrap();
         drop(wal);
-        // tear the final record: chop 3 bytes off the file
-        let full = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        // tear the final record: chop 3 bytes off the active segment
+        let seg = active_segment_path(&path).unwrap();
+        let full = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &full[..full.len() - 3]).unwrap();
         let (_, recovered, info) = Wal::recover(&path, FsyncPolicy::Never).unwrap();
         assert_eq!(info.commits_replayed, 0, "the torn commit is gone");
         assert!(info.truncated_bytes > 0);
@@ -778,8 +1225,9 @@ mod tests {
         wal.wait_durable(lsn).unwrap();
         drop(wal);
         // tear the final record
-        let full = std::fs::read(&path).unwrap();
-        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let seg = active_segment_path(&path).unwrap();
+        let full = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &full[..full.len() - 3]).unwrap();
         // recover (truncates the tail), then commit again
         let (wal, _, info) = Wal::recover(&path, FsyncPolicy::Group).unwrap();
         assert!(info.truncated_bytes > 0);
@@ -800,6 +1248,141 @@ mod tests {
         let path = dir.join("mad.wal");
         std::fs::write(&path, b"definitely not a wal").unwrap();
         assert!(Wal::recover(&path, FsyncPolicy::Never).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_single_file_log_migrates_on_recover() {
+        let dir = tmpdir("legacy");
+        let path = dir.join("mad.wal");
+        let mut db = small_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        // hand-write a pre-segmentation log: magic + bootstrap + 1 commit,
+        // all in the single file at `path`
+        let mut file = File::create(&path).unwrap();
+        write_bootstrap(&mut file, &db, 0).unwrap();
+        let id = db.insert_atom(state, vec![Value::from("MG")]).unwrap();
+        let framed = frame(&WalRecord::Commit {
+            seq: 1,
+            ops: vec![WalOp::Insert {
+                ty: state,
+                tuple: vec![Value::from("MG")],
+                id,
+            }],
+        })
+        .unwrap();
+        file.write_all(&framed).unwrap();
+        drop(file);
+
+        let (wal, recovered, info) = Wal::recover(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(info.commits_replayed, 1);
+        assert_eq!(info.segments, 1);
+        assert_eq!(recovered.atom_count(state), 2);
+        // the file at `path` is now a manifest pointing at segment 0001
+        let head = std::fs::read(&path).unwrap();
+        assert!(head.starts_with(MANIFEST_MAGIC));
+        assert!(dir.join("mad.wal.0001").exists());
+        // and the migrated log still appends and re-recovers
+        let lsn = wal
+            .append_commit(
+                2,
+                &[WalOp::Insert {
+                    ty: state,
+                    tuple: vec![Value::from("RJ")],
+                    id: mad_model::AtomId::new(state, 2),
+                }],
+            )
+            .unwrap();
+        wal.wait_durable(lsn).unwrap();
+        drop(wal);
+        let (_, _, info) = Wal::recover(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(info.commits_replayed, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `max_segment_bytes = 1`: every append rotates first, so commit `k`
+    /// lands alone in segment `k + 1` (the bootstrap holds segment 1).
+    fn rotated_log(path: &Path, commits: u64) -> (Wal, Database) {
+        let mut db = small_db();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let wal = Wal::create(path, &db, FsyncPolicy::Group).unwrap();
+        wal.set_max_segment_bytes(1);
+        for seq in 1..=commits {
+            let id = db
+                .insert_atom(state, vec![Value::from(format!("r{seq}"))])
+                .unwrap();
+            let lsn = wal
+                .append_commit(
+                    seq,
+                    &[WalOp::Insert {
+                        ty: state,
+                        tuple: vec![Value::from(format!("r{seq}"))],
+                        id,
+                    }],
+                )
+                .unwrap();
+            wal.wait_durable(lsn).unwrap();
+        }
+        (wal, db)
+    }
+
+    #[test]
+    fn rotation_splits_the_log_and_recovery_walks_segments() {
+        let dir = tmpdir("rotate");
+        let path = dir.join("mad.wal");
+        let (wal, db) = rotated_log(&path, 6);
+        let state = db.schema().atom_type_id("state").unwrap();
+        assert!(wal.segment_count() > 1, "tiny threshold must rotate");
+        let total = wal.len_bytes();
+        drop(wal);
+
+        let (wal2, recovered, info) = Wal::recover(&path, FsyncPolicy::Group).unwrap();
+        assert_eq!(info.commits_replayed, 6);
+        assert!(info.segments > 1);
+        assert_eq!(info.segments as usize, wal2.segment_count());
+        assert_eq!(wal2.len_bytes(), total);
+        assert_eq!(recovered.atom_count(state), 7);
+        // tailing crosses segment boundaries in order
+        match wal2.tail_commits(0).unwrap() {
+            TailRead::Commits(c) => assert_eq!(
+                c.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+                (1..=6).collect::<Vec<_>>()
+            ),
+            TailRead::SnapshotNeeded { .. } => panic!("no checkpoint ran"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_only_the_last_segment() {
+        let dir = tmpdir("torn-last-seg");
+        let path = dir.join("mad.wal");
+        let (wal, _) = rotated_log(&path, 3);
+        drop(wal);
+        let active = active_segment_path(&path).unwrap();
+        let full = std::fs::read(&active).unwrap();
+        std::fs::write(&active, &full[..full.len() - 3]).unwrap();
+        let (_, _, info) = Wal::recover(&path, FsyncPolicy::Group).unwrap();
+        assert_eq!(info.commits_replayed, 2, "only the torn last commit is lost");
+        assert!(info.truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_interior_segment_is_a_hard_error() {
+        let dir = tmpdir("torn-interior");
+        let path = dir.join("mad.wal");
+        let (wal, _) = rotated_log(&path, 3);
+        drop(wal);
+        // commit 1 lives alone in segment 0002 — an interior segment
+        let interior = dir.join("mad.wal.0002");
+        let full = std::fs::read(&interior).unwrap();
+        std::fs::write(&interior, &full[..full.len() - 3]).unwrap();
+        let err = Wal::recover(&path, FsyncPolicy::Group).unwrap_err();
+        assert!(
+            err.to_string().contains("interior"),
+            "must name the interior-segment rule: {err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -833,11 +1416,73 @@ mod tests {
             stats.bytes_before,
             stats.bytes_after
         );
+        assert_eq!(wal.segment_count(), 1, "checkpoint collapses to one segment");
+        assert!(
+            !dir.join("mad.wal.0001").exists(),
+            "the pre-checkpoint segment is deleted"
+        );
         drop(wal);
         let (_, recovered, info) = Wal::recover(&path, FsyncPolicy::Group).unwrap();
         assert_eq!(info.commits_replayed, 0, "commits were folded into the image");
         assert_eq!(info.last_seq, 20, "sequence numbering continues");
         assert_eq!(recovered.atom_count(state), 21);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_of_a_rotated_log_collapses_the_segments() {
+        let dir = tmpdir("ckpt-rotated");
+        let path = dir.join("mad.wal");
+        let (wal, db) = rotated_log(&path, 5);
+        let before = wal.segment_count();
+        assert!(before > 1);
+        wal.checkpoint(&db, 5).unwrap();
+        assert_eq!(wal.segment_count(), 1);
+        drop(wal);
+        let (_, _, info) = Wal::recover(&path, FsyncPolicy::Group).unwrap();
+        assert_eq!(info.last_seq, 5);
+        assert_eq!(info.segments, 1);
+        // every pre-checkpoint segment file is gone
+        for n in 1..=before as u64 {
+            assert!(
+                !dir.join(format!("mad.wal.{n:04}")).exists(),
+                "segment {n:04} must be deleted"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reinitialize_replaces_the_log_at_a_new_base() {
+        let dir = tmpdir("reinit");
+        let path = dir.join("mad.wal");
+        let (old_wal, db) = rotated_log(&path, 3);
+        let state = db.schema().atom_type_id("state").unwrap();
+        // resync: replace history with a snapshot stamped at seq 10,
+        // while the old Wal still holds its open handle (as a standby's
+        // ingest loop does)
+        let wal = Wal::reinitialize(&path, &db, 10, FsyncPolicy::Never).unwrap();
+        drop(old_wal);
+        assert_eq!(wal.segment_count(), 1);
+        let lsn = wal
+            .append_commit(
+                11,
+                &[WalOp::Insert {
+                    ty: state,
+                    tuple: vec![Value::from("after")],
+                    id: mad_model::AtomId::new(state, 4),
+                }],
+            )
+            .unwrap();
+        wal.wait_durable(lsn).unwrap();
+        drop(wal);
+        let (_, recovered, info) = Wal::recover(&path, FsyncPolicy::Never).unwrap();
+        assert_eq!(info.last_seq, 11);
+        assert_eq!(info.commits_replayed, 1);
+        assert_eq!(info.segments, 1);
+        assert!(recovered.atom_exists(mad_model::AtomId::new(state, 4)));
+        // the pre-resync segments are gone
+        assert!(!dir.join("mad.wal.0001").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -849,7 +1494,7 @@ mod tests {
         let state = db.schema().atom_type_id("state").unwrap();
         let wal = Wal::create(&path, &db, FsyncPolicy::Group).unwrap();
         // seq allocation + append happen under one lock (mirroring the
-        // publisher's publication lock: commit order IS append order);
+        // publisher's commit ticket: commit order IS append order);
         // only the durability wait runs concurrently
         let publication = Mutex::new(0u64);
         let writers = 8usize;

@@ -77,8 +77,10 @@ pub fn run_crash_recovery(wal_path: &Path, params: &CrashParams) -> Result<Crash
     drop(handle);
 
     // cut the log at a random record boundary, optionally tearing a strict
-    // prefix of the following record onto the end
-    let full = std::fs::read(wal_path).map_err(|e| MadError::wal(format!("read log: {e}")))?;
+    // prefix of the following record onto the end; the cut applies to the
+    // ACTIVE segment — the only file a real crash can tear
+    let seg_path = mad_wal::active_segment_path(wal_path)?;
+    let full = std::fs::read(&seg_path).map_err(|e| MadError::wal(format!("read log: {e}")))?;
     let boundaries = frame_boundaries(&full);
     if boundaries.is_empty() {
         return Err(MadError::wal("log has no complete record"));
@@ -98,7 +100,7 @@ pub fn run_crash_recovery(wal_path: &Path, params: &CrashParams) -> Result<Crash
         }
     }
     let torn_bytes = (image.len() - cut) as u64;
-    std::fs::write(wal_path, &image).map_err(|e| MadError::wal(format!("cut log: {e}")))?;
+    std::fs::write(&seg_path, &image).map_err(|e| MadError::wal(format!("cut log: {e}")))?;
 
     // recover and verify the prefix invariants
     let handle = DbHandle::open_durable(wal_path, params.fsync)?;

@@ -244,8 +244,12 @@ pub fn run_net_crash(wal_path: &Path, params: &NetCrashParams) -> Result<NetCras
     // phase 2: the crash image — cut at a random record boundary at or
     // beyond the highest acked commit (acked ⇒ fsynced ⇒ survives a real
     // crash), optionally tearing a prefix of the next record
+    // the cut applies to the ACTIVE segment — the only file a real crash
+    // can tear (these scenarios stay under the rotation threshold, so it
+    // also holds every commit record)
+    let seg_path = mad_wal::active_segment_path(wal_path)?;
     let full =
-        std::fs::read(wal_path).map_err(|e| MadError::wal(format!("read log: {e}")))?;
+        std::fs::read(&seg_path).map_err(|e| MadError::wal(format!("read log: {e}")))?;
     let boundaries = frame_boundaries(&full);
     // boundaries[i] = end of record i; record 0 is the bootstrap image,
     // so a cut at boundaries[c] keeps commits 1..=c
@@ -271,7 +275,7 @@ pub fn run_net_crash(wal_path: &Path, params: &NetCrashParams) -> Result<NetCras
         }
     }
     let torn_bytes = (image.len() - cut) as u64;
-    std::fs::write(wal_path, &image).map_err(|e| MadError::wal(format!("cut log: {e}")))?;
+    std::fs::write(&seg_path, &image).map_err(|e| MadError::wal(format!("cut log: {e}")))?;
 
     // ---------------------------------------------------------------
     // phase 3: recover and verify the acked-prefix invariants

@@ -161,3 +161,57 @@ fn concurrent_mql_sessions_serve_one_handle() {
     assert_eq!(db.link_count(sa), writers * per_writer);
     assert!(db.audit_referential_integrity().is_empty());
 }
+
+#[test]
+fn pinned_commit_log_does_not_inflate_commit_latency() {
+    // Regression for the pruning bugfix: an old open snapshot pins the
+    // commit log, but validation is a per-key hash probe and pruning is
+    // off the commit critical path — so a 10k-record pinned log must
+    // not slow commits down. The ratio bound is deliberately generous
+    // (a reintroduced per-commit log scan would blow past it by an
+    // order of magnitude; honest timing noise will not).
+    use std::time::Instant;
+
+    let commit_one = |handle: &DbHandle, v: f64| {
+        let db = handle.committed();
+        let state = db.schema().atom_type_id("state").unwrap();
+        let mut t = Transaction::begin(handle);
+        t.update_attr(AtomId::new(state, 0), 1, Value::Float(v)).unwrap();
+        t.commit().unwrap();
+    };
+    let time_commits = |handle: &DbHandle, n: usize| {
+        let start = Instant::now();
+        for i in 0..n {
+            commit_one(handle, i as f64);
+        }
+        start.elapsed()
+    };
+
+    const SAMPLE: usize = 200;
+    // baseline: commits against an empty, unpinned log
+    let fresh = DbHandle::new(mixed_database().unwrap());
+    time_commits(&fresh, SAMPLE); // warm-up
+    let baseline = time_commits(&fresh, SAMPLE);
+
+    // pinned: an open transaction holds its begin registration, so the
+    // log accumulates 10k records that cannot prune
+    let pinned = DbHandle::new(mixed_database().unwrap());
+    let pin = Transaction::begin(&pinned);
+    for i in 0..10_000 {
+        commit_one(&pinned, i as f64);
+    }
+    assert!(
+        pinned.commit_log_len() >= 10_000,
+        "the pin did not hold: log length {}",
+        pinned.commit_log_len()
+    );
+    let loaded = time_commits(&pinned, SAMPLE);
+    drop(pin);
+
+    let ratio = loaded.as_secs_f64() / baseline.as_secs_f64().max(1e-6);
+    assert!(
+        ratio < 15.0,
+        "commits over a 10k-record pinned log are {ratio:.1}x slower than over an \
+         empty log ({loaded:?} vs {baseline:?} for {SAMPLE} commits)"
+    );
+}

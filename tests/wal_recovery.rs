@@ -9,7 +9,7 @@
 use mad::model::Value;
 use mad::storage::DatabaseSnapshot;
 use mad::txn::{DbHandle, FsyncPolicy, Transaction};
-use mad::wal::frame_boundaries;
+use mad::wal::{active_segment_path, frame_boundaries};
 use mad::workload::{run_crash_recovery, CrashParams, MixedParams};
 use std::path::PathBuf;
 
@@ -52,7 +52,11 @@ fn torn_final_record_recovers_to_previous_commit_at_every_byte_offset() {
     let dir = tmpdir("everybyte");
     let path = dir.join("mad.wal");
     let images = build_history(&path);
-    let full = std::fs::read(&path).unwrap();
+    // the record bytes live in the active segment (one segment here —
+    // the history is far below the rotation threshold); a prefix of them
+    // is itself a valid pre-segmentation log, which `open_durable`
+    // migrates on the fly
+    let full = std::fs::read(active_segment_path(&path).unwrap()).unwrap();
     let boundaries = frame_boundaries(&full);
     assert_eq!(boundaries.len(), 4, "bootstrap + 3 commits");
     let last_start = boundaries[2];
@@ -96,13 +100,14 @@ fn corrupt_byte_in_final_record_is_treated_as_torn() {
     let dir = tmpdir("corrupt");
     let path = dir.join("mad.wal");
     let images = build_history(&path);
-    let full = std::fs::read(&path).unwrap();
+    let seg = active_segment_path(&path).unwrap();
+    let full = std::fs::read(&seg).unwrap();
     let boundaries = frame_boundaries(&full);
     let last_start = boundaries[2];
     // flip one byte inside the final record's payload
     let mut bad = full.clone();
     bad[last_start + 10] ^= 0xFF;
-    std::fs::write(&path, &bad).unwrap();
+    std::fs::write(&seg, &bad).unwrap();
     let handle = DbHandle::open_durable(&path, FsyncPolicy::Never).unwrap();
     assert_eq!(handle.recovery_info().unwrap().commits_replayed, 2);
     assert_eq!(
